@@ -1,0 +1,476 @@
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section.  Absolute cycle counts come from this repository's
+// xt32 substrate rather than the authors' Xtensa testbed, so EXPERIMENTS.md
+// compares shapes (who wins, by roughly what factor) rather than raw
+// numbers.  Custom metrics are attached to each benchmark via
+// b.ReportMetric; run with:
+//
+//	go test -bench=. -benchmem
+package wisp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wisp/internal/aescipher"
+	"wisp/internal/descipher"
+
+	"wisp/internal/adcurve"
+	"wisp/internal/instrsel"
+	"wisp/internal/kernels"
+	"wisp/internal/macromodel"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+	"wisp/internal/sim"
+)
+
+var (
+	benchOnce sync.Once
+	benchPlat *Platform
+)
+
+// benchPlatform builds the full-scale (1024-bit RSA) platform once.
+func benchPlatform(b *testing.B) *Platform {
+	b.Helper()
+	benchOnce.Do(func() {
+		p, err := New(Options{})
+		if err != nil {
+			panic(err)
+		}
+		benchPlat = p
+	})
+	return benchPlat
+}
+
+// --- Table 1 ---
+
+func benchCipherRow(b *testing.B, measure func() (Table1Row, error)) {
+	p := benchPlatform(b)
+	_ = p
+	var row Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = measure()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.Base, "base-"+unitSuffix(row.Unit))
+	b.ReportMetric(row.Optimized, "opt-"+unitSuffix(row.Unit))
+	b.ReportMetric(row.Speedup(), "speedup-x")
+}
+
+func unitSuffix(u string) string {
+	if u == "cycles/byte" {
+		return "c/B"
+	}
+	return "c/op"
+}
+
+func BenchmarkTable1DES(b *testing.B)        { benchCipherRow(b, benchPlatform(b).MeasureDES) }
+func BenchmarkTable1TripleDES(b *testing.B)  { benchCipherRow(b, benchPlatform(b).Measure3DES) }
+func BenchmarkTable1AES(b *testing.B)        { benchCipherRow(b, benchPlatform(b).MeasureAES) }
+func BenchmarkTable1RSAEncrypt(b *testing.B) { benchCipherRow(b, benchPlatform(b).MeasureRSAEncrypt) }
+func BenchmarkTable1RSADecrypt(b *testing.B) { benchCipherRow(b, benchPlatform(b).MeasureRSADecrypt) }
+
+// --- Figure 8 ---
+
+func BenchmarkFigure8SSL(b *testing.B) {
+	p := benchPlatform(b)
+	var rows []sslRow
+	for i := 0; i < b.N; i++ {
+		rs, err := p.Figure8(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = rows[:0]
+		for _, r := range rs {
+			rows = append(rows, sslRow{r.Bytes, r.Speedup})
+		}
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].speedup, "speedup-1KB-x")
+		b.ReportMetric(rows[len(rows)-1].speedup, "speedup-32KB-x")
+	}
+}
+
+type sslRow struct {
+	bytes   int
+	speedup float64
+}
+
+// --- Figure 5 ---
+
+func BenchmarkFigure5ADCurves(b *testing.B) {
+	p := benchPlatform(b)
+	var f5 *Figure5Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		f5, err = p.Figure5(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f5.AddN[0].Cycles, "addn-base-cycles")
+	b.ReportMetric(f5.AddN[len(f5.AddN)-1].Cycles, "addn-best-cycles")
+	b.ReportMetric(float64(len(f5.Root)), "root-pareto-points")
+	b.ReportMetric(float64(len(f5.RootAll)-len(f5.Root)), "pruned-points")
+}
+
+// --- Figure 6 ---
+
+func BenchmarkFigure6Reduction(b *testing.B) {
+	p := benchPlatform(b)
+	var raw, reduced int
+	var err error
+	for i := 0; i < b.N; i++ {
+		raw, reduced, err = p.Figure6(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(raw), "raw-points")
+	b.ReportMetric(float64(reduced), "reduced-points")
+}
+
+// --- Figure 4 ---
+
+func BenchmarkFigure4CallGraph(b *testing.B) {
+	p := benchPlatform(b)
+	var edges int
+	for i := 0; i < b.N; i++ {
+		g, err := p.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges = 0
+		for _, n := range g.Nodes() {
+			edges += len(g.Callees(n))
+		}
+	}
+	b.ReportMetric(float64(edges), "graph-edges")
+}
+
+// --- Section 4.3 exploration ---
+
+func BenchmarkSection43Exploration(b *testing.B) {
+	p := benchPlatform(b)
+	var rep *ExplorationReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		// 256-bit RSA exercises the full 450-candidate space in seconds;
+		// the speed ratio and error statistics scale with key size.
+		rep, err = p.Section43(256, 4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Candidates), "candidates")
+	b.ReportMetric(rep.MeanAbsErrPct, "mae-pct")
+	b.ReportMetric(rep.SpeedRatio, "est-vs-iss-x")
+}
+
+// --- Figure 1 ---
+
+func BenchmarkFigure1Gap(b *testing.B) {
+	p := benchPlatform(b)
+	var out string
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = p.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("empty gap report")
+	}
+	rows := GapRows(178)
+	b.ReportMetric(rows[len(rows)-1].Gap(), "gap-3G-x")
+}
+
+// BenchmarkProtocolComparison evaluates the platform across the protocol
+// stack (SSL vs WTLS vs IPsec-ESP) at a 32KB transfer.
+func BenchmarkProtocolComparison(b *testing.B) {
+	p := benchPlatform(b)
+	var speedups map[string]float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		speedups, err = p.ProtocolComparison(32 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for name, s := range speedups {
+		b.ReportMetric(s, name+"-x")
+	}
+}
+
+// BenchmarkTable1AESDecrypt measures the inverse cipher on both cores —
+// the slower direction of AES in naive software.
+func BenchmarkTable1AESDecrypt(b *testing.B) {
+	_ = benchPlatform(b)
+	baseCPU, err := kernels.AESDecBase().Build(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tieCPU, err := kernels.AESDecTIE().Build(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	key := make([]byte, 16)
+	blk := make([]byte, 16)
+	rng.Read(key)
+	rng.Read(blk)
+	c, err := newAESCipher(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := kernels.PrepAESKeyScheduleDec(c)
+	var baseCyc, tieCyc uint64
+	for i := 0; i < b.N; i++ {
+		for _, cpu := range []*sim.CPU{baseCPU, tieCPU} {
+			if err := cpu.WriteBytes(0x70000, blk); err != nil {
+				b.Fatal(err)
+			}
+			if err := cpu.WriteWords(0x74000, ks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, baseCyc, err = baseCPU.Call("aes_decrypt", 0x72000, 0x70000, 0x74000); err != nil {
+			b.Fatal(err)
+		}
+		if _, tieCyc, err = tieCPU.Call("aes_decrypt", 0x72000, 0x70000, 0x74000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(baseCyc)/16, "base-c/B")
+	b.ReportMetric(float64(tieCyc)/16, "opt-c/B")
+	b.ReportMetric(float64(baseCyc)/float64(tieCyc), "speedup-x")
+}
+
+// --- Ablations (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkAblationGranularity contrasts the two custom-instruction
+// granularities the platform uses: the coarse round-level DES datapath
+// against the fine-grained AES S-box/MixColumns units.
+func BenchmarkAblationGranularity(b *testing.B) {
+	p := benchPlatform(b)
+	var des, aes Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if des, err = p.MeasureDES(); err != nil {
+			b.Fatal(err)
+		}
+		if aes, err = p.MeasureAES(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(des.Speedup(), "round-level-x")
+	b.ReportMetric(aes.Speedup(), "fine-grained-x")
+}
+
+// BenchmarkAblationDominance quantifies the Cartesian-product blowup the
+// dominance/sharing reduction prevents during curve combination.
+func BenchmarkAblationDominance(b *testing.B) {
+	p := benchPlatform(b)
+	f5, err := p.Figure5(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var withRed, withoutRed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		withRed = len(adcurve.Combine(f5.AddN, f5.AddMul))
+		withoutRed = len(adcurve.CombineRaw(f5.AddN, f5.AddMul))
+	}
+	b.ReportMetric(float64(withoutRed), "raw-points")
+	b.ReportMetric(float64(withRed), "reduced-points")
+}
+
+// BenchmarkAblationRegressionBasis compares macro-model bases on
+// mpn_divrem_1 — the one kernel whose cycle count is data-dependent (the
+// conditional subtract in the bit-serial divider), so the fit error is
+// non-trivial and the basis choice matters.
+func BenchmarkAblationRegressionBasis(b *testing.B) {
+	cpu, err := kernels.MPNBase().Build(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	samples, err := macromodel.Characterize([]int{1, 2, 3, 5, 8, 12, 16, 24, 32}, 5, func(n int) (uint64, error) {
+		return kernels.RunMPNRoutineISS(cpu, rng, "mpn_divrem_1", n)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var con, lin, quad, pw *macromodel.Model
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		con, _ = macromodel.Fit("divrem", samples, macromodel.BasisConstant)
+		lin, _ = macromodel.Fit("divrem", samples, macromodel.BasisLinear)
+		quad, _ = macromodel.Fit("divrem", samples, macromodel.BasisQuadratic)
+		pw, _ = macromodel.Fit("divrem", samples, macromodel.BasisPiecewiseLinear)
+	}
+	b.ReportMetric(con.MAEPct, "constant-mae-pct")
+	b.ReportMetric(lin.MAEPct, "linear-mae-pct")
+	b.ReportMetric(quad.MAEPct, "quadratic-mae-pct")
+	b.ReportMetric(pw.MAEPct, "piecewise-mae-pct")
+}
+
+// BenchmarkAblationModMul prices RSA decryption under each of the five
+// modular-multiplication algorithms (base core, Garner CRT, window 4).
+func BenchmarkAblationModMul(b *testing.B) {
+	p := benchPlatform(b)
+	results := make(map[string]float64)
+	for i := 0; i < b.N; i++ {
+		for _, alg := range mpz.ModMulAlgs {
+			cfg := mpz.ExpConfig{Alg: alg, WindowBits: 4, Cache: mpz.CacheReducer}
+			cycles, err := p.EstimateRSADecrypt(p.BaseModels, cfg, rsakey.CRTGarner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[alg.String()] = cycles
+		}
+	}
+	for name, cycles := range results {
+		b.ReportMetric(cycles/1e6, name+"-Mcycles")
+	}
+}
+
+// BenchmarkAblationCRT compares the three CRT implementations.
+func BenchmarkAblationCRT(b *testing.B) {
+	p := benchPlatform(b)
+	results := make(map[string]float64)
+	for i := 0; i < b.N; i++ {
+		for _, crt := range rsakey.CRTModes {
+			cycles, err := p.EstimateRSADecrypt(p.BaseModels, OptimizedExpConfig, crt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[crt.String()] = cycles
+		}
+	}
+	for name, cycles := range results {
+		b.ReportMetric(cycles/1e6, name+"-Mcycles")
+	}
+}
+
+// BenchmarkAblationWindow sweeps the exponent window width.
+func BenchmarkAblationWindow(b *testing.B) {
+	p := benchPlatform(b)
+	var w1, w5 float64
+	for i := 0; i < b.N; i++ {
+		for _, w := range []int{1, 5} {
+			cfg := mpz.ExpConfig{Alg: mpz.ModMulMontgomery, WindowBits: w, Cache: mpz.CacheReducer}
+			cycles, err := p.EstimateRSADecrypt(p.BaseModels, cfg, rsakey.CRTGarner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w == 1 {
+				w1 = cycles
+			} else {
+				w5 = cycles
+			}
+		}
+	}
+	b.ReportMetric(w1/1e6, "w1-Mcycles")
+	b.ReportMetric(w5/1e6, "w5-Mcycles")
+	b.ReportMetric(w1/w5, "w1-over-w5")
+}
+
+// BenchmarkAblationVectorWidth sweeps the TIE vector-adder width on the
+// mpn_add_n kernel (the local A-D tradeoff of §3.3) and runs the global
+// selection against an area budget sweep.
+func BenchmarkAblationVectorWidth(b *testing.B) {
+	p := benchPlatform(b)
+	var f5 *Figure5Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		f5, err = p.Figure5(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sels := instrsel.Sweep(f5.Root, []float64{0, 3000, 6000, 12000, 1e9})
+	if len(sels) == 0 {
+		b.Fatal("selection sweep empty")
+	}
+	b.ReportMetric(sels[0].Speedup(), "budget0-x")
+	b.ReportMetric(sels[len(sels)-1].Speedup(), "budget-max-x")
+}
+
+// newAESCipher wraps the internal constructor for the decrypt benchmark.
+func newAESCipher(key []byte) (*aescipher.Cipher, error) { return aescipher.NewCipher(key) }
+
+// BenchmarkAblationDCache measures the memory-system sensitivity of the
+// table-driven base DES kernel: a small direct-mapped D-cache with a
+// 20-cycle miss penalty versus the default single-cycle-hit memory.  The
+// SP-box lookups and the generic permutation tables make software DES
+// cache-hungry — part of why custom-instruction ROMs win.
+func BenchmarkAblationDCache(b *testing.B) {
+	measure := func(cfg sim.Config) float64 {
+		cpu, err := kernels.DESBase().Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(14))
+		key := make([]byte, 8)
+		blk := make([]byte, 8)
+		rng.Read(key)
+		rng.Read(blk)
+		c, err := newDESCipher(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cpu.WriteBytes(0x70000, blk); err != nil {
+			b.Fatal(err)
+		}
+		if err := cpu.WriteWords(0x74000, kernels.PrepDESKeyScheduleBase(c, false)); err != nil {
+			b.Fatal(err)
+		}
+		var total uint64
+		const blocks = 3
+		for i := 0; i < blocks; i++ {
+			_, cyc, err := cpu.Call("des_block", 0x72000, 0x70000, 0x74000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += cyc
+		}
+		return float64(total) / (blocks * 8)
+	}
+	var perfect, cached float64
+	for i := 0; i < b.N; i++ {
+		perfect = measure(sim.DefaultConfig())
+		cfg := sim.DefaultConfig()
+		cfg.DCache = &sim.CacheConfig{Lines: 64, LineBytes: 16, MissPenalty: 20}
+		cached = measure(cfg)
+	}
+	b.ReportMetric(perfect, "perfect-mem-c/B")
+	b.ReportMetric(cached, "small-dcache-c/B")
+	b.ReportMetric(cached/perfect, "slowdown-x")
+}
+
+// newDESCipher wraps the internal constructor for the cache benchmark.
+func newDESCipher(key []byte) (*descipher.Cipher, error) { return descipher.NewCipher(key) }
+
+// BenchmarkEnergyDES evaluates the paper's deferred energy-efficiency
+// claim: picojoules per byte for DES on both cores, from the dynamic
+// instruction mix under the 0.18 µm energy model.
+func BenchmarkEnergyDES(b *testing.B) {
+	p := benchPlatform(b)
+	var row EnergyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = p.MeasureDESEnergy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.BasePJ, "base-pJ/B")
+	b.ReportMetric(row.OptPJ, "opt-pJ/B")
+	b.ReportMetric(row.Improvement(), "energy-improvement-x")
+}

@@ -1,0 +1,65 @@
+// Command wispexplore runs the algorithm design-space exploration of §4.3:
+// it prices all 450 modular-exponentiation candidates with ISS-derived
+// performance macro-models, optionally replays a sample on the ISS for
+// ground truth, and can print the Figure 4 call graph of the winning
+// configuration.
+//
+// Usage:
+//
+//	wispexplore [-bits 512] [-top 10] [-replay 3] [-callgraph]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisp"
+)
+
+func main() {
+	bits := flag.Int("bits", 512, "RSA modulus size for the exploration workload")
+	top := flag.Int("top", 10, "show the best N candidates")
+	replay := flag.Int("replay", 3, "candidates to replay on the ISS for ground truth")
+	sampleCap := flag.Int("samplecap", 2, "max ISS executions per trace bucket during replay")
+	callGraph := flag.Bool("callgraph", false, "print the Figure 4 call graph")
+	flag.Parse()
+
+	p, err := wisp.New(wisp.Options{RSABits: *bits})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *callGraph {
+		g, err := p.Figure4()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 4 — annotated call graph of optimized modular exponentiation:")
+		fmt.Print(g.Dump())
+		fmt.Println()
+	}
+
+	fmt.Printf("exploring 450 candidates on an RSA-%d decryption workload...\n", *bits)
+	rep, err := p.Section43(*bits, *replay, *sampleCap)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d candidates priced in %v (%.2f ms/candidate)\n",
+		rep.Candidates, rep.EstimateTime,
+		rep.EstimateTime.Seconds()*1000/float64(rep.Candidates))
+	fmt.Printf("best:  %v  (%.0f cycles)\n", rep.Best.Config, rep.Best.EstCycles)
+	fmt.Printf("worst: %v  (%.0f cycles, %.1f× slower)\n",
+		rep.Worst.Config, rep.Worst.EstCycles, rep.Worst.EstCycles/rep.Best.EstCycles)
+	if rep.ReplayCount > 0 {
+		fmt.Printf("\nISS ground truth (%d candidates replayed):\n", rep.ReplayCount)
+		fmt.Printf("  macro-model mean abs. error: %.2f%%\n", rep.MeanAbsErrPct)
+		fmt.Printf("  estimation speedup over full ISS evaluation: %.0f×\n", rep.SpeedRatio)
+	}
+	_ = top
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wispexplore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command wispgap reproduces Figure 1: the security processing gap between
+// projected wireless security workloads and embedded processor
+// performance across silicon technology nodes.
+//
+// Usage:
+//
+//	wispgap [-measured]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisp"
+	"wisp/internal/gap"
+)
+
+func main() {
+	measured := flag.Bool("measured", false, "use the platform's measured 3DES cost instead of the default model")
+	flag.Parse()
+
+	fmt.Println("Figure 1 — the security processing gap")
+	if *measured {
+		p, err := wisp.New(wisp.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		out, err := p.Figure1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	fmt.Print(gap.Render(gap.Figure1(gap.Default3DES)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wispgap:", err)
+	os.Exit(1)
+}

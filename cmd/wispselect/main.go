@@ -1,0 +1,62 @@
+// Command wispselect runs the custom-instruction formulation and global
+// selection phases: it measures the A-D curves of the multi-precision leaf
+// routines on the ISS (Figure 5), shows the Cartesian-product reduction
+// (Figure 6), and selects the best instruction combination under an area
+// budget (§3.4).
+//
+// Usage:
+//
+//	wispselect [-n 16] [-budget 12000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisp"
+	"wisp/internal/instrsel"
+)
+
+func main() {
+	n := flag.Int("n", 16, "operand size in limbs for the kernel curves")
+	budget := flag.Float64("budget", 12000, "area budget in gate equivalents")
+	flag.Parse()
+
+	p, err := wisp.New(wisp.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	f5, err := p.Figure5(*n)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Figure 5(a) — mpn_add_n A-D curve (n=%d limbs):\n%s\n", *n, f5.AddN)
+	fmt.Printf("Figure 5(b) — mpn_addmul_1 A-D curve:\n%s\n", f5.AddMul)
+	fmt.Printf("Figure 5(c) — composite root curve (%d points after Pareto, %d before):\n%s\n",
+		len(f5.Root), len(f5.RootAll), f5.Root)
+
+	raw, reduced, err := p.Figure6(*n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Figure 6 — Cartesian product reduction: %d -> %d design points\n\n", raw, reduced)
+
+	sel, err := instrsel.MinCycles(f5.Root, *budget)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("global selection under %.0f-gate budget:\n  %v\n", *budget, sel)
+
+	fmt.Println("\nbudget sweep:")
+	for _, s := range instrsel.Sweep(f5.Root, []float64{0, 2000, 4000, 8000, 16000, 1e9}) {
+		fmt.Printf("  area ≤ %8.0f: %s (%.0f cycles, %.2f×)\n",
+			s.Point.Area(), s.Point.Set.Key(), s.Point.Cycles, s.Speedup())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wispselect:", err)
+	os.Exit(1)
+}

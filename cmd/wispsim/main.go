@@ -1,0 +1,144 @@
+// Command wispsim drives the xt32 instruction-set simulator: it either
+// reproduces the paper's Table 1 on the platform kernels, or assembles and
+// runs an xt32 source file.
+//
+// Usage:
+//
+//	wispsim -table1 [-rsabits N]
+//	wispsim -run prog.s [-entry main] [-profile]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisp"
+	"wisp/internal/asm"
+	"wisp/internal/kernels"
+	"wisp/internal/sim"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "measure the paper's Table 1 on the ISS")
+	rsaBits := flag.Int("rsabits", 1024, "RSA modulus size for the RSA rows")
+	runFile := flag.String("run", "", "assemble and run an xt32 source file")
+	entry := flag.String("entry", "main", "entry label for -run")
+	profile := flag.Bool("profile", false, "print the execution profile after -run")
+	ext := flag.Bool("ext", false, "mount the security extension set for -run")
+	dump := flag.String("dump", "", "assemble a source file and print its listing")
+	flag.Parse()
+
+	if *dump != "" {
+		if err := doDump(*dump, *ext); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	switch {
+	case *table1:
+		if err := doTable1(*rsaBits); err != nil {
+			fatal(err)
+		}
+	case *runFile != "":
+		if err := doRun(*runFile, *entry, *profile, *ext); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wispsim:", err)
+	os.Exit(1)
+}
+
+func doTable1(rsaBits int) error {
+	fmt.Printf("characterizing kernels and measuring Table 1 (RSA-%d)...\n\n", rsaBits)
+	p, err := wisp.New(wisp.Options{RSABits: rsaBits})
+	if err != nil {
+		return err
+	}
+	rows, err := p.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(wisp.RenderTable1(rows))
+	return nil
+}
+
+// doDump assembles a file and prints an annotated listing: instruction
+// index, binary encoding, and disassembly, with labels interleaved.
+func doDump(path string, mountExt bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var opts asm.Options
+	if mountExt {
+		opts.CustOps = kernels.NewSecurityExtension().CustOps()
+	}
+	prog, err := asm.Assemble(string(src), opts)
+	if err != nil {
+		return err
+	}
+	// Labels by instruction index.
+	labels := make(map[uint32][]string)
+	for _, s := range prog.Symbols {
+		if s.Kind == asm.SymText {
+			labels[s.Value] = append(labels[s.Value], s.Name)
+		}
+	}
+	for i, in := range prog.Text {
+		for _, l := range labels[uint32(i)] {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("  %5d  %08x  %s\n", i, prog.Words[i], in)
+	}
+	fmt.Printf("\n%d instructions, %d data bytes, %d symbols\n",
+		len(prog.Text), len(prog.Data), len(prog.Symbols))
+	return nil
+}
+
+func doRun(path, entry string, profile, mountExt bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var opts asm.Options
+	extSet := kernels.NewSecurityExtension()
+	if mountExt {
+		opts.CustOps = extSet.CustOps()
+	}
+	prog, err := asm.Assemble(string(src), opts)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	var cpu *sim.CPU
+	if mountExt {
+		cpu, err = sim.New(prog, cfg, extSet)
+	} else {
+		cpu, err = sim.New(prog, cfg, nil)
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := prog.Entry(entry); err != nil {
+		return err
+	}
+	ret, cycles, err := cpu.Call(entry)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: returned %d (a2) in %d cycles (%.3f µs at 188 MHz)\n",
+		entry, ret, cycles, cpu.Seconds(cycles)*1e6)
+	if profile {
+		fmt.Println()
+		fmt.Print(cpu.Profile().Dump())
+	}
+	return nil
+}

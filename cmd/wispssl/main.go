@@ -1,0 +1,44 @@
+// Command wispssl reproduces Figure 8: the estimated SSL transaction
+// speedup across session sizes, with the public-key / symmetric /
+// miscellaneous workload breakup.
+//
+// Usage:
+//
+//	wispssl [-rsabits 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisp"
+)
+
+func main() {
+	rsaBits := flag.Int("rsabits", 1024, "RSA modulus size for the handshake")
+	flag.Parse()
+
+	p, err := wisp.New(wisp.Options{RSABits: *rsaBits})
+	if err != nil {
+		fatal(err)
+	}
+	rows, err := p.Figure8(nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Figure 8 — estimated speedups for SSL transactions")
+	fmt.Printf("%-10s %9s   %-32s %-32s\n", "size", "speedup", "baseline breakup", "optimized breakup")
+	for _, r := range rows {
+		bp, bs, bm := r.Base.Fractions()
+		op, osym, om := r.Opt.Fractions()
+		fmt.Printf("%-10s %8.2fX   pub %4.1f%% sym %4.1f%% misc %4.1f%%   pub %4.1f%% sym %4.1f%% misc %4.1f%%\n",
+			fmt.Sprintf("%dKB", r.Bytes/1024), r.Speedup,
+			100*bp, 100*bs, 100*bm, 100*op, 100*osym, 100*om)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wispssl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Algorithm exploration demo: prices the full 450-candidate modular-
+// exponentiation design space (5 modular-multiplication algorithms ×
+// 5 window sizes × 3 CRT implementations × 2 radixes × 3 caching options)
+// with performance macro-models, exactly as the paper's §4.3 does —
+// native execution instead of ISS runs.
+//
+//	go run ./examples/algorithm-exploration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"wisp/internal/explore"
+	"wisp/internal/kernels"
+	"wisp/internal/rsakey"
+	"wisp/internal/sim"
+)
+
+func main() {
+	// One-time: characterize the library kernels on the ISS.
+	fmt.Println("characterizing mpn kernels on the ISS...")
+	models, err := kernels.CharacterizeMPNBase(sim.DefaultConfig(),
+		[]int{1, 2, 4, 8, 16, 32}, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	key, err := rsakey.GenerateKey(rand.New(rand.NewSource(7)), 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex := explore.New(models, key, 7)
+
+	space := explore.Space()
+	fmt.Printf("evaluating %d candidates natively with macro-models...\n", len(space))
+	start := time.Now()
+	results, err := ex.EvaluateAll(space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("done in %v (%.2f ms per candidate)\n\n", elapsed,
+		elapsed.Seconds()*1000/float64(len(results)))
+
+	fmt.Println("ten best candidates (RSA-512 decrypt, estimated target-core cycles):")
+	for i := 0; i < 10 && i < len(results); i++ {
+		r := results[i]
+		fmt.Printf("  %2d. %-45v %12.0f cycles\n", i+1, r.Config, r.EstCycles)
+	}
+	worst := results[len(results)-1]
+	fmt.Printf("\nworst: %v — %.0fX slower than the best\n",
+		worst.Config, worst.EstCycles/results[0].EstCycles)
+
+	// Ground truth: replay the winner's kernel trace on the ISS.
+	best := results[0]
+	rep, err := ex.ReplayISS(best.Config, sim.DefaultConfig(), 2, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errPct := 100 * abs(best.EstCycles-rep.Cycles) / rep.Cycles
+	fmt.Printf("\nISS replay of the winner: %.0f cycles (macro-model error %.2f%%)\n", rep.Cycles, errPct)
+	fmt.Printf("full ISS evaluation would take ≈%v per candidate vs %.2f ms with macro-models\n",
+		rep.ProjectedFull.Round(time.Millisecond),
+		elapsed.Seconds()*1000/float64(len(results)))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,61 @@
+// Custom-instruction demo: formulates area–delay curves for the multi-
+// precision leaf routines by measuring base and TIE kernel variants on the
+// ISS (Figure 5), propagates them through a call graph (Equation 1),
+// and selects the best instruction combination under an area budget
+// (the paper's §3.3–3.4 flow).
+//
+//	go run ./examples/custom-instructions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wisp"
+	"wisp/internal/instrsel"
+)
+
+func main() {
+	p, err := wisp.New(wisp.Options{RSABits: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 16 // operand size in limbs (512-bit vectors)
+	f5, err := p.Figure5(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mpn_add_n A-D curve (n=%d):\n", n)
+	for _, pt := range f5.AddN {
+		fmt.Printf("  %-45s area %7.0f  cycles %5.0f\n", pt.Set.Key(), pt.Area(), pt.Cycles)
+	}
+	fmt.Printf("\nmpn_addmul_1 A-D curve (adder family shared with mpn_add_n):\n")
+	for _, pt := range f5.AddMul {
+		fmt.Printf("  %-45s area %7.0f  cycles %5.0f\n", pt.Set.Key(), pt.Area(), pt.Cycles)
+	}
+
+	raw, reduced, err := p.Figure6(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncombining the curves: %d Cartesian pairings reduce to %d design points\n", raw, reduced)
+	fmt.Printf("(the paper's Figure 6 reduces 25 to 9 through instruction sharing and dominance)\n")
+
+	fmt.Printf("\ncomposite root curve after Pareto pruning (%d of %d points survive):\n",
+		len(f5.Root), len(f5.RootAll))
+	for _, pt := range f5.Root {
+		fmt.Printf("  %-45s area %7.0f  cycles %7.0f\n", pt.Set.Key(), pt.Area(), pt.Cycles)
+	}
+
+	fmt.Println("\nglobal selection across area budgets:")
+	for _, budget := range []float64{0, 4000, 8000, 16000, 1e9} {
+		sel, err := instrsel.MinCycles(f5.Root, budget)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  budget %8.0f gates: pick %-40s %.2fX\n",
+			budget, sel.Point.Set.Key(), sel.Speedup())
+	}
+}

@@ -1,0 +1,97 @@
+// Real-time video decryption demo — the application the paper's board
+// prototype (Figure 7) demonstrated on an XT-2000 with an LCD panel.
+//
+// A stream of QCIF frames is encrypted with 3DES-CBC; the demo decrypts
+// and integrity-checks every frame functionally (using the repository's
+// own cipher), then evaluates — from ISS-measured cycle costs — whether
+// the base core and the extended core can sustain the decryption at
+// real-time rates.
+//
+//	go run ./examples/video-decrypt
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wisp"
+	"wisp/internal/blockmode"
+	"wisp/internal/descipher"
+)
+
+const (
+	frameW      = 176 // QCIF
+	frameH      = 144
+	bytesPP     = 2 // 16-bit pixels
+	frameBytes  = frameW * frameH * bytesPP
+	frames      = 24
+	targetFPS   = 15.0
+	clockMHz    = 188.0
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(4))
+	key := make([]byte, 24)
+	iv := make([]byte, 8)
+	rng.Read(key)
+	rng.Read(iv)
+	cipher, err := descipher.NewTripleCipher(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Functional path: encrypt a synthetic stream, then decrypt it frame
+	// by frame as the "handset" would.
+	fmt.Printf("decrypting %d QCIF frames (%d bytes each) of 3DES-CBC video...\n", frames, frameBytes)
+	var failures int
+	for f := 0; f < frames; f++ {
+		frame := make([]byte, frameBytes)
+		for i := range frame {
+			frame[i] = byte(f + i) // synthetic pattern
+		}
+		ct := make([]byte, frameBytes)
+		if err := blockmode.CBCEncrypt(cipher, iv, ct, frame); err != nil {
+			log.Fatal(err)
+		}
+		pt := make([]byte, frameBytes)
+		if err := blockmode.CBCDecrypt(cipher, iv, pt, ct); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(pt, frame) {
+			failures++
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d frames corrupted", failures)
+	}
+	fmt.Printf("all %d frames decrypted and verified\n\n", frames)
+
+	// Performance path: can the handset keep up in real time?
+	p, err := wisp.New(wisp.Options{RSABits: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	row, err := p.Measure3DES()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, core := range []struct {
+		name string
+		cpb  float64
+	}{
+		{"base xt32 core", row.Base},
+		{"core + des_round datapath", row.Optimized},
+	} {
+		cyclesPerFrame := core.cpb * frameBytes
+		fps := clockMHz * 1e6 / cyclesPerFrame
+		verdict := "REAL TIME"
+		if fps < targetFPS {
+			verdict = fmt.Sprintf("too slow for %.0f fps", targetFPS)
+		}
+		fmt.Printf("%-28s %8.1f c/B → %7.2f fps  [%s]\n", core.name, core.cpb, fps, verdict)
+	}
+	fmt.Printf("\n(the paper's prototype demonstrated exactly this: software 3DES cannot\n" +
+		"sustain video rates; the extended core decodes with headroom)\n")
+}

@@ -1,0 +1,24 @@
+package wisp
+
+import "wisp/internal/gap"
+
+// renderGap builds the Figure 1 table with the measured bulk-cipher cost
+// per bit plugged into the requirement model.
+func renderGap(cipherCyclesPerBit float64) string {
+	cost := gap.CyclesPerBit{
+		Cipher: cipherCyclesPerBit,
+		MAC:    gap.Default3DES.MAC,
+		Pubkey: gap.Default3DES.Pubkey,
+	}
+	return gap.Render(gap.Figure1(cost))
+}
+
+// GapRows exposes the Figure 1 rows for programmatic use.
+func GapRows(cipherCyclesPerBit float64) []gap.Row {
+	cost := gap.CyclesPerBit{
+		Cipher: cipherCyclesPerBit,
+		MAC:    gap.Default3DES.MAC,
+		Pubkey: gap.Default3DES.Pubkey,
+	}
+	return gap.Figure1(cost)
+}

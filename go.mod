@@ -1,0 +1,3 @@
+module wisp
+
+go 1.22

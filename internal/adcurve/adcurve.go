@@ -1,0 +1,240 @@
+// Package adcurve implements the area–delay (A-D) curve machinery of the
+// paper's custom-instruction formulation and selection phases (§3.3–3.4):
+//
+//   - a design point couples a cycle count with the set of custom
+//     instructions that achieves it;
+//   - instruction sets are kept reduced under dominance (add_4 subsumes
+//     add_2) and share hardware within families when computing area;
+//   - Cartesian combination of two children's curves collapses equivalent
+//     and dominated entries (the paper's Figure 6 reduces 25 combinations
+//     to 9);
+//   - Pareto pruning removes points that are worse in both area and delay
+//     (Figure 5(c)'s point P1).
+package adcurve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wisp/internal/tie"
+)
+
+// InstrSet is a dominance-reduced, canonically ordered set of custom
+// instructions.  The zero value is the empty set (base ISA only).
+type InstrSet struct {
+	ins []*tie.Instr // sorted by name, no instruction dominated by another
+}
+
+// NewInstrSet builds a reduced set from the given instructions.
+func NewInstrSet(ins ...*tie.Instr) InstrSet {
+	var s InstrSet
+	for _, in := range ins {
+		s = s.with(in)
+	}
+	return s
+}
+
+// with returns s ∪ {in}, maintaining dominance reduction.
+func (s InstrSet) with(in *tie.Instr) InstrSet {
+	out := make([]*tie.Instr, 0, len(s.ins)+1)
+	for _, have := range s.ins {
+		if have.Dominates(in) {
+			return s // already covered
+		}
+		if !in.Dominates(have) {
+			out = append(out, have)
+		}
+	}
+	out = append(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return InstrSet{ins: out}
+}
+
+// Union returns the dominance-reduced union of two sets.
+func (s InstrSet) Union(o InstrSet) InstrSet {
+	out := s
+	for _, in := range o.ins {
+		out = out.with(in)
+	}
+	return out
+}
+
+// Instrs returns the member instructions (shared slice; do not modify).
+func (s InstrSet) Instrs() []*tie.Instr { return s.ins }
+
+// Len returns the number of instructions in the set.
+func (s InstrSet) Len() int { return len(s.ins) }
+
+// Key returns a canonical identity string ("∅" for the empty set).
+func (s InstrSet) Key() string {
+	if len(s.ins) == 0 {
+		return "∅"
+	}
+	names := make([]string, len(s.ins))
+	for i, in := range s.ins {
+		names[i] = in.Name
+	}
+	return strings.Join(names, "+")
+}
+
+// Gates returns the set's hardware area: one inventory per family
+// (component-wise maximum across members, modeling shared functional
+// units), private inventories for family-less instructions, and decode
+// overhead per instruction.
+func (s InstrSet) Gates() float64 {
+	families := make(map[string]tie.Resources)
+	total := 0.0
+	for _, in := range s.ins {
+		if in.Family == "" {
+			total += in.Res.Gates()
+		} else if cur, ok := families[in.Family]; ok {
+			families[in.Family] = cur.Max(in.Res)
+		} else {
+			families[in.Family] = in.Res
+		}
+		total += tie.GatesPerInstrDecode
+	}
+	names := make([]string, 0, len(families))
+	for f := range families {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		total += families[f].Gates()
+	}
+	return total
+}
+
+// Point is one design point of an A-D curve.
+type Point struct {
+	Cycles float64
+	Set    InstrSet
+}
+
+// Area returns the point's hardware area in gate equivalents.
+func (p Point) Area() float64 { return p.Set.Gates() }
+
+// String renders the point.
+func (p Point) String() string {
+	return fmt.Sprintf("{%s: area=%.0f, cycles=%.0f}", p.Set.Key(), p.Area(), p.Cycles)
+}
+
+// Curve is a set of design points for one routine or subgraph.
+type Curve []Point
+
+// Sort orders the curve by ascending area (ties by cycles).
+func (c Curve) Sort() {
+	sort.Slice(c, func(i, j int) bool {
+		ai, aj := c[i].Area(), c[j].Area()
+		if ai != aj {
+			return ai < aj
+		}
+		return c[i].Cycles < c[j].Cycles
+	})
+}
+
+// Scale returns a copy with every point's cycles multiplied by f — a
+// child's curve weighted by its call count.
+func (c Curve) Scale(f float64) Curve {
+	out := make(Curve, len(c))
+	for i, p := range c {
+		out[i] = Point{Cycles: p.Cycles * f, Set: p.Set}
+	}
+	return out
+}
+
+// Offset returns a copy with off added to every point's cycles — a parent's
+// local cycles folded into its children's combined curve (Equation 1).
+func (c Curve) Offset(off float64) Curve {
+	out := make(Curve, len(c))
+	for i, p := range c {
+		out[i] = Point{Cycles: p.Cycles + off, Set: p.Set}
+	}
+	return out
+}
+
+// Combine forms the Cartesian product of two curves: each pair's cycles
+// add, its instruction sets union (with dominance reduction and hardware
+// sharing), and equivalent-set entries collapse keeping the best cycles.
+// This is the Figure 6 operation.
+func Combine(a, b Curve) Curve {
+	if len(a) == 0 {
+		return append(Curve(nil), b...)
+	}
+	if len(b) == 0 {
+		return append(Curve(nil), a...)
+	}
+	best := make(map[string]Point)
+	order := make([]string, 0, len(a)*len(b))
+	for _, pa := range a {
+		for _, pb := range b {
+			set := pa.Set.Union(pb.Set)
+			cycles := pa.Cycles + pb.Cycles
+			key := set.Key()
+			if cur, ok := best[key]; !ok {
+				best[key] = Point{Cycles: cycles, Set: set}
+				order = append(order, key)
+			} else if cycles < cur.Cycles {
+				best[key] = Point{Cycles: cycles, Set: set}
+			}
+		}
+	}
+	out := make(Curve, 0, len(best))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	out.Sort()
+	return out
+}
+
+// CombineRaw is Combine without the equivalence collapse — every pairing
+// becomes a distinct point.  It exists to quantify the reduction (the
+// dominance ablation).
+func CombineRaw(a, b Curve) Curve {
+	if len(a) == 0 {
+		return append(Curve(nil), b...)
+	}
+	if len(b) == 0 {
+		return append(Curve(nil), a...)
+	}
+	out := make(Curve, 0, len(a)*len(b))
+	for _, pa := range a {
+		for _, pb := range b {
+			out = append(out, Point{Cycles: pa.Cycles + pb.Cycles, Set: pa.Set.Union(pb.Set)})
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Pareto removes points that are dominated in both dimensions: a point
+// survives only if no other point has area ≤ and cycles ≤ (with at least
+// one strict).  The result is sorted by area with strictly decreasing
+// cycles.
+func Pareto(c Curve) Curve {
+	if len(c) == 0 {
+		return nil
+	}
+	sorted := append(Curve(nil), c...)
+	sorted.Sort()
+	out := Curve{}
+	bestCycles := 0.0
+	for i, p := range sorted {
+		if i == 0 || p.Cycles < bestCycles {
+			out = append(out, p)
+			bestCycles = p.Cycles
+		}
+	}
+	return out
+}
+
+// String renders the curve one point per line.
+func (c Curve) String() string {
+	var b strings.Builder
+	for _, p := range c {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package adcurve
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wisp/internal/tie"
+)
+
+// Synthetic instruction inventory mirroring the paper's Figures 5 and 6:
+// adder-vector variants add_2..add_16 sharing one adder family, and a
+// multiplier mul_1.
+func fixtures() (add map[int]*tie.Instr, mul1 *tie.Instr) {
+	add = make(map[int]*tie.Instr)
+	for _, k := range []int{2, 4, 8, 16} {
+		add[k] = &tie.Instr{
+			Name: names(k), Family: "adder", Kind: "add", Rank: k,
+			Res: tie.Resources{Adders: k},
+		}
+	}
+	mul1 = &tie.Instr{
+		Name: "mul_1", Family: "mult", Kind: "mul", Rank: 1,
+		Res: tie.Resources{Mults: 1},
+	}
+	return add, mul1
+}
+
+func names(k int) string {
+	switch k {
+	case 2:
+		return "add_2"
+	case 4:
+		return "add_4"
+	case 8:
+		return "add_8"
+	default:
+		return "add_16"
+	}
+}
+
+func TestInstrSetDominanceReduction(t *testing.T) {
+	add, mul1 := fixtures()
+	s := NewInstrSet(add[2], add[4], mul1)
+	if s.Len() != 2 {
+		t.Fatalf("set %s has %d instrs, want 2 (add_4 dominates add_2)", s.Key(), s.Len())
+	}
+	if s.Key() != "add_4+mul_1" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	// Adding a dominated instruction is a no-op.
+	if s2 := s.Union(NewInstrSet(add[2])); s2.Key() != s.Key() {
+		t.Errorf("union with dominated: %q", s2.Key())
+	}
+	// Adding a dominating instruction replaces.
+	if s3 := s.Union(NewInstrSet(add[16])); s3.Key() != "add_16+mul_1" {
+		t.Errorf("union with dominating: %q", s3.Key())
+	}
+	if NewInstrSet().Key() != "∅" {
+		t.Error("empty set key")
+	}
+}
+
+func TestInstrSetGatesSharing(t *testing.T) {
+	add, mul1 := fixtures()
+	s := NewInstrSet(add[4], mul1)
+	want := 4*tie.GatesPerAdder32 + tie.GatesPerMult32 + 2*float64(tie.GatesPerInstrDecode)
+	if got := s.Gates(); got != want {
+		t.Errorf("Gates = %v, want %v", got, want)
+	}
+	if NewInstrSet().Gates() != 0 {
+		t.Error("empty set has nonzero area")
+	}
+}
+
+// TestFigure6Reduction reproduces the paper's 25 → 9 design-point collapse:
+// the Cartesian product of mpn_add_n's 5-point curve and mpn_addmul_1's
+// 5-point curve reduces to 9 distinct instruction sets.
+func TestFigure6Reduction(t *testing.T) {
+	add, mul1 := fixtures()
+	addN := Curve{
+		{Cycles: 202, Set: NewInstrSet()},
+		{Cycles: 120, Set: NewInstrSet(add[2])},
+		{Cycles: 80, Set: NewInstrSet(add[4])},
+		{Cycles: 60, Set: NewInstrSet(add[8])},
+		{Cycles: 52, Set: NewInstrSet(add[16])},
+	}
+	addMul := Curve{
+		{Cycles: 700, Set: NewInstrSet()},
+		{Cycles: 420, Set: NewInstrSet(add[2], mul1)},
+		{Cycles: 300, Set: NewInstrSet(add[4], mul1)},
+		{Cycles: 250, Set: NewInstrSet(add[8], mul1)},
+		{Cycles: 230, Set: NewInstrSet(add[16], mul1)},
+	}
+	combined := Combine(addN, addMul)
+	if len(combined) != 9 {
+		t.Fatalf("combined curve has %d points, want 9:\n%s", len(combined), combined)
+	}
+	raw := CombineRaw(addN, addMul)
+	if len(raw) != 25 {
+		t.Fatalf("raw product has %d points, want 25", len(raw))
+	}
+	// The shaded example of Figure 6: {add_2} × {add_4, mul_1} must land
+	// in the same bucket as {add_4} × {add_4, mul_1}.
+	keys := make(map[string]bool)
+	for _, p := range combined {
+		keys[p.Set.Key()] = true
+	}
+	for _, want := range []string{"∅", "add_2", "add_4", "add_8", "add_16",
+		"add_2+mul_1", "add_4+mul_1", "add_8+mul_1", "add_16+mul_1"} {
+		if !keys[want] {
+			t.Errorf("missing combined set %q", want)
+		}
+	}
+}
+
+func TestCombineKeepsBestCycles(t *testing.T) {
+	add, _ := fixtures()
+	a := Curve{
+		{Cycles: 100, Set: NewInstrSet()},
+		{Cycles: 50, Set: NewInstrSet(add[4])},
+	}
+	b := Curve{
+		{Cycles: 30, Set: NewInstrSet(add[2])},
+		{Cycles: 25, Set: NewInstrSet(add[4])},
+	}
+	// {add_4} arises as 50+25 (both add_4), 50+30 (add_4∪add_2) and
+	// 100+25; minimum is 75.
+	combined := Combine(a, b)
+	for _, p := range combined {
+		if p.Set.Key() == "add_4" && p.Cycles != 75 {
+			t.Errorf("add_4 bucket kept %.0f cycles, want 75", p.Cycles)
+		}
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	add, _ := fixtures()
+	c := Curve{{Cycles: 10, Set: NewInstrSet(add[2])}}
+	if got := Combine(nil, c); len(got) != 1 || got[0].Cycles != 10 {
+		t.Error("Combine(nil, c) wrong")
+	}
+	if got := Combine(c, nil); len(got) != 1 {
+		t.Error("Combine(c, nil) wrong")
+	}
+}
+
+func TestParetoPrunesP1(t *testing.T) {
+	// Figure 5(c): P1 has more area AND more cycles than P2/P3 → pruned.
+	add, mul1 := fixtures()
+	p1 := Point{Cycles: 500, Set: NewInstrSet(add[16])}       // big, slow (the pruned point)
+	p2 := Point{Cycles: 400, Set: NewInstrSet(add[2], mul1)}  // smaller, faster
+	p3 := Point{Cycles: 300, Set: NewInstrSet(add[4], mul1)}
+	if !(p1.Area() > p2.Area()) {
+		t.Skip("fixture areas do not reproduce the P1 geometry")
+	}
+	pruned := Pareto(Curve{p1, p2, p3})
+	for _, p := range pruned {
+		if p.Set.Key() == p1.Set.Key() {
+			t.Error("P1 survived Pareto pruning")
+		}
+	}
+}
+
+func TestParetoInvariants(t *testing.T) {
+	add, mul1 := fixtures()
+	pool := []InstrSet{
+		NewInstrSet(), NewInstrSet(add[2]), NewInstrSet(add[4]),
+		NewInstrSet(add[8]), NewInstrSet(add[16]), NewInstrSet(mul1),
+		NewInstrSet(add[4], mul1), NewInstrSet(add[16], mul1),
+	}
+	i := 0
+	f := func(cycles uint16, pick uint8) bool {
+		i++
+		c := Curve{}
+		for j := 0; j < 6; j++ {
+			c = append(c, Point{
+				Cycles: float64(cycles%500) + float64(j*i%300) + 1,
+				Set:    pool[(int(pick)+j*i)%len(pool)],
+			})
+		}
+		p := Pareto(c)
+		if len(p) == 0 || len(p) > len(c) {
+			return false
+		}
+		// Sorted by area, strictly decreasing cycles.
+		for k := 1; k < len(p); k++ {
+			if p[k].Area() < p[k-1].Area() || p[k].Cycles >= p[k-1].Cycles {
+				return false
+			}
+		}
+		// No survivor dominated by any original point.
+		for _, s := range p {
+			for _, o := range c {
+				if o.Area() < s.Area() && o.Cycles < s.Cycles {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleOffset(t *testing.T) {
+	add, _ := fixtures()
+	c := Curve{{Cycles: 10, Set: NewInstrSet(add[2])}, {Cycles: 20, Set: NewInstrSet()}}
+	s := c.Scale(3)
+	if s[0].Cycles != 30 || s[1].Cycles != 60 {
+		t.Error("Scale wrong")
+	}
+	o := c.Offset(5)
+	if o[0].Cycles != 15 || o[1].Cycles != 25 {
+		t.Error("Offset wrong")
+	}
+	if c[0].Cycles != 10 {
+		t.Error("Scale/Offset mutated input")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	add, _ := fixtures()
+	c := Curve{{Cycles: 10, Set: NewInstrSet(add[2])}}
+	if !strings.Contains(c.String(), "add_2") {
+		t.Error("Curve.String missing instruction name")
+	}
+	if Pareto(nil) != nil {
+		t.Error("Pareto(nil) != nil")
+	}
+}

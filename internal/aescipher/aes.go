@@ -1,0 +1,252 @@
+// Package aescipher implements the Advanced Encryption Standard (FIPS 197)
+// from scratch for 128-, 192- and 256-bit keys.
+//
+// The S-box is derived at initialization from GF(2⁸) inversion and the
+// affine transform rather than transcribed, and the round functions follow
+// the specification's state-matrix formulation.  Like the DES sibling
+// package, the byte-oriented structure mirrors a straightforward embedded
+// software implementation; its xt32 assembly twin (internal/kernels) is the
+// object of the paper's AES custom-instruction study (17.4× in Table 1).
+package aescipher
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+)
+
+// gfMul multiplies in GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv computes the multiplicative inverse in GF(2⁸) (0 maps to 0) by
+// exponentiation to 254.
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 = a^(2+4+8+16+32+64+128)
+	result := byte(1)
+	sq := a
+	for _, bit := range []bool{false, true, true, true, true, true, true, true} {
+		if bit {
+			result = gfMul(result, sq)
+		}
+		sq = gfMul(sq, sq)
+	}
+	return result
+}
+
+func init() {
+	for i := 0; i < 256; i++ {
+		inv := gfInv(byte(i))
+		// Affine transform: b ^ rot(b,4) ^ rot(b,5) ^ rot(b,6) ^ rot(b,7) ^ 0x63.
+		b := inv
+		s := b
+		for r := 1; r <= 4; r++ {
+			b = b<<1 | b>>7
+			s ^= b
+		}
+		s ^= 0x63
+		sbox[i] = s
+	}
+	for i := 0; i < 256; i++ {
+		invSbox[sbox[i]] = byte(i)
+	}
+}
+
+// Cipher is an AES block cipher with an expanded key schedule.
+type Cipher struct {
+	rounds int        // 10, 12 or 14
+	enc    [][4]uint32 // round keys as columns, rounds+1 entries
+}
+
+// NewCipher expands a 16-, 24- or 32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, fmt.Errorf("aescipher: key must be 16, 24 or 32 bytes, got %d", len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	c.expandKey(key)
+	return c, nil
+}
+
+// BlockSize returns the cipher block size (16).
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xFF])<<16 |
+		uint32(sbox[w>>8&0xFF])<<8 | uint32(sbox[w&0xFF])
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func (c *Cipher) expandKey(key []byte) {
+	nk := len(key) / 4
+	total := 4 * (c.rounds + 1)
+	w := make([]uint32, total)
+	for i := 0; i < nk; i++ {
+		w[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1) << 24
+	for i := nk; i < total; i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ rcon
+			rcon = uint32(gfMul(byte(rcon>>24), 2)) << 24
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	c.enc = make([][4]uint32, c.rounds+1)
+	for r := 0; r <= c.rounds; r++ {
+		copy(c.enc[r][:], w[4*r:4*r+4])
+	}
+}
+
+// state is the AES state matrix; state[r][c] is row r, column c.
+type state [4][4]byte
+
+func loadState(src []byte) state {
+	var s state
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			s[row][col] = src[4*col+row]
+		}
+	}
+	return s
+}
+
+func (s *state) store(dst []byte) {
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			dst[4*col+row] = s[row][col]
+		}
+	}
+}
+
+func (s *state) addRoundKey(rk [4]uint32) {
+	for col := 0; col < 4; col++ {
+		w := rk[col]
+		s[0][col] ^= byte(w >> 24)
+		s[1][col] ^= byte(w >> 16)
+		s[2][col] ^= byte(w >> 8)
+		s[3][col] ^= byte(w)
+	}
+}
+
+func (s *state) subBytes(box *[256]byte) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = box[s[r][c]]
+		}
+	}
+}
+
+func (s *state) shiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[r][(c+r)%4]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) invShiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[r][c]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3
+		s[1][c] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3
+		s[2][c] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3)
+		s[3][c] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gfMul(a0, 14) ^ gfMul(a1, 11) ^ gfMul(a2, 13) ^ gfMul(a3, 9)
+		s[1][c] = gfMul(a0, 9) ^ gfMul(a1, 14) ^ gfMul(a2, 11) ^ gfMul(a3, 13)
+		s[2][c] = gfMul(a0, 13) ^ gfMul(a1, 9) ^ gfMul(a2, 14) ^ gfMul(a3, 11)
+		s[3][c] = gfMul(a0, 11) ^ gfMul(a1, 13) ^ gfMul(a2, 9) ^ gfMul(a3, 14)
+	}
+}
+
+// Encrypt encrypts one 16-byte block.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	checkBlock(dst, src)
+	s := loadState(src)
+	s.addRoundKey(c.enc[0])
+	for r := 1; r < c.rounds; r++ {
+		s.subBytes(&sbox)
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(c.enc[r])
+	}
+	s.subBytes(&sbox)
+	s.shiftRows()
+	s.addRoundKey(c.enc[c.rounds])
+	s.store(dst)
+}
+
+// Decrypt decrypts one 16-byte block (straightforward inverse cipher).
+func (c *Cipher) Decrypt(dst, src []byte) {
+	checkBlock(dst, src)
+	s := loadState(src)
+	s.addRoundKey(c.enc[c.rounds])
+	s.invShiftRows()
+	s.subBytes(&invSbox)
+	for r := c.rounds - 1; r >= 1; r-- {
+		s.addRoundKey(c.enc[r])
+		s.invMixColumns()
+		s.invShiftRows()
+		s.subBytes(&invSbox)
+	}
+	s.addRoundKey(c.enc[0])
+	s.store(dst)
+}
+
+func checkBlock(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aescipher: input not a full block")
+	}
+}

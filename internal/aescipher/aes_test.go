@@ -1,0 +1,167 @@
+package aescipher
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func TestSboxSelfConsistency(t *testing.T) {
+	// Spot-check canonical S-box entries.
+	cases := map[byte]byte{0x00: 0x63, 0x01: 0x7C, 0x53: 0xED, 0xFF: 0x16, 0x9A: 0xB8}
+	for in, want := range cases {
+		if got := sbox[in]; got != want {
+			t.Errorf("sbox[%#02x] = %#02x, want %#02x", in, got, want)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox not inverse at %d", i)
+		}
+	}
+}
+
+func TestGFMul(t *testing.T) {
+	// Known products from FIPS-197 §4.2.
+	if got := gfMul(0x57, 0x83); got != 0xC1 {
+		t.Errorf("57·83 = %#02x, want 0xC1", got)
+	}
+	if got := gfMul(0x57, 0x13); got != 0xFE {
+		t.Errorf("57·13 = %#02x, want 0xFE", got)
+	}
+	// Inverse property.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("gfInv broken at %d", a)
+		}
+	}
+}
+
+// TestFIPS197Vectors checks the appendix C known-answer vectors.
+func TestFIPS197Vectors(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		{ // AES-128, appendix C.1
+			"000102030405060708090a0b0c0d0e0f",
+			"00112233445566778899aabbccddeeff",
+			"69c4e0d86a7b0430d8cdb78070b4c55a",
+		},
+		{ // AES-192, appendix C.2
+			"000102030405060708090a0b0c0d0e0f1011121314151617",
+			"00112233445566778899aabbccddeeff",
+			"dda97ca4864cdfe06eaf70a0ec0d7191",
+		},
+		{ // AES-256, appendix C.3
+			"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			"00112233445566778899aabbccddeeff",
+			"8ea2b7ca516745bfeafc49904b496089",
+		},
+		{ // AES-128, FIPS-197 appendix B
+			"2b7e151628aed2a6abf7158809cf4f3c",
+			"3243f6a8885a308d313198a2e0370734",
+			"3925841d02dc09fbdc118597196a0b32",
+		},
+	}
+	for _, cse := range cases {
+		c, err := NewCipher(unhex(t, cse.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		c.Encrypt(got, unhex(t, cse.pt))
+		if want := unhex(t, cse.ct); !bytes.Equal(got, want) {
+			t.Errorf("key=%s: got %x, want %x", cse.key, got, want)
+		}
+		back := make([]byte, 16)
+		c.Decrypt(back, got)
+		if want := unhex(t, cse.pt); !bytes.Equal(back, want) {
+			t.Errorf("key=%s: decrypt = %x, want %x", cse.key, back, want)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	for _, keyLen := range []int{16, 24, 32} {
+		for trial := 0; trial < 50; trial++ {
+			key := make([]byte, keyLen)
+			blk := make([]byte, 16)
+			r.Read(key)
+			r.Read(blk)
+			ours, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := stdaes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 16)
+			want := make([]byte, 16)
+			ours.Encrypt(got, blk)
+			ref.Encrypt(want, blk)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("keyLen=%d encrypt mismatch: key=%x blk=%x", keyLen, key, blk)
+			}
+			gotPt := make([]byte, 16)
+			ours.Decrypt(gotPt, want)
+			if !bytes.Equal(gotPt, blk) {
+				t.Fatalf("keyLen=%d decrypt mismatch", keyLen)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	f := func() bool {
+		key := make([]byte, 16)
+		blk := make([]byte, 16)
+		r.Read(key)
+		r.Read(blk)
+		c, err := NewCipher(key)
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, 16)
+		pt := make([]byte, 16)
+		c.Encrypt(ct, blk)
+		c.Decrypt(pt, ct)
+		return bytes.Equal(pt, blk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyLengthErrors(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 31, 33} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("%d-byte key accepted", n)
+		}
+	}
+}
+
+func TestBlockSizeAndPanics(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	if c.BlockSize() != 16 {
+		t.Error("BlockSize != 16")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short block did not panic")
+		}
+	}()
+	c.Encrypt(make([]byte, 16), make([]byte, 8))
+}

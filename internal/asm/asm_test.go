@@ -1,0 +1,281 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"wisp/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string, opts Options) *Program {
+	t.Helper()
+	p, err := Assemble(src, opts)
+	if err != nil {
+		t.Fatalf("Assemble failed: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasicALU(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+	start:
+		add a2, a3, a4
+		sub a5, a6, a7
+		addi a2, a2, -4
+		movi a8, 1000
+		halt
+	`, Options{})
+	want := []isa.Instruction{
+		{Op: isa.OpADD, Rd: isa.A2, Rs: isa.A3, Rt: isa.A4},
+		{Op: isa.OpSUB, Rd: isa.A5, Rs: isa.A6, Rt: isa.A7},
+		{Op: isa.OpADDI, Rd: isa.A2, Rs: isa.A2, Imm: -4},
+		{Op: isa.OpMOVI, Rd: isa.A8, Imm: 1000},
+		{Op: isa.OpHALT},
+	}
+	if len(p.Text) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(p.Text), len(want))
+	}
+	for i := range want {
+		if p.Text[i] != want[i] {
+			t.Errorf("instr %d = %v, want %v", i, p.Text[i], want[i])
+		}
+	}
+	if len(p.Words) != len(p.Text) {
+		t.Errorf("encoded words length %d != text length %d", len(p.Words), len(p.Text))
+	}
+}
+
+func TestAssembleBranchResolution(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+	loop:
+		addi a2, a2, -1
+		bnez a2, loop
+		beq a3, a4, done
+		nop
+	done:
+		halt
+	`, Options{})
+	// bnez at index 1 targets index 0: displacement = 0 - 1 - 1 = -2.
+	if got := p.Text[1].Imm; got != -2 {
+		t.Errorf("backward branch displacement = %d, want -2", got)
+	}
+	// beq at index 2 targets index 4: displacement = 4 - 2 - 1 = 1.
+	if got := p.Text[2].Imm; got != 1 {
+		t.Errorf("forward branch displacement = %d, want 1", got)
+	}
+}
+
+func TestAssembleCallAndRet(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+	main:
+		call f
+		halt
+	f:
+		ret
+	`, Options{})
+	if p.Text[0].Op != isa.OpJAL || p.Text[0].Imm != 1 {
+		t.Errorf("call = %v, want jal +1", p.Text[0])
+	}
+	if p.Text[2].Op != isa.OpJR || p.Text[2].Rs != isa.RA {
+		t.Errorf("ret = %v, want jr a0", p.Text[2])
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	cases := []struct {
+		src      string
+		wantOps  []isa.Op
+		finalVal uint32
+	}{
+		{"li a2, 42", []isa.Op{isa.OpMOVI}, 42},
+		{"li a2, -1", []isa.Op{isa.OpMOVI}, 0xFFFFFFFF},
+		{"li a2, 0x12345678", []isa.Op{isa.OpLUI, isa.OpORI}, 0x12345678},
+		{"li a2, 0xFFFF0000", []isa.Op{isa.OpMOVI}, 0xFFFF0000}, // -65536 fits simm18
+		{"li a2, 0xABCD0000", []isa.Op{isa.OpLUI}, 0xABCD0000},
+	}
+	for _, c := range cases {
+		p := mustAssemble(t, ".text\n"+c.src+"\nhalt\n", Options{})
+		if len(p.Text) != len(c.wantOps)+1 {
+			t.Errorf("%s: %d instructions, want %d", c.src, len(p.Text), len(c.wantOps)+1)
+			continue
+		}
+		for i, op := range c.wantOps {
+			if p.Text[i].Op != op {
+				t.Errorf("%s: instr %d op = %v, want %v", c.src, i, p.Text[i].Op, op)
+			}
+		}
+	}
+}
+
+func TestDataSectionAndLa(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	tbl:
+		.word 1, 2, 0xDEADBEEF
+	buf:
+		.byte 1, 2, 3
+		.align 4
+	after:
+		.space 8
+		.text
+	main:
+		la a2, tbl
+		la a3, buf+2
+		halt
+	`, Options{})
+	tbl, err := p.DataAddr("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl != DataBase {
+		t.Errorf("tbl addr = %#x, want %#x", tbl, DataBase)
+	}
+	if got := binary.LittleEndian.Uint32(p.Data[8:12]); got != 0xDEADBEEF {
+		t.Errorf("word[2] = %#x, want 0xDEADBEEF", got)
+	}
+	buf, _ := p.DataAddr("buf")
+	if buf != DataBase+12 {
+		t.Errorf("buf addr = %#x, want %#x", buf, DataBase+12)
+	}
+	after, _ := p.DataAddr("after")
+	if after != DataBase+16 {
+		t.Errorf("after .align 4 addr = %#x, want %#x", after, DataBase+16)
+	}
+	// la a2, tbl expands to LUI+ORI with the absolute address.
+	if p.Text[0].Op != isa.OpLUI || p.Text[0].Imm != int32(tbl>>16) {
+		t.Errorf("la hi = %v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.OpORI || p.Text[1].Imm != int32(tbl&0xFFFF) {
+		t.Errorf("la lo = %v", p.Text[1])
+	}
+	// la a3, buf+2 resolves to buf address + 2.
+	wantLo := int32((buf + 2) & 0xFFFF)
+	if p.Text[3].Imm != wantLo {
+		t.Errorf("la buf+2 lo = %d, want %d", p.Text[3].Imm, wantLo)
+	}
+}
+
+func TestWordSymbolReference(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	a:	.word 7
+	ptr:	.word a
+		.text
+		halt
+	`, Options{})
+	aAddr, _ := p.DataAddr("a")
+	got := binary.LittleEndian.Uint32(p.Data[4:8])
+	if got != aAddr {
+		t.Errorf(".word a = %#x, want %#x", got, aAddr)
+	}
+}
+
+func TestFuncBounds(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+		.func
+	f:
+		nop
+		nop
+		ret
+		.func
+	g:
+		halt
+	`, Options{})
+	b := p.FuncBounds()
+	if got := b["f"]; got != [2]uint32{0, 3} {
+		t.Errorf("bounds[f] = %v, want [0 3]", got)
+	}
+	if got := b["g"]; got != [2]uint32{3, 4} {
+		t.Errorf("bounds[g] = %v, want [3 4]", got)
+	}
+	if len(p.Funcs) != 2 || p.Funcs[0] != "f" || p.Funcs[1] != "g" {
+		t.Errorf("Funcs = %v, want [f g]", p.Funcs)
+	}
+}
+
+func TestCustomInstruction(t *testing.T) {
+	opts := Options{CustOps: map[string]CustOp{
+		"des_round": {ID: 17, NumRegs: 2, HasSub: true},
+		"add4":      {ID: 3, NumRegs: 3},
+	}}
+	p := mustAssemble(t, `
+		.text
+		des_round a2, a3, 5
+		add4 a4, a5, a6
+		halt
+	`, opts)
+	in := p.Text[0]
+	if in.Op != isa.OpCUST || in.CustID() != 17 || in.CustSub() != 5 ||
+		in.Rd != isa.A2 || in.Rs != isa.A3 {
+		t.Errorf("des_round assembled to %v", in)
+	}
+	in = p.Text[1]
+	if in.CustID() != 3 || in.Rd != isa.A4 || in.Rs != isa.A5 || in.Rt != isa.A6 {
+		t.Errorf("add4 assembled to %v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		frag      string
+	}{
+		{"unknown mnemonic", ".text\nfoo a2, a3\n", "unknown mnemonic"},
+		{"undefined symbol", ".text\nj nowhere\n", "undefined symbol"},
+		{"duplicate label", ".text\nx:\nnop\nx:\nnop\n", "duplicate label"},
+		{"instr in data", ".data\nadd a2, a3, a4\n", "outside .text"},
+		{"word in text", ".text\n.word 4\n", "outside .data"},
+		{"bad register", ".text\nadd a99, a3, a4\n", "bad register"},
+		{"bad sub", ".text\nmyop a2, 77\n", "sub-field"},
+		{"operand count", ".text\nadd a2, a3\n", "needs"},
+		{"bad align", ".data\n.align 3\n", "bad .align"},
+		{"byte range", ".data\n.byte 256\n", "out of range"},
+	}
+	opts := Options{CustOps: map[string]CustOp{"myop": {ID: 1, NumRegs: 1, HasSub: true}}}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src, opts)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", c.frag)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+	; full line comment
+	# another
+	// and another
+		.text
+	main:	nop	; trailing comment
+		halt	# trailing
+	`, Options{})
+	if len(p.Text) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(p.Text))
+	}
+}
+
+func TestEntryLookup(t *testing.T) {
+	p := mustAssemble(t, ".text\nmain:\nnop\nhalt\n.data\nd:\n.word 0\n", Options{})
+	if e, err := p.Entry("main"); err != nil || e != 0 {
+		t.Errorf("Entry(main) = %d, %v", e, err)
+	}
+	if _, err := p.Entry("d"); err == nil {
+		t.Error("Entry(d) succeeded for data symbol, want error")
+	}
+	if _, err := p.Entry("missing"); err == nil {
+		t.Error("Entry(missing) succeeded, want error")
+	}
+	if _, err := p.DataAddr("main"); err == nil {
+		t.Error("DataAddr(main) succeeded for text symbol, want error")
+	}
+}

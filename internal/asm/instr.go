@@ -1,0 +1,367 @@
+package asm
+
+import (
+	"strings"
+
+	"wisp/internal/isa"
+)
+
+// threeRegs parses the "rd, rs, rt" operand form.
+func (a *assembler) threeRegs(mnem string, ops []string) (rd, rs, rt isa.Reg, err error) {
+	if len(ops) != 3 {
+		return 0, 0, 0, a.errorf("%s needs rd, rs, rt", mnem)
+	}
+	var ok [3]bool
+	rd, ok[0] = parseReg(ops[0])
+	rs, ok[1] = parseReg(ops[1])
+	rt, ok[2] = parseReg(ops[2])
+	for i, o := range ok {
+		if !o {
+			return 0, 0, 0, a.errorf("%s: bad register %q", mnem, ops[i])
+		}
+	}
+	return rd, rs, rt, nil
+}
+
+// instruction parses and emits one instruction statement (mnemonic already
+// known to be in .text).  Pseudo-instructions may expand to several
+// architectural instructions.
+func (a *assembler) instruction(s string) error {
+	mnem := s
+	rest := ""
+	if idx := strings.IndexAny(s, " \t"); idx >= 0 {
+		mnem, rest = s[:idx], strings.TrimSpace(s[idx+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	ops := splitOperands(rest)
+
+	if c, ok := a.opts.CustOps[mnem]; ok {
+		return a.custInstruction(mnem, c, ops)
+	}
+
+	switch mnem {
+	// --- Three-register ALU ---
+	case "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "mull", "mulh":
+		op := map[string]isa.Op{
+			"add": isa.OpADD, "sub": isa.OpSUB, "and": isa.OpAND, "or": isa.OpOR,
+			"xor": isa.OpXOR, "sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+			"mull": isa.OpMULL, "mulh": isa.OpMULH,
+		}[mnem]
+		rd, rs, rt, err := a.threeRegs(mnem, ops)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		return nil
+
+	// --- Register-immediate ALU ---
+	case "addi", "andi", "ori", "xori", "slli", "srli", "srai":
+		op := map[string]isa.Op{
+			"addi": isa.OpADDI, "andi": isa.OpANDI, "ori": isa.OpORI,
+			"xori": isa.OpXORI, "slli": isa.OpSLLI, "srli": isa.OpSRLI, "srai": isa.OpSRAI,
+		}[mnem]
+		if len(ops) != 3 {
+			return a.errorf("%s needs rd, rs, imm", mnem)
+		}
+		rd, ok1 := parseReg(ops[0])
+		rs, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return a.errorf("%s: bad register operand", mnem)
+		}
+		imm, sym, _, err := a.parseExpr(ops[2])
+		if err != nil {
+			return err
+		}
+		if sym != "" {
+			return a.errorf("%s cannot take symbolic immediate", mnem)
+		}
+		a.emit(isa.Instruction{Op: op, Rd: rd, Rs: rs, Imm: int32(imm)})
+		return nil
+
+	case "extui":
+		if len(ops) != 4 {
+			return a.errorf("extui needs rd, rs, shift, width")
+		}
+		rd, ok1 := parseReg(ops[0])
+		rs, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return a.errorf("extui: bad register operand")
+		}
+		sh, _, _, err := a.parseExpr(ops[2])
+		if err != nil {
+			return err
+		}
+		w, _, _, err := a.parseExpr(ops[3])
+		if err != nil {
+			return err
+		}
+		if sh < 0 || sh > 31 || w < 1 || w > 32 {
+			return a.errorf("extui: shift %d / width %d out of range", sh, w)
+		}
+		a.emit(isa.Instruction{Op: isa.OpEXTUI, Rd: rd, Rs: rs, Imm: isa.ExtuiImm(int(sh), int(w))})
+		return nil
+
+	case "movi":
+		if len(ops) != 2 {
+			return a.errorf("movi needs rd, imm")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errorf("movi: bad register %q", ops[0])
+		}
+		imm, sym, _, err := a.parseExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		if sym != "" {
+			return a.errorf("movi cannot take a symbol; use la")
+		}
+		a.emit(isa.Instruction{Op: isa.OpMOVI, Rd: rd, Imm: int32(imm)})
+		return nil
+
+	case "lui":
+		if len(ops) != 2 {
+			return a.errorf("lui needs rd, imm16")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errorf("lui: bad register %q", ops[0])
+		}
+		imm, sym, _, err := a.parseExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		if sym != "" {
+			return a.errorf("lui cannot take a symbol; use la")
+		}
+		a.emit(isa.Instruction{Op: isa.OpLUI, Rd: rd, Imm: int32(imm)})
+		return nil
+
+	// --- Memory ---
+	case "l32i", "l16ui", "l8ui", "s32i", "s16i", "s8i":
+		op := map[string]isa.Op{
+			"l32i": isa.OpL32I, "l16ui": isa.OpL16UI, "l8ui": isa.OpL8UI,
+			"s32i": isa.OpS32I, "s16i": isa.OpS16I, "s8i": isa.OpS8I,
+		}[mnem]
+		if len(ops) != 3 {
+			return a.errorf("%s needs rd, rs, offset", mnem)
+		}
+		rd, ok1 := parseReg(ops[0])
+		rs, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return a.errorf("%s: bad register operand", mnem)
+		}
+		off, sym, _, err := a.parseExpr(ops[2])
+		if err != nil {
+			return err
+		}
+		if sym != "" {
+			return a.errorf("%s cannot take symbolic offset", mnem)
+		}
+		a.emit(isa.Instruction{Op: op, Rd: rd, Rs: rs, Imm: int32(off)})
+		return nil
+
+	// --- Branches ---
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		op := map[string]isa.Op{
+			"beq": isa.OpBEQ, "bne": isa.OpBNE, "blt": isa.OpBLT,
+			"bge": isa.OpBGE, "bltu": isa.OpBLTU, "bgeu": isa.OpBGEU,
+		}[mnem]
+		if len(ops) != 3 {
+			return a.errorf("%s needs r1, r2, target", mnem)
+		}
+		rd, ok1 := parseReg(ops[0])
+		rs, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return a.errorf("%s: bad register operand", mnem)
+		}
+		a.emit(isa.Instruction{Op: op, Rd: rd, Rs: rs})
+		return a.branchTarget(ops[2])
+
+	case "beqz", "bnez":
+		op := isa.OpBEQZ
+		if mnem == "bnez" {
+			op = isa.OpBNEZ
+		}
+		if len(ops) != 2 {
+			return a.errorf("%s needs reg, target", mnem)
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errorf("%s: bad register %q", mnem, ops[0])
+		}
+		a.emit(isa.Instruction{Op: op, Rd: rd})
+		return a.branchTarget(ops[1])
+
+	// --- Jumps ---
+	case "j", "b":
+		if len(ops) != 1 {
+			return a.errorf("j needs a target")
+		}
+		a.emit(isa.Instruction{Op: isa.OpJ})
+		return a.branchTarget(ops[0])
+
+	case "jal", "call":
+		if len(ops) != 1 {
+			return a.errorf("%s needs a target", mnem)
+		}
+		a.emit(isa.Instruction{Op: isa.OpJAL})
+		return a.branchTarget(ops[0])
+
+	case "jalr":
+		if len(ops) != 1 {
+			return a.errorf("jalr needs a register")
+		}
+		rs, ok := parseReg(ops[0])
+		if !ok {
+			return a.errorf("jalr: bad register %q", ops[0])
+		}
+		a.emit(isa.Instruction{Op: isa.OpJALR, Rs: rs})
+		return nil
+
+	case "jr":
+		if len(ops) != 1 {
+			return a.errorf("jr needs a register")
+		}
+		rs, ok := parseReg(ops[0])
+		if !ok {
+			return a.errorf("jr: bad register %q", ops[0])
+		}
+		a.emit(isa.Instruction{Op: isa.OpJR, Rs: rs})
+		return nil
+
+	case "ret":
+		a.emit(isa.Instruction{Op: isa.OpJR, Rs: isa.RA})
+		return nil
+
+	case "nop":
+		a.emit(isa.Instruction{Op: isa.OpNOP})
+		return nil
+
+	case "halt":
+		a.emit(isa.Instruction{Op: isa.OpHALT})
+		return nil
+
+	// --- Pseudo-instructions ---
+	case "mov":
+		if len(ops) != 2 {
+			return a.errorf("mov needs rd, rs")
+		}
+		rd, ok1 := parseReg(ops[0])
+		rs, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return a.errorf("mov: bad register operand")
+		}
+		a.emit(isa.Instruction{Op: isa.OpORI, Rd: rd, Rs: rs, Imm: 0})
+		return nil
+
+	case "li":
+		if len(ops) != 2 {
+			return a.errorf("li needs rd, imm32")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errorf("li: bad register %q", ops[0])
+		}
+		v, sym, _, err := a.parseExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		if sym != "" {
+			return a.errorf("li cannot take a symbol; use la")
+		}
+		a.emitConst(rd, uint32(v))
+		return nil
+
+	case "la":
+		if len(ops) != 2 {
+			return a.errorf("la needs rd, symbol")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errorf("la: bad register %q", ops[0])
+		}
+		v, sym, off, err := a.parseExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		if sym == "" {
+			a.emitConst(rd, uint32(v))
+			return nil
+		}
+		// Symbol addresses may exceed 18 bits, so always expand to
+		// LUI+ORI with hi/lo fixups.
+		a.fixups = append(a.fixups, fixup{index: len(a.text), sym: sym, offset: off, line: a.line, hi: true})
+		a.emit(isa.Instruction{Op: isa.OpLUI, Rd: rd})
+		a.fixups = append(a.fixups, fixup{index: len(a.text), sym: sym, offset: off, line: a.line, lo: true})
+		a.emit(isa.Instruction{Op: isa.OpORI, Rd: rd, Rs: rd})
+		return nil
+	}
+
+	return a.errorf("unknown mnemonic %q", mnem)
+}
+
+// emitConst materializes a 32-bit constant into rd using the shortest
+// sequence (MOVI, or LUI / LUI+ORI).
+func (a *assembler) emitConst(rd isa.Reg, v uint32) {
+	if sv := int32(v); sv >= isa.MinSImm18 && sv <= isa.MaxSImm18 {
+		a.emit(isa.Instruction{Op: isa.OpMOVI, Rd: rd, Imm: sv})
+		return
+	}
+	hi := int32(v >> 16)
+	lo := int32(v & 0xFFFF)
+	a.emit(isa.Instruction{Op: isa.OpLUI, Rd: rd, Imm: hi})
+	if lo != 0 {
+		a.emit(isa.Instruction{Op: isa.OpORI, Rd: rd, Rs: rd, Imm: lo})
+	}
+}
+
+// branchTarget attaches a PC-relative fixup (or literal displacement) to the
+// most recently emitted instruction.
+func (a *assembler) branchTarget(s string) error {
+	v, sym, off, err := a.parseExpr(s)
+	if err != nil {
+		return err
+	}
+	idx := len(a.text) - 1
+	if sym == "" {
+		a.text[idx].Imm = int32(v)
+		return nil
+	}
+	a.fixups = append(a.fixups, fixup{index: idx, sym: sym, offset: off, line: a.line, rel: true})
+	return nil
+}
+
+// custInstruction assembles a registered custom-instruction mnemonic.
+func (a *assembler) custInstruction(mnem string, c CustOp, ops []string) error {
+	want := c.NumRegs
+	if c.HasSub {
+		want++
+	}
+	if len(ops) != want {
+		return a.errorf("%s needs %d operand(s), got %d", mnem, want, len(ops))
+	}
+	in := isa.Instruction{Op: isa.OpCUST}
+	regs := []*isa.Reg{&in.Rd, &in.Rs, &in.Rt}
+	for i := 0; i < c.NumRegs; i++ {
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return a.errorf("%s: bad register %q", mnem, ops[i])
+		}
+		*regs[i] = r
+	}
+	sub := 0
+	if c.HasSub {
+		v, sym, _, err := a.parseExpr(ops[c.NumRegs])
+		if err != nil {
+			return err
+		}
+		if sym != "" || v < 0 || v > 15 {
+			return a.errorf("%s: sub-field must be an integer in [0,15]", mnem)
+		}
+		sub = int(v)
+	}
+	in.Imm = isa.MakeCustImm(c.ID, sub)
+	a.emit(in)
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package blockmode provides block-cipher modes of operation (ECB, CBC,
+// counter mode) and PKCS#7 padding over any block cipher.  The SSL record
+// layer and the real-time video decryption demo both run their bulk
+// ciphers (DES, 3DES, AES) through these modes.
+package blockmode
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Block is a block cipher (both our scratch ciphers and crypto/cipher
+// blocks satisfy it).
+type Block interface {
+	BlockSize() int
+	Encrypt(dst, src []byte)
+	Decrypt(dst, src []byte)
+}
+
+// ECBEncrypt encrypts src (a whole number of blocks) into dst.
+func ECBEncrypt(b Block, dst, src []byte) error {
+	bs := b.BlockSize()
+	if err := checkLen(len(src), bs, len(dst)); err != nil {
+		return err
+	}
+	for i := 0; i < len(src); i += bs {
+		b.Encrypt(dst[i:i+bs], src[i:i+bs])
+	}
+	return nil
+}
+
+// ECBDecrypt decrypts src (a whole number of blocks) into dst.
+func ECBDecrypt(b Block, dst, src []byte) error {
+	bs := b.BlockSize()
+	if err := checkLen(len(src), bs, len(dst)); err != nil {
+		return err
+	}
+	for i := 0; i < len(src); i += bs {
+		b.Decrypt(dst[i:i+bs], src[i:i+bs])
+	}
+	return nil
+}
+
+// CBCEncrypt encrypts src under CBC with the given IV (len = block size).
+func CBCEncrypt(b Block, iv, dst, src []byte) error {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return fmt.Errorf("blockmode: IV length %d != block size %d", len(iv), bs)
+	}
+	if err := checkLen(len(src), bs, len(dst)); err != nil {
+		return err
+	}
+	prev := iv
+	tmp := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		for j := 0; j < bs; j++ {
+			tmp[j] = src[i+j] ^ prev[j]
+		}
+		b.Encrypt(dst[i:i+bs], tmp)
+		prev = dst[i : i+bs]
+	}
+	return nil
+}
+
+// CBCDecrypt decrypts src under CBC with the given IV.  dst and src must
+// not overlap.
+func CBCDecrypt(b Block, iv, dst, src []byte) error {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return fmt.Errorf("blockmode: IV length %d != block size %d", len(iv), bs)
+	}
+	if err := checkLen(len(src), bs, len(dst)); err != nil {
+		return err
+	}
+	prev := iv
+	for i := 0; i < len(src); i += bs {
+		b.Decrypt(dst[i:i+bs], src[i:i+bs])
+		for j := 0; j < bs; j++ {
+			dst[i+j] ^= prev[j]
+		}
+		prev = src[i : i+bs]
+	}
+	return nil
+}
+
+// CTRCrypt encrypts or decrypts src in counter mode (the operation is its
+// own inverse).  The 64-bit counter is placed big-endian in the last eight
+// bytes of the nonce block.
+func CTRCrypt(b Block, nonce, dst, src []byte) error {
+	bs := b.BlockSize()
+	if len(nonce) != bs {
+		return fmt.Errorf("blockmode: nonce length %d != block size %d", len(nonce), bs)
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("blockmode: dst shorter than src")
+	}
+	ctrBlock := make([]byte, bs)
+	keystream := make([]byte, bs)
+	copy(ctrBlock, nonce)
+	var ctr uint64
+	for off := 0; off < len(src); off += bs {
+		binary.BigEndian.PutUint64(ctrBlock[bs-8:], binary.BigEndian.Uint64(nonce[bs-8:])+ctr)
+		b.Encrypt(keystream, ctrBlock)
+		n := bs
+		if rem := len(src) - off; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			dst[off+j] = src[off+j] ^ keystream[j]
+		}
+		ctr++
+	}
+	return nil
+}
+
+// Pad appends PKCS#7 padding up to the block size.
+func Pad(data []byte, blockSize int) []byte {
+	n := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+n)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// Unpad strips and validates PKCS#7 padding.
+func Unpad(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		return nil, fmt.Errorf("blockmode: padded data length %d invalid", len(data))
+	}
+	n := int(data[len(data)-1])
+	if n == 0 || n > blockSize || n > len(data) {
+		return nil, fmt.Errorf("blockmode: bad padding byte %d", n)
+	}
+	for _, b := range data[len(data)-n:] {
+		if int(b) != n {
+			return nil, fmt.Errorf("blockmode: inconsistent padding")
+		}
+	}
+	return data[:len(data)-n], nil
+}
+
+func checkLen(srcLen, bs, dstLen int) error {
+	if srcLen%bs != 0 {
+		return fmt.Errorf("blockmode: input length %d not a multiple of block size %d", srcLen, bs)
+	}
+	if dstLen < srcLen {
+		return fmt.Errorf("blockmode: dst length %d < src length %d", dstLen, srcLen)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package blockmode
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"crypto/cipher"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wisp/internal/aescipher"
+	"wisp/internal/descipher"
+)
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestCBCAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(70))
+	key := randBytes(r, 16)
+	iv := randBytes(r, 16)
+	msg := randBytes(r, 16*10)
+
+	ours, err := aescipher.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := CBCEncrypt(ours, iv, got, msg); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, _ := stdaes.NewCipher(key)
+	want := make([]byte, len(msg))
+	cipher.NewCBCEncrypter(ref, iv).CryptBlocks(want, msg)
+	if !bytes.Equal(got, want) {
+		t.Fatal("CBC encrypt differs from crypto/cipher")
+	}
+
+	back := make([]byte, len(msg))
+	if err := CBCDecrypt(ours, iv, back, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Fatal("CBC round trip failed")
+	}
+}
+
+func TestCBCRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	f := func() bool {
+		key := randBytes(r, 8)
+		iv := randBytes(r, 8)
+		msg := randBytes(r, 8*(1+r.Intn(20)))
+		c, err := descipher.NewCipher(key)
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, len(msg))
+		pt := make([]byte, len(msg))
+		if CBCEncrypt(c, iv, ct, msg) != nil {
+			return false
+		}
+		if CBCDecrypt(c, iv, pt, ct) != nil {
+			return false
+		}
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECBRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	key := randBytes(r, 8)
+	msg := randBytes(r, 8*5)
+	c, _ := descipher.NewCipher(key)
+	ct := make([]byte, len(msg))
+	pt := make([]byte, len(msg))
+	if err := ECBEncrypt(c, ct, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := ECBDecrypt(c, pt, ct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("ECB round trip failed")
+	}
+	// ECB leaks equal blocks — a property, not a bug, of the mode.
+	same := append(append([]byte{}, msg[:8]...), msg[:8]...)
+	ct2 := make([]byte, 16)
+	ECBEncrypt(c, ct2, same)
+	if !bytes.Equal(ct2[:8], ct2[8:]) {
+		t.Error("ECB equal plaintext blocks produced different ciphertext")
+	}
+}
+
+func TestCTRRoundTripAndPartialBlock(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	key := randBytes(r, 16)
+	nonce := randBytes(r, 16)
+	c, _ := aescipher.NewCipher(key)
+	for _, n := range []int{1, 15, 16, 17, 100} {
+		msg := randBytes(r, n)
+		ct := make([]byte, n)
+		pt := make([]byte, n)
+		if err := CTRCrypt(c, nonce, ct, msg); err != nil {
+			t.Fatal(err)
+		}
+		if err := CTRCrypt(c, nonce, pt, ct); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Fatalf("CTR round trip failed at n=%d", n)
+		}
+	}
+}
+
+func TestCTRAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(74))
+	key := randBytes(r, 16)
+	nonce := randBytes(r, 16)
+	msg := randBytes(r, 100)
+	ours, _ := aescipher.NewCipher(key)
+	got := make([]byte, len(msg))
+	CTRCrypt(ours, nonce, got, msg)
+	ref, _ := stdaes.NewCipher(key)
+	want := make([]byte, len(msg))
+	cipher.NewCTR(ref, nonce).XORKeyStream(want, msg)
+	if !bytes.Equal(got, want) {
+		t.Error("CTR differs from crypto/cipher")
+	}
+}
+
+func TestPadding(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16} {
+		data := bytes.Repeat([]byte{0xAB}, n)
+		padded := Pad(data, 8)
+		if len(padded)%8 != 0 || len(padded) <= n {
+			t.Errorf("Pad(%d) length %d invalid", n, len(padded))
+		}
+		back, err := Unpad(padded, 8)
+		if err != nil {
+			t.Errorf("Unpad(%d): %v", n, err)
+			continue
+		}
+		if !bytes.Equal(back, data) {
+			t.Errorf("padding round trip failed at n=%d", n)
+		}
+	}
+}
+
+func TestUnpadRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},                         // not block multiple
+		{0, 0, 0, 0, 0, 0, 0, 0},          // pad byte 0
+		{1, 1, 1, 1, 1, 1, 1, 9},          // pad byte > blocksize
+		{1, 1, 1, 1, 1, 1, 2, 3},          // inconsistent
+	}
+	for _, c := range cases {
+		if _, err := Unpad(c, 8); err == nil {
+			t.Errorf("Unpad(%v) succeeded", c)
+		}
+	}
+}
+
+func TestModeErrors(t *testing.T) {
+	c, _ := descipher.NewCipher(make([]byte, 8))
+	buf9 := make([]byte, 9)
+	buf8 := make([]byte, 8)
+	if err := ECBEncrypt(c, buf9, buf9); err == nil {
+		t.Error("ECB accepted non-multiple length")
+	}
+	if err := CBCEncrypt(c, make([]byte, 4), buf8, buf8); err == nil {
+		t.Error("CBC accepted short IV")
+	}
+	if err := CBCDecrypt(c, make([]byte, 4), buf8, buf8); err == nil {
+		t.Error("CBC decrypt accepted short IV")
+	}
+	if err := CTRCrypt(c, make([]byte, 4), buf8, buf8); err == nil {
+		t.Error("CTR accepted short nonce")
+	}
+	if err := ECBEncrypt(c, make([]byte, 4), buf8); err == nil {
+		t.Error("ECB accepted short dst")
+	}
+	if err := CTRCrypt(c, buf8, make([]byte, 4), buf8); err == nil {
+		t.Error("CTR accepted short dst")
+	}
+}

@@ -1,0 +1,205 @@
+// Package callgraph implements the annotated function call graph of the
+// paper's global custom-instruction selection phase (§3.4): nodes carry the
+// cycles spent in computations local to each function, edges carry dynamic
+// call counts, and leaf library routines carry A-D curves.  Propagating the
+// curves bottom-up through Equation 1,
+//
+//	cycles(f) = local_cycles(f) + Σ_{g ∈ children(f)} calls(f,g)·cycles(g),
+//
+// yields a composite A-D curve at the root, where an area constraint picks
+// the final instruction combination.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wisp/internal/adcurve"
+	"wisp/internal/sim"
+)
+
+// Node is one function in the graph.
+type Node struct {
+	Name string
+	// LocalCycles is the paper's local_cycles(f): cycles spent in f's own
+	// body per invocation of f, excluding its callees.
+	LocalCycles float64
+	// Curve, when non-nil, gives the leaf routine's area-delay
+	// alternatives (per invocation).  A node with a curve must not have
+	// outgoing calls: its curve already accounts for its whole subtree.
+	Curve adcurve.Curve
+
+	calls map[string]float64 // callee name → calls per invocation of this node
+}
+
+// Graph is an annotated call graph.
+type Graph struct {
+	nodes map[string]*Node
+	root  string
+}
+
+// New creates a graph rooted at the named function.
+func New(root string) *Graph {
+	g := &Graph{nodes: make(map[string]*Node), root: root}
+	g.ensure(root)
+	return g
+}
+
+// Root returns the root node's name.
+func (g *Graph) Root() string { return g.root }
+
+func (g *Graph) ensure(name string) *Node {
+	n, ok := g.nodes[name]
+	if !ok {
+		n = &Node{Name: name, calls: make(map[string]float64)}
+		g.nodes[name] = n
+	}
+	return n
+}
+
+// Node returns the named node, creating it if absent.
+func (g *Graph) Node(name string) *Node { return g.ensure(name) }
+
+// SetLocalCycles sets a node's per-invocation local cycle count.
+func (g *Graph) SetLocalCycles(name string, cycles float64) {
+	g.ensure(name).LocalCycles = cycles
+}
+
+// SetCurve attaches a leaf routine's A-D curve.
+func (g *Graph) SetCurve(name string, c adcurve.Curve) {
+	g.ensure(name).Curve = c
+}
+
+// AddCall records that each invocation of caller invokes callee count
+// times (accumulating over repeated calls).
+func (g *Graph) AddCall(caller, callee string, count float64) {
+	g.ensure(callee)
+	g.ensure(caller).calls[callee] += count
+}
+
+// Callees returns a node's outgoing edges sorted by callee name.
+func (g *Graph) Callees(name string) []Edge {
+	n, ok := g.nodes[name]
+	if !ok {
+		return nil
+	}
+	out := make([]Edge, 0, len(n.calls))
+	for callee, cnt := range n.calls {
+		out = append(out, Edge{Caller: name, Callee: callee, Count: cnt})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Callee < out[j].Callee })
+	return out
+}
+
+// Edge is one annotated call-graph edge.
+type Edge struct {
+	Caller, Callee string
+	Count          float64
+}
+
+// Nodes returns all node names, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RootCurve propagates A-D curves bottom-up and returns the root's
+// composite, Pareto-pruned curve (the paper applies Pareto optimality at
+// the root node).  It fails on cyclic graphs.
+func (g *Graph) RootCurve() (adcurve.Curve, error) {
+	memo := make(map[string]adcurve.Curve)
+	state := make(map[string]int) // 0 unvisited, 1 in progress, 2 done
+	curve, err := g.nodeCurve(g.root, memo, state)
+	if err != nil {
+		return nil, err
+	}
+	return adcurve.Pareto(curve), nil
+}
+
+// nodeCurve computes the per-invocation curve of a node via Equation 1.
+func (g *Graph) nodeCurve(name string, memo map[string]adcurve.Curve, state map[string]int) (adcurve.Curve, error) {
+	if c, ok := memo[name]; ok {
+		return c, nil
+	}
+	if state[name] == 1 {
+		return nil, fmt.Errorf("callgraph: recursive call cycle through %q", name)
+	}
+	state[name] = 1
+	n := g.nodes[name]
+
+	var curve adcurve.Curve
+	if n.Curve != nil {
+		if len(n.calls) != 0 {
+			return nil, fmt.Errorf("callgraph: node %q has both a leaf curve and callees", name)
+		}
+		curve = append(adcurve.Curve{}, n.Curve...)
+	} else {
+		curve = adcurve.Curve{{Cycles: 0, Set: adcurve.NewInstrSet()}}
+		// Deterministic child order.
+		for _, e := range g.Callees(name) {
+			child, err := g.nodeCurve(e.Callee, memo, state)
+			if err != nil {
+				return nil, err
+			}
+			curve = adcurve.Combine(curve, child.Scale(e.Count))
+		}
+		curve = curve.Offset(n.LocalCycles)
+	}
+	state[name] = 2
+	memo[name] = curve
+	return curve, nil
+}
+
+// FromProfile builds a call graph from an ISS execution profile: flat
+// cycles become per-invocation local cycles and dynamic call counts become
+// per-invocation edge weights.  root names the function whose single
+// invocation anchors the normalization.
+func FromProfile(p *sim.Profile, root string) (*Graph, error) {
+	calls := make(map[string]uint64)
+	for _, f := range p.Stats() {
+		if f.Calls > 0 {
+			calls[f.Name] = f.Calls
+		}
+	}
+	if calls[root] == 0 {
+		return nil, fmt.Errorf("callgraph: root %q was never invoked in the profile", root)
+	}
+	g := New(root)
+	for _, f := range p.Stats() {
+		if f.Calls == 0 {
+			continue
+		}
+		g.SetLocalCycles(f.Name, float64(f.Cycles)/float64(f.Calls))
+	}
+	for _, e := range p.Edges() {
+		if e.Caller == "<host>" || calls[e.Caller] == 0 {
+			continue
+		}
+		g.AddCall(e.Caller, e.Callee, float64(e.Count)/float64(calls[e.Caller]))
+	}
+	return g, nil
+}
+
+// Dump renders the graph in a Figure 4 style: each node with its
+// per-invocation local cycles and outgoing edges weighted by call counts.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "call graph (root: %s)\n", g.root)
+	for _, name := range g.Nodes() {
+		n := g.nodes[name]
+		fmt.Fprintf(&b, "%-22s local=%.1f", name, n.LocalCycles)
+		if n.Curve != nil {
+			fmt.Fprintf(&b, " [leaf, %d design points]", len(n.Curve))
+		}
+		b.WriteByte('\n')
+		for _, e := range g.Callees(name) {
+			fmt.Fprintf(&b, "    -> %-18s ×%.1f\n", e.Callee, e.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"wisp/internal/adcurve"
+	"wisp/internal/asm"
+	"wisp/internal/sim"
+	"wisp/internal/tie"
+)
+
+func leafCurve(base float64, accel float64, in *tie.Instr) adcurve.Curve {
+	return adcurve.Curve{
+		{Cycles: base, Set: adcurve.NewInstrSet()},
+		{Cycles: accel, Set: adcurve.NewInstrSet(in)},
+	}
+}
+
+func TestEquation1Propagation(t *testing.T) {
+	add4 := &tie.Instr{Name: "add_4", Family: "adder", Kind: "add", Rank: 4,
+		Res: tie.Resources{Adders: 4}}
+
+	// root calls leaf 10 times, spends 100 local cycles.
+	g := New("root")
+	g.SetLocalCycles("root", 100)
+	g.AddCall("root", "leaf", 10)
+	g.SetCurve("leaf", leafCurve(200, 50, add4))
+
+	curve, err := g.RootCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: base point 100+10·200 = 2100; accelerated 100+10·50 = 600.
+	if len(curve) != 2 {
+		t.Fatalf("root curve has %d points:\n%s", len(curve), curve)
+	}
+	byKey := map[string]float64{}
+	for _, p := range curve {
+		byKey[p.Set.Key()] = p.Cycles
+	}
+	if byKey["∅"] != 2100 {
+		t.Errorf("base point = %v, want 2100", byKey["∅"])
+	}
+	if byKey["add_4"] != 600 {
+		t.Errorf("accelerated point = %v, want 600", byKey["add_4"])
+	}
+}
+
+func TestMultiLevelPropagation(t *testing.T) {
+	add4 := &tie.Instr{Name: "add_4", Family: "adder", Kind: "add", Rank: 4,
+		Res: tie.Resources{Adders: 4}}
+	mul1 := &tie.Instr{Name: "mul_1", Family: "mult", Kind: "mul", Rank: 1,
+		Res: tie.Resources{Mults: 1}}
+
+	// decrypt -> modMul (×4) -> { mpn_addmul_1 ×32, mpn_add_n ×2 }
+	g := New("decrypt")
+	g.SetLocalCycles("decrypt", 50)
+	g.AddCall("decrypt", "modMul", 4)
+	g.SetLocalCycles("modMul", 30)
+	g.AddCall("modMul", "mpn_addmul_1", 32)
+	g.AddCall("modMul", "mpn_add_n", 2)
+	g.SetCurve("mpn_addmul_1", leafCurve(700, 230, mul1))
+	g.SetCurve("mpn_add_n", leafCurve(202, 80, add4))
+
+	curve, err := g.RootCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base: 50 + 4·(30 + 32·700 + 2·202) = 50 + 4·22834 = 91386.
+	// Full acceleration: 50 + 4·(30 + 32·230 + 2·80) = 50 + 4·7550 = 30250.
+	byKey := map[string]float64{}
+	for _, p := range curve {
+		byKey[p.Set.Key()] = p.Cycles
+	}
+	if byKey["∅"] != 91386 {
+		t.Errorf("base = %v, want 91386", byKey["∅"])
+	}
+	if byKey["add_4+mul_1"] != 30250 {
+		t.Errorf("full = %v, want 30250", byKey["add_4+mul_1"])
+	}
+	// The Pareto'd root curve is strictly improving.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Cycles >= curve[i-1].Cycles {
+			t.Error("root curve not strictly improving after Pareto")
+		}
+	}
+}
+
+func TestSharedChildCountedPerCaller(t *testing.T) {
+	// Diamond: root calls a (×2) and b (×3); both call leaf (×5 each).
+	in := &tie.Instr{Name: "x", Family: "f", Kind: "x", Rank: 1, Res: tie.Resources{Logic: 100}}
+	g := New("root")
+	g.AddCall("root", "a", 2)
+	g.AddCall("root", "b", 3)
+	g.AddCall("a", "leaf", 5)
+	g.AddCall("b", "leaf", 5)
+	g.SetCurve("leaf", leafCurve(10, 2, in))
+	curve, err := g.RootCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, p := range curve {
+		byKey[p.Set.Key()] = p.Cycles
+	}
+	// leaf runs (2+3)·5 = 25 times: base 250, accelerated 50.
+	if byKey["∅"] != 250 || byKey["x"] != 50 {
+		t.Errorf("diamond propagation wrong: %v", byKey)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New("a")
+	g.AddCall("a", "b", 1)
+	g.AddCall("b", "a", 1)
+	if _, err := g.RootCurve(); err == nil {
+		t.Error("recursive graph accepted")
+	}
+}
+
+func TestLeafWithCalleesRejected(t *testing.T) {
+	in := &tie.Instr{Name: "x", Family: "f", Kind: "x", Rank: 1}
+	g := New("root")
+	g.AddCall("root", "leaf", 1)
+	g.SetCurve("leaf", leafCurve(5, 1, in))
+	g.AddCall("leaf", "other", 1)
+	if _, err := g.RootCurve(); err == nil {
+		t.Error("leaf node with callees accepted")
+	}
+}
+
+func TestFromProfile(t *testing.T) {
+	prog, err := asm.Assemble(`
+		.text
+		.func
+	outer:
+		addi sp, sp, -8
+		s32i a0, sp, 0
+		movi a4, 3
+	lp:
+		call inner
+		addi a4, a4, -1
+		bnez a4, lp
+		l32i a0, sp, 0
+		addi sp, sp, 8
+		ret
+		.func
+	inner:
+		addi a3, a3, 1
+		nop
+		ret
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := sim.New(prog, sim.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cpu.Call("outer"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromProfile(cpu.Profile(), "outer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Callees("outer")
+	if len(edges) != 1 || edges[0].Callee != "inner" || edges[0].Count != 3 {
+		t.Fatalf("edges = %+v", edges)
+	}
+	n := g.Node("inner")
+	if n.LocalCycles <= 0 {
+		t.Error("inner has no local cycles")
+	}
+	// Equation 1 on a profile graph with no curves yields a single point
+	// equal to the measured total.
+	curve, err := g.RootCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 {
+		t.Fatalf("curve size %d", len(curve))
+	}
+	total := g.Node("outer").LocalCycles + 3*n.LocalCycles
+	if diff := curve[0].Cycles - total; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("propagated %v, want %v", curve[0].Cycles, total)
+	}
+	if _, err := FromProfile(cpu.Profile(), "missing"); err == nil {
+		t.Error("missing root accepted")
+	}
+	if !strings.Contains(g.Dump(), "inner") {
+		t.Error("Dump missing node")
+	}
+}

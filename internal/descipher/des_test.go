@@ -1,0 +1,244 @@
+package descipher
+
+import (
+	"bytes"
+	stddes "crypto/des"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestKnownAnswer checks the classic FIPS 46 worked example.
+func TestKnownAnswer(t *testing.T) {
+	key := unhex(t, "133457799BBCDFF1")
+	pt := unhex(t, "0123456789ABCDEF")
+	want := unhex(t, "85E813540F0AB405")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Errorf("Encrypt = %x, want %x", got, want)
+	}
+	back := make([]byte, 8)
+	c.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Errorf("Decrypt = %x, want %x", back, pt)
+	}
+}
+
+// TestMoreKnownAnswers checks additional published vectors.
+func TestMoreKnownAnswers(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		{"0000000000000000", "0000000000000000", "8CA64DE9C1B123A7"},
+		{"FFFFFFFFFFFFFFFF", "FFFFFFFFFFFFFFFF", "7359B2163E4EDC58"},
+		{"3000000000000000", "1000000000000001", "958E6E627A05557B"},
+		{"1111111111111111", "1111111111111111", "F40379AB9E0EC533"},
+		{"0123456789ABCDEF", "1111111111111111", "17668DFC7292532D"},
+		{"FEDCBA9876543210", "0123456789ABCDEF", "ED39D950FA74BCC4"},
+	}
+	for _, cse := range cases {
+		c, err := NewCipher(unhex(t, cse.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		c.Encrypt(got, unhex(t, cse.pt))
+		if want := unhex(t, cse.ct); !bytes.Equal(got, want) {
+			t.Errorf("key=%s pt=%s: got %x, want %x", cse.key, cse.pt, got, want)
+		}
+	}
+}
+
+// TestAgainstStdlib cross-checks random keys and blocks against crypto/des.
+func TestAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 200; trial++ {
+		key := make([]byte, 8)
+		blk := make([]byte, 8)
+		r.Read(key)
+		r.Read(blk)
+		ours, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stddes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		want := make([]byte, 8)
+		ours.Encrypt(got, blk)
+		ref.Encrypt(want, blk)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encrypt mismatch: key=%x blk=%x got=%x want=%x", key, blk, got, want)
+		}
+		ours.Decrypt(got, want)
+		ref.Decrypt(want, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("decrypt mismatch: key=%x", key)
+		}
+	}
+}
+
+func TestTripleDESAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		key := make([]byte, 24)
+		blk := make([]byte, 8)
+		r.Read(key)
+		r.Read(blk)
+		ours, err := NewTripleCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stddes.NewTripleDESCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		want := make([]byte, 8)
+		ours.Encrypt(got, blk)
+		ref.Encrypt(want, blk)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("3DES encrypt mismatch: key=%x", key)
+		}
+		back := make([]byte, 8)
+		ours.Decrypt(back, got)
+		if !bytes.Equal(back, blk) {
+			t.Fatalf("3DES round trip failed: key=%x", key)
+		}
+	}
+}
+
+func TestTwoKeyTripleDES(t *testing.T) {
+	// Two-key 3DES(K1,K2,K1) equals three-key with K3=K1.
+	key16 := unhex(t, "0123456789ABCDEFFEDCBA9876543210")
+	key24 := append(append([]byte{}, key16...), key16[:8]...)
+	c2, err := NewTripleCipher(key16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewTripleCipher(key24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := unhex(t, "0011223344556677")
+	a, b := make([]byte, 8), make([]byte, 8)
+	c2.Encrypt(a, blk)
+	c3.Encrypt(b, blk)
+	if !bytes.Equal(a, b) {
+		t.Error("two-key and equivalent three-key 3DES differ")
+	}
+}
+
+func TestTripleDESDegeneratesToDES(t *testing.T) {
+	// With K1=K2=K3, EDE collapses to single DES.
+	key := unhex(t, "0123456789ABCDEF")
+	triple := append(append(append([]byte{}, key...), key...), key...)
+	tc, err := NewTripleCipher(triple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := unhex(t, "89ABCDEF01234567")
+	a, b := make([]byte, 8), make([]byte, 8)
+	tc.Encrypt(a, blk)
+	sc.Encrypt(b, blk)
+	if !bytes.Equal(a, b) {
+		t.Error("degenerate 3DES != DES")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		key := make([]byte, 8)
+		blk := make([]byte, 8)
+		r.Read(key)
+		r.Read(blk)
+		c, err := NewCipher(key)
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, 8)
+		pt := make([]byte, 8)
+		c.Encrypt(ct, blk)
+		c.Decrypt(pt, ct)
+		return bytes.Equal(pt, blk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyLengthErrors(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 7)); err == nil {
+		t.Error("7-byte DES key accepted")
+	}
+	for _, n := range []int{0, 8, 15, 23, 25} {
+		if _, err := NewTripleCipher(make([]byte, n)); err == nil {
+			t.Errorf("%d-byte 3DES key accepted", n)
+		}
+	}
+}
+
+func TestBlockSizes(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 8))
+	if c.BlockSize() != 8 {
+		t.Error("DES BlockSize != 8")
+	}
+	tc, _ := NewTripleCipher(make([]byte, 24))
+	if tc.BlockSize() != 8 {
+		t.Error("3DES BlockSize != 8")
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 8))
+	defer func() {
+		if recover() == nil {
+			t.Error("short block did not panic")
+		}
+	}()
+	c.Encrypt(make([]byte, 8), make([]byte, 4))
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one plaintext bit should flip roughly half the ciphertext
+	// bits (strict avalanche is probabilistic; require > 16 of 64).
+	key := unhex(t, "133457799BBCDFF1")
+	c, _ := NewCipher(key)
+	p1 := unhex(t, "0123456789ABCDEF")
+	p2 := append([]byte{}, p1...)
+	p2[0] ^= 0x80
+	c1, c2 := make([]byte, 8), make([]byte, 8)
+	c.Encrypt(c1, p1)
+	c.Encrypt(c2, p2)
+	diff := 0
+	for i := range c1 {
+		x := c1[i] ^ c2[i]
+		for x != 0 {
+			diff += int(x & 1)
+			x >>= 1
+		}
+	}
+	if diff < 16 || diff > 48 {
+		t.Errorf("avalanche: %d bits differ, want ≈32", diff)
+	}
+}

@@ -1,0 +1,85 @@
+// Package elgamal implements the ElGamal public-key cryptosystem over
+// prime-order multiplicative groups — the second public-key algorithm the
+// paper's platform supports ("both private-key (e.g., DES, 3DES, AES) and
+// public-key (e.g., RSA, ElGamal) operations", §1.1).
+package elgamal
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/mpz"
+)
+
+// PublicKey is an ElGamal public key (p prime, g generator, y = g^x mod p).
+type PublicKey struct {
+	P, G, Y *mpz.Int
+}
+
+// PrivateKey adds the secret exponent x.
+type PrivateKey struct {
+	PublicKey
+	X *mpz.Int
+}
+
+// Ciphertext is an ElGamal ciphertext pair (a, b) = (g^k, m·y^k).
+type Ciphertext struct {
+	A, B *mpz.Int
+}
+
+// GenerateKey creates a key over a fresh safe-prime group of the given bit
+// size: p = 2q+1 with q prime, generator of the order-q subgroup.
+func GenerateKey(rng *rand.Rand, bits int) (*PrivateKey, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("elgamal: modulus size %d too small", bits)
+	}
+	one := mpz.NewInt(1)
+	two := mpz.NewInt(2)
+	for attempt := 0; attempt < 1000*bits; attempt++ {
+		q, err := mpz.GenPrime(rng, bits-1, 20)
+		if err != nil {
+			return nil, err
+		}
+		p := mpz.Add(mpz.Mul(two, q), one)
+		if p.BitLen() != bits || !mpz.IsProbablePrime(p, 20, rng) {
+			continue
+		}
+		// A generator of the order-q subgroup: h² mod p for random h,
+		// retried until ≠ 1.
+		var g *mpz.Int
+		for {
+			h := mpz.Add(mpz.RandBelow(rng, mpz.Sub(p, two)), two) // [2, p-1)
+			g = mpz.ModExp(h, two, p)
+			if !g.IsOne() {
+				break
+			}
+		}
+		x := mpz.Add(mpz.RandBelow(rng, mpz.Sub(q, one)), one) // [1, q)
+		y := mpz.ModExp(g, x, p)
+		return &PrivateKey{PublicKey: PublicKey{P: p, G: g, Y: y}, X: x}, nil
+	}
+	return nil, fmt.Errorf("elgamal: no %d-bit safe prime found", bits)
+}
+
+// Encrypt encrypts a message representative m in [1, p).
+func Encrypt(ctx *mpz.Ctx, rng *rand.Rand, pub *PublicKey, m *mpz.Int) (*Ciphertext, error) {
+	if m.Sign() <= 0 || m.Cmp(pub.P) >= 0 {
+		return nil, fmt.Errorf("elgamal: message representative out of range")
+	}
+	two := mpz.NewInt(2)
+	k := mpz.Add(mpz.RandBelow(rng, mpz.Sub(pub.P, two)), mpz.NewInt(1)) // [1, p-2]
+	a := ctx.ModExp(pub.G, k, pub.P)
+	s := ctx.ModExp(pub.Y, k, pub.P)
+	b := ctx.Mod(ctx.Mul(m, s), pub.P)
+	return &Ciphertext{A: a, B: b}, nil
+}
+
+// Decrypt recovers m = b · a^(p-1-x) mod p.
+func Decrypt(ctx *mpz.Ctx, priv *PrivateKey, ct *Ciphertext) (*mpz.Int, error) {
+	if ct.A.Sign() <= 0 || ct.A.Cmp(priv.P) >= 0 || ct.B.Sign() < 0 || ct.B.Cmp(priv.P) >= 0 {
+		return nil, fmt.Errorf("elgamal: ciphertext out of range")
+	}
+	exp := mpz.Sub(mpz.Sub(priv.P, mpz.NewInt(1)), priv.X)
+	sInv := ctx.ModExp(ct.A, exp, priv.P)
+	return ctx.Mod(ctx.Mul(ct.B, sInv), priv.P), nil
+}

@@ -1,0 +1,117 @@
+package elgamal
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/mpz"
+)
+
+var testKey = mustKey(128, 1)
+
+func mustKey(bits int, seed int64) *PrivateKey {
+	k, err := GenerateKey(rand.New(rand.NewSource(seed)), bits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestKeyStructure(t *testing.T) {
+	k := testKey
+	if k.P.BitLen() != 128 {
+		t.Errorf("p bits = %d, want 128", k.P.BitLen())
+	}
+	pb := new(big.Int).SetBytes(k.P.Bytes())
+	if !pb.ProbablyPrime(30) {
+		t.Error("p not prime")
+	}
+	// Safe prime: (p-1)/2 prime.
+	q := new(big.Int).Rsh(new(big.Int).Sub(pb, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(30) {
+		t.Error("(p-1)/2 not prime")
+	}
+	// y == g^x mod p.
+	y := mpz.ModExp(k.G, k.X, k.P)
+	if !y.Equal(k.Y) {
+		t.Error("y != g^x")
+	}
+	// Generator is in the order-q subgroup: g^q == 1.
+	qz := mpz.Rsh(mpz.Sub(k.P, mpz.NewInt(1)), 1)
+	if !mpz.ModExp(k.G, qz, k.P).IsOne() {
+		t.Error("g not in order-q subgroup")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		m := mpz.Add(mpz.RandBelow(r, mpz.Sub(testKey.P, mpz.NewInt(1))), mpz.NewInt(1))
+		ct, err := Encrypt(ctx, r, &testKey.PublicKey, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decrypt(ctx, testKey, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip failed: got %v, want %v", got, m)
+		}
+	}
+}
+
+func TestCiphertextRandomization(t *testing.T) {
+	// Same message twice must give different ciphertexts (random k).
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(3))
+	m := mpz.NewInt(42)
+	c1, _ := Encrypt(ctx, r, &testKey.PublicKey, m)
+	c2, _ := Encrypt(ctx, r, &testKey.PublicKey, m)
+	if c1.A.Equal(c2.A) && c1.B.Equal(c2.B) {
+		t.Error("ElGamal not randomized")
+	}
+}
+
+func TestMultiplicativeHomomorphism(t *testing.T) {
+	// E(m1)·E(m2) decrypts to m1·m2 mod p.
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(4))
+	m1, m2 := mpz.NewInt(1234), mpz.NewInt(5678)
+	c1, _ := Encrypt(ctx, r, &testKey.PublicKey, m1)
+	c2, _ := Encrypt(ctx, r, &testKey.PublicKey, m2)
+	prod := &Ciphertext{
+		A: ctx.Mod(ctx.Mul(c1.A, c2.A), testKey.P),
+		B: ctx.Mod(ctx.Mul(c1.B, c2.B), testKey.P),
+	}
+	got, err := Decrypt(ctx, testKey, prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mpz.Mod(mpz.Mul(m1, m2), testKey.P)
+	if !got.Equal(want) {
+		t.Error("homomorphic product wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(5))
+	if _, err := Encrypt(ctx, r, &testKey.PublicKey, mpz.NewInt(0)); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Encrypt(ctx, r, &testKey.PublicKey, testKey.P); err == nil {
+		t.Error("m=p accepted")
+	}
+	if _, err := Decrypt(ctx, testKey, &Ciphertext{A: mpz.NewInt(0), B: mpz.NewInt(1)}); err == nil {
+		t.Error("a=0 accepted")
+	}
+	if _, err := Decrypt(ctx, testKey, &Ciphertext{A: mpz.NewInt(1), B: testKey.P}); err == nil {
+		t.Error("b=p accepted")
+	}
+	if _, err := GenerateKey(r, 8); err == nil {
+		t.Error("8-bit key accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Package explore implements the algorithm design-space exploration phase
+// of the paper (§3.2, evaluated in §4.3): modular-exponentiation candidates
+// spanning five modular-multiplication algorithms, five exponent block
+// (window) sizes, three Chinese-Remainder-Theorem implementations, two
+// radix sizes and three software caching options — 450 configurations.
+//
+// Each candidate executes natively (plain Go, the analogue of the paper's
+// native workstation execution) with kernel-invocation tracing; the traced
+// profile is then priced with the ISS-characterized performance
+// macro-models.  For validation, the same traced profile can be replayed
+// invocation-by-invocation on the actual ISS, which is orders of magnitude
+// slower — the paper's 1407× exploration speedup — and provides the ground
+// truth for the macro-models' estimation error (~11.8 % in the paper).
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wisp/internal/kernels"
+	"wisp/internal/macromodel"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+	"wisp/internal/sim"
+)
+
+// Config is one point of the exploration space.
+type Config struct {
+	ModMul mpz.ModMulAlg
+	Window int // exponent scan block size in bits, 1..5
+	CRT    rsakey.CRTMode
+	Radix  int // limb radix: 32 (native) or 16
+	Cache  mpz.CacheMode
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("%s/w%d/%s/r%d/%s", c.ModMul, c.Window, c.CRT, c.Radix, c.Cache)
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error {
+	if c.Window < 1 || c.Window > 5 {
+		return fmt.Errorf("explore: window %d outside [1,5]", c.Window)
+	}
+	if c.Radix != 16 && c.Radix != 32 {
+		return fmt.Errorf("explore: radix %d not in {16,32}", c.Radix)
+	}
+	return nil
+}
+
+// Radixes lists the two limb radixes of the space.
+var Radixes = []int{32, 16}
+
+// Windows lists the five exponent block sizes of the space.
+var Windows = []int{1, 2, 3, 4, 5}
+
+// Space enumerates the full 5×5×3×2×3 = 450-candidate space.
+func Space() []Config {
+	var out []Config
+	for _, alg := range mpz.ModMulAlgs {
+		for _, w := range Windows {
+			for _, crt := range rsakey.CRTModes {
+				for _, radix := range Radixes {
+					for _, cache := range mpz.CacheModes {
+						out = append(out, Config{ModMul: alg, Window: w, CRT: crt, Radix: radix, Cache: cache})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Result is one evaluated candidate.
+type Result struct {
+	Config
+	EstCycles  float64       // macro-model estimate of target-core cycles
+	NativeTime time.Duration // wall time of the native traced run
+	Missing    []string      // routines lacking macro-models (should be empty)
+}
+
+// Explorer evaluates candidates on a fixed RSA decryption workload.
+type Explorer struct {
+	Models *macromodel.ModelSet // characterized kernel models (base or TIE core)
+	Key    *rsakey.PrivateKey
+	Cipher *mpz.Int // the ciphertext representative decrypted by every candidate
+}
+
+// New creates an explorer for the given key, decrypting a fixed random
+// representative derived from seed.
+func New(models *macromodel.ModelSet, key *rsakey.PrivateKey, seed int64) *Explorer {
+	rng := rand.New(rand.NewSource(seed))
+	return &Explorer{Models: models, Key: key, Cipher: mpz.RandBelow(rng, key.N)}
+}
+
+// trace runs the candidate natively and returns its kernel trace.
+func (e *Explorer) trace(cfg Config) (*mpz.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr := mpz.NewTrace()
+	ctx := mpz.NewCtx(tr)
+	expCfg := mpz.ExpConfig{Alg: cfg.ModMul, WindowBits: cfg.Window, Cache: cfg.Cache}
+	if _, err := rsakey.DecryptCfg(ctx, e.Key, e.Cipher, expCfg, cfg.CRT); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// radixAdjust maps a radix-32 trace onto the radix-16 implementation's
+// kernel profile: every operand doubles in element count, and the
+// multiply-scan kernels additionally double their invocation count (the
+// outer loop walks twice as many half-width limbs).  This analytic
+// transformation substitutes for maintaining a second limb width in the
+// library; the exploration only needs the relative cost, which it
+// preserves: radix 16 does the same word-level work on twice the elements.
+func radixAdjust(tr *mpz.Trace, radix int) *mpz.Trace {
+	if radix == 32 {
+		return tr
+	}
+	out := mpz.NewTrace()
+	for _, inv := range tr.Invocations() {
+		count := inv.Count
+		switch inv.Routine {
+		case "mpn_addmul_1", "mpn_submul_1", "mpn_mul_1":
+			count *= 2
+		}
+		out.Add(inv.Routine, inv.N*2, count)
+	}
+	return out
+}
+
+// Evaluate runs one candidate natively and prices it with the macro-models.
+func (e *Explorer) Evaluate(cfg Config) (Result, error) {
+	start := time.Now()
+	tr, err := e.trace(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	tr = radixAdjust(tr, cfg.Radix)
+	cycles, missing := tr.EstimateCycles(e.Models.Estimators())
+	return Result{
+		Config:     cfg,
+		EstCycles:  cycles,
+		NativeTime: time.Since(start),
+		Missing:    missing,
+	}, nil
+}
+
+// EvaluateAll prices every candidate and returns results sorted best-first.
+func (e *Explorer) EvaluateAll(cfgs []Config) ([]Result, error) {
+	out := make([]Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		r, err := e.Evaluate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("explore: %v: %w", cfg, err)
+		}
+		out = append(out, r)
+	}
+	sortResults(out)
+	return out, nil
+}
+
+func sortResults(rs []Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].EstCycles < rs[j-1].EstCycles; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// ReplayResult is the outcome of an ISS ground-truth replay.
+type ReplayResult struct {
+	Cycles float64 // measured (sampled and scaled) target-core cycles
+	// Elapsed is the wall time of the sampled replay.
+	Elapsed time.Duration
+	// ProjectedFull extrapolates the wall time of replaying every traced
+	// invocation — the cost of the paper's full ISS evaluation, which it
+	// could afford for only 6 of the 450+ candidates.
+	ProjectedFull time.Duration
+	Invocations   uint64 // total traced invocations
+	Executed      uint64 // invocations actually run on the ISS
+}
+
+// ReplayISS measures a candidate's kernel work directly on the ISS: each
+// traced invocation bucket is executed on the simulated core with fresh
+// random operands (up to sampleCap executions per bucket, scaled to the
+// full count).  This is the slow ground-truth path of §4.3.
+//
+// Only radix-32 candidates can be replayed (the kernels are 32-bit).
+func (e *Explorer) ReplayISS(cfg Config, simCfg sim.Config, sampleCap int, seed int64) (*ReplayResult, error) {
+	if cfg.Radix != 32 {
+		return nil, fmt.Errorf("explore: ISS replay supports radix 32 only")
+	}
+	if sampleCap < 1 {
+		return nil, fmt.Errorf("explore: sampleCap must be ≥ 1")
+	}
+	tr, err := e.trace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := kernels.MPNBase().Build(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &ReplayResult{}
+	start := time.Now()
+	for _, inv := range tr.Invocations() {
+		reps := int(inv.Count)
+		if reps > sampleCap {
+			reps = sampleCap
+		}
+		var sum uint64
+		for i := 0; i < reps; i++ {
+			c, err := kernels.RunMPNRoutineISS(cpu, rng, inv.Routine, inv.N)
+			if err != nil {
+				return nil, fmt.Errorf("explore: replaying %s(n=%d): %w", inv.Routine, inv.N, err)
+			}
+			sum += c
+		}
+		res.Cycles += float64(sum) / float64(reps) * float64(inv.Count)
+		res.Invocations += inv.Count
+		res.Executed += uint64(reps)
+	}
+	res.Elapsed = time.Since(start)
+	if res.Executed > 0 {
+		res.ProjectedFull = time.Duration(float64(res.Elapsed) * float64(res.Invocations) / float64(res.Executed))
+	}
+	return res, nil
+}

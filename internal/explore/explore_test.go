@@ -1,0 +1,192 @@
+package explore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/kernels"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+	"wisp/internal/sim"
+)
+
+var (
+	testKey      = mustKey()
+	testExplorer = buildExplorer()
+)
+
+func mustKey() *rsakey.PrivateKey {
+	k, err := rsakey.GenerateKey(rand.New(rand.NewSource(5)), 256)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func buildExplorer() *Explorer {
+	set, err := kernels.CharacterizeMPNBase(sim.DefaultConfig(), []int{1, 2, 4, 8, 16, 32}, 2, 42)
+	if err != nil {
+		panic(err)
+	}
+	return New(set, testKey, 77)
+}
+
+func newExplorer() *Explorer { return testExplorer }
+
+func TestSpaceSize(t *testing.T) {
+	cfgs := Space()
+	if len(cfgs) != 450 {
+		t.Fatalf("space has %d candidates, want 450 (5 modmul × 5 windows × 3 CRT × 2 radix × 3 cache)", len(cfgs))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid candidate %v: %v", c, err)
+		}
+		if seen[c.String()] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestEvaluateProducesPositiveEstimates(t *testing.T) {
+	e := newExplorer()
+	for _, cfg := range []Config{
+		{ModMul: mpz.ModMulBasecase, Window: 1, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone},
+		{ModMul: mpz.ModMulMontgomery, Window: 4, CRT: rsakey.CRTGarner, Radix: 32, Cache: mpz.CacheReducer},
+		{ModMul: mpz.ModMulBarrett, Window: 3, CRT: rsakey.CRTGauss, Radix: 16, Cache: mpz.CachePowers},
+	} {
+		r, err := e.Evaluate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if r.EstCycles <= 0 {
+			t.Errorf("%v: estimate %v", cfg, r.EstCycles)
+		}
+		if len(r.Missing) != 0 {
+			t.Errorf("%v: missing models %v", cfg, r.Missing)
+		}
+	}
+}
+
+func TestExplorationOrdering(t *testing.T) {
+	// The known algorithmic facts must surface in the estimates:
+	// Montgomery+CRT beats basecase binary without CRT; Blakley is worst;
+	// radix 16 never beats radix 32.
+	e := newExplorer()
+	eval := func(cfg Config) float64 {
+		r, err := e.Evaluate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		return r.EstCycles
+	}
+	naive := eval(Config{ModMul: mpz.ModMulBasecase, Window: 1, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone})
+	tuned := eval(Config{ModMul: mpz.ModMulMontgomery, Window: 4, CRT: rsakey.CRTGarner, Radix: 32, Cache: mpz.CacheReducer})
+	blakley := eval(Config{ModMul: mpz.ModMulBlakley, Window: 1, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone})
+	if tuned >= naive {
+		t.Errorf("tuned (%.0f) not faster than naive (%.0f)", tuned, naive)
+	}
+	if blakley <= naive {
+		t.Errorf("Blakley (%.0f) not slower than basecase (%.0f)", blakley, naive)
+	}
+	r32 := eval(Config{ModMul: mpz.ModMulBarrett, Window: 3, CRT: rsakey.CRTGarner, Radix: 32, Cache: mpz.CacheReducer})
+	r16 := eval(Config{ModMul: mpz.ModMulBarrett, Window: 3, CRT: rsakey.CRTGarner, Radix: 16, Cache: mpz.CacheReducer})
+	if r16 <= r32 {
+		t.Errorf("radix 16 (%.0f) not slower than radix 32 (%.0f)", r16, r32)
+	}
+}
+
+func TestEvaluateAllSorted(t *testing.T) {
+	e := newExplorer()
+	cfgs := []Config{
+		{ModMul: mpz.ModMulBlakley, Window: 1, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone},
+		{ModMul: mpz.ModMulMontgomery, Window: 4, CRT: rsakey.CRTGarner, Radix: 32, Cache: mpz.CacheReducer},
+		{ModMul: mpz.ModMulBasecase, Window: 2, CRT: rsakey.CRTGauss, Radix: 32, Cache: mpz.CacheNone},
+	}
+	rs, err := e.EvaluateAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].EstCycles < rs[i-1].EstCycles {
+			t.Error("results not sorted best-first")
+		}
+	}
+	if rs[0].ModMul != mpz.ModMulMontgomery {
+		t.Errorf("best candidate is %v, want montgomery", rs[0].Config)
+	}
+}
+
+func TestReplayISSTracksEstimate(t *testing.T) {
+	// The macro-model estimate should be within the paper's error regime
+	// (~12 %) of a sampled ISS replay of the same trace.
+	e := newExplorer()
+	cfg := Config{ModMul: mpz.ModMulMontgomery, Window: 2, CRT: rsakey.CRTGarner, Radix: 32, Cache: mpz.CacheReducer}
+	est, err := e.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ReplayISS(cfg, sim.DefaultConfig(), 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPct := 100 * math.Abs(est.EstCycles-res.Cycles) / res.Cycles
+	t.Logf("estimate %.0f vs ISS replay %.0f (%.1f%% error)", est.EstCycles, res.Cycles, errPct)
+	if res.Invocations < res.Executed || res.Executed == 0 {
+		t.Errorf("replay accounting wrong: %+v", res)
+	}
+	if res.ProjectedFull < res.Elapsed {
+		t.Error("projected full replay shorter than sampled replay")
+	}
+	if errPct > 20 {
+		t.Errorf("macro-model error %.1f%% exceeds 20%%", errPct)
+	}
+}
+
+func TestReplayISSValidation(t *testing.T) {
+	e := newExplorer()
+	if _, err := e.ReplayISS(Config{ModMul: mpz.ModMulBasecase, Window: 1, CRT: rsakey.CRTNone, Radix: 16, Cache: mpz.CacheNone}, sim.DefaultConfig(), 1, 1); err == nil {
+		t.Error("radix-16 replay accepted")
+	}
+	if _, err := e.ReplayISS(Config{ModMul: mpz.ModMulBasecase, Window: 1, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone}, sim.DefaultConfig(), 0, 1); err == nil {
+		t.Error("sampleCap 0 accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ModMul: mpz.ModMulBasecase, Window: 0, Radix: 32},
+		{ModMul: mpz.ModMulBasecase, Window: 6, Radix: 32},
+		{ModMul: mpz.ModMulBasecase, Window: 2, Radix: 8},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted", c)
+		}
+	}
+}
+
+func TestRadixAdjust(t *testing.T) {
+	tr := mpz.NewTrace()
+	tr.Add("mpn_addmul_1", 8, 10)
+	tr.Add("mpn_add_n", 8, 4)
+	adj := radixAdjust(tr, 16)
+	for _, inv := range adj.Invocations() {
+		switch inv.Routine {
+		case "mpn_addmul_1":
+			if inv.N != 16 || inv.Count != 20 {
+				t.Errorf("addmul adjusted to n=%d ×%d", inv.N, inv.Count)
+			}
+		case "mpn_add_n":
+			if inv.N != 16 || inv.Count != 4 {
+				t.Errorf("add_n adjusted to n=%d ×%d", inv.N, inv.Count)
+			}
+		}
+	}
+	if same := radixAdjust(tr, 32); same != tr {
+		t.Error("radix 32 should be identity")
+	}
+}

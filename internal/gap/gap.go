@@ -1,0 +1,119 @@
+// Package gap models the "security processing gap" of the paper's
+// Figure 1: the projected computational requirement (MIPS) of securing
+// wireless links at each generation's data rate, against the MIPS an
+// embedded handset processor delivers at each silicon technology node.
+// The requirement grows with the square-ish adoption of higher data rates
+// and stronger ciphers, while embedded performance — capped by handset
+// power budgets — scales roughly with frequency across nodes, so the gap
+// widens.
+package gap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Generation is one wireless technology generation.
+type Generation struct {
+	Name     string
+	DataKbps float64 // sustained link rate the handset must secure
+}
+
+// Node is one silicon technology node.
+type Node struct {
+	Name     string
+	MHz      float64 // embedded-core clock at handset power budgets
+	MIPSFreq float64 // delivered MIPS per MHz (microarchitecture factor)
+}
+
+// Generations is the paper's 2G → 3G progression, extended by the wireless
+// LAN rates the platform also targets (10–55 Mbps, §1.1).
+var Generations = []Generation{
+	{Name: "2G", DataKbps: 14.4},
+	{Name: "2.5G", DataKbps: 384},
+	{Name: "3G", DataKbps: 2000},
+	{Name: "WLAN", DataKbps: 10000},
+	{Name: "WLAN54", DataKbps: 54000},
+}
+
+// Nodes is the 0.35 µm → 0.10 µm progression of Figure 1's x-axis.
+var Nodes = []Node{
+	{Name: "0.35u", MHz: 60, MIPSFreq: 0.9},
+	{Name: "0.25u", MHz: 100, MIPSFreq: 0.95},
+	{Name: "0.18u", MHz: 188, MIPSFreq: 1.0},
+	{Name: "0.13u", MHz: 300, MIPSFreq: 1.05},
+	{Name: "0.10u", MHz: 450, MIPSFreq: 1.1},
+}
+
+// CyclesPerBit is the software security-processing cost used for the
+// requirement curve.  It composes bulk encryption (3DES-grade), message
+// authentication, and an amortized per-connection public-key share.
+type CyclesPerBit struct {
+	Cipher float64 // bulk cipher cycles per bit
+	MAC    float64 // integrity cycles per bit
+	Pubkey float64 // amortized handshake cycles per bit
+}
+
+// Default3DES is a 3DES+HMAC+RSA workload at the paper's software costs
+// (≈1426 cycles/byte for 3DES alone on the base core).
+var Default3DES = CyclesPerBit{Cipher: 178, MAC: 25, Pubkey: 40}
+
+// Total returns the cycles needed per transferred bit.
+func (c CyclesPerBit) Total() float64 { return c.Cipher + c.MAC + c.Pubkey }
+
+// RequiredMIPS returns the security-processing requirement of securing g's
+// data rate under cost model c.
+func RequiredMIPS(g Generation, c CyclesPerBit) float64 {
+	return g.DataKbps * 1000 * c.Total() / 1e6
+}
+
+// AvailableMIPS returns the embedded processor performance at node n.
+func AvailableMIPS(n Node) float64 { return n.MHz * n.MIPSFreq }
+
+// Row is one point of the Figure 1 comparison: the generation deployed in
+// the same timeframe as the node.
+type Row struct {
+	Node          Node
+	Generation    Generation
+	RequiredMIPS  float64
+	AvailableMIPS float64
+}
+
+// Gap returns requirement / availability (> 1 means the processor cannot
+// keep up at full line rate).
+func (r Row) Gap() float64 { return r.RequiredMIPS / r.AvailableMIPS }
+
+// Figure1 pairs nodes with the generations of their deployment era and
+// evaluates the gap under cost model c.  Nodes beyond the generation list
+// reuse the last (highest-rate) generation.
+func Figure1(c CyclesPerBit) []Row {
+	out := make([]Row, 0, len(Nodes))
+	for i, n := range Nodes {
+		g := Generations[min(i, len(Generations)-1)]
+		out = append(out, Row{
+			Node:          n,
+			Generation:    g,
+			RequiredMIPS:  RequiredMIPS(g, c),
+			AvailableMIPS: AvailableMIPS(n),
+		})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Render prints the Figure 1 table.
+func Render(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %14s %14s %8s\n", "node", "gen", "required MIPS", "available MIPS", "gap")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6s %14.1f %14.1f %7.2fx\n",
+			r.Node.Name, r.Generation.Name, r.RequiredMIPS, r.AvailableMIPS, r.Gap())
+	}
+	return b.String()
+}

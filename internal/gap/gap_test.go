@@ -1,0 +1,57 @@
+package gap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRequiredMIPSScalesWithDataRate(t *testing.T) {
+	c := Default3DES
+	prev := 0.0
+	for _, g := range Generations {
+		req := RequiredMIPS(g, c)
+		if req <= prev {
+			t.Errorf("%s: required MIPS %.1f not increasing", g.Name, req)
+		}
+		prev = req
+	}
+}
+
+func TestFigure1GapWidens(t *testing.T) {
+	rows := Figure1(Default3DES)
+	if len(rows) != len(Nodes) {
+		t.Fatalf("rows %d, want %d", len(rows), len(Nodes))
+	}
+	// The paper's claim: requirements outgrow embedded performance, so
+	// the gap at 3G-era nodes exceeds the 2G-era gap.
+	if rows[len(rows)-1].Gap() <= rows[0].Gap() {
+		t.Errorf("gap does not widen: first %.2f, last %.2f", rows[0].Gap(), rows[len(rows)-1].Gap())
+	}
+	// At 3G rates the base processor is underwater (gap > 1): the
+	// motivating observation for the security processor.
+	last := rows[len(rows)-1]
+	if last.Gap() <= 1 {
+		t.Errorf("3G-era gap %.2f, want > 1", last.Gap())
+	}
+	for _, r := range rows {
+		if r.RequiredMIPS <= 0 || r.AvailableMIPS <= 0 {
+			t.Errorf("non-positive MIPS in row %+v", r)
+		}
+	}
+}
+
+func TestCyclesPerBitTotal(t *testing.T) {
+	c := CyclesPerBit{Cipher: 10, MAC: 5, Pubkey: 2}
+	if c.Total() != 17 {
+		t.Errorf("Total = %v", c.Total())
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(Figure1(Default3DES))
+	for _, want := range []string{"0.35u", "0.10u", "gap", "3G"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}

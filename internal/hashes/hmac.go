@@ -1,0 +1,78 @@
+package hashes
+
+// Hash is the subset of the standard hash interface our digests implement;
+// HMAC is generic over it.
+type Hash interface {
+	Write(p []byte) (int, error)
+	Sum(b []byte) []byte
+	Reset()
+	Size() int
+	BlockSize() int
+}
+
+// HMAC computes the keyed-hash message authentication code (RFC 2104) over
+// any Hash constructor.
+type HMAC struct {
+	outer, inner Hash
+	ipad, opad   []byte
+}
+
+// NewHMAC builds an HMAC instance keyed with key over newHash().
+func NewHMAC(newHash func() Hash, key []byte) *HMAC {
+	inner, outer := newHash(), newHash()
+	bs := inner.BlockSize()
+	if len(key) > bs {
+		inner.Write(key)
+		key = inner.Sum(nil)
+		inner.Reset()
+	}
+	ipad := make([]byte, bs)
+	opad := make([]byte, bs)
+	copy(ipad, key)
+	copy(opad, key)
+	for i := range ipad {
+		ipad[i] ^= 0x36
+		opad[i] ^= 0x5C
+	}
+	h := &HMAC{outer: outer, inner: inner, ipad: ipad, opad: opad}
+	h.Reset()
+	return h
+}
+
+// Reset restarts the MAC for a new message under the same key.
+func (h *HMAC) Reset() {
+	h.inner.Reset()
+	h.inner.Write(h.ipad)
+}
+
+// Write absorbs message bytes.
+func (h *HMAC) Write(p []byte) (int, error) { return h.inner.Write(p) }
+
+// Size returns the underlying digest size.
+func (h *HMAC) Size() int { return h.inner.Size() }
+
+// BlockSize returns the underlying block size.
+func (h *HMAC) BlockSize() int { return h.inner.BlockSize() }
+
+// Sum appends the MAC of everything written so far to b.
+func (h *HMAC) Sum(b []byte) []byte {
+	innerSum := h.inner.Sum(nil)
+	h.outer.Reset()
+	h.outer.Write(h.opad)
+	h.outer.Write(innerSum)
+	return h.outer.Sum(b)
+}
+
+// HMACMD5 is the one-shot HMAC-MD5 convenience.
+func HMACMD5(key, msg []byte) []byte {
+	h := NewHMAC(func() Hash { return NewMD5() }, key)
+	h.Write(msg)
+	return h.Sum(nil)
+}
+
+// HMACSHA1 is the one-shot HMAC-SHA1 convenience.
+func HMACSHA1(key, msg []byte) []byte {
+	h := NewHMAC(func() Hash { return NewSHA1() }, key)
+	h.Write(msg)
+	return h.Sum(nil)
+}

@@ -1,0 +1,160 @@
+// Package hashes implements the MD5 and SHA-1 digest algorithms and HMAC
+// from scratch.  SSL 3.0/TLS 1.0 — the transport-layer protocol whose
+// transactions Figure 8 accelerates — uses both digests in its handshake
+// and HMAC-MD5/HMAC-SHA1 for record-layer integrity; on the platform these
+// run on the base core and therefore form part of the non-accelerated
+// "miscellaneous" workload share.
+package hashes
+
+import "encoding/binary"
+
+// MD5Size is the MD5 digest length in bytes.
+const MD5Size = 16
+
+// MD5BlockSize is the MD5 block size in bytes.
+const MD5BlockSize = 64
+
+// md5Shifts holds the per-round left-rotation amounts.
+var md5Shifts = [64]uint{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+// md5K holds the binary-radian sine constants K[i] = floor(2³²·|sin(i+1)|).
+var md5K = [64]uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+	0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+	0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+	0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+	0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+	0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+	0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+	0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+	0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+// MD5 computes digests incrementally; the zero value is not usable — call
+// NewMD5.
+type MD5 struct {
+	h   [4]uint32
+	buf [MD5BlockSize]byte
+	n   int    // bytes buffered
+	len uint64 // total bytes written
+}
+
+// NewMD5 returns a fresh MD5 state.
+func NewMD5() *MD5 {
+	m := &MD5{}
+	m.Reset()
+	return m
+}
+
+// Reset restores the initial chaining values.
+func (m *MD5) Reset() {
+	m.h = [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	m.n = 0
+	m.len = 0
+}
+
+// Size returns MD5Size.
+func (m *MD5) Size() int { return MD5Size }
+
+// BlockSize returns MD5BlockSize.
+func (m *MD5) BlockSize() int { return MD5BlockSize }
+
+// Write absorbs p; it never fails.
+func (m *MD5) Write(p []byte) (int, error) {
+	total := len(p)
+	m.len += uint64(total)
+	if m.n > 0 {
+		c := copy(m.buf[m.n:], p)
+		m.n += c
+		p = p[c:]
+		if m.n == MD5BlockSize {
+			m.block(m.buf[:])
+			m.n = 0
+		}
+		if len(p) == 0 {
+			return total, nil
+		}
+	}
+	for len(p) >= MD5BlockSize {
+		m.block(p[:MD5BlockSize])
+		p = p[MD5BlockSize:]
+	}
+	m.n = copy(m.buf[:], p)
+	return total, nil
+}
+
+func (m *MD5) block(p []byte) {
+	var x [16]uint32
+	for i := range x {
+		x[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	a, b, c, d := m.h[0], m.h[1], m.h[2], m.h[3]
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & d)
+			g = i
+		case i < 32:
+			f = (d & b) | (^d & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ d
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^d)
+			g = (7 * i) % 16
+		}
+		f += a + md5K[i] + x[g]
+		a = d
+		d = c
+		c = b
+		s := md5Shifts[i]
+		b += f<<s | f>>(32-s)
+	}
+	m.h[0] += a
+	m.h[1] += b
+	m.h[2] += c
+	m.h[3] += d
+}
+
+// Sum appends the digest of everything written so far to b.  The state may
+// continue to be written to afterwards (Sum operates on a copy).
+func (m *MD5) Sum(b []byte) []byte {
+	cp := *m
+	bitLen := cp.len * 8
+	cp.Write([]byte{0x80})
+	for cp.n != 56 {
+		cp.Write([]byte{0})
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], bitLen)
+	cp.Write(lenBuf[:])
+	var out [MD5Size]byte
+	for i, v := range cp.h {
+		binary.LittleEndian.PutUint32(out[4*i:], v)
+	}
+	return append(b, out[:]...)
+}
+
+// MD5Sum is the one-shot convenience.
+func MD5Sum(data []byte) [MD5Size]byte {
+	m := NewMD5()
+	m.Write(data)
+	var out [MD5Size]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}

@@ -1,0 +1,151 @@
+// Package hashlib implements a chained hash table keyed by byte strings —
+// the second of the two software libraries the paper's experimental
+// methodology builds on ("a hash library that provides a reliable means for
+// creating hash tables", §4.1).  The exploration driver uses it to memoize
+// algorithm-candidate evaluations, and the SSL session layer uses it as its
+// session cache.
+package hashlib
+
+import "fmt"
+
+// fnv64 constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv64(key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+type entry struct {
+	hash  uint64
+	key   []byte
+	value any
+	next  *entry
+}
+
+// Table is a chained hash table with automatic growth.  The zero value is
+// not usable; call New.
+type Table struct {
+	buckets []*entry
+	size    int
+}
+
+// New returns an empty table with the given initial bucket-count hint.
+func New(sizeHint int) *Table {
+	n := 8
+	for n < sizeHint {
+		n <<= 1
+	}
+	return &Table{buckets: make([]*entry, n)}
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.size }
+
+func keyEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Put stores value under key (copied), replacing any existing entry.
+func (t *Table) Put(key []byte, value any) {
+	h := fnv64(key)
+	idx := h & uint64(len(t.buckets)-1)
+	for e := t.buckets[idx]; e != nil; e = e.next {
+		if e.hash == h && keyEqual(e.key, key) {
+			e.value = value
+			return
+		}
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	t.buckets[idx] = &entry{hash: h, key: k, value: value, next: t.buckets[idx]}
+	t.size++
+	if t.size > 3*len(t.buckets)/4 {
+		t.grow()
+	}
+}
+
+// Get retrieves the value stored under key.
+func (t *Table) Get(key []byte) (any, bool) {
+	h := fnv64(key)
+	for e := t.buckets[h&uint64(len(t.buckets)-1)]; e != nil; e = e.next {
+		if e.hash == h && keyEqual(e.key, key) {
+			return e.value, true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes the entry under key, reporting whether it existed.
+func (t *Table) Delete(key []byte) bool {
+	h := fnv64(key)
+	idx := h & uint64(len(t.buckets)-1)
+	var prev *entry
+	for e := t.buckets[idx]; e != nil; prev, e = e, e.next {
+		if e.hash == h && keyEqual(e.key, key) {
+			if prev == nil {
+				t.buckets[idx] = e.next
+			} else {
+				prev.next = e.next
+			}
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls fn for every entry until fn returns false.  Iteration order
+// is unspecified.  The table must not be modified during Range.
+func (t *Table) Range(fn func(key []byte, value any) bool) {
+	for _, head := range t.buckets {
+		for e := head; e != nil; e = e.next {
+			if !fn(e.key, e.value) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([]*entry, 2*len(old))
+	mask := uint64(len(t.buckets) - 1)
+	for _, head := range old {
+		for e := head; e != nil; {
+			next := e.next
+			idx := e.hash & mask
+			e.next = t.buckets[idx]
+			t.buckets[idx] = e
+			e = next
+		}
+	}
+}
+
+// PutString / GetString are string-key conveniences.
+
+// PutString stores value under a string key.
+func (t *Table) PutString(key string, value any) { t.Put([]byte(key), value) }
+
+// GetString retrieves the value stored under a string key.
+func (t *Table) GetString(key string) (any, bool) { return t.Get([]byte(key)) }
+
+// String summarizes the table for debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("hashlib.Table{entries: %d, buckets: %d}", t.size, len(t.buckets))
+}

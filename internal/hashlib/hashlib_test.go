@@ -1,0 +1,149 @@
+package hashlib
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	tbl := New(4)
+	tbl.Put([]byte("alpha"), 1)
+	tbl.Put([]byte("beta"), 2)
+	if v, ok := tbl.Get([]byte("alpha")); !ok || v.(int) != 1 {
+		t.Errorf("Get(alpha) = %v, %v", v, ok)
+	}
+	if _, ok := tbl.Get([]byte("gamma")); ok {
+		t.Error("phantom key found")
+	}
+	tbl.Put([]byte("alpha"), 10) // replace
+	if v, _ := tbl.Get([]byte("alpha")); v.(int) != 10 {
+		t.Error("replace failed")
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tbl.Len())
+	}
+	if !tbl.Delete([]byte("alpha")) {
+		t.Error("Delete(alpha) = false")
+	}
+	if tbl.Delete([]byte("alpha")) {
+		t.Error("double Delete succeeded")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len after delete = %d", tbl.Len())
+	}
+}
+
+func TestGrowthKeepsAllEntries(t *testing.T) {
+	tbl := New(8)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tbl.PutString(fmt.Sprintf("key-%d", i), i)
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tbl.GetString(fmt.Sprintf("key-%d", i))
+		if !ok || v.(int) != i {
+			t.Fatalf("lost key-%d after growth", i)
+		}
+	}
+}
+
+func TestKeyIsCopied(t *testing.T) {
+	tbl := New(4)
+	key := []byte("mutable")
+	tbl.Put(key, "v")
+	key[0] = 'X'
+	if _, ok := tbl.Get([]byte("mutable")); !ok {
+		t.Error("mutating caller's key corrupted the table")
+	}
+}
+
+func TestBinaryKeysWithEmbeddedZeros(t *testing.T) {
+	tbl := New(4)
+	k1 := []byte{0, 1, 0, 2}
+	k2 := []byte{0, 1, 0, 3}
+	tbl.Put(k1, "a")
+	tbl.Put(k2, "b")
+	if v, _ := tbl.Get(k1); v != "a" {
+		t.Error("binary key 1 lost")
+	}
+	if v, _ := tbl.Get(k2); v != "b" {
+		t.Error("binary key 2 lost")
+	}
+}
+
+func TestRange(t *testing.T) {
+	tbl := New(4)
+	want := map[string]int{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		tbl.PutString(k, i)
+		want[k] = i
+	}
+	got := map[string]int{}
+	tbl.Range(func(key []byte, value any) bool {
+		got[string(key)] = value.(int)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	count := 0
+	tbl.Range(func(key []byte, value any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early-terminated Range visited %d", count)
+	}
+}
+
+func TestMirrorsGoMapProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	tbl := New(4)
+	ref := map[string]int{}
+	f := func() bool {
+		key := fmt.Sprintf("k%d", r.Intn(200))
+		switch r.Intn(3) {
+		case 0: // put
+			v := r.Int()
+			tbl.PutString(key, v)
+			ref[key] = v
+		case 1: // delete
+			delete(ref, key)
+			tbl.Delete([]byte(key))
+		case 2: // get
+			v, ok := tbl.GetString(key)
+			rv, rok := ref[key]
+			if ok != rok {
+				return false
+			}
+			if ok && v.(int) != rv {
+				return false
+			}
+		}
+		return tbl.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	tbl := New(4)
+	tbl.PutString("x", 1)
+	if s := tbl.String(); !strings.Contains(s, "entries: 1") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,105 @@
+// Package instrsel implements the final step of the paper's global custom
+// instruction selection (§3.4): given the composite A-D curve propagated to
+// the root of an algorithm's call graph, apply the platform's area and
+// performance constraints to pick the custom-instruction combination.
+package instrsel
+
+import (
+	"fmt"
+
+	"wisp/internal/adcurve"
+)
+
+// Selection is the outcome of a selection run.
+type Selection struct {
+	Point    adcurve.Point // the chosen design point
+	Baseline float64       // cycles of the zero-area (base ISA) point
+}
+
+// Speedup returns the improvement over the base-ISA point.
+func (s Selection) Speedup() float64 {
+	if s.Point.Cycles == 0 {
+		return 0
+	}
+	return s.Baseline / s.Point.Cycles
+}
+
+// String renders the selection.
+func (s Selection) String() string {
+	return fmt.Sprintf("select %s: %.0f cycles (%.2f× over base, area %.0f gates)",
+		s.Point.Set.Key(), s.Point.Cycles, s.Speedup(), s.Point.Area())
+}
+
+// baseline finds the cycles of the cheapest-area point (the base ISA when
+// present).
+func baseline(curve adcurve.Curve) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	best := curve[0]
+	for _, p := range curve[1:] {
+		if p.Area() < best.Area() {
+			best = p
+		}
+	}
+	return best.Cycles
+}
+
+// MinCycles picks the fastest design point whose area does not exceed
+// areaBudget (gate equivalents).  It errors when no point fits.
+func MinCycles(curve adcurve.Curve, areaBudget float64) (Selection, error) {
+	if len(curve) == 0 {
+		return Selection{}, fmt.Errorf("instrsel: empty curve")
+	}
+	var best *adcurve.Point
+	for i := range curve {
+		p := &curve[i]
+		if p.Area() > areaBudget {
+			continue
+		}
+		if best == nil || p.Cycles < best.Cycles ||
+			(p.Cycles == best.Cycles && p.Area() < best.Area()) {
+			best = p
+		}
+	}
+	if best == nil {
+		return Selection{}, fmt.Errorf("instrsel: no design point within area budget %.0f", areaBudget)
+	}
+	return Selection{Point: *best, Baseline: baseline(curve)}, nil
+}
+
+// MinArea picks the smallest-area design point meeting the cycle target.
+// It errors when no point is fast enough.
+func MinArea(curve adcurve.Curve, cycleTarget float64) (Selection, error) {
+	if len(curve) == 0 {
+		return Selection{}, fmt.Errorf("instrsel: empty curve")
+	}
+	var best *adcurve.Point
+	for i := range curve {
+		p := &curve[i]
+		if p.Cycles > cycleTarget {
+			continue
+		}
+		if best == nil || p.Area() < best.Area() ||
+			(p.Area() == best.Area() && p.Cycles < best.Cycles) {
+			best = p
+		}
+	}
+	if best == nil {
+		return Selection{}, fmt.Errorf("instrsel: no design point meets %.0f cycles", cycleTarget)
+	}
+	return Selection{Point: *best, Baseline: baseline(curve)}, nil
+}
+
+// Sweep evaluates MinCycles across several area budgets, returning one
+// selection per budget (skipping budgets where nothing fits).  This
+// produces the budget-vs-performance view designers iterate on.
+func Sweep(curve adcurve.Curve, budgets []float64) []Selection {
+	out := make([]Selection, 0, len(budgets))
+	for _, b := range budgets {
+		if sel, err := MinCycles(curve, b); err == nil {
+			out = append(out, sel)
+		}
+	}
+	return out
+}

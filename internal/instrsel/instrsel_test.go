@@ -1,0 +1,107 @@
+package instrsel
+
+import (
+	"strings"
+	"testing"
+
+	"wisp/internal/adcurve"
+	"wisp/internal/tie"
+)
+
+func testCurve() adcurve.Curve {
+	add4 := &tie.Instr{Name: "add_4", Family: "adder", Kind: "add", Rank: 4,
+		Res: tie.Resources{Adders: 4}} // 1280 + 150 gates
+	add16 := &tie.Instr{Name: "add_16", Family: "adder", Kind: "add", Rank: 16,
+		Res: tie.Resources{Adders: 16}} // 5120 + 150
+	mul1 := &tie.Instr{Name: "mul_1", Family: "mult", Kind: "mul", Rank: 1,
+		Res: tie.Resources{Mults: 1}} // 6400 + 150
+	return adcurve.Curve{
+		{Cycles: 10000, Set: adcurve.NewInstrSet()},
+		{Cycles: 6000, Set: adcurve.NewInstrSet(add4)},
+		{Cycles: 4500, Set: adcurve.NewInstrSet(add16)},
+		{Cycles: 2000, Set: adcurve.NewInstrSet(add16, mul1)},
+	}
+}
+
+func TestMinCyclesRespectsBudget(t *testing.T) {
+	c := testCurve()
+	// Budget 2000 gates: only base (0) and add_4 (1430) fit.
+	sel, err := MinCycles(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Point.Set.Key() != "add_4" {
+		t.Errorf("selected %s, want add_4", sel.Point.Set.Key())
+	}
+	if sel.Baseline != 10000 {
+		t.Errorf("baseline %v", sel.Baseline)
+	}
+	if sp := sel.Speedup(); sp < 1.6 || sp > 1.7 {
+		t.Errorf("speedup %v, want ≈1.67", sp)
+	}
+	// Unlimited budget: full acceleration.
+	sel, err = MinCycles(c, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Point.Set.Key() != "add_16+mul_1" {
+		t.Errorf("selected %s", sel.Point.Set.Key())
+	}
+	if sel.Speedup() != 5 {
+		t.Errorf("speedup %v, want 5", sel.Speedup())
+	}
+	// Budget 0: base point.
+	sel, err = MinCycles(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Point.Set.Len() != 0 {
+		t.Error("zero budget selected custom instructions")
+	}
+}
+
+func TestMinCyclesErrors(t *testing.T) {
+	if _, err := MinCycles(nil, 100); err == nil {
+		t.Error("empty curve accepted")
+	}
+	c := adcurve.Curve{{Cycles: 5, Set: adcurve.NewInstrSet(
+		&tie.Instr{Name: "x", Res: tie.Resources{Logic: 1000}})}}
+	if _, err := MinCycles(c, 10); err == nil {
+		t.Error("no-fit budget accepted")
+	}
+}
+
+func TestMinArea(t *testing.T) {
+	c := testCurve()
+	sel, err := MinArea(c, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest point at ≤ 5000 cycles is add_16.
+	if sel.Point.Set.Key() != "add_16" {
+		t.Errorf("selected %s, want add_16", sel.Point.Set.Key())
+	}
+	if _, err := MinArea(c, 100); err == nil {
+		t.Error("unreachable cycle target accepted")
+	}
+	if _, err := MinArea(nil, 100); err == nil {
+		t.Error("empty curve accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	c := testCurve()
+	sels := Sweep(c, []float64{0, 2000, 8000, 1e9})
+	if len(sels) != 4 {
+		t.Fatalf("sweep returned %d selections", len(sels))
+	}
+	// Monotone: larger budgets never get slower.
+	for i := 1; i < len(sels); i++ {
+		if sels[i].Point.Cycles > sels[i-1].Point.Cycles {
+			t.Error("sweep not monotone in budget")
+		}
+	}
+	if !strings.Contains(sels[3].String(), "add_16+mul_1") {
+		t.Errorf("String() = %q", sels[3].String())
+	}
+}

@@ -1,0 +1,205 @@
+package isa
+
+import "fmt"
+
+// Binary instruction word layout (32 bits):
+//
+//	[31:26] opcode
+//	[25:22] rd
+//	[21:18] rs
+//	[17:14] rt
+//	[13:0]  short immediate (R/custom formats)
+//
+// Wider immediates reuse the register fields they do not need:
+//
+//	imm18 formats (ADDI, MOVI, loads, stores, BEQZ/BNEZ): bits [17:0]
+//	imm16 formats (ANDI/ORI/XORI/LUI):                    bits [15:0]
+//	imm26 format  (J, JAL):                               bits [25:0]
+//	branch imm14  (BEQ..BGEU):                            bits [13:0]
+
+// Immediate range limits implied by the encoding.
+const (
+	MaxSImm18 = 1<<17 - 1
+	MinSImm18 = -(1 << 17)
+	MaxSImm14 = 1<<13 - 1
+	MinSImm14 = -(1 << 13)
+	MaxSImm26 = 1<<25 - 1
+	MinSImm26 = -(1 << 25)
+	MaxUImm16 = 1<<16 - 1
+)
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+func fitsSigned(v int32, bits uint) bool {
+	return v >= -(1<<(bits-1)) && v <= 1<<(bits-1)-1
+}
+
+// immKind classifies how an opcode uses the immediate field.
+type immKind uint8
+
+const (
+	immNone immKind = iota
+	immS18          // signed 18-bit, bits [17:0]
+	immU16          // unsigned 16-bit, bits [15:0]
+	immU5           // unsigned 5-bit shift amount
+	immU10          // unsigned 10-bit (EXTUI shift/width pack)
+	immS14          // signed 14-bit branch displacement
+	immS26          // signed 26-bit jump displacement
+	immCust         // 14-bit custom id+sub pack
+)
+
+func (op Op) immKind() immKind {
+	switch op {
+	case OpADDI, OpMOVI, OpL32I, OpL16UI, OpL8UI, OpS32I, OpS16I, OpS8I, OpBEQZ, OpBNEZ:
+		return immS18
+	case OpANDI, OpORI, OpXORI, OpLUI:
+		return immU16
+	case OpSLLI, OpSRLI, OpSRAI:
+		return immU5
+	case OpEXTUI:
+		return immU10
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return immS14
+	case OpJ, OpJAL:
+		return immS26
+	case OpCUST:
+		return immCust
+	default:
+		return immNone
+	}
+}
+
+// usesRegFields reports which of rd/rs/rt carry register operands for op.
+func (op Op) usesRegFields() (rd, rs, rt bool) {
+	switch op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpMULL, OpMULH:
+		return true, true, true
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpEXTUI:
+		return true, true, false
+	case OpMOVI, OpLUI, OpBEQZ, OpBNEZ:
+		return true, false, false
+	case OpL32I, OpL16UI, OpL8UI, OpS32I, OpS16I, OpS8I:
+		return true, true, false
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return true, true, false
+	case OpJALR, OpJR:
+		return false, true, false
+	case OpCUST:
+		return true, true, true
+	default: // J, JAL, NOP, HALT
+		return false, false, false
+	}
+}
+
+// Encode packs in into its 32-bit binary representation.  It returns an
+// error when a register or immediate operand does not fit the format.
+func Encode(in Instruction) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	useRd, useRs, useRt := in.Op.usesRegFields()
+	for _, f := range []struct {
+		used bool
+		r    Reg
+		name string
+	}{{useRd, in.Rd, "rd"}, {useRs, in.Rs, "rs"}, {useRt, in.Rt, "rt"}} {
+		if f.used && !f.r.Valid() {
+			return 0, fmt.Errorf("isa: encode %s: %s register a%d out of range", in.Op, f.name, f.r)
+		}
+	}
+
+	w := uint32(in.Op) << 26
+	if useRd {
+		w |= uint32(in.Rd&0xF) << 22
+	}
+	if useRs {
+		w |= uint32(in.Rs&0xF) << 18
+	}
+	if useRt {
+		w |= uint32(in.Rt&0xF) << 14
+	}
+
+	imm := in.Imm
+	switch in.Op.immKind() {
+	case immNone:
+		if imm != 0 {
+			return 0, fmt.Errorf("isa: encode %s: unexpected immediate %d", in.Op, imm)
+		}
+	case immS18:
+		if !fitsSigned(imm, 18) {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d exceeds signed 18-bit range", in.Op, imm)
+		}
+		w |= uint32(imm) & 0x3FFFF
+	case immU16:
+		if imm < 0 || imm > MaxUImm16 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d exceeds unsigned 16-bit range", in.Op, imm)
+		}
+		w |= uint32(imm)
+	case immU5:
+		if imm < 0 || imm > 31 {
+			return 0, fmt.Errorf("isa: encode %s: shift amount %d exceeds [0,31]", in.Op, imm)
+		}
+		w |= uint32(imm)
+	case immU10:
+		if imm < 0 || imm > 1<<10-1 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d exceeds unsigned 10-bit range", in.Op, imm)
+		}
+		w |= uint32(imm)
+	case immS14:
+		if !fitsSigned(imm, 14) {
+			return 0, fmt.Errorf("isa: encode %s: branch displacement %d exceeds signed 14-bit range", in.Op, imm)
+		}
+		w |= uint32(imm) & 0x3FFF
+	case immS26:
+		if !fitsSigned(imm, 26) {
+			return 0, fmt.Errorf("isa: encode %s: jump displacement %d exceeds signed 26-bit range", in.Op, imm)
+		}
+		w |= uint32(imm) & 0x3FFFFFF
+	case immCust:
+		if imm < 0 || imm > 1<<14-1 {
+			return 0, fmt.Errorf("isa: encode cust: packed id/sub %d exceeds 14 bits", imm)
+		}
+		w |= uint32(imm)
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit instruction word.  It returns an error for
+// undefined opcodes.
+func Decode(w uint32) (Instruction, error) {
+	op := Op(w >> 26)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: decode: undefined opcode %d in word %#08x", op, w)
+	}
+	in := Instruction{Op: op}
+	useRd, useRs, useRt := op.usesRegFields()
+	if useRd {
+		in.Rd = Reg(w >> 22 & 0xF)
+	}
+	if useRs {
+		in.Rs = Reg(w >> 18 & 0xF)
+	}
+	if useRt {
+		in.Rt = Reg(w >> 14 & 0xF)
+	}
+	switch op.immKind() {
+	case immS18:
+		in.Imm = signExtend(w&0x3FFFF, 18)
+	case immU16:
+		in.Imm = int32(w & 0xFFFF)
+	case immU5:
+		in.Imm = int32(w & 0x1F)
+	case immU10:
+		in.Imm = int32(w & 0x3FF)
+	case immS14:
+		in.Imm = signExtend(w&0x3FFF, 14)
+	case immS26:
+		in.Imm = signExtend(w&0x3FFFFFF, 26)
+	case immCust:
+		in.Imm = int32(w & 0x3FFF)
+	}
+	return in, nil
+}

@@ -1,0 +1,249 @@
+// Package isa defines xt32, the 32-bit RISC instruction set architecture of
+// the WISP security processing platform.
+//
+// xt32 is modeled after the configurable Xtensa core used in the DAC 2002
+// paper: a windowless 32-bit RISC with sixteen general-purpose address
+// registers, compact ALU/branch/memory instructions, a field-extraction
+// instruction (EXTUI), and a reserved opcode region for designer-defined
+// custom instructions (the TIE analogue).  The package defines registers,
+// opcodes, instruction formats and a binary encoding with an exact
+// decode(encode(x)) == x round trip.
+package isa
+
+import "fmt"
+
+// Reg is one of the sixteen general-purpose registers a0..a15.
+//
+// Software conventions (mirroring a windowless Xtensa CALL0 ABI):
+//
+//	a0  return address
+//	a1  stack pointer
+//	a2..a7  arguments and return values
+//	a8..a11 caller-saved temporaries
+//	a12..a15 callee-saved
+type Reg uint8
+
+// Register names under the CALL0-style calling convention.
+const (
+	RA Reg = 0  // return address (a0)
+	SP Reg = 1  // stack pointer (a1)
+	A2 Reg = 2  // first argument / return value
+	A3 Reg = 3
+	A4 Reg = 4
+	A5 Reg = 5
+	A6 Reg = 6
+	A7 Reg = 7
+	A8 Reg = 8
+	A9 Reg = 9
+	A10 Reg = 10
+	A11 Reg = 11
+	A12 Reg = 12
+	A13 Reg = 13
+	A14 Reg = 14
+	A15 Reg = 15
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// String returns the assembler spelling of r ("a0".."a15").
+func (r Reg) String() string { return fmt.Sprintf("a%d", r) }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op is an xt32 opcode.
+type Op uint8
+
+// Opcode space. The encoding reserves the upper 6 bits of every instruction
+// word for the opcode, so values must stay below 64.
+const (
+	OpInvalid Op = iota
+
+	// Register-register ALU.
+	OpADD  // rd = rs + rt
+	OpSUB  // rd = rs - rt
+	OpAND  // rd = rs & rt
+	OpOR   // rd = rs | rt
+	OpXOR  // rd = rs ^ rt
+	OpSLL  // rd = rs << (rt & 31)
+	OpSRL  // rd = rs >> (rt & 31) logical
+	OpSRA  // rd = rs >> (rt & 31) arithmetic
+	OpMULL // rd = low32(rs * rt)
+	OpMULH // rd = high32(unsigned rs * rt)
+
+	// Register-immediate ALU.
+	OpADDI  // rd = rs + simm18
+	OpANDI  // rd = rs & uimm16
+	OpORI   // rd = rs | uimm16
+	OpXORI  // rd = rs ^ uimm16
+	OpSLLI  // rd = rs << uimm5
+	OpSRLI  // rd = rs >> uimm5 logical
+	OpSRAI  // rd = rs >> uimm5 arithmetic
+	OpMOVI  // rd = simm18
+	OpLUI   // rd = uimm16 << 16
+	OpEXTUI // rd = (rs >> shift) & mask(width); shift in Imm bits 4..0, width-1 in bits 9..5
+
+	// Memory. Effective address = rs + simm18 (bytes; L32I/S32I require
+	// 4-byte alignment).
+	OpL32I  // rd = mem32[rs+imm]
+	OpL16UI // rd = zext16(mem16[rs+imm])
+	OpL8UI  // rd = zext8(mem8[rs+imm])
+	OpS32I  // mem32[rs+imm] = rd
+	OpS16I  // mem16[rs+imm] = low16(rd)
+	OpS8I   // mem8[rs+imm] = low8(rd)
+
+	// Control transfer. Branch displacement is a signed instruction-word
+	// offset relative to the next instruction.
+	OpBEQ  // if rd == rs: pc += imm
+	OpBNE  // if rd != rs: pc += imm
+	OpBLT  // if rd <  rs (signed): pc += imm
+	OpBGE  // if rd >= rs (signed): pc += imm
+	OpBLTU // if rd <  rs (unsigned): pc += imm
+	OpBGEU // if rd >= rs (unsigned): pc += imm
+	OpBEQZ // if rd == 0: pc += imm
+	OpBNEZ // if rd != 0: pc += imm
+	OpJ    // pc += imm (signed word offset)
+	OpJAL  // a0 = return addr; pc += imm
+	OpJALR // a0 = return addr; pc = rs
+	OpJR   // pc = rs (indirect jump / return)
+
+	// Miscellaneous.
+	OpNOP
+	OpHALT // stop simulation; a2 holds the exit value by convention
+
+	// OpCUST dispatches to a registered custom (TIE) instruction.  The
+	// custom-instruction identifier lives in the immediate field; rd, rs
+	// and rt address GPR operands, and the low 4 bits of Imm carry a
+	// designer-defined sub-field (e.g. a user-register index).
+	OpCUST
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpMULL: "mull", OpMULH: "mulh",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLLI: "slli", OpSRLI: "srli", OpSRAI: "srai",
+	OpMOVI: "movi", OpLUI: "lui", OpEXTUI: "extui",
+	OpL32I: "l32i", OpL16UI: "l16ui", OpL8UI: "l8ui",
+	OpS32I: "s32i", OpS16I: "s16i", OpS8I: "s8i",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLTU: "bltu", OpBGEU: "bgeu", OpBEQZ: "beqz", OpBNEZ: "bnez",
+	OpJ: "j", OpJAL: "jal", OpJALR: "jalr", OpJR: "jr",
+	OpNOP: "nop", OpHALT: "halt", OpCUST: "cust",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op > OpInvalid && op < opMax }
+
+// Class groups opcodes by their pipeline cost class.
+type Class uint8
+
+// Instruction cost classes used by the simulator's cycle model.
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional jumps, calls, returns
+	ClassCustom
+	ClassSystem // nop, halt
+)
+
+// Class returns the cost class of op.
+func (op Op) Class() Class {
+	switch op {
+	case OpMULL, OpMULH:
+		return ClassMul
+	case OpL32I, OpL16UI, OpL8UI:
+		return ClassLoad
+	case OpS32I, OpS16I, OpS8I:
+		return ClassStore
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpBEQZ, OpBNEZ:
+		return ClassBranch
+	case OpJ, OpJAL, OpJALR, OpJR:
+		return ClassJump
+	case OpCUST:
+		return ClassCustom
+	case OpNOP, OpHALT:
+		return ClassSystem
+	default:
+		return ClassALU
+	}
+}
+
+// Instruction is one decoded xt32 instruction.
+type Instruction struct {
+	Op  Op
+	Rd  Reg   // destination (or first compare operand for branches)
+	Rs  Reg   // first source
+	Rt  Reg   // second source
+	Imm int32 // immediate / displacement / custom-instruction id+subfield
+}
+
+// CustID extracts the custom-instruction identifier from a CUST instruction.
+func (in Instruction) CustID() int { return int(uint32(in.Imm) >> 4 & 0x3FF) }
+
+// CustSub extracts the 4-bit designer sub-field from a CUST instruction.
+func (in Instruction) CustSub() int { return int(uint32(in.Imm) & 0xF) }
+
+// MakeCustImm packs a custom-instruction id and sub-field into an immediate.
+func MakeCustImm(id, sub int) int32 {
+	return int32(uint32(id&0x3FF)<<4 | uint32(sub&0xF))
+}
+
+// ExtuiImm packs the shift and width operands of EXTUI into an immediate.
+// shift must be in [0,31] and width in [1,32].
+func ExtuiImm(shift, width int) int32 {
+	return int32(uint32(shift&31) | uint32((width-1)&31)<<5)
+}
+
+// ExtuiFields unpacks an EXTUI immediate into its shift amount and width.
+func ExtuiFields(imm int32) (shift, width int) {
+	return int(uint32(imm) & 31), int(uint32(imm)>>5&31) + 1
+}
+
+// String renders in as assembler text.
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpMULL, OpMULH:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpMOVI, OpLUI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpEXTUI:
+		sh, w := ExtuiFields(in.Imm)
+		return fmt.Sprintf("extui %s, %s, %d, %d", in.Rd, in.Rs, sh, w)
+	case OpL32I, OpL16UI, OpL8UI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpS32I, OpS16I, OpS8I:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpBEQZ, OpBNEZ:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case OpJALR, OpJR:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case OpNOP, OpHALT:
+		return in.Op.String()
+	case OpCUST:
+		return fmt.Sprintf("cust id=%d %s, %s, %s, sub=%d", in.CustID(), in.Rd, in.Rs, in.Rt, in.CustSub())
+	default:
+		return fmt.Sprintf("%s rd=%s rs=%s rt=%s imm=%d", in.Op, in.Rd, in.Rs, in.Rt, in.Imm)
+	}
+}

@@ -1,0 +1,243 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if got := A2.String(); got != "a2" {
+		t.Errorf("A2.String() = %q, want %q", got, "a2")
+	}
+	if got := SP.String(); got != "a1" {
+		t.Errorf("SP.String() = %q, want %q", got, "a1")
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("Reg(%d).Valid() = false, want true", r)
+		}
+	}
+	if Reg(16).Valid() {
+		t.Error("Reg(16).Valid() = true, want false")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpADD:   "add",
+		OpEXTUI: "extui",
+		OpHALT:  "halt",
+		OpCUST:  "cust",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+	if s := Op(63).String(); !strings.Contains(s, "63") {
+		t.Errorf("undefined op String() = %q, want to mention 63", s)
+	}
+}
+
+func TestOpClass(t *testing.T) {
+	cases := map[Op]Class{
+		OpADD:  ClassALU,
+		OpMULL: ClassMul,
+		OpMULH: ClassMul,
+		OpL32I: ClassLoad,
+		OpL8UI: ClassLoad,
+		OpS32I: ClassStore,
+		OpBEQ:  ClassBranch,
+		OpBNEZ: ClassBranch,
+		OpJ:    ClassJump,
+		OpJALR: ClassJump,
+		OpCUST: ClassCustom,
+		OpNOP:  ClassSystem,
+		OpHALT: ClassSystem,
+		OpEXTUI: ClassALU,
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestExtuiImmRoundTrip(t *testing.T) {
+	for shift := 0; shift < 32; shift++ {
+		for width := 1; width <= 32; width++ {
+			imm := ExtuiImm(shift, width)
+			gs, gw := ExtuiFields(imm)
+			if gs != shift || gw != width {
+				t.Fatalf("ExtuiFields(ExtuiImm(%d,%d)) = (%d,%d)", shift, width, gs, gw)
+			}
+		}
+	}
+}
+
+func TestCustImmRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 511, 1023} {
+		for _, sub := range []int{0, 7, 15} {
+			in := Instruction{Op: OpCUST, Imm: MakeCustImm(id, sub)}
+			if in.CustID() != id || in.CustSub() != sub {
+				t.Fatalf("cust id/sub round trip failed: got (%d,%d), want (%d,%d)",
+					in.CustID(), in.CustSub(), id, sub)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripExamples(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpADD, Rd: A2, Rs: A3, Rt: A4},
+		{Op: OpSUB, Rd: A15, Rs: RA, Rt: SP},
+		{Op: OpADDI, Rd: A2, Rs: A2, Imm: -4},
+		{Op: OpADDI, Rd: A5, Rs: A6, Imm: MaxSImm18},
+		{Op: OpADDI, Rd: A5, Rs: A6, Imm: MinSImm18},
+		{Op: OpMOVI, Rd: A9, Imm: -1},
+		{Op: OpLUI, Rd: A9, Imm: 0xDEAD},
+		{Op: OpORI, Rd: A9, Rs: A9, Imm: 0xBEEF},
+		{Op: OpSLLI, Rd: A2, Rs: A2, Imm: 31},
+		{Op: OpEXTUI, Rd: A3, Rs: A4, Imm: ExtuiImm(7, 8)},
+		{Op: OpL32I, Rd: A2, Rs: SP, Imm: 1020},
+		{Op: OpS8I, Rd: A4, Rs: A5, Imm: -128},
+		{Op: OpBEQ, Rd: A2, Rs: A3, Imm: -100},
+		{Op: OpBNEZ, Rd: A7, Imm: 4000},
+		{Op: OpJ, Imm: MinSImm26},
+		{Op: OpJAL, Imm: MaxSImm26},
+		{Op: OpJR, Rs: RA},
+		{Op: OpJALR, Rs: A8},
+		{Op: OpNOP},
+		{Op: OpHALT},
+		{Op: OpCUST, Rd: A2, Rs: A3, Rt: A4, Imm: MakeCustImm(42, 3)},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%v) failed: %v", in, err)
+			continue
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)) failed: %v", in, err)
+			continue
+		}
+		if got != in {
+			t.Errorf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpInvalid},
+		{Op: OpADDI, Rd: A2, Rs: A2, Imm: MaxSImm18 + 1},
+		{Op: OpADDI, Rd: A2, Rs: A2, Imm: MinSImm18 - 1},
+		{Op: OpANDI, Rd: A2, Rs: A2, Imm: -1},
+		{Op: OpANDI, Rd: A2, Rs: A2, Imm: MaxUImm16 + 1},
+		{Op: OpSLLI, Rd: A2, Rs: A2, Imm: 32},
+		{Op: OpBEQ, Rd: A2, Rs: A3, Imm: MaxSImm14 + 1},
+		{Op: OpJ, Imm: MaxSImm26 + 1},
+		{Op: OpADD, Rd: Reg(16), Rs: A2, Rt: A3},
+		{Op: OpNOP, Imm: 5},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
+	if _, err := Decode(uint32(opMax) << 26); err == nil {
+		t.Error("Decode of undefined opcode succeeded, want error")
+	}
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode(0) succeeded, want error (OpInvalid)")
+	}
+}
+
+// randomInstruction builds a random but encodable instruction.
+func randomInstruction(r *rand.Rand) Instruction {
+	ops := []Op{
+		OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpMULL, OpMULH,
+		OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpMOVI, OpLUI,
+		OpEXTUI, OpL32I, OpL16UI, OpL8UI, OpS32I, OpS16I, OpS8I,
+		OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpBEQZ, OpBNEZ,
+		OpJ, OpJAL, OpJALR, OpJR, OpNOP, OpHALT, OpCUST,
+	}
+	op := ops[r.Intn(len(ops))]
+	in := Instruction{Op: op}
+	useRd, useRs, useRt := op.usesRegFields()
+	if useRd {
+		in.Rd = Reg(r.Intn(NumRegs))
+	}
+	if useRs {
+		in.Rs = Reg(r.Intn(NumRegs))
+	}
+	if useRt {
+		in.Rt = Reg(r.Intn(NumRegs))
+	}
+	switch op.immKind() {
+	case immS18:
+		in.Imm = int32(r.Intn(1<<18)) + MinSImm18
+	case immU16:
+		in.Imm = int32(r.Intn(1 << 16))
+	case immU5:
+		in.Imm = int32(r.Intn(32))
+	case immU10:
+		in.Imm = int32(r.Intn(1 << 10))
+	case immS14:
+		in.Imm = int32(r.Intn(1<<14)) + MinSImm14
+	case immS26:
+		in.Imm = int32(r.Intn(1<<26)) + MinSImm26
+	case immCust:
+		in.Imm = MakeCustImm(r.Intn(1024), r.Intn(16))
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomInstruction(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("unexpected encode error for %+v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("unexpected decode error for %#08x: %v", w, err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpADD, Rd: A2, Rs: A3, Rt: A4}, "add a2, a3, a4"},
+		{Instruction{Op: OpADDI, Rd: A2, Rs: A3, Imm: -8}, "addi a2, a3, -8"},
+		{Instruction{Op: OpEXTUI, Rd: A2, Rs: A3, Imm: ExtuiImm(4, 8)}, "extui a2, a3, 4, 8"},
+		{Instruction{Op: OpBEQZ, Rd: A5, Imm: 12}, "beqz a5, 12"},
+		{Instruction{Op: OpJR, Rs: RA}, "jr a0"},
+		{Instruction{Op: OpNOP}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

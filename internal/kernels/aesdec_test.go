@@ -1,0 +1,116 @@
+package kernels
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/aescipher"
+	"wisp/internal/sim"
+)
+
+func TestAESDecryptKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(120))
+	baseCPU := buildCPU(t, AESDecBase())
+	tieCPU := buildCPU(t, AESDecTIE())
+	for trial := 0; trial < 8; trial++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		r.Read(key)
+		r.Read(pt)
+		ref, err := aescipher.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 16)
+		ref.Encrypt(ct, pt)
+		ks := PrepAESKeyScheduleDec(ref)
+
+		for _, tc := range []struct {
+			name string
+			cpu  *sim.CPU
+		}{{"base", baseCPU}, {"tie", tieCPU}} {
+			if err := tc.cpu.WriteBytes(addrS, ct); err != nil {
+				t.Fatal(err)
+			}
+			writeLimbs(t, tc.cpu, addrK, ks)
+			if _, _, err := tc.cpu.Call("aes_decrypt", addrD, addrS, addrK); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got, err := tc.cpu.ReadBytes(addrD, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, pt) {
+				t.Fatalf("%s AES decrypt kernel: got %x, want %x", tc.name, got, pt)
+			}
+		}
+	}
+}
+
+func TestAESDecryptEncryptRoundTripOnISS(t *testing.T) {
+	// Full round trip entirely on the ISS: encrypt on the encryption
+	// kernel, decrypt on the decryption kernel.
+	r := rand.New(rand.NewSource(121))
+	encCPU := buildCPU(t, AESTIE())
+	decCPU := buildCPU(t, AESDecTIE())
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	r.Read(key)
+	r.Read(pt)
+	ref, err := aescipher.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encCPU.WriteBytes(addrS, pt)
+	writeLimbs(t, encCPU, addrK, PrepAESKeySchedule(ref))
+	if _, _, err := encCPU.Call("aes_encrypt", addrD, addrS, addrK); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := encCPU.ReadBytes(addrD, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decCPU.WriteBytes(addrS, ct)
+	writeLimbs(t, decCPU, addrK, PrepAESKeyScheduleDec(ref))
+	if _, _, err := decCPU.Call("aes_decrypt", addrD, addrS, addrK); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decCPU.ReadBytes(addrD, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("ISS round trip: got %x, want %x", back, pt)
+	}
+}
+
+func TestAESDecryptSlowerThanEncryptOnBase(t *testing.T) {
+	// The inverse cipher's InvMixColumns needs four general GF multiplies
+	// per byte, so naive software decryption costs more than encryption.
+	r := rand.New(rand.NewSource(122))
+	encCPU := buildCPU(t, AESBase())
+	decCPU := buildCPU(t, AESDecBase())
+	key := make([]byte, 16)
+	blk := make([]byte, 16)
+	r.Read(key)
+	r.Read(blk)
+	ref, _ := aescipher.NewCipher(key)
+
+	encCPU.WriteBytes(addrS, blk)
+	writeLimbs(t, encCPU, addrK, PrepAESKeySchedule(ref))
+	_, encCyc, err := encCPU.Call("aes_encrypt", addrD, addrS, addrK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decCPU.WriteBytes(addrS, blk)
+	writeLimbs(t, decCPU, addrK, PrepAESKeyScheduleDec(ref))
+	_, decCyc, err := decCPU.Call("aes_decrypt", addrD, addrS, addrK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decCyc <= encCyc {
+		t.Errorf("base decrypt (%d cycles) not slower than encrypt (%d)", decCyc, encCyc)
+	}
+	t.Logf("AES base: encrypt %.1f c/B, decrypt %.1f c/B", float64(encCyc)/16, float64(decCyc)/16)
+}

@@ -1,0 +1,203 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"wisp/internal/aescipher"
+)
+
+// AES decryption kernels: the straightforward FIPS-197 inverse cipher.
+//
+// The base variant pays the full price of InvMixColumns — every output
+// byte needs four GF(2⁸) multiplies by 9/11/13/14, with no cheap xtime
+// chain — which is why naive software AES decryption is even slower than
+// encryption.  The TIE variant replaces the inverse S-box lookups with
+// aes_isbox4 and the inverse column transform with aes_imixcol.
+//
+// Entry point (both variants):
+//
+//	aes_decrypt(dst, src, rk)  — rk = 44 words from PrepAESKeyScheduleDec
+//	                             (round keys in reverse application order)
+
+// PrepAESKeyScheduleDec lays out the expanded key for the decryption
+// kernels: round keys in reverse order (rk[rounds] first), so the kernel
+// walks its pointer forward.
+func PrepAESKeyScheduleDec(c *aescipher.Cipher) []uint32 {
+	rks := c.RoundKeys()
+	out := make([]uint32, 0, len(rks)*4)
+	for i := len(rks) - 1; i >= 0; i-- {
+		out = append(out, rks[i][0], rks[i][1], rks[i][2], rks[i][3])
+	}
+	return out
+}
+
+func aesInvSboxData() string {
+	tab := aescipher.InvSBoxTable()
+	vals := make([]string, 256)
+	for i, v := range tab {
+		vals[i] = fmt.Sprintf("%d", v)
+	}
+	var b strings.Builder
+	b.WriteString("aes_isbox:\n")
+	for i := 0; i < 256; i += 32 {
+		b.WriteString("\t.byte " + strings.Join(vals[i:i+32], ", ") + "\n")
+	}
+	return b.String()
+}
+
+// emitAESDecBody writes aes_decrypt plus its InvSubBytes / InvShiftRows /
+// InvMixColumns subroutines.  It reuses the common data section and
+// gfmul/aes_ark subroutines from emitAESCommon.
+func emitAESDecBody(b *strings.Builder, tie bool) {
+	// --- InvSubBytes ---
+	b.WriteString("\t.func\naes_invsubbytes:\n")
+	if tie {
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(b, "\tl32i a5, a12, %d\n", 4*c)
+			b.WriteString("\taes_isbox4 a5, a5\n")
+			fmt.Fprintf(b, "\ts32i a5, a12, %d\n", 4*c)
+		}
+	} else {
+		b.WriteString("\tla a6, aes_isbox\n")
+		for i := 0; i < 16; i++ {
+			fmt.Fprintf(b, "\tl8ui a5, a12, %d\n", i)
+			b.WriteString("\tadd  a5, a5, a6\n")
+			b.WriteString("\tl8ui a5, a5, 0\n")
+			fmt.Fprintf(b, "\ts8i  a5, a12, %d\n", i)
+		}
+	}
+	b.WriteString("\tret\n")
+
+	// --- InvShiftRows: s'[r][c] = s[r][(c-r) mod 4] ---
+	b.WriteString("\t.func\naes_invshiftrows:\n")
+	for c := 0; c < 4; c++ {
+		fmt.Fprintf(b, "\tl32i a%d, a12, %d\n", 5+c, 4*c)
+	}
+	for c := 0; c < 4; c++ {
+		w := func(r int) int { return 5 + (c+4-r)%4 }
+		fmt.Fprintf(b, "\textui a9, a%d, 24, 8\n", w(0))
+		b.WriteString("\tslli a9, a9, 24\n")
+		fmt.Fprintf(b, "\textui a10, a%d, 16, 8\n", w(1))
+		b.WriteString("\tslli a10, a10, 16\n")
+		b.WriteString("\tor   a9, a9, a10\n")
+		fmt.Fprintf(b, "\textui a10, a%d, 8, 8\n", w(2))
+		b.WriteString("\tslli a10, a10, 8\n")
+		b.WriteString("\tor   a9, a9, a10\n")
+		fmt.Fprintf(b, "\textui a10, a%d, 0, 8\n", w(3))
+		b.WriteString("\tor   a9, a9, a10\n")
+		fmt.Fprintf(b, "\ts32i a9, a11, %d\n", 4*c)
+	}
+	b.WriteString("\tret\n")
+
+	// --- InvMixColumns ---
+	b.WriteString("\t.func\naes_invmixcolumns:\n")
+	if tie {
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(b, "\tl32i a5, a12, %d\n", 4*c)
+			b.WriteString("\taes_imixcol a5, a5\n")
+			fmt.Fprintf(b, "\ts32i a5, a12, %d\n", 4*c)
+		}
+		b.WriteString("\tret\n")
+	} else {
+		b.WriteString("\taddi sp, sp, -8\n")
+		b.WriteString("\ts32i a0, sp, 0\n")
+		// Inverse matrix rows: coefficients of (a0,a1,a2,a3) per output.
+		coefs := [4][4]int{
+			{14, 11, 13, 9},
+			{9, 14, 11, 13},
+			{13, 9, 14, 11},
+			{11, 13, 9, 14},
+		}
+		aRegs := []string{"a8", "a9", "a10", "a15"}
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(b, "\tl32i a7, a12, %d\n", 4*c)
+			b.WriteString("\textui a8, a7, 24, 8\n")
+			b.WriteString("\textui a9, a7, 16, 8\n")
+			b.WriteString("\textui a10, a7, 8, 8\n")
+			b.WriteString("\textui a15, a7, 0, 8\n")
+			for row := 0; row < 4; row++ {
+				b.WriteString("\tmovi a7, 0\n")
+				for j := 0; j < 4; j++ {
+					fmt.Fprintf(b, "\tmov  a2, %s\n", aRegs[j])
+					fmt.Fprintf(b, "\tmovi a3, %d\n", coefs[row][j])
+					b.WriteString("\tcall gfmul\n")
+					b.WriteString("\txor  a7, a7, a2\n")
+				}
+				fmt.Fprintf(b, "\ts8i a7, a12, %d\n", 4*c+3-row)
+			}
+		}
+		b.WriteString("\tl32i a0, sp, 0\n")
+		b.WriteString("\taddi sp, sp, 8\n")
+		b.WriteString("\tret\n")
+	}
+
+	// --- aes_decrypt(dst a2, src a3, rk a4) ---
+	b.WriteString("\t.func\naes_decrypt:\n")
+	b.WriteString("\taddi sp, sp, -16\n")
+	b.WriteString("\ts32i a0, sp, 0\n")
+	b.WriteString("\ts32i a2, sp, 4\n")
+	b.WriteString("\tla   a12, aes_state\n")
+	b.WriteString("\tmov  a13, a4\n")
+	for c := 0; c < 4; c++ {
+		fmt.Fprintf(b, "\tl8ui a5, a3, %d\n", 4*c)
+		b.WriteString("\tslli a5, a5, 24\n")
+		fmt.Fprintf(b, "\tl8ui a6, a3, %d\n", 4*c+1)
+		b.WriteString("\tslli a6, a6, 16\n\tor a5, a5, a6\n")
+		fmt.Fprintf(b, "\tl8ui a6, a3, %d\n", 4*c+2)
+		b.WriteString("\tslli a6, a6, 8\n\tor a5, a5, a6\n")
+		fmt.Fprintf(b, "\tl8ui a6, a3, %d\n", 4*c+3)
+		b.WriteString("\tor a5, a5, a6\n")
+		fmt.Fprintf(b, "\ts32i a5, a12, %d\n", 4*c)
+	}
+	b.WriteString("\tcall aes_ark\n") // rk[10] (reversed layout)
+	b.WriteString("\tmovi a14, 9\n")
+	b.WriteString("aes_decrypt_round:\n")
+	b.WriteString("\tla   a11, aes_state\n")
+	b.WriteString("\tcall aes_invshiftrows\n")
+	b.WriteString("\tcall aes_invsubbytes\n")
+	b.WriteString("\tcall aes_ark\n")
+	b.WriteString("\tcall aes_invmixcolumns\n")
+	b.WriteString("\taddi a14, a14, -1\n")
+	b.WriteString("\tbnez a14, aes_decrypt_round\n")
+	b.WriteString("\tla   a11, aes_state\n")
+	b.WriteString("\tcall aes_invshiftrows\n")
+	b.WriteString("\tcall aes_invsubbytes\n")
+	b.WriteString("\tcall aes_ark\n") // rk[0]
+	b.WriteString("\tl32i a2, sp, 4\n")
+	for c := 0; c < 4; c++ {
+		fmt.Fprintf(b, "\tl32i a5, a12, %d\n", 4*c)
+		b.WriteString("\tsrli a6, a5, 24\n")
+		fmt.Fprintf(b, "\ts8i  a6, a2, %d\n", 4*c)
+		b.WriteString("\textui a6, a5, 16, 8\n")
+		fmt.Fprintf(b, "\ts8i  a6, a2, %d\n", 4*c+1)
+		b.WriteString("\textui a6, a5, 8, 8\n")
+		fmt.Fprintf(b, "\ts8i  a6, a2, %d\n", 4*c+2)
+		fmt.Fprintf(b, "\ts8i  a5, a2, %d\n", 4*c+3)
+	}
+	b.WriteString("\tl32i a0, sp, 0\n")
+	b.WriteString("\taddi sp, sp, 16\n")
+	b.WriteString("\tret\n")
+}
+
+// AESDecBase generates the base-ISA AES-128 decryption kernel.
+func AESDecBase() Variant {
+	var b strings.Builder
+	emitAESCommon(&b)
+	b.WriteString("\t.data\n")
+	b.WriteString(aesInvSboxData())
+	b.WriteString("\t.text\n")
+	emitAESDecBody(&b, false)
+	return Variant{Name: "aesdec/base", Source: b.String()}
+}
+
+// AESDecTIE generates the TIE-accelerated AES-128 decryption kernel.
+func AESDecTIE() Variant {
+	var b strings.Builder
+	emitAESCommon(&b)
+	emitAESDecBody(&b, true)
+	return Variant{
+		Name: "aesdec/tie", Source: b.String(), Ext: NewAESExtension(),
+		Instrs: []string{"aes_isbox4", "aes_imixcol"},
+	}
+}

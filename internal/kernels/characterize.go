@@ -1,0 +1,184 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/macromodel"
+	"wisp/internal/mpn"
+	"wisp/internal/sim"
+)
+
+// Characterization scratch addresses (above any kernel data image).
+const (
+	chAddrR = 0x60000
+	chAddrA = 0x64000
+	chAddrB = 0x68000
+)
+
+// mpnRoutineArgs distinguishes the two mpn calling shapes.
+type mpnShape int
+
+const (
+	shapeRRAB mpnShape = iota // f(rp, ap, bp, n)
+	shapeRANB                 // f(rp, ap, n, b/cnt/d)
+)
+
+var mpnRoutines = []struct {
+	name  string
+	shape mpnShape
+	basis macromodel.Basis
+}{
+	{"mpn_add_n", shapeRRAB, macromodel.BasisLinear},
+	{"mpn_sub_n", shapeRRAB, macromodel.BasisLinear},
+	{"mpn_mul_1", shapeRANB, macromodel.BasisLinear},
+	{"mpn_addmul_1", shapeRANB, macromodel.BasisLinear},
+	{"mpn_submul_1", shapeRANB, macromodel.BasisLinear},
+	{"mpn_lshift", shapeRANB, macromodel.BasisLinear},
+	{"mpn_rshift", shapeRANB, macromodel.BasisLinear},
+	{"mpn_divrem_1", shapeRANB, macromodel.BasisLinear},
+}
+
+// runMPNRoutine performs one characterization invocation on cpu.
+func runMPNRoutine(cpu *sim.CPU, rng *rand.Rand, name string, shape mpnShape, n int) (uint64, error) {
+	a := make(mpn.Nat, n)
+	b := make(mpn.Nat, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.Uint32()
+		b[i] = rng.Uint32()
+	}
+	if err := cpu.WriteWords(chAddrA, a); err != nil {
+		return 0, err
+	}
+	if err := cpu.WriteWords(chAddrB, b); err != nil {
+		return 0, err
+	}
+	if err := cpu.WriteWords(chAddrR, b); err != nil {
+		return 0, err
+	}
+	var scalar uint32
+	switch name {
+	case "mpn_lshift", "mpn_rshift":
+		scalar = uint32(1 + rng.Intn(31))
+	case "mpn_divrem_1":
+		scalar = rng.Uint32() | 0x80000000 // normalized divisor
+	default:
+		scalar = rng.Uint32()
+	}
+	var err error
+	var cycles uint64
+	switch shape {
+	case shapeRRAB:
+		_, cycles, err = cpu.Call(name, chAddrR, chAddrA, chAddrB, uint32(n))
+	case shapeRANB:
+		_, cycles, err = cpu.Call(name, chAddrR, chAddrA, uint32(n), scalar)
+	}
+	return cycles, err
+}
+
+// RunMPNRoutineISS executes one invocation of the named mpn routine at
+// operand size n with fresh random operands on cpu (built from MPNBase or a
+// compatible TIE variant), returning the measured cycles.  This is the
+// ground-truth path the exploration phase replays traces through.
+func RunMPNRoutineISS(cpu *sim.CPU, rng *rand.Rand, name string, n int) (uint64, error) {
+	for _, rt := range mpnRoutines {
+		if rt.name == name {
+			return runMPNRoutine(cpu, rng, name, rt.shape, n)
+		}
+	}
+	return 0, fmt.Errorf("kernels: unknown mpn routine %q", name)
+}
+
+// CharacterizeMPNBase characterizes every base-ISA mpn routine on the ISS
+// across the given operand sizes (limbs) and fits per-routine macro-models.
+func CharacterizeMPNBase(cfg sim.Config, sizes []int, reps int, seed int64) (*macromodel.ModelSet, error) {
+	cpu, err := MPNBase().Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	set := macromodel.NewModelSet()
+	for _, rt := range mpnRoutines {
+		rt := rt
+		samples, err := macromodel.Characterize(sizes, reps, func(n int) (uint64, error) {
+			return runMPNRoutine(cpu, rng, rt.name, rt.shape, n)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", rt.name, err)
+		}
+		m, err := macromodel.Fit(rt.name, samples, rt.basis)
+		if err != nil {
+			return nil, err
+		}
+		set.Add(m)
+	}
+	return set, nil
+}
+
+// CharacterizeMPNTIE characterizes the TIE-accelerated mpn kernels built
+// with k-limb vector adders and m-limb MACs.  The TIE kernels are generated
+// per size (the vector block index is an immediate), so sizes must be
+// multiples of both k and m.  Routines the designers did not accelerate
+// (shifts, submul, divrem) retain their base-core macro-models, so the
+// returned set is a complete drop-in for trace estimation: it is the base
+// set with the accelerated routines overridden.
+func CharacterizeMPNTIE(cfg sim.Config, k, m int, sizes []int, reps int, seed int64) (*macromodel.ModelSet, error) {
+	base, err := CharacterizeMPNBase(cfg, sizes, reps, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	tieSizes := make([]int, 0, len(sizes))
+	for _, n := range sizes {
+		if n%k == 0 && n%m == 0 {
+			tieSizes = append(tieSizes, n)
+		}
+	}
+	if len(tieSizes) < 2 {
+		return nil, fmt.Errorf("kernels: need ≥ 2 sizes divisible by k=%d and m=%d", k, m)
+	}
+
+	cpus := make(map[int]*sim.CPU, len(tieSizes))
+	for _, n := range tieSizes {
+		v, err := MPNTIE(k, m, n)
+		if err != nil {
+			return nil, err
+		}
+		cpu, err := v.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cpus[n] = cpu
+	}
+
+	for _, rt := range []struct {
+		name  string
+		shape mpnShape
+	}{
+		{"mpn_add_n", shapeRRAB},
+		{"mpn_sub_n", shapeRRAB},
+		{"mpn_addmul_1", shapeRANB},
+	} {
+		rt := rt
+		samples, err := macromodel.Characterize(tieSizes, reps, func(n int) (uint64, error) {
+			return runMPNRoutine(cpus[n], rng, rt.name, rt.shape, n)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kernels: TIE %s: %w", rt.name, err)
+		}
+		mdl, err := macromodel.Fit(rt.name, samples, macromodel.BasisLinear)
+		if err != nil {
+			return nil, err
+		}
+		base.Add(mdl)
+	}
+	// mpn_mul_1 on the TIE platform runs as a MAC into a cleared
+	// accumulator: reuse the accelerated addmul model.
+	if mac, ok := base.Get("mpn_addmul_1"); ok {
+		mulModel := *mac
+		mulModel.Routine = "mpn_mul_1"
+		base.Add(&mulModel)
+	}
+	return base, nil
+}

@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/sim"
+)
+
+func TestCharacterizeMPNBase(t *testing.T) {
+	set, err := CharacterizeMPNBase(sim.DefaultConfig(), []int{1, 2, 4, 8, 16, 32}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != len(mpnRoutines) {
+		t.Errorf("model count = %d, want %d", set.Len(), len(mpnRoutines))
+	}
+	// Every model should fit its training data tightly: these loops are
+	// deterministic per size except for data-dependent branches.
+	for _, rt := range mpnRoutines {
+		m, ok := set.Get(rt.name)
+		if !ok {
+			t.Fatalf("no model for %s", rt.name)
+		}
+		if m.MAEPct > 15 {
+			t.Errorf("%s: training MAE %.1f%% too high", rt.name, m.MAEPct)
+		}
+		if m.Estimate(8) <= 0 {
+			t.Errorf("%s: non-positive estimate", rt.name)
+		}
+	}
+	// Macro-model predictions track fresh ISS measurements at an unseen
+	// size (within the paper's ~12%-error regime).
+	cpu, err := MPNBase().Build(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, rt := range []string{"mpn_add_n", "mpn_addmul_1"} {
+		var shape mpnShape
+		for _, r := range mpnRoutines {
+			if r.name == rt {
+				shape = r.shape
+			}
+		}
+		got, err := runMPNRoutine(cpu, rng, rt, shape, 24) // 24 not in training sizes
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := set.Get(rt)
+		pred := m.Estimate(24)
+		if errPct := 100 * math.Abs(pred-float64(got)) / float64(got); errPct > 15 {
+			t.Errorf("%s: prediction at n=24 off by %.1f%% (pred %.0f, meas %d)", rt, errPct, pred, got)
+		}
+	}
+}
+
+func TestCharacterizeMPNTIE(t *testing.T) {
+	set, err := CharacterizeMPNTIE(sim.DefaultConfig(), 4, 2, []int{4, 8, 16, 32}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := CharacterizeMPNBase(sim.DefaultConfig(), []int{4, 8, 16, 32}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accelerated routines must be faster than base at RSA-sized operands.
+	for _, rt := range []string{"mpn_add_n", "mpn_addmul_1"} {
+		tm, _ := set.Get(rt)
+		bm, _ := base.Get(rt)
+		if tm.Estimate(32) >= bm.Estimate(32) {
+			t.Errorf("%s: TIE (%.0f) not faster than base (%.0f) at n=32",
+				rt, tm.Estimate(32), bm.Estimate(32))
+		}
+	}
+	// Non-accelerated routines keep their base models.
+	tieDiv, _ := set.Get("mpn_divrem_1")
+	baseDiv, _ := base.Get("mpn_divrem_1")
+	if math.Abs(tieDiv.Estimate(16)-baseDiv.Estimate(16)) > baseDiv.Estimate(16)*0.1 {
+		t.Error("non-accelerated routine model diverged from base")
+	}
+	// mpn_mul_1 aliases the MAC model.
+	mul, ok := set.Get("mpn_mul_1")
+	if !ok {
+		t.Fatal("no TIE mpn_mul_1 model")
+	}
+	mac, _ := set.Get("mpn_addmul_1")
+	if mul.Estimate(16) != mac.Estimate(16) {
+		t.Error("TIE mpn_mul_1 does not alias the MAC model")
+	}
+}
+
+func TestCharacterizeMPNTIERequiresCompatibleSizes(t *testing.T) {
+	if _, err := CharacterizeMPNTIE(sim.DefaultConfig(), 16, 4, []int{2, 4}, 1, 9); err == nil {
+		t.Error("incompatible sizes accepted")
+	}
+}

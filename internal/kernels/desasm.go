@@ -1,0 +1,305 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"wisp/internal/descipher"
+)
+
+// DES kernels.
+//
+// Base variant: the optimized-software formulation — fused S+P lookup
+// tables (SP boxes), E expansion computed as a rotate, but the wide IP/FP
+// bit permutations done by a generic table-driven bit-gather loop, which is
+// exactly the part that is painful on a 32-bit RISC and free as custom-
+// instruction wiring.
+//
+// TIE variant: 64-bit block user register, single-cycle des_ip/des_fp
+// wiring and a single-cycle des_round datapath (8 S-box ROMs + E/P wiring),
+// with the 48-bit round keys streamed from memory.
+//
+// Both kernels consume a key schedule prepared by the host (the platform's
+// software library layer): PrepDESKeyScheduleBase / PrepDESKeyScheduleTIE.
+
+// desPermTables returns .data directives for the IP and FP bit-selection
+// tables (1-based source bit positions, one byte each).
+func desPermTables() string {
+	var b strings.Builder
+	ip := make([]string, 64)
+	fp := make([]string, 64)
+	// tbl[i] = source bit position (1-based) of output bit i+1, recovered
+	// by probing the exported reference permutations.
+	for out := 0; out < 64; out++ {
+		ip[out] = fmt.Sprintf("%d", probePerm(descipher.IP, out))
+		fp[out] = fmt.Sprintf("%d", probePerm(descipher.FP, out))
+	}
+	b.WriteString("des_ip_tab:\n\t.byte " + strings.Join(ip, ", ") + "\n")
+	b.WriteString("des_fp_tab:\n\t.byte " + strings.Join(fp, ", ") + "\n")
+	return b.String()
+}
+
+// probePerm finds which input bit lands on output bit `out` (0-based from
+// MSB) under the permutation f, returning its 1-based position.
+func probePerm(f func(uint64) uint64, out int) int {
+	for in := 0; in < 64; in++ {
+		if f(1<<uint(63-in))&(1<<uint(63-out)) != 0 {
+			return in + 1
+		}
+	}
+	panic("kernels: permutation probe failed")
+}
+
+// desSPTables returns .data directives for the eight fused S+P tables
+// (64 words each, contiguous: box i at byte offset i*256).
+func desSPTables() string {
+	var b strings.Builder
+	b.WriteString("des_sp_tab:\n")
+	for box := 0; box < 8; box++ {
+		vals := make([]string, 64)
+		for v := 0; v < 64; v++ {
+			vals[v] = fmt.Sprintf("0x%08x", descipher.SPBox(box, byte(v)))
+		}
+		b.WriteString("\t.word " + strings.Join(vals, ", ") + "\n")
+	}
+	return b.String()
+}
+
+// PrepDESKeyScheduleBase lays out the key schedule for the base kernel:
+// 16 rounds × 8 words, each word the 6-bit key chunk for one S-box,
+// pre-aligned to the rotate-based E extraction.  decrypt reverses the round
+// order.
+func PrepDESKeyScheduleBase(c *descipher.Cipher, decrypt bool) []uint32 {
+	subkeys := c.Subkeys()
+	out := make([]uint32, 0, 16*8)
+	for r := 0; r < 16; r++ {
+		k := subkeys[r]
+		if decrypt {
+			k = subkeys[15-r]
+		}
+		chunks := descipher.RoundKeyChunks(k)
+		for i := 0; i < 8; i++ {
+			out = append(out, uint32(chunks[i]))
+		}
+	}
+	return out
+}
+
+// PrepDESKeyScheduleTIE lays out the key schedule for the TIE kernel:
+// 16 rounds × 2 words (high 24 bits, low 24 bits of the 48-bit subkey).
+func PrepDESKeyScheduleTIE(c *descipher.Cipher, decrypt bool) []uint32 {
+	subkeys := c.Subkeys()
+	out := make([]uint32, 0, 16*2)
+	for r := 0; r < 16; r++ {
+		k := subkeys[r]
+		if decrypt {
+			k = subkeys[15-r]
+		}
+		out = append(out, uint32(k>>24&0xFFFFFF), uint32(k&0xFFFFFF))
+	}
+	return out
+}
+
+// Prep3DESKeyScheduleBase concatenates the three base-format schedules of
+// an EDE triple-DES operation (encrypt: E(k1) D(k2) E(k3)).
+func Prep3DESKeyScheduleBase(t *descipher.TripleCipher, decrypt bool) []uint32 {
+	c1, c2, c3 := t.Ciphers()
+	if decrypt {
+		// DED with reversed per-pass schedules.
+		return concat(
+			PrepDESKeyScheduleBase(c3, true),
+			PrepDESKeyScheduleBase(c2, false),
+			PrepDESKeyScheduleBase(c1, true),
+		)
+	}
+	return concat(
+		PrepDESKeyScheduleBase(c1, false),
+		PrepDESKeyScheduleBase(c2, true),
+		PrepDESKeyScheduleBase(c3, false),
+	)
+}
+
+// Prep3DESKeyScheduleTIE is the TIE-format equivalent of
+// Prep3DESKeyScheduleBase.
+func Prep3DESKeyScheduleTIE(t *descipher.TripleCipher, decrypt bool) []uint32 {
+	c1, c2, c3 := t.Ciphers()
+	if decrypt {
+		return concat(
+			PrepDESKeyScheduleTIE(c3, true),
+			PrepDESKeyScheduleTIE(c2, false),
+			PrepDESKeyScheduleTIE(c1, true),
+		)
+	}
+	return concat(
+		PrepDESKeyScheduleTIE(c1, false),
+		PrepDESKeyScheduleTIE(c2, true),
+		PrepDESKeyScheduleTIE(c3, false),
+	)
+}
+
+func concat(parts ...[]uint32) []uint32 {
+	var out []uint32
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// DESBase generates the base-ISA DES program with entry points:
+//
+//	des_block(dst, src, ks)   — one DES pass (64-bit block at dst/src,
+//	                            ks = 128 words from PrepDESKeyScheduleBase)
+//	des3_block(dst, src, ks)  — three chained passes (ks = 384 words)
+//
+// Blocks are stored as two 32-bit words, most significant first.
+func DESBase() Variant {
+	rots := descipher.ERotations()
+	var b strings.Builder
+	b.WriteString("\t.data\n")
+	b.WriteString(desPermTables())
+	b.WriteString(desSPTables())
+	b.WriteString("\t.text\n")
+
+	// des_perm64: a5:a6 = block (hi:lo), a7 = table base.
+	// Returns permuted block in a5:a6.  Clobbers a8-a14.
+	b.WriteString("\t.func\ndes_perm64:\n")
+	b.WriteString("\tmovi a8, 0\n\tmovi a9, 0\n\tmovi a10, 0\n")
+	b.WriteString("des_perm64_loop:\n")
+	b.WriteString("\tslli a8, a8, 1\n")
+	b.WriteString("\tsrli a11, a9, 31\n")
+	b.WriteString("\tor   a8, a8, a11\n")
+	b.WriteString("\tslli a9, a9, 1\n")
+	b.WriteString("\tadd  a11, a7, a10\n")
+	b.WriteString("\tl8ui a11, a11, 0\n") // t = 1-based source bit
+	b.WriteString("\tmovi a12, 32\n")
+	b.WriteString("\tbltu a12, a11, des_perm64_lo\n") // 32 < t: low word
+	b.WriteString("\tsub  a13, a12, a11\n")           // 32 - t
+	b.WriteString("\tsrl  a13, a5, a13\n")
+	b.WriteString("\tj des_perm64_got\n")
+	b.WriteString("des_perm64_lo:\n")
+	b.WriteString("\tmovi a13, 64\n")
+	b.WriteString("\tsub  a13, a13, a11\n")
+	b.WriteString("\tsrl  a13, a6, a13\n")
+	b.WriteString("des_perm64_got:\n")
+	b.WriteString("\tandi a13, a13, 1\n")
+	b.WriteString("\tor   a9, a9, a13\n")
+	b.WriteString("\taddi a10, a10, 1\n")
+	b.WriteString("\tmovi a11, 64\n")
+	b.WriteString("\tbne  a10, a11, des_perm64_loop\n")
+	b.WriteString("\tmov a5, a8\n\tmov a6, a9\n\tret\n")
+
+	// des_pass: a5:a6 = block after IP (L:R), a4 = ks pointer.
+	// Runs 16 rounds; returns pre-FP block (R16:L16) in a5:a6 and the
+	// advanced ks pointer in a4.  Clobbers a8-a15.
+	b.WriteString("\t.func\ndes_pass:\n")
+	b.WriteString("\tmovi a15, 16\n") // round counter
+	b.WriteString("des_pass_round:\n")
+	b.WriteString("\tmovi a8, 0\n") // f accumulator
+	b.WriteString("\tla   a9, des_sp_tab\n")
+	for box := 0; box < 8; box++ {
+		rot := rots[box]
+		fmt.Fprintf(&b, "\tsrli a10, a6, %d\n", rot)
+		fmt.Fprintf(&b, "\tslli a11, a6, %d\n", 32-rot)
+		b.WriteString("\tor   a10, a10, a11\n")
+		b.WriteString("\tandi a10, a10, 63\n")
+		fmt.Fprintf(&b, "\tl32i a11, a4, %d\n", 4*box) // key chunk
+		b.WriteString("\txor  a10, a10, a11\n")
+		b.WriteString("\tslli a10, a10, 2\n")
+		b.WriteString("\tadd  a10, a10, a9\n")
+		fmt.Fprintf(&b, "\tl32i a10, a10, %d\n", 256*box) // SP lookup
+		b.WriteString("\txor  a8, a8, a10\n")
+	}
+	b.WriteString("\txor  a10, a5, a8\n") // L ^ f
+	b.WriteString("\tmov  a5, a6\n")      // L' = R
+	b.WriteString("\tmov  a6, a10\n")     // R' = L ^ f
+	b.WriteString("\taddi a4, a4, 32\n")  // next round's 8 key chunks
+	b.WriteString("\taddi a15, a15, -1\n")
+	b.WriteString("\tbnez a15, des_pass_round\n")
+	// Undo the final swap: pre-output = R16:L16.
+	b.WriteString("\tmov  a10, a5\n\tmov a5, a6\n\tmov a6, a10\n")
+	b.WriteString("\tret\n")
+
+	// des_block(dst a2, src a3, ks a4)
+	b.WriteString("\t.func\ndes_block:\n")
+	b.WriteString("\taddi sp, sp, -16\n")
+	b.WriteString("\ts32i a0, sp, 0\n")
+	b.WriteString("\ts32i a2, sp, 4\n")
+	b.WriteString("\tl32i a5, a3, 0\n") // hi
+	b.WriteString("\tl32i a6, a3, 4\n") // lo
+	b.WriteString("\tla   a7, des_ip_tab\n")
+	b.WriteString("\tcall des_perm64\n")
+	b.WriteString("\tcall des_pass\n")
+	b.WriteString("\tla   a7, des_fp_tab\n")
+	b.WriteString("\tcall des_perm64\n")
+	b.WriteString("\tl32i a2, sp, 4\n")
+	b.WriteString("\ts32i a5, a2, 0\n")
+	b.WriteString("\ts32i a6, a2, 4\n")
+	b.WriteString("\tl32i a0, sp, 0\n")
+	b.WriteString("\taddi sp, sp, 16\n")
+	b.WriteString("\tret\n")
+
+	// des3_block(dst a2, src a3, ks a4): three chained passes, IP/FP per
+	// pass as in the EDE composition of complete DES operations.
+	b.WriteString("\t.func\ndes3_block:\n")
+	b.WriteString("\taddi sp, sp, -16\n")
+	b.WriteString("\ts32i a0, sp, 0\n")
+	b.WriteString("\ts32i a2, sp, 4\n")
+	b.WriteString("\tl32i a5, a3, 0\n")
+	b.WriteString("\tl32i a6, a3, 4\n")
+	for pass := 0; pass < 3; pass++ {
+		b.WriteString("\tla   a7, des_ip_tab\n")
+		b.WriteString("\tcall des_perm64\n")
+		b.WriteString("\tcall des_pass\n") // advances a4 by 512 bytes
+		b.WriteString("\tla   a7, des_fp_tab\n")
+		b.WriteString("\tcall des_perm64\n")
+	}
+	b.WriteString("\tl32i a2, sp, 4\n")
+	b.WriteString("\ts32i a5, a2, 0\n")
+	b.WriteString("\ts32i a6, a2, 4\n")
+	b.WriteString("\tl32i a0, sp, 0\n")
+	b.WriteString("\taddi sp, sp, 16\n")
+	b.WriteString("\tret\n")
+
+	return Variant{Name: "des/base", Source: b.String()}
+}
+
+// DESTIE generates the TIE-accelerated DES program with the same entry
+// points as DESBase, consuming PrepDESKeyScheduleTIE schedules (16×2 words
+// per pass).  The 16 rounds are fully unrolled.
+func DESTIE() Variant {
+	ext := NewDESExtension()
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+
+	emitPass := func() {
+		b.WriteString("\tdes_ip\n")
+		for r := 0; r < 16; r++ {
+			fmt.Fprintf(&b, "\tl32i a5, a4, %d\n", 8*r)
+			fmt.Fprintf(&b, "\tl32i a6, a4, %d\n", 8*r+4)
+			b.WriteString("\tdes_round a5, a6\n")
+		}
+		b.WriteString("\tdes_fp\n")
+	}
+
+	b.WriteString("\t.func\ndes_block:\n")
+	b.WriteString("\tdes_ld a3\n")
+	emitPass()
+	b.WriteString("\tdes_st a2\n")
+	b.WriteString("\tret\n")
+
+	b.WriteString("\t.func\ndes3_block:\n")
+	b.WriteString("\tdes_ld a3\n")
+	for pass := 0; pass < 3; pass++ {
+		emitPass()
+		if pass < 2 {
+			b.WriteString("\taddi a4, a4, 128\n")
+		}
+	}
+	b.WriteString("\tdes_st a2\n")
+	b.WriteString("\tret\n")
+
+	return Variant{
+		Name: "des/tie", Source: b.String(), Ext: ext,
+		Instrs: []string{"des_ld", "des_st", "des_ip", "des_fp", "des_round"},
+	}
+}

@@ -1,0 +1,378 @@
+// Package kernels provides the xt32 assembly implementations of the
+// platform's performance-critical library routines — each in a base-ISA
+// variant and one or more TIE-accelerated variants — together with the
+// custom-instruction extension sets that back them.
+//
+// These are the "leaf nodes" of the paper's methodology: the routines small
+// enough for a designer to formulate custom instructions for (§3.3).  The
+// base variants are characterized on the ISS to build the performance
+// macro-models; the TIE variants populate the area–delay curves of
+// Figures 5 and 6; and the cipher kernels measured end-to-end on the ISS
+// produce the Table 1 speedups.
+package kernels
+
+import (
+	"fmt"
+
+	"wisp/internal/aescipher"
+	"wisp/internal/descipher"
+	"wisp/internal/tie"
+)
+
+// Custom-instruction identifiers.  All extension sets share one ID space so
+// a single core can mount the full security-processing extension.
+const (
+	idURLdn = 1
+	idURStn = 2
+	idCClr  = 3
+	idCGet  = 4
+	idCSet  = 5
+	idCGetM = 6
+
+	idAddv2  = 10
+	idAddv4  = 11
+	idAddv8  = 12
+	idAddv16 = 13
+	idSubv2  = 14
+	idSubv4  = 15
+	idSubv8  = 16
+	idSubv16 = 17
+	idMac1   = 20
+	idMac2   = 21
+	idMac4   = 22
+
+	idDesLd    = 30
+	idDesSt    = 31
+	idDesIP    = 32
+	idDesFP    = 33
+	idDesRound = 34
+
+	idAesSbox4  = 40
+	idAesISbox4 = 41
+	idAesMixcol = 42
+	idAesIMixcol = 43
+)
+
+// User-register conventions for the MPN extension: UR0 = operand A,
+// UR1 = operand B, UR2 = result R, UR3[0] = carry/borrow/MAC-carry limb.
+const (
+	urA     = 0
+	urB     = 1
+	urR     = 2
+	urCarry = 3
+)
+
+// URWords is the width of each user register in 32-bit limbs (512-bit URs,
+// wide enough for one addv16 block).
+const URWords = 16
+
+// NewSecurityExtension builds the full extension set selected for the
+// security processor: multi-precision vector add/sub and MAC instructions
+// (public-key), the DES round datapath, and the AES S-box/MixColumns units.
+func NewSecurityExtension() *tie.ExtensionSet {
+	s := tie.NewExtensionSet("wisp-security", tie.URSpec{Count: 4, Words: URWords})
+	addMPNInstrs(s, []int{2, 4, 8, 16}, []int{1, 2, 4})
+	addDESInstrs(s)
+	addAESInstrs(s)
+	return s
+}
+
+// NewMPNExtension builds an extension set containing only the
+// multi-precision instructions with the given adder-vector and MAC widths —
+// the A-D curve generator instantiates many of these restricted sets.
+func NewMPNExtension(addWidths, macWidths []int) *tie.ExtensionSet {
+	s := tie.NewExtensionSet("wisp-mpn", tie.URSpec{Count: 4, Words: URWords})
+	addMPNInstrs(s, addWidths, macWidths)
+	return s
+}
+
+func addMPNInstrs(s *tie.ExtensionSet, addWidths, macWidths []int) {
+	s.MustAdd(tie.Instr{
+		Name: "ur_ldn", ID: idURLdn, NumRegs: 2, HasSub: true, Latency: 2,
+		Res: tie.Resources{RegBits: 32, Logic: 200},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			n := int(rsv)
+			if n < 0 || n > URWords {
+				return 0, false, fmt.Errorf("ur_ldn: count %d exceeds UR width", n)
+			}
+			ur := ctx.UR(sub)
+			for i := 0; i < n; i++ {
+				w, err := ctx.Load32(rdv + uint32(4*i))
+				if err != nil {
+					return 0, false, err
+				}
+				ur[i] = w
+			}
+			return 0, false, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "ur_stn", ID: idURStn, NumRegs: 2, HasSub: true, Latency: 2,
+		Res: tie.Resources{Logic: 200},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			n := int(rsv)
+			if n < 0 || n > URWords {
+				return 0, false, fmt.Errorf("ur_stn: count %d exceeds UR width", n)
+			}
+			ur := ctx.UR(sub)
+			for i := 0; i < n; i++ {
+				if err := ctx.Store32(rdv+uint32(4*i), ur[i]); err != nil {
+					return 0, false, err
+				}
+			}
+			return 0, false, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "cclr", ID: idCClr, Latency: 1,
+		Res: tie.Resources{RegBits: 64},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			ctx.UR(urCarry)[0] = 0
+			ctx.UR(urCarry)[1] = 0 // multiplier carry limb
+			return 0, false, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "cget", ID: idCGet, NumRegs: 1, Latency: 1,
+		Res: tie.Resources{Logic: 40},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			return ctx.UR(urCarry)[0], true, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "cset", ID: idCSet, NumRegs: 1, Latency: 1,
+		Res: tie.Resources{Logic: 40},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			ctx.UR(urCarry)[0] = rdv
+			return 0, false, nil
+		},
+	})
+
+	addvID := map[int]int{2: idAddv2, 4: idAddv4, 8: idAddv8, 16: idAddv16}
+	subvID := map[int]int{2: idSubv2, 4: idSubv4, 8: idSubv8, 16: idSubv16}
+	for _, k := range addWidths {
+		k := k
+		aid, ok := addvID[k]
+		if !ok {
+			panic(fmt.Sprintf("kernels: unsupported addv width %d", k))
+		}
+		s.MustAdd(tie.Instr{
+			Name: fmt.Sprintf("addv%d", k), ID: aid, HasSub: true,
+			Family: "mpn.adder", Kind: "addv", Rank: k, Latency: vecAddLatency(k),
+			Res: tie.Resources{Adders: k},
+			Sem: vecAddSub(k, false),
+		})
+		s.MustAdd(tie.Instr{
+			Name: fmt.Sprintf("subv%d", k), ID: subvID[k], HasSub: true,
+			Family: "mpn.adder", Kind: "subv", Rank: k, Latency: vecAddLatency(k),
+			Res: tie.Resources{Adders: k},
+			Sem: vecAddSub(k, true),
+		})
+	}
+
+	mulvID := map[int]int{1: idMac1, 2: idMac2, 4: idMac4}
+	for _, k := range macWidths {
+		k := k
+		mid, ok := mulvID[k]
+		if !ok {
+			panic(fmt.Sprintf("kernels: unsupported mulv width %d", k))
+		}
+		s.MustAdd(tie.Instr{
+			Name: fmt.Sprintf("mulv%d", k), ID: mid, NumRegs: 1, HasSub: true,
+			Family: "mpn.mult", Kind: "mulv", Rank: k, Latency: 2,
+			Res: tie.Resources{Mults: k},
+			Sem: mulvK(k),
+		})
+	}
+	s.MustAdd(tie.Instr{
+		Name: "cgetm", ID: idCGetM, NumRegs: 1, Latency: 1,
+		Res: tie.Resources{Logic: 40},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			return ctx.UR(urCarry)[1], true, nil
+		},
+	})
+}
+
+// vecAddLatency models the carry-chain depth of a k-limb vector adder.
+func vecAddLatency(k int) int {
+	switch {
+	case k <= 4:
+		return 1
+	case k <= 8:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// vecAddSub returns the semantics of a k-limb add (or subtract) with
+// carry/borrow chained through UR3[0].  sub selects the k-limb block within
+// the 16-limb user registers.
+func vecAddSub(k int, isSub bool) tie.Semantics {
+	return func(ctx tie.Ctx, rdv, rsv, rtv uint32, subField int) (uint32, bool, error) {
+		off := subField * k
+		if off+k > URWords {
+			return 0, false, fmt.Errorf("addv/subv: block %d exceeds UR width", subField)
+		}
+		a := ctx.UR(urA)
+		b := ctx.UR(urB)
+		r := ctx.UR(urR)
+		c := uint64(ctx.UR(urCarry)[0] & 1)
+		for i := off; i < off+k; i++ {
+			if isSub {
+				d := uint64(a[i]) - uint64(b[i]) - c
+				r[i] = uint32(d)
+				c = d >> 63
+			} else {
+				s := uint64(a[i]) + uint64(b[i]) + c
+				r[i] = uint32(s)
+				c = s >> 32
+			}
+		}
+		ctx.UR(urCarry)[0] = uint32(c)
+		return 0, false, nil
+	}
+}
+
+// mulvK returns the semantics of a k-limb scalar multiply: B[i] = A[i]·b
+// with the high-limb carry chained through UR3[1].  The product vector
+// lands in the B register so the shared vector adder (addv) performs the
+// accumulation — the adders and multipliers are therefore the separately
+// shared resources of the paper's {add_k, mul_1} design points.  The
+// scalar multiplicand b arrives in the rd operand.
+func mulvK(k int) tie.Semantics {
+	return func(ctx tie.Ctx, rdv, rsv, rtv uint32, subField int) (uint32, bool, error) {
+		off := subField * k
+		if off+k > URWords {
+			return 0, false, fmt.Errorf("mulv: block %d exceeds UR width", subField)
+		}
+		a := ctx.UR(urA)
+		b := ctx.UR(urB)
+		c := uint64(ctx.UR(urCarry)[1])
+		for i := off; i < off+k; i++ {
+			p := uint64(a[i])*uint64(rdv) + c
+			b[i] = uint32(p)
+			c = p >> 32
+		}
+		ctx.UR(urCarry)[1] = uint32(c)
+		return 0, false, nil
+	}
+}
+
+// NewDESExtension builds an extension set with only the DES datapath.
+func NewDESExtension() *tie.ExtensionSet {
+	s := tie.NewExtensionSet("wisp-des", tie.URSpec{Count: 4, Words: URWords})
+	addDESInstrs(s)
+	return s
+}
+
+func addDESInstrs(s *tie.ExtensionSet) {
+	// Block register: UR0[0] = L (high word), UR0[1] = R (low word).
+	s.MustAdd(tie.Instr{
+		Name: "des_ld", ID: idDesLd, NumRegs: 1, Latency: 2,
+		Res: tie.Resources{RegBits: 64, Logic: 100},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			hi, err := ctx.Load32(rdv)
+			if err != nil {
+				return 0, false, err
+			}
+			lo, err := ctx.Load32(rdv + 4)
+			if err != nil {
+				return 0, false, err
+			}
+			ur := ctx.UR(0)
+			ur[0], ur[1] = hi, lo
+			return 0, false, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "des_st", ID: idDesSt, NumRegs: 1, Latency: 2,
+		Res: tie.Resources{Logic: 100},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			ur := ctx.UR(0)
+			if err := ctx.Store32(rdv, ur[0]); err != nil {
+				return 0, false, err
+			}
+			return 0, false, ctx.Store32(rdv+4, ur[1])
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "des_ip", ID: idDesIP, Latency: 1,
+		Res: tie.Resources{Logic: 350}, // pure wiring + output register muxes
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			ur := ctx.UR(0)
+			v := descipher.IP(uint64(ur[0])<<32 | uint64(ur[1]))
+			ur[0], ur[1] = uint32(v>>32), uint32(v)
+			return 0, false, nil
+		},
+	})
+	// des_fp is the DES output stage: it undoes the final round's L/R
+	// crossover (the preoutput is R16‖L16) and applies IP⁻¹ — both pure
+	// wiring, exactly as drawn in the FIPS 46 datapath.
+	s.MustAdd(tie.Instr{
+		Name: "des_fp", ID: idDesFP, Latency: 1,
+		Res: tie.Resources{Logic: 350},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			ur := ctx.UR(0)
+			v := descipher.FP(uint64(ur[1])<<32 | uint64(ur[0]))
+			ur[0], ur[1] = uint32(v>>32), uint32(v)
+			return 0, false, nil
+		},
+	})
+	// des_round applies one Feistel round to UR0.  The 48-bit subkey is
+	// delivered as two 24-bit register halves (rd = high 24, rs = low 24).
+	// The E ⊕ K → S-box → P → XOR path needs two pipeline cycles.
+	s.MustAdd(tie.Instr{
+		Name: "des_round", ID: idDesRound, NumRegs: 2, Latency: 2,
+		Res: tie.Resources{LUTBits: 8 * 64 * 4, Logic: 700}, // 8 S-boxes + E/P wiring + XORs
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			ur := ctx.UR(0)
+			l, r := ur[0], ur[1]
+			subkey := uint64(rdv&0xFFFFFF)<<24 | uint64(rsv&0xFFFFFF)
+			ur[0], ur[1] = r, l^descipher.Feistel(r, subkey)
+			return 0, false, nil
+		},
+	})
+}
+
+// NewAESExtension builds an extension set with only the AES units.
+func NewAESExtension() *tie.ExtensionSet {
+	s := tie.NewExtensionSet("wisp-aes", tie.URSpec{Count: 4, Words: URWords})
+	addAESInstrs(s)
+	return s
+}
+
+func addAESInstrs(s *tie.ExtensionSet) {
+	s.MustAdd(tie.Instr{
+		Name: "aes_sbox4", ID: idAesSbox4, NumRegs: 2, Latency: 1,
+		Res: tie.Resources{LUTBits: 4 * 256 * 8}, // four parallel S-box ROMs
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			return aescipher.SubWord(rsv), true, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "aes_isbox4", ID: idAesISbox4, NumRegs: 2, Latency: 1,
+		Res: tie.Resources{LUTBits: 4 * 256 * 8},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			v := uint32(aescipher.InvSBox(byte(rsv>>24)))<<24 |
+				uint32(aescipher.InvSBox(byte(rsv>>16)))<<16 |
+				uint32(aescipher.InvSBox(byte(rsv>>8)))<<8 |
+				uint32(aescipher.InvSBox(byte(rsv)))
+			return v, true, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "aes_mixcol", ID: idAesMixcol, NumRegs: 2, Latency: 1,
+		Res: tie.Resources{Logic: 450}, // xtime/XOR network for one column
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			return aescipher.MixColumn(rsv), true, nil
+		},
+	})
+	s.MustAdd(tie.Instr{
+		Name: "aes_imixcol", ID: idAesIMixcol, NumRegs: 2, Latency: 1,
+		Res: tie.Resources{Logic: 900}, // inverse matrix has heavier coefficients
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			return aescipher.InvMixColumn(rsv), true, nil
+		},
+	})
+}

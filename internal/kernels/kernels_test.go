@@ -1,0 +1,453 @@
+package kernels
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/aescipher"
+	"wisp/internal/descipher"
+	"wisp/internal/mpn"
+	"wisp/internal/sim"
+)
+
+// Scratch addresses in simulated RAM, above the loaded data image.
+const (
+	addrA = 0x40000
+	addrB = 0x42000
+	addrR = 0x44000
+	addrK = 0x46000
+	addrS = 0x48000
+	addrD = 0x4A000
+)
+
+func buildCPU(t *testing.T, v Variant) *sim.CPU {
+	t.Helper()
+	c, err := v.Build(sim.DefaultConfig())
+	if err != nil {
+		t.Fatalf("build %s: %v", v.Name, err)
+	}
+	return c
+}
+
+func randLimbs(r *rand.Rand, n int) mpn.Nat {
+	out := make(mpn.Nat, n)
+	for i := range out {
+		out[i] = r.Uint32()
+	}
+	return out
+}
+
+func writeLimbs(t *testing.T, c *sim.CPU, addr uint32, v mpn.Nat) {
+	t.Helper()
+	if err := c.WriteWords(addr, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readLimbs(t *testing.T, c *sim.CPU, addr uint32, n int) mpn.Nat {
+	t.Helper()
+	v, err := c.ReadWords(addr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMPNBaseAddSub(t *testing.T) {
+	c := buildCPU(t, MPNBase())
+	r := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(12)
+		a, b := randLimbs(r, n), randLimbs(r, n)
+		writeLimbs(t, c, addrA, a)
+		writeLimbs(t, c, addrB, b)
+
+		carry, _, err := c.Call("mpn_add_n", addrR, addrA, addrB, uint32(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(mpn.Nat, n)
+		wantCarry := mpn.AddN(want, a, b)
+		got := readLimbs(t, c, addrR, n)
+		if mpn.Cmp(got, want) != 0 || carry != uint32(wantCarry) {
+			t.Fatalf("mpn_add_n n=%d: got %v carry=%d, want %v carry=%d", n, got, carry, want, wantCarry)
+		}
+
+		borrow, _, err := c.Call("mpn_sub_n", addrR, addrA, addrB, uint32(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSub := make(mpn.Nat, n)
+		wantBorrow := mpn.SubN(wantSub, a, b)
+		got = readLimbs(t, c, addrR, n)
+		if mpn.Cmp(got, wantSub) != 0 || borrow != uint32(wantBorrow) {
+			t.Fatalf("mpn_sub_n n=%d mismatch", n)
+		}
+	}
+}
+
+func TestMPNBaseMulKernels(t *testing.T) {
+	c := buildCPU(t, MPNBase())
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(10)
+		a := randLimbs(r, n)
+		acc := randLimbs(r, n)
+		bv := r.Uint32()
+
+		writeLimbs(t, c, addrA, a)
+		carry, _, err := c.Call("mpn_mul_1", addrR, addrA, uint32(n), bv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(mpn.Nat, n)
+		wantCarry := mpn.Mul1(want, a, bv)
+		if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, want) != 0 || carry != uint32(wantCarry) {
+			t.Fatalf("mpn_mul_1 n=%d mismatch", n)
+		}
+
+		writeLimbs(t, c, addrR, acc)
+		carry, _, err = c.Call("mpn_addmul_1", addrR, addrA, uint32(n), bv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = mpn.Copy(acc)
+		wantCarry = mpn.AddMul1(want, a, bv)
+		if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, want) != 0 || carry != uint32(wantCarry) {
+			t.Fatalf("mpn_addmul_1 n=%d mismatch", n)
+		}
+
+		writeLimbs(t, c, addrR, acc)
+		borrow, _, err := c.Call("mpn_submul_1", addrR, addrA, uint32(n), bv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = mpn.Copy(acc)
+		wantBorrow := mpn.SubMul1(want, a, bv)
+		if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, want) != 0 || borrow != uint32(wantBorrow) {
+			t.Fatalf("mpn_submul_1 n=%d mismatch (borrow=%d want %d)", n, borrow, wantBorrow)
+		}
+	}
+}
+
+func TestMPNBaseShifts(t *testing.T) {
+	c := buildCPU(t, MPNBase())
+	r := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(8)
+		s := uint32(1 + r.Intn(31))
+		a := randLimbs(r, n)
+
+		writeLimbs(t, c, addrA, a)
+		out, _, err := c.Call("mpn_lshift", addrR, addrA, uint32(n), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(mpn.Nat, n)
+		wantOut := mpn.Lshift(want, a, uint(s))
+		if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, want) != 0 || out != uint32(wantOut) {
+			t.Fatalf("mpn_lshift n=%d s=%d mismatch", n, s)
+		}
+
+		writeLimbs(t, c, addrA, a)
+		out, _, err = c.Call("mpn_rshift", addrR, addrA, uint32(n), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = make(mpn.Nat, n)
+		wantOut = mpn.Rshift(want, a, uint(s))
+		if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, want) != 0 || out != uint32(wantOut) {
+			t.Fatalf("mpn_rshift n=%d s=%d mismatch", n, s)
+		}
+	}
+}
+
+func TestMPNBaseDivRem1(t *testing.T) {
+	c := buildCPU(t, MPNBase())
+	r := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(6)
+		a := randLimbs(r, n)
+		d := r.Uint32() | 1
+
+		writeLimbs(t, c, addrA, a)
+		rem, _, err := c.Call("mpn_divrem_1", addrR, addrA, uint32(n), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(mpn.Nat, n)
+		wantRem := mpn.DivRem1(want, a, d)
+		if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, want) != 0 || rem != uint32(wantRem) {
+			t.Fatalf("mpn_divrem_1 n=%d mismatch", n)
+		}
+	}
+}
+
+func TestMPNTIEKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	for _, cfg := range []struct{ k, m, n int }{
+		{2, 1, 8}, {4, 2, 8}, {8, 4, 8}, {16, 4, 16}, {4, 4, 32}, {16, 2, 32},
+	} {
+		v, err := MPNTIE(cfg.k, cfg.m, cfg.n)
+		if err != nil {
+			t.Fatalf("MPNTIE(%v): %v", cfg, err)
+		}
+		c := buildCPU(t, v)
+		for trial := 0; trial < 10; trial++ {
+			n := cfg.n
+			a, b := randLimbs(r, n), randLimbs(r, n)
+			acc := randLimbs(r, n)
+			bv := r.Uint32()
+
+			writeLimbs(t, c, addrA, a)
+			writeLimbs(t, c, addrB, b)
+			carry, _, err := c.Call("mpn_add_n", addrR, addrA, addrB, uint32(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(mpn.Nat, n)
+			wantCarry := mpn.AddN(want, a, b)
+			if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, want) != 0 || carry != uint32(wantCarry) {
+				t.Fatalf("%s add n=%d mismatch", v.Name, n)
+			}
+
+			borrow, _, err := c.Call("mpn_sub_n", addrR, addrA, addrB, uint32(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSub := make(mpn.Nat, n)
+			wantBorrow := mpn.SubN(wantSub, a, b)
+			if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, wantSub) != 0 || borrow != uint32(wantBorrow) {
+				t.Fatalf("%s sub mismatch", v.Name)
+			}
+
+			writeLimbs(t, c, addrR, acc)
+			carry, _, err = c.Call("mpn_addmul_1", addrR, addrA, uint32(n), bv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMul := mpn.Copy(acc)
+			wantCarry = mpn.AddMul1(wantMul, a, bv)
+			if got := readLimbs(t, c, addrR, n); mpn.Cmp(got, wantMul) != 0 || carry != uint32(wantCarry) {
+				t.Fatalf("%s addmul mismatch", v.Name)
+			}
+		}
+	}
+}
+
+func TestMPNTIEValidation(t *testing.T) {
+	if _, err := MPNTIE(4, 2, 10); err == nil {
+		t.Error("n not multiple of k accepted")
+	}
+	if _, err := MPNTIE(2, 4, 6); err == nil {
+		t.Error("n not multiple of m accepted")
+	}
+	if _, err := MPNTIE(0, 1, 8); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestTIEFasterThanBase(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	base := buildCPU(t, MPNBase())
+	v, err := MPNTIE(8, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tie := buildCPU(t, v)
+	a, b := randLimbs(r, 32), randLimbs(r, 32)
+	for _, c := range []*sim.CPU{base, tie} {
+		writeLimbs(t, c, addrA, a)
+		writeLimbs(t, c, addrB, b)
+	}
+	_, baseCyc, err := base.Call("mpn_add_n", addrR, addrA, addrB, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tieCyc, err := tie.Call("mpn_add_n", addrR, addrA, addrB, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tieCyc*2 >= baseCyc {
+		t.Errorf("TIE add_n not at least 2× faster: base=%d tie=%d", baseCyc, tieCyc)
+	}
+}
+
+func desBlockOnISS(t *testing.T, c *sim.CPU, fn string, src []byte, ks []uint32) []byte {
+	t.Helper()
+	if err := c.WriteBytes(addrS, beBlock(src)); err != nil {
+		t.Fatal(err)
+	}
+	writeLimbs(t, c, addrK, ks)
+	if _, _, err := c.Call(fn, addrD, addrS, addrK); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ReadBytes(addrD, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fromBeBlock(out)
+}
+
+// beBlock converts an 8-byte block into the kernel's two big-endian words
+// laid out in little-endian memory.
+func beBlock(b []byte) []byte {
+	out := make([]byte, 8)
+	// word0 = b[0..3] big-endian → little-endian memory b[3],b[2],b[1],b[0]
+	out[0], out[1], out[2], out[3] = b[3], b[2], b[1], b[0]
+	out[4], out[5], out[6], out[7] = b[7], b[6], b[5], b[4]
+	return out
+}
+
+func fromBeBlock(m []byte) []byte {
+	out := make([]byte, 8)
+	out[0], out[1], out[2], out[3] = m[3], m[2], m[1], m[0]
+	out[4], out[5], out[6], out[7] = m[7], m[6], m[5], m[4]
+	return out
+}
+
+func TestDESKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(106))
+	baseCPU := buildCPU(t, DESBase())
+	tieCPU := buildCPU(t, DESTIE())
+	for trial := 0; trial < 10; trial++ {
+		key := make([]byte, 8)
+		blk := make([]byte, 8)
+		r.Read(key)
+		r.Read(blk)
+		ref, err := descipher.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 8)
+		ref.Encrypt(want, blk)
+
+		got := desBlockOnISS(t, baseCPU, "des_block", blk, PrepDESKeyScheduleBase(ref, false))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("base DES kernel: got %x, want %x", got, want)
+		}
+		got = desBlockOnISS(t, tieCPU, "des_block", blk, PrepDESKeyScheduleTIE(ref, false))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("TIE DES kernel: got %x, want %x", got, want)
+		}
+
+		// Decryption = reversed schedule.
+		back := desBlockOnISS(t, baseCPU, "des_block", want, PrepDESKeyScheduleBase(ref, true))
+		if !bytes.Equal(back, blk) {
+			t.Fatalf("base DES decrypt schedule failed")
+		}
+	}
+}
+
+func Test3DESKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	baseCPU := buildCPU(t, DESBase())
+	tieCPU := buildCPU(t, DESTIE())
+	for trial := 0; trial < 5; trial++ {
+		key := make([]byte, 24)
+		blk := make([]byte, 8)
+		r.Read(key)
+		r.Read(blk)
+		ref, err := descipher.NewTripleCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 8)
+		ref.Encrypt(want, blk)
+
+		got := desBlockOnISS(t, baseCPU, "des3_block", blk, Prep3DESKeyScheduleBase(ref, false))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("base 3DES kernel: got %x, want %x", got, want)
+		}
+		got = desBlockOnISS(t, tieCPU, "des3_block", blk, Prep3DESKeyScheduleTIE(ref, false))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("TIE 3DES kernel: got %x, want %x", got, want)
+		}
+
+		back := desBlockOnISS(t, baseCPU, "des3_block", want, Prep3DESKeyScheduleBase(ref, true))
+		if !bytes.Equal(back, blk) {
+			t.Fatal("base 3DES decrypt schedule failed")
+		}
+	}
+}
+
+func TestAESKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(108))
+	baseCPU := buildCPU(t, AESBase())
+	tieCPU := buildCPU(t, AESTIE())
+	for trial := 0; trial < 10; trial++ {
+		key := make([]byte, 16)
+		blk := make([]byte, 16)
+		r.Read(key)
+		r.Read(blk)
+		ref, err := aescipher.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 16)
+		ref.Encrypt(want, blk)
+		ks := PrepAESKeySchedule(ref)
+
+		for _, tc := range []struct {
+			name string
+			cpu  *sim.CPU
+		}{{"base", baseCPU}, {"tie", tieCPU}} {
+			if err := tc.cpu.WriteBytes(addrS, blk); err != nil {
+				t.Fatal(err)
+			}
+			writeLimbs(t, tc.cpu, addrK, ks)
+			if _, _, err := tc.cpu.Call("aes_encrypt", addrD, addrS, addrK); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got, err := tc.cpu.ReadBytes(addrD, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s AES kernel: got %x, want %x", tc.name, got, want)
+			}
+		}
+	}
+}
+
+func TestCipherSpeedupShape(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	key := make([]byte, 8)
+	blk := make([]byte, 8)
+	r.Read(key)
+	r.Read(blk)
+	ref, _ := descipher.NewCipher(key)
+
+	baseCPU := buildCPU(t, DESBase())
+	tieCPU := buildCPU(t, DESTIE())
+	baseCPU.WriteBytes(addrS, beBlock(blk))
+	writeLimbs(t, baseCPU, addrK, PrepDESKeyScheduleBase(ref, false))
+	_, baseCyc, err := baseCPU.Call("des_block", addrD, addrS, addrK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tieCPU.WriteBytes(addrS, beBlock(blk))
+	writeLimbs(t, tieCPU, addrK, PrepDESKeyScheduleTIE(ref, false))
+	_, tieCyc, err := tieCPU.Call("des_block", addrD, addrS, addrK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(baseCyc) / float64(tieCyc)
+	if speedup < 10 {
+		t.Errorf("DES TIE speedup %.1f× below 10×: base=%d tie=%d", speedup, baseCyc, tieCyc)
+	}
+	t.Logf("DES block: base %d cycles (%.1f c/B), TIE %d cycles (%.1f c/B), %.1f×",
+		baseCyc, float64(baseCyc)/8, tieCyc, float64(tieCyc)/8, speedup)
+}
+
+func TestExtensionAreas(t *testing.T) {
+	if g := NewSecurityExtension().Gates(); g <= 0 {
+		t.Errorf("security extension area %v", g)
+	}
+	small := NewMPNExtension([]int{2}, []int{1}).Gates()
+	big := NewMPNExtension([]int{16}, []int{4}).Gates()
+	if small >= big {
+		t.Errorf("area not monotone in resources: %v >= %v", small, big)
+	}
+}

@@ -1,0 +1,118 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MD5 kernel: the record-layer MAC workload of the SSL evaluation, fully
+// unrolled xt32 assembly generated from the reference constants.  MD5 (and
+// HMAC-MD5 built on it) runs on the base core in both platform variants —
+// it is part of the non-accelerated "miscellaneous" share that bounds the
+// Figure 8 transaction speedups — so only a base variant exists.
+//
+// Entry point:
+//
+//	md5_block(state, block)  — one 64-byte compression; state = 4
+//	                           little-endian words updated in place
+//
+// The 64 steps use register renaming instead of move instructions: the
+// rotating (a,b,c,d) mapping is resolved at code-generation time.
+
+// md5Shifts and md5K mirror the reference implementation in
+// internal/hashes (RFC 1321).
+var md5AsmShifts = [64]uint{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+var md5AsmK = [64]uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+	0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+	0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+	0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+	0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+	0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+	0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+	0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+	0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+// MD5Base generates the base-ISA MD5 compression kernel.
+func MD5Base() Variant {
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+	b.WriteString("\t.func\nmd5_block:\n")
+	// a2 = state ptr, a3 = block ptr.
+	// Working registers: the rotating (a,b,c,d) live in a5..a8 under a
+	// compile-time permutation; a9..a12 scratch; a13 = all-ones.
+	b.WriteString("\tmovi a13, -1\n")
+	for i, r := range []int{5, 6, 7, 8} {
+		fmt.Fprintf(&b, "\tl32i a%d, a2, %d\n", r, 4*i)
+	}
+
+	regs := [4]int{5, 6, 7, 8} // current registers of a, b, c, d
+	for i := 0; i < 64; i++ {
+		ra, rb, rc, rd := regs[0], regs[1], regs[2], regs[3]
+		var g int
+		switch {
+		case i < 16:
+			g = i
+			// f = (b & c) | (~b & d)
+			fmt.Fprintf(&b, "\tand  a9, a%d, a%d\n", rb, rc)
+			fmt.Fprintf(&b, "\txor  a10, a%d, a13\n", rb)
+			fmt.Fprintf(&b, "\tand  a10, a10, a%d\n", rd)
+			b.WriteString("\tor   a9, a9, a10\n")
+		case i < 32:
+			g = (5*i + 1) % 16
+			// f = (d & b) | (~d & c)
+			fmt.Fprintf(&b, "\tand  a9, a%d, a%d\n", rd, rb)
+			fmt.Fprintf(&b, "\txor  a10, a%d, a13\n", rd)
+			fmt.Fprintf(&b, "\tand  a10, a10, a%d\n", rc)
+			b.WriteString("\tor   a9, a9, a10\n")
+		case i < 48:
+			g = (3*i + 5) % 16
+			// f = b ^ c ^ d
+			fmt.Fprintf(&b, "\txor  a9, a%d, a%d\n", rb, rc)
+			fmt.Fprintf(&b, "\txor  a9, a9, a%d\n", rd)
+		default:
+			g = (7 * i) % 16
+			// f = c ^ (b | ~d)
+			fmt.Fprintf(&b, "\txor  a10, a%d, a13\n", rd)
+			fmt.Fprintf(&b, "\tor   a10, a%d, a10\n", rb)
+			fmt.Fprintf(&b, "\txor  a9, a%d, a10\n", rc)
+		}
+		// f += a + K[i] + x[g]
+		fmt.Fprintf(&b, "\tadd  a9, a9, a%d\n", ra)
+		fmt.Fprintf(&b, "\tli   a10, 0x%08x\n", md5AsmK[i])
+		b.WriteString("\tadd  a9, a9, a10\n")
+		fmt.Fprintf(&b, "\tl32i a10, a3, %d\n", 4*g)
+		b.WriteString("\tadd  a9, a9, a10\n")
+		// b_new = b + rol(f, s), written into the register a occupied.
+		s := md5AsmShifts[i]
+		fmt.Fprintf(&b, "\tslli a10, a9, %d\n", s)
+		fmt.Fprintf(&b, "\tsrli a11, a9, %d\n", 32-s)
+		b.WriteString("\tor   a10, a10, a11\n")
+		fmt.Fprintf(&b, "\tadd  a%d, a%d, a10\n", ra, rb)
+		// Rename: (a,b,c,d) ← (d, b_new, b, c).
+		regs = [4]int{rd, ra, rb, rc}
+	}
+
+	// state[i] += working registers.
+	for i, r := range regs {
+		fmt.Fprintf(&b, "\tl32i a9, a2, %d\n", 4*i)
+		fmt.Fprintf(&b, "\tadd  a9, a9, a%d\n", r)
+		fmt.Fprintf(&b, "\ts32i a9, a2, %d\n", 4*i)
+	}
+	b.WriteString("\tret\n")
+	return Variant{Name: "md5/base", Source: b.String()}
+}

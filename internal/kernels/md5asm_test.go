@@ -1,0 +1,102 @@
+package kernels
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/hashes"
+)
+
+// md5OnISS hashes msg by running the assembly compression kernel over the
+// padded message, returning the 16-byte digest.
+func md5OnISS(t *testing.T, msg []byte) []byte {
+	t.Helper()
+	cpu := buildCPU(t, MD5Base())
+	const (
+		stateAddr = 0x50000
+		blockAddr = 0x50100
+	)
+	// RFC 1321 initial state.
+	if err := cpu.WriteWords(stateAddr, []uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}); err != nil {
+		t.Fatal(err)
+	}
+	// Pad: 0x80, zeros, 64-bit little-endian bit length.
+	padded := append([]byte{}, msg...)
+	padded = append(padded, 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(msg))*8)
+	padded = append(padded, lenBuf[:]...)
+
+	for off := 0; off < len(padded); off += 64 {
+		if err := cpu.WriteBytes(blockAddr, padded[off:off+64]); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cpu.Call("md5_block", stateAddr, blockAddr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := cpu.ReadBytes(stateAddr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMD5KernelMatchesReference(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("message digest"),
+		bytes.Repeat([]byte{0x55}, 64),  // exactly one block
+		bytes.Repeat([]byte{0xAA}, 200), // multi-block with tail
+	}
+	for _, msg := range cases {
+		want := hashes.MD5Sum(msg)
+		got := md5OnISS(t, msg)
+		if !bytes.Equal(got, want[:]) {
+			t.Errorf("MD5 kernel(%q len %d) = %x, want %x", msg, len(msg), got, want)
+		}
+	}
+}
+
+func TestMD5KernelRandomAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(130))
+	for trial := 0; trial < 10; trial++ {
+		msg := make([]byte, r.Intn(300))
+		r.Read(msg)
+		want := hashes.MD5Sum(msg)
+		got := md5OnISS(t, msg)
+		if !bytes.Equal(got, want[:]) {
+			t.Fatalf("random MD5 mismatch at len %d", len(msg))
+		}
+	}
+}
+
+func TestMD5KernelThroughput(t *testing.T) {
+	cpu := buildCPU(t, MD5Base())
+	if err := cpu.WriteWords(0x50000, []uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}); err != nil {
+		t.Fatal(err)
+	}
+	blk := make([]byte, 64)
+	rand.New(rand.NewSource(131)).Read(blk)
+	if err := cpu.WriteBytes(0x50100, blk); err != nil {
+		t.Fatal(err)
+	}
+	_, cycles, err := cpu.Call("md5_block", 0x50000, 0x50100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpb := float64(cycles) / 64
+	t.Logf("MD5 compression: %d cycles/block (%.1f c/B)", cycles, cpb)
+	// A straight-line 64-step MD5 on a 32-bit RISC lands in the tens of
+	// cycles per byte; far below the bulk ciphers.
+	if cpb < 5 || cpb > 60 {
+		t.Errorf("MD5 %.1f c/B outside plausible [5, 60] range", cpb)
+	}
+}

@@ -1,0 +1,327 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"wisp/internal/asm"
+	"wisp/internal/sim"
+	"wisp/internal/tie"
+)
+
+// Variant is one buildable kernel program: a named assembly source plus the
+// extension set (if any) its custom instructions come from.
+type Variant struct {
+	Name   string            // e.g. "mpn_add_n/base", "mpn_add_n/addv4"
+	Source string            // xt32 assembly
+	Ext    *tie.ExtensionSet // nil for base-ISA variants
+	Instrs []string          // custom instructions the kernel uses (A-D accounting)
+}
+
+// Build assembles the variant and loads it into a fresh core.
+func (v Variant) Build(cfg sim.Config) (*sim.CPU, error) {
+	var opts asm.Options
+	if v.Ext != nil {
+		opts.CustOps = v.Ext.CustOps()
+	}
+	prog, err := asm.Assemble(v.Source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %s: %w", v.Name, err)
+	}
+	return sim.New(prog, cfg, v.Ext)
+}
+
+// carryChain emits the branch-free carry-out computation
+// ((a & b) | ((a | b) & ~sum)) >> 31 into dst, clobbering t1 and t2.
+// allOnes must hold 0xFFFFFFFF.
+func carryChain(b *strings.Builder, dst, a, bb, sum, t1, t2, allOnes string) {
+	fmt.Fprintf(b, "\tand  %s, %s, %s\n", dst, a, bb)
+	fmt.Fprintf(b, "\tor   %s, %s, %s\n", t1, a, bb)
+	fmt.Fprintf(b, "\txor  %s, %s, %s\n", t2, sum, allOnes)
+	fmt.Fprintf(b, "\tand  %s, %s, %s\n", t1, t1, t2)
+	fmt.Fprintf(b, "\tor   %s, %s, %s\n", dst, dst, t1)
+	fmt.Fprintf(b, "\tsrli %s, %s, 31\n", dst, dst)
+}
+
+// borrowChain emits ((~a & b) | ((~a | b) & diff)) >> 31 into dst.
+func borrowChain(b *strings.Builder, dst, a, bb, diff, t1, t2, allOnes string) {
+	fmt.Fprintf(b, "\txor  %s, %s, %s\n", t1, a, allOnes) // ~a
+	fmt.Fprintf(b, "\tand  %s, %s, %s\n", dst, t1, bb)
+	fmt.Fprintf(b, "\tor   %s, %s, %s\n", t1, t1, bb)
+	fmt.Fprintf(b, "\tand  %s, %s, %s\n", t1, t1, diff)
+	fmt.Fprintf(b, "\tor   %s, %s, %s\n", dst, dst, t1)
+	fmt.Fprintf(b, "\tsrli %s, %s, 31\n", dst, dst)
+}
+
+// MPNBase returns the base-ISA implementations of all mpn leaf routines in
+// one program: mpn_add_n, mpn_sub_n, mpn_mul_1, mpn_addmul_1, mpn_submul_1,
+// mpn_lshift, mpn_rshift, mpn_divrem_1.
+//
+// Calling convention (CALL0): pointers/values in a2.., result in a2.
+//
+//	mpn_add_n(rp, ap, bp, n) -> carry
+//	mpn_sub_n(rp, ap, bp, n) -> borrow
+//	mpn_mul_1(rp, ap, n, b) -> carry limb
+//	mpn_addmul_1(rp, ap, n, b) -> carry limb
+//	mpn_submul_1(rp, ap, n, b) -> borrow limb
+//	mpn_lshift(rp, ap, n, cnt) -> out bits   (n ≥ 1, 0 < cnt < 32)
+//	mpn_rshift(rp, ap, n, cnt) -> out bits
+//	mpn_divrem_1(qp, ap, n, d) -> remainder  (bit-serial; the core has no divider)
+func MPNBase() Variant {
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+
+	// --- mpn_add_n ---
+	b.WriteString("\t.func\nmpn_add_n:\n")
+	b.WriteString("\tmovi a6, 0\n")  // carry
+	b.WriteString("\tmovi a12, -1\n")
+	b.WriteString("\tbeqz a5, mpn_add_n_done\n")
+	b.WriteString("mpn_add_n_loop:\n")
+	b.WriteString("\tl32i a7, a3, 0\n")
+	b.WriteString("\tl32i a8, a4, 0\n")
+	b.WriteString("\tadd  a9, a7, a8\n")
+	b.WriteString("\tadd  a9, a9, a6\n")
+	carryChain(&b, "a6", "a7", "a8", "a9", "a10", "a11", "a12")
+	b.WriteString("\ts32i a9, a2, 0\n")
+	b.WriteString("\taddi a2, a2, 4\n\taddi a3, a3, 4\n\taddi a4, a4, 4\n")
+	b.WriteString("\taddi a5, a5, -1\n\tbnez a5, mpn_add_n_loop\n")
+	b.WriteString("mpn_add_n_done:\n\tmov a2, a6\n\tret\n")
+
+	// --- mpn_sub_n ---
+	b.WriteString("\t.func\nmpn_sub_n:\n")
+	b.WriteString("\tmovi a6, 0\n")
+	b.WriteString("\tmovi a12, -1\n")
+	b.WriteString("\tbeqz a5, mpn_sub_n_done\n")
+	b.WriteString("mpn_sub_n_loop:\n")
+	b.WriteString("\tl32i a7, a3, 0\n")
+	b.WriteString("\tl32i a8, a4, 0\n")
+	b.WriteString("\tsub  a9, a7, a8\n")
+	b.WriteString("\tsub  a9, a9, a6\n")
+	borrowChain(&b, "a6", "a7", "a8", "a9", "a10", "a11", "a12")
+	b.WriteString("\ts32i a9, a2, 0\n")
+	b.WriteString("\taddi a2, a2, 4\n\taddi a3, a3, 4\n\taddi a4, a4, 4\n")
+	b.WriteString("\taddi a5, a5, -1\n\tbnez a5, mpn_sub_n_loop\n")
+	b.WriteString("mpn_sub_n_done:\n\tmov a2, a6\n\tret\n")
+
+	// --- mpn_mul_1: rp = ap * b + 0, returns carry limb ---
+	b.WriteString("\t.func\nmpn_mul_1:\n")
+	b.WriteString("\tmovi a6, 0\n")  // carry limb
+	b.WriteString("\tmovi a12, -1\n")
+	b.WriteString("\tbeqz a4, mpn_mul_1_done\n")
+	b.WriteString("mpn_mul_1_loop:\n")
+	b.WriteString("\tl32i a7, a3, 0\n")
+	b.WriteString("\tmull a9, a7, a5\n")  // plo
+	b.WriteString("\tmulh a10, a7, a5\n") // phi
+	b.WriteString("\tadd  a11, a9, a6\n") // t = plo + carry
+	carryChain(&b, "a13", "a9", "a6", "a11", "a14", "a15", "a12")
+	b.WriteString("\tadd  a6, a10, a13\n") // carry = phi + k1
+	b.WriteString("\ts32i a11, a2, 0\n")
+	b.WriteString("\taddi a2, a2, 4\n\taddi a3, a3, 4\n")
+	b.WriteString("\taddi a4, a4, -1\n\tbnez a4, mpn_mul_1_loop\n")
+	b.WriteString("mpn_mul_1_done:\n\tmov a2, a6\n\tret\n")
+
+	// --- mpn_addmul_1: rp += ap * b, returns carry limb ---
+	b.WriteString("\t.func\nmpn_addmul_1:\n")
+	b.WriteString("\tmovi a6, 0\n")
+	b.WriteString("\tmovi a12, -1\n")
+	b.WriteString("\tbeqz a4, mpn_addmul_1_done\n")
+	b.WriteString("mpn_addmul_1_loop:\n")
+	b.WriteString("\tl32i a7, a3, 0\n")  // a[i]
+	b.WriteString("\tl32i a8, a2, 0\n")  // r[i]
+	b.WriteString("\tmull a9, a7, a5\n")
+	b.WriteString("\tmulh a10, a7, a5\n")
+	b.WriteString("\tadd  a11, a9, a6\n") // t = plo + carry
+	carryChain(&b, "a13", "a9", "a6", "a11", "a14", "a15", "a12")
+	b.WriteString("\tadd  a10, a10, a13\n") // phi += k1
+	b.WriteString("\tadd  a9, a11, a8\n")   // t2 = t + r
+	carryChain(&b, "a13", "a11", "a8", "a9", "a14", "a15", "a12")
+	b.WriteString("\tadd  a6, a10, a13\n") // carry = phi + k2
+	b.WriteString("\ts32i a9, a2, 0\n")
+	b.WriteString("\taddi a2, a2, 4\n\taddi a3, a3, 4\n")
+	b.WriteString("\taddi a4, a4, -1\n\tbnez a4, mpn_addmul_1_loop\n")
+	b.WriteString("mpn_addmul_1_done:\n\tmov a2, a6\n\tret\n")
+
+	// --- mpn_submul_1: rp -= ap * b, returns borrow limb ---
+	b.WriteString("\t.func\nmpn_submul_1:\n")
+	b.WriteString("\tmovi a6, 0\n")
+	b.WriteString("\tmovi a12, -1\n")
+	b.WriteString("\tbeqz a4, mpn_submul_1_done\n")
+	b.WriteString("mpn_submul_1_loop:\n")
+	b.WriteString("\tl32i a7, a3, 0\n")
+	b.WriteString("\tl32i a8, a2, 0\n")
+	b.WriteString("\tmull a9, a7, a5\n")
+	b.WriteString("\tmulh a10, a7, a5\n")
+	b.WriteString("\tsub  a11, a8, a9\n") // t = r - plo
+	borrowChain(&b, "a13", "a8", "a9", "a11", "a14", "a15", "a12")
+	b.WriteString("\tadd  a10, a10, a13\n") // phi += k1
+	b.WriteString("\tsub  a9, a11, a6\n")   // t2 = t - borrow
+	borrowChain(&b, "a13", "a11", "a6", "a9", "a14", "a15", "a12")
+	b.WriteString("\tadd  a6, a10, a13\n") // borrow = phi + k2
+	b.WriteString("\ts32i a9, a2, 0\n")
+	b.WriteString("\taddi a2, a2, 4\n\taddi a3, a3, 4\n")
+	b.WriteString("\taddi a4, a4, -1\n\tbnez a4, mpn_submul_1_loop\n")
+	b.WriteString("mpn_submul_1_done:\n\tmov a2, a6\n\tret\n")
+
+	// --- mpn_lshift: top-down, returns bits shifted out of the top ---
+	b.WriteString("\t.func\nmpn_lshift:\n")
+	// a2=rp a3=ap a4=n a5=cnt; a6 = 32-cnt; iterate i = n-1 .. 0
+	b.WriteString("\tmovi a6, 32\n\tsub a6, a6, a5\n")
+	b.WriteString("\tslli a7, a4, 2\n\taddi a7, a7, -4\n") // byte offset of top limb
+	b.WriteString("\tadd  a3, a3, a7\n\tadd a2, a2, a7\n")
+	b.WriteString("\tl32i a8, a3, 0\n")
+	b.WriteString("\tsrl  a9, a8, a6\n") // return value: bits out
+	b.WriteString("mpn_lshift_loop:\n")
+	b.WriteString("\taddi a4, a4, -1\n")
+	b.WriteString("\tbeqz a4, mpn_lshift_last\n")
+	b.WriteString("\tl32i a10, a3, -4\n")
+	b.WriteString("\tsll  a11, a8, a5\n")
+	b.WriteString("\tsrl  a12, a10, a6\n")
+	b.WriteString("\tor   a11, a11, a12\n")
+	b.WriteString("\ts32i a11, a2, 0\n")
+	b.WriteString("\tmov  a8, a10\n")
+	b.WriteString("\taddi a3, a3, -4\n\taddi a2, a2, -4\n")
+	b.WriteString("\tj mpn_lshift_loop\n")
+	b.WriteString("mpn_lshift_last:\n")
+	b.WriteString("\tsll  a11, a8, a5\n")
+	b.WriteString("\ts32i a11, a2, 0\n")
+	b.WriteString("\tmov a2, a9\n\tret\n")
+
+	// --- mpn_rshift: bottom-up, returns bits shifted out of the bottom ---
+	b.WriteString("\t.func\nmpn_rshift:\n")
+	b.WriteString("\tmovi a6, 32\n\tsub a6, a6, a5\n")
+	b.WriteString("\tl32i a8, a3, 0\n")
+	b.WriteString("\tsll  a9, a8, a6\n") // return value
+	b.WriteString("mpn_rshift_loop:\n")
+	b.WriteString("\taddi a4, a4, -1\n")
+	b.WriteString("\tbeqz a4, mpn_rshift_last\n")
+	b.WriteString("\tl32i a10, a3, 4\n")
+	b.WriteString("\tsrl  a11, a8, a5\n")
+	b.WriteString("\tsll  a12, a10, a6\n")
+	b.WriteString("\tor   a11, a11, a12\n")
+	b.WriteString("\ts32i a11, a2, 0\n")
+	b.WriteString("\tmov  a8, a10\n")
+	b.WriteString("\taddi a3, a3, 4\n\taddi a2, a2, 4\n")
+	b.WriteString("\tj mpn_rshift_loop\n")
+	b.WriteString("mpn_rshift_last:\n")
+	b.WriteString("\tsrl  a11, a8, a5\n")
+	b.WriteString("\ts32i a11, a2, 0\n")
+	b.WriteString("\tmov a2, a9\n\tret\n")
+
+	// --- mpn_divrem_1: bit-serial long division (no divide unit) ---
+	// a2=qp a3=ap a4=n a5=d; remainder returned in a2.
+	b.WriteString("\t.func\nmpn_divrem_1:\n")
+	b.WriteString("\tmovi a6, 0\n") // rem
+	b.WriteString("\tslli a7, a4, 2\n\taddi a7, a7, -4\n")
+	b.WriteString("\tadd  a3, a3, a7\n\tadd a2, a2, a7\n")
+	b.WriteString("mpn_divrem_1_limb:\n")
+	b.WriteString("\tl32i a8, a3, 0\n") // current limb
+	b.WriteString("\tmovi a9, 0\n")     // q limb
+	b.WriteString("\tmovi a10, 32\n")   // bit counter
+	b.WriteString("mpn_divrem_1_bit:\n")
+	b.WriteString("\tsrli a11, a6, 31\n") // top bit before shift
+	b.WriteString("\tslli a6, a6, 1\n")
+	b.WriteString("\tsrli a12, a8, 31\n")
+	b.WriteString("\tor   a6, a6, a12\n")
+	b.WriteString("\tslli a8, a8, 1\n")
+	b.WriteString("\tslli a9, a9, 1\n")
+	b.WriteString("\tbnez a11, mpn_divrem_1_sub\n") // rem overflowed 32 bits
+	b.WriteString("\tbltu a6, a5, mpn_divrem_1_next\n")
+	b.WriteString("mpn_divrem_1_sub:\n")
+	b.WriteString("\tsub  a6, a6, a5\n")
+	b.WriteString("\tori  a9, a9, 1\n")
+	b.WriteString("mpn_divrem_1_next:\n")
+	b.WriteString("\taddi a10, a10, -1\n")
+	b.WriteString("\tbnez a10, mpn_divrem_1_bit\n")
+	b.WriteString("\ts32i a9, a2, 0\n")
+	b.WriteString("\taddi a3, a3, -4\n\taddi a2, a2, -4\n")
+	b.WriteString("\taddi a4, a4, -1\n")
+	b.WriteString("\tbnez a4, mpn_divrem_1_limb\n")
+	b.WriteString("\tmov a2, a6\n\tret\n")
+
+	return Variant{Name: "mpn/base", Source: b.String()}
+}
+
+// MPNTIE generates TIE-accelerated mpn_add_n, mpn_sub_n and mpn_addmul_1
+// kernels for a fixed operand length n, using k-limb vector adders and
+// m-limb MAC units.  The kernels are fully unrolled (the addv/subv/mac
+// block index is an immediate field) and chunk operands through the 16-limb
+// user registers.  n must be a multiple of min(k, m) and of the chunking
+// granularity.
+func MPNTIE(k, m, n int) (Variant, error) {
+	if n <= 0 || k <= 0 || m <= 0 {
+		return Variant{}, fmt.Errorf("kernels: MPNTIE sizes must be positive")
+	}
+	if n%k != 0 {
+		return Variant{}, fmt.Errorf("kernels: n=%d not a multiple of adder width %d", n, k)
+	}
+	if n%m != 0 {
+		return Variant{}, fmt.Errorf("kernels: n=%d not a multiple of MAC width %d", n, m)
+	}
+	ext := NewMPNExtension([]int{k}, []int{m})
+
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+
+	emitVec := func(fn, op string, width int) {
+		fmt.Fprintf(&b, "\t.func\n%s:\n", fn)
+		b.WriteString("\tcclr\n")
+		// Process ceil(n/16) chunks of up to 16 limbs.
+		for off := 0; off < n; off += URWords {
+			chunk := n - off
+			if chunk > URWords {
+				chunk = URWords
+			}
+			fmt.Fprintf(&b, "\tmovi a6, %d\n", chunk)
+			fmt.Fprintf(&b, "\tur_ldn a3, a6, 0\n")
+			fmt.Fprintf(&b, "\tur_ldn a4, a6, 1\n")
+			for blk := 0; blk*width < chunk; blk++ {
+				fmt.Fprintf(&b, "\t%s%d %d\n", op, width, blk)
+			}
+			fmt.Fprintf(&b, "\tur_stn a2, a6, 2\n")
+			if off+URWords < n {
+				fmt.Fprintf(&b, "\taddi a2, a2, %d\n", 4*URWords)
+				fmt.Fprintf(&b, "\taddi a3, a3, %d\n", 4*URWords)
+				fmt.Fprintf(&b, "\taddi a4, a4, %d\n", 4*URWords)
+			}
+		}
+		b.WriteString("\tcget a2\n\tret\n")
+	}
+	emitVec("mpn_add_n", "addv", k)
+	emitVec("mpn_sub_n", "subv", k)
+
+	// mpn_addmul_1(rp a2, ap a3, n a4(ignored; fixed), b a5): per chunk,
+	// the multiplier array produces T = A·b into the B register (carry
+	// limb in UR3[1]); the shared vector adder then accumulates R += T
+	// (carry bit in UR3[0]).  The final carry-out limb is their sum.
+	b.WriteString("\t.func\nmpn_addmul_1:\n")
+	b.WriteString("\tcclr\n")
+	for off := 0; off < n; off += URWords {
+		chunk := n - off
+		if chunk > URWords {
+			chunk = URWords
+		}
+		fmt.Fprintf(&b, "\tmovi a6, %d\n", chunk)
+		b.WriteString("\tur_ldn a3, a6, 0\n") // A → urA
+		for blk := 0; blk*m < chunk; blk++ {
+			fmt.Fprintf(&b, "\tmulv%d a5, %d\n", m, blk)
+		}
+		b.WriteString("\tur_ldn a2, a6, 0\n") // R → urA (A no longer needed)
+		for blk := 0; blk*k < chunk; blk++ {
+			fmt.Fprintf(&b, "\taddv%d %d\n", k, blk)
+		}
+		b.WriteString("\tur_stn a2, a6, 2\n")
+		if off+URWords < n {
+			fmt.Fprintf(&b, "\taddi a2, a2, %d\n", 4*URWords)
+			fmt.Fprintf(&b, "\taddi a3, a3, %d\n", 4*URWords)
+		}
+	}
+	b.WriteString("\tcget a2\n")
+	b.WriteString("\tcgetm a6\n")
+	b.WriteString("\tadd a2, a2, a6\n")
+	b.WriteString("\tret\n")
+
+	name := fmt.Sprintf("mpn/tie-addv%d-mulv%d-n%d", k, m, n)
+	instrs := []string{"ur_ldn", "ur_stn", "cclr", "cget", "cgetm",
+		fmt.Sprintf("addv%d", k), fmt.Sprintf("subv%d", k), fmt.Sprintf("mulv%d", m)}
+	return Variant{Name: name, Source: b.String(), Ext: ext, Instrs: instrs}, nil
+}

@@ -1,0 +1,207 @@
+package macromodel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func samplesFrom(f func(n int) float64, sizes []int, noise float64, r *rand.Rand) []Sample {
+	var out []Sample
+	for _, n := range sizes {
+		for rep := 0; rep < 3; rep++ {
+			y := f(n)
+			if noise > 0 {
+				y += noise * (r.Float64()*2 - 1) * y
+			}
+			out = append(out, Sample{N: n, Cycles: y})
+		}
+	}
+	return out
+}
+
+func TestFitLinearExact(t *testing.T) {
+	f := func(n int) float64 { return 12 + 20.5*float64(n) }
+	m, err := Fit("lin", samplesFrom(f, []int{1, 2, 4, 8, 16, 32}, 0, nil), BasisLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-12) > 1e-6 || math.Abs(m.Coef[1]-20.5) > 1e-6 {
+		t.Errorf("coefficients %v, want [12 20.5]", m.Coef)
+	}
+	if m.R2 < 0.999999 {
+		t.Errorf("R² = %v", m.R2)
+	}
+	if got := m.Estimate(64); math.Abs(got-f(64)) > 1e-6 {
+		t.Errorf("Estimate(64) = %v, want %v", got, f(64))
+	}
+}
+
+func TestFitQuadraticExact(t *testing.T) {
+	f := func(n int) float64 { return 5 + 3*float64(n) + 0.5*float64(n)*float64(n) }
+	m, err := Fit("quad", samplesFrom(f, []int{1, 2, 3, 5, 8, 13, 21}, 0, nil), BasisQuadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{5, 3, 0.5} {
+		if math.Abs(m.Coef[i]-want) > 1e-6 {
+			t.Errorf("coef[%d] = %v, want %v", i, m.Coef[i], want)
+		}
+	}
+}
+
+func TestFitConstant(t *testing.T) {
+	m, err := Fit("const", []Sample{{1, 42}, {5, 42}, {9, 42}}, BasisConstant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-42) > 1e-9 || m.Estimate(100) != m.Estimate(1) {
+		t.Errorf("constant fit broken: %v", m)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(n int) float64 { return 100 + 30*float64(n) }
+	m, err := Fit("noisy", samplesFrom(f, []int{1, 2, 4, 8, 16, 32, 64}, 0.05, r), BasisLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.98 {
+		t.Errorf("R² = %v under 5%% noise", m.R2)
+	}
+	if m.MAEPct > 10 {
+		t.Errorf("MAE = %v%%", m.MAEPct)
+	}
+}
+
+func TestFitPiecewise(t *testing.T) {
+	// A chunked cost: jumps at n=16 multiples.
+	f := func(n int) float64 { return float64(10*((n+15)/16)) + float64(n) }
+	m, err := Fit("pw", samplesFrom(f, []int{4, 8, 16, 24, 32, 48}, 0, nil), BasisPiecewiseLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the knots the piecewise model is exact.
+	for _, n := range []int{4, 16, 32, 48} {
+		if got := m.Estimate(n); math.Abs(got-f(n)) > 1e-9 {
+			t.Errorf("piecewise Estimate(%d) = %v, want %v", n, got, f(n))
+		}
+	}
+	// Interpolation between knots and extrapolation outside are finite.
+	for _, n := range []int{2, 12, 28, 64} {
+		if got := m.Estimate(n); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("piecewise Estimate(%d) = %v", n, got)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit("x", nil, BasisLinear); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := Fit("x", []Sample{{1, 10}}, BasisQuadratic); err == nil {
+		t.Error("1 sample fit a 3-term basis")
+	}
+	// Degenerate: all the same size cannot identify a slope.
+	if _, err := Fit("x", []Sample{{4, 10}, {4, 11}, {4, 12}}, BasisLinear); err == nil {
+		t.Error("degenerate sizes accepted for linear fit")
+	}
+}
+
+func TestFitBestPicksLowestError(t *testing.T) {
+	// Quadratic data: FitBest should not settle for the linear basis.
+	f := func(n int) float64 { return float64(n) * float64(n) }
+	m, err := FitBest("sq", samplesFrom(f, []int{1, 2, 4, 8, 16, 32}, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate(64); math.Abs(got-4096) > 4096*0.02 {
+		t.Errorf("FitBest on quadratic data: Estimate(64) = %v, want ≈4096 (%v basis)", got, m.Basis)
+	}
+}
+
+func TestEstimateMonotoneProperty(t *testing.T) {
+	// A model fitted to monotone linear data stays monotone.
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a := 1 + r.Float64()*100
+		b := 1 + r.Float64()*50
+		g := func(n int) float64 { return a + b*float64(n) }
+		m, err := Fit("m", samplesFrom(g, []int{1, 4, 16, 64}, 0, nil), BasisLinear)
+		if err != nil {
+			return false
+		}
+		prev := m.Estimate(1)
+		for n := 2; n < 100; n += 7 {
+			cur := m.Estimate(n)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	calls := 0
+	samples, err := Characterize([]int{2, 4}, 3, func(n int) (uint64, error) {
+		calls++
+		return uint64(10 * n), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 || len(samples) != 6 {
+		t.Errorf("calls=%d samples=%d, want 6/6", calls, len(samples))
+	}
+	if _, err := Characterize([]int{2}, 0, nil); err == nil {
+		t.Error("reps=0 accepted")
+	}
+}
+
+func TestModelSet(t *testing.T) {
+	s := NewModelSet()
+	m, _ := Fit("r1", []Sample{{1, 10}, {2, 20}, {4, 40}}, BasisLinear)
+	s.Add(m)
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if _, ok := s.Get("r1"); !ok {
+		t.Error("Get(r1) failed")
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("phantom model")
+	}
+	est := s.Estimators()
+	if got := est["r1"](8); math.Abs(got-80) > 1e-6 {
+		t.Errorf("estimator(8) = %v, want 80", got)
+	}
+	if !strings.Contains(s.String(), "r1") {
+		t.Error("String() missing routine")
+	}
+}
+
+func TestBasisStrings(t *testing.T) {
+	for b, want := range map[Basis]string{
+		BasisConstant: "constant", BasisLinear: "linear",
+		BasisQuadratic: "quadratic", BasisPiecewiseLinear: "piecewise-linear",
+	} {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q", b, b.String())
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m, _ := Fit("r", []Sample{{1, 10}, {2, 20}, {4, 40}}, BasisLinear)
+	if s := m.String(); !strings.Contains(s, "R²") || !strings.Contains(s, "r:") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,121 @@
+package mpn
+
+import "math/bits"
+
+// DivRem1 divides a by the single limb d, writing the quotient to q (same
+// length as a) and returning the remainder.  q may alias a.
+func DivRem1(q, a Nat, d Limb) Limb {
+	if d == 0 {
+		panic("mpn: division by zero")
+	}
+	if len(q) != len(a) {
+		panic("mpn: DivRem1 length mismatch")
+	}
+	var rem uint64
+	for i := len(a) - 1; i >= 0; i-- {
+		cur := rem<<32 | uint64(a[i])
+		q[i] = Limb(cur / uint64(d))
+		rem = cur % uint64(d)
+	}
+	return Limb(rem)
+}
+
+// Mod1 returns a mod d for a single limb d.
+func Mod1(a Nat, d Limb) Limb {
+	if d == 0 {
+		panic("mpn: division by zero")
+	}
+	var rem uint64
+	for i := len(a) - 1; i >= 0; i-- {
+		rem = (rem<<32 | uint64(a[i])) % uint64(d)
+	}
+	return Limb(rem)
+}
+
+// DivRem divides u by v using Knuth's Algorithm D and returns normalized
+// quotient and remainder.  It panics on division by zero.  The inputs are
+// not modified.
+func DivRem(u, v Nat) (q, r Nat) {
+	un := Normalize(u)
+	vn := Normalize(v)
+	if len(vn) == 0 {
+		panic("mpn: division by zero")
+	}
+	if len(un) < len(vn) {
+		return Nat{}, Copy(un)
+	}
+	if len(vn) == 1 {
+		q = make(Nat, len(un))
+		rem := DivRem1(q, un, vn[0])
+		if rem == 0 {
+			return Normalize(q), Nat{}
+		}
+		return Normalize(q), Nat{rem}
+	}
+
+	n := len(vn)
+	m := len(un) - n
+
+	// D1: normalize so the divisor's top bit is set.
+	shift := uint(bits.LeadingZeros32(vn[n-1]))
+	vs := make(Nat, n)
+	us := make(Nat, len(un)+1)
+	if shift == 0 {
+		copy(vs, vn)
+		copy(us, un)
+	} else {
+		Lshift(vs, vn, shift)
+		us[len(un)] = Lshift(us[:len(un)], un, shift)
+	}
+
+	q = make(Nat, m+1)
+	vTop := uint64(vs[n-1])
+	vNext := uint64(vs[n-2])
+
+	// D2–D7: main loop over quotient digits.
+	for j := m; j >= 0; j-- {
+		// D3: estimate qhat.
+		num := uint64(us[j+n])<<32 | uint64(us[j+n-1])
+		var qhat, rhat uint64
+		if uint64(us[j+n]) == vTop {
+			qhat = 0xFFFFFFFF
+			rhat = num - qhat*vTop
+		} else {
+			qhat = num / vTop
+			rhat = num % vTop
+		}
+		for rhat <= 0xFFFFFFFF && qhat*vNext > rhat<<32|uint64(us[j+n-2]) {
+			qhat--
+			rhat += vTop
+		}
+
+		// D4: multiply and subtract.
+		borrow := SubMul1(us[j:j+n], vs, Limb(qhat))
+		top := us[j+n]
+		us[j+n] = top - borrow
+
+		// D5–D6: if we subtracted too much, add the divisor back.
+		if top < borrow {
+			qhat--
+			carry := AddN(us[j:j+n], us[j:j+n], vs)
+			us[j+n] += carry
+		}
+		q[j] = Limb(qhat)
+	}
+
+	// D8: denormalize the remainder.
+	r = make(Nat, n)
+	if shift == 0 {
+		copy(r, us[:n])
+	} else {
+		Rshift(r, us[:n], shift)
+		r[n-1] |= us[n] << (32 - shift)
+	}
+	return Normalize(q), Normalize(r)
+}
+
+// Mod returns u mod v (normalized).
+func Mod(u, v Nat) Nat {
+	_, r := DivRem(u, v)
+	return r
+}

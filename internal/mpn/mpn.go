@@ -1,0 +1,261 @@
+// Package mpn implements GMP-style multi-precision natural-number kernels on
+// little-endian 32-bit limbs — the "basic operations" layer of the paper's
+// layered software architecture (§2.2).
+//
+// These routines are the leaf nodes of the call graphs the methodology
+// profiles: they are small enough for a designer to formulate custom
+// instructions for (mpn_add_n, mpn_addmul_1, ... in Figures 4–6), and their
+// xt32 assembly twins in internal/kernels are the ones characterized on the
+// ISS.  The Go implementations here define the reference semantics and are
+// used for native-speed algorithm exploration.
+//
+// Conventions follow GMP: operands are limb slices with the least
+// significant limb first; "n" suffixed routines require equal lengths;
+// carry/borrow words are returned, never stored.
+package mpn
+
+// Limb is one 32-bit machine word of a multi-precision natural number.
+type Limb = uint32
+
+// Nat is a natural number as little-endian limbs.  A Nat need not be
+// normalized (it may carry high zero limbs) unless stated otherwise.
+type Nat []Limb
+
+// AddN computes r = a + b over n equal-length limb vectors and returns the
+// carry-out (0 or 1).  r may alias a or b.  Panics if lengths differ.
+func AddN(r, a, b Nat) Limb {
+	if len(a) != len(b) || len(r) != len(a) {
+		panic("mpn: AddN length mismatch")
+	}
+	var carry uint64
+	for i := range a {
+		s := uint64(a[i]) + uint64(b[i]) + carry
+		r[i] = Limb(s)
+		carry = s >> 32
+	}
+	return Limb(carry)
+}
+
+// SubN computes r = a - b and returns the borrow-out (0 or 1).  r may alias
+// a or b.  Panics if lengths differ.
+func SubN(r, a, b Nat) Limb {
+	if len(a) != len(b) || len(r) != len(a) {
+		panic("mpn: SubN length mismatch")
+	}
+	var borrow uint64
+	for i := range a {
+		d := uint64(a[i]) - uint64(b[i]) - borrow
+		r[i] = Limb(d)
+		borrow = d >> 63 // 1 iff the subtraction wrapped
+	}
+	return Limb(borrow)
+}
+
+// Add1 computes r = a + b (single-limb addend) and returns the carry-out.
+func Add1(r, a Nat, b Limb) Limb {
+	if len(r) != len(a) {
+		panic("mpn: Add1 length mismatch")
+	}
+	carry := uint64(b)
+	for i := range a {
+		s := uint64(a[i]) + carry
+		r[i] = Limb(s)
+		carry = s >> 32
+	}
+	return Limb(carry)
+}
+
+// Sub1 computes r = a - b (single-limb subtrahend) and returns the borrow.
+func Sub1(r, a Nat, b Limb) Limb {
+	if len(r) != len(a) {
+		panic("mpn: Sub1 length mismatch")
+	}
+	borrow := uint64(b)
+	for i := range a {
+		d := uint64(a[i]) - borrow
+		r[i] = Limb(d)
+		borrow = d >> 63
+	}
+	return Limb(borrow)
+}
+
+// Mul1 computes r = a * b and returns the high limb carried out.
+func Mul1(r, a Nat, b Limb) Limb {
+	if len(r) != len(a) {
+		panic("mpn: Mul1 length mismatch")
+	}
+	var carry uint64
+	for i := range a {
+		p := uint64(a[i])*uint64(b) + carry
+		r[i] = Limb(p)
+		carry = p >> 32
+	}
+	return Limb(carry)
+}
+
+// AddMul1 computes r += a * b and returns the carry-out limb.  This is the
+// inner kernel of basecase multiplication and Montgomery reduction — the
+// mpn_addmul_1 of Figure 5(b).
+func AddMul1(r, a Nat, b Limb) Limb {
+	if len(r) < len(a) {
+		panic("mpn: AddMul1 result shorter than operand")
+	}
+	var carry uint64
+	for i := range a {
+		p := uint64(a[i])*uint64(b) + uint64(r[i]) + carry
+		r[i] = Limb(p)
+		carry = p >> 32
+	}
+	return Limb(carry)
+}
+
+// SubMul1 computes r -= a * b and returns the borrow-out limb.  This is the
+// inner kernel of schoolbook division.
+func SubMul1(r, a Nat, b Limb) Limb {
+	if len(r) < len(a) {
+		panic("mpn: SubMul1 result shorter than operand")
+	}
+	var borrow uint64
+	for i := range a {
+		p := uint64(a[i]) * uint64(b)
+		// The per-limb deficit can reach -2·2³² (low product limb plus a
+		// full carried borrow), so compute it signed: t>>32 is 0, -1 or -2.
+		t := int64(uint64(r[i])) - int64(borrow) - int64(p&0xFFFFFFFF)
+		r[i] = Limb(uint64(t))
+		borrow = (p >> 32) + uint64(-(t >> 32))
+	}
+	return Limb(borrow)
+}
+
+// Lshift computes r = a << s for 0 < s < 32 and returns the bits shifted out
+// of the top limb.
+func Lshift(r, a Nat, s uint) Limb {
+	if len(r) != len(a) {
+		panic("mpn: Lshift length mismatch")
+	}
+	if s == 0 || s >= 32 {
+		panic("mpn: Lshift shift must be in (0,32)")
+	}
+	var out Limb
+	for i := len(a) - 1; i >= 0; i-- {
+		v := a[i]
+		if i == len(a)-1 {
+			out = v >> (32 - s)
+		}
+		lo := Limb(0)
+		if i > 0 {
+			lo = a[i-1] >> (32 - s)
+		}
+		r[i] = v<<s | lo
+	}
+	return out
+}
+
+// Rshift computes r = a >> s for 0 < s < 32 and returns the bits shifted out
+// of the bottom limb (left-aligned, GMP style).
+func Rshift(r, a Nat, s uint) Limb {
+	if len(r) != len(a) {
+		panic("mpn: Rshift length mismatch")
+	}
+	if s == 0 || s >= 32 {
+		panic("mpn: Rshift shift must be in (0,32)")
+	}
+	out := a[0] << (32 - s)
+	for i := 0; i < len(a); i++ {
+		hi := Limb(0)
+		if i+1 < len(a) {
+			hi = a[i+1] << (32 - s)
+		}
+		r[i] = a[i]>>s | hi
+	}
+	return out
+}
+
+// Cmp compares equal-length a and b, returning -1, 0 or +1.
+func Cmp(a, b Nat) int {
+	if len(a) != len(b) {
+		panic("mpn: Cmp length mismatch")
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Normalize returns a with high zero limbs removed (possibly empty).
+func Normalize(a Nat) Nat {
+	n := len(a)
+	for n > 0 && a[n-1] == 0 {
+		n--
+	}
+	return a[:n]
+}
+
+// IsZero reports whether a represents zero.
+func (a Nat) IsZero() bool { return len(Normalize(a)) == 0 }
+
+// BitLen returns the bit length of a (0 for zero).
+func BitLen(a Nat) int {
+	a = Normalize(a)
+	if len(a) == 0 {
+		return 0
+	}
+	top := a[len(a)-1]
+	bits := 0
+	for top != 0 {
+		bits++
+		top >>= 1
+	}
+	return (len(a)-1)*32 + bits
+}
+
+// Bit returns bit i of a (0 when out of range).
+func Bit(a Nat, i int) uint {
+	if i < 0 || i/32 >= len(a) {
+		return 0
+	}
+	return uint(a[i/32] >> (uint(i) % 32) & 1)
+}
+
+// MulBasecase computes r = a * b by schoolbook multiplication.  r must have
+// length len(a)+len(b) and must not alias a or b.
+func MulBasecase(r, a, b Nat) {
+	if len(r) != len(a)+len(b) {
+		panic("mpn: MulBasecase result length must be len(a)+len(b)")
+	}
+	for i := range r {
+		r[i] = 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return
+	}
+	for j, bj := range b {
+		if bj == 0 {
+			continue
+		}
+		r[j+len(a)] += AddMul1(r[j:j+len(a)], a, bj)
+	}
+}
+
+// Sqr computes r = a² via basecase multiplication.  r must have length
+// 2*len(a) and must not alias a.
+func Sqr(r, a Nat) { MulBasecase(r, a, a) }
+
+// Copy returns a fresh copy of a.
+func Copy(a Nat) Nat {
+	r := make(Nat, len(a))
+	copy(r, a)
+	return r
+}
+
+// Zero clears all limbs of a.
+func Zero(a Nat) {
+	for i := range a {
+		a[i] = 0
+	}
+}

@@ -1,0 +1,362 @@
+package mpn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a Nat to a math/big oracle value.
+func toBig(a Nat) *big.Int {
+	z := new(big.Int)
+	for i := len(a) - 1; i >= 0; i-- {
+		z.Lsh(z, 32)
+		z.Or(z, big.NewInt(int64(a[i])))
+	}
+	return z
+}
+
+// fromBig converts an oracle value into exactly n limbs (must fit).
+func fromBig(z *big.Int, n int) Nat {
+	r := make(Nat, n)
+	t := new(big.Int).Set(z)
+	mask := big.NewInt(0xFFFFFFFF)
+	for i := 0; i < n; i++ {
+		var lo big.Int
+		lo.And(t, mask)
+		r[i] = Limb(lo.Uint64())
+		t.Rsh(t, 32)
+	}
+	if t.Sign() != 0 {
+		panic("fromBig: value does not fit")
+	}
+	return r
+}
+
+func randNat(r *rand.Rand, n int) Nat {
+	a := make(Nat, n)
+	for i := range a {
+		a[i] = r.Uint32()
+	}
+	return a
+}
+
+func TestAddNAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(12)
+		a, b := randNat(r, n), randNat(r, n)
+		res := make(Nat, n)
+		carry := AddN(res, a, b)
+		want := new(big.Int).Add(toBig(a), toBig(b))
+		got := toBig(res)
+		got.Or(got, new(big.Int).Lsh(big.NewInt(int64(carry)), uint(32*n)))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("AddN mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestSubNAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(12)
+		a, b := randNat(r, n), randNat(r, n)
+		res := make(Nat, n)
+		borrow := SubN(res, a, b)
+		want := new(big.Int).Sub(toBig(a), toBig(b))
+		if borrow == 1 {
+			want.Add(want, new(big.Int).Lsh(big.NewInt(1), uint(32*n)))
+		}
+		if toBig(res).Cmp(want) != 0 {
+			t.Fatalf("SubN mismatch at n=%d (borrow=%d)", n, borrow)
+		}
+	}
+}
+
+func TestAddSubRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		n := 1 + r.Intn(16)
+		a, b := randNat(r, n), randNat(r, n)
+		sum := make(Nat, n)
+		carry := AddN(sum, a, b)
+		diff := make(Nat, n)
+		borrow := SubN(diff, sum, b)
+		// (a+b)-b == a with carry == borrow.
+		return Cmp(diff, a) == 0 && carry == borrow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul1AddMul1SubMul1(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(10)
+		a := randNat(r, n)
+		b := r.Uint32()
+
+		res := make(Nat, n)
+		carry := Mul1(res, a, b)
+		want := new(big.Int).Mul(toBig(a), big.NewInt(int64(b)))
+		got := toBig(append(Copy(res), carry))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("Mul1 mismatch n=%d", n)
+		}
+
+		acc := randNat(r, n)
+		accBefore := toBig(acc)
+		carry = AddMul1(acc, a, b)
+		want = new(big.Int).Add(accBefore, new(big.Int).Mul(toBig(a), big.NewInt(int64(b))))
+		got = toBig(append(Copy(acc), carry))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("AddMul1 mismatch n=%d", n)
+		}
+
+		acc2 := randNat(r, n)
+		acc2Before := toBig(acc2)
+		borrow := SubMul1(acc2, a, b)
+		want = new(big.Int).Sub(acc2Before, new(big.Int).Mul(toBig(a), big.NewInt(int64(b))))
+		want.Add(want, new(big.Int).Lsh(big.NewInt(int64(borrow)), uint(32*n)))
+		if toBig(acc2).Cmp(want) != 0 {
+			t.Fatalf("SubMul1 mismatch n=%d", n)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(8)
+		s := uint(1 + r.Intn(31))
+		a := randNat(r, n)
+
+		ls := make(Nat, n)
+		out := Lshift(ls, a, s)
+		want := new(big.Int).Lsh(toBig(a), s)
+		got := new(big.Int).Or(toBig(ls), new(big.Int).Lsh(big.NewInt(int64(out)), uint(32*n)))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("Lshift mismatch n=%d s=%d", n, s)
+		}
+
+		rs := make(Nat, n)
+		Rshift(rs, a, s)
+		want = new(big.Int).Rsh(toBig(a), s)
+		if toBig(rs).Cmp(want) != 0 {
+			t.Fatalf("Rshift mismatch n=%d s=%d", n, s)
+		}
+	}
+}
+
+func TestShiftRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := 1 + r.Intn(8)
+		s := uint(1 + r.Intn(31))
+		a := randNat(r, n)
+		tmp := make(Nat, n)
+		out := Lshift(tmp, a, s)
+		back := make(Nat, n)
+		Rshift(back, tmp, s)
+		back[n-1] |= out << (32 - s)
+		return Cmp(back, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulBasecaseAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		na, nb := 1+r.Intn(10), 1+r.Intn(10)
+		a, b := randNat(r, na), randNat(r, nb)
+		res := make(Nat, na+nb)
+		MulBasecase(res, a, b)
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		if toBig(res).Cmp(want) != 0 {
+			t.Fatalf("MulBasecase mismatch na=%d nb=%d", na, nb)
+		}
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(8)
+		a := randNat(r, n)
+		s := make(Nat, 2*n)
+		Sqr(s, a)
+		want := new(big.Int).Mul(toBig(a), toBig(a))
+		if toBig(s).Cmp(want) != 0 {
+			t.Fatal("Sqr mismatch")
+		}
+	}
+}
+
+func TestDivRemAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		nu, nv := 1+r.Intn(12), 1+r.Intn(8)
+		u, v := randNat(r, nu), randNat(r, nv)
+		if toBig(v).Sign() == 0 {
+			continue
+		}
+		q, rem := DivRem(u, v)
+		wantQ, wantR := new(big.Int), new(big.Int)
+		wantQ.DivMod(toBig(u), toBig(v), wantR)
+		if toBig(q).Cmp(wantQ) != 0 || toBig(rem).Cmp(wantR) != 0 {
+			t.Fatalf("DivRem mismatch nu=%d nv=%d\nu=%v\nv=%v", nu, nv, toBig(u), toBig(v))
+		}
+	}
+}
+
+func TestDivRemIdentityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		nu, nv := 1+r.Intn(10), 1+r.Intn(6)
+		u, v := randNat(r, nu), randNat(r, nv)
+		if toBig(v).Sign() == 0 {
+			return true
+		}
+		q, rem := DivRem(u, v)
+		// u == q*v + rem and rem < v.
+		lhs := toBig(u)
+		rhs := new(big.Int).Mul(toBig(q), toBig(v))
+		rhs.Add(rhs, toBig(rem))
+		return lhs.Cmp(rhs) == 0 && toBig(rem).Cmp(toBig(v)) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivRemEdgeCases(t *testing.T) {
+	// u < v.
+	q, r := DivRem(Nat{5}, Nat{0, 1})
+	if len(q) != 0 || toBig(r).Int64() != 5 {
+		t.Errorf("u<v: q=%v r=%v", q, r)
+	}
+	// u == v.
+	q, r = DivRem(Nat{7, 7}, Nat{7, 7})
+	if toBig(q).Int64() != 1 || len(r) != 0 {
+		t.Errorf("u==v: q=%v r=%v", q, r)
+	}
+	// Exact division.
+	q, r = DivRem(Nat{0, 0, 1}, Nat{0, 1}) // 2^64 / 2^32
+	if toBig(q).Cmp(new(big.Int).Lsh(big.NewInt(1), 32)) != 0 || len(r) != 0 {
+		t.Errorf("exact: q=%v r=%v", q, r)
+	}
+	// Knuth D add-back path trigger: u = (2^96-1), v = 2^64-2^32-1... use
+	// a classic add-back case.
+	u := Nat{0, 0xFFFFFFFF, 0xFFFFFFFF}
+	v := Nat{0xFFFFFFFF, 0xFFFFFFFF}
+	q, r = DivRem(u, v)
+	wantQ, wantR := new(big.Int), new(big.Int)
+	wantQ.DivMod(toBig(u), toBig(v), wantR)
+	if toBig(q).Cmp(wantQ) != 0 || toBig(r).Cmp(wantR) != 0 {
+		t.Errorf("add-back case mismatch: q=%v r=%v", toBig(q), toBig(r))
+	}
+}
+
+func TestDivRemPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DivRem by zero did not panic")
+		}
+	}()
+	DivRem(Nat{1}, Nat{0})
+}
+
+func TestDivRem1AndMod1(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(10)
+		a := randNat(r, n)
+		d := r.Uint32() | 1
+		q := make(Nat, n)
+		rem := DivRem1(q, a, d)
+		wantQ, wantR := new(big.Int), new(big.Int)
+		wantQ.DivMod(toBig(a), big.NewInt(int64(d)), wantR)
+		if toBig(q).Cmp(wantQ) != 0 || int64(rem) != wantR.Int64() {
+			t.Fatalf("DivRem1 mismatch")
+		}
+		if got := Mod1(a, d); got != rem {
+			t.Fatalf("Mod1 = %d, want %d", got, rem)
+		}
+	}
+}
+
+func TestCmpNormalizeBitLen(t *testing.T) {
+	if Cmp(Nat{1, 2}, Nat{2, 1}) != 1 {
+		t.Error("Cmp high-limb ordering wrong")
+	}
+	if Cmp(Nat{5, 5}, Nat{5, 5}) != 0 {
+		t.Error("Cmp equal wrong")
+	}
+	if got := len(Normalize(Nat{1, 0, 0})); got != 1 {
+		t.Errorf("Normalize len = %d, want 1", got)
+	}
+	if !(Nat{0, 0}).IsZero() {
+		t.Error("IsZero(0,0) = false")
+	}
+	if (Nat{0, 1}).IsZero() {
+		t.Error("IsZero(0,1) = true")
+	}
+	cases := map[int]Nat{
+		0:  {},
+		1:  {1},
+		32: {0x80000000},
+		33: {0, 1},
+		64: {0, 0x80000000},
+	}
+	for want, a := range cases {
+		if got := BitLen(a); got != want {
+			t.Errorf("BitLen(%v) = %d, want %d", a, got, want)
+		}
+	}
+	a := Nat{0b1010, 0b1}
+	bitCases := []struct{ i int; want uint }{{0, 0}, {1, 1}, {3, 1}, {4, 0}, {32, 1}, {33, 0}, {999, 0}, {-1, 0}}
+	for _, c := range bitCases {
+		if got := Bit(a, c.i); got != c.want {
+			t.Errorf("Bit(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+func TestAdd1Sub1(t *testing.T) {
+	a := Nat{0xFFFFFFFF, 0xFFFFFFFF}
+	r := make(Nat, 2)
+	if carry := Add1(r, a, 1); carry != 1 || !r.IsZero() {
+		t.Errorf("Add1 overflow: carry=%d r=%v", carry, r)
+	}
+	z := Nat{0, 0}
+	if borrow := Sub1(r, z, 1); borrow != 1 || Cmp(r, a) != 0 {
+		t.Errorf("Sub1 underflow: borrow=%d r=%v", borrow, r)
+	}
+}
+
+func TestPanicsOnLengthMismatch(t *testing.T) {
+	funcs := map[string]func(){
+		"AddN":    func() { AddN(make(Nat, 2), Nat{1}, Nat{1, 2}) },
+		"SubN":    func() { SubN(make(Nat, 1), Nat{1}, Nat{1, 2}) },
+		"Mul1":    func() { Mul1(make(Nat, 1), Nat{1, 2}, 3) },
+		"AddMul1": func() { AddMul1(make(Nat, 1), Nat{1, 2}, 3) },
+		"Cmp":     func() { Cmp(Nat{1}, Nat{1, 2}) },
+		"Lshift0": func() { Lshift(make(Nat, 1), Nat{1}, 0) },
+		"Rshift32": func() { Rshift(make(Nat, 1), Nat{1}, 32) },
+	}
+	for name, f := range funcs {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package mpz
+
+import "fmt"
+
+// GcdExt returns g = gcd(a, b) along with Bézout coefficients x, y such
+// that a·x + b·y = g.  Inputs may be any sign; g is non-negative.  This is
+// the mpz_gcdext of the Figure 4 call graph, used for RSA key generation
+// (computing d) and CRT coefficients.
+func (c *Ctx) GcdExt(a, b *Int) (g, x, y *Int) {
+	c.op("mpz_gcdext", len(a.abs))
+	// Classic extended Euclid on magnitudes, signs patched afterwards.
+	oldR, r := a.Abs(), b.Abs()
+	oldS, s := NewInt(1), NewInt(0)
+	oldT, t := NewInt(0), NewInt(1)
+	for !r.IsZero() {
+		q, rem := c.DivMod(oldR, r)
+		oldR, r = r, rem
+		oldS, s = s, c.Sub(oldS, c.Mul(q, s))
+		oldT, t = t, c.Sub(oldT, c.Mul(q, t))
+	}
+	x, y = oldS, oldT
+	if a.Sign() < 0 {
+		x = x.Neg()
+	}
+	if b.Sign() < 0 {
+		y = y.Neg()
+	}
+	return oldR, x, y
+}
+
+// Gcd returns gcd(a, b) ≥ 0.
+func (c *Ctx) Gcd(a, b *Int) *Int {
+	g, _, _ := c.GcdExt(a, b)
+	return g
+}
+
+// ModInverse returns a⁻¹ mod m, or an error when gcd(a, m) ≠ 1.
+func (c *Ctx) ModInverse(a, m *Int) (*Int, error) {
+	if m.Sign() <= 0 {
+		return nil, fmt.Errorf("mpz: ModInverse modulus must be positive")
+	}
+	g, x, _ := c.GcdExt(a, m)
+	if !g.IsOne() {
+		return nil, fmt.Errorf("mpz: %v is not invertible modulo %v (gcd=%v)", a, m, g)
+	}
+	return c.Mod(x, m), nil
+}
+
+// GcdExt is the untraced package-level convenience.
+func GcdExt(a, b *Int) (g, x, y *Int) { return untraced.GcdExt(a, b) }
+
+// ModInverse is the untraced package-level convenience.
+func ModInverse(a, m *Int) (*Int, error) { return untraced.ModInverse(a, m) }

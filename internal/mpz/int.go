@@ -1,0 +1,444 @@
+// Package mpz implements arbitrary-precision signed integers and the
+// "complex mathematical operations" layer of the paper's software
+// architecture (§2.2): modular multiplication (five algorithm variants),
+// windowed modular exponentiation, extended GCD and modular inversion,
+// Miller–Rabin primality testing and prime generation.
+//
+// Every composite operation is expressed over the mpn limb kernels and can
+// record its kernel invocation profile into a Trace, enabling macro-model
+// based performance estimation exactly as in §3.2 of the paper: run the
+// algorithm natively, collect (routine, size, count) triples, and combine
+// them with ISS-characterized cycle models.
+package mpz
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wisp/internal/mpn"
+)
+
+// Int is an arbitrary-precision signed integer.  The zero value is 0 and
+// ready to use.  Ints are immutable by convention: operations return new
+// values and never modify their operands.
+type Int struct {
+	neg bool
+	abs mpn.Nat // normalized; empty means zero
+}
+
+// NewInt returns an Int with value v.
+func NewInt(v int64) *Int {
+	z := &Int{}
+	if v == 0 {
+		return z
+	}
+	u := uint64(v)
+	if v < 0 {
+		z.neg = true
+		u = uint64(-v)
+	}
+	z.abs = mpn.Normalize(mpn.Nat{uint32(u), uint32(u >> 32)})
+	return z
+}
+
+// FromUint64 returns an Int with value v.
+func FromUint64(v uint64) *Int {
+	return &Int{abs: mpn.Normalize(mpn.Nat{uint32(v), uint32(v >> 32)})}
+}
+
+// FromLimbs returns a non-negative Int from little-endian limbs (copied).
+func FromLimbs(l mpn.Nat) *Int {
+	return &Int{abs: mpn.Normalize(mpn.Copy(l))}
+}
+
+// FromBytes interprets b as a big-endian unsigned integer.
+func FromBytes(b []byte) *Int {
+	n := (len(b) + 3) / 4
+	abs := make(mpn.Nat, n)
+	for i := 0; i < len(b); i++ {
+		byteIdx := len(b) - 1 - i // position from LSB
+		abs[byteIdx/4] |= uint32(b[i]) << (8 * uint(byteIdx%4))
+	}
+	return &Int{abs: mpn.Normalize(abs)}
+}
+
+// FromHex parses a hexadecimal string with optional leading "-" and "0x".
+func FromHex(s string) (*Int, error) {
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if len(s) >= 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		s = s[2:]
+	}
+	if s == "" {
+		return nil, fmt.Errorf("mpz: empty hex literal")
+	}
+	var abs mpn.Nat
+	for _, ch := range s {
+		var d uint32
+		switch {
+		case ch >= '0' && ch <= '9':
+			d = uint32(ch - '0')
+		case ch >= 'a' && ch <= 'f':
+			d = uint32(ch-'a') + 10
+		case ch >= 'A' && ch <= 'F':
+			d = uint32(ch-'A') + 10
+		case ch == '_':
+			continue
+		default:
+			return nil, fmt.Errorf("mpz: invalid hex digit %q", ch)
+		}
+		// abs = abs*16 + d
+		carry := mpn.Limb(0)
+		for i := range abs {
+			v := uint64(abs[i])<<4 | uint64(carry)
+			abs[i] = uint32(v)
+			carry = uint32(v >> 32)
+		}
+		if carry != 0 {
+			abs = append(abs, carry)
+		}
+		if len(abs) == 0 {
+			abs = mpn.Nat{0}
+		}
+		abs[0] |= d
+	}
+	z := &Int{abs: mpn.Normalize(abs)}
+	z.neg = neg && len(z.abs) > 0
+	return z, nil
+}
+
+// MustHex is FromHex that panics on error; for constants in tests and
+// examples.
+func MustHex(s string) *Int {
+	z, err := FromHex(s)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// Bytes returns the big-endian byte representation of |z| (empty for zero).
+func (z *Int) Bytes() []byte {
+	if len(z.abs) == 0 {
+		return nil
+	}
+	out := make([]byte, len(z.abs)*4)
+	for i, l := range z.abs {
+		base := len(out) - 4*i
+		out[base-1] = byte(l)
+		out[base-2] = byte(l >> 8)
+		out[base-3] = byte(l >> 16)
+		out[base-4] = byte(l >> 24)
+	}
+	// Strip leading zeros.
+	i := 0
+	for i < len(out)-1 && out[i] == 0 {
+		i++
+	}
+	return out[i:]
+}
+
+// FillBytes writes |z| big-endian into buf (zero-padded on the left) and
+// returns buf.  It panics if z does not fit.
+func (z *Int) FillBytes(buf []byte) []byte {
+	b := z.Bytes()
+	if len(b) > len(buf) {
+		panic("mpz: FillBytes: value does not fit")
+	}
+	for i := range buf[:len(buf)-len(b)] {
+		buf[i] = 0
+	}
+	copy(buf[len(buf)-len(b):], b)
+	return buf
+}
+
+// Limbs returns a copy of |z|'s little-endian limbs.
+func (z *Int) Limbs() mpn.Nat { return mpn.Copy(z.abs) }
+
+// Uint64 returns the low 64 bits of |z|.
+func (z *Int) Uint64() uint64 {
+	var v uint64
+	if len(z.abs) > 0 {
+		v = uint64(z.abs[0])
+	}
+	if len(z.abs) > 1 {
+		v |= uint64(z.abs[1]) << 32
+	}
+	return v
+}
+
+// Int64 returns z as an int64; it panics if z does not fit.
+func (z *Int) Int64() int64 {
+	v := z.Uint64()
+	if len(z.abs) > 2 || (!z.neg && v > 1<<63-1) || (z.neg && v > 1<<63) {
+		panic("mpz: Int64 overflow")
+	}
+	if z.neg {
+		return -int64(v)
+	}
+	return int64(v)
+}
+
+// Sign returns -1, 0 or +1.
+func (z *Int) Sign() int {
+	if len(z.abs) == 0 {
+		return 0
+	}
+	if z.neg {
+		return -1
+	}
+	return 1
+}
+
+// IsZero reports whether z is zero.
+func (z *Int) IsZero() bool { return len(z.abs) == 0 }
+
+// IsOne reports whether z is exactly 1.
+func (z *Int) IsOne() bool { return !z.neg && len(z.abs) == 1 && z.abs[0] == 1 }
+
+// Neg returns -z.
+func (z *Int) Neg() *Int {
+	if z.IsZero() {
+		return &Int{}
+	}
+	return &Int{neg: !z.neg, abs: z.abs}
+}
+
+// Abs returns |z|.
+func (z *Int) Abs() *Int { return &Int{abs: z.abs} }
+
+// BitLen returns the bit length of |z|.
+func (z *Int) BitLen() int { return mpn.BitLen(z.abs) }
+
+// Bit returns bit i of |z|.
+func (z *Int) Bit(i int) uint { return mpn.Bit(z.abs, i) }
+
+// Odd reports whether |z| is odd.
+func (z *Int) Odd() bool { return len(z.abs) > 0 && z.abs[0]&1 == 1 }
+
+// Cmp compares z and x, returning -1, 0 or +1.
+func (z *Int) Cmp(x *Int) int {
+	switch {
+	case z.Sign() < x.Sign():
+		return -1
+	case z.Sign() > x.Sign():
+		return 1
+	}
+	c := cmpAbs(z.abs, x.abs)
+	if z.neg {
+		return -c
+	}
+	return c
+}
+
+// CmpAbs compares |z| and |x|.
+func (z *Int) CmpAbs(x *Int) int { return cmpAbs(z.abs, x.abs) }
+
+// Equal reports whether z == x.
+func (z *Int) Equal(x *Int) bool { return z.Cmp(x) == 0 }
+
+func cmpAbs(a, b mpn.Nat) int {
+	a, b = mpn.Normalize(a), mpn.Normalize(b)
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	case len(a) == 0:
+		return 0
+	}
+	return mpn.Cmp(a, b)
+}
+
+// String renders z in hexadecimal with a 0x prefix.
+func (z *Int) String() string {
+	if z.IsZero() {
+		return "0x0"
+	}
+	digits := "0123456789abcdef"
+	var sb []byte
+	started := false
+	for i := len(z.abs) - 1; i >= 0; i-- {
+		for shift := 28; shift >= 0; shift -= 4 {
+			d := z.abs[i] >> uint(shift) & 0xF
+			if !started && d == 0 {
+				continue
+			}
+			started = true
+			sb = append(sb, digits[d])
+		}
+	}
+	prefix := "0x"
+	if z.neg {
+		prefix = "-0x"
+	}
+	return prefix + string(sb)
+}
+
+// --- Core arithmetic (context-traced) ---
+
+// Add returns x + y.
+func (c *Ctx) Add(x, y *Int) *Int {
+	c.op("mpz_add", len(x.abs))
+	if x.neg == y.neg {
+		return &Int{neg: x.neg && !x.IsZero(), abs: c.addAbs(x.abs, y.abs)}
+	}
+	// Differing signs: subtract the smaller magnitude from the larger.
+	if cmpAbs(x.abs, y.abs) >= 0 {
+		abs := c.subAbs(x.abs, y.abs)
+		return &Int{neg: x.neg && len(abs) > 0, abs: abs}
+	}
+	abs := c.subAbs(y.abs, x.abs)
+	return &Int{neg: y.neg && len(abs) > 0, abs: abs}
+}
+
+// Sub returns x - y.
+func (c *Ctx) Sub(x, y *Int) *Int { return c.Add(x, y.Neg()) }
+
+func (c *Ctx) addAbs(a, b mpn.Nat) mpn.Nat {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	r := make(mpn.Nat, len(a)+1)
+	copy(r, a)
+	if len(b) > 0 {
+		c.tick("mpn_add_n", len(b))
+		carry := mpn.AddN(r[:len(b)], a[:len(b)], b)
+		if carry != 0 {
+			mpn.Add1(r[len(b):], r[len(b):], carry)
+		}
+	}
+	return mpn.Normalize(r)
+}
+
+// subAbs computes a - b assuming |a| >= |b|.
+func (c *Ctx) subAbs(a, b mpn.Nat) mpn.Nat {
+	r := make(mpn.Nat, len(a))
+	copy(r, a)
+	if len(b) > 0 {
+		c.tick("mpn_sub_n", len(b))
+		borrow := mpn.SubN(r[:len(b)], a[:len(b)], b)
+		if borrow != 0 {
+			mpn.Sub1(r[len(b):], r[len(b):], borrow)
+		}
+	}
+	return mpn.Normalize(r)
+}
+
+// DivMod returns q, r with x = q*y + r and 0 <= r < |y| (Euclidean).
+func (c *Ctx) DivMod(x, y *Int) (q, r *Int) {
+	c.op("mpz_mod", len(y.abs))
+	if y.IsZero() {
+		panic("mpz: division by zero")
+	}
+	qa, ra := c.divRemAbs(x.abs, y.abs)
+	q = &Int{abs: qa}
+	r = &Int{abs: ra}
+	if x.neg && !r.IsZero() {
+		// Round toward -inf so the remainder is non-negative.
+		q = untraced.Add(q, NewInt(1))
+		r = untraced.Sub(&Int{abs: mpn.Copy(y.abs)}, r)
+	}
+	q.neg = (x.neg != y.neg) && !q.IsZero()
+	return q, r
+}
+
+// Mod returns x mod y in [0, |y|).
+func (c *Ctx) Mod(x, y *Int) *Int {
+	_, r := c.DivMod(x, y)
+	return r
+}
+
+// divRemAbs divides magnitudes and accounts the schoolbook division kernels:
+// each quotient digit costs one mpn_submul_1 over the divisor length.
+func (c *Ctx) divRemAbs(u, v mpn.Nat) (q, r mpn.Nat) {
+	un, vn := mpn.Normalize(u), mpn.Normalize(v)
+	if len(vn) == 0 {
+		panic("mpz: division by zero")
+	}
+	if len(vn) == 1 {
+		c.tick("mpn_divrem_1", len(un))
+		q = make(mpn.Nat, len(un))
+		rem := mpn.DivRem1(q, un, vn[0])
+		if rem == 0 {
+			return mpn.Normalize(q), mpn.Nat{}
+		}
+		return mpn.Normalize(q), mpn.Nat{rem}
+	}
+	if len(un) >= len(vn) {
+		qDigits := len(un) - len(vn) + 1
+		c.add("mpn_submul_1", len(vn), uint64(qDigits))
+	}
+	return mpn.DivRem(un, vn)
+}
+
+// Lsh returns z << s.
+func (c *Ctx) Lsh(z *Int, s uint) *Int {
+	if z.IsZero() || s == 0 {
+		return &Int{neg: z.neg, abs: mpn.Copy(z.abs)}
+	}
+	limbShift := int(s / 32)
+	bitShift := s % 32
+	abs := make(mpn.Nat, len(z.abs)+limbShift+1)
+	copy(abs[limbShift:], z.abs)
+	if bitShift != 0 {
+		c.tick("mpn_lshift", len(abs)-1)
+		out := mpn.Lshift(abs[limbShift:len(abs)-1], abs[limbShift:len(abs)-1], bitShift)
+		abs[len(abs)-1] = out
+	}
+	return &Int{neg: z.neg, abs: mpn.Normalize(abs)}
+}
+
+// Rsh returns z >> s (arithmetic on magnitude; z must be non-negative).
+func (c *Ctx) Rsh(z *Int, s uint) *Int {
+	if z.neg {
+		panic("mpz: Rsh of negative value")
+	}
+	limbShift := int(s / 32)
+	if limbShift >= len(z.abs) {
+		return &Int{}
+	}
+	abs := mpn.Copy(z.abs[limbShift:])
+	if bitShift := s % 32; bitShift != 0 {
+		c.tick("mpn_rshift", len(abs))
+		mpn.Rshift(abs, abs, bitShift)
+	}
+	return &Int{abs: mpn.Normalize(abs)}
+}
+
+// TrailingZeroBits returns the number of trailing zero bits of |z| (0 for
+// zero).
+func (z *Int) TrailingZeroBits() uint {
+	for i, l := range z.abs {
+		if l != 0 {
+			return uint(32*i + bits.TrailingZeros32(l))
+		}
+	}
+	return 0
+}
+
+// --- Untraced package-level conveniences ---
+
+// Add returns x + y.
+func Add(x, y *Int) *Int { return untraced.Add(x, y) }
+
+// Sub returns x - y.
+func Sub(x, y *Int) *Int { return untraced.Sub(x, y) }
+
+// Mul returns x * y.
+func Mul(x, y *Int) *Int { return untraced.Mul(x, y) }
+
+// DivMod returns the Euclidean quotient and remainder.
+func DivMod(x, y *Int) (*Int, *Int) { return untraced.DivMod(x, y) }
+
+// Mod returns x mod y in [0, |y|).
+func Mod(x, y *Int) *Int { return untraced.Mod(x, y) }
+
+// Lsh returns z << s.
+func Lsh(z *Int, s uint) *Int { return untraced.Lsh(z, s) }
+
+// Rsh returns z >> s.
+func Rsh(z *Int, s uint) *Int { return untraced.Rsh(z, s) }

@@ -1,0 +1,195 @@
+package mpz
+
+import "fmt"
+
+// CacheMode selects the software caching option of the exploration space
+// (§4.3 sweeps "three different software caching options").
+type CacheMode int
+
+// Caching options for modular exponentiation.
+const (
+	// CacheNone recomputes all per-modulus constants (Barrett µ,
+	// Montgomery R²) on every exponentiation.
+	CacheNone CacheMode = iota
+	// CacheReducer retains the modulus-dependent reducer state across
+	// calls with the same modulus.
+	CacheReducer
+	// CachePowers additionally retains the window power table across
+	// calls with the same base (fixed-base optimization).
+	CachePowers
+	numCacheModes
+)
+
+// CacheModes lists all caching options for exploration sweeps.
+var CacheModes = []CacheMode{CacheNone, CacheReducer, CachePowers}
+
+// String returns the cache-mode name.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheNone:
+		return "cache-none"
+	case CacheReducer:
+		return "cache-reducer"
+	case CachePowers:
+		return "cache-powers"
+	default:
+		return fmt.Sprintf("cache(%d)", int(m))
+	}
+}
+
+// ExpConfig is one point of the modular-exponentiation algorithm space.
+type ExpConfig struct {
+	Alg        ModMulAlg
+	WindowBits int // k-ary window width in bits (1 = binary square-and-multiply), 1..5
+	Cache      CacheMode
+}
+
+// Validate reports whether the configuration is well-formed.
+func (cfg ExpConfig) Validate() error {
+	if cfg.Alg < 0 || cfg.Alg >= numModMulAlgs {
+		return fmt.Errorf("mpz: invalid modmul algorithm %d", cfg.Alg)
+	}
+	if cfg.WindowBits < 1 || cfg.WindowBits > 5 {
+		return fmt.Errorf("mpz: window width %d outside [1,5]", cfg.WindowBits)
+	}
+	if cfg.Cache < 0 || cfg.Cache >= numCacheModes {
+		return fmt.Errorf("mpz: invalid cache mode %d", cfg.Cache)
+	}
+	return nil
+}
+
+// String renders the configuration compactly.
+func (cfg ExpConfig) String() string {
+	return fmt.Sprintf("%s/w%d/%s", cfg.Alg, cfg.WindowBits, cfg.Cache)
+}
+
+// Exponentiator performs modular exponentiation for one modulus under one
+// ExpConfig, with kernel accounting through its context.
+type Exponentiator struct {
+	ctx *Ctx
+	cfg ExpConfig
+	m   *Int
+
+	mm     ModMul  // cached reducer (CacheReducer, CachePowers)
+	tabKey string  // base whose power table is cached
+	table  []*Int  // cached window table (CachePowers)
+}
+
+// NewExp builds an exponentiator modulo m.
+func (c *Ctx) NewExp(cfg ExpConfig, m *Int) (*Exponentiator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Exponentiator{ctx: c, cfg: cfg, m: m}
+	if cfg.Cache != CacheNone {
+		mm, err := c.NewModMul(cfg.Alg, m)
+		if err != nil {
+			return nil, err
+		}
+		e.mm = mm
+	} else if _, err := c.NewModMul(cfg.Alg, m); err != nil {
+		return nil, err // validate modulus/algorithm compatibility eagerly
+	}
+	return e, nil
+}
+
+// Exp returns base^exp mod m for non-negative exp.
+func (e *Exponentiator) Exp(base, exp *Int) (*Int, error) {
+	if exp.Sign() < 0 {
+		return nil, fmt.Errorf("mpz: negative exponent")
+	}
+	mm := e.mm
+	if e.cfg.Cache == CacheNone {
+		var err error
+		mm, err = e.ctx.NewModMul(e.cfg.Alg, e.m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if exp.IsZero() {
+		return e.ctx.Mod(NewInt(1), e.m), nil
+	}
+	e.ctx.op("mod_exp", len(e.m.abs))
+
+	w := e.cfg.WindowBits
+	table := e.windowTable(mm, base, w)
+
+	// Fixed-window left-to-right scan.
+	bl := exp.BitLen()
+	windows := (bl + w - 1) / w
+	acc := mm.One()
+	started := false
+	for wi := windows - 1; wi >= 0; wi-- {
+		digit := 0
+		for b := w - 1; b >= 0; b-- {
+			digit = digit<<1 | int(exp.Bit(wi*w+b))
+		}
+		if started {
+			for s := 0; s < w; s++ {
+				e.ctx.op("mod_sqr", len(e.m.abs))
+				acc = mm.Sqr(acc)
+			}
+		}
+		if digit != 0 {
+			if started {
+				e.ctx.op("mod_mul", len(e.m.abs))
+				acc = mm.Mul(acc, table[digit])
+			} else {
+				acc = table[digit]
+				started = true
+			}
+		} else if !started {
+			continue
+		}
+	}
+	if !started {
+		return e.ctx.Mod(NewInt(1), e.m), nil
+	}
+	return mm.FromDomain(acc), nil
+}
+
+// windowTable returns [base^0 … base^(2^w -1)] in the reducer's domain,
+// honouring the power-table cache mode.
+func (e *Exponentiator) windowTable(mm ModMul, base *Int, w int) []*Int {
+	key := ""
+	if e.cfg.Cache == CachePowers {
+		key = base.String()
+		if e.table != nil && e.tabKey == key {
+			return e.table
+		}
+	}
+	size := 1 << uint(w)
+	table := make([]*Int, size)
+	table[0] = mm.One()
+	table[1] = mm.ToDomain(base)
+	for i := 2; i < size; i++ {
+		table[i] = mm.Mul(table[i-1], table[1])
+	}
+	if e.cfg.Cache == CachePowers {
+		e.tabKey = key
+		e.table = table
+	}
+	return table
+}
+
+// ModExp is the convenience entry point: Montgomery reduction with a 4-bit
+// window and a per-call reducer — the configuration the exploration phase
+// selects for the platform's optimized RSA library.
+func (c *Ctx) ModExp(base, exp, m *Int) *Int {
+	cfg := ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}
+	if !m.Odd() {
+		cfg.Alg = ModMulBarrett
+	}
+	e, err := c.NewExp(cfg, m)
+	if err != nil {
+		panic(err) // modulus validated above; unreachable for m ≥ 2
+	}
+	r, err := e.Exp(base, exp)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ModExp is the untraced package-level convenience.
+func ModExp(base, exp, m *Int) *Int { return untraced.ModExp(base, exp, m) }

@@ -1,0 +1,265 @@
+package mpz
+
+import (
+	"fmt"
+
+	"wisp/internal/mpn"
+)
+
+// ModMulAlg selects one of the five modular-multiplication algorithms the
+// paper's algorithm design-space exploration sweeps (§4.3).
+type ModMulAlg int
+
+// The five modular multiplication algorithm variants.
+const (
+	ModMulBasecase   ModMulAlg = iota // schoolbook product + Knuth division
+	ModMulKaratsuba                   // Karatsuba product + Knuth division
+	ModMulBarrett                     // Barrett reduction (precomputed µ)
+	ModMulMontgomery                  // Montgomery CIOS (operands in Montgomery domain)
+	ModMulBlakley                     // Blakley interleaved shift-add
+	numModMulAlgs
+)
+
+// ModMulAlgs lists all variants for exploration sweeps.
+var ModMulAlgs = []ModMulAlg{ModMulBasecase, ModMulKaratsuba, ModMulBarrett, ModMulMontgomery, ModMulBlakley}
+
+// String returns the algorithm name.
+func (a ModMulAlg) String() string {
+	switch a {
+	case ModMulBasecase:
+		return "basecase"
+	case ModMulKaratsuba:
+		return "karatsuba"
+	case ModMulBarrett:
+		return "barrett"
+	case ModMulMontgomery:
+		return "montgomery"
+	case ModMulBlakley:
+		return "blakley"
+	default:
+		return fmt.Sprintf("modmul(%d)", int(a))
+	}
+}
+
+// ModMul multiplies modulo a fixed modulus.  Implementations may work in a
+// transformed domain (Montgomery); callers convert operands with ToDomain
+// and results back with FromDomain.  For the direct algorithms both
+// conversions are the identity.
+type ModMul interface {
+	// Alg identifies the algorithm variant.
+	Alg() ModMulAlg
+	// Mul returns x*y mod m with x, y in the reducer's domain.
+	Mul(x, y *Int) *Int
+	// Sqr returns x² mod m with x in the reducer's domain.
+	Sqr(x *Int) *Int
+	// ToDomain converts a canonical residue into the reducer's domain.
+	ToDomain(x *Int) *Int
+	// FromDomain converts back to a canonical residue in [0, m).
+	FromDomain(x *Int) *Int
+	// One returns the multiplicative identity in the reducer's domain.
+	One() *Int
+}
+
+// NewModMul builds a reducer for modulus m using the requested algorithm.
+// Montgomery requires an odd modulus; the others accept any m ≥ 2.
+func (c *Ctx) NewModMul(alg ModMulAlg, m *Int) (ModMul, error) {
+	if m.Sign() <= 0 || m.BitLen() < 2 {
+		return nil, fmt.Errorf("mpz: modulus must be ≥ 2, got %v", m)
+	}
+	switch alg {
+	case ModMulBasecase:
+		return &divModMul{ctx: c, alg: alg, m: m, mul: c.MulBasecase}, nil
+	case ModMulKaratsuba:
+		return &divModMul{ctx: c, alg: alg, m: m, mul: c.MulKaratsuba}, nil
+	case ModMulBarrett:
+		return newBarrett(c, m), nil
+	case ModMulMontgomery:
+		if !m.Odd() {
+			return nil, fmt.Errorf("mpz: Montgomery requires an odd modulus")
+		}
+		return newMontgomery(c, m), nil
+	case ModMulBlakley:
+		return &blakley{ctx: c, m: m}, nil
+	default:
+		return nil, fmt.Errorf("mpz: unknown modular multiplication algorithm %d", alg)
+	}
+}
+
+// --- multiply-then-divide (basecase / Karatsuba) ---
+
+type divModMul struct {
+	ctx *Ctx
+	alg ModMulAlg
+	m   *Int
+	mul func(x, y *Int) *Int
+}
+
+func (d *divModMul) Alg() ModMulAlg        { return d.alg }
+func (d *divModMul) Mul(x, y *Int) *Int    { return d.ctx.Mod(d.mul(x, y), d.m) }
+func (d *divModMul) Sqr(x *Int) *Int       { return d.Mul(x, x) }
+func (d *divModMul) ToDomain(x *Int) *Int  { return d.ctx.Mod(x, d.m) }
+func (d *divModMul) FromDomain(x *Int) *Int { return x }
+func (d *divModMul) One() *Int             { return NewInt(1) }
+
+// --- Barrett reduction ---
+
+type barrett struct {
+	ctx *Ctx
+	m   *Int
+	k   int  // limbs in m
+	mu  *Int // floor(B^(2k) / m)
+}
+
+func newBarrett(c *Ctx, m *Int) *barrett {
+	k := len(mpn.Normalize(m.Limbs()))
+	b2k := c.Lsh(NewInt(1), uint(64*k))
+	mu, _ := c.DivMod(b2k, m)
+	return &barrett{ctx: c, m: m, k: k, mu: mu}
+}
+
+func (b *barrett) Alg() ModMulAlg { return ModMulBarrett }
+
+func (b *barrett) Mul(x, y *Int) *Int {
+	t := b.ctx.Mul(x, y)
+	return b.reduce(t)
+}
+
+func (b *barrett) Sqr(x *Int) *Int { return b.reduce(b.ctx.Sqr(x)) }
+
+// reduce maps t < m² into [0, m) with two multiplications by the
+// precomputed µ instead of a division.
+func (b *barrett) reduce(t *Int) *Int {
+	c := b.ctx
+	k := uint(b.k)
+	// q = floor( floor(t / B^(k-1)) * mu / B^(k+1) )
+	q1 := c.Rsh(t, 32*(k-1))
+	q2 := c.Mul(q1, b.mu)
+	q3 := c.Rsh(q2, 32*(k+1))
+	// r = t - q3*m, corrected by at most two subtractions.
+	r := c.Sub(t, c.Mul(q3, b.m))
+	for r.Sign() < 0 {
+		r = c.Add(r, b.m)
+	}
+	for r.CmpAbs(b.m) >= 0 {
+		r = c.Sub(r, b.m)
+	}
+	return r
+}
+
+func (b *barrett) ToDomain(x *Int) *Int   { return b.ctx.Mod(x, b.m) }
+func (b *barrett) FromDomain(x *Int) *Int { return x }
+func (b *barrett) One() *Int              { return NewInt(1) }
+
+// --- Montgomery CIOS ---
+
+type montgomery struct {
+	ctx  *Ctx
+	m    *Int
+	n    int        // limbs in m
+	mInv mpn.Limb   // -m⁻¹ mod 2³²
+	rr   *Int       // R² mod m, for domain conversion
+	ml   mpn.Nat    // modulus limbs, length n
+}
+
+func newMontgomery(c *Ctx, m *Int) *montgomery {
+	ml := mpn.Normalize(m.Limbs())
+	n := len(ml)
+	g := &montgomery{ctx: c, m: m, n: n, ml: ml}
+	g.mInv = negInvLimb(ml[0])
+	r2 := c.Mod(c.Lsh(NewInt(1), uint(64*n)), m) // R² mod m, R = 2^(32n)
+	g.rr = r2
+	return g
+}
+
+// negInvLimb computes -m0⁻¹ mod 2³² by Newton iteration (m0 odd).
+func negInvLimb(m0 mpn.Limb) mpn.Limb {
+	inv := m0 // 3-bit correct seed for odd m0
+	for i := 0; i < 4; i++ {
+		inv *= 2 - m0*inv
+	}
+	return -inv
+}
+
+func (g *montgomery) Alg() ModMulAlg { return ModMulMontgomery }
+
+// redc performs the CIOS multiply-reduce: result = x*y*R⁻¹ mod m.
+func (g *montgomery) redc(x, y mpn.Nat) *Int {
+	n := g.n
+	xs := make(mpn.Nat, n)
+	copy(xs, mpn.Normalize(x))
+	ys := make(mpn.Nat, n)
+	copy(ys, mpn.Normalize(y))
+
+	t := make(mpn.Nat, n+2)
+	for i := 0; i < n; i++ {
+		// t += x[i] * y
+		g.ctx.tick("mpn_addmul_1", n)
+		carry := mpn.AddMul1(t[:n], ys, xs[i])
+		addTop(t[n:], carry)
+		// q = t[0] * m' mod B; t += q*m; t >>= 32
+		q := t[0] * g.mInv
+		g.ctx.tick("mpn_addmul_1", n)
+		carry = mpn.AddMul1(t[:n], g.ml, q)
+		addTop(t[n:], carry)
+		copy(t, t[1:])
+		t[n+1] = 0
+	}
+	res := &Int{abs: mpn.Normalize(mpn.Copy(t[:n+1]))}
+	if res.CmpAbs(g.m) >= 0 {
+		res = g.ctx.Sub(res, g.m)
+	}
+	return res
+}
+
+func addTop(hi mpn.Nat, carry mpn.Limb) {
+	mpn.Add1(hi, hi, carry)
+}
+
+func (g *montgomery) Mul(x, y *Int) *Int { return g.redc(x.abs, y.abs) }
+func (g *montgomery) Sqr(x *Int) *Int    { return g.redc(x.abs, x.abs) }
+
+// ToDomain returns x*R mod m via REDC(x, R² mod m).
+func (g *montgomery) ToDomain(x *Int) *Int {
+	x = g.ctx.Mod(x, g.m)
+	return g.redc(x.abs, g.rr.abs)
+}
+
+// FromDomain returns x*R⁻¹ mod m via REDC(x, 1).
+func (g *montgomery) FromDomain(x *Int) *Int {
+	return g.redc(x.abs, mpn.Nat{1})
+}
+
+// One returns R mod m, the domain image of 1.
+func (g *montgomery) One() *Int { return g.ToDomain(NewInt(1)) }
+
+// --- Blakley interleaved shift-add ---
+
+type blakley struct {
+	ctx *Ctx
+	m   *Int
+}
+
+func (bl *blakley) Alg() ModMulAlg { return ModMulBlakley }
+
+// Mul computes x*y mod m one multiplier bit at a time: r = 2r + bit·y,
+// reduced after every step.  O(bits·n) kernel operations — the slowest
+// variant, included as the exploration's lower anchor.
+func (bl *blakley) Mul(x, y *Int) *Int {
+	c := bl.ctx
+	r := &Int{}
+	for i := x.BitLen() - 1; i >= 0; i-- {
+		r = c.Lsh(r, 1)
+		if x.Bit(i) == 1 {
+			r = c.Add(r, y)
+		}
+		for r.CmpAbs(bl.m) >= 0 {
+			r = c.Sub(r, bl.m)
+		}
+	}
+	return r
+}
+
+func (bl *blakley) Sqr(x *Int) *Int        { return bl.Mul(x, x) }
+func (bl *blakley) ToDomain(x *Int) *Int   { return bl.ctx.Mod(x, bl.m) }
+func (bl *blakley) FromDomain(x *Int) *Int { return x }
+func (bl *blakley) One() *Int              { return NewInt(1) }

@@ -1,0 +1,492 @@
+package mpz
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(z *Int) *big.Int {
+	v := new(big.Int).SetBytes(z.Bytes())
+	if z.Sign() < 0 {
+		v.Neg(v)
+	}
+	return v
+}
+
+func fromBig(v *big.Int) *Int {
+	z := FromBytes(v.Bytes())
+	if v.Sign() < 0 {
+		z = z.Neg()
+	}
+	return z
+}
+
+func randInt(r *rand.Rand, maxLimbs int, signed bool) *Int {
+	n := r.Intn(maxLimbs + 1)
+	b := make([]byte, n*4)
+	r.Read(b)
+	z := FromBytes(b)
+	if signed && r.Intn(2) == 0 {
+		z = z.Neg()
+	}
+	return z
+}
+
+func TestNewIntAndConversions(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40), 1<<63 - 1}
+	for _, v := range cases {
+		z := NewInt(v)
+		if got := z.Int64(); got != v {
+			t.Errorf("NewInt(%d).Int64() = %d", v, got)
+		}
+	}
+	if FromUint64(1<<63).Uint64() != 1<<63 {
+		t.Error("FromUint64 round trip failed")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 100; trial++ {
+		b := make([]byte, 1+r.Intn(40))
+		r.Read(b)
+		b[0] |= 1 // avoid leading-zero ambiguity
+		z := FromBytes(b)
+		if got := z.Bytes(); !bytes.Equal(got, b) {
+			t.Fatalf("Bytes round trip: got %x, want %x", got, b)
+		}
+	}
+	if FromBytes(nil).Sign() != 0 {
+		t.Error("FromBytes(nil) not zero")
+	}
+	var buf [8]byte
+	NewInt(0x1234).FillBytes(buf[:])
+	if buf != [8]byte{0, 0, 0, 0, 0, 0, 0x12, 0x34} {
+		t.Errorf("FillBytes = %x", buf)
+	}
+}
+
+func TestFromHexAndString(t *testing.T) {
+	cases := map[string]string{
+		"0":                "0x0",
+		"0x0":              "0x0",
+		"ff":               "0xff",
+		"-0xDEADBEEF":      "-0xdeadbeef",
+		"0x1_0000_0000":    "0x100000000",
+		"123456789abcdef0": "0x123456789abcdef0",
+	}
+	for in, want := range cases {
+		z, err := FromHex(in)
+		if err != nil {
+			t.Errorf("FromHex(%q): %v", in, err)
+			continue
+		}
+		if got := z.String(); got != want {
+			t.Errorf("FromHex(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "0x", "xyz", "12g4"} {
+		if _, err := FromHex(bad); err == nil {
+			t.Errorf("FromHex(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAddSubAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func() bool {
+		x, y := randInt(r, 8, true), randInt(r, 8, true)
+		sum := Add(x, y)
+		diff := Sub(x, y)
+		wantSum := new(big.Int).Add(toBig(x), toBig(y))
+		wantDiff := new(big.Int).Sub(toBig(x), toBig(y))
+		return toBig(sum).Cmp(wantSum) == 0 && toBig(diff).Cmp(wantDiff) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	ctx := NewCtx(nil)
+	f := func() bool {
+		x, y := randInt(r, 40, true), randInt(r, 40, true)
+		want := new(big.Int).Mul(toBig(x), toBig(y))
+		if toBig(ctx.Mul(x, y)).Cmp(want) != 0 {
+			return false
+		}
+		if toBig(ctx.MulBasecase(x, y)).Cmp(want) != 0 {
+			return false
+		}
+		return toBig(ctx.MulKaratsuba(x, y)).Cmp(want) != 0 == false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKaratsubaMatchesBasecaseLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	ctx := NewCtx(nil)
+	for trial := 0; trial < 10; trial++ {
+		x, y := randInt(r, 100, false), randInt(r, 100, false)
+		if !ctx.MulKaratsuba(x, y).Equal(ctx.MulBasecase(x, y)) {
+			t.Fatal("karatsuba != basecase")
+		}
+	}
+}
+
+func TestDivModEuclidean(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	f := func() bool {
+		x := randInt(r, 10, true)
+		y := randInt(r, 5, true)
+		if y.IsZero() {
+			return true
+		}
+		q, rem := DivMod(x, y)
+		// x == q*y + rem, 0 <= rem < |y|
+		lhs := toBig(x)
+		rhs := new(big.Int).Mul(toBig(q), toBig(y))
+		rhs.Add(rhs, toBig(rem))
+		return lhs.Cmp(rhs) == 0 && rem.Sign() >= 0 && rem.CmpAbs(y) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DivMod by zero did not panic")
+		}
+	}()
+	DivMod(NewInt(5), NewInt(0))
+}
+
+func TestShifts(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 200; trial++ {
+		x := randInt(r, 6, false)
+		s := uint(r.Intn(100))
+		if toBig(Lsh(x, s)).Cmp(new(big.Int).Lsh(toBig(x), s)) != 0 {
+			t.Fatalf("Lsh(%v, %d) wrong", x, s)
+		}
+		if toBig(Rsh(x, s)).Cmp(new(big.Int).Rsh(toBig(x), s)) != 0 {
+			t.Fatalf("Rsh(%v, %d) wrong", x, s)
+		}
+	}
+}
+
+func TestCmpAndPredicates(t *testing.T) {
+	if NewInt(-3).Cmp(NewInt(2)) != -1 || NewInt(3).Cmp(NewInt(-2)) != 1 {
+		t.Error("signed Cmp wrong")
+	}
+	if NewInt(-3).Cmp(NewInt(-2)) != -1 {
+		t.Error("negative Cmp ordering wrong")
+	}
+	if !NewInt(1).IsOne() || NewInt(-1).IsOne() || NewInt(2).IsOne() {
+		t.Error("IsOne wrong")
+	}
+	if !NewInt(7).Odd() || NewInt(8).Odd() {
+		t.Error("Odd wrong")
+	}
+	if NewInt(0).Neg().Sign() != 0 {
+		t.Error("Neg(0) changed sign")
+	}
+	if NewInt(12).TrailingZeroBits() != 2 {
+		t.Error("TrailingZeroBits(12) != 2")
+	}
+	if NewInt(0).TrailingZeroBits() != 0 {
+		t.Error("TrailingZeroBits(0) != 0")
+	}
+}
+
+func TestAllModMulAlgorithmsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(26))
+	ctx := NewCtx(nil)
+	for trial := 0; trial < 20; trial++ {
+		m := randInt(r, 8, false)
+		m.abs = append(m.abs, 0)
+		m = Add(m.Abs(), NewInt(3))
+		if !m.Odd() {
+			m = Add(m, NewInt(1)) // Montgomery needs odd
+		}
+		x := ctx.Mod(randInt(r, 10, false), m)
+		y := ctx.Mod(randInt(r, 10, false), m)
+		want := new(big.Int).Mul(toBig(x), toBig(y))
+		want.Mod(want, toBig(m))
+		for _, alg := range ModMulAlgs {
+			mm, err := ctx.NewModMul(alg, m)
+			if err != nil {
+				t.Fatalf("NewModMul(%v): %v", alg, err)
+			}
+			got := mm.FromDomain(mm.Mul(mm.ToDomain(x), mm.ToDomain(y)))
+			if toBig(got).Cmp(want) != 0 {
+				t.Fatalf("%v: got %v, want %#x (m=%v x=%v y=%v)", alg, got, want, m, x, y)
+			}
+			gotSqr := mm.FromDomain(mm.Sqr(mm.ToDomain(x)))
+			wantSqr := new(big.Int).Mul(toBig(x), toBig(x))
+			wantSqr.Mod(wantSqr, toBig(m))
+			if toBig(gotSqr).Cmp(wantSqr) != 0 {
+				t.Fatalf("%v Sqr mismatch", alg)
+			}
+		}
+	}
+}
+
+func TestModMulValidation(t *testing.T) {
+	ctx := NewCtx(nil)
+	if _, err := ctx.NewModMul(ModMulMontgomery, NewInt(10)); err == nil {
+		t.Error("Montgomery with even modulus succeeded")
+	}
+	if _, err := ctx.NewModMul(ModMulBasecase, NewInt(1)); err == nil {
+		t.Error("modulus 1 accepted")
+	}
+	if _, err := ctx.NewModMul(ModMulAlg(99), NewInt(35)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestModExpAllConfigsAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(27))
+	ctx := NewCtx(nil)
+	m := Add(randInt(r, 6, false).Abs(), NewInt(101))
+	if !m.Odd() {
+		m = Add(m, NewInt(1))
+	}
+	base := ctx.Mod(randInt(r, 6, false), m)
+	exp := randInt(r, 4, false).Abs()
+	want := new(big.Int).Exp(toBig(base), toBig(exp), toBig(m))
+	for _, alg := range ModMulAlgs {
+		for _, w := range []int{1, 2, 3, 5} {
+			for _, cache := range CacheModes {
+				cfg := ExpConfig{Alg: alg, WindowBits: w, Cache: cache}
+				e, err := ctx.NewExp(cfg, m)
+				if err != nil {
+					t.Fatalf("NewExp(%v): %v", cfg, err)
+				}
+				got, err := e.Exp(base, exp)
+				if err != nil {
+					t.Fatalf("Exp(%v): %v", cfg, err)
+				}
+				if toBig(got).Cmp(want) != 0 {
+					t.Fatalf("%v: got %v, want %#x", cfg, got, want)
+				}
+				// Second call exercises the cache paths.
+				got2, _ := e.Exp(base, exp)
+				if !got2.Equal(got) {
+					t.Fatalf("%v: cached second call differs", cfg)
+				}
+			}
+		}
+	}
+}
+
+func TestModExpEdgeCases(t *testing.T) {
+	ctx := NewCtx(nil)
+	m := NewInt(1009)
+	e, err := ctx.NewExp(ExpConfig{Alg: ModMulBarrett, WindowBits: 3, Cache: CacheReducer}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x^0 = 1
+	if got, _ := e.Exp(NewInt(5), NewInt(0)); !got.IsOne() {
+		t.Errorf("5^0 = %v", got)
+	}
+	// 0^x = 0
+	if got, _ := e.Exp(NewInt(0), NewInt(5)); !got.IsZero() {
+		t.Errorf("0^5 = %v", got)
+	}
+	// negative exponent rejected
+	if _, err := e.Exp(NewInt(2), NewInt(-1)); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	// invalid config rejected
+	if _, err := ctx.NewExp(ExpConfig{Alg: ModMulBarrett, WindowBits: 0, Cache: CacheNone}, m); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, err := ctx.NewExp(ExpConfig{Alg: ModMulBarrett, WindowBits: 6, Cache: CacheNone}, m); err == nil {
+		t.Error("window 6 accepted")
+	}
+}
+
+func TestModExpConvenience(t *testing.T) {
+	// 2^10 mod 1000 = 24; even modulus exercises the Barrett fallback.
+	if got := ModExp(NewInt(2), NewInt(10), NewInt(1000)); got.Int64() != 24 {
+		t.Errorf("ModExp(2,10,1000) = %v, want 24", got)
+	}
+	if got := ModExp(NewInt(3), NewInt(100), NewInt(101)); got.Int64() != 1 {
+		t.Errorf("Fermat: 3^100 mod 101 = %v, want 1", got)
+	}
+}
+
+func TestGcdExtBezoutProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(28))
+	f := func() bool {
+		a, b := randInt(r, 6, true), randInt(r, 6, true)
+		g, x, y := GcdExt(a, b)
+		// a*x + b*y == g, g >= 0, g | a, g | b
+		lhs := Add(Mul(a, x), Mul(b, y))
+		if !lhs.Equal(g) || g.Sign() < 0 {
+			return false
+		}
+		if g.IsZero() {
+			return a.IsZero() && b.IsZero()
+		}
+		return Mod(a.Abs(), g).IsZero() && Mod(b.Abs(), g).IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	m := NewInt(1000003) // prime
+	for trial := 0; trial < 50; trial++ {
+		a := Add(RandBelow(r, Sub(m, NewInt(1))), NewInt(1))
+		inv, err := ModInverse(a, m)
+		if err != nil {
+			t.Fatalf("ModInverse(%v): %v", a, err)
+		}
+		if !Mod(Mul(a, inv), m).IsOne() {
+			t.Fatalf("a·a⁻¹ mod m ≠ 1 for a=%v", a)
+		}
+	}
+	if _, err := ModInverse(NewInt(6), NewInt(9)); err == nil {
+		t.Error("non-coprime inverse succeeded")
+	}
+	if _, err := ModInverse(NewInt(2), NewInt(-5)); err == nil {
+		t.Error("negative modulus accepted")
+	}
+}
+
+func TestPrimality(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	primes := []int64{2, 3, 5, 101, 257, 65537, 1000003}
+	for _, p := range primes {
+		if !IsProbablePrime(NewInt(p), 20, r) {
+			t.Errorf("%d judged composite", p)
+		}
+	}
+	composites := []int64{0, 1, 4, 100, 561, 1105, 65536, 1000001, 1000003 * 3}
+	for _, c := range composites {
+		if IsProbablePrime(NewInt(c), 20, r) {
+			t.Errorf("%d judged prime", c)
+		}
+	}
+	// Carmichael number 561 = 3·11·17 must be caught.
+	if IsProbablePrime(NewInt(561), 20, r) {
+		t.Error("Carmichael 561 passed")
+	}
+}
+
+func TestGenPrime(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, bits := range []int{16, 64, 128} {
+		p, err := GenPrime(r, bits, 20)
+		if err != nil {
+			t.Fatalf("GenPrime(%d): %v", bits, err)
+		}
+		if p.BitLen() != bits {
+			t.Errorf("GenPrime(%d) bit length = %d", bits, p.BitLen())
+		}
+		if p.Bit(bits-2) != 1 {
+			t.Errorf("GenPrime(%d): second-highest bit clear", bits)
+		}
+		if !toBig(p).ProbablyPrime(30) {
+			t.Errorf("GenPrime(%d) = %v not prime per math/big", bits, p)
+		}
+	}
+	if _, err := GenPrime(r, 4, 10); err == nil {
+		t.Error("GenPrime(4) accepted")
+	}
+}
+
+func TestRandBitsAndBelow(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for _, n := range []int{1, 31, 32, 33, 100} {
+		z := RandBits(r, n)
+		if z.BitLen() != n {
+			t.Errorf("RandBits(%d).BitLen() = %d", n, z.BitLen())
+		}
+	}
+	bound := NewInt(1000)
+	for i := 0; i < 100; i++ {
+		z := RandBelow(r, bound)
+		if z.Sign() < 0 || z.Cmp(bound) >= 0 {
+			t.Fatalf("RandBelow out of range: %v", z)
+		}
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	tr := NewTrace()
+	ctx := NewCtx(tr)
+	r := rand.New(rand.NewSource(33))
+	x, y := RandBits(r, 1024), RandBits(r, 1024) // exactly 32 limbs each
+	ctx.MulBasecase(x, y)
+	if tr.Total("mpn_addmul_1") == 0 {
+		t.Error("basecase multiplication recorded no mpn_addmul_1 ticks")
+	}
+	invs := tr.Invocations()
+	if len(invs) == 0 {
+		t.Fatal("empty trace")
+	}
+	// 32×32 basecase: 32 addmul_1 rows of size 32.
+	var rows uint64
+	for _, inv := range invs {
+		if inv.Routine == "mpn_addmul_1" && inv.N == 32 {
+			rows = inv.Count
+		}
+	}
+	if rows != 32 {
+		t.Errorf("addmul_1 rows = %d, want 32", rows)
+	}
+
+	cycles, missing := tr.EstimateCycles(map[string]func(int) float64{
+		"mpn_addmul_1": func(n int) float64 { return 10 * float64(n) },
+	})
+	if cycles < 32*32*10 {
+		t.Errorf("estimated cycles = %v, want ≥ %d", cycles, 32*32*10)
+	}
+	if len(missing) != 0 {
+		t.Errorf("missing models: %v", missing)
+	}
+	_, missing = tr.EstimateCycles(nil)
+	if len(missing) == 0 {
+		t.Error("no missing models reported with empty model set")
+	}
+	if tr.String() == "" {
+		t.Error("empty String()")
+	}
+	if len(tr.Routines()) == 0 {
+		t.Error("no routines listed")
+	}
+	tr.Reset()
+	if len(tr.Invocations()) != 0 {
+		t.Error("Reset did not clear trace")
+	}
+}
+
+func TestNilCtxIsSafe(t *testing.T) {
+	var c *Ctx
+	if got := c.Add(NewInt(2), NewInt(3)); got.Int64() != 5 {
+		t.Errorf("nil ctx Add = %v", got)
+	}
+}
+
+func TestInt64Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Int64 overflow did not panic")
+		}
+	}()
+	Lsh(NewInt(1), 64).Int64()
+}

@@ -1,0 +1,116 @@
+package mpz
+
+import "wisp/internal/mpn"
+
+// karatsubaThreshold is the operand size (limbs) below which multiplication
+// uses the schoolbook basecase.  16 limbs = 512 bits, a conventional
+// crossover for 32-bit limb arithmetic.
+const karatsubaThreshold = 16
+
+// Mul returns x * y, selecting basecase or Karatsuba by operand size.
+func (c *Ctx) Mul(x, y *Int) *Int {
+	c.op("mpz_mul", len(x.abs))
+	abs := c.mulAbs(x.abs, y.abs)
+	return &Int{neg: x.neg != y.neg && len(abs) > 0, abs: abs}
+}
+
+// MulBasecase returns x * y forcing schoolbook multiplication regardless of
+// size (used by the algorithm-exploration baseline).
+func (c *Ctx) MulBasecase(x, y *Int) *Int {
+	abs := c.mulBasecaseAbs(x.abs, y.abs)
+	return &Int{neg: x.neg != y.neg && len(abs) > 0, abs: abs}
+}
+
+// MulKaratsuba returns x * y forcing the Karatsuba path at every level
+// above the basecase threshold.
+func (c *Ctx) MulKaratsuba(x, y *Int) *Int {
+	abs := c.karatsubaAbs(mpn.Normalize(x.abs), mpn.Normalize(y.abs))
+	return &Int{neg: x.neg != y.neg && len(abs) > 0, abs: abs}
+}
+
+func (c *Ctx) mulAbs(a, b mpn.Nat) mpn.Nat {
+	a, b = mpn.Normalize(a), mpn.Normalize(b)
+	if len(a) == 0 || len(b) == 0 {
+		return mpn.Nat{}
+	}
+	if len(a) < karatsubaThreshold || len(b) < karatsubaThreshold {
+		return c.mulBasecaseAbs(a, b)
+	}
+	return c.karatsubaAbs(a, b)
+}
+
+// mulBasecaseAbs is schoolbook multiplication expressed over the
+// mpn_addmul_1 kernel, one tick per inner row.
+func (c *Ctx) mulBasecaseAbs(a, b mpn.Nat) mpn.Nat {
+	a, b = mpn.Normalize(a), mpn.Normalize(b)
+	if len(a) == 0 || len(b) == 0 {
+		return mpn.Nat{}
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	r := make(mpn.Nat, len(a)+len(b))
+	for j, bj := range b {
+		c.tick("mpn_addmul_1", len(a))
+		r[j+len(a)] += mpn.AddMul1(r[j:j+len(a)], a, bj)
+	}
+	return mpn.Normalize(r)
+}
+
+// karatsubaAbs multiplies via Karatsuba recursion: split at half the larger
+// operand, three recursive products, O(n^1.585) kernel work.
+func (c *Ctx) karatsubaAbs(a, b mpn.Nat) mpn.Nat {
+	if len(a) == 0 || len(b) == 0 {
+		return mpn.Nat{}
+	}
+	if len(a) < karatsubaThreshold || len(b) < karatsubaThreshold {
+		return c.mulBasecaseAbs(a, b)
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	half := (n + 1) / 2
+
+	a0, a1 := splitAt(a, half)
+	b0, b1 := splitAt(b, half)
+
+	z0 := c.karatsubaAbs(a0, b0) // low product
+	z2 := c.karatsubaAbs(a1, b1) // high product
+	sa := c.addAbs(a0, a1)
+	sb := c.addAbs(b0, b1)
+	z1 := c.karatsubaAbs(sa, sb) // (a0+a1)(b0+b1)
+	// z1 -= z0 + z2 → the middle coefficient.
+	z1 = c.subAbs(z1, c.addAbs(z0, z2))
+
+	// r = z0 + z1<<(32*half) + z2<<(64*half)
+	r := make(mpn.Nat, len(a)+len(b)+1)
+	copy(r, z0)
+	addShifted(c, r, z1, half)
+	addShifted(c, r, z2, 2*half)
+	return mpn.Normalize(r)
+}
+
+func splitAt(a mpn.Nat, k int) (lo, hi mpn.Nat) {
+	if len(a) <= k {
+		return mpn.Normalize(a), mpn.Nat{}
+	}
+	return mpn.Normalize(a[:k]), mpn.Normalize(a[k:])
+}
+
+// addShifted adds v at limb offset k into r in place.
+func addShifted(c *Ctx, r, v mpn.Nat, k int) {
+	if len(v) == 0 {
+		return
+	}
+	c.tick("mpn_add_n", len(v))
+	carry := mpn.AddN(r[k:k+len(v)], r[k:k+len(v)], v)
+	if carry != 0 {
+		mpn.Add1(r[k+len(v):], r[k+len(v):], carry)
+	}
+}
+
+// Sqr returns z².
+func (c *Ctx) Sqr(z *Int) *Int {
+	return &Int{abs: c.mulAbs(z.abs, z.abs)}
+}

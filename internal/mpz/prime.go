@@ -1,0 +1,155 @@
+package mpz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/mpn"
+)
+
+// smallPrimes is used for trial division before Miller–Rabin.
+var smallPrimes = []uint32{
+	2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+	71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+	149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+	227, 229, 233, 239, 241, 251,
+}
+
+// RandBits returns a uniformly random n-bit Int (top bit set) drawn from
+// rng.  It panics for n < 1.
+func RandBits(rng *rand.Rand, n int) *Int {
+	if n < 1 {
+		panic("mpz: RandBits needs n ≥ 1")
+	}
+	limbs := (n + 31) / 32
+	abs := make(mpn.Nat, limbs)
+	for i := range abs {
+		abs[i] = rng.Uint32()
+	}
+	top := uint(n-1) % 32
+	abs[limbs-1] &= (1 << (top + 1)) - 1 // clear above bit n-1
+	abs[limbs-1] |= 1 << top             // force bit n-1
+	return &Int{abs: mpn.Normalize(abs)}
+}
+
+// RandBelow returns a uniformly random Int in [0, bound) (bound > 0).
+func RandBelow(rng *rand.Rand, bound *Int) *Int {
+	if bound.Sign() <= 0 {
+		panic("mpz: RandBelow needs a positive bound")
+	}
+	bits := bound.BitLen()
+	limbs := (bits + 31) / 32
+	topMask := uint32(0xFFFFFFFF)
+	if r := uint(bits) % 32; r != 0 {
+		topMask = 1<<r - 1
+	}
+	for {
+		abs := make(mpn.Nat, limbs)
+		for i := range abs {
+			abs[i] = rng.Uint32()
+		}
+		abs[limbs-1] &= topMask
+		z := &Int{abs: mpn.Normalize(abs)}
+		if z.CmpAbs(bound) < 0 {
+			return z
+		}
+	}
+}
+
+// IsProbablePrime applies trial division by small primes followed by
+// `rounds` Miller–Rabin witnesses drawn from rng.  The error probability is
+// at most 4^-rounds for composite n.
+func (c *Ctx) IsProbablePrime(n *Int, rounds int, rng *rand.Rand) bool {
+	if n.Sign() <= 0 {
+		return false
+	}
+	if n.BitLen() <= 6 {
+		v := n.Uint64()
+		for _, p := range smallPrimes {
+			if v == uint64(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range smallPrimes {
+		if mpn.Mod1(n.abs, p) == 0 {
+			// Divisible by p: prime only if n == p itself.
+			return len(n.abs) == 1 && n.abs[0] == p
+		}
+	}
+	return c.millerRabin(n, rounds, rng)
+}
+
+// millerRabin runs the Miller–Rabin strong pseudoprime test with random
+// bases.  n must be odd and > 3 (guaranteed by IsProbablePrime's trial
+// division).
+func (c *Ctx) millerRabin(n *Int, rounds int, rng *rand.Rand) bool {
+	one := NewInt(1)
+	nMinus1 := c.Sub(n, one)
+	// n-1 = d · 2^s with d odd.
+	s := nMinus1.TrailingZeroBits()
+	d := c.Rsh(nMinus1, s)
+
+	exp, err := c.NewExp(ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}, n)
+	if err != nil {
+		return false
+	}
+	three := NewInt(3)
+	bound := c.Sub(n, three) // witnesses in [2, n-2]
+	for i := 0; i < rounds; i++ {
+		a := c.Add(RandBelow(rng, bound), NewInt(2))
+		x, err := exp.Exp(a, d)
+		if err != nil {
+			return false
+		}
+		if x.IsOne() || x.Equal(nMinus1) {
+			continue
+		}
+		witness := true
+		for r := uint(1); r < s; r++ {
+			x = c.Mod(c.Sqr(x), n)
+			if x.Equal(nMinus1) {
+				witness = false
+				break
+			}
+		}
+		if witness {
+			return false
+		}
+	}
+	return true
+}
+
+// GenPrime returns a random n-bit probable prime (top two bits set, so
+// products of two such primes have exactly 2n bits).  mrRounds Miller–Rabin
+// rounds are applied (20 gives < 4^-20 error).
+func (c *Ctx) GenPrime(rng *rand.Rand, bits, mrRounds int) (*Int, error) {
+	if bits < 8 {
+		return nil, fmt.Errorf("mpz: GenPrime needs ≥ 8 bits, got %d", bits)
+	}
+	for attempt := 0; attempt < 100*bits; attempt++ {
+		p := RandBits(rng, bits)
+		// Set the second-highest bit and make it odd.
+		if p.Bit(bits-2) == 0 {
+			p = untraced.Add(p, untraced.Lsh(NewInt(1), uint(bits-2)))
+		}
+		if !p.Odd() {
+			p = untraced.Add(p, NewInt(1))
+		}
+		if c.IsProbablePrime(p, mrRounds, rng) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("mpz: no %d-bit prime found", bits)
+}
+
+// IsProbablePrime is the untraced package-level convenience.
+func IsProbablePrime(n *Int, rounds int, rng *rand.Rand) bool {
+	return untraced.IsProbablePrime(n, rounds, rng)
+}
+
+// GenPrime is the untraced package-level convenience.
+func GenPrime(rng *rand.Rand, bits, mrRounds int) (*Int, error) {
+	return untraced.GenPrime(rng, bits, mrRounds)
+}

@@ -1,0 +1,156 @@
+package mpz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trace records multi-precision kernel invocations by routine name and
+// operand size.  It is the instrumentation behind the paper's performance
+// macro-modeling (§3.2): a traced algorithm run yields, for every library
+// routine, the number of invocations at each operand size; combining those
+// counts with per-routine cycle macro-models (characterized once on the
+// ISS) estimates the algorithm's total cycle count without simulating it.
+type Trace struct {
+	counts map[traceKey]uint64
+}
+
+type traceKey struct {
+	routine string
+	n       int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{counts: make(map[traceKey]uint64)} }
+
+// Tick records one invocation of routine with operand size n.
+func (t *Trace) Tick(routine string, n int) {
+	t.counts[traceKey{routine, n}]++
+}
+
+// Add records k invocations at once.
+func (t *Trace) Add(routine string, n int, k uint64) {
+	if k != 0 {
+		t.counts[traceKey{routine, n}] += k
+	}
+}
+
+// Reset clears all recorded invocations.
+func (t *Trace) Reset() {
+	for k := range t.counts {
+		delete(t.counts, k)
+	}
+}
+
+// Invocation is one (routine, size) bucket of a trace.
+type Invocation struct {
+	Routine string
+	N       int
+	Count   uint64
+}
+
+// Invocations returns the trace contents sorted by routine then size.
+func (t *Trace) Invocations() []Invocation {
+	out := make([]Invocation, 0, len(t.counts))
+	for k, c := range t.counts {
+		out = append(out, Invocation{Routine: k.routine, N: k.n, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Routine != out[j].Routine {
+			return out[i].Routine < out[j].Routine
+		}
+		return out[i].N < out[j].N
+	})
+	return out
+}
+
+// Total returns the total invocation count of a routine across all sizes.
+func (t *Trace) Total(routine string) uint64 {
+	var sum uint64
+	for k, c := range t.counts {
+		if k.routine == routine {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// Routines returns the distinct routine names in the trace, sorted.
+func (t *Trace) Routines() []string {
+	seen := make(map[string]bool)
+	for k := range t.counts {
+		seen[k.routine] = true
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EstimateCycles evaluates the trace against per-routine cycle macro-models
+// (cycles as a function of operand size).  Routines without a model are
+// returned in missing.
+func (t *Trace) EstimateCycles(models map[string]func(n int) float64) (cycles float64, missing []string) {
+	miss := make(map[string]bool)
+	for k, c := range t.counts {
+		m, ok := models[k.routine]
+		if !ok {
+			miss[k.routine] = true
+			continue
+		}
+		cycles += float64(c) * m(k.n)
+	}
+	for r := range miss {
+		missing = append(missing, r)
+	}
+	sort.Strings(missing)
+	return cycles, missing
+}
+
+// String renders the trace as a table.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, inv := range t.Invocations() {
+		fmt.Fprintf(&b, "%-18s n=%-4d ×%d\n", inv.Routine, inv.N, inv.Count)
+	}
+	return b.String()
+}
+
+// Ctx threads an optional Trace through mpz operations.  A nil *Ctx or nil
+// trace disables accounting at negligible cost, so library code can share
+// one code path for traced and untraced execution.
+type Ctx struct {
+	// T records kernel-level (mpn_*) invocations for macro-model pricing.
+	T *Trace
+	// Ops, when set, records function-level operations (mpz_mul, mod_exp,
+	// ...) — the annotated-call-graph counts of the paper's Figure 4.
+	Ops *Trace
+}
+
+// NewCtx returns a context recording into t (which may be nil).
+func NewCtx(t *Trace) *Ctx { return &Ctx{T: t} }
+
+// untraced is the shared context used by the plain package-level helpers.
+var untraced = &Ctx{}
+
+func (c *Ctx) tick(routine string, n int) {
+	if c != nil && c.T != nil {
+		c.T.Tick(routine, n)
+	}
+}
+
+func (c *Ctx) add(routine string, n int, k uint64) {
+	if c != nil && c.T != nil {
+		c.T.Add(routine, n, k)
+	}
+}
+
+// op records a function-level operation at operand size n (limbs).
+func (c *Ctx) op(name string, n int) {
+	if c != nil && c.Ops != nil {
+		c.Ops.Tick(name, n)
+	}
+}

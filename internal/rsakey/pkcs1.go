@@ -1,0 +1,63 @@
+package rsakey
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/mpz"
+)
+
+// PKCS#1 v1.5 block-type-2 padding, as used by the SSL handshake to wrap
+// the premaster secret.
+
+// PadEncrypt pads msg (PKCS#1 v1.5 type 2) and encrypts it with pub.
+// The modulus must leave at least 11 bytes of overhead.
+func PadEncrypt(ctx *mpz.Ctx, rng *rand.Rand, pub *PublicKey, msg []byte) ([]byte, error) {
+	k := (pub.Bits() + 7) / 8
+	if len(msg) > k-11 {
+		return nil, fmt.Errorf("rsakey: message length %d exceeds %d-byte capacity", len(msg), k-11)
+	}
+	em := make([]byte, k)
+	em[0] = 0x00
+	em[1] = 0x02
+	psLen := k - 3 - len(msg)
+	for i := 0; i < psLen; i++ {
+		// Nonzero random padding bytes.
+		b := byte(rng.Intn(255)) + 1
+		em[2+i] = b
+	}
+	em[2+psLen] = 0x00
+	copy(em[3+psLen:], msg)
+	c, err := Encrypt(ctx, pub, mpz.FromBytes(em))
+	if err != nil {
+		return nil, err
+	}
+	return c.FillBytes(make([]byte, k)), nil
+}
+
+// PadDecrypt decrypts ct and strips PKCS#1 v1.5 type-2 padding.
+func PadDecrypt(ctx *mpz.Ctx, priv *PrivateKey, ct []byte) ([]byte, error) {
+	k := (priv.Bits() + 7) / 8
+	if len(ct) != k {
+		return nil, fmt.Errorf("rsakey: ciphertext length %d != modulus length %d", len(ct), k)
+	}
+	m, err := Decrypt(ctx, priv, mpz.FromBytes(ct))
+	if err != nil {
+		return nil, err
+	}
+	em := m.FillBytes(make([]byte, k))
+	if em[0] != 0x00 || em[1] != 0x02 {
+		return nil, fmt.Errorf("rsakey: invalid padding header")
+	}
+	sep := -1
+	for i := 2; i < len(em); i++ {
+		if em[i] == 0 {
+			sep = i
+			break
+		}
+	}
+	if sep < 10 { // ≥ 8 padding bytes required
+		return nil, fmt.Errorf("rsakey: invalid padding structure")
+	}
+	return em[sep+1:], nil
+}

@@ -1,0 +1,207 @@
+// Package rsakey implements RSA key generation, encryption and decryption
+// from scratch on the mpz layer — the public-key "security primitive" of
+// the paper's layered software architecture.
+//
+// Decryption supports the three Chinese-Remainder-Theorem implementations
+// the paper's algorithm exploration sweeps (§4.3: "three Chinese Remainder
+// Theorem implementations"): no CRT, Gauss recombination, and Garner's
+// algorithm.  The modular-exponentiation engine itself is configurable
+// (modmul algorithm, window width, caching), so RSA decrypt exposes the
+// full exploration space.
+package rsakey
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/mpz"
+)
+
+// CRTMode selects the Chinese Remainder Theorem implementation used by
+// private-key operations.
+type CRTMode int
+
+// The three CRT implementations of the exploration space.
+const (
+	CRTNone   CRTMode = iota // m = c^d mod n directly
+	CRTGauss                 // recombination m = Σ mᵢ·Nᵢ·(Nᵢ⁻¹ mod nᵢ) mod n
+	CRTGarner                // Garner: m = m₂ + q·(qInv·(m₁-m₂) mod p)
+	numCRTModes
+)
+
+// CRTModes lists all CRT variants for exploration sweeps.
+var CRTModes = []CRTMode{CRTNone, CRTGauss, CRTGarner}
+
+// String returns the CRT mode name.
+func (m CRTMode) String() string {
+	switch m {
+	case CRTNone:
+		return "crt-none"
+	case CRTGauss:
+		return "crt-gauss"
+	case CRTGarner:
+		return "crt-garner"
+	default:
+		return fmt.Sprintf("crt(%d)", int(m))
+	}
+}
+
+// PublicKey is an RSA public key.
+type PublicKey struct {
+	N *mpz.Int // modulus
+	E *mpz.Int // public exponent
+}
+
+// Bits returns the modulus size in bits.
+func (k *PublicKey) Bits() int { return k.N.BitLen() }
+
+// PrivateKey is an RSA private key with precomputed CRT values.
+type PrivateKey struct {
+	PublicKey
+	D    *mpz.Int // private exponent
+	P, Q *mpz.Int // prime factors, P > Q
+	Dp   *mpz.Int // d mod (p-1)
+	Dq   *mpz.Int // d mod (q-1)
+	Qinv *mpz.Int // q⁻¹ mod p
+	Pinv *mpz.Int // p⁻¹ mod q (for Gauss recombination)
+}
+
+// GenerateKey creates an RSA key with an n-bit modulus and e = 65537.
+// The rng drives prime search; fixed seeds give reproducible keys.
+func GenerateKey(rng *rand.Rand, bits int) (*PrivateKey, error) {
+	if bits < 32 || bits%2 != 0 {
+		return nil, fmt.Errorf("rsakey: modulus size %d must be even and ≥ 32", bits)
+	}
+	e := mpz.NewInt(65537)
+	one := mpz.NewInt(1)
+	for attempt := 0; attempt < 100; attempt++ {
+		p, err := mpz.GenPrime(rng, bits/2, 20)
+		if err != nil {
+			return nil, err
+		}
+		q, err := mpz.GenPrime(rng, bits/2, 20)
+		if err != nil {
+			return nil, err
+		}
+		if p.Equal(q) {
+			continue
+		}
+		if p.Cmp(q) < 0 {
+			p, q = q, p
+		}
+		n := mpz.Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		phi := mpz.Mul(mpz.Sub(p, one), mpz.Sub(q, one))
+		d, err := mpz.ModInverse(e, phi)
+		if err != nil {
+			continue // e shares a factor with phi; rare — retry
+		}
+		qinv, err := mpz.ModInverse(q, p)
+		if err != nil {
+			continue
+		}
+		pinv, err := mpz.ModInverse(p, q)
+		if err != nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, E: e},
+			D:         d,
+			P:         p,
+			Q:         q,
+			Dp:        mpz.Mod(d, mpz.Sub(p, one)),
+			Dq:        mpz.Mod(d, mpz.Sub(q, one)),
+			Qinv:      qinv,
+			Pinv:      pinv,
+		}, nil
+	}
+	return nil, fmt.Errorf("rsakey: key generation failed after 100 attempts")
+}
+
+// DefaultExpConfig is the exponentiation configuration the exploration
+// phase selected for the optimized platform library.
+var DefaultExpConfig = mpz.ExpConfig{
+	Alg:        mpz.ModMulMontgomery,
+	WindowBits: 4,
+	Cache:      mpz.CacheReducer,
+}
+
+// Encrypt computes m^e mod n on a raw message representative (0 ≤ m < n).
+func Encrypt(ctx *mpz.Ctx, pub *PublicKey, m *mpz.Int) (*mpz.Int, error) {
+	return EncryptCfg(ctx, pub, m, DefaultExpConfig)
+}
+
+// EncryptCfg is Encrypt with an explicit exponentiation configuration.
+func EncryptCfg(ctx *mpz.Ctx, pub *PublicKey, m *mpz.Int, cfg mpz.ExpConfig) (*mpz.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pub.N) >= 0 {
+		return nil, fmt.Errorf("rsakey: message representative out of range")
+	}
+	e, err := ctx.NewExp(cfg, pub.N)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exp(m, pub.E)
+}
+
+// Decrypt computes c^d mod n using the default configuration and Garner
+// CRT.
+func Decrypt(ctx *mpz.Ctx, priv *PrivateKey, c *mpz.Int) (*mpz.Int, error) {
+	return DecryptCfg(ctx, priv, c, DefaultExpConfig, CRTGarner)
+}
+
+// DecryptCfg decrypts with an explicit exponentiation configuration and
+// CRT implementation.
+func DecryptCfg(ctx *mpz.Ctx, priv *PrivateKey, c *mpz.Int, cfg mpz.ExpConfig, crt CRTMode) (*mpz.Int, error) {
+	if c.Sign() < 0 || c.Cmp(priv.N) >= 0 {
+		return nil, fmt.Errorf("rsakey: ciphertext representative out of range")
+	}
+	switch crt {
+	case CRTNone:
+		e, err := ctx.NewExp(cfg, priv.N)
+		if err != nil {
+			return nil, err
+		}
+		return e.Exp(c, priv.D)
+	case CRTGauss, CRTGarner:
+		ep, err := ctx.NewExp(cfg, priv.P)
+		if err != nil {
+			return nil, err
+		}
+		eq, err := ctx.NewExp(cfg, priv.Q)
+		if err != nil {
+			return nil, err
+		}
+		m1, err := ep.Exp(ctx.Mod(c, priv.P), priv.Dp)
+		if err != nil {
+			return nil, err
+		}
+		m2, err := eq.Exp(ctx.Mod(c, priv.Q), priv.Dq)
+		if err != nil {
+			return nil, err
+		}
+		if crt == CRTGauss {
+			// m = (m1·q·qInv + m2·p·pInv) mod n
+			t1 := ctx.Mul(ctx.Mul(m1, priv.Q), priv.Qinv)
+			t2 := ctx.Mul(ctx.Mul(m2, priv.P), priv.Pinv)
+			return ctx.Mod(ctx.Add(t1, t2), priv.N), nil
+		}
+		// Garner: h = qInv·(m1 - m2) mod p; m = m2 + h·q.
+		h := ctx.Mod(ctx.Mul(priv.Qinv, ctx.Sub(m1, m2)), priv.P)
+		return ctx.Add(m2, ctx.Mul(h, priv.Q)), nil
+	default:
+		return nil, fmt.Errorf("rsakey: unknown CRT mode %d", crt)
+	}
+}
+
+// Sign produces a raw signature representative s = m^d mod n (same math as
+// Decrypt; the caller hashes/pads).
+func Sign(ctx *mpz.Ctx, priv *PrivateKey, m *mpz.Int) (*mpz.Int, error) {
+	return Decrypt(ctx, priv, m)
+}
+
+// Verify recovers s^e mod n for signature verification.
+func Verify(ctx *mpz.Ctx, pub *PublicKey, s *mpz.Int) (*mpz.Int, error) {
+	return Encrypt(ctx, pub, s)
+}

@@ -1,0 +1,218 @@
+package rsakey
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/mpz"
+)
+
+// testKey generates a deterministic 512-bit key once for the package tests
+// (512 bits keeps key generation fast while exercising every code path).
+var testKey = mustKey(512, 1)
+
+func mustKey(bits int, seed int64) *PrivateKey {
+	k, err := GenerateKey(rand.New(rand.NewSource(seed)), bits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func toBig(z *mpz.Int) *big.Int { return new(big.Int).SetBytes(z.Bytes()) }
+
+func TestKeyStructure(t *testing.T) {
+	k := testKey
+	if k.N.BitLen() != 512 {
+		t.Errorf("modulus bits = %d, want 512", k.N.BitLen())
+	}
+	if !mpz.Mul(k.P, k.Q).Equal(k.N) {
+		t.Error("N != P*Q")
+	}
+	if k.P.Cmp(k.Q) <= 0 {
+		t.Error("P <= Q")
+	}
+	// e·d ≡ 1 mod φ(n)
+	one := mpz.NewInt(1)
+	phi := mpz.Mul(mpz.Sub(k.P, one), mpz.Sub(k.Q, one))
+	if !mpz.Mod(mpz.Mul(k.E, k.D), phi).IsOne() {
+		t.Error("e·d mod φ(n) != 1")
+	}
+	if !mpz.Mod(mpz.Mul(k.Qinv, k.Q), k.P).IsOne() {
+		t.Error("Qinv wrong")
+	}
+	if !mpz.Mod(mpz.Mul(k.Pinv, k.P), k.Q).IsOne() {
+		t.Error("Pinv wrong")
+	}
+	if !k.Dp.Equal(mpz.Mod(k.D, mpz.Sub(k.P, one))) {
+		t.Error("Dp wrong")
+	}
+	// math/big agrees the factors are prime.
+	if !toBig(k.P).ProbablyPrime(30) || !toBig(k.Q).ProbablyPrime(30) {
+		t.Error("factors not prime")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		m := mpz.RandBelow(r, testKey.N)
+		c, err := Encrypt(ctx, &testKey.PublicKey, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decrypt(ctx, testKey, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip failed: got %v, want %v", got, m)
+		}
+	}
+}
+
+func TestEncryptMatchesBigExp(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(3))
+	m := mpz.RandBelow(r, testKey.N)
+	c, err := Encrypt(ctx, &testKey.PublicKey, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Exp(toBig(m), toBig(testKey.E), toBig(testKey.N))
+	if toBig(c).Cmp(want) != 0 {
+		t.Error("Encrypt differs from math/big Exp")
+	}
+}
+
+func TestAllCRTModesAgree(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(4))
+	m := mpz.RandBelow(r, testKey.N)
+	c, err := Encrypt(ctx, &testKey.PublicKey, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, crt := range CRTModes {
+		got, err := DecryptCfg(ctx, testKey, c, DefaultExpConfig, crt)
+		if err != nil {
+			t.Fatalf("%v: %v", crt, err)
+		}
+		if !got.Equal(m) {
+			t.Errorf("%v: wrong plaintext", crt)
+		}
+	}
+}
+
+func TestDecryptAcrossExpConfigs(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(5))
+	m := mpz.RandBelow(r, testKey.N)
+	c, _ := Encrypt(ctx, &testKey.PublicKey, m)
+	for _, alg := range mpz.ModMulAlgs {
+		if alg == mpz.ModMulBlakley {
+			continue // correct but too slow for per-commit tests; covered in mpz
+		}
+		cfg := mpz.ExpConfig{Alg: alg, WindowBits: 3, Cache: mpz.CacheReducer}
+		got, err := DecryptCfg(ctx, testKey, c, cfg, CRTGarner)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !got.Equal(m) {
+			t.Errorf("%v: wrong plaintext", alg)
+		}
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(6))
+	m := mpz.RandBelow(r, testKey.N)
+	s, err := Sign(ctx, testKey, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Verify(ctx, &testKey.PublicKey, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Error("Verify(Sign(m)) != m")
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	if _, err := Encrypt(ctx, &testKey.PublicKey, testKey.N); err == nil {
+		t.Error("m = N accepted")
+	}
+	if _, err := Encrypt(ctx, &testKey.PublicKey, mpz.NewInt(-1)); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := Decrypt(ctx, testKey, testKey.N); err == nil {
+		t.Error("c = N accepted")
+	}
+	if _, err := DecryptCfg(ctx, testKey, mpz.NewInt(5), DefaultExpConfig, CRTMode(9)); err == nil {
+		t.Error("bad CRT mode accepted")
+	}
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	if _, err := GenerateKey(r, 30); err == nil {
+		t.Error("30-bit key accepted")
+	}
+	if _, err := GenerateKey(r, 33); err == nil {
+		t.Error("odd key size accepted")
+	}
+}
+
+func TestPKCS1RoundTrip(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(8))
+	for _, msgLen := range []int{0, 1, 16, 48, 53} { // 64-byte modulus: max 53
+		msg := make([]byte, msgLen)
+		r.Read(msg)
+		ct, err := PadEncrypt(ctx, r, &testKey.PublicKey, msg)
+		if err != nil {
+			t.Fatalf("PadEncrypt(%d): %v", msgLen, err)
+		}
+		if len(ct) != 64 {
+			t.Errorf("ciphertext length %d, want 64", len(ct))
+		}
+		got, err := PadDecrypt(ctx, testKey, ct)
+		if err != nil {
+			t.Fatalf("PadDecrypt(%d): %v", msgLen, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("PKCS1 round trip failed at len %d", msgLen)
+		}
+	}
+}
+
+func TestPKCS1Errors(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	r := rand.New(rand.NewSource(9))
+	if _, err := PadEncrypt(ctx, r, &testKey.PublicKey, make([]byte, 54)); err == nil {
+		t.Error("oversized message accepted")
+	}
+	if _, err := PadDecrypt(ctx, testKey, make([]byte, 10)); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+	// A random ciphertext should fail the padding check (overwhelmingly).
+	junk := make([]byte, 64)
+	r.Read(junk)
+	junk[0] = 0 // keep below modulus
+	if _, err := PadDecrypt(ctx, testKey, junk); err == nil {
+		t.Error("junk ciphertext unpadded successfully")
+	}
+}
+
+func TestCRTMModeStrings(t *testing.T) {
+	if CRTNone.String() != "crt-none" || CRTGauss.String() != "crt-gauss" || CRTGarner.String() != "crt-garner" {
+		t.Error("CRT mode names wrong")
+	}
+}

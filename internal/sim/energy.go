@@ -1,0 +1,54 @@
+package sim
+
+import "wisp/internal/isa"
+
+// Energy model.  The paper notes that the platform improves energy
+// efficiency along with performance but defers the discussion for space
+// (§1); this file implements that deferred dimension.  Energy is estimated
+// from the dynamic instruction mix: each executed instruction costs a
+// per-class activation energy, custom instructions cost energy per
+// occupied pipeline cycle (their datapaths are wide), and a leakage/clock
+// term accrues per elapsed cycle.  The absolute picojoule constants are
+// 0.18 µm-flavoured; as with the area model, only relative comparisons
+// matter.
+type EnergyModel struct {
+	PerClassPJ     [8]float64 // activation energy per instruction, by isa.Class
+	CustomPJCycle  float64    // additional energy per custom-instruction cycle
+	LeakagePJCycle float64    // clock tree + leakage per elapsed cycle
+}
+
+// DefaultEnergyModel returns 0.18 µm-flavoured constants.
+func DefaultEnergyModel() EnergyModel {
+	var m EnergyModel
+	m.PerClassPJ[isa.ClassALU] = 30
+	m.PerClassPJ[isa.ClassMul] = 65
+	m.PerClassPJ[isa.ClassLoad] = 85
+	m.PerClassPJ[isa.ClassStore] = 70
+	m.PerClassPJ[isa.ClassBranch] = 35
+	m.PerClassPJ[isa.ClassJump] = 35
+	m.PerClassPJ[isa.ClassCustom] = 0 // charged per cycle below
+	m.PerClassPJ[isa.ClassSystem] = 10
+	m.CustomPJCycle = 90
+	m.LeakagePJCycle = 5
+	return m
+}
+
+// Estimate returns the energy in picojoules consumed by the execution
+// recorded on cpu since its last Reset.
+func (m EnergyModel) Estimate(cpu *CPU) float64 {
+	var e float64
+	counts := cpu.ClassCounts()
+	for cls, n := range counts {
+		e += float64(n) * m.PerClassPJ[cls]
+	}
+	cycles := cpu.ClassCycles()
+	e += float64(cycles[isa.ClassCustom]) * m.CustomPJCycle
+	e += float64(cpu.Cycles()) * m.LeakagePJCycle
+	return e
+}
+
+// ClassCounts returns the dynamic instruction count per cost class.
+func (c *CPU) ClassCounts() [8]uint64 { return c.classCounts }
+
+// ClassCycles returns the cycles consumed per cost class.
+func (c *CPU) ClassCycles() [8]uint64 { return c.classCycles }

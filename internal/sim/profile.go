@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wisp/internal/asm"
+)
+
+// Profile attributes execution cycles to .func-marked functions and records
+// the dynamic call graph (caller → callee invocation counts).  This is the
+// trace source the paper's custom-instruction formulation phase profiles
+// ("the routine under consideration is profiled using traces derived from
+// simulation of the entire algorithm", §3.3) and the data behind the
+// Figure 4 call graph.
+type Profile struct {
+	names   []string         // function index → name
+	byStart []funcSpan       // sorted by start for pc lookup
+	flat    []FuncStats      // per-function flat (self) cycles
+	edges   map[[2]int]uint64
+	stack   []frame
+}
+
+type funcSpan struct {
+	start, end uint32
+	idx        int
+}
+
+type frame struct {
+	fn  int
+	ret uint32
+}
+
+// FuncStats is the flat execution profile of one function.
+type FuncStats struct {
+	Name   string
+	Cycles uint64 // cycles in the function body itself (exclusive)
+	Instrs uint64
+	Calls  uint64 // times this function was entered
+}
+
+// CallEdge is one caller→callee edge of the dynamic call graph.
+type CallEdge struct {
+	Caller, Callee string
+	Count          uint64
+}
+
+const noFunc = -1
+
+func newProfile(prog *asm.Program) *Profile {
+	bounds := prog.FuncBounds()
+	p := &Profile{edges: make(map[[2]int]uint64)}
+	names := make([]string, 0, len(bounds))
+	for name := range bounds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		b := bounds[name]
+		p.names = append(p.names, name)
+		p.byStart = append(p.byStart, funcSpan{start: b[0], end: b[1], idx: i})
+		p.flat = append(p.flat, FuncStats{Name: name})
+	}
+	sort.Slice(p.byStart, func(i, j int) bool { return p.byStart[i].start < p.byStart[j].start })
+	return p
+}
+
+// funcIndexAt maps an instruction index to its containing function, or
+// noFunc when the pc lies outside every .func span.
+func (p *Profile) funcIndexAt(pc uint32) int {
+	lo, hi := 0, len(p.byStart)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		s := p.byStart[mid]
+		switch {
+		case pc < s.start:
+			hi = mid - 1
+		case pc >= s.end:
+			lo = mid + 1
+		default:
+			return s.idx
+		}
+	}
+	return noFunc
+}
+
+// account charges cost cycles (and one instruction) to the function
+// containing pc.
+func (p *Profile) account(pc uint32, cost uint64) {
+	if fi := p.funcIndexAt(pc); fi != noFunc {
+		p.flat[fi].Cycles += cost
+		p.flat[fi].Instrs++
+	}
+}
+
+// enterCall records a call into callee with the given return address.
+func (p *Profile) enterCall(callee int, ret uint32) {
+	caller := noFunc
+	if len(p.stack) > 0 {
+		caller = p.stack[len(p.stack)-1].fn
+	}
+	if callee != noFunc {
+		p.flat[callee].Calls++
+		p.edges[[2]int{caller, callee}]++
+	}
+	p.stack = append(p.stack, frame{fn: callee, ret: ret})
+}
+
+// leaveCall pops the shadow stack when a JR target matches an outstanding
+// return address (tail-call and computed-goto patterns fall through
+// harmlessly).
+func (p *Profile) leaveCall(target uint32) {
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		if p.stack[i].ret == target {
+			p.stack = p.stack[:i]
+			return
+		}
+	}
+}
+
+// Stats returns flat per-function statistics, hottest first.
+func (p *Profile) Stats() []FuncStats {
+	out := make([]FuncStats, len(p.flat))
+	copy(out, p.flat)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FuncCycles returns the flat cycles attributed to the named function.
+func (p *Profile) FuncCycles(name string) uint64 {
+	for _, f := range p.flat {
+		if f.Name == name {
+			return f.Cycles
+		}
+	}
+	return 0
+}
+
+// FuncCalls returns the number of times the named function was entered.
+func (p *Profile) FuncCalls(name string) uint64 {
+	for _, f := range p.flat {
+		if f.Name == name {
+			return f.Calls
+		}
+	}
+	return 0
+}
+
+// Edges returns the dynamic call graph, ordered by descending count.  Calls
+// from code outside any .func span (e.g. the host Call shim) have caller
+// name "<host>".
+func (p *Profile) Edges() []CallEdge {
+	out := make([]CallEdge, 0, len(p.edges))
+	for k, n := range p.edges {
+		e := CallEdge{Caller: "<host>", Callee: "<none>", Count: n}
+		if k[0] != noFunc {
+			e.Caller = p.names[k[0]]
+		}
+		if k[1] != noFunc {
+			e.Callee = p.names[k[1]]
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Callee < out[j].Callee
+	})
+	return out
+}
+
+// Dump renders a human-readable profile report.
+func (p *Profile) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s %8s\n", "function", "cycles", "instrs", "calls")
+	for _, f := range p.Stats() {
+		if f.Cycles == 0 && f.Calls == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %12d %12d %8d\n", f.Name, f.Cycles, f.Instrs, f.Calls)
+	}
+	if edges := p.Edges(); len(edges) > 0 {
+		b.WriteString("\ncall graph edges:\n")
+		for _, e := range edges {
+			fmt.Fprintf(&b, "  %-22s -> %-22s %8d\n", e.Caller, e.Callee, e.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,533 @@
+// Package sim implements the cycle-accurate xt32 instruction-set simulator
+// (ISS) of the WISP platform — the analogue of the Xtensa ISS used in the
+// DAC 2002 paper for performance characterization of library routines.
+//
+// The simulator executes programs produced by internal/asm on a single-issue
+// in-order core with a parameterized cost model (ALU, multiply, load/store
+// latencies, taken-branch penalties, optional direct-mapped data cache) and
+// dispatches reserved CUST opcodes into an attached tie.ExtensionSet.  A
+// per-function profiler attributes cycles and captures the dynamic call
+// graph, which feeds the call-graph–driven custom-instruction selection
+// flow (Figures 4–6 of the paper).
+package sim
+
+import (
+	"fmt"
+
+	"wisp/internal/asm"
+	"wisp/internal/isa"
+	"wisp/internal/tie"
+)
+
+// Config is the core's microarchitectural cost model.  The defaults mirror
+// a modest embedded core in 0.18 µm (the paper's Xtensa T1040 at 188 MHz).
+type Config struct {
+	ClockMHz           float64 // core clock, for time conversions only
+	MulLatency         int     // cycles for MULL/MULH
+	LoadLatency        int     // cycles for a load hitting the cache
+	StoreLatency       int     // cycles for a store
+	BranchTakenPenalty int     // extra cycles when a branch is taken
+	JumpPenalty        int     // extra cycles for J/JAL/JALR/JR
+	MemBytes           int     // data RAM size
+	DCache             *CacheConfig
+}
+
+// CacheConfig describes an optional direct-mapped data cache.
+type CacheConfig struct {
+	Lines       int // number of lines (power of two)
+	LineBytes   int // bytes per line (power of two)
+	MissPenalty int // extra cycles on a miss
+}
+
+// DefaultConfig returns the baseline T1040-flavoured core model.
+func DefaultConfig() Config {
+	return Config{
+		ClockMHz:           188,
+		MulLatency:         2,
+		LoadLatency:        2,
+		StoreLatency:       1,
+		BranchTakenPenalty: 2,
+		JumpPenalty:        2,
+		MemBytes:           1 << 20,
+	}
+}
+
+// HostReturn is the sentinel return address installed by Call: when the
+// simulated routine returns to it, control transfers back to the host.
+const HostReturn uint32 = 0xFFFF_FFFF
+
+// CPU is one simulated xt32 core with its memory and optional extensions.
+type CPU struct {
+	cfg  Config
+	prog *asm.Program
+	ext  *tie.ExtensionSet
+
+	regs [isa.NumRegs]uint32
+	pc   uint32
+	urs  [][]uint32
+
+	mem    []byte
+	dcache *dcache
+
+	cycles uint64
+	instrs uint64
+	halted bool
+
+	classCounts [8]uint64 // dynamic instructions per isa.Class
+	classCycles [8]uint64 // cycles per isa.Class
+
+	prof *Profile
+
+	// Trace, when non-nil, is invoked before each instruction executes.
+	Trace func(pc uint32, in isa.Instruction)
+}
+
+// New creates a core, loads prog's data image, and initializes the stack
+// pointer to the top of RAM.
+func New(prog *asm.Program, cfg Config, ext *tie.ExtensionSet) (*CPU, error) {
+	if cfg.MemBytes < asm.DataBase+len(prog.Data) {
+		return nil, fmt.Errorf("sim: data image (%d bytes at %#x) exceeds RAM size %d",
+			len(prog.Data), asm.DataBase, cfg.MemBytes)
+	}
+	c := &CPU{cfg: cfg, prog: prog, ext: ext, mem: make([]byte, cfg.MemBytes)}
+	copy(c.mem[asm.DataBase:], prog.Data)
+	c.regs[isa.SP] = uint32(cfg.MemBytes - 16)
+	if ext != nil {
+		c.urs = make([][]uint32, ext.UR.Count)
+		for i := range c.urs {
+			c.urs[i] = make([]uint32, ext.UR.Words)
+		}
+	}
+	if cc := cfg.DCache; cc != nil {
+		d, err := newDCache(*cc)
+		if err != nil {
+			return nil, err
+		}
+		c.dcache = d
+	}
+	c.prof = newProfile(prog)
+	return c, nil
+}
+
+// Reset restores registers, cycle counters, profile and cache state (but not
+// memory contents, so a caller can reuse a loaded data image).
+func (c *CPU) Reset() {
+	c.regs = [isa.NumRegs]uint32{}
+	c.regs[isa.SP] = uint32(c.cfg.MemBytes - 16)
+	c.pc = 0
+	c.cycles = 0
+	c.instrs = 0
+	c.halted = false
+	for i := range c.urs {
+		for j := range c.urs[i] {
+			c.urs[i][j] = 0
+		}
+	}
+	if c.dcache != nil {
+		c.dcache.reset()
+	}
+	c.classCounts = [8]uint64{}
+	c.classCycles = [8]uint64{}
+	c.prof = newProfile(c.prog)
+}
+
+// Cycles returns the cycles consumed so far.
+func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// Instrs returns the dynamic instruction count so far.
+func (c *CPU) Instrs() uint64 { return c.instrs }
+
+// Halted reports whether the program executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Profile returns the profiler attached to this core.
+func (c *CPU) Profile() *Profile { return c.prof }
+
+// Seconds converts a cycle count to wall-clock seconds at the configured
+// core frequency.
+func (c *CPU) Seconds(cycles uint64) float64 {
+	return float64(cycles) / (c.cfg.ClockMHz * 1e6)
+}
+
+// Reg returns the value of r.
+func (c *CPU) Reg(r isa.Reg) uint32 { return c.regs[r] }
+
+// SetReg sets r to v.
+func (c *CPU) SetReg(r isa.Reg, v uint32) { c.regs[r] = v }
+
+// UR exposes a user register (tie.Ctx).
+func (c *CPU) UR(i int) []uint32 { return c.urs[i] }
+
+// checkAddr validates an n-byte access at addr.
+func (c *CPU) checkAddr(addr uint32, n int) error {
+	if int(addr) < 0 || int(addr)+n > len(c.mem) {
+		return fmt.Errorf("sim: memory access at %#x (+%d) outside RAM (%d bytes)", addr, n, len(c.mem))
+	}
+	return nil
+}
+
+// Load32 reads a 32-bit little-endian word (tie.Ctx).  Alignment is
+// enforced, matching the core's native load unit.
+func (c *CPU) Load32(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("sim: unaligned 32-bit load at %#x", addr)
+	}
+	if err := c.checkAddr(addr, 4); err != nil {
+		return 0, err
+	}
+	m := c.mem[addr:]
+	return uint32(m[0]) | uint32(m[1])<<8 | uint32(m[2])<<16 | uint32(m[3])<<24, nil
+}
+
+// Store32 writes a 32-bit little-endian word (tie.Ctx).
+func (c *CPU) Store32(addr uint32, v uint32) error {
+	if addr%4 != 0 {
+		return fmt.Errorf("sim: unaligned 32-bit store at %#x", addr)
+	}
+	if err := c.checkAddr(addr, 4); err != nil {
+		return err
+	}
+	m := c.mem[addr:]
+	m[0], m[1], m[2], m[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// WriteBytes copies host data into simulated RAM.
+func (c *CPU) WriteBytes(addr uint32, b []byte) error {
+	if err := c.checkAddr(addr, len(b)); err != nil {
+		return err
+	}
+	copy(c.mem[addr:], b)
+	return nil
+}
+
+// ReadBytes copies simulated RAM into a fresh host buffer.
+func (c *CPU) ReadBytes(addr uint32, n int) ([]byte, error) {
+	if err := c.checkAddr(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, c.mem[addr:])
+	return out, nil
+}
+
+// WriteWords stores 32-bit limbs at addr.
+func (c *CPU) WriteWords(addr uint32, ws []uint32) error {
+	for i, w := range ws {
+		if err := c.Store32(addr+uint32(4*i), w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWords loads n 32-bit limbs from addr.
+func (c *CPU) ReadWords(addr uint32, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := range out {
+		w, err := c.Load32(addr + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// Run executes from the current PC until HALT, a host return, or maxInstrs
+// dynamic instructions (0 = no limit).
+func (c *CPU) Run(maxInstrs uint64) error {
+	for !c.halted && c.pc != HostReturn {
+		if maxInstrs > 0 && c.instrs >= maxInstrs {
+			return fmt.Errorf("sim: instruction budget %d exhausted at pc=%d", maxInstrs, c.pc)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Call invokes a .func-marked routine with up to six word arguments in
+// a2..a7 and runs it to completion, returning a2 and the cycles consumed by
+// the call.  It uses the CALL0 convention with a sentinel return address.
+func (c *CPU) Call(name string, args ...uint32) (ret uint32, cycles uint64, err error) {
+	entry, err := c.prog.Entry(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(args) > 6 {
+		return 0, 0, fmt.Errorf("sim: Call supports at most 6 register arguments, got %d", len(args))
+	}
+	for i, a := range args {
+		c.regs[isa.A2+isa.Reg(i)] = a
+	}
+	c.regs[isa.RA] = HostReturn
+	c.regs[isa.SP] = uint32(c.cfg.MemBytes - 16)
+	c.pc = entry
+	c.halted = false
+	c.prof.enterCall(c.prof.funcIndexAt(entry), HostReturn)
+	start := c.cycles
+	if err := c.Run(0); err != nil {
+		return 0, 0, err
+	}
+	return c.regs[isa.A2], c.cycles - start, nil
+}
+
+// memCycles returns the cycle cost of an access at addr given the base
+// latency, adding the cache miss penalty when a D-cache is configured.
+func (c *CPU) memCycles(addr uint32, base int) uint64 {
+	cost := uint64(base)
+	if c.dcache != nil && c.dcache.access(addr) {
+		cost += uint64(c.dcache.cfg.MissPenalty)
+	}
+	return cost
+}
+
+// Step executes a single instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("sim: step after halt")
+	}
+	if int(c.pc) >= len(c.prog.Text) {
+		return fmt.Errorf("sim: pc %d outside text (%d instructions)", c.pc, len(c.prog.Text))
+	}
+	in := c.prog.Text[c.pc]
+	if c.Trace != nil {
+		c.Trace(c.pc, in)
+	}
+	nextPC := c.pc + 1
+	cost := uint64(1)
+
+	switch in.Op {
+	case isa.OpADD:
+		c.regs[in.Rd] = c.regs[in.Rs] + c.regs[in.Rt]
+	case isa.OpSUB:
+		c.regs[in.Rd] = c.regs[in.Rs] - c.regs[in.Rt]
+	case isa.OpAND:
+		c.regs[in.Rd] = c.regs[in.Rs] & c.regs[in.Rt]
+	case isa.OpOR:
+		c.regs[in.Rd] = c.regs[in.Rs] | c.regs[in.Rt]
+	case isa.OpXOR:
+		c.regs[in.Rd] = c.regs[in.Rs] ^ c.regs[in.Rt]
+	case isa.OpSLL:
+		c.regs[in.Rd] = c.regs[in.Rs] << (c.regs[in.Rt] & 31)
+	case isa.OpSRL:
+		c.regs[in.Rd] = c.regs[in.Rs] >> (c.regs[in.Rt] & 31)
+	case isa.OpSRA:
+		c.regs[in.Rd] = uint32(int32(c.regs[in.Rs]) >> (c.regs[in.Rt] & 31))
+	case isa.OpMULL:
+		c.regs[in.Rd] = c.regs[in.Rs] * c.regs[in.Rt]
+		cost = uint64(c.cfg.MulLatency)
+	case isa.OpMULH:
+		c.regs[in.Rd] = uint32(uint64(c.regs[in.Rs]) * uint64(c.regs[in.Rt]) >> 32)
+		cost = uint64(c.cfg.MulLatency)
+
+	case isa.OpADDI:
+		c.regs[in.Rd] = c.regs[in.Rs] + uint32(in.Imm)
+	case isa.OpANDI:
+		c.regs[in.Rd] = c.regs[in.Rs] & uint32(in.Imm)
+	case isa.OpORI:
+		c.regs[in.Rd] = c.regs[in.Rs] | uint32(in.Imm)
+	case isa.OpXORI:
+		c.regs[in.Rd] = c.regs[in.Rs] ^ uint32(in.Imm)
+	case isa.OpSLLI:
+		c.regs[in.Rd] = c.regs[in.Rs] << uint32(in.Imm)
+	case isa.OpSRLI:
+		c.regs[in.Rd] = c.regs[in.Rs] >> uint32(in.Imm)
+	case isa.OpSRAI:
+		c.regs[in.Rd] = uint32(int32(c.regs[in.Rs]) >> uint32(in.Imm))
+	case isa.OpMOVI:
+		c.regs[in.Rd] = uint32(in.Imm)
+	case isa.OpLUI:
+		c.regs[in.Rd] = uint32(in.Imm) << 16
+	case isa.OpEXTUI:
+		sh, w := isa.ExtuiFields(in.Imm)
+		var mask uint32 = 0xFFFFFFFF
+		if w < 32 {
+			mask = 1<<uint(w) - 1
+		}
+		c.regs[in.Rd] = c.regs[in.Rs] >> uint(sh) & mask
+
+	case isa.OpL32I:
+		addr := c.regs[in.Rs] + uint32(in.Imm)
+		v, err := c.Load32(addr)
+		if err != nil {
+			return err
+		}
+		c.regs[in.Rd] = v
+		cost = c.memCycles(addr, c.cfg.LoadLatency)
+	case isa.OpL16UI:
+		addr := c.regs[in.Rs] + uint32(in.Imm)
+		if addr%2 != 0 {
+			return fmt.Errorf("sim: unaligned 16-bit load at %#x", addr)
+		}
+		if err := c.checkAddr(addr, 2); err != nil {
+			return err
+		}
+		c.regs[in.Rd] = uint32(c.mem[addr]) | uint32(c.mem[addr+1])<<8
+		cost = c.memCycles(addr, c.cfg.LoadLatency)
+	case isa.OpL8UI:
+		addr := c.regs[in.Rs] + uint32(in.Imm)
+		if err := c.checkAddr(addr, 1); err != nil {
+			return err
+		}
+		c.regs[in.Rd] = uint32(c.mem[addr])
+		cost = c.memCycles(addr, c.cfg.LoadLatency)
+	case isa.OpS32I:
+		addr := c.regs[in.Rs] + uint32(in.Imm)
+		if err := c.Store32(addr, c.regs[in.Rd]); err != nil {
+			return err
+		}
+		cost = c.memCycles(addr, c.cfg.StoreLatency)
+	case isa.OpS16I:
+		addr := c.regs[in.Rs] + uint32(in.Imm)
+		if addr%2 != 0 {
+			return fmt.Errorf("sim: unaligned 16-bit store at %#x", addr)
+		}
+		if err := c.checkAddr(addr, 2); err != nil {
+			return err
+		}
+		v := c.regs[in.Rd]
+		c.mem[addr], c.mem[addr+1] = byte(v), byte(v>>8)
+		cost = c.memCycles(addr, c.cfg.StoreLatency)
+	case isa.OpS8I:
+		addr := c.regs[in.Rs] + uint32(in.Imm)
+		if err := c.checkAddr(addr, 1); err != nil {
+			return err
+		}
+		c.mem[addr] = byte(c.regs[in.Rd])
+		cost = c.memCycles(addr, c.cfg.StoreLatency)
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU, isa.OpBEQZ, isa.OpBNEZ:
+		if c.branchTaken(in) {
+			nextPC = c.pc + 1 + uint32(in.Imm)
+			cost += uint64(c.cfg.BranchTakenPenalty)
+		}
+
+	case isa.OpJ:
+		nextPC = c.pc + 1 + uint32(in.Imm)
+		cost += uint64(c.cfg.JumpPenalty)
+	case isa.OpJAL:
+		c.regs[isa.RA] = c.pc + 1
+		nextPC = c.pc + 1 + uint32(in.Imm)
+		cost += uint64(c.cfg.JumpPenalty)
+		c.prof.enterCall(c.prof.funcIndexAt(nextPC), c.pc+1)
+	case isa.OpJALR:
+		target := c.regs[in.Rs]
+		c.regs[isa.RA] = c.pc + 1
+		nextPC = target
+		cost += uint64(c.cfg.JumpPenalty)
+		c.prof.enterCall(c.prof.funcIndexAt(target), c.pc+1)
+	case isa.OpJR:
+		nextPC = c.regs[in.Rs]
+		cost += uint64(c.cfg.JumpPenalty)
+		c.prof.leaveCall(nextPC)
+
+	case isa.OpNOP:
+		// 1 cycle.
+	case isa.OpHALT:
+		c.halted = true
+	case isa.OpCUST:
+		if c.ext == nil {
+			return fmt.Errorf("sim: CUST instruction at pc=%d but no extension set attached", c.pc)
+		}
+		ti, ok := c.ext.Lookup(in.CustID())
+		if !ok {
+			return fmt.Errorf("sim: undefined custom instruction id %d at pc=%d", in.CustID(), c.pc)
+		}
+		res, wr, err := ti.Sem(c, c.regs[in.Rd], c.regs[in.Rs], c.regs[in.Rt], in.CustSub())
+		if err != nil {
+			return fmt.Errorf("sim: custom instruction %s at pc=%d: %w", ti.Name, c.pc, err)
+		}
+		if wr {
+			c.regs[in.Rd] = res
+		}
+		cost = uint64(ti.Latency)
+
+	default:
+		return fmt.Errorf("sim: unimplemented opcode %v at pc=%d", in.Op, c.pc)
+	}
+
+	cls := in.Op.Class()
+	c.classCounts[cls]++
+	c.classCycles[cls] += cost
+	c.cycles += cost
+	c.instrs++
+	c.prof.account(c.pc, cost)
+	c.pc = nextPC
+	return nil
+}
+
+func (c *CPU) branchTaken(in isa.Instruction) bool {
+	a, b := c.regs[in.Rd], c.regs[in.Rs]
+	switch in.Op {
+	case isa.OpBEQ:
+		return a == b
+	case isa.OpBNE:
+		return a != b
+	case isa.OpBLT:
+		return int32(a) < int32(b)
+	case isa.OpBGE:
+		return int32(a) >= int32(b)
+	case isa.OpBLTU:
+		return a < b
+	case isa.OpBGEU:
+		return a >= b
+	case isa.OpBEQZ:
+		return a == 0
+	case isa.OpBNEZ:
+		return a != 0
+	}
+	return false
+}
+
+// dcache is a direct-mapped data cache model; only timing is modeled (the
+// backing store is always RAM).
+type dcache struct {
+	cfg   CacheConfig
+	tags  []uint32
+	valid []bool
+	hits, misses uint64
+}
+
+func newDCache(cfg CacheConfig) (*dcache, error) {
+	if cfg.Lines <= 0 || cfg.Lines&(cfg.Lines-1) != 0 {
+		return nil, fmt.Errorf("sim: cache lines %d must be a power of two", cfg.Lines)
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("sim: cache line size %d must be a power of two", cfg.LineBytes)
+	}
+	return &dcache{cfg: cfg, tags: make([]uint32, cfg.Lines), valid: make([]bool, cfg.Lines)}, nil
+}
+
+func (d *dcache) reset() {
+	for i := range d.valid {
+		d.valid[i] = false
+	}
+	d.hits, d.misses = 0, 0
+}
+
+// access touches addr and reports whether it missed.
+func (d *dcache) access(addr uint32) bool {
+	line := addr / uint32(d.cfg.LineBytes)
+	idx := line % uint32(d.cfg.Lines)
+	tag := line / uint32(d.cfg.Lines)
+	if d.valid[idx] && d.tags[idx] == tag {
+		d.hits++
+		return false
+	}
+	d.valid[idx] = true
+	d.tags[idx] = tag
+	d.misses++
+	return true
+}
+
+// CacheStats reports D-cache hits and misses (zero when no cache is
+// configured).
+func (c *CPU) CacheStats() (hits, misses uint64) {
+	if c.dcache == nil {
+		return 0, 0
+	}
+	return c.dcache.hits, c.dcache.misses
+}

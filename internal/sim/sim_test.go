@@ -1,0 +1,441 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wisp/internal/asm"
+	"wisp/internal/isa"
+	"wisp/internal/tie"
+)
+
+func mustProg(t *testing.T, src string, opts asm.Options) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src, opts)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func newCPU(t *testing.T, src string, ext *tie.ExtensionSet) *CPU {
+	t.Helper()
+	var opts asm.Options
+	if ext != nil {
+		opts.CustOps = ext.CustOps()
+	}
+	c, err := New(mustProg(t, src, opts), DefaultConfig(), ext)
+	if err != nil {
+		t.Fatalf("new cpu: %v", err)
+	}
+	return c
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	c := newCPU(t, `
+		.text
+	main:
+		movi a2, 20
+		movi a3, 22
+		add a2, a2, a3    ; 42
+		slli a2, a2, 1    ; 84
+		srai a2, a2, 2    ; 21
+		halt
+	`, nil)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.A2); got != 21 {
+		t.Errorf("a2 = %d, want 21", got)
+	}
+	if !c.Halted() {
+		t.Error("cpu not halted")
+	}
+}
+
+func TestSignedUnsignedOps(t *testing.T) {
+	c := newCPU(t, `
+		.text
+	main:
+		movi a2, -8
+		srai a3, a2, 1     ; -4
+		srli a4, a2, 28    ; 0xF
+		movi a5, -1
+		movi a6, 1
+		bltu a6, a5, uns   ; 1 < 0xFFFFFFFF unsigned: taken
+		movi a7, 111
+		halt
+	uns:
+		blt a5, a6, sgn    ; -1 < 1 signed: taken
+		movi a7, 222
+		halt
+	sgn:
+		movi a7, 42
+		halt
+	`, nil)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := int32(c.Reg(isa.A3)); got != -4 {
+		t.Errorf("srai: a3 = %d, want -4", got)
+	}
+	if got := c.Reg(isa.A4); got != 0xF {
+		t.Errorf("srli: a4 = %#x, want 0xF", got)
+	}
+	if got := c.Reg(isa.A7); got != 42 {
+		t.Errorf("branch path: a7 = %d, want 42", got)
+	}
+}
+
+func TestMulAndExtui(t *testing.T) {
+	c := newCPU(t, `
+		.text
+	main:
+		li a2, 0x10001
+		li a3, 0x10001
+		mull a4, a2, a3    ; low 32 of 0x100020001
+		mulh a5, a2, a3    ; high 32 = 1
+		li a6, 0xABCD1234
+		extui a7, a6, 8, 12  ; bits 19..8 = 0xD12
+		halt
+	`, nil)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.A4); got != 0x00020001 {
+		t.Errorf("mull = %#x, want 0x20001", got)
+	}
+	if got := c.Reg(isa.A5); got != 1 {
+		t.Errorf("mulh = %d, want 1", got)
+	}
+	if got := c.Reg(isa.A7); got != 0xD12 {
+		t.Errorf("extui = %#x, want 0xD12", got)
+	}
+}
+
+func TestMemoryAndData(t *testing.T) {
+	c := newCPU(t, `
+		.data
+	tbl:	.word 10, 20, 30
+	bytes:	.byte 0xAA, 0xBB
+		.text
+	main:
+		la a2, tbl
+		l32i a3, a2, 4     ; 20
+		addi a3, a3, 5
+		s32i a3, a2, 8     ; tbl[2] = 25
+		l32i a4, a2, 8
+		la a5, bytes
+		l8ui a6, a5, 1     ; 0xBB
+		halt
+	`, nil)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.A4); got != 25 {
+		t.Errorf("stored/loaded = %d, want 25", got)
+	}
+	if got := c.Reg(isa.A6); got != 0xBB {
+		t.Errorf("byte load = %#x, want 0xBB", got)
+	}
+}
+
+func TestLoopCycleAccounting(t *testing.T) {
+	// 10-iteration countdown: per iteration one ADDI (1cy) + one taken
+	// BNEZ (1+2cy) except the final not-taken one (1cy).
+	c := newCPU(t, `
+		.text
+	main:
+		movi a2, 10
+	loop:
+		addi a2, a2, -1
+		bnez a2, loop
+		halt
+	`, nil)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// movi(1) + 10*addi(1) + 9*taken bnez(3) + 1*untaken bnez(1) + halt(1)
+	want := uint64(1 + 10 + 9*3 + 1 + 1)
+	if got := c.Cycles(); got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+	if got := c.Instrs(); got != 1+10+10+1 {
+		t.Errorf("instrs = %d, want %d", got, 22)
+	}
+}
+
+func TestCallConvention(t *testing.T) {
+	c := newCPU(t, `
+		.text
+		.func
+	double_add:            ; a2 = 2*a2 + a3
+		add a2, a2, a2
+		add a2, a2, a3
+		ret
+	`, nil)
+	ret, cycles, err := c.Call("double_add", 21, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 50 {
+		t.Errorf("double_add(21,8) = %d, want 50", ret)
+	}
+	if cycles == 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+func TestNestedCallsAndProfile(t *testing.T) {
+	c := newCPU(t, `
+		.text
+		.func
+	outer:
+		addi sp, sp, -8
+		s32i a0, sp, 0
+		movi a4, 3
+	lp:
+		call inner
+		addi a4, a4, -1
+		bnez a4, lp
+		l32i a0, sp, 0
+		addi sp, sp, 8
+		ret
+		.func
+	inner:
+		addi a3, a3, 1
+		ret
+	`, nil)
+	if _, _, err := c.Call("outer"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.A3); got != 3 {
+		t.Errorf("inner executed %d times, want 3", got)
+	}
+	p := c.Profile()
+	if got := p.FuncCalls("inner"); got != 3 {
+		t.Errorf("profile: inner calls = %d, want 3", got)
+	}
+	if got := p.FuncCalls("outer"); got != 1 {
+		t.Errorf("profile: outer calls = %d, want 1", got)
+	}
+	var found bool
+	for _, e := range p.Edges() {
+		if e.Caller == "outer" && e.Callee == "inner" {
+			found = true
+			if e.Count != 3 {
+				t.Errorf("edge outer->inner count = %d, want 3", e.Count)
+			}
+		}
+	}
+	if !found {
+		t.Error("edge outer->inner missing from call graph")
+	}
+	if !strings.Contains(p.Dump(), "inner") {
+		t.Error("Dump() missing function name")
+	}
+	if p.FuncCycles("inner") == 0 || p.FuncCycles("outer") == 0 {
+		t.Error("flat cycles not attributed")
+	}
+}
+
+func TestCustomInstructionDispatch(t *testing.T) {
+	ext := tie.NewExtensionSet("test", tie.URSpec{Count: 2, Words: 4})
+	ext.MustAdd(tie.Instr{
+		Name: "swap16", ID: 7, NumRegs: 2, Latency: 1,
+		Res: tie.Resources{Logic: 64},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			return rsv<<16 | rsv>>16, true, nil
+		},
+	})
+	ext.MustAdd(tie.Instr{
+		Name: "ld_ur", ID: 8, NumRegs: 2, HasSub: true, Latency: 2,
+		Res: tie.Resources{},
+		Sem: func(ctx tie.Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+			ur := ctx.UR(sub)
+			for i := range ur {
+				w, err := ctx.Load32(rsv + uint32(4*i))
+				if err != nil {
+					return 0, false, err
+				}
+				ur[i] = w
+			}
+			return 0, false, nil
+		},
+	})
+	c := newCPU(t, `
+		.data
+	v:	.word 1, 2, 3, 4
+		.text
+	main:
+		li a3, 0x12345678
+		swap16 a2, a3
+		la a4, v
+		ld_ur a5, a4, 1
+		halt
+	`, ext)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.A2); got != 0x56781234 {
+		t.Errorf("swap16 = %#x, want 0x56781234", got)
+	}
+	ur := c.UR(1)
+	for i, want := range []uint32{1, 2, 3, 4} {
+		if ur[i] != want {
+			t.Errorf("UR1[%d] = %d, want %d", i, ur[i], want)
+		}
+	}
+}
+
+func TestCustomInstructionErrors(t *testing.T) {
+	// CUST with no extension set attached.
+	p := &asm.Program{Text: []isa.Instruction{{Op: isa.OpCUST, Imm: isa.MakeCustImm(5, 0)}}}
+	c, err := New(p, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err == nil {
+		t.Error("CUST without extension set succeeded, want error")
+	}
+	// CUST with unknown id.
+	ext := tie.NewExtensionSet("e", tie.URSpec{})
+	c2, err := New(p, DefaultConfig(), ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Step(); err == nil {
+		t.Error("CUST with unknown id succeeded, want error")
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	cases := []string{
+		"main:\nmovi a2, -4\nl32i a3, a2, 0\nhalt\n",   // out of range
+		"main:\nmovi a2, 2\nl32i a3, a2, 0\nhalt\n",    // unaligned 32
+		"main:\nmovi a2, 1\nl16ui a3, a2, 0\nhalt\n",   // unaligned 16
+		"main:\nmovi a2, 2\ns32i a3, a2, 0\nhalt\n",    // unaligned store
+	}
+	for _, src := range cases {
+		c := newCPU(t, ".text\n"+src, nil)
+		if err := c.Run(0); err == nil {
+			t.Errorf("program %q ran without fault", src)
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	c := newCPU(t, ".text\nmain:\nj main\n", nil)
+	if err := c.Run(100); err == nil {
+		t.Error("infinite loop terminated without budget error")
+	}
+}
+
+func TestDCacheStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DCache = &CacheConfig{Lines: 4, LineBytes: 16, MissPenalty: 10}
+	prog := mustProg(t, `
+		.data
+	buf:	.space 64
+		.text
+	main:
+		la a2, buf
+		l32i a3, a2, 0    ; miss
+		l32i a4, a2, 4    ; hit (same 16B line)
+		l32i a5, a2, 16   ; miss
+		halt
+	`, asm.Options{})
+	c, err := New(prog, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.CacheStats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+}
+
+func TestResetRestoresState(t *testing.T) {
+	c := newCPU(t, ".text\nmain:\nmovi a2, 9\nhalt\n", nil)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles() == 0 {
+		t.Fatal("no cycles before reset")
+	}
+	c.Reset()
+	if c.Cycles() != 0 || c.Halted() || c.Reg(isa.A2) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.A2); got != 9 {
+		t.Errorf("rerun after reset: a2 = %d, want 9", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	c := newCPU(t, ".text\nmain:\nhalt\n", nil)
+	if got := c.Seconds(188_000_000); got < 0.999 || got > 1.001 {
+		t.Errorf("Seconds(188e6) = %v, want ~1.0 at 188 MHz", got)
+	}
+}
+
+func TestHostCallArgLimit(t *testing.T) {
+	c := newCPU(t, ".text\n.func\nf:\nret\n", nil)
+	if _, _, err := c.Call("f", 1, 2, 3, 4, 5, 6, 7); err == nil {
+		t.Error("Call with 7 args succeeded, want error")
+	}
+}
+
+func TestClassCountersAndEnergy(t *testing.T) {
+	c := newCPU(t, `
+		.data
+	v:	.word 7
+		.text
+	main:
+		la a2, v
+		l32i a3, a2, 0
+		mull a4, a3, a3
+		s32i a4, a2, 0
+		beqz a4, main
+		halt
+	`, nil)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	counts := c.ClassCounts()
+	if counts[isa.ClassLoad] != 1 || counts[isa.ClassStore] != 1 || counts[isa.ClassMul] != 1 {
+		t.Errorf("class counts = %v", counts)
+	}
+	if counts[isa.ClassALU] < 2 { // la expands to lui+ori
+		t.Errorf("ALU count = %d", counts[isa.ClassALU])
+	}
+	cycles := c.ClassCycles()
+	if cycles[isa.ClassMul] != 2 || cycles[isa.ClassLoad] != 2 {
+		t.Errorf("class cycles = %v", cycles)
+	}
+	var total uint64
+	for _, n := range cycles {
+		total += n
+	}
+	if total != c.Cycles() {
+		t.Errorf("class cycles sum %d != total %d", total, c.Cycles())
+	}
+	e := DefaultEnergyModel().Estimate(c)
+	if e <= 0 {
+		t.Errorf("energy = %v", e)
+	}
+	// Leakage alone bounds from below.
+	if e < float64(c.Cycles())*DefaultEnergyModel().LeakagePJCycle {
+		t.Error("energy below leakage floor")
+	}
+	c.Reset()
+	if cc := c.ClassCounts(); cc[isa.ClassALU] != 0 {
+		t.Error("Reset did not clear class counters")
+	}
+}

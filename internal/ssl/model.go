@@ -1,0 +1,119 @@
+// Package ssl models and implements the transport-layer-security workload
+// the paper uses to evaluate the platform end to end (Figure 8).
+//
+// Two layers:
+//
+//   - An analytic transaction model (this file): an SSL transaction is a
+//     handshake (dominated by the server's RSA private-key operation plus
+//     non-accelerated "miscellaneous" hashing/parsing work) followed by a
+//     record layer moving the session payload (bulk cipher per byte, MAC
+//     and framing per byte).  Fed with measured platform cycle costs it
+//     reproduces the Figure 8 speedup-vs-transaction-size curve and the
+//     public-key / symmetric / miscellaneous workload breakdown.
+//
+//   - A functional miniature SSL (session.go): an actual handshake and
+//     record protocol built from the repository's own RSA, 3DES, MD5/SHA-1
+//     and HMAC implementations, used by the examples and prototype demos.
+package ssl
+
+import "fmt"
+
+// Costs holds the platform cycle costs the transaction model composes.
+// The accelerated platform and the baseline platform are two Costs values.
+type Costs struct {
+	// RSADecrypt is the server's private-key operation in the handshake
+	// (cycles per transaction).
+	RSADecrypt float64
+	// RSAPublic is the client-side public-key work the server must also
+	// verify (cycles per transaction).
+	RSAPublic float64
+	// HandshakeMisc covers handshake hashing, parsing and key derivation —
+	// work that runs on the base core in both platforms.
+	HandshakeMisc float64
+	// CipherPerByte is the record-layer bulk cipher cost.
+	CipherPerByte float64
+	// MACPerByte is the record-layer HMAC cost (not accelerated).
+	MACPerByte float64
+	// RecordMiscPerByte covers framing and copying (not accelerated).
+	RecordMiscPerByte float64
+}
+
+// Validate reports whether all costs are non-negative and the model has a
+// nonzero total.
+func (c Costs) Validate() error {
+	for _, v := range []float64{c.RSADecrypt, c.RSAPublic, c.HandshakeMisc,
+		c.CipherPerByte, c.MACPerByte, c.RecordMiscPerByte} {
+		if v < 0 {
+			return fmt.Errorf("ssl: negative cost in %+v", c)
+		}
+	}
+	if c.RSADecrypt+c.RSAPublic+c.HandshakeMisc+c.CipherPerByte == 0 {
+		return fmt.Errorf("ssl: all-zero cost model")
+	}
+	return nil
+}
+
+// Breakdown is the workload composition of one transaction, in cycles —
+// the three bars of Figure 8.
+type Breakdown struct {
+	PublicKey float64 // RSA handshake operations
+	Symmetric float64 // record-layer bulk cipher
+	Misc      float64 // everything not accelerated
+}
+
+// Total returns the transaction's total cycles.
+func (b Breakdown) Total() float64 { return b.PublicKey + b.Symmetric + b.Misc }
+
+// Fractions returns the share of each component (0 if the total is zero).
+func (b Breakdown) Fractions() (pub, sym, misc float64) {
+	t := b.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return b.PublicKey / t, b.Symmetric / t, b.Misc / t
+}
+
+// Transaction composes the cycle breakdown of one SSL transaction carrying
+// the given number of payload bytes.
+func (c Costs) Transaction(bytes int) Breakdown {
+	n := float64(bytes)
+	return Breakdown{
+		PublicKey: c.RSADecrypt + c.RSAPublic,
+		Symmetric: c.CipherPerByte * n,
+		Misc:      c.HandshakeMisc + (c.MACPerByte+c.RecordMiscPerByte)*n,
+	}
+}
+
+// Row is one transaction size of the Figure 8 series.
+type Row struct {
+	Bytes   int
+	Speedup float64
+	Base    Breakdown // baseline platform composition
+	Opt     Breakdown // optimized platform composition
+}
+
+// Figure8 evaluates the speedup series across transaction sizes.
+func Figure8(base, opt Costs, sizes []int) ([]Row, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Row, 0, len(sizes))
+	for _, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("ssl: negative transaction size %d", s)
+		}
+		b := base.Transaction(s)
+		o := opt.Transaction(s)
+		if o.Total() == 0 {
+			return nil, fmt.Errorf("ssl: optimized transaction cost is zero at %d bytes", s)
+		}
+		out = append(out, Row{Bytes: s, Speedup: b.Total() / o.Total(), Base: b, Opt: o})
+	}
+	return out, nil
+}
+
+// DefaultSizes is the paper's 1 KB – 32 KB transaction sweep.
+var DefaultSizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}

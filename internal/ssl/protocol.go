@@ -1,0 +1,144 @@
+package ssl
+
+import "fmt"
+
+// Protocol workload presets: the paper's platform supports security
+// processing at several protocol-stack layers ("WEP, IPSec, and SSL", plus
+// WTLS for WAP handsets, §1).  Each protocol composes the same platform
+// cycle costs differently:
+//
+//   - SSL/TLS: one handshake per transaction, stream-shaped records.
+//   - WTLS: SSL-shaped but with an abbreviated handshake (smaller
+//     certificates and hashes on the constrained link).
+//   - IPSec ESP: no per-transaction handshake — the IKE exchange is
+//     amortized over the security association's lifetime — but per-packet
+//     cipher, MAC and encapsulation costs on every MTU-sized packet.
+
+// Protocol selects a workload composition.
+type Protocol int
+
+// Supported protocol workloads.
+const (
+	ProtoSSL Protocol = iota
+	ProtoWTLS
+	ProtoIPSecESP
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoSSL:
+		return "SSL"
+	case ProtoWTLS:
+		return "WTLS"
+	case ProtoIPSecESP:
+		return "IPsec-ESP"
+	default:
+		return fmt.Sprintf("proto(%d)", int(p))
+	}
+}
+
+// ProtocolParams tunes the composition knobs.
+type ProtocolParams struct {
+	// MTU is the packet payload size for packet-oriented protocols.
+	MTU int
+	// AmortizedPackets is the number of packets sharing one IKE-style key
+	// exchange (the security-association lifetime).
+	AmortizedPackets int
+	// WTLSHandshakeScale shrinks the SSL handshake for WTLS's abbreviated
+	// exchange.
+	WTLSHandshakeScale float64
+	// PerPacketOverhead is extra per-packet framing cycles for ESP
+	// encapsulation.
+	PerPacketOverhead float64
+}
+
+// DefaultProtocolParams mirrors common deployments: 1500-byte MTU,
+// thousand-packet SAs, a WTLS handshake at 60 % of SSL's.
+var DefaultProtocolParams = ProtocolParams{
+	MTU:                1500,
+	AmortizedPackets:   1000,
+	WTLSHandshakeScale: 0.6,
+	PerPacketOverhead:  600,
+}
+
+// Transaction composes the cycle breakdown of moving `bytes` of payload
+// under the given protocol with cost model c.
+func Transaction(proto Protocol, c Costs, bytes int, pp ProtocolParams) (Breakdown, error) {
+	if bytes < 0 {
+		return Breakdown{}, fmt.Errorf("ssl: negative transaction size %d", bytes)
+	}
+	switch proto {
+	case ProtoSSL:
+		return c.Transaction(bytes), nil
+	case ProtoWTLS:
+		scale := pp.WTLSHandshakeScale
+		if scale <= 0 {
+			scale = 1
+		}
+		b := c.Transaction(bytes)
+		b.PublicKey *= scale
+		b.Misc = scale*c.HandshakeMisc + (c.MACPerByte+c.RecordMiscPerByte)*float64(bytes)
+		return b, nil
+	case ProtoIPSecESP:
+		if pp.MTU <= 0 || pp.AmortizedPackets <= 0 {
+			return Breakdown{}, fmt.Errorf("ssl: IPsec needs positive MTU and amortization window")
+		}
+		packets := float64((bytes + pp.MTU - 1) / pp.MTU)
+		if packets == 0 {
+			packets = 0 // zero-byte transactions carry no packets
+		}
+		n := float64(bytes)
+		return Breakdown{
+			// IKE amortized per packet actually carried.
+			PublicKey: (c.RSADecrypt + c.RSAPublic) * packets / float64(pp.AmortizedPackets),
+			Symmetric: c.CipherPerByte * n,
+			Misc: (c.MACPerByte+c.RecordMiscPerByte)*n +
+				pp.PerPacketOverhead*packets +
+				c.HandshakeMisc*packets/float64(pp.AmortizedPackets),
+		}, nil
+	default:
+		return Breakdown{}, fmt.Errorf("ssl: unknown protocol %d", proto)
+	}
+}
+
+// ProtocolRow is one transaction size of a protocol speedup series.
+type ProtocolRow struct {
+	Protocol Protocol
+	Bytes    int
+	Speedup  float64
+	Base     Breakdown
+	Opt      Breakdown
+}
+
+// ProtocolSeries evaluates base-vs-optimized speedups for a protocol
+// across transaction sizes (the Figure 8 computation generalized across
+// the protocol stack).
+func ProtocolSeries(proto Protocol, base, opt Costs, sizes []int, pp ProtocolParams) ([]ProtocolRow, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]ProtocolRow, 0, len(sizes))
+	for _, s := range sizes {
+		b, err := Transaction(proto, base, s, pp)
+		if err != nil {
+			return nil, err
+		}
+		o, err := Transaction(proto, opt, s, pp)
+		if err != nil {
+			return nil, err
+		}
+		if o.Total() == 0 {
+			return nil, fmt.Errorf("ssl: zero optimized cost for %v at %d bytes", proto, s)
+		}
+		out = append(out, ProtocolRow{
+			Protocol: proto, Bytes: s,
+			Speedup: b.Total() / o.Total(),
+			Base:    b, Opt: o,
+		})
+	}
+	return out, nil
+}

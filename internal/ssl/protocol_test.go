@@ -1,0 +1,101 @@
+package ssl
+
+import "testing"
+
+func TestProtocolStrings(t *testing.T) {
+	if ProtoSSL.String() != "SSL" || ProtoWTLS.String() != "WTLS" || ProtoIPSecESP.String() != "IPsec-ESP" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestWTLSCheaperHandshake(t *testing.T) {
+	base, _ := paperCosts()
+	sslTx, err := Transaction(ProtoSSL, base, 4096, DefaultProtocolParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtlsTx, err := Transaction(ProtoWTLS, base, 4096, DefaultProtocolParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wtlsTx.PublicKey >= sslTx.PublicKey {
+		t.Error("WTLS handshake not cheaper than SSL")
+	}
+	if wtlsTx.Symmetric != sslTx.Symmetric {
+		t.Error("record-layer cipher cost should match SSL")
+	}
+	if wtlsTx.Total() >= sslTx.Total() {
+		t.Error("WTLS transaction not cheaper overall")
+	}
+}
+
+func TestIPSecAmortizesHandshake(t *testing.T) {
+	base, _ := paperCosts()
+	// A 32 KB transfer under ESP pays only a sliver of the key exchange.
+	esp, err := Transaction(ProtoIPSecESP, base, 32<<10, DefaultProtocolParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sslTx, _ := Transaction(ProtoSSL, base, 32<<10, DefaultProtocolParams)
+	if esp.PublicKey >= sslTx.PublicKey/10 {
+		t.Errorf("ESP public-key share %.0f not ≪ SSL's %.0f", esp.PublicKey, sslTx.PublicKey)
+	}
+	if esp.Symmetric != sslTx.Symmetric {
+		t.Error("bulk cipher cost should be identical")
+	}
+	// Per-packet encapsulation cost is visible.
+	if esp.Misc <= (base.MACPerByte+base.RecordMiscPerByte)*float64(32<<10) {
+		t.Error("ESP misc lacks per-packet overhead")
+	}
+}
+
+func TestIPSecSpeedupDominatedByCipher(t *testing.T) {
+	// Without per-transaction handshakes, ESP speedup approaches the
+	// Amdahl bound set by per-byte misc — and exceeds the SSL speedup for
+	// bulk transfer.
+	base, opt := paperCosts()
+	espRows, err := ProtocolSeries(ProtoIPSecESP, base, opt, []int{32 << 10}, DefaultProtocolParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sslRows, err := ProtocolSeries(ProtoSSL, base, opt, []int{32 << 10}, DefaultProtocolParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if espRows[0].Speedup <= sslRows[0].Speedup {
+		t.Errorf("ESP bulk speedup %.2f not above SSL's %.2f", espRows[0].Speedup, sslRows[0].Speedup)
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	base, opt := paperCosts()
+	if _, err := Transaction(ProtoSSL, base, -1, DefaultProtocolParams); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := Transaction(Protocol(99), base, 10, DefaultProtocolParams); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	bad := DefaultProtocolParams
+	bad.MTU = 0
+	if _, err := Transaction(ProtoIPSecESP, base, 10, bad); err == nil {
+		t.Error("zero MTU accepted")
+	}
+	if _, err := ProtocolSeries(ProtoSSL, Costs{}, opt, []int{10}, DefaultProtocolParams); err == nil {
+		t.Error("invalid base costs accepted")
+	}
+}
+
+func TestProtocolSeriesMonotoneSizes(t *testing.T) {
+	base, opt := paperCosts()
+	for _, proto := range []Protocol{ProtoSSL, ProtoWTLS, ProtoIPSecESP} {
+		rows, err := ProtocolSeries(proto, base, opt, DefaultSizes, DefaultProtocolParams)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		for _, r := range rows {
+			if r.Speedup <= 1 {
+				t.Errorf("%v at %dB: speedup %.2f", proto, r.Bytes, r.Speedup)
+			}
+		}
+	}
+}

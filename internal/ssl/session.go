@@ -1,0 +1,226 @@
+package ssl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/blockmode"
+	"wisp/internal/descipher"
+	"wisp/internal/hashes"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+)
+
+// The functional miniature SSL: an RSA key-transport handshake followed by
+// a 3DES-CBC + HMAC-MD5 record layer.  It is deliberately SSL-shaped
+// rather than wire-compatible — the platform evaluation needs the
+// computational profile (one private-key op per handshake, cipher+MAC per
+// record byte), not interoperability.
+
+const (
+	nonceLen     = 16
+	premasterLen = 32
+	keyBlockLen  = 24 + 2*16 + 8 // 3DES key + two MAC keys + IV seed
+)
+
+// Transport carries opaque handshake and record messages.
+type Transport interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+}
+
+type chanTransport struct {
+	out chan<- []byte
+	in  <-chan []byte
+}
+
+func (c *chanTransport) Send(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	c.out <- cp
+	return nil
+}
+
+func (c *chanTransport) Recv() ([]byte, error) {
+	msg, ok := <-c.in
+	if !ok {
+		return nil, fmt.Errorf("ssl: transport closed")
+	}
+	return msg, nil
+}
+
+// Pipe returns two connected in-memory transports (buffered, so a single
+// goroutine can run both ends of the handshake in protocol order).
+func Pipe() (client, server Transport) {
+	a := make(chan []byte, 16)
+	b := make(chan []byte, 16)
+	return &chanTransport{out: a, in: b}, &chanTransport{out: b, in: a}
+}
+
+// kdf derives the session key block from the premaster secret and both
+// nonces, MD5-chained per SSLv3's style.
+func kdf(premaster, clientNonce, serverNonce []byte) []byte {
+	var block []byte
+	for i := byte(1); len(block) < keyBlockLen; i++ {
+		h := hashes.NewMD5()
+		h.Write([]byte{i})
+		h.Write(premaster)
+		h.Write(clientNonce)
+		h.Write(serverNonce)
+		block = h.Sum(block)
+	}
+	return block[:keyBlockLen]
+}
+
+// Session is one established endpoint (client or server side) with record
+// sealing and opening keys.
+type Session struct {
+	cipher  *descipher.TripleCipher
+	sendMAC []byte
+	recvMAC []byte
+	iv      []byte
+	sendSeq uint64
+	recvSeq uint64
+}
+
+func newSession(keyBlock []byte, isClient bool) (*Session, error) {
+	tc, err := descipher.NewTripleCipher(keyBlock[:24])
+	if err != nil {
+		return nil, err
+	}
+	mac1 := keyBlock[24:40]
+	mac2 := keyBlock[40:56]
+	s := &Session{cipher: tc, iv: keyBlock[56:64]}
+	if isClient {
+		s.sendMAC, s.recvMAC = mac1, mac2
+	} else {
+		s.sendMAC, s.recvMAC = mac2, mac1
+	}
+	return s, nil
+}
+
+// Seal protects one record: HMAC-MD5 over (seq ‖ length ‖ payload), then
+// 3DES-CBC over the padded payload‖MAC.
+func (s *Session) Seal(payload []byte) ([]byte, error) {
+	mac := s.recordMAC(s.sendMAC, s.sendSeq, payload)
+	s.sendSeq++
+	plain := append(append([]byte{}, payload...), mac...)
+	padded := blockmode.Pad(plain, descipher.BlockSize)
+	out := make([]byte, len(padded))
+	if err := blockmode.CBCEncrypt(s.cipher, s.iv, out, padded); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Open verifies and unwraps one record.
+func (s *Session) Open(record []byte) ([]byte, error) {
+	if len(record) == 0 || len(record)%descipher.BlockSize != 0 {
+		return nil, fmt.Errorf("ssl: bad record length %d", len(record))
+	}
+	plain := make([]byte, len(record))
+	if err := blockmode.CBCDecrypt(s.cipher, s.iv, plain, record); err != nil {
+		return nil, err
+	}
+	unpadded, err := blockmode.Unpad(plain, descipher.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("ssl: record padding: %w", err)
+	}
+	if len(unpadded) < hashes.MD5Size {
+		return nil, fmt.Errorf("ssl: record shorter than MAC")
+	}
+	payload := unpadded[:len(unpadded)-hashes.MD5Size]
+	gotMAC := unpadded[len(unpadded)-hashes.MD5Size:]
+	wantMAC := s.recordMAC(s.recvMAC, s.recvSeq, payload)
+	if !bytes.Equal(gotMAC, wantMAC) {
+		return nil, fmt.Errorf("ssl: record MAC verification failed (seq %d)", s.recvSeq)
+	}
+	s.recvSeq++
+	return payload, nil
+}
+
+func (s *Session) recordMAC(key []byte, seq uint64, payload []byte) []byte {
+	h := hashes.NewHMAC(func() hashes.Hash { return hashes.NewMD5() }, key)
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	h.Write(hdr[:])
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// ClientHandshake runs the client side: send hello+nonce, receive the
+// server's nonce and public key, send the RSA-wrapped premaster, derive
+// keys.
+func ClientHandshake(t Transport, rng *rand.Rand, ctx *mpz.Ctx) (*Session, error) {
+	clientNonce := make([]byte, nonceLen)
+	rng.Read(clientNonce)
+	if err := t.Send(clientNonce); err != nil {
+		return nil, err
+	}
+	serverHello, err := t.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(serverHello) < nonceLen+4 {
+		return nil, fmt.Errorf("ssl: short server hello")
+	}
+	serverNonce := serverHello[:nonceLen]
+	nLen := int(binary.BigEndian.Uint32(serverHello[nonceLen : nonceLen+4]))
+	rest := serverHello[nonceLen+4:]
+	if len(rest) < nLen {
+		return nil, fmt.Errorf("ssl: truncated server key")
+	}
+	pub := &rsakey.PublicKey{
+		N: mpz.FromBytes(rest[:nLen]),
+		E: mpz.FromBytes(rest[nLen:]),
+	}
+	premaster := make([]byte, premasterLen)
+	rng.Read(premaster)
+	wrapped, err := rsakey.PadEncrypt(ctx, rng, pub, premaster)
+	if err != nil {
+		return nil, fmt.Errorf("ssl: wrapping premaster: %w", err)
+	}
+	if err := t.Send(wrapped); err != nil {
+		return nil, err
+	}
+	return newSession(kdf(premaster, clientNonce, serverNonce), true)
+}
+
+// ServerHandshake runs the server side against a client handshake.
+func ServerHandshake(t Transport, rng *rand.Rand, ctx *mpz.Ctx, key *rsakey.PrivateKey) (*Session, error) {
+	clientNonce, err := t.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(clientNonce) != nonceLen {
+		return nil, fmt.Errorf("ssl: bad client nonce length %d", len(clientNonce))
+	}
+	serverNonce := make([]byte, nonceLen)
+	rng.Read(serverNonce)
+	nBytes := key.N.Bytes()
+	hello := make([]byte, 0, nonceLen+4+len(nBytes)+4)
+	hello = append(hello, serverNonce...)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(nBytes)))
+	hello = append(hello, lenBuf[:]...)
+	hello = append(hello, nBytes...)
+	hello = append(hello, key.E.Bytes()...)
+	if err := t.Send(hello); err != nil {
+		return nil, err
+	}
+	wrapped, err := t.Recv()
+	if err != nil {
+		return nil, err
+	}
+	premaster, err := rsakey.PadDecrypt(ctx, key, wrapped)
+	if err != nil {
+		return nil, fmt.Errorf("ssl: unwrapping premaster: %w", err)
+	}
+	if len(premaster) != premasterLen {
+		return nil, fmt.Errorf("ssl: bad premaster length %d", len(premaster))
+	}
+	return newSession(kdf(premaster, clientNonce, serverNonce), false)
+}

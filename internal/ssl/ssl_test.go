@@ -1,0 +1,242 @@
+package ssl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+)
+
+// Paper-flavoured cost models: the baseline runs everything in software;
+// the optimized platform accelerates RSA ~66×/11× and 3DES ~34×, while the
+// miscellaneous work is untouched.
+func paperCosts() (base, opt Costs) {
+	base = Costs{
+		RSADecrypt:        25e6,
+		RSAPublic:         1.5e6,
+		HandshakeMisc:     20e6,
+		CipherPerByte:     1426,
+		MACPerByte:        220,
+		RecordMiscPerByte: 90,
+	}
+	opt = base
+	opt.RSADecrypt = base.RSADecrypt / 66.4
+	opt.RSAPublic = base.RSAPublic / 10.8
+	opt.CipherPerByte = base.CipherPerByte / 33.9
+	return base, opt
+}
+
+func TestBreakdown(t *testing.T) {
+	c := Costs{RSADecrypt: 100, RSAPublic: 50, HandshakeMisc: 30,
+		CipherPerByte: 2, MACPerByte: 1, RecordMiscPerByte: 1}
+	b := c.Transaction(10)
+	if b.PublicKey != 150 || b.Symmetric != 20 || b.Misc != 50 {
+		t.Errorf("breakdown %+v", b)
+	}
+	if b.Total() != 220 {
+		t.Errorf("total %v", b.Total())
+	}
+	pub, sym, misc := b.Fractions()
+	if math.Abs(pub+sym+misc-1) > 1e-12 {
+		t.Error("fractions do not sum to 1")
+	}
+	if z := (Breakdown{}); func() bool { a, b, c := z.Fractions(); return a != 0 || b != 0 || c != 0 }() {
+		t.Error("zero breakdown fractions nonzero")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	base, opt := paperCosts()
+	rows, err := Figure8(base, opt, DefaultSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultSizes) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Speedup grows with transaction size (public-key-dominated small
+	// transactions are capped by handshake misc; large ones by record
+	// misc) and stays in the paper's 2×–4× corridor.
+	for i, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("size %d: speedup %v ≤ 1", r.Bytes, r.Speedup)
+		}
+		if i > 0 && r.Speedup <= rows[i-1].Speedup {
+			t.Errorf("speedup not increasing at %d bytes", r.Bytes)
+		}
+	}
+	small, large := rows[0], rows[len(rows)-1]
+	if small.Speedup < 1.5 || small.Speedup > 3.0 {
+		t.Errorf("1KB speedup %.2f outside [1.5,3.0]", small.Speedup)
+	}
+	if large.Speedup < 2.5 || large.Speedup > 4.5 {
+		t.Errorf("32KB speedup %.2f outside [2.5,4.5]", large.Speedup)
+	}
+	// Workload composition shifts: public-key dominates small baseline
+	// transactions; at large sizes the private-key bulk cipher overtakes
+	// the public-key share.
+	pubS, symS, _ := small.Base.Fractions()
+	pubL, symL, _ := large.Base.Fractions()
+	if pubS < 0.5 {
+		t.Errorf("1KB public-key share %.2f, want > 0.5", pubS)
+	}
+	if symS > pubS {
+		t.Error("1KB symmetric share exceeds public-key share")
+	}
+	if symL <= pubL {
+		t.Errorf("32KB symmetric share %.2f does not overtake public-key %.2f", symL, pubL)
+	}
+	if symL < 0.4 {
+		t.Errorf("32KB symmetric share %.2f, want ≥ 0.4", symL)
+	}
+}
+
+func TestFigure8Validation(t *testing.T) {
+	base, opt := paperCosts()
+	if _, err := Figure8(Costs{}, opt, DefaultSizes); err == nil {
+		t.Error("zero base cost model accepted")
+	}
+	if _, err := Figure8(base, Costs{RSADecrypt: -1}, DefaultSizes); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := Figure8(base, opt, []int{-5}); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+// --- functional session ---
+
+var sessionKey = mustKey()
+
+func mustKey() *rsakey.PrivateKey {
+	k, err := rsakey.GenerateKey(rand.New(rand.NewSource(9)), 512)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func handshakePair(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	ct, st := Pipe()
+	ctx := mpz.NewCtx(nil)
+	rng := rand.New(rand.NewSource(21))
+
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := ServerHandshake(st, rand.New(rand.NewSource(22)), ctx, sessionKey)
+		ch <- res{s, err}
+	}()
+	client, err := ClientHandshake(ct, rng, mpz.NewCtx(nil))
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	sr := <-ch
+	if sr.err != nil {
+		t.Fatalf("server handshake: %v", sr.err)
+	}
+	return client, sr.s
+}
+
+func TestHandshakeAndRecords(t *testing.T) {
+	client, server := handshakePair(t)
+	msgs := [][]byte{
+		[]byte("GET /account HTTP/1.0"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+		{},
+	}
+	for _, msg := range msgs {
+		rec, err := client.Seal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := server.Open(rec)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("payload mismatch: %x != %x", got, msg)
+		}
+	}
+	// And the reverse direction.
+	rec, err := server.Seal([]byte("200 OK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.Open(rec); err != nil || string(got) != "200 OK" {
+		t.Fatalf("server→client record failed: %v", err)
+	}
+}
+
+func TestRecordTamperDetected(t *testing.T) {
+	client, server := handshakePair(t)
+	rec, err := client.Seal([]byte("transfer $100 to alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec[4] ^= 0x01
+	if _, err := server.Open(rec); err == nil {
+		t.Error("tampered record accepted")
+	}
+}
+
+func TestRecordReplayDetected(t *testing.T) {
+	client, server := handshakePair(t)
+	rec, _ := client.Seal([]byte("one"))
+	if _, err := server.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same record must fail: the MAC covers the sequence
+	// number, which has advanced.
+	if _, err := server.Open(rec); err == nil {
+		t.Error("replayed record accepted")
+	}
+}
+
+func TestRecordWrongLengthRejected(t *testing.T) {
+	client, server := handshakePair(t)
+	_ = client
+	if _, err := server.Open([]byte{1, 2, 3}); err == nil {
+		t.Error("non-block-multiple record accepted")
+	}
+	if _, err := server.Open(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+}
+
+func TestRecordsAreEncrypted(t *testing.T) {
+	client, _ := handshakePair(t)
+	payload := bytes.Repeat([]byte("secret! "), 16)
+	rec, err := client.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(rec, []byte("secret!")) {
+		t.Error("plaintext visible in sealed record")
+	}
+}
+
+func TestKDFDeterministic(t *testing.T) {
+	pre := []byte("premaster-secret-premaster-secre")
+	cn := bytes.Repeat([]byte{1}, nonceLen)
+	sn := bytes.Repeat([]byte{2}, nonceLen)
+	k1 := kdf(pre, cn, sn)
+	k2 := kdf(pre, cn, sn)
+	if !bytes.Equal(k1, k2) {
+		t.Error("KDF not deterministic")
+	}
+	if len(k1) != keyBlockLen {
+		t.Errorf("key block length %d", len(k1))
+	}
+	k3 := kdf(pre, sn, cn)
+	if bytes.Equal(k1, k3) {
+		t.Error("KDF ignores nonce order")
+	}
+}

@@ -1,0 +1,265 @@
+// Package tie implements the custom-instruction extension framework of the
+// WISP platform — the analogue of Tensilica's TIE (Tensilica Instruction
+// Extension) language and compiler used in the DAC 2002 paper.
+//
+// A designer describes a custom instruction as a semantic function over
+// processor state (GPR operand values, wide user registers, data memory),
+// a pipeline latency, and a structural inventory of the hardware resources
+// it instantiates (adders, multipliers, lookup-table bits, register bits).
+// Instructions are grouped into an ExtensionSet that can be attached to a
+// simulated core; the set also derives the assembler mnemonic table and the
+// total silicon area of the extension hardware.
+//
+// The area model substitutes for the paper's Synopsys Design Compiler /
+// NEC CB-11 0.18 µm flow: it maps each structural resource to a gate
+// equivalent (GE) count.  Only relative areas matter for the methodology
+// (A-D curve shapes, dominance, Pareto pruning), and the constants are
+// calibrated so that the mpn_add_n adder sweep spans the same 0–10 000 area
+// range as Figure 5 of the paper.
+package tie
+
+import (
+	"fmt"
+	"sort"
+
+	"wisp/internal/asm"
+)
+
+// Gate-equivalent costs of structural resources (0.18 µm cell-library
+// flavoured).
+const (
+	GatesPerAdder32    = 320  // 32-bit carry-lookahead adder
+	GatesPerMult32     = 6400 // 32×32→64 multiplier array
+	GatesPerLUTBit     = 0.25 // ROM bit (S-boxes, constant tables)
+	GatesPerRegBit     = 6.0  // flip-flop + mux
+	GatesPerInstrDecode = 150 // decoder/control overhead per added opcode
+)
+
+// Resources is the structural hardware inventory of one custom instruction.
+type Resources struct {
+	Adders  int // 32-bit adder instances
+	Mults   int // 32×32 multiplier instances
+	LUTBits int // lookup-table ROM bits
+	RegBits int // pipeline/temporary register bits (excluding the UR file)
+	Logic   int // miscellaneous gates (permutation muxes, XOR trees, ...)
+}
+
+// Gates returns the gate-equivalent area of r (excluding decode overhead).
+func (r Resources) Gates() float64 {
+	return float64(r.Adders)*GatesPerAdder32 +
+		float64(r.Mults)*GatesPerMult32 +
+		float64(r.LUTBits)*GatesPerLUTBit +
+		float64(r.RegBits)*GatesPerRegBit +
+		float64(r.Logic)
+}
+
+// Add returns the component-wise sum of two resource inventories.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		Adders:  r.Adders + o.Adders,
+		Mults:   r.Mults + o.Mults,
+		LUTBits: r.LUTBits + o.LUTBits,
+		RegBits: r.RegBits + o.RegBits,
+		Logic:   r.Logic + o.Logic,
+	}
+}
+
+// Max returns the component-wise maximum — the inventory of shared hardware
+// when two instructions of the same family reuse the same functional units.
+func (r Resources) Max(o Resources) Resources {
+	m := func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return Resources{
+		Adders:  m(r.Adders, o.Adders),
+		Mults:   m(r.Mults, o.Mults),
+		LUTBits: m(r.LUTBits, o.LUTBits),
+		RegBits: m(r.RegBits, o.RegBits),
+		Logic:   m(r.Logic, o.Logic),
+	}
+}
+
+// Ctx is the processor-state window a custom instruction's semantics may
+// touch: wide user registers and data memory.  GPR operands are passed by
+// value; the only GPR a custom instruction may write is rd (via its result).
+type Ctx interface {
+	// UR returns user register i as a mutable limb slice (little-endian
+	// 32-bit limbs).  It panics if i is out of range, mirroring an
+	// undefined-register fault.
+	UR(i int) []uint32
+	// Load32 reads a 32-bit word from data memory.
+	Load32(addr uint32) (uint32, error)
+	// Store32 writes a 32-bit word to data memory.
+	Store32(addr uint32, v uint32) error
+}
+
+// Semantics executes one custom instruction.  rdv, rsv and rtv are the
+// current values of the GPR operands; sub is the 4-bit designer sub-field.
+// If writeRd is true the result is written back to rd.
+type Semantics func(ctx Ctx, rdv, rsv, rtv uint32, sub int) (result uint32, writeRd bool, err error)
+
+// Instr is one designer-defined custom instruction.
+type Instr struct {
+	Name string
+	ID   int // opcode identifier in the CUST space (0..1023)
+	// Family is the hardware-sharing group: instructions in one family
+	// reuse the same functional units, so a set's area charges each
+	// family once (component-wise maximum of the members' inventories).
+	Family string
+	// Kind identifies the operation an instruction performs (e.g. "addv",
+	// "mac").  Within one family and kind, a higher Rank variant has
+	// strictly more resources and can execute any lower-rank variant's
+	// work at equal or better performance — the dominance relation of the
+	// paper's design-point reduction (add_4 dominates add_2).
+	Kind    string
+	Rank    int
+	NumRegs int // register operands consumed (0..3)
+	HasSub  bool
+	Latency int // pipeline occupancy in cycles (≥1)
+	Res     Resources
+	Sem     Semantics
+}
+
+// Gates returns the instruction's area including decode overhead.
+func (in *Instr) Gates() float64 { return in.Res.Gates() + GatesPerInstrDecode }
+
+// Dominates reports whether in can replace o at equal or better
+// performance: same family, same operation kind, rank at least as high.
+// An instruction trivially dominates itself.
+func (in *Instr) Dominates(o *Instr) bool {
+	if in.Name == o.Name {
+		return true
+	}
+	return in.Family != "" && in.Family == o.Family &&
+		in.Kind == o.Kind && in.Rank >= o.Rank
+}
+
+// URSpec describes the wide user-register file added by an extension set.
+type URSpec struct {
+	Count int // number of user registers
+	Words int // 32-bit words per register (4 = 128-bit)
+}
+
+// Bits returns the total UR file storage in bits.
+func (u URSpec) Bits() int { return u.Count * u.Words * 32 }
+
+// ExtensionSet is a named collection of custom instructions plus the user
+// register file they share — the unit that is "compiled" into a core.
+type ExtensionSet struct {
+	Name   string
+	UR     URSpec
+	byID   map[int]*Instr
+	byName map[string]*Instr
+	order  []*Instr
+}
+
+// NewExtensionSet creates an empty extension set with the given UR file.
+func NewExtensionSet(name string, ur URSpec) *ExtensionSet {
+	return &ExtensionSet{
+		Name:   name,
+		UR:     ur,
+		byID:   make(map[int]*Instr),
+		byName: make(map[string]*Instr),
+	}
+}
+
+// Add registers a custom instruction.  It returns an error for duplicate
+// names or IDs, invalid operand counts, or non-positive latency.
+func (s *ExtensionSet) Add(in Instr) error {
+	if in.Name == "" {
+		return fmt.Errorf("tie: instruction needs a name")
+	}
+	if in.ID < 0 || in.ID > 1023 {
+		return fmt.Errorf("tie: %s: id %d outside CUST space [0,1023]", in.Name, in.ID)
+	}
+	if in.NumRegs < 0 || in.NumRegs > 3 {
+		return fmt.Errorf("tie: %s: %d register operands (max 3)", in.Name, in.NumRegs)
+	}
+	if in.Latency < 1 {
+		return fmt.Errorf("tie: %s: latency %d must be ≥ 1", in.Name, in.Latency)
+	}
+	if in.Sem == nil {
+		return fmt.Errorf("tie: %s: missing semantics", in.Name)
+	}
+	if _, dup := s.byID[in.ID]; dup {
+		return fmt.Errorf("tie: duplicate instruction id %d", in.ID)
+	}
+	if _, dup := s.byName[in.Name]; dup {
+		return fmt.Errorf("tie: duplicate instruction name %q", in.Name)
+	}
+	p := new(Instr)
+	*p = in
+	s.byID[in.ID] = p
+	s.byName[in.Name] = p
+	s.order = append(s.order, p)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for static extension definitions.
+func (s *ExtensionSet) MustAdd(in Instr) {
+	if err := s.Add(in); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the instruction with the given CUST id.
+func (s *ExtensionSet) Lookup(id int) (*Instr, bool) {
+	in, ok := s.byID[id]
+	return in, ok
+}
+
+// ByName returns the instruction with the given mnemonic.
+func (s *ExtensionSet) ByName(name string) (*Instr, bool) {
+	in, ok := s.byName[name]
+	return in, ok
+}
+
+// Instrs returns the instructions in registration order.
+func (s *ExtensionSet) Instrs() []*Instr {
+	out := make([]*Instr, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// CustOps derives the assembler mnemonic table for this extension set.
+func (s *ExtensionSet) CustOps() map[string]asm.CustOp {
+	ops := make(map[string]asm.CustOp, len(s.order))
+	for _, in := range s.order {
+		ops[in.Name] = asm.CustOp{ID: in.ID, NumRegs: in.NumRegs, HasSub: in.HasSub}
+	}
+	return ops
+}
+
+// Gates returns the total extension area in gate equivalents: shared
+// hardware within each dominance family (component-wise maximum of the
+// family's inventories), private hardware for family-less instructions,
+// per-instruction decode overhead, and the UR file.
+func (s *ExtensionSet) Gates() float64 {
+	families := make(map[string]Resources)
+	total := 0.0
+	for _, in := range s.order {
+		if in.Family == "" {
+			total += in.Res.Gates()
+		} else if cur, ok := families[in.Family]; ok {
+			families[in.Family] = cur.Max(in.Res)
+		} else {
+			families[in.Family] = in.Res
+		}
+		total += GatesPerInstrDecode
+	}
+	// Deterministic iteration (area is a sum, but keep it reproducible
+	// bit-for-bit under future float changes).
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		total += families[n].Gates()
+	}
+	total += float64(s.UR.Bits()) * GatesPerRegBit
+	return total
+}

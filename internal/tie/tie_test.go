@@ -1,0 +1,140 @@
+package tie
+
+import (
+	"math"
+	"testing"
+)
+
+func nopSem(ctx Ctx, rdv, rsv, rtv uint32, sub int) (uint32, bool, error) {
+	return 0, false, nil
+}
+
+func TestResourcesGates(t *testing.T) {
+	r := Resources{Adders: 2, Mults: 1, LUTBits: 2048, RegBits: 64, Logic: 100}
+	want := 2*320.0 + 6400 + 2048*0.25 + 64*6 + 100
+	if got := r.Gates(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Gates() = %v, want %v", got, want)
+	}
+}
+
+func TestResourcesAddMax(t *testing.T) {
+	a := Resources{Adders: 2, LUTBits: 100}
+	b := Resources{Adders: 4, Mults: 1}
+	sum := a.Add(b)
+	if sum.Adders != 6 || sum.Mults != 1 || sum.LUTBits != 100 {
+		t.Errorf("Add = %+v", sum)
+	}
+	mx := a.Max(b)
+	if mx.Adders != 4 || mx.Mults != 1 || mx.LUTBits != 100 {
+		t.Errorf("Max = %+v", mx)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	add2 := &Instr{Name: "add_2", Family: "mpn.add", Kind: "add", Rank: 2}
+	add4 := &Instr{Name: "add_4", Family: "mpn.add", Kind: "add", Rank: 4}
+	mul1 := &Instr{Name: "mul_1", Family: "mpn.mul", Kind: "mul", Rank: 1}
+	if !add4.Dominates(add2) {
+		t.Error("add_4 should dominate add_2")
+	}
+	if add2.Dominates(add4) {
+		t.Error("add_2 should not dominate add_4")
+	}
+	if add4.Dominates(mul1) || mul1.Dominates(add4) {
+		t.Error("cross-family dominance")
+	}
+	if !add2.Dominates(add2) {
+		t.Error("self dominance")
+	}
+	noFam := &Instr{Name: "x"}
+	other := &Instr{Name: "y"}
+	if noFam.Dominates(other) {
+		t.Error("family-less instructions should not dominate others")
+	}
+	if !noFam.Dominates(noFam) {
+		t.Error("self dominance without family")
+	}
+}
+
+func TestExtensionSetAddValidation(t *testing.T) {
+	s := NewExtensionSet("t", URSpec{Count: 1, Words: 2})
+	good := Instr{Name: "op", ID: 1, NumRegs: 2, Latency: 1, Sem: nopSem}
+	if err := s.Add(good); err != nil {
+		t.Fatalf("Add(good) = %v", err)
+	}
+	bad := []Instr{
+		{Name: "", ID: 2, Latency: 1, Sem: nopSem},
+		{Name: "x", ID: -1, Latency: 1, Sem: nopSem},
+		{Name: "x", ID: 1024, Latency: 1, Sem: nopSem},
+		{Name: "x", ID: 3, NumRegs: 4, Latency: 1, Sem: nopSem},
+		{Name: "x", ID: 3, Latency: 0, Sem: nopSem},
+		{Name: "x", ID: 3, Latency: 1},            // no semantics
+		{Name: "op", ID: 3, Latency: 1, Sem: nopSem}, // dup name
+		{Name: "y", ID: 1, Latency: 1, Sem: nopSem},  // dup id
+	}
+	for _, in := range bad {
+		if err := s.Add(in); err == nil {
+			t.Errorf("Add(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestExtensionSetLookupAndCustOps(t *testing.T) {
+	s := NewExtensionSet("t", URSpec{Count: 2, Words: 4})
+	s.MustAdd(Instr{Name: "a", ID: 5, NumRegs: 3, Latency: 1, Sem: nopSem})
+	s.MustAdd(Instr{Name: "b", ID: 6, NumRegs: 1, HasSub: true, Latency: 2, Sem: nopSem})
+	if in, ok := s.Lookup(5); !ok || in.Name != "a" {
+		t.Error("Lookup(5) failed")
+	}
+	if _, ok := s.Lookup(99); ok {
+		t.Error("Lookup(99) found phantom instruction")
+	}
+	if in, ok := s.ByName("b"); !ok || in.ID != 6 {
+		t.Error("ByName(b) failed")
+	}
+	ops := s.CustOps()
+	if ops["a"].ID != 5 || ops["a"].NumRegs != 3 || ops["a"].HasSub {
+		t.Errorf("CustOps[a] = %+v", ops["a"])
+	}
+	if !ops["b"].HasSub {
+		t.Errorf("CustOps[b] = %+v", ops["b"])
+	}
+	if got := len(s.Instrs()); got != 2 {
+		t.Errorf("Instrs len = %d, want 2", got)
+	}
+}
+
+func TestExtensionSetGatesSharesFamilies(t *testing.T) {
+	// Two instructions in one family share hardware: area uses the
+	// component-wise max, not the sum.
+	s := NewExtensionSet("t", URSpec{Count: 1, Words: 1})
+	s.MustAdd(Instr{Name: "add_2", ID: 1, Family: "add", Kind: "add", Rank: 2, Latency: 1,
+		Res: Resources{Adders: 2}, Sem: nopSem})
+	s.MustAdd(Instr{Name: "add_4", ID: 2, Family: "add", Kind: "add", Rank: 4, Latency: 1,
+		Res: Resources{Adders: 4}, Sem: nopSem})
+	want := 4*GatesPerAdder32 + 2*float64(GatesPerInstrDecode) + 32*GatesPerRegBit
+	if got := s.Gates(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Gates() = %v, want %v (shared adders)", got, want)
+	}
+	// A family-less instruction adds its private hardware.
+	s.MustAdd(Instr{Name: "sbox", ID: 3, Latency: 1,
+		Res: Resources{LUTBits: 2048}, Sem: nopSem})
+	want += 2048*GatesPerLUTBit + GatesPerInstrDecode
+	if got := s.Gates(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Gates() with sbox = %v, want %v", got, want)
+	}
+}
+
+func TestInstrGates(t *testing.T) {
+	in := &Instr{Name: "x", Res: Resources{Adders: 1}}
+	if got := in.Gates(); got != 320+150 {
+		t.Errorf("Instr.Gates() = %v, want 470", got)
+	}
+}
+
+func TestURSpecBits(t *testing.T) {
+	u := URSpec{Count: 4, Words: 4}
+	if got := u.Bits(); got != 512 {
+		t.Errorf("Bits() = %d, want 512", got)
+	}
+}

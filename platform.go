@@ -1,0 +1,193 @@
+// Package wisp is the public API of the WISP security processing platform —
+// a from-scratch reproduction of "System Design Methodologies for a
+// Wireless Security Processing Platform" (DAC 2002).
+//
+// A Platform couples the xt32 base core model, the TIE-style custom
+// instruction extension selected by the paper's methodology, and the
+// layered cryptographic software libraries tuned to it.  It exposes the
+// measurements behind the paper's evaluation: Table 1 (per-algorithm
+// speedups), Figure 8 (SSL transaction acceleration), Figures 4–6 (call
+// graph, A-D curves, design-point reduction) and the §4.3 exploration
+// statistics.
+package wisp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/kernels"
+	"wisp/internal/macromodel"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+	"wisp/internal/sim"
+	"wisp/internal/tie"
+)
+
+// Options configures platform construction.  The zero value selects the
+// defaults used throughout the paper reproduction.
+type Options struct {
+	SimConfig   *sim.Config // core cost model; nil = sim.DefaultConfig()
+	RSABits     int         // RSA modulus size; default 1024
+	Seed        int64       // determinism seed; default 1
+	CharSizes   []int       // operand sizes (limbs) for kernel characterization
+	TIEAddWidth int         // selected vector-adder width; default 8
+	TIEMACWidth int         // selected MAC width; default 4
+	CharReps    int         // characterization repetitions per size; default 2
+}
+
+func (o Options) withDefaults() Options {
+	if o.SimConfig == nil {
+		cfg := sim.DefaultConfig()
+		o.SimConfig = &cfg
+	}
+	if o.RSABits == 0 {
+		o.RSABits = 1024
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.CharSizes) == 0 {
+		o.CharSizes = []int{1, 2, 4, 8, 16, 32, 48, 64}
+	}
+	if o.TIEAddWidth == 0 {
+		o.TIEAddWidth = 8
+	}
+	if o.TIEMACWidth == 0 {
+		o.TIEMACWidth = 4
+	}
+	if o.CharReps == 0 {
+		o.CharReps = 2
+	}
+	return o
+}
+
+// Platform is a configured security processor: base core model, selected
+// extension, characterized kernel macro-models, and the crypto libraries.
+type Platform struct {
+	opts Options
+
+	// Ext is the full security extension set mounted on the optimized core.
+	Ext *tie.ExtensionSet
+	// BaseModels and TIEModels are the ISS-characterized cycle macro-models
+	// of the mpn library routines on the base and extended cores.
+	BaseModels *macromodel.ModelSet
+	TIEModels  *macromodel.ModelSet
+
+	key *rsakey.PrivateKey // lazily generated RSA key
+
+	cpuCache map[string]*sim.CPU
+}
+
+// New builds a platform: it characterizes the multi-precision kernels on
+// the ISS for both cores (the one-time step of §3.2) and assembles the
+// extension set.
+func New(opts Options) (*Platform, error) {
+	o := opts.withDefaults()
+	base, err := kernels.CharacterizeMPNBase(*o.SimConfig, o.CharSizes, o.CharReps, o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("wisp: characterizing base kernels: %w", err)
+	}
+	tieModels, err := kernels.CharacterizeMPNTIE(*o.SimConfig, o.TIEAddWidth, o.TIEMACWidth,
+		o.CharSizes, o.CharReps, o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("wisp: characterizing TIE kernels: %w", err)
+	}
+	return &Platform{
+		opts:       o,
+		Ext:        kernels.NewSecurityExtension(),
+		BaseModels: base,
+		TIEModels:  tieModels,
+		cpuCache:   make(map[string]*sim.CPU),
+	}, nil
+}
+
+// SimConfig returns the platform's core cost model.
+func (p *Platform) SimConfig() sim.Config { return *p.opts.SimConfig }
+
+// Seed returns the platform's determinism seed.
+func (p *Platform) Seed() int64 { return p.opts.Seed }
+
+// RSAKey returns the platform's RSA key, generating it on first use.
+func (p *Platform) RSAKey() (*rsakey.PrivateKey, error) {
+	if p.key == nil {
+		rng := rand.New(rand.NewSource(p.opts.Seed))
+		k, err := rsakey.GenerateKey(rng, p.opts.RSABits)
+		if err != nil {
+			return nil, fmt.Errorf("wisp: generating %d-bit RSA key: %w", p.opts.RSABits, err)
+		}
+		p.key = k
+	}
+	return p.key, nil
+}
+
+// cpu returns (building and caching) a core loaded with the given kernel
+// variant.
+func (p *Platform) cpu(v kernels.Variant) (*sim.CPU, error) {
+	if c, ok := p.cpuCache[v.Name]; ok {
+		return c, nil
+	}
+	c, err := v.Build(*p.opts.SimConfig)
+	if err != nil {
+		return nil, err
+	}
+	p.cpuCache[v.Name] = c
+	return c, nil
+}
+
+// BaselineExpConfig is the pre-exploration software configuration: school-
+// book modular multiplication, binary square-and-multiply, no caching.
+var BaselineExpConfig = mpz.ExpConfig{
+	Alg:        mpz.ModMulBasecase,
+	WindowBits: 1,
+	Cache:      mpz.CacheNone,
+}
+
+// OptimizedExpConfig is the configuration the exploration phase selects:
+// Montgomery multiplication with a 4-bit window and a cached reducer.
+var OptimizedExpConfig = mpz.ExpConfig{
+	Alg:        mpz.ModMulMontgomery,
+	WindowBits: 4,
+	Cache:      mpz.CacheReducer,
+}
+
+// EstimateRSADecrypt prices one RSA private-key operation (cycles) under
+// the given algorithm configuration and kernel models, using the paper's
+// trace + macro-model flow.
+func (p *Platform) EstimateRSADecrypt(models *macromodel.ModelSet, cfg mpz.ExpConfig, crt rsakey.CRTMode) (float64, error) {
+	key, err := p.RSAKey()
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(p.opts.Seed + 100))
+	c := mpz.RandBelow(rng, key.N)
+	tr := mpz.NewTrace()
+	ctx := mpz.NewCtx(tr)
+	if _, err := rsakey.DecryptCfg(ctx, key, c, cfg, crt); err != nil {
+		return 0, err
+	}
+	cycles, missing := tr.EstimateCycles(models.Estimators())
+	if len(missing) != 0 {
+		return 0, fmt.Errorf("wisp: no macro-models for %v", missing)
+	}
+	return cycles, nil
+}
+
+// EstimateRSAEncrypt prices one RSA public-key operation (cycles).
+func (p *Platform) EstimateRSAEncrypt(models *macromodel.ModelSet, cfg mpz.ExpConfig) (float64, error) {
+	key, err := p.RSAKey()
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(p.opts.Seed + 101))
+	m := mpz.RandBelow(rng, key.N)
+	tr := mpz.NewTrace()
+	ctx := mpz.NewCtx(tr)
+	if _, err := rsakey.EncryptCfg(ctx, &key.PublicKey, m, cfg); err != nil {
+		return 0, err
+	}
+	cycles, missing := tr.EstimateCycles(models.Estimators())
+	if len(missing) != 0 {
+		return 0, fmt.Errorf("wisp: no macro-models for %v", missing)
+	}
+	return cycles, nil
+}

@@ -1,0 +1,282 @@
+package wisp
+
+import (
+	"strings"
+	"testing"
+
+	"wisp/internal/rsakey"
+)
+
+// testPlatform is shared across the package tests (512-bit RSA keeps key
+// generation and trace runs fast; the benchmarks use the 1024-bit default).
+var testPlatform = mustPlatform()
+
+func mustPlatform() *Platform {
+	p, err := New(Options{RSABits: 512})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestTable1Shapes(t *testing.T) {
+	rows, err := testPlatform.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+		if r.Base <= 0 || r.Optimized <= 0 {
+			t.Errorf("%s: non-positive measurements %+v", r.Algorithm, r)
+		}
+	}
+	// Paper's Table 1 shape criteria: every algorithm accelerates by
+	// an order of magnitude; DES/3DES in the tens; AES more modest;
+	// RSA decrypt the largest.
+	checks := []struct {
+		name     string
+		lo, hi   float64
+	}{
+		{"DES enc./dec.", 20, 60},      // paper: 31.0×
+		{"3DES enc./dec.", 20, 65},     // paper: 33.9×
+		{"AES enc./dec.", 8, 30},       // paper: 17.4×
+		{"RSA enc.", 4, 20},            // paper: 10.8×
+		{"RSA dec.", 30, 110},          // paper: up to 66.4×
+	}
+	for _, c := range checks {
+		r, ok := byName[c.name]
+		if !ok {
+			t.Errorf("missing row %q", c.name)
+			continue
+		}
+		if s := r.Speedup(); s < c.lo || s > c.hi {
+			t.Errorf("%s speedup %.1f× outside [%v, %v]", c.name, s, c.lo, c.hi)
+		}
+	}
+	// 3DES costs roughly 3× DES on both cores.
+	des, des3 := byName["DES enc./dec."], byName["3DES enc./dec."]
+	if ratio := des3.Base / des.Base; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("3DES/DES base ratio %.2f, want ≈3", ratio)
+	}
+	// RSA decrypt dwarfs encrypt (private vs 65537 exponent).
+	if byName["RSA dec."].Base < 10*byName["RSA enc."].Base {
+		t.Error("RSA decrypt not an order of magnitude above encrypt")
+	}
+	if out := RenderTable1(rows); !strings.Contains(out, "DES enc./dec.") {
+		t.Error("RenderTable1 missing rows")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	rows, err := testPlatform.Figure8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Figure 8 has %d sizes, want 6 (1KB..32KB)", len(rows))
+	}
+	for i, r := range rows {
+		if r.Speedup <= 1.5 || r.Speedup > 6 {
+			t.Errorf("%dB: speedup %.2f outside (1.5, 6]", r.Bytes, r.Speedup)
+		}
+		if i > 0 && r.Speedup <= rows[i-1].Speedup {
+			t.Errorf("speedup not increasing at %dB", r.Bytes)
+		}
+	}
+	// Composition shift: public-key dominates the 1KB baseline; the
+	// symmetric share overtakes it by 32KB.
+	pubS, _, _ := rows[0].Base.Fractions()
+	pubL, symL, _ := rows[len(rows)-1].Base.Fractions()
+	if pubS < 0.4 {
+		t.Errorf("1KB public-key share %.2f, want ≥ 0.4", pubS)
+	}
+	if symL <= pubL {
+		t.Errorf("32KB: symmetric %.2f does not overtake public-key %.2f", symL, pubL)
+	}
+}
+
+func TestFigure5Curves(t *testing.T) {
+	f5, err := testPlatform.Figure5(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five points each: base + addv2/4/8/16 (and the {add_k, mul_1} pairs).
+	if len(f5.AddN) != 5 {
+		t.Errorf("mpn_add_n curve has %d points, want 5", len(f5.AddN))
+	}
+	if len(f5.AddMul) != 5 {
+		t.Errorf("mpn_addmul_1 curve has %d points, want 5", len(f5.AddMul))
+	}
+	// The base point has zero area and the most cycles.
+	base := f5.AddN[0]
+	if base.Area() != 0 {
+		t.Errorf("first add_n point area %v, want 0 (curve sorted by area)", base.Area())
+	}
+	for _, p := range f5.AddN[1:] {
+		if p.Cycles >= base.Cycles {
+			t.Errorf("accelerated point %v not faster than base %v", p, base)
+		}
+	}
+	// Diminishing returns: cycles non-increasing along the area axis.
+	for i := 1; i < len(f5.AddN); i++ {
+		if f5.AddN[i].Cycles > f5.AddN[i-1].Cycles {
+			t.Errorf("add_n curve not monotone at %d", i)
+		}
+	}
+	// Pareto pruning removed at least one inferior combined point.
+	if len(f5.Root) >= len(f5.RootAll) {
+		t.Errorf("Pareto pruning removed nothing: %d -> %d", len(f5.RootAll), len(f5.Root))
+	}
+	if len(f5.Root) == 0 {
+		t.Fatal("empty root curve")
+	}
+}
+
+func TestFigure6Reduction(t *testing.T) {
+	raw, reduced, err := testPlatform.Figure6(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 25 {
+		t.Errorf("raw Cartesian product %d, want 25", raw)
+	}
+	if reduced != 9 {
+		t.Errorf("reduced design points %d, want 9 (the paper's Figure 6)", reduced)
+	}
+}
+
+func TestFigure4CallGraph(t *testing.T) {
+	g, err := testPlatform.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := g.Dump()
+	for _, want := range []string{"decrypt", "mod_exp", "mod_sqr", "mod_mul", "mpn_addmul_1"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Figure 4 graph missing %q:\n%s", want, dump)
+		}
+	}
+	// CRT decryption performs two exponentiations.
+	edges := g.Callees("decrypt")
+	var expCount float64
+	for _, e := range edges {
+		if e.Callee == "mod_exp" {
+			expCount = e.Count
+		}
+	}
+	if expCount != 2 {
+		t.Errorf("decrypt -> mod_exp count %v, want 2 (CRT)", expCount)
+	}
+}
+
+func TestSection43(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration study in -short mode")
+	}
+	rep, err := testPlatform.Section43(256, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates != 450 {
+		t.Errorf("candidates %d, want 450", rep.Candidates)
+	}
+	if rep.Best.EstCycles >= rep.Worst.EstCycles {
+		t.Error("best not better than worst")
+	}
+	// The explored optimum uses CRT and a non-trivial window.
+	if rep.Best.CRT == rsakey.CRTNone {
+		t.Errorf("best candidate %v does not use CRT", rep.Best.Config)
+	}
+	if rep.Best.Window < 2 {
+		t.Errorf("best candidate %v uses window %d", rep.Best.Config, rep.Best.Window)
+	}
+	if rep.MeanAbsErrPct > 25 {
+		t.Errorf("macro-model error %.1f%% too high", rep.MeanAbsErrPct)
+	}
+	if rep.SpeedRatio < 10 {
+		t.Errorf("macro-model speedup ratio %.0f×, want ≫ 10×", rep.SpeedRatio)
+	}
+	t.Logf("§4.3: best=%v (%.0f cycles), MAE=%.1f%%, speed ratio=%.0f×",
+		rep.Best.Config, rep.Best.EstCycles, rep.MeanAbsErrPct, rep.SpeedRatio)
+}
+
+func TestGapReport(t *testing.T) {
+	out, err := testPlatform.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0.35u", "3G", "gap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 report missing %q", want)
+		}
+	}
+	rows := GapRows(200)
+	if len(rows) == 0 || rows[len(rows)-1].Gap() <= rows[0].Gap() {
+		t.Error("gap model does not widen")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.RSABits != 1024 || o.TIEAddWidth != 8 || o.TIEMACWidth != 4 || o.Seed != 1 {
+		t.Errorf("defaults %+v", o)
+	}
+	if o.SimConfig == nil || o.SimConfig.ClockMHz != 188 {
+		t.Error("default sim config wrong")
+	}
+}
+
+func TestRSAKeyCachedAndValid(t *testing.T) {
+	k1, err := testPlatform.RSAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := testPlatform.RSAKey()
+	if k1 != k2 {
+		t.Error("RSA key not cached")
+	}
+	if k1.N.BitLen() != 512 {
+		t.Errorf("key size %d", k1.N.BitLen())
+	}
+}
+
+func TestExtensionSetComplete(t *testing.T) {
+	// The mounted security extension covers MPN, DES and AES units.
+	for _, name := range []string{"addv8", "subv8", "mulv4", "des_round", "aes_sbox4", "aes_mixcol", "ur_ldn"} {
+		if _, ok := testPlatform.Ext.ByName(name); !ok {
+			t.Errorf("security extension lacks %q", name)
+		}
+	}
+	if g := testPlatform.Ext.Gates(); g < 1000 {
+		t.Errorf("extension area %v implausibly small", g)
+	}
+}
+
+func TestEnergyImprovement(t *testing.T) {
+	row, err := testPlatform.MeasureDESEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.BasePJ <= 0 || row.OptPJ <= 0 {
+		t.Fatalf("non-positive energy: %+v", row)
+	}
+	// The extended core must also win on energy (the paper's deferred
+	// claim), though by less than the cycle speedup because the custom
+	// datapaths burn more per cycle.
+	imp := row.Improvement()
+	des, err := testPlatform.MeasureDES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp <= 1 {
+		t.Errorf("no energy improvement: %v", row)
+	}
+	if imp >= des.Speedup() {
+		t.Errorf("energy improvement %.1f not below cycle speedup %.1f", imp, des.Speedup())
+	}
+	t.Logf("%v (cycle speedup %.1fX)", row, des.Speedup())
+}

@@ -1,0 +1,234 @@
+package wisp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wisp/internal/aescipher"
+	"wisp/internal/descipher"
+	"wisp/internal/kernels"
+	"wisp/internal/rsakey"
+	"wisp/internal/sim"
+)
+
+// Table1Row is one line of the paper's Table 1: an algorithm's cost on the
+// base core and on the extended core, plus the resulting speedup.  Cipher
+// rows report cycles/byte; RSA rows report cycles per operation.
+type Table1Row struct {
+	Algorithm string
+	Unit      string // "cycles/byte" or "cycles/op"
+	Base      float64
+	Optimized float64
+}
+
+// Speedup returns Base / Optimized.
+func (r Table1Row) Speedup() float64 {
+	if r.Optimized == 0 {
+		return 0
+	}
+	return r.Base / r.Optimized
+}
+
+// Scratch addresses for cipher measurements (above kernel data images).
+const (
+	t1Src = 0x70000
+	t1Dst = 0x72000
+	t1Key = 0x74000
+)
+
+// measureBlocks runs `fn` on `cpu` over blocks blocks and returns average
+// cycles per byte.
+func measureCipher(cpu *sim.CPU, fn string, blockBytes, blocks int, ks []uint32, src []byte) (float64, error) {
+	if err := cpu.WriteBytes(t1Src, src); err != nil {
+		return 0, err
+	}
+	if err := cpu.WriteWords(t1Key, ks); err != nil {
+		return 0, err
+	}
+	var total uint64
+	for b := 0; b < blocks; b++ {
+		_, cycles, err := cpu.Call(fn, t1Dst, t1Src, t1Key)
+		if err != nil {
+			return 0, err
+		}
+		total += cycles
+	}
+	return float64(total) / float64(blocks*blockBytes), nil
+}
+
+// MeasureDES measures single-DES encryption on both cores (cycles/byte).
+func (p *Platform) MeasureDES() (Table1Row, error) {
+	rng := rand.New(rand.NewSource(p.opts.Seed + 10))
+	key := make([]byte, 8)
+	blk := make([]byte, 8)
+	rng.Read(key)
+	rng.Read(blk)
+	c, err := descipher.NewCipher(key)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	baseCPU, err := p.cpu(kernels.DESBase())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	tieCPU, err := p.cpu(kernels.DESTIE())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	base, err := measureCipher(baseCPU, "des_block", 8, 4, kernels.PrepDESKeyScheduleBase(c, false), blk)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	opt, err := measureCipher(tieCPU, "des_block", 8, 4, kernels.PrepDESKeyScheduleTIE(c, false), blk)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{Algorithm: "DES enc./dec.", Unit: "cycles/byte", Base: base, Optimized: opt}, nil
+}
+
+// Measure3DES measures triple-DES encryption on both cores (cycles/byte).
+func (p *Platform) Measure3DES() (Table1Row, error) {
+	rng := rand.New(rand.NewSource(p.opts.Seed + 11))
+	key := make([]byte, 24)
+	blk := make([]byte, 8)
+	rng.Read(key)
+	rng.Read(blk)
+	c, err := descipher.NewTripleCipher(key)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	baseCPU, err := p.cpu(kernels.DESBase())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	tieCPU, err := p.cpu(kernels.DESTIE())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	base, err := measureCipher(baseCPU, "des3_block", 8, 4, kernels.Prep3DESKeyScheduleBase(c, false), blk)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	opt, err := measureCipher(tieCPU, "des3_block", 8, 4, kernels.Prep3DESKeyScheduleTIE(c, false), blk)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{Algorithm: "3DES enc./dec.", Unit: "cycles/byte", Base: base, Optimized: opt}, nil
+}
+
+// MeasureAES measures AES-128 encryption on both cores (cycles/byte).
+func (p *Platform) MeasureAES() (Table1Row, error) {
+	rng := rand.New(rand.NewSource(p.opts.Seed + 12))
+	key := make([]byte, 16)
+	blk := make([]byte, 16)
+	rng.Read(key)
+	rng.Read(blk)
+	c, err := aescipher.NewCipher(key)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	baseCPU, err := p.cpu(kernels.AESBase())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	tieCPU, err := p.cpu(kernels.AESTIE())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	ks := kernels.PrepAESKeySchedule(c)
+	base, err := measureCipher(baseCPU, "aes_encrypt", 16, 2, ks, blk)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	opt, err := measureCipher(tieCPU, "aes_encrypt", 16, 2, ks, blk)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{Algorithm: "AES enc./dec.", Unit: "cycles/byte", Base: base, Optimized: opt}, nil
+}
+
+// MeasureRSAEncrypt compares the public-key operation before and after the
+// co-design: baseline software on the base core versus the explored
+// algorithm on the extended core.
+func (p *Platform) MeasureRSAEncrypt() (Table1Row, error) {
+	base, err := p.EstimateRSAEncrypt(p.BaseModels, BaselineExpConfig)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	opt, err := p.EstimateRSAEncrypt(p.TIEModels, OptimizedExpConfig)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{Algorithm: "RSA enc.", Unit: "cycles/op", Base: base, Optimized: opt}, nil
+}
+
+// MeasureRSADecrypt compares the private-key operation: the baseline uses
+// no CRT; the optimized platform uses Garner's CRT.
+func (p *Platform) MeasureRSADecrypt() (Table1Row, error) {
+	base, err := p.EstimateRSADecrypt(p.BaseModels, BaselineExpConfig, rsakey.CRTNone)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	opt, err := p.EstimateRSADecrypt(p.TIEModels, OptimizedExpConfig, rsakey.CRTGarner)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{Algorithm: "RSA dec.", Unit: "cycles/op", Base: base, Optimized: opt}, nil
+}
+
+// MeasureMD5 measures the MD5 compression kernel on the base core
+// (cycles/byte).  MD5 is not accelerated — it feeds the SSL record-layer
+// MAC cost, part of the miscellaneous share of Figure 8.
+func (p *Platform) MeasureMD5() (float64, error) {
+	cpu, err := p.cpu(kernels.MD5Base())
+	if err != nil {
+		return 0, err
+	}
+	if err := cpu.WriteWords(t1Key, []uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(p.opts.Seed + 13))
+	blk := make([]byte, 64)
+	rng.Read(blk)
+	if err := cpu.WriteBytes(t1Src, blk); err != nil {
+		return 0, err
+	}
+	var total uint64
+	const blocks = 4
+	for i := 0; i < blocks; i++ {
+		_, cycles, err := cpu.Call("md5_block", t1Key, t1Src)
+		if err != nil {
+			return 0, err
+		}
+		total += cycles
+	}
+	return float64(total) / (blocks * 64), nil
+}
+
+// Table1 measures all five rows of the paper's Table 1.
+func (p *Platform) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, f := range []func() (Table1Row, error){
+		p.MeasureDES, p.Measure3DES, p.MeasureAES,
+		p.MeasureRSAEncrypt, p.MeasureRSADecrypt,
+	} {
+		r, err := f()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats the rows like the paper's table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %9s  %s\n", "algorithm", "base", "optimized", "speedup", "unit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %14.1f %14.1f %8.1fX  %s\n",
+			r.Algorithm, r.Base, r.Optimized, r.Speedup(), r.Unit)
+	}
+	return b.String()
+}
