@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test check race fuzz bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: static analysis plus the full test suite under the
+# race detector.  The parallel exploration engine's determinism tests run
+# worker pools concurrently here, so data races in the pricing memo, the
+# A-D combination memo or the worker pool itself fail the build.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race: check
+
+# Short bursts of the native fuzz targets (differential vs math/big);
+# the checked-in seed corpora under testdata/fuzz always run as part of
+# plain `make test`.
+fuzz:
+	$(GO) test -fuzz FuzzMpnDiv -fuzztime 30s ./internal/mpn/
+	$(GO) test -fuzz FuzzModMul -fuzztime 30s ./internal/mpz/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"wisp/internal/aescipher"
 	"wisp/internal/descipher"
@@ -169,6 +170,67 @@ func BenchmarkSection43Exploration(b *testing.B) {
 	b.ReportMetric(float64(rep.Candidates), "candidates")
 	b.ReportMetric(rep.MeanAbsErrPct, "mae-pct")
 	b.ReportMetric(rep.SpeedRatio, "est-vs-iss-x")
+}
+
+// BenchmarkSection43ExplorationParallel tracks the parallel exploration
+// engine: the 450-candidate space fanned out across GOMAXPROCS workers,
+// with the sequential pass measured once as the speedup baseline.  On a
+// single-core host the speedup metric sits near 1×; the ranked output is
+// asserted identical to sequential either way.
+func BenchmarkSection43ExplorationParallel(b *testing.B) {
+	p := benchPlatform(b)
+	seqStart := time.Now()
+	seqRep, err := p.Section43Parallel(256, 0, 2, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqTime := time.Since(seqStart)
+	b.ResetTimer()
+	var rep *ExplorationReport
+	for i := 0; i < b.N; i++ {
+		rep, err = p.Section43Parallel(256, 0, 2, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := range rep.Results {
+		if rep.Results[i].Config != seqRep.Results[i].Config ||
+			rep.Results[i].EstCycles != seqRep.Results[i].EstCycles {
+			b.Fatalf("rank %d: parallel %v disagrees with sequential %v",
+				i, rep.Results[i].Config, seqRep.Results[i].Config)
+		}
+	}
+	b.ReportMetric(float64(rep.Workers), "workers")
+	b.ReportMetric(seqTime.Seconds()/rep.EstimateTime.Seconds(), "parallel-speedup-x")
+	b.ReportMetric(100*rep.PriceCache.HitRate(), "price-memo-hit-pct")
+}
+
+// BenchmarkFigure5ADCurvesParallel tracks the parallel per-routine curve
+// formulation (each ISS measurement on its own simulator instance).
+func BenchmarkFigure5ADCurvesParallel(b *testing.B) {
+	p := benchPlatform(b)
+	seqStart := time.Now()
+	seq, err := p.Figure5Parallel(16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqTime := time.Since(seqStart)
+	b.ResetTimer()
+	var f5 *Figure5Data
+	var par time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		f5, err = p.Figure5Parallel(16, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par = time.Since(start)
+	}
+	if f5.Root.String() != seq.Root.String() {
+		b.Fatal("parallel root curve disagrees with sequential")
+	}
+	b.ReportMetric(seqTime.Seconds()/par.Seconds(), "parallel-speedup-x")
+	b.ReportMetric(float64(len(f5.Root)), "root-pareto-points")
 }
 
 // --- Figure 1 ---

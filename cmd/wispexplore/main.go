@@ -1,20 +1,24 @@
 // Command wispexplore runs the algorithm design-space exploration of §4.3:
 // it prices all 450 modular-exponentiation candidates with ISS-derived
-// performance macro-models, optionally replays a sample on the ISS for
-// ground truth, and can print the Figure 4 call graph of the winning
-// configuration.
+// performance macro-models — fanned out across a bounded worker pool —
+// optionally replays a sample on the ISS for ground truth, and can print
+// the Figure 4 call graph of the winning configuration.
 //
 // Usage:
 //
 //	wispexplore [-bits 512] [-top 10] [-replay 3] [-callgraph]
+//	            [-workers N] [-compare] [-quiet]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"wisp"
+	"wisp/internal/explore"
 )
 
 func main() {
@@ -23,6 +27,9 @@ func main() {
 	replay := flag.Int("replay", 3, "candidates to replay on the ISS for ground truth")
 	sampleCap := flag.Int("samplecap", 2, "max ISS executions per trace bucket during replay")
 	callGraph := flag.Bool("callgraph", false, "print the Figure 4 call graph")
+	workers := flag.Int("workers", 0, "worker pool size for candidate evaluation (0 = GOMAXPROCS)")
+	compare := flag.Bool("compare", false, "also run the sequential pass and report the parallel speedup")
+	quiet := flag.Bool("quiet", false, "suppress progress reporting on stderr")
 	flag.Parse()
 
 	p, err := wisp.New(wisp.Options{RSABits: *bits})
@@ -40,15 +47,58 @@ func main() {
 		fmt.Println()
 	}
 
+	var progress explore.ProgressFunc
+	if !*quiet {
+		var last atomic.Int64
+		progress = func(done, total int) {
+			// Throttle to ~5% steps; progress is called from workers.
+			step := int64(done * 20 / total)
+			if prev := last.Load(); step > prev && last.CompareAndSwap(prev, step) {
+				fmt.Fprintf(os.Stderr, "\rexploring... %d/%d candidates (%d%%)", done, total, done*100/total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
 	fmt.Printf("exploring 450 candidates on an RSA-%d decryption workload...\n", *bits)
-	rep, err := p.Section43(*bits, *replay, *sampleCap)
+	rep, err := p.Section43Parallel(*bits, *replay, *sampleCap, *workers, progress)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\n%d candidates priced in %v (%.2f ms/candidate)\n",
-		rep.Candidates, rep.EstimateTime,
+	fmt.Printf("\n%d candidates priced in %v on %d workers (%.2f ms/candidate)\n",
+		rep.Candidates, rep.EstimateTime, rep.Workers,
 		rep.EstimateTime.Seconds()*1000/float64(rep.Candidates))
-	fmt.Printf("best:  %v  (%.0f cycles)\n", rep.Best.Config, rep.Best.EstCycles)
+	fmt.Printf("pricing memo: %v\n", rep.PriceCache)
+
+	if *compare {
+		seqStart := time.Now()
+		seqRep, err := p.Section43Parallel(*bits, 0, *sampleCap, 1, nil)
+		if err != nil {
+			fatal(err)
+		}
+		seqTime := time.Since(seqStart)
+		if seqRep.Best.Config != rep.Best.Config {
+			fatal(fmt.Errorf("sequential best %v disagrees with parallel best %v",
+				seqRep.Best.Config, rep.Best.Config))
+		}
+		fmt.Printf("sequential pass: %v — parallel speedup %.2f× at %d workers\n",
+			seqTime, seqTime.Seconds()/rep.EstimateTime.Seconds(), rep.Workers)
+	}
+
+	if *top > 0 {
+		n := *top
+		if n > len(rep.Results) {
+			n = len(rep.Results)
+		}
+		fmt.Printf("\ntop %d candidates:\n", n)
+		for i, r := range rep.Results[:n] {
+			fmt.Printf("  %2d. %-45v %12.0f cycles\n", i+1, r.Config, r.EstCycles)
+		}
+	}
+
+	fmt.Printf("\nbest:  %v  (%.0f cycles)\n", rep.Best.Config, rep.Best.EstCycles)
 	fmt.Printf("worst: %v  (%.0f cycles, %.1f× slower)\n",
 		rep.Worst.Config, rep.Worst.EstCycles, rep.Worst.EstCycles/rep.Best.EstCycles)
 	if rep.ReplayCount > 0 {
@@ -56,7 +106,6 @@ func main() {
 		fmt.Printf("  macro-model mean abs. error: %.2f%%\n", rep.MeanAbsErrPct)
 		fmt.Printf("  estimation speedup over full ISS evaluation: %.0f×\n", rep.SpeedRatio)
 	}
-	_ = top
 }
 
 func fatal(err error) {

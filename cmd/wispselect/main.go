@@ -1,35 +1,57 @@
 // Command wispselect runs the custom-instruction formulation and global
 // selection phases: it measures the A-D curves of the multi-precision leaf
-// routines on the ISS (Figure 5), shows the Cartesian-product reduction
-// (Figure 6), and selects the best instruction combination under an area
-// budget (§3.4).
+// routines on the ISS (Figure 5) across a bounded worker pool, shows the
+// Cartesian-product reduction (Figure 6), and selects the best instruction
+// combination under an area budget (§3.4).
 //
 // Usage:
 //
-//	wispselect [-n 16] [-budget 12000]
+//	wispselect [-n 16] [-budget 12000] [-workers N] [-compare]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"wisp"
 	"wisp/internal/instrsel"
+	"wisp/internal/pool"
 )
 
 func main() {
 	n := flag.Int("n", 16, "operand size in limbs for the kernel curves")
 	budget := flag.Float64("budget", 12000, "area budget in gate equivalents")
+	workers := flag.Int("workers", 0, "worker pool size for curve formulation (0 = GOMAXPROCS)")
+	compare := flag.Bool("compare", false, "also run the sequential formulation and report the parallel speedup")
 	flag.Parse()
 
 	p, err := wisp.New(wisp.Options{})
 	if err != nil {
 		fatal(err)
 	}
-	f5, err := p.Figure5(*n)
+	fmt.Fprintf(os.Stderr, "formulating A-D curves on %d workers...\n", pool.Workers(*workers, 0))
+	start := time.Now()
+	f5, err := p.Figure5Parallel(*n, *workers)
 	if err != nil {
 		fatal(err)
+	}
+	parTime := time.Since(start)
+	fmt.Fprintf(os.Stderr, "curve formulation: %v\n", parTime)
+
+	if *compare {
+		seqStart := time.Now()
+		seq, err := p.Figure5Parallel(*n, 1)
+		if err != nil {
+			fatal(err)
+		}
+		seqTime := time.Since(seqStart)
+		if seq.Root.String() != f5.Root.String() {
+			fatal(fmt.Errorf("sequential root curve disagrees with parallel"))
+		}
+		fmt.Fprintf(os.Stderr, "sequential formulation: %v — parallel speedup %.2f×\n",
+			seqTime, seqTime.Seconds()/parTime.Seconds())
 	}
 
 	fmt.Printf("Figure 5(a) — mpn_add_n A-D curve (n=%d limbs):\n%s\n", *n, f5.AddN)
@@ -50,7 +72,7 @@ func main() {
 	fmt.Printf("global selection under %.0f-gate budget:\n  %v\n", *budget, sel)
 
 	fmt.Println("\nbudget sweep:")
-	for _, s := range instrsel.Sweep(f5.Root, []float64{0, 2000, 4000, 8000, 16000, 1e9}) {
+	for _, s := range instrsel.SweepParallel(f5.Root, []float64{0, 2000, 4000, 8000, 16000, 1e9}, *workers) {
 		fmt.Printf("  area ≤ %8.0f: %s (%.0f cycles, %.2f×)\n",
 			s.Point.Area(), s.Point.Set.Key(), s.Point.Cycles, s.Speedup())
 	}

@@ -11,6 +11,7 @@ import (
 	"wisp/internal/explore"
 	"wisp/internal/kernels"
 	"wisp/internal/mpz"
+	"wisp/internal/pool"
 	"wisp/internal/rsakey"
 	"wisp/internal/sim"
 	"wisp/internal/ssl"
@@ -64,84 +65,108 @@ func (p *Platform) measureMPN(cpu *sim.CPU, routine string, n int, seed int64) (
 // it instantiates.  n is the operand size in limbs (the paper's plot uses
 // a fixed vector length; 8 limbs reproduces its 202-cycle base point).
 func (p *Platform) Figure5(n int) (*Figure5Data, error) {
-	baseCPU, err := p.cpu(kernels.MPNBase())
-	if err != nil {
-		return nil, err
-	}
-	baseAdd, err := p.measureMPN(baseCPU, "mpn_add_n", n, p.opts.Seed+20)
-	if err != nil {
-		return nil, err
-	}
-	baseMul, err := p.measureMPN(baseCPU, "mpn_addmul_1", n, p.opts.Seed+21)
-	if err != nil {
-		return nil, err
-	}
-	addN := adcurve.Curve{{Cycles: baseAdd, Set: adcurve.NewInstrSet()}}
-	addMul := adcurve.Curve{{Cycles: baseMul, Set: adcurve.NewInstrSet()}}
+	return p.Figure5Parallel(n, 1)
+}
 
+// figure5Task is one independent ISS measurement of the per-routine curve
+// formulation: a routine on one core (width 0 = base, else the vector
+// width of the TIE datapath).
+type figure5Task struct {
+	routine string
+	width   int
+	seed    int64
+}
+
+// Figure5Parallel is Figure5 across a bounded worker pool.  Every
+// (routine, core) measurement is independent, so they fan out; each task
+// builds its own simulator instance (the ISS is stateful, so concurrent
+// tasks never share one), and the deterministic simulator makes the
+// measured cycles — and therefore the curves — identical to the
+// sequential run for any worker count (workers ≤ 0 selects GOMAXPROCS).
+func (p *Platform) Figure5Parallel(n, workers int) (*Figure5Data, error) {
+	tasks := []figure5Task{
+		{"mpn_add_n", 0, p.opts.Seed + 20},
+		{"mpn_addmul_1", 0, p.opts.Seed + 21},
+	}
+	var widths []int
 	for _, k := range []int{2, 4, 8, 16} {
-		if n%k != 0 {
-			continue
+		if n%k == 0 {
+			widths = append(widths, k)
 		}
-		v, err := kernels.MPNTIE(k, 1, n)
-		if err != nil {
-			return nil, err
-		}
-		cpu, err := p.cpu(v)
-		if err != nil {
-			return nil, err
-		}
-		cyc, err := p.measureMPN(cpu, "mpn_add_n", n, p.opts.Seed+22)
-		if err != nil {
-			return nil, err
-		}
-		ins, err := figure5Instrs(v.Ext, fmt.Sprintf("addv%d", k))
-		if err != nil {
-			return nil, err
-		}
-		addN = append(addN, adcurve.Point{Cycles: cyc, Set: adcurve.NewInstrSet(ins...)})
 	}
-
 	// The addmul datapath reuses the vector adder family: its design
 	// points pair each adder width with a one-wide multiplier array,
 	// exactly the {add_k, mul_1} structure of the paper's Figure 5(b).
-	for _, k := range []int{2, 4, 8, 16} {
-		if n%k != 0 {
-			continue
+	for _, k := range widths {
+		tasks = append(tasks, figure5Task{"mpn_add_n", k, p.opts.Seed + 22})
+	}
+	for _, k := range widths {
+		tasks = append(tasks, figure5Task{"mpn_addmul_1", k, p.opts.Seed + 23})
+	}
+
+	points := make([]adcurve.Point, len(tasks))
+	err := pool.ForEach(len(tasks), workers, func(i int) error {
+		t := tasks[i]
+		var v kernels.Variant
+		if t.width == 0 {
+			v = kernels.MPNBase()
+		} else {
+			var err error
+			if v, err = kernels.MPNTIE(t.width, 1, n); err != nil {
+				return err
+			}
 		}
-		v, err := kernels.MPNTIE(k, 1, n)
+		cpu, err := v.Build(*p.opts.SimConfig)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cpu, err := p.cpu(v)
+		cyc, err := p.measureMPN(cpu, t.routine, n, t.seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cyc, err := p.measureMPN(cpu, "mpn_addmul_1", n, p.opts.Seed+23)
-		if err != nil {
-			return nil, err
+		set := adcurve.NewInstrSet()
+		if t.width > 0 {
+			compute := []string{fmt.Sprintf("addv%d", t.width)}
+			if t.routine == "mpn_addmul_1" {
+				compute = append(compute, "mulv1", "cgetm")
+			}
+			ins, err := figure5Instrs(v.Ext, compute...)
+			if err != nil {
+				return err
+			}
+			set = adcurve.NewInstrSet(ins...)
 		}
-		ins, err := figure5Instrs(v.Ext, fmt.Sprintf("addv%d", k), "mulv1", "cgetm")
-		if err != nil {
-			return nil, err
+		points[i] = adcurve.Point{Cycles: cyc, Set: set}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var addN, addMul adcurve.Curve
+	for i, t := range tasks {
+		if t.routine == "mpn_add_n" {
+			addN = append(addN, points[i])
+		} else {
+			addMul = append(addMul, points[i])
 		}
-		addMul = append(addMul, adcurve.Point{Cycles: cyc, Set: adcurve.NewInstrSet(ins...)})
 	}
 
 	// Figure 5(c): a parent calling mpn_addmul_1 n times and mpn_add_n
 	// twice per invocation (one basecase-multiplication row pattern).
+	memo := adcurve.NewMemo()
 	g := callgraph.New("mod_mul")
 	g.SetLocalCycles("mod_mul", 40)
 	g.AddCall("mod_mul", "mpn_addmul_1", float64(n))
 	g.AddCall("mod_mul", "mpn_add_n", 2)
 	g.SetCurve("mpn_add_n", addN)
 	g.SetCurve("mpn_addmul_1", addMul)
-	root, err := g.RootCurve()
+	root, err := g.RootCurveParallel(workers, memo)
 	if err != nil {
 		return nil, err
 	}
 	// The unpruned combination, for the P1-style comparison.
-	all := adcurve.Combine(addN.Scale(2), addMul.Scale(float64(n))).Offset(40)
+	all := adcurve.CombineMemo(addN.Scale(2), addMul.Scale(float64(n)), memo, workers).Offset(40)
 
 	addN.Sort()
 	addMul.Sort()
@@ -301,7 +326,10 @@ type ExplorationReport struct {
 	Candidates    int
 	Best          explore.Result
 	Worst         explore.Result
-	EstimateTime  time.Duration // macro-model pass over the whole space
+	Results       []explore.Result // full ranked space, best-first
+	EstimateTime  time.Duration    // macro-model pass over the whole space
+	Workers       int              // worker-pool size of the estimate pass
+	PriceCache    explore.CacheStats
 	ReplayCount   int
 	ReplayTime    time.Duration // ISS replays of ReplayCount candidates
 	MeanAbsErrPct float64       // macro-model vs ISS replay
@@ -315,6 +343,15 @@ type ExplorationReport struct {
 // space faster).  replayCount candidates are re-measured on the ISS with
 // sampleCap invocations per trace bucket.
 func (p *Platform) Section43(rsaBits, replayCount, sampleCap int) (*ExplorationReport, error) {
+	return p.Section43Parallel(rsaBits, replayCount, sampleCap, 1, nil)
+}
+
+// Section43Parallel is Section43 with the candidate-evaluation pass fanned
+// out across a bounded worker pool (workers ≤ 0 selects GOMAXPROCS).  The
+// ranked results are identical to the sequential study for any worker
+// count.  progress, when non-nil, observes candidate completion from the
+// worker goroutines.
+func (p *Platform) Section43Parallel(rsaBits, replayCount, sampleCap, workers int, progress explore.ProgressFunc) (*ExplorationReport, error) {
 	rng := rand.New(rand.NewSource(p.opts.Seed + 40))
 	key, err := rsakey.GenerateKey(rng, rsaBits)
 	if err != nil {
@@ -324,7 +361,7 @@ func (p *Platform) Section43(rsaBits, replayCount, sampleCap int) (*ExplorationR
 
 	space := explore.Space()
 	start := time.Now()
-	results, err := ex.EvaluateAll(space)
+	results, err := ex.EvaluateAllParallel(space, workers, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +371,10 @@ func (p *Platform) Section43(rsaBits, replayCount, sampleCap int) (*ExplorationR
 		Candidates:   len(results),
 		Best:         results[0],
 		Worst:        results[len(results)-1],
+		Results:      results,
 		EstimateTime: estTime,
+		Workers:      pool.Workers(workers, len(space)),
+		PriceCache:   ex.CacheStats(),
 	}
 
 	// Replay a spread of radix-32 candidates on the ISS.

@@ -123,15 +123,45 @@ func (p Point) String() string {
 // Curve is a set of design points for one routine or subgraph.
 type Curve []Point
 
-// Sort orders the curve by ascending area (ties by cycles).
-func (c Curve) Sort() {
-	sort.Slice(c, func(i, j int) bool {
-		ai, aj := c[i].Area(), c[j].Area()
-		if ai != aj {
-			return ai < aj
-		}
-		return c[i].Cycles < c[j].Cycles
-	})
+// Sort orders the curve canonically: ascending area, ties by cycles, then
+// by instruction-set key.  The full tie-break makes the order independent
+// of the input permutation, which is what lets the parallel combination
+// paths produce byte-identical curves to the sequential ones.  Areas and
+// keys are computed once per point rather than per comparison.
+func (c Curve) Sort() { c.sortMemo(nil) }
+
+type pointRank struct {
+	area float64
+	key  string
+}
+
+func (c Curve) sortMemo(m *Memo) {
+	ranks := make([]pointRank, len(c))
+	for i, p := range c {
+		ranks[i] = pointRank{area: m.gatesOf(p.Set), key: p.Set.Key()}
+	}
+	sort.Sort(&curveSorter{c: c, ranks: ranks})
+}
+
+type curveSorter struct {
+	c     Curve
+	ranks []pointRank
+}
+
+func (s *curveSorter) Len() int { return len(s.c) }
+func (s *curveSorter) Swap(i, j int) {
+	s.c[i], s.c[j] = s.c[j], s.c[i]
+	s.ranks[i], s.ranks[j] = s.ranks[j], s.ranks[i]
+}
+func (s *curveSorter) Less(i, j int) bool {
+	ri, rj := s.ranks[i], s.ranks[j]
+	if ri.area != rj.area {
+		return ri.area < rj.area
+	}
+	if s.c[i].Cycles != s.c[j].Cycles {
+		return s.c[i].Cycles < s.c[j].Cycles
+	}
+	return ri.key < rj.key
 }
 
 // Scale returns a copy with every point's cycles multiplied by f — a
@@ -158,35 +188,7 @@ func (c Curve) Offset(off float64) Curve {
 // add, its instruction sets union (with dominance reduction and hardware
 // sharing), and equivalent-set entries collapse keeping the best cycles.
 // This is the Figure 6 operation.
-func Combine(a, b Curve) Curve {
-	if len(a) == 0 {
-		return append(Curve(nil), b...)
-	}
-	if len(b) == 0 {
-		return append(Curve(nil), a...)
-	}
-	best := make(map[string]Point)
-	order := make([]string, 0, len(a)*len(b))
-	for _, pa := range a {
-		for _, pb := range b {
-			set := pa.Set.Union(pb.Set)
-			cycles := pa.Cycles + pb.Cycles
-			key := set.Key()
-			if cur, ok := best[key]; !ok {
-				best[key] = Point{Cycles: cycles, Set: set}
-				order = append(order, key)
-			} else if cycles < cur.Cycles {
-				best[key] = Point{Cycles: cycles, Set: set}
-			}
-		}
-	}
-	out := make(Curve, 0, len(best))
-	for _, k := range order {
-		out = append(out, best[k])
-	}
-	out.Sort()
-	return out
-}
+func Combine(a, b Curve) Curve { return CombineMemo(a, b, nil, 1) }
 
 // CombineRaw is Combine without the equivalence collapse — every pairing
 // becomes a distinct point.  It exists to quantify the reduction (the

@@ -1,0 +1,158 @@
+package adcurve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wisp/internal/pool"
+)
+
+// MemoStats reports the effectiveness of a combination memo.
+type MemoStats struct {
+	UnionHits, UnionMisses uint64 // instruction-set unions
+	GatesHits, GatesMisses uint64 // hardware-area evaluations
+}
+
+func (s MemoStats) String() string {
+	return fmt.Sprintf("unions %d/%d hit, gates %d/%d hit",
+		s.UnionHits, s.UnionHits+s.UnionMisses,
+		s.GatesHits, s.GatesHits+s.GatesMisses)
+}
+
+// Memo caches the two pure computations that dominate Cartesian curve
+// combination: instruction-set unions (dominance reduction) and hardware
+// area (family sharing).  Both are keyed on the canonical InstrSet key, so
+// the same combination appearing in different subtrees — or in repeated
+// propagations over the same leaf curves — is computed once.  A Memo is
+// safe for concurrent use and may be shared across Combine calls, curve
+// propagations and goroutines.  A nil *Memo is valid and disables caching.
+type Memo struct {
+	mu     sync.Mutex
+	unions map[[2]string]InstrSet
+	gates  map[string]float64
+
+	unionHits, unionMisses atomic.Uint64
+	gatesHits, gatesMisses atomic.Uint64
+}
+
+// NewMemo returns an empty combination memo.
+func NewMemo() *Memo {
+	return &Memo{
+		unions: make(map[[2]string]InstrSet),
+		gates:  make(map[string]float64),
+	}
+}
+
+// Stats returns the memo's hit/miss counters (zero for a nil memo).
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	return MemoStats{
+		UnionHits: m.unionHits.Load(), UnionMisses: m.unionMisses.Load(),
+		GatesHits: m.gatesHits.Load(), GatesMisses: m.gatesMisses.Load(),
+	}
+}
+
+// union returns a ∪ b through the memo.  The key orders the two canonical
+// set keys so both argument orders share one entry (union is commutative).
+func (m *Memo) union(a, b InstrSet) InstrSet {
+	if m == nil {
+		return a.Union(b)
+	}
+	ka, kb := a.Key(), b.Key()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	key := [2]string{ka, kb}
+	m.mu.Lock()
+	s, ok := m.unions[key]
+	m.mu.Unlock()
+	if ok {
+		m.unionHits.Add(1)
+		return s
+	}
+	m.unionMisses.Add(1)
+	s = a.Union(b)
+	m.mu.Lock()
+	m.unions[key] = s
+	m.mu.Unlock()
+	return s
+}
+
+// gatesOf returns the set's area through the memo (uncached for nil).
+func (m *Memo) gatesOf(s InstrSet) float64 {
+	if m == nil {
+		return s.Gates()
+	}
+	key := s.Key()
+	m.mu.Lock()
+	g, ok := m.gates[key]
+	m.mu.Unlock()
+	if ok {
+		m.gatesHits.Add(1)
+		return g
+	}
+	m.gatesMisses.Add(1)
+	g = s.Gates()
+	m.mu.Lock()
+	m.gates[key] = g
+	m.mu.Unlock()
+	return g
+}
+
+// CombineMemo is Combine with an optional memo and a bounded worker pool:
+// the Cartesian product's rows are partitioned across up to workers
+// goroutines, each collapsing its share into a private map, and the
+// partial maps merge by minimum cycles.  Because the equivalence collapse
+// is order-independent (minimum over pairings) and the final sort is
+// canonical, the result is byte-identical to sequential Combine for any
+// worker count.
+func CombineMemo(a, b Curve, m *Memo, workers int) Curve {
+	if len(a) == 0 {
+		return append(Curve(nil), b...)
+	}
+	if len(b) == 0 {
+		return append(Curve(nil), a...)
+	}
+	workers = pool.Workers(workers, len(a))
+	parts := make([]map[string]Point, workers)
+	chunk := (len(a) + workers - 1) / workers
+	_ = pool.ForEach(workers, workers, func(w int) error {
+		lo, hi := w*chunk, (w+1)*chunk
+		if lo > len(a) {
+			lo = len(a)
+		}
+		if hi > len(a) {
+			hi = len(a)
+		}
+		best := make(map[string]Point)
+		for _, pa := range a[lo:hi] {
+			for _, pb := range b {
+				set := m.union(pa.Set, pb.Set)
+				cycles := pa.Cycles + pb.Cycles
+				key := set.Key()
+				if cur, ok := best[key]; !ok || cycles < cur.Cycles {
+					best[key] = Point{Cycles: cycles, Set: set}
+				}
+			}
+		}
+		parts[w] = best
+		return nil
+	})
+	merged := parts[0]
+	for _, part := range parts[1:] {
+		for key, p := range part {
+			if cur, ok := merged[key]; !ok || p.Cycles < cur.Cycles {
+				merged[key] = p
+			}
+		}
+	}
+	out := make(Curve, 0, len(merged))
+	for _, p := range merged {
+		out = append(out, p)
+	}
+	out.sortMemo(m)
+	return out
+}

@@ -1,0 +1,137 @@
+package adcurve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/tie"
+)
+
+// randCurve builds a curve of sz points over a small instruction alphabet,
+// exercising family sharing, dominance and equivalent-set collapse.
+func randCurve(rng *rand.Rand, sz int) Curve {
+	instrs := []*tie.Instr{
+		{Name: "addv2", Family: "vadd", Kind: "addv", Rank: 2, Res: tie.Resources{Adders: 2}},
+		{Name: "addv4", Family: "vadd", Kind: "addv", Rank: 4, Res: tie.Resources{Adders: 4}},
+		{Name: "addv8", Family: "vadd", Kind: "addv", Rank: 8, Res: tie.Resources{Adders: 8}},
+		{Name: "mulv1", Family: "vmul", Kind: "mulv", Rank: 1, Res: tie.Resources{Mults: 1}},
+		{Name: "sbox", Res: tie.Resources{LUTBits: 2048}},
+	}
+	c := make(Curve, sz)
+	for i := range c {
+		var members []*tie.Instr
+		for _, in := range instrs {
+			if rng.Intn(2) == 0 {
+				members = append(members, in)
+			}
+		}
+		c[i] = Point{Cycles: float64(rng.Intn(500) + 1), Set: NewInstrSet(members...)}
+	}
+	return c
+}
+
+func curveEqual(a, b Curve) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles || a[i].Set.Key() != b[i].Set.Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCombineMemoMatchesCombine checks that the memoized, parallel
+// Cartesian combination is byte-identical to sequential Combine across
+// random curves and worker counts.
+func TestCombineMemoMatchesCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := randCurve(rng, rng.Intn(12)+1)
+		b := randCurve(rng, rng.Intn(12)+1)
+		want := Combine(a, b)
+		for _, workers := range []int{1, 2, 8} {
+			memo := NewMemo()
+			got := CombineMemo(a, b, memo, workers)
+			if !curveEqual(got, want) {
+				t.Fatalf("trial %d workers %d:\ngot:\n%v\nwant:\n%v", trial, workers, got, want)
+			}
+			// Same combination again: every union must now be memoized.
+			before := memo.Stats()
+			got2 := CombineMemo(a, b, memo, workers)
+			after := memo.Stats()
+			if !curveEqual(got2, want) {
+				t.Fatalf("trial %d workers %d: repeat combination diverged", trial, workers)
+			}
+			if after.UnionMisses != before.UnionMisses {
+				t.Errorf("trial %d workers %d: repeat combination computed %d new unions",
+					trial, workers, after.UnionMisses-before.UnionMisses)
+			}
+			if after.UnionHits <= before.UnionHits {
+				t.Errorf("trial %d workers %d: repeat combination recorded no union hits", trial, workers)
+			}
+		}
+	}
+}
+
+func TestCombineMemoEmptySides(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := randCurve(rng, 5)
+	if got := CombineMemo(nil, c, NewMemo(), 4); !curveEqual(got, append(Curve(nil), c...)) {
+		t.Error("empty left side not passed through")
+	}
+	if got := CombineMemo(c, nil, NewMemo(), 4); !curveEqual(got, append(Curve(nil), c...)) {
+		t.Error("empty right side not passed through")
+	}
+}
+
+func TestNilMemoIsValid(t *testing.T) {
+	var m *Memo
+	s := NewInstrSet(&tie.Instr{Name: "x", Res: tie.Resources{Adders: 1}})
+	if g := m.gatesOf(s); g != s.Gates() {
+		t.Errorf("nil memo gates %v, want %v", g, s.Gates())
+	}
+	if u := m.union(s, s); u.Key() != s.Key() {
+		t.Errorf("nil memo union key %q", u.Key())
+	}
+	if st := m.Stats(); st != (MemoStats{}) {
+		t.Errorf("nil memo stats %v", st)
+	}
+}
+
+func TestMemoGatesMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	memo := NewMemo()
+	for i := 0; i < 50; i++ {
+		s := randCurve(rng, 1)[0].Set
+		if got, want := memo.gatesOf(s), s.Gates(); got != want {
+			t.Fatalf("memoized gates %v, want %v for %s", got, want, s.Key())
+		}
+	}
+	st := memo.Stats()
+	if st.GatesHits+st.GatesMisses != 50 {
+		t.Errorf("gates lookups %d, want 50", st.GatesHits+st.GatesMisses)
+	}
+	if st.GatesHits == 0 {
+		t.Error("no gates hits across repeated random sets")
+	}
+}
+
+// TestSortCanonical verifies the permutation-independence of the canonical
+// sort: any shuffle of a curve sorts to the same order.
+func TestSortCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := randCurve(rng, 20)
+	want := append(Curve(nil), c...)
+	want.Sort()
+	for trial := 0; trial < 10; trial++ {
+		got := append(Curve(nil), c...)
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		got.Sort()
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("shuffle %d sorted differently:\n%v\nvs\n%v", trial, got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"wisp/internal/adcurve"
+	"wisp/internal/pool"
 	"wisp/internal/sim"
 )
 
@@ -112,47 +113,99 @@ func (g *Graph) Nodes() []string {
 // composite, Pareto-pruned curve (the paper applies Pareto optimality at
 // the root node).  It fails on cyclic graphs.
 func (g *Graph) RootCurve() (adcurve.Curve, error) {
-	memo := make(map[string]adcurve.Curve)
-	state := make(map[string]int) // 0 unvisited, 1 in progress, 2 done
-	curve, err := g.nodeCurve(g.root, memo, state)
+	return g.RootCurveParallel(1, nil)
+}
+
+// RootCurveParallel is RootCurve across a bounded worker pool: the
+// reachable subgraph is layered by height (leaves first), and within a
+// layer every node's curve — sibling subtrees of the call graph — is
+// formulated independently on the pool.  The per-node Cartesian
+// combinations additionally fan out through adcurve.CombineMemo, sharing
+// the optional memo's union/area caches.  Equation 1 folds children in
+// sorted callee order on every path, and the combine collapse is
+// order-independent, so the result is identical for any worker count
+// (workers ≤ 0 selects GOMAXPROCS).  A nil memo disables caching.
+func (g *Graph) RootCurveParallel(workers int, memo *adcurve.Memo) (adcurve.Curve, error) {
+	levels, err := g.levels()
 	if err != nil {
 		return nil, err
 	}
-	return adcurve.Pareto(curve), nil
+	curves := make(map[string]adcurve.Curve, len(g.nodes))
+	for _, level := range levels {
+		level := level
+		out := make([]adcurve.Curve, len(level))
+		err := pool.ForEach(len(level), workers, func(i int) error {
+			name := level[i]
+			n := g.nodes[name]
+			var curve adcurve.Curve
+			if n.Curve != nil {
+				if len(n.calls) != 0 {
+					return fmt.Errorf("callgraph: node %q has both a leaf curve and callees", name)
+				}
+				curve = append(adcurve.Curve{}, n.Curve...)
+			} else {
+				curve = adcurve.Curve{{Cycles: 0, Set: adcurve.NewInstrSet()}}
+				// Deterministic child order; children live in lower levels.
+				for _, e := range g.Callees(name) {
+					curve = adcurve.CombineMemo(curve, curves[e.Callee].Scale(e.Count), memo, workers)
+				}
+				curve = curve.Offset(n.LocalCycles)
+			}
+			out[i] = curve
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range level {
+			curves[name] = out[i]
+		}
+	}
+	return adcurve.Pareto(curves[g.root]), nil
 }
 
-// nodeCurve computes the per-invocation curve of a node via Equation 1.
-func (g *Graph) nodeCurve(name string, memo map[string]adcurve.Curve, state map[string]int) (adcurve.Curve, error) {
-	if c, ok := memo[name]; ok {
-		return c, nil
-	}
-	if state[name] == 1 {
-		return nil, fmt.Errorf("callgraph: recursive call cycle through %q", name)
-	}
-	state[name] = 1
-	n := g.nodes[name]
-
-	var curve adcurve.Curve
-	if n.Curve != nil {
-		if len(n.calls) != 0 {
-			return nil, fmt.Errorf("callgraph: node %q has both a leaf curve and callees", name)
+// levels layers the subgraph reachable from the root by height: level 0
+// holds the leaves, and every node appears in a level strictly above all
+// of its callees.  Node order within a level is sorted, keeping the
+// parallel schedule deterministic.  Cyclic graphs are rejected.
+func (g *Graph) levels() ([][]string, error) {
+	height := make(map[string]int, len(g.nodes))
+	state := make(map[string]int, len(g.nodes)) // 0 unvisited, 1 in progress, 2 done
+	var visit func(name string) (int, error)
+	visit = func(name string) (int, error) {
+		if state[name] == 2 {
+			return height[name], nil
 		}
-		curve = append(adcurve.Curve{}, n.Curve...)
-	} else {
-		curve = adcurve.Curve{{Cycles: 0, Set: adcurve.NewInstrSet()}}
-		// Deterministic child order.
+		if state[name] == 1 {
+			return 0, fmt.Errorf("callgraph: recursive call cycle through %q", name)
+		}
+		state[name] = 1
+		h := 0
 		for _, e := range g.Callees(name) {
-			child, err := g.nodeCurve(e.Callee, memo, state)
+			ch, err := visit(e.Callee)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			curve = adcurve.Combine(curve, child.Scale(e.Count))
+			if ch+1 > h {
+				h = ch + 1
+			}
 		}
-		curve = curve.Offset(n.LocalCycles)
+		state[name] = 2
+		height[name] = h
+		return h, nil
 	}
-	state[name] = 2
-	memo[name] = curve
-	return curve, nil
+	maxH, err := visit(g.root)
+	if err != nil {
+		return nil, err
+	}
+	levels := make([][]string, maxH+1)
+	for name, h := range height {
+		levels[h] = append(levels[h], name)
+	}
+	for _, level := range levels {
+		sort.Strings(level)
+	}
+	return levels, nil
 }
 
 // FromProfile builds a call graph from an ISS execution profile: flat

@@ -1,0 +1,117 @@
+package callgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wisp/internal/adcurve"
+	"wisp/internal/tie"
+)
+
+// randGraph builds a random layered DAG: the root fans out over mid-level
+// nodes (the independent sibling subtrees of the parallel propagation),
+// each calling a random subset of shared leaf routines with A-D curves.
+func randGraph(rng *rand.Rand) *Graph {
+	instrs := []*tie.Instr{
+		{Name: "add_2", Family: "adder", Kind: "add", Rank: 2, Res: tie.Resources{Adders: 2}},
+		{Name: "add_4", Family: "adder", Kind: "add", Rank: 4, Res: tie.Resources{Adders: 4}},
+		{Name: "mul_1", Family: "mult", Kind: "mul", Rank: 1, Res: tie.Resources{Mults: 1}},
+		{Name: "perm", Res: tie.Resources{Logic: 300}},
+	}
+	g := New("root")
+	g.SetLocalCycles("root", float64(rng.Intn(100)))
+	leaves := rng.Intn(3) + 2
+	for l := 0; l < leaves; l++ {
+		name := fmt.Sprintf("leaf%d", l)
+		curve := adcurve.Curve{{Cycles: float64(rng.Intn(300) + 50), Set: adcurve.NewInstrSet()}}
+		for _, in := range instrs {
+			if rng.Intn(2) == 0 {
+				curve = append(curve, adcurve.Point{
+					Cycles: float64(rng.Intn(200) + 10),
+					Set:    adcurve.NewInstrSet(in),
+				})
+			}
+		}
+		g.SetCurve(name, curve)
+	}
+	mids := rng.Intn(4) + 2
+	for m := 0; m < mids; m++ {
+		name := fmt.Sprintf("mid%d", m)
+		g.SetLocalCycles(name, float64(rng.Intn(60)))
+		g.AddCall("root", name, float64(rng.Intn(5)+1))
+		for l := 0; l < leaves; l++ {
+			if rng.Intn(2) == 0 {
+				g.AddCall(name, fmt.Sprintf("leaf%d", l), float64(rng.Intn(8)+1))
+			}
+		}
+	}
+	return g
+}
+
+// TestRootCurveParallelMatchesSequential checks that sibling-subtree
+// parallel propagation — with and without a shared memo — reproduces the
+// sequential composite curve exactly.
+func TestRootCurveParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		g := randGraph(rng)
+		want, err := g.RootCurve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			for _, memo := range []*adcurve.Memo{nil, adcurve.NewMemo()} {
+				got, err := g.RootCurveParallel(workers, memo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.String() != want.String() {
+					t.Fatalf("trial %d workers %d memo=%v:\ngot:\n%s\nwant:\n%s",
+						trial, workers, memo != nil, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedMemoAcrossPropagations verifies that a memo shared across
+// repeated propagations over the same leaf curves eliminates recomputation
+// of the set unions.
+func TestSharedMemoAcrossPropagations(t *testing.T) {
+	g := randGraph(rand.New(rand.NewSource(33)))
+	memo := adcurve.NewMemo()
+	if _, err := g.RootCurveParallel(4, memo); err != nil {
+		t.Fatal(err)
+	}
+	first := memo.Stats()
+	if first.UnionMisses == 0 {
+		t.Fatal("first propagation computed no unions")
+	}
+	if _, err := g.RootCurveParallel(4, memo); err != nil {
+		t.Fatal(err)
+	}
+	second := memo.Stats()
+	if second.UnionMisses != first.UnionMisses {
+		t.Errorf("second propagation computed %d new unions, want 0",
+			second.UnionMisses-first.UnionMisses)
+	}
+}
+
+func TestRootCurveParallelErrors(t *testing.T) {
+	// Cyclic graph.
+	g := New("a")
+	g.AddCall("a", "b", 1)
+	g.AddCall("b", "a", 1)
+	if _, err := g.RootCurveParallel(4, nil); err == nil {
+		t.Error("recursive graph accepted")
+	}
+	// Leaf with both a curve and callees.
+	g2 := New("r")
+	g2.AddCall("r", "leaf", 1)
+	g2.AddCall("leaf", "x", 1)
+	g2.SetCurve("leaf", adcurve.Curve{{Cycles: 1, Set: adcurve.NewInstrSet()}})
+	if _, err := g2.RootCurveParallel(4, nil); err == nil {
+		t.Error("leaf with callees accepted")
+	}
+}

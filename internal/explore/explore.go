@@ -81,18 +81,28 @@ type Result struct {
 	Missing    []string      // routines lacking macro-models (should be empty)
 }
 
-// Explorer evaluates candidates on a fixed RSA decryption workload.
+// Explorer evaluates candidates on a fixed RSA decryption workload.  Its
+// methods are safe for concurrent use: the model set, key and ciphertext
+// are read-only after construction and every evaluation builds its own
+// trace, so EvaluateAllParallel can fan candidates out across goroutines.
 type Explorer struct {
 	Models *macromodel.ModelSet // characterized kernel models (base or TIE core)
 	Key    *rsakey.PrivateKey
 	Cipher *mpz.Int // the ciphertext representative decrypted by every candidate
+
+	cache *priceCache // memoized macro-model pricings by trace fingerprint
 }
 
 // New creates an explorer for the given key, decrypting a fixed random
 // representative derived from seed.
 func New(models *macromodel.ModelSet, key *rsakey.PrivateKey, seed int64) *Explorer {
 	rng := rand.New(rand.NewSource(seed))
-	return &Explorer{Models: models, Key: key, Cipher: mpz.RandBelow(rng, key.N)}
+	return &Explorer{
+		Models: models,
+		Key:    key,
+		Cipher: mpz.RandBelow(rng, key.N),
+		cache:  newPriceCache(),
+	}
 }
 
 // trace runs the candidate natively and returns its kernel trace.
@@ -140,7 +150,9 @@ func (e *Explorer) Evaluate(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	tr = radixAdjust(tr, cfg.Radix)
-	cycles, missing := tr.EstimateCycles(e.Models.Estimators())
+	cycles, missing := e.cache.price(tr.Fingerprint(), func() (float64, []string) {
+		return tr.EstimateCycles(e.Models.Estimators())
+	})
 	return Result{
 		Config:     cfg,
 		EstCycles:  cycles,
@@ -149,18 +161,10 @@ func (e *Explorer) Evaluate(cfg Config) (Result, error) {
 	}, nil
 }
 
-// EvaluateAll prices every candidate and returns results sorted best-first.
+// EvaluateAll prices every candidate sequentially and returns results
+// sorted best-first.  It is the workers=1 case of EvaluateAllParallel.
 func (e *Explorer) EvaluateAll(cfgs []Config) ([]Result, error) {
-	out := make([]Result, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		r, err := e.Evaluate(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("explore: %v: %w", cfg, err)
-		}
-		out = append(out, r)
-	}
-	sortResults(out)
-	return out, nil
+	return e.EvaluateAllParallel(cfgs, 1, nil)
 }
 
 func sortResults(rs []Result) {

@@ -1,0 +1,106 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wisp/internal/pool"
+)
+
+// CacheStats reports the pricing-memo effectiveness of an Explorer.
+type CacheStats struct {
+	Hits   uint64 // estimates served from the memo
+	Misses uint64 // estimates computed against the macro-models
+}
+
+// HitRate returns the fraction of pricings served from the memo.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d hits / %d misses (%.0f%% hit rate)", s.Hits, s.Misses, 100*s.HitRate())
+}
+
+// priceCache memoizes macro-model pricings keyed on the canonical trace
+// fingerprint.  An Explorer's model set is fixed, so the fingerprint alone
+// identifies the estimate; candidates that differ only in options that do
+// not change the kernel profile (e.g. cache-reducer vs cache-powers on a
+// single-decrypt workload) are priced once.
+type priceCache struct {
+	mu      sync.Mutex
+	entries map[string]priceEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type priceEntry struct {
+	cycles  float64
+	missing []string
+}
+
+func newPriceCache() *priceCache {
+	return &priceCache{entries: make(map[string]priceEntry)}
+}
+
+// price returns the memoized estimate for the fingerprint, computing it
+// with compute on a miss.  Concurrent misses on the same key may both
+// compute (the computation is pure), but only one entry is retained.
+func (c *priceCache) price(fingerprint string, compute func() (float64, []string)) (float64, []string) {
+	c.mu.Lock()
+	e, ok := c.entries[fingerprint]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e.cycles, e.missing
+	}
+	c.misses.Add(1)
+	cycles, missing := compute()
+	c.mu.Lock()
+	c.entries[fingerprint] = priceEntry{cycles: cycles, missing: missing}
+	c.mu.Unlock()
+	return cycles, missing
+}
+
+func (c *priceCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// CacheStats returns the explorer's pricing-memo hit/miss counters.
+func (e *Explorer) CacheStats() CacheStats { return e.cache.stats() }
+
+// ProgressFunc observes candidate completion during a parallel run.  It is
+// invoked from worker goroutines and must be safe for concurrent use.
+type ProgressFunc func(done, total int)
+
+// EvaluateAllParallel prices every candidate across a bounded worker pool
+// and returns results sorted best-first.  Aggregation is order-stable:
+// each worker writes only its own result slot and the final stable sort
+// runs over the original candidate order, so the ranked output is
+// identical for any worker count (workers ≤ 0 selects GOMAXPROCS).  On
+// failure the error of the lowest-index failing candidate is returned,
+// matching the sequential run.
+func (e *Explorer) EvaluateAllParallel(cfgs []Config, workers int, progress ProgressFunc) ([]Result, error) {
+	out := make([]Result, len(cfgs))
+	var done atomic.Int64
+	err := pool.ForEach(len(cfgs), workers, func(i int) error {
+		r, err := e.Evaluate(cfgs[i])
+		if err != nil {
+			return fmt.Errorf("explore: %v: %w", cfgs[i], err)
+		}
+		out[i] = r
+		if progress != nil {
+			progress(int(done.Add(1)), len(cfgs))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortResults(out)
+	return out, nil
+}

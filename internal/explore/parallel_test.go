@@ -1,0 +1,118 @@
+package explore
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+)
+
+// TestParallelDeterminism is the order-stable aggregation guard: the full
+// 450-candidate space explored sequentially and with an 8-worker pool must
+// produce identical ranked output — configuration, estimate and rank, byte
+// for byte.
+func TestParallelDeterminism(t *testing.T) {
+	space := Space()
+	seq, err := newExplorer().EvaluateAllParallel(space, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := newExplorer().EvaluateAllParallel(space, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) || len(seq) != len(space) {
+		t.Fatalf("length mismatch: seq %d, par %d, space %d", len(seq), len(par), len(space))
+	}
+	for i := range seq {
+		if seq[i].Config != par[i].Config {
+			t.Errorf("rank %d: sequential %v, parallel %v", i, seq[i].Config, par[i].Config)
+		}
+		if seq[i].EstCycles != par[i].EstCycles {
+			t.Errorf("rank %d (%v): sequential %v cycles, parallel %v cycles",
+				i, seq[i].Config, seq[i].EstCycles, par[i].EstCycles)
+		}
+	}
+}
+
+func TestParallelProgressCoversSpace(t *testing.T) {
+	space := Space()[:60]
+	var calls atomic.Int64
+	var sawTotal atomic.Bool
+	_, err := newExplorer().EvaluateAllParallel(space, 4, func(done, total int) {
+		calls.Add(1)
+		if total != len(space) {
+			t.Errorf("progress total %d, want %d", total, len(space))
+		}
+		if done == total {
+			sawTotal.Store(true)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(space)) {
+		t.Errorf("progress called %d times, want %d", got, len(space))
+	}
+	if !sawTotal.Load() {
+		t.Error("progress never reported completion")
+	}
+}
+
+func TestParallelErrorMatchesSequential(t *testing.T) {
+	cfgs := []Config{
+		{ModMul: mpz.ModMulBasecase, Window: 2, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone},
+		{ModMul: mpz.ModMulBasecase, Window: 9, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone},
+		{ModMul: mpz.ModMulBasecase, Window: 0, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone},
+	}
+	seqErr := func() error { _, err := newExplorer().EvaluateAllParallel(cfgs, 1, nil); return err }()
+	parErr := func() error { _, err := newExplorer().EvaluateAllParallel(cfgs, 4, nil); return err }()
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("invalid candidates accepted: seq=%v par=%v", seqErr, parErr)
+	}
+	// Both report the lowest-index failing candidate (window 9 at index 1).
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("error mismatch:\n  sequential: %v\n  parallel:   %v", seqErr, parErr)
+	}
+	if !strings.Contains(seqErr.Error(), "window 9") {
+		t.Errorf("error %q does not name the first failing candidate", seqErr)
+	}
+}
+
+// TestPriceCache verifies the memoized pricing layer: candidates whose
+// kernel profiles coincide (cache-reducer vs cache-powers on the
+// single-decrypt workload) are priced once, and re-exploring an identical
+// space is served almost entirely from the memo.
+func TestPriceCache(t *testing.T) {
+	e := New(testExplorer.Models, testKey, 77)
+	space := Space()
+	first, err := e.EvaluateAllParallel(space, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := e.CacheStats()
+	if s1.Misses == 0 || s1.Hits == 0 {
+		t.Fatalf("first pass stats %v: want both hits (coinciding profiles) and misses", s1)
+	}
+	if s1.Hits+s1.Misses != uint64(len(space)) {
+		t.Errorf("first pass priced %d profiles, want %d", s1.Hits+s1.Misses, len(space))
+	}
+	second, err := e.EvaluateAllParallel(space, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.CacheStats()
+	if s2.Misses != s1.Misses {
+		t.Errorf("second pass computed %d new pricings, want 0", s2.Misses-s1.Misses)
+	}
+	for i := range first {
+		if first[i].Config != second[i].Config || first[i].EstCycles != second[i].EstCycles {
+			t.Fatalf("rank %d changed across cached re-exploration", i)
+		}
+	}
+	if s2.HitRate() <= s1.HitRate() {
+		t.Errorf("hit rate did not improve: %v -> %v", s1, s2)
+	}
+}

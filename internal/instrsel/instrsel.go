@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"wisp/internal/adcurve"
+	"wisp/internal/pool"
 )
 
 // Selection is the outcome of a selection run.
@@ -95,10 +96,25 @@ func MinArea(curve adcurve.Curve, cycleTarget float64) (Selection, error) {
 // selection per budget (skipping budgets where nothing fits).  This
 // produces the budget-vs-performance view designers iterate on.
 func Sweep(curve adcurve.Curve, budgets []float64) []Selection {
+	return SweepParallel(curve, budgets, 1)
+}
+
+// SweepParallel is Sweep across a bounded worker pool: each budget's
+// selection is independent, so they fan out and re-assemble in budget
+// order, keeping the output identical to the sequential sweep for any
+// worker count (workers ≤ 0 selects GOMAXPROCS).
+func SweepParallel(curve adcurve.Curve, budgets []float64, workers int) []Selection {
+	slots := make([]*Selection, len(budgets))
+	_ = pool.ForEach(len(budgets), workers, func(i int) error {
+		if sel, err := MinCycles(curve, budgets[i]); err == nil {
+			slots[i] = &sel
+		}
+		return nil
+	})
 	out := make([]Selection, 0, len(budgets))
-	for _, b := range budgets {
-		if sel, err := MinCycles(curve, b); err == nil {
-			out = append(out, sel)
+	for _, s := range slots {
+		if s != nil {
+			out = append(out, *s)
 		}
 	}
 	return out

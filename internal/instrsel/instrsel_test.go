@@ -105,3 +105,23 @@ func TestSweep(t *testing.T) {
 		t.Errorf("String() = %q", sels[3].String())
 	}
 }
+
+// TestSweepParallelMatchesSequential checks that fanning the budget sweep
+// across workers re-assembles in budget order, identical to the sequential
+// sweep — including when some budgets are skipped as unsatisfiable.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	c := testCurve()
+	budgets := []float64{-1, 0, 500, 1430, 2000, 5270, 8000, 11980, 1e9}
+	want := SweepParallel(c, budgets, 1)
+	for _, workers := range []int{2, 4, 16} {
+		got := SweepParallel(c, budgets, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers %d: %d selections, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].String() != want[i].String() || got[i].Baseline != want[i].Baseline {
+				t.Errorf("workers %d, selection %d: %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package mpn
+
+import (
+	"math/big"
+	"testing"
+)
+
+// natFromLE interprets b as a little-endian unsigned integer and packs it
+// into 32-bit limbs (fuzz inputs are raw bytes, so every length — including
+// partial limbs and embedded zeros — is a valid operand).
+func natFromLE(b []byte) Nat {
+	n := make(Nat, (len(b)+3)/4)
+	for i, by := range b {
+		n[i/4] |= Limb(by) << uint((i%4)*8)
+	}
+	return Normalize(n)
+}
+
+// natToBig mirrors a limb vector into a math/big integer.
+func natToBig(n Nat) *big.Int {
+	z := new(big.Int)
+	for i := len(n) - 1; i >= 0; i-- {
+		z.Lsh(z, 32)
+		z.Or(z, new(big.Int).SetUint64(uint64(n[i])))
+	}
+	return z
+}
+
+// FuzzMpnDiv drives Knuth's Algorithm D (and the single-limb fast path)
+// against math/big: for arbitrary u, v it checks q·v + r == u, r < v, and
+// exact agreement of both q and r with big.Int.QuoRem.  The seed corpus in
+// testdata/fuzz covers limb-boundary widths, zero/one operands and the qhat
+// overcorrection patterns that Algorithm D is famous for.
+func FuzzMpnDiv(f *testing.F) {
+	f.Add([]byte{}, []byte{1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, []byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0, 1}, []byte{1, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, ub, vb []byte) {
+		u := natFromLE(ub)
+		v := natFromLE(vb)
+		if v.IsZero() {
+			t.Skip("division by zero panics by contract")
+		}
+		q, r := DivRem(u, v)
+		bu, bv := natToBig(u), natToBig(v)
+		wantQ, wantR := new(big.Int).QuoRem(bu, bv, new(big.Int))
+		if gotQ := natToBig(q); gotQ.Cmp(wantQ) != 0 {
+			t.Fatalf("u=%v v=%v: q=%v, math/big %v", bu, bv, gotQ, wantQ)
+		}
+		gotR := natToBig(r)
+		if gotR.Cmp(wantR) != 0 {
+			t.Fatalf("u=%v v=%v: r=%v, math/big %v", bu, bv, gotR, wantR)
+		}
+		if gotR.Cmp(bv) >= 0 {
+			t.Fatalf("u=%v v=%v: remainder %v not reduced", bu, bv, gotR)
+		}
+		// Reconstruction: q·v + r == u.
+		recon := new(big.Int).Mul(natToBig(q), bv)
+		recon.Add(recon, gotR)
+		if recon.Cmp(bu) != 0 {
+			t.Fatalf("u=%v v=%v: q·v+r = %v", bu, bv, recon)
+		}
+		// Mod must agree with DivRem's remainder.
+		if m := natToBig(Mod(u, v)); m.Cmp(wantR) != 0 {
+			t.Fatalf("u=%v v=%v: Mod %v, want %v", bu, bv, m, wantR)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package mpz
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randInt returns a uniformly random non-negative Int of up to bits bits,
+// alongside its math/big mirror.
+func randPair(rng *rand.Rand, bits int) (*Int, *big.Int) {
+	n := (bits + 7) / 8
+	buf := make([]byte, n)
+	rng.Read(buf)
+	if ex := uint(n*8 - bits); ex > 0 {
+		buf[0] &= byte(0xff) >> ex
+	}
+	return FromBytes(buf), new(big.Int).SetBytes(buf)
+}
+
+// TestDifferentialModMul cross-checks every modular-multiplication algorithm
+// of the exploration space against math/big on random operands.  Montgomery
+// is domain-converted through ToDomain/FromDomain; the modulus is forced odd
+// so all five algorithms accept it.
+func TestDifferentialModMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	ctx := NewCtx(nil)
+	for trial := 0; trial < 40; trial++ {
+		bits := []int{8, 64, 65, 128, 256, 521}[trial%6]
+		m, bm := randPair(rng, bits)
+		// Force odd and ≥ 3 so every algorithm (Montgomery needs odd,
+		// all need ≥ 2) accepts the modulus.
+		m = ctx.Add(m.Abs(), NewInt(3))
+		if !m.Odd() {
+			m = ctx.Add(m, NewInt(1))
+		}
+		bm.SetBytes(m.Bytes())
+		for _, alg := range ModMulAlgs {
+			mm, err := ctx.NewModMul(alg, m)
+			if err != nil {
+				t.Fatalf("NewModMul(%v, %v): %v", alg, m, err)
+			}
+			for rep := 0; rep < 5; rep++ {
+				x, bx := randPair(rng, bits+8)
+				y, by := randPair(rng, bits+8)
+				got := mm.FromDomain(mm.Mul(mm.ToDomain(x), mm.ToDomain(y)))
+				want := new(big.Int).Mul(bx, by)
+				want.Mod(want, bm)
+				if new(big.Int).SetBytes(got.Bytes()).Cmp(want) != 0 {
+					t.Fatalf("%v: (%v*%v) mod %v = %v, math/big %v", alg, x, y, m, got, want)
+				}
+				sq := mm.FromDomain(mm.Sqr(mm.ToDomain(x)))
+				wantSq := new(big.Int).Mul(bx, bx)
+				wantSq.Mod(wantSq, bm)
+				if new(big.Int).SetBytes(sq.Bytes()).Cmp(wantSq) != 0 {
+					t.Fatalf("%v: %v^2 mod %v = %v, math/big %v", alg, x, m, sq, wantSq)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialModExp cross-checks the full ModExp configuration space —
+// every algorithm × window width × cache mode — against math/big.Exp on
+// random odd moduli.  This is the software ground truth behind the §4.3
+// exploration: all 450 explored candidates reduce to these kernel configs
+// (radix and CRT are analytic transforms applied at the explore layer).
+func TestDifferentialModExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	ctx := NewCtx(nil)
+	for _, bits := range []int{16, 64, 130, 256} {
+		m, _ := randPair(rng, bits)
+		m = ctx.Add(m.Abs(), NewInt(3))
+		if !m.Odd() {
+			m = ctx.Add(m, NewInt(1))
+		}
+		bm := new(big.Int).SetBytes(m.Bytes())
+		base, bbase := randPair(rng, bits)
+		exp, bexp := randPair(rng, bits)
+		want := new(big.Int).Exp(bbase, bexp, bm)
+		for _, alg := range ModMulAlgs {
+			for w := 1; w <= 5; w++ {
+				for _, cache := range CacheModes {
+					cfg := ExpConfig{Alg: alg, WindowBits: w, Cache: cache}
+					e, err := ctx.NewExp(cfg, m)
+					if err != nil {
+						t.Fatalf("NewExp(%v, %v-bit m): %v", cfg, bits, err)
+					}
+					got, err := e.Exp(base, exp)
+					if err != nil {
+						t.Fatalf("%v: Exp: %v", cfg, err)
+					}
+					if new(big.Int).SetBytes(got.Bytes()).Cmp(want) != 0 {
+						t.Fatalf("%v bits=%d: %v^%v mod %v = %v, math/big %v",
+							cfg, bits, base, exp, m, got, want)
+					}
+				}
+			}
+		}
+	}
+	// Edge exponents: 0 and 1 across all algorithms.
+	m := MustHex("10001")
+	bm := new(big.Int).SetBytes(m.Bytes())
+	base, bbase := randPair(rng, 24)
+	for _, alg := range ModMulAlgs {
+		e, err := ctx.NewExp(ExpConfig{Alg: alg, WindowBits: 2}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range []int64{0, 1} {
+			got, err := e.Exp(base, NewInt(ev))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := new(big.Int).Exp(bbase, big.NewInt(ev), bm)
+			if new(big.Int).SetBytes(got.Bytes()).Cmp(want) != 0 {
+				t.Fatalf("%v: %v^%d mod %v = %v, math/big %v", alg, base, ev, m, got, want)
+			}
+		}
+	}
+}

@@ -90,18 +90,34 @@ func (t *Trace) Routines() []string {
 	return out
 }
 
+// Fingerprint returns a canonical identity string for the trace: every
+// (routine, size, count) bucket in sorted order.  Two traces with equal
+// fingerprints produce identical macro-model estimates under any model
+// set, which makes the fingerprint the memoization key for repeated
+// pricings of identical traced profiles.
+func (t *Trace) Fingerprint() string {
+	var b strings.Builder
+	for _, inv := range t.Invocations() {
+		fmt.Fprintf(&b, "%s/%d:%d;", inv.Routine, inv.N, inv.Count)
+	}
+	return b.String()
+}
+
 // EstimateCycles evaluates the trace against per-routine cycle macro-models
 // (cycles as a function of operand size).  Routines without a model are
-// returned in missing.
+// returned in missing.  Buckets are summed in canonical (routine, size)
+// order: floating-point addition is not associative, so summing in map
+// iteration order would make the estimate vary run to run, breaking the
+// byte-identical guarantee of the parallel exploration engine.
 func (t *Trace) EstimateCycles(models map[string]func(n int) float64) (cycles float64, missing []string) {
 	miss := make(map[string]bool)
-	for k, c := range t.counts {
-		m, ok := models[k.routine]
+	for _, inv := range t.Invocations() {
+		m, ok := models[inv.Routine]
 		if !ok {
-			miss[k.routine] = true
+			miss[inv.Routine] = true
 			continue
 		}
-		cycles += float64(c) * m(k.n)
+		cycles += float64(inv.Count) * m(inv.N)
 	}
 	for r := range miss {
 		missing = append(missing, r)

@@ -1,0 +1,95 @@
+// Package pool provides the bounded worker pool behind the parallel
+// design-space exploration engine: an index-space parallel-for whose
+// aggregation is order-stable, so parallel runs produce byte-identical
+// results to sequential ones as long as each task writes only to its own
+// slot.  The pool is deliberately minimal — no channels of work items, no
+// dynamic task graphs — because every parallel site in this repository
+// (candidate evaluation, Cartesian curve combination, sibling-subtree
+// propagation, budget sweeps) decomposes into a fixed index space known up
+// front.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values ≤ 0 select
+// runtime.GOMAXPROCS(0), and the count is clamped to n when the index
+// space is smaller than the pool.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and blocks until all calls return.  Indices are handed out
+// via an atomic counter, so scheduling order is nondeterministic — callers
+// obtain determinism by writing only to slot i.  When one or more calls
+// fail, the error at the lowest index is returned, matching what a
+// sequential loop that stops at the first failure would report.
+//
+// With workers == 1 the loop runs inline on the calling goroutine (no
+// goroutines spawned), preserving exact sequential semantics including
+// early exit on the first error.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		firstIdx atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	firstIdx.Store(int64(n))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				// Tasks past a known failure are skipped: their results
+				// would be discarded anyway, and sequential execution
+				// would never have reached them.
+				if int64(i) > firstIdx.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || int64(i) < firstIdx.Load() {
+						firstErr = err
+						firstIdx.Store(int64(i))
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

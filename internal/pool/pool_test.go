@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0,100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3,100) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8,3) = %d, want clamp to 3", got)
+	}
+	if got := Workers(2, 100); got != 2 {
+		t.Errorf("Workers(2,100) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 1000
+		seen := make([]atomic.Int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 17 || i == 63 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 17" {
+			t.Errorf("workers=%d: got %v, want fail at 17", workers, err)
+		}
+	}
+}
+
+func TestForEachSequentialStopsEarly(t *testing.T) {
+	ran := 0
+	errBoom := errors.New("boom")
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("got %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("sequential ran %d tasks after error, want 4", ran)
+	}
+}

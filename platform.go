@@ -14,6 +14,7 @@ package wisp
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"wisp/internal/kernels"
 	"wisp/internal/macromodel"
@@ -75,6 +76,7 @@ type Platform struct {
 
 	key *rsakey.PrivateKey // lazily generated RSA key
 
+	cpuMu    sync.Mutex // guards cpuCache; cached CPUs themselves are stateful and not shared across goroutines
 	cpuCache map[string]*sim.CPU
 }
 
@@ -121,16 +123,23 @@ func (p *Platform) RSAKey() (*rsakey.PrivateKey, error) {
 }
 
 // cpu returns (building and caching) a core loaded with the given kernel
-// variant.
+// variant.  The cache lookup is mutex-guarded; the returned CPU is a
+// stateful simulator that must not be driven from multiple goroutines —
+// parallel measurement paths build private instances instead.
 func (p *Platform) cpu(v kernels.Variant) (*sim.CPU, error) {
-	if c, ok := p.cpuCache[v.Name]; ok {
+	p.cpuMu.Lock()
+	c, ok := p.cpuCache[v.Name]
+	p.cpuMu.Unlock()
+	if ok {
 		return c, nil
 	}
 	c, err := v.Build(*p.opts.SimConfig)
 	if err != nil {
 		return nil, err
 	}
+	p.cpuMu.Lock()
 	p.cpuCache[v.Name] = c
+	p.cpuMu.Unlock()
 	return c, nil
 }
 
