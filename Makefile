@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race fuzz bench
+.PHONY: all build test check race fuzz bench serve-smoke
 
 all: build test
 
@@ -29,3 +29,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# serve-smoke boots the offload daemon, serves 100 mixed Figure 8
+# transactions at 4 concurrent clients through wispload (verifying every
+# payload digest end to end), and drains the daemon cleanly.
+serve-smoke:
+	$(GO) build -o bin/wispd ./cmd/wispd
+	$(GO) build -o bin/wispload ./cmd/wispload
+	BIN=bin ./scripts/serve_smoke.sh

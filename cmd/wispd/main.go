@@ -1,0 +1,114 @@
+// Command wispd is the security-offload daemon: it serves SSL-transaction
+// and raw-primitive requests over HTTP, dispatching them across a
+// shard-per-worker pool of simulated platform instances with bounded
+// queues, record-layer batching, load-shedding and deadline-aware
+// rejection.  SIGINT/SIGTERM triggers a graceful drain: queued requests
+// finish, new ones are shed, then the process exits.
+//
+// Usage:
+//
+//	wispd [-addr 127.0.0.1:9311] [-shards N] [-queue 64] [-batch 16]
+//	      [-rsabits 512] [-record 1024] [-seed 1]
+//	      [-measured] [-metrics] [-addrfile PATH]
+//
+// With -measured the daemon characterizes the platform kernels on the ISS
+// at startup (Platform.SSLCosts) and prices transactions with those
+// numbers; otherwise it uses the baked-in measured defaults.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wisp"
+	"wisp/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9311", "listen address (port 0 picks a free port)")
+	shards := flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "per-shard queue depth")
+	batch := flag.Int("batch", 16, "max requests drained per shard cycle")
+	rsaBits := flag.Int("rsabits", 512, "gateway handshake key size")
+	record := flag.Int("record", 1024, "default record size for SSL transactions")
+	seed := flag.Int64("seed", 1, "determinism seed for shard key material")
+	measured := flag.Bool("measured", false, "derive the analytic cost model on the ISS at startup")
+	metrics := flag.Bool("metrics", false, "print the text metrics dump on shutdown")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts)")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		BatchMax:   *batch,
+		RSABits:    *rsaBits,
+		RecordSize: *record,
+		Seed:       *seed,
+	}
+	if *measured {
+		fmt.Println("wispd: characterizing platform kernels on the ISS...")
+		p, err := wisp.New(wisp.Options{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		base, opt, err := p.SSLCosts()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.BaseCosts, cfg.OptCosts = &base, &opt
+	}
+
+	gw, err := serve.NewGateway(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(gw)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wispd: listening on %s (%d shards, queue %d, batch %d, RSA-%d)\n",
+		bound, gw.Config().Shards, gw.Config().QueueDepth, gw.Config().BatchMax, gw.Config().RSABits)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Printf("wispd: %v — draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		stats := gw.Stats()
+		fmt.Printf("wispd: drained cleanly (%d served, %d shed, %d expired)\n",
+			stats.OK, stats.Shed, stats.Expired)
+		if *metrics {
+			fmt.Print(stats.Text())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wispd:", err)
+	os.Exit(1)
+}

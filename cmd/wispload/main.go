@@ -1,0 +1,142 @@
+// Command wispload is the closed-loop load generator for wispd: it
+// replays the paper's Figure 8 transaction-size mix at configurable
+// concurrency, verifies every served payload digest end to end, and
+// reports p50/p95/p99 latency plus achieved throughput against the
+// analytic cost model's prediction for the simulated platform.
+//
+// Usage:
+//
+//	wispload -addr 127.0.0.1:9311 [-clients 4] [-n 25]
+//	         [-mix 1k,4k,16k,32k] [-ops ssl] [-record 1024]
+//	         [-deadline-us 0] [-seed 1] [-json] [-stats]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wisp/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9311", "wispd address")
+	clients := flag.Int("clients", 4, "concurrent closed-loop clients")
+	perClient := flag.Int("n", 25, "requests per client")
+	mix := flag.String("mix", "1k,4k,16k,32k", "payload size mix (k/m suffixes)")
+	ops := flag.String("ops", "ssl", "comma-separated op mix (ssl,handshake,record,rsa-decrypt,aes,3des,md5,hmac-md5,...)")
+	record := flag.Int("record", 0, "record size for ssl transactions (0 = server default)")
+	deadline := flag.Int64("deadline-us", 0, "per-request deadline budget in µs (0 = none)")
+	seed := flag.Int64("seed", 1, "payload determinism seed")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	stats := flag.Bool("stats", true, "fetch and print server-side /stats after the run")
+	flag.Parse()
+
+	sizes, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	opList, err := parseOps(*ops)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		Addr:       *addr,
+		Clients:    *clients,
+		PerClient:  *perClient,
+		Mix:        sizes,
+		Ops:        opList,
+		RecordSize: *record,
+		DeadlineUS: *deadline,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var serverStats *serve.Stats
+	if *stats {
+		serverStats, _ = serve.NewClient(*addr).Stats()
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Report *serve.LoadReport `json:"report"`
+			Server *serve.Stats      `json:"server_stats,omitempty"`
+		}{rep, serverStats}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(rep.Format())
+		if serverStats != nil {
+			fmt.Printf("server: %d requests, %d ok, shed %d (queue-full %d, deadline %d, draining %d), expired %d\n",
+				serverStats.Requests, serverStats.OK, serverStats.Shed,
+				serverStats.ShedByReason["queue-full"], serverStats.ShedByReason["deadline"],
+				serverStats.ShedByReason["draining"], serverStats.Expired)
+			if ssl, ok := serverStats.PerOp["ssl"]; ok && ssl.Latency.Count > 0 {
+				fmt.Printf("server ssl latency: p50 %.0fµs  p95 %.0fµs  p99 %.0fµs (batch p50 %.1f)\n",
+					ssl.Latency.P50, ssl.Latency.P95, ssl.Latency.P99, serverStats.BatchSize.P50)
+			}
+		}
+	}
+	if rep.Mismatches > 0 {
+		fatal(fmt.Errorf("%d payload mismatches", rep.Mismatches))
+	}
+}
+
+func parseMix(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(strings.ToLower(part))
+		if part == "" {
+			continue
+		}
+		mult := 1
+		switch {
+		case strings.HasSuffix(part, "k"):
+			mult, part = 1024, strings.TrimSuffix(part, "k")
+		case strings.HasSuffix(part, "m"):
+			mult, part = 1<<20, strings.TrimSuffix(part, "m")
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad mix entry %q: %w", part, err)
+		}
+		out = append(out, n*mult)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size mix")
+	}
+	return out, nil
+}
+
+func parseOps(s string) ([]serve.Op, error) {
+	var out []serve.Op
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op := serve.Op(part)
+		if !serve.ValidOp(op) {
+			return nil, fmt.Errorf("unknown op %q", part)
+		}
+		out = append(out, op)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty op mix")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wispload:", err)
+	os.Exit(1)
+}

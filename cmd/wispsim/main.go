@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	wispsim -table1 [-rsabits N]
+//	wispsim -table1 [-rsabits N] [-json]
 //	wispsim -run prog.s [-entry main] [-profile]
+//
+// -table1 -json emits machine-readable rows so CI and the serving-layer
+// tools can diff measured costs against the analytic model.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +31,7 @@ func main() {
 	profile := flag.Bool("profile", false, "print the execution profile after -run")
 	ext := flag.Bool("ext", false, "mount the security extension set for -run")
 	dump := flag.String("dump", "", "assemble a source file and print its listing")
+	jsonOut := flag.Bool("json", false, "emit -table1 rows as machine-readable JSON")
 	flag.Parse()
 
 	if *dump != "" {
@@ -38,7 +43,7 @@ func main() {
 
 	switch {
 	case *table1:
-		if err := doTable1(*rsaBits); err != nil {
+		if err := doTable1(*rsaBits, *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *runFile != "":
@@ -56,8 +61,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func doTable1(rsaBits int) error {
-	fmt.Printf("characterizing kernels and measuring Table 1 (RSA-%d)...\n\n", rsaBits)
+func doTable1(rsaBits int, jsonOut bool) error {
+	if !jsonOut {
+		fmt.Printf("characterizing kernels and measuring Table 1 (RSA-%d)...\n\n", rsaBits)
+	}
 	p, err := wisp.New(wisp.Options{RSABits: rsaBits})
 	if err != nil {
 		return err
@@ -65,6 +72,28 @@ func doTable1(rsaBits int) error {
 	rows, err := p.Table1()
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		type jsonRow struct {
+			Algorithm string  `json:"algorithm"`
+			Unit      string  `json:"unit"`
+			Base      float64 `json:"base"`
+			Optimized float64 `json:"optimized"`
+			Speedup   float64 `json:"speedup"`
+		}
+		doc := struct {
+			RSABits int       `json:"rsa_bits"`
+			Rows    []jsonRow `json:"rows"`
+		}{RSABits: rsaBits}
+		for _, r := range rows {
+			doc.Rows = append(doc.Rows, jsonRow{
+				Algorithm: r.Algorithm, Unit: r.Unit,
+				Base: r.Base, Optimized: r.Optimized, Speedup: r.Speedup(),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 	fmt.Print(wisp.RenderTable1(rows))
 	return nil

@@ -4,19 +4,46 @@
 //
 // Usage:
 //
-//	wispssl [-rsabits 1024]
+//	wispssl [-rsabits 1024] [-json]
+//
+// -json emits machine-readable rows (one JSON document with a `rows`
+// array) so wispload runs and CI can diff served results against the
+// analytic model.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"wisp"
+	"wisp/internal/ssl"
 )
+
+// jsonBreakdown mirrors ssl.Breakdown with stable wire names.
+type jsonBreakdown struct {
+	PublicKey float64 `json:"public_key_cycles"`
+	Symmetric float64 `json:"symmetric_cycles"`
+	Misc      float64 `json:"misc_cycles"`
+	Total     float64 `json:"total_cycles"`
+}
+
+func toJSONBreakdown(b ssl.Breakdown) jsonBreakdown {
+	return jsonBreakdown{PublicKey: b.PublicKey, Symmetric: b.Symmetric, Misc: b.Misc, Total: b.Total()}
+}
+
+// jsonRow is one machine-readable Figure 8 row.
+type jsonRow struct {
+	Bytes   int           `json:"bytes"`
+	Speedup float64       `json:"speedup"`
+	Base    jsonBreakdown `json:"base"`
+	Opt     jsonBreakdown `json:"opt"`
+}
 
 func main() {
 	rsaBits := flag.Int("rsabits", 1024, "RSA modulus size for the handshake")
+	jsonOut := flag.Bool("json", false, "emit machine-readable rows as JSON")
 	flag.Parse()
 
 	p, err := wisp.New(wisp.Options{RSABits: *rsaBits})
@@ -27,6 +54,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *jsonOut {
+		doc := struct {
+			RSABits int       `json:"rsa_bits"`
+			Rows    []jsonRow `json:"rows"`
+		}{RSABits: *rsaBits}
+		for _, r := range rows {
+			doc.Rows = append(doc.Rows, jsonRow{
+				Bytes:   r.Bytes,
+				Speedup: r.Speedup,
+				Base:    toJSONBreakdown(r.Base),
+				Opt:     toJSONBreakdown(r.Opt),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	fmt.Println("Figure 8 — estimated speedups for SSL transactions")
 	fmt.Printf("%-10s %9s   %-32s %-32s\n", "size", "speedup", "baseline breakup", "optimized breakup")
 	for _, r := range rows {

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a wispd gateway over HTTP.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for addr ("host:port" or a full http:// URL).
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// Do submits one offload request.  A non-nil Response is returned for
+// every successfully parsed reply, including shed/expired/error statuses;
+// the error covers transport and decoding failures only.
+func (c *Client) Do(req *Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.http.Post(c.base+"/v1/offload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, MaxPayload*2))
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("serve: decoding response (http %d): %w", httpResp.StatusCode, err)
+	}
+	return &resp, nil
+}
+
+// Stats fetches the gateway's /stats snapshot.
+func (c *Client) Stats() (*Stats, error) {
+	httpResp, err := c.http.Get(c.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	var s Stats
+	if err := json.NewDecoder(httpResp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Healthy reports whether /healthz answers "ok".
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

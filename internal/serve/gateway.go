@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisp/internal/mpz"
+	"wisp/internal/pool"
+	"wisp/internal/rsakey"
+	"wisp/internal/ssl"
+)
+
+// Config tunes the gateway.  The zero value selects serving defaults.
+type Config struct {
+	// Shards is the number of worker shards (simulated platform
+	// instances).  ≤0 selects GOMAXPROCS via pool.Workers.
+	Shards int
+	// QueueDepth bounds each shard's queue; a full queue sheds load.
+	// Default 64.
+	QueueDepth int
+	// BatchMax caps how many queued requests one shard drains per cycle
+	// (compatible record-layer ops in the drain are served as one batch).
+	// Default 16.
+	BatchMax int
+	// RSABits sizes the gateway handshake key.  Default 512: the
+	// functional miniature SSL is a workload simulator, and small keys
+	// keep handshake service times in the hundreds of microseconds.
+	RSABits int
+	// Seed makes shard key material and nonces deterministic.  Default 1.
+	Seed int64
+	// RecordSize chunks OpSSL payloads into records.  Default 1024.
+	RecordSize int
+	// BaseCosts/OptCosts feed the analytic per-transaction estimates
+	// attached to SSL-shaped responses.  Defaults are the repo's measured
+	// platform costs (DefaultBaseCosts/DefaultOptCosts); wispd -measured
+	// re-derives them on the ISS at startup.
+	BaseCosts *ssl.Costs
+	OptCosts  *ssl.Costs
+}
+
+// DefaultBaseCosts and DefaultOptCosts are the baseline and optimized
+// platform cost models measured by Platform.SSLCosts at the default
+// configuration (RSA-1024, seed 1) — baked in so the gateway can price
+// transactions without re-running kernel characterization.
+var (
+	DefaultBaseCosts = ssl.Costs{
+		RSADecrypt:        9.7402912e7,
+		RSAPublic:         1.102682e6,
+		HandshakeMisc:     5.84417472e7,
+		CipherPerByte:     1663.375,
+		MACPerByte:        16.1390625,
+		RecordMiscPerByte: 293.8609375,
+	}
+	DefaultOptCosts = ssl.Costs{
+		RSADecrypt:        1.2021460609756096e6,
+		RSAPublic:         142605.36585365853,
+		HandshakeMisc:     5.84417472e7,
+		CipherPerByte:     37.875,
+		MACPerByte:        16.1390625,
+		RecordMiscPerByte: 293.8609375,
+	}
+)
+
+// PlatformClockHz is the paper's 188 MHz target clock, used to convert
+// analytic cycle estimates into simulated-platform time.
+const PlatformClockHz = 188e6
+
+func (c Config) withDefaults() Config {
+	c.Shards = pool.Workers(c.Shards, 0)
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.RSABits == 0 {
+		c.RSABits = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RecordSize <= 0 {
+		c.RecordSize = 1024
+	}
+	if c.BaseCosts == nil {
+		c.BaseCosts = &DefaultBaseCosts
+	}
+	if c.OptCosts == nil {
+		c.OptCosts = &DefaultOptCosts
+	}
+	return c
+}
+
+// task is one queued request with its response rendezvous.
+type task struct {
+	req      *Request
+	enqueued time.Time
+	deadline time.Time // zero = none
+	resp     chan *Response
+}
+
+// Gateway dispatches offload requests across worker shards.
+type Gateway struct {
+	cfg     Config
+	key     *rsakey.PrivateKey
+	shards  []*shard
+	metrics *Metrics
+
+	next     atomic.Uint64 // round-robin shard cursor
+	draining atomic.Bool
+	inflight sync.WaitGroup // Submit calls in progress
+	workers  sync.WaitGroup
+	drained  chan struct{}
+	drainOne sync.Once
+}
+
+// NewGateway builds and starts a gateway: one RSA key, `Shards` worker
+// shards each with its own RNG stream, established record session pair
+// and symmetric key schedule.
+func NewGateway(cfg Config) (*Gateway, error) {
+	c := cfg.withDefaults()
+	if err := c.BaseCosts.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: base costs: %w", err)
+	}
+	if err := c.OptCosts.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: optimized costs: %w", err)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	key, err := rsakey.GenerateKey(rng, c.RSABits)
+	if err != nil {
+		return nil, fmt.Errorf("serve: generating %d-bit gateway key: %w", c.RSABits, err)
+	}
+	g := &Gateway{
+		cfg:     c,
+		key:     key,
+		metrics: NewMetrics(c.Shards),
+		drained: make(chan struct{}),
+	}
+	g.shards = make([]*shard, c.Shards)
+	for i := range g.shards {
+		s, err := newShard(i, g, rng.Int63())
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		g.shards[i] = s
+	}
+	for _, s := range g.shards {
+		g.workers.Add(1)
+		go s.loop()
+	}
+	return g, nil
+}
+
+// Metrics returns the gateway's observability core.
+func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Stats snapshots every counter, gauge and histogram.
+func (g *Gateway) Stats() Stats { return g.metrics.Snapshot(g.cfg.QueueDepth) }
+
+// Config returns the resolved configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+// Draining reports whether the gateway has begun shutting down.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Submit runs one request through admission control and, if admitted, a
+// shard, blocking until the response is ready.  It never blocks on a full
+// queue: admission control sheds instead, so a load spike degrades into
+// fast rejections rather than unbounded latency.
+func (g *Gateway) Submit(req *Request) *Response {
+	g.inflight.Add(1)
+	defer g.inflight.Done()
+
+	now := time.Now()
+	om := g.metrics.op(req.Op)
+	om.requests.Add(1)
+
+	if err := req.Validate(); err != nil {
+		om.errors.Add(1)
+		return &Response{ID: req.ID, Op: req.Op, Status: StatusError, Error: err.Error(), Shard: -1}
+	}
+	if g.draining.Load() {
+		om.shed.Add(1)
+		g.metrics.shedDraining.Add(1)
+		return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "gateway draining", Shard: -1}
+	}
+
+	sh := g.shards[g.next.Add(1)%uint64(len(g.shards))]
+
+	t := &task{req: req, enqueued: now, resp: make(chan *Response, 1)}
+	if req.DeadlineUS > 0 {
+		t.deadline = now.Add(time.Duration(req.DeadlineUS) * time.Microsecond)
+		// Deadline-aware rejection: if the backlog's estimated service
+		// time already exceeds the budget, shed now instead of queueing
+		// work that will expire anyway.
+		wait := float64(len(sh.queue)) * sh.serviceEWMA()
+		if wait > float64(req.DeadlineUS) {
+			om.shed.Add(1)
+			g.metrics.shedDeadline.Add(1)
+			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Shard: sh.id,
+				Error: fmt.Sprintf("backlog %.0fµs exceeds deadline %dµs", wait, req.DeadlineUS)}
+		}
+	}
+
+	select {
+	case sh.queue <- t:
+		g.metrics.queueDepth[sh.id].Add(1)
+	default:
+		om.shed.Add(1)
+		g.metrics.shedQueueFull.Add(1)
+		return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "queue full", Shard: sh.id}
+	}
+
+	resp := <-t.resp
+	switch resp.Status {
+	case StatusOK:
+		om.ok.Add(1)
+		om.bytes.Add(uint64(len(req.Payload)))
+		total := float64(resp.QueueUS + resp.ServiceUS)
+		om.latency.Observe(total)
+		om.service.Observe(float64(resp.ServiceUS))
+	case StatusExpired:
+		om.expired.Add(1)
+		g.metrics.expired.Add(1)
+	case StatusError:
+		om.errors.Add(1)
+	}
+	return resp
+}
+
+// Drain stops admission and waits for every queued request to finish.
+// After Drain returns, worker shards have exited; further Submit calls
+// are shed with "gateway draining".  Safe to call more than once.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.draining.Store(true)
+	g.drainOne.Do(func() {
+		go func() {
+			// Every admitted task's Submit call is still parked on its
+			// response channel, so waiting for in-flight Submits to return
+			// is exactly waiting for the queues to empty.
+			g.inflight.Wait()
+			for _, s := range g.shards {
+				close(s.stop)
+			}
+			g.workers.Wait()
+			close(g.drained)
+		}()
+	})
+	select {
+	case <-g.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// estTransaction prices one SSL transaction of n payload bytes under both
+// cost models.
+func (g *Gateway) estTransaction(n int) (base, opt float64) {
+	return g.cfg.BaseCosts.Transaction(n).Total(), g.cfg.OptCosts.Transaction(n).Total()
+}
+
+// estRecord prices n record-layer bytes (no handshake) under both models.
+func (g *Gateway) estRecord(n int) (base, opt float64) {
+	f := func(c *ssl.Costs) float64 {
+		return (c.CipherPerByte + c.MACPerByte + c.RecordMiscPerByte) * float64(n)
+	}
+	return f(g.cfg.BaseCosts), f(g.cfg.OptCosts)
+}
+
+// estHandshake prices the handshake alone under both models.
+func (g *Gateway) estHandshake() (base, opt float64) {
+	f := func(c *ssl.Costs) float64 { return c.RSADecrypt + c.RSAPublic + c.HandshakeMisc }
+	return f(g.cfg.BaseCosts), f(g.cfg.OptCosts)
+}
+
+// shard is one worker: a bounded queue, a private platform instance
+// (RNG stream, RSA contexts, long-lived record session pair, symmetric
+// schedules) and a service-time estimate for deadline-aware admission.
+type shard struct {
+	id    int
+	g     *Gateway
+	queue chan *task
+	stop  chan struct{}
+
+	rng  *rand.Rand
+	ctx  *mpz.Ctx
+	env  *shardEnv
+	ewma atomic.Uint64 // float64 bits: EWMA of per-task service µs
+}
+
+func newShard(id int, g *Gateway, seed int64) (*shard, error) {
+	s := &shard{
+		id:    id,
+		g:     g,
+		queue: make(chan *task, g.cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		ctx:   mpz.NewCtx(nil),
+	}
+	env, err := newShardEnv(s)
+	if err != nil {
+		return nil, err
+	}
+	s.env = env
+	s.ewma.Store(math.Float64bits(1000)) // optimistic 1 ms prior
+	return s, nil
+}
+
+func (s *shard) serviceEWMA() float64 { return math.Float64frombits(s.ewma.Load()) }
+
+func (s *shard) observeService(us float64) {
+	const alpha = 0.2
+	cur := s.serviceEWMA()
+	s.ewma.Store(math.Float64bits(cur + alpha*(us-cur)))
+}
+
+// loop is the shard worker: block for one task, drain up to BatchMax-1
+// more without blocking, then serve the batch grouped by op.  On stop it
+// finishes whatever is still queued (graceful drain) before exiting.
+func (s *shard) loop() {
+	defer s.g.workers.Done()
+	for {
+		select {
+		case t := <-s.queue:
+			s.serveBatch(s.collect(t))
+		case <-s.stop:
+			for {
+				select {
+				case t := <-s.queue:
+					s.serveBatch(s.collect(t))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *shard) collect(first *task) []*task {
+	batch := []*task{first}
+	for len(batch) < s.g.cfg.BatchMax {
+		select {
+		case t := <-s.queue:
+			batch = append(batch, t)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// serveBatch groups a drained batch by op (preserving arrival order
+// within each group) and serves each group; compatible record-layer ops
+// thus share one pass over the shard's session machinery.
+func (s *shard) serveBatch(batch []*task) {
+	s.g.metrics.queueDepth[s.id].Add(-int64(len(batch)))
+	var order []Op
+	groups := make(map[Op][]*task)
+	for _, t := range batch {
+		if _, ok := groups[t.req.Op]; !ok {
+			order = append(order, t.req.Op)
+		}
+		groups[t.req.Op] = append(groups[t.req.Op], t)
+	}
+	for _, op := range order {
+		group := groups[op]
+		s.g.metrics.batch.Observe(float64(len(group)))
+		for _, t := range group {
+			s.serveOne(t, len(group))
+		}
+	}
+}
+
+// serveOne executes one task (deadline check, op dispatch, reply).
+func (s *shard) serveOne(t *task, batchSize int) {
+	start := time.Now()
+	queueUS := start.Sub(t.enqueued).Microseconds()
+	resp := &Response{ID: t.req.ID, Op: t.req.Op, Shard: s.id, Batch: batchSize, QueueUS: queueUS}
+
+	if !t.deadline.IsZero() && start.After(t.deadline) {
+		resp.Status = StatusExpired
+		resp.Error = fmt.Sprintf("deadline exceeded after %dµs in queue", queueUS)
+		t.resp <- resp
+		return
+	}
+
+	if err := s.run(t.req, resp); err != nil {
+		resp.Status = StatusError
+		resp.Error = err.Error()
+	} else {
+		resp.Status = StatusOK
+	}
+	resp.ServiceUS = time.Since(start).Microseconds()
+	s.observeService(float64(resp.ServiceUS))
+	t.resp <- resp
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server exposes a Gateway over HTTP:
+//
+//	POST /v1/offload  — one Request in, one Response out (JSON)
+//	GET  /stats       — metrics snapshot (JSON; ?format=text for a dump)
+//	GET  /healthz     — "ok" while serving, 503 "draining" during drain
+type Server struct {
+	gw   *Gateway
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer wraps a gateway with the HTTP front end.
+func NewServer(gw *Gateway) *Server {
+	s := &Server{gw: gw}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/offload", s.handleOffload)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Listen binds addr (host:port; port 0 picks a free one) and returns the
+// bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve runs the HTTP loop on the listener from Listen; it blocks until
+// Shutdown and returns nil on a clean close.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("serve: Serve before Listen")
+	}
+	if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains the gateway (in-flight and queued requests finish,
+// new ones are shed) and then closes the HTTP server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	drainErr := s.gw.Drain(ctx)
+	httpErr := s.http.Shutdown(ctx)
+	if drainErr != nil {
+		return drainErr
+	}
+	return httpErr
+}
+
+func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxPayload*2))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp := s.gw.Submit(&req)
+	code := http.StatusOK
+	switch resp.Status {
+	case StatusShed:
+		code = http.StatusServiceUnavailable
+	case StatusExpired:
+		code = http.StatusGatewayTimeout
+	case StatusError:
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.gw.Stats()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, stats.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.gw.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wisp/internal/hashes"
+)
+
+// Figure8Mix is the transaction-size mix the load generator replays by
+// default: the paper's Figure 8 sweep points at 1, 4, 16 and 32 KB.
+var Figure8Mix = []int{1 << 10, 4 << 10, 16 << 10, 32 << 10}
+
+// LoadConfig drives the closed-loop load generator: Clients goroutines
+// each issue PerClient requests back to back, cycling through the size
+// mix and op mix with a per-client stagger.
+type LoadConfig struct {
+	Addr       string
+	Clients    int     // concurrent closed-loop clients; default 4
+	PerClient  int     // requests per client; default 25
+	Mix        []int   // payload sizes; default Figure8Mix
+	Ops        []Op    // op mix; default {OpSSL}
+	RecordSize int     // record chunking for OpSSL; 0 = gateway default
+	DeadlineUS int64   // per-request latency budget; 0 = none
+	Seed       int64   // payload determinism; default 1
+	ClockHz    float64 // simulated platform clock; default PlatformClockHz
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 25
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = Figure8Mix
+	}
+	if len(c.Ops) == 0 {
+		c.Ops = []Op{OpSSL}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = PlatformClockHz
+	}
+	return c
+}
+
+// LatencySummary summarizes a latency sample in microseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+func summarize(us []int64) LatencySummary {
+	if len(us) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	var sum int64
+	for _, v := range us {
+		sum += v
+	}
+	q := func(p float64) int64 {
+		idx := int(p*float64(len(us))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(us) {
+			idx = len(us) - 1
+		}
+		return us[idx]
+	}
+	return LatencySummary{
+		Count: len(us),
+		Mean:  float64(sum) / float64(len(us)),
+		Min:   us[0],
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Max:   us[len(us)-1],
+	}
+}
+
+// SizeStats is the per-transaction-size slice of a load run.
+type SizeStats struct {
+	Bytes   int            `json:"bytes"`
+	Latency LatencySummary `json:"latency_us"`
+}
+
+// LoadReport is the result of one closed-loop run.
+type LoadReport struct {
+	Clients      int     `json:"clients"`
+	Transactions int     `json:"transactions"`
+	OK           int     `json:"ok"`
+	Shed         int     `json:"shed"`
+	Expired      int     `json:"expired"`
+	Errors       int     `json:"errors"`
+	Mismatches   int     `json:"mismatches"`
+	Bytes        int64   `json:"bytes"`
+	Seconds      float64 `json:"seconds"`
+
+	Latency LatencySummary `json:"latency_us"`
+	PerSize []SizeStats    `json:"per_size"`
+
+	AchievedRPS  float64 `json:"achieved_rps"`
+	AchievedMBps float64 `json:"achieved_mbps"`
+
+	// Model comparison: what the analytic cost model predicts the
+	// baseline and optimized simulated platforms would need for the OK
+	// portion of this workload, at ClockHz.
+	ModelBaseCycles  float64 `json:"model_base_cycles"`
+	ModelOptCycles   float64 `json:"model_opt_cycles"`
+	ModelBaseSeconds float64 `json:"model_base_seconds"`
+	ModelOptSeconds  float64 `json:"model_opt_seconds"`
+	// ModelSpeedup is base/opt over the served mix — the Figure 8 curve
+	// integrated over the replayed distribution.
+	ModelSpeedup float64 `json:"model_speedup"`
+	// WallVsModelOpt is gateway wall-clock time over the optimized
+	// platform's predicted time (how far the host serving path is from
+	// the simulated silicon).
+	WallVsModelOpt float64 `json:"wall_vs_model_opt"`
+}
+
+// RunLoad executes the closed-loop load run against a serving gateway.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	c := cfg.withDefaults()
+	if c.Addr == "" {
+		return nil, fmt.Errorf("serve: load generator needs an address")
+	}
+	client := NewClient(c.Addr)
+
+	type clientResult struct {
+		ok, shed, expired, errs, mismatches int
+		bytes                               int64
+		latencies                           []int64
+		perSize                             map[int][]int64
+		baseCycles, optCycles               float64
+		err                                 error
+	}
+	results := make([]clientResult, c.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < c.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			r.perSize = make(map[int][]int64)
+			rng := rand.New(rand.NewSource(c.Seed + int64(i)))
+			for k := 0; k < c.PerClient; k++ {
+				size := c.Mix[(i+k)%len(c.Mix)]
+				op := c.Ops[(i+k)%len(c.Ops)]
+				payload := make([]byte, size)
+				rng.Read(payload)
+				want := hashes.MD5Sum(payload)
+				req := &Request{
+					ID:         fmt.Sprintf("c%d-%d", i, k),
+					Op:         op,
+					Payload:    payload,
+					RecordSize: c.RecordSize,
+					DeadlineUS: c.DeadlineUS,
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := time.Since(t0).Microseconds()
+				if err != nil {
+					r.err = err
+					return
+				}
+				switch resp.Status {
+				case StatusOK:
+					r.ok++
+					r.bytes += int64(size)
+					r.latencies = append(r.latencies, lat)
+					if op == OpSSL {
+						r.perSize[size] = append(r.perSize[size], lat)
+					}
+					if !bytes.Equal(resp.Digest, want[:]) {
+						r.mismatches++
+					}
+					r.baseCycles += resp.EstBaseCycles
+					r.optCycles += resp.EstOptCycles
+				case StatusShed:
+					r.shed++
+				case StatusExpired:
+					r.expired++
+				default:
+					r.errs++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Clients: c.Clients, Seconds: elapsed.Seconds()}
+	var all []int64
+	perSize := make(map[int][]int64)
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, fmt.Errorf("serve: load client %d: %w", i, r.err)
+		}
+		rep.OK += r.ok
+		rep.Shed += r.shed
+		rep.Expired += r.expired
+		rep.Errors += r.errs
+		rep.Mismatches += r.mismatches
+		rep.Bytes += r.bytes
+		rep.ModelBaseCycles += r.baseCycles
+		rep.ModelOptCycles += r.optCycles
+		all = append(all, r.latencies...)
+		for sz, ls := range r.perSize {
+			perSize[sz] = append(perSize[sz], ls...)
+		}
+	}
+	rep.Transactions = rep.OK + rep.Shed + rep.Expired + rep.Errors
+	rep.Latency = summarize(all)
+	sizes := make([]int, 0, len(perSize))
+	for sz := range perSize {
+		sizes = append(sizes, sz)
+	}
+	sort.Ints(sizes)
+	for _, sz := range sizes {
+		rep.PerSize = append(rep.PerSize, SizeStats{Bytes: sz, Latency: summarize(perSize[sz])})
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.OK) / elapsed.Seconds()
+		rep.AchievedMBps = float64(rep.Bytes) / elapsed.Seconds() / 1e6
+	}
+	rep.ModelBaseSeconds = rep.ModelBaseCycles / c.ClockHz
+	rep.ModelOptSeconds = rep.ModelOptCycles / c.ClockHz
+	if rep.ModelOptCycles > 0 {
+		rep.ModelSpeedup = rep.ModelBaseCycles / rep.ModelOptCycles
+		rep.WallVsModelOpt = elapsed.Seconds() / rep.ModelOptSeconds
+	}
+	return rep, nil
+}
+
+// Format renders the report for terminals.
+func (r *LoadReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: %d clients, %d requests in %.2fs — %d ok, %d shed, %d expired, %d errors, %d mismatches\n",
+		r.Clients, r.Transactions, r.Seconds, r.OK, r.Shed, r.Expired, r.Errors, r.Mismatches)
+	fmt.Fprintf(&b, "throughput: %.1f req/s, %.2f MB/s\n", r.AchievedRPS, r.AchievedMBps)
+	if r.Latency.Count > 0 {
+		fmt.Fprintf(&b, "latency: p50 %s  p95 %s  p99 %s  max %s\n",
+			usDur(r.Latency.P50), usDur(r.Latency.P95), usDur(r.Latency.P99), usDur(r.Latency.Max))
+	}
+	for _, s := range r.PerSize {
+		fmt.Fprintf(&b, "  %5dKB: n=%-4d p50 %s  p95 %s  p99 %s\n",
+			s.Bytes/1024, s.Latency.Count, usDur(s.Latency.P50), usDur(s.Latency.P95), usDur(s.Latency.P99))
+	}
+	if r.ModelOptCycles > 0 {
+		fmt.Fprintf(&b, "model: base %.3fs, optimized %.3fs at 188 MHz (speedup %.2fX over this mix); wall-clock %.1fX the optimized platform\n",
+			r.ModelBaseSeconds, r.ModelOptSeconds, r.ModelSpeedup, r.WallVsModelOpt)
+	}
+	return b.String()
+}
+
+func usDur(us int64) time.Duration {
+	return (time.Duration(us) * time.Microsecond).Round(10 * time.Microsecond)
+}

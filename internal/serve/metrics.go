@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// covers [2^i, 2^(i+1)) microseconds, so the range spans 1 µs to ~35 min.
+const histBuckets = 32
+
+// Histogram is a fixed exponential-bucket latency histogram.  Observations
+// are microseconds; quantiles are estimated at the geometric midpoint of
+// the owning bucket, which is within 2^(1/2)x of the true value — enough
+// for p50/p95/p99 serving dashboards without storing samples.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one value (microseconds for latency, a raw count for
+// batch sizes).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	idx := 0
+	for b := v; b >= 2 && idx < histBuckets-1; b /= 2 {
+		idx++
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistSnapshot is an immutable view of a Histogram.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / float64(h.count)
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			lo := math.Exp2(float64(i))
+			// Clamp the estimate to the observed extremes so tiny
+			// populations do not report a quantile outside [min, max].
+			est := lo * math.Sqrt2
+			return math.Min(math.Max(est, h.min), h.max)
+		}
+	}
+	return h.max
+}
+
+// opMetrics aggregates one operation's counters and latency.
+type opMetrics struct {
+	requests atomic.Uint64 // everything submitted, any outcome
+	ok       atomic.Uint64
+	errors   atomic.Uint64
+	shed     atomic.Uint64
+	expired  atomic.Uint64
+	bytes    atomic.Uint64 // payload bytes of OK responses
+
+	latency Histogram // queue + service, µs, OK responses only
+	service Histogram // service alone, µs
+}
+
+// Metrics is the gateway's observability core.
+type Metrics struct {
+	start time.Time
+
+	mu    sync.Mutex
+	perOp map[Op]*opMetrics
+
+	batch Histogram // same-op group sizes served per drain
+
+	queueDepth []atomic.Int64 // per-shard gauge
+
+	shedQueueFull atomic.Uint64
+	shedDeadline  atomic.Uint64 // admission: backlog estimate exceeds budget
+	shedDraining  atomic.Uint64
+	expired       atomic.Uint64 // dequeued past deadline
+}
+
+// NewMetrics builds the metrics core for `shards` worker shards.
+func NewMetrics(shards int) *Metrics {
+	m := &Metrics{
+		start:      time.Now(),
+		perOp:      make(map[Op]*opMetrics, len(AllOps)),
+		queueDepth: make([]atomic.Int64, shards),
+	}
+	for _, op := range AllOps {
+		m.perOp[op] = &opMetrics{}
+	}
+	return m
+}
+
+// op returns the per-op aggregate, creating one for unknown ops so a
+// malformed request still shows up in the counters.
+func (m *Metrics) op(op Op) *opMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	om, ok := m.perOp[op]
+	if !ok {
+		om = &opMetrics{}
+		m.perOp[op] = om
+	}
+	return om
+}
+
+// OpStats is the exported view of one operation's counters.
+type OpStats struct {
+	Requests uint64       `json:"requests"`
+	OK       uint64       `json:"ok"`
+	Errors   uint64       `json:"errors"`
+	Shed     uint64       `json:"shed"`
+	Expired  uint64       `json:"expired"`
+	Bytes    uint64       `json:"bytes"`
+	Latency  HistSnapshot `json:"latency_us"`
+	Service  HistSnapshot `json:"service_us"`
+}
+
+// Stats is the /stats document.
+type Stats struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Shards        int                `json:"shards"`
+	QueueCap      int                `json:"queue_cap"`
+	QueueDepth    []int64            `json:"queue_depth"`
+	Requests      uint64             `json:"requests"`
+	OK            uint64             `json:"ok"`
+	Errors        uint64             `json:"errors"`
+	Shed          uint64             `json:"shed"`
+	Expired       uint64             `json:"expired"`
+	ShedByReason  map[string]uint64  `json:"shed_by_reason"`
+	PerOp         map[string]OpStats `json:"per_op"`
+	BatchSize     HistSnapshot       `json:"batch_size"`
+}
+
+// Snapshot captures every counter, gauge and histogram.
+func (m *Metrics) Snapshot(queueCap int) Stats {
+	s := Stats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Shards:        len(m.queueDepth),
+		QueueCap:      queueCap,
+		QueueDepth:    make([]int64, len(m.queueDepth)),
+		ShedByReason: map[string]uint64{
+			"queue-full": m.shedQueueFull.Load(),
+			"deadline":   m.shedDeadline.Load(),
+			"draining":   m.shedDraining.Load(),
+		},
+		PerOp:     make(map[string]OpStats),
+		BatchSize: m.batch.Snapshot(),
+	}
+	for i := range m.queueDepth {
+		s.QueueDepth[i] = m.queueDepth[i].Load()
+	}
+	m.mu.Lock()
+	ops := make([]Op, 0, len(m.perOp))
+	for op := range m.perOp {
+		ops = append(ops, op)
+	}
+	m.mu.Unlock()
+	for _, op := range ops {
+		om := m.op(op)
+		os := OpStats{
+			Requests: om.requests.Load(),
+			OK:       om.ok.Load(),
+			Errors:   om.errors.Load(),
+			Shed:     om.shed.Load(),
+			Expired:  om.expired.Load(),
+			Bytes:    om.bytes.Load(),
+			Latency:  om.latency.Snapshot(),
+			Service:  om.service.Snapshot(),
+		}
+		s.Requests += os.Requests
+		s.OK += os.OK
+		s.Errors += os.Errors
+		s.Shed += os.Shed
+		s.Expired += os.Expired
+		s.PerOp[string(op)] = os
+	}
+	return s
+}
+
+// Text renders the snapshot as a flat text dump (one `name value` line per
+// series, Prometheus-flavoured) for the -metrics flag and scrapers.
+func (s Stats) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wispd_uptime_seconds %.3f\n", s.UptimeSeconds)
+	fmt.Fprintf(&b, "wispd_shards %d\n", s.Shards)
+	fmt.Fprintf(&b, "wispd_queue_cap %d\n", s.QueueCap)
+	for i, d := range s.QueueDepth {
+		fmt.Fprintf(&b, "wispd_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+	fmt.Fprintf(&b, "wispd_requests_total %d\n", s.Requests)
+	fmt.Fprintf(&b, "wispd_ok_total %d\n", s.OK)
+	fmt.Fprintf(&b, "wispd_errors_total %d\n", s.Errors)
+	fmt.Fprintf(&b, "wispd_shed_total %d\n", s.Shed)
+	fmt.Fprintf(&b, "wispd_expired_total %d\n", s.Expired)
+	reasons := make([]string, 0, len(s.ShedByReason))
+	for r := range s.ShedByReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "wispd_shed_total{reason=%q} %d\n", r, s.ShedByReason[r])
+	}
+	fmt.Fprintf(&b, "wispd_batch_size_p50 %.1f\n", s.BatchSize.P50)
+	fmt.Fprintf(&b, "wispd_batch_size_max %.0f\n", s.BatchSize.Max)
+	ops := make([]string, 0, len(s.PerOp))
+	for op := range s.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		os := s.PerOp[op]
+		if os.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "wispd_op_requests_total{op=%q} %d\n", op, os.Requests)
+		fmt.Fprintf(&b, "wispd_op_ok_total{op=%q} %d\n", op, os.OK)
+		fmt.Fprintf(&b, "wispd_op_errors_total{op=%q} %d\n", op, os.Errors)
+		fmt.Fprintf(&b, "wispd_op_shed_total{op=%q} %d\n", op, os.Shed)
+		fmt.Fprintf(&b, "wispd_op_expired_total{op=%q} %d\n", op, os.Expired)
+		fmt.Fprintf(&b, "wispd_op_bytes_total{op=%q} %d\n", op, os.Bytes)
+		fmt.Fprintf(&b, "wispd_op_latency_us{op=%q,q=\"0.50\"} %.0f\n", op, os.Latency.P50)
+		fmt.Fprintf(&b, "wispd_op_latency_us{op=%q,q=\"0.95\"} %.0f\n", op, os.Latency.P95)
+		fmt.Fprintf(&b, "wispd_op_latency_us{op=%q,q=\"0.99\"} %.0f\n", op, os.Latency.P99)
+	}
+	return b.String()
+}

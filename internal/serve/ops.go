@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"wisp/internal/aescipher"
+	"wisp/internal/blockmode"
+	"wisp/internal/descipher"
+	"wisp/internal/hashes"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+	"wisp/internal/ssl"
+)
+
+// shardEnv is one shard's private crypto state: a long-lived record
+// session pair (so record ops skip the handshake, like resumed SSL
+// sessions), symmetric schedules and an HMAC key.  Everything derives
+// from the shard's seeded RNG stream, so runs are reproducible.
+type shardEnv struct {
+	sealer *ssl.Session // client side of the shard's resident session
+	opener *ssl.Session // server side
+	aes    *aescipher.Cipher
+	aesIV  []byte
+	des3   *descipher.TripleCipher
+	desIV  []byte
+	hmac   []byte
+}
+
+func newShardEnv(s *shard) (*shardEnv, error) {
+	sealer, opener, err := handshakePair(s.rng, s.g.key)
+	if err != nil {
+		return nil, fmt.Errorf("establishing resident session: %w", err)
+	}
+	e := &shardEnv{sealer: sealer, opener: opener}
+	aesKey := make([]byte, 16)
+	s.rng.Read(aesKey)
+	if e.aes, err = aescipher.NewCipher(aesKey); err != nil {
+		return nil, err
+	}
+	e.aesIV = make([]byte, aescipher.BlockSize)
+	s.rng.Read(e.aesIV)
+	desKey := make([]byte, 24)
+	s.rng.Read(desKey)
+	if e.des3, err = descipher.NewTripleCipher(desKey); err != nil {
+		return nil, err
+	}
+	e.desIV = make([]byte, descipher.BlockSize)
+	s.rng.Read(e.desIV)
+	e.hmac = make([]byte, 16)
+	s.rng.Read(e.hmac)
+	return e, nil
+}
+
+// handshakePair runs the functional handshake against the gateway key and
+// returns the connected client/server sessions.  The server side runs on
+// its own goroutine with a forked RNG stream (the handshake is a blocking
+// two-party protocol), so the caller's RNG is never shared.
+func handshakePair(rng *rand.Rand, key *rsakey.PrivateKey) (client, server *ssl.Session, err error) {
+	ct, st := ssl.Pipe()
+	srvRng := rand.New(rand.NewSource(rng.Int63()))
+	type res struct {
+		sess *ssl.Session
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sess, err := ssl.ServerHandshake(st, srvRng, mpz.NewCtx(nil), key)
+		ch <- res{sess, err}
+	}()
+	cli, cerr := ssl.ClientHandshake(ct, rng, mpz.NewCtx(nil))
+	sr := <-ch
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	if sr.err != nil {
+		return nil, nil, sr.err
+	}
+	return cli, sr.sess, nil
+}
+
+// run executes one admitted request on this shard, filling resp's
+// payload-bearing fields.  Status and timing are the caller's job.
+func (s *shard) run(req *Request, resp *Response) error {
+	digest := hashes.MD5Sum(req.Payload)
+	resp.Digest = digest[:]
+
+	switch req.Op {
+	case OpSSL:
+		return s.runSSL(req, resp, false)
+	case OpHandshake:
+		return s.runSSL(req, resp, true)
+
+	case OpRecord:
+		rec, err := s.env.sealer.Seal(req.Payload)
+		if err != nil {
+			return err
+		}
+		got, err := s.env.opener.Open(rec)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, req.Payload) {
+			return fmt.Errorf("record round trip corrupted %d bytes", len(req.Payload))
+		}
+		resp.Records = 1
+		resp.EstBaseCycles, resp.EstOptCycles = s.g.estRecord(len(req.Payload))
+
+	case OpRSADecrypt:
+		wrapped, err := rsakey.PadEncrypt(s.ctx, s.rng, &s.g.key.PublicKey, digest[:])
+		if err != nil {
+			return err
+		}
+		got, err := rsakey.PadDecrypt(s.ctx, s.g.key, wrapped)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, digest[:]) {
+			return fmt.Errorf("rsa round trip corrupted digest")
+		}
+		resp.Result = wrapped
+		resp.EstBaseCycles = s.g.cfg.BaseCosts.RSADecrypt
+		resp.EstOptCycles = s.g.cfg.OptCosts.RSADecrypt
+
+	case OpRSAEncrypt:
+		wrapped, err := rsakey.PadEncrypt(s.ctx, s.rng, &s.g.key.PublicKey, digest[:])
+		if err != nil {
+			return err
+		}
+		resp.Result = wrapped
+		resp.EstBaseCycles = s.g.cfg.BaseCosts.RSAPublic
+		resp.EstOptCycles = s.g.cfg.OptCosts.RSAPublic
+
+	case OpAES:
+		return s.runCBC(req, resp, aescipher.BlockSize, func(key []byte) (blockmode.Block, []byte, error) {
+			if key == nil {
+				return s.env.aes, s.env.aesIV, nil
+			}
+			c, err := aescipher.NewCipher(key)
+			return c, s.env.aesIV, err
+		})
+
+	case Op3DES:
+		err := s.runCBC(req, resp, descipher.BlockSize, func(key []byte) (blockmode.Block, []byte, error) {
+			if key == nil {
+				return s.env.des3, s.env.desIV, nil
+			}
+			c, err := descipher.NewTripleCipher(key)
+			return c, s.env.desIV, err
+		})
+		if err != nil {
+			return err
+		}
+		resp.EstBaseCycles = s.g.cfg.BaseCosts.CipherPerByte * float64(len(req.Payload))
+		resp.EstOptCycles = s.g.cfg.OptCosts.CipherPerByte * float64(len(req.Payload))
+
+	case OpMD5:
+		resp.Result = digest[:]
+	case OpSHA1:
+		sum := hashes.SHA1Sum(req.Payload)
+		resp.Result = sum[:]
+	case OpHMACMD5:
+		resp.Result = hashes.HMACMD5(s.hmacKey(req), req.Payload)
+	case OpHMACSHA1:
+		resp.Result = hashes.HMACSHA1(s.hmacKey(req), req.Payload)
+
+	default:
+		return fmt.Errorf("serve: op %q not implemented", req.Op)
+	}
+	return nil
+}
+
+func (s *shard) hmacKey(req *Request) []byte {
+	if len(req.Key) > 0 {
+		return req.Key
+	}
+	return s.env.hmac
+}
+
+// runSSL serves a full transaction: a fresh handshake (one private-key op
+// on the gateway key), then — unless handshakeOnly — the payload pumped
+// through the new session in RecordSize chunks and self-checked.
+func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
+	cli, srv, err := handshakePair(s.rng, s.g.key)
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if handshakeOnly {
+		resp.EstBaseCycles, resp.EstOptCycles = s.g.estHandshake()
+		return nil
+	}
+	rs := req.RecordSize
+	if rs <= 0 {
+		rs = s.g.cfg.RecordSize
+	}
+	recovered := make([]byte, 0, len(req.Payload))
+	for off := 0; off < len(req.Payload); off += rs {
+		end := min(off+rs, len(req.Payload))
+		rec, err := cli.Seal(req.Payload[off:end])
+		if err != nil {
+			return fmt.Errorf("record %d seal: %w", resp.Records, err)
+		}
+		got, err := srv.Open(rec)
+		if err != nil {
+			return fmt.Errorf("record %d open: %w", resp.Records, err)
+		}
+		recovered = append(recovered, got...)
+		resp.Records++
+	}
+	if !bytes.Equal(recovered, req.Payload) {
+		return fmt.Errorf("transaction corrupted: %d bytes in, %d recovered", len(req.Payload), len(recovered))
+	}
+	resp.EstBaseCycles, resp.EstOptCycles = s.g.estTransaction(len(req.Payload))
+	return nil
+}
+
+// runCBC is the shared CBC round trip for AES/3DES: pad, encrypt, decrypt,
+// unpad, compare.
+func (s *shard) runCBC(req *Request, resp *Response, blockSize int,
+	cipher func(key []byte) (blockmode.Block, []byte, error)) error {
+	var key []byte
+	if len(req.Key) > 0 {
+		key = req.Key
+	}
+	blk, iv, err := cipher(key)
+	if err != nil {
+		return err
+	}
+	padded := blockmode.Pad(req.Payload, blockSize)
+	ct := make([]byte, len(padded))
+	if err := blockmode.CBCEncrypt(blk, iv, ct, padded); err != nil {
+		return err
+	}
+	pt := make([]byte, len(ct))
+	if err := blockmode.CBCDecrypt(blk, iv, pt, ct); err != nil {
+		return err
+	}
+	got, err := blockmode.Unpad(pt, blockSize)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, req.Payload) {
+		return fmt.Errorf("cbc round trip corrupted %d bytes", len(req.Payload))
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package serve is wispd's concurrent security-offload gateway: it
+// accepts SSL-transaction and raw-primitive requests, dispatches them
+// across a shard-per-worker pool of simulated platform instances, batches
+// compatible record-layer operations per shard, applies admission control
+// (bounded queues with load-shedding and deadline-aware rejection), and
+// exports per-request latency histograms, per-primitive throughput
+// counters and queue-depth/shed-rate gauges.
+//
+// The package turns the repository from "reproduce the paper's tables"
+// into "serve the workload the tables describe": every offloaded
+// operation runs on the repo's own crypto stack (internal/ssl,
+// internal/rsakey, internal/descipher, internal/aescipher,
+// internal/hashes), and every SSL-shaped response carries the analytic
+// model's cycle estimate so a load generator can compare achieved
+// throughput against the Figure 8 prediction.
+package serve
+
+import "fmt"
+
+// Op names one offloadable operation.
+type Op string
+
+// The offloadable operations.  Ciphers and RSA run as round trips
+// (encrypt then decrypt, or wrap then unwrap) so the gateway self-checks
+// every response before returning the payload digest.
+const (
+	// OpSSL is a full SSL transaction: RSA key-transport handshake plus a
+	// record-layer pump of the payload (the Figure 8 workload unit).
+	OpSSL Op = "ssl"
+	// OpHandshake is the handshake alone (one private-key op per request).
+	OpHandshake Op = "handshake"
+	// OpRecord is a record-layer seal+open round trip on the shard's
+	// long-lived session pair.  Record ops are batchable: a shard drains
+	// compatible queued records and serves them in one batch.
+	OpRecord Op = "record"
+	// OpRSADecrypt wraps the payload digest under the shard's public key
+	// and unwraps it with the private key (one private-key op).
+	OpRSADecrypt Op = "rsa-decrypt"
+	// OpRSAEncrypt is the public-key operation alone.
+	OpRSAEncrypt Op = "rsa-encrypt"
+	// OpAES is an AES-128-CBC encrypt+decrypt round trip.
+	OpAES Op = "aes"
+	// Op3DES is a 3DES-CBC encrypt+decrypt round trip.
+	Op3DES Op = "3des"
+	// OpMD5 / OpSHA1 digest the payload.
+	OpMD5  Op = "md5"
+	OpSHA1 Op = "sha1"
+	// OpHMACMD5 / OpHMACSHA1 authenticate the payload with the request key
+	// (or the shard's session MAC key when none is given).
+	OpHMACMD5  Op = "hmac-md5"
+	OpHMACSHA1 Op = "hmac-sha1"
+)
+
+// AllOps lists every operation the gateway serves.
+var AllOps = []Op{
+	OpSSL, OpHandshake, OpRecord,
+	OpRSADecrypt, OpRSAEncrypt,
+	OpAES, Op3DES,
+	OpMD5, OpSHA1, OpHMACMD5, OpHMACSHA1,
+}
+
+// ValidOp reports whether op is servable.
+func ValidOp(op Op) bool {
+	for _, o := range AllOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxPayload bounds one request's payload (admission control rejects
+// larger bodies before they reach a shard).
+const MaxPayload = 1 << 20
+
+// Request is one offload request.  Payload is base64 on the wire (Go's
+// encoding/json handles []byte that way).
+type Request struct {
+	ID string `json:"id,omitempty"`
+	Op Op     `json:"op"`
+	// Payload is the data to protect, digest or pump through a session.
+	Payload []byte `json:"payload,omitempty"`
+	// Key optionally overrides the shard's symmetric/HMAC key material.
+	Key []byte `json:"key,omitempty"`
+	// RecordSize chunks OpSSL payloads into records (default: the
+	// gateway's configured record size).
+	RecordSize int `json:"record_size,omitempty"`
+	// DeadlineUS is a relative latency budget in microseconds.  Zero means
+	// no deadline.  Requests whose budget is already spent when a shard
+	// dequeues them — or that the shard's backlog estimate says cannot be
+	// met — are rejected without doing the crypto work.
+	DeadlineUS int64 `json:"deadline_us,omitempty"`
+}
+
+// Status classifies a response.
+type Status string
+
+// Response statuses.
+const (
+	StatusOK      Status = "ok"      // served; Digest covers the recovered payload
+	StatusShed    Status = "shed"    // rejected by admission control (queue full, draining, or unmeetable deadline)
+	StatusExpired Status = "expired" // deadline passed while queued
+	StatusError   Status = "error"   // the operation itself failed
+)
+
+// Response is the gateway's answer to one Request.
+type Response struct {
+	ID     string `json:"id,omitempty"`
+	Op     Op     `json:"op"`
+	Status Status `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	// Digest is MD5 over the recovered payload: after the round trip
+	// through cipher/record/handshake machinery, this must equal the MD5
+	// the client computes locally — the end-to-end corruption check.
+	Digest []byte `json:"digest,omitempty"`
+	// Result is op-specific output (hash or HMAC value, RSA ciphertext).
+	Result []byte `json:"result,omitempty"`
+
+	// Records is the number of record-layer units pumped (OpSSL/OpRecord).
+	Records int `json:"records,omitempty"`
+	// Shard identifies the worker that served (or shed) the request.
+	Shard int `json:"shard"`
+	// Batch is the size of the same-op group this request was served in.
+	Batch int `json:"batch,omitempty"`
+
+	// QueueUS and ServiceUS split the gateway-side latency.
+	QueueUS   int64 `json:"queue_us"`
+	ServiceUS int64 `json:"service_us"`
+
+	// EstBaseCycles/EstOptCycles are the analytic model's per-transaction
+	// cycle estimates (baseline and optimized platform) for SSL-shaped
+	// ops, letting clients compare achieved throughput to Figure 8.
+	EstBaseCycles float64 `json:"est_base_cycles,omitempty"`
+	EstOptCycles  float64 `json:"est_opt_cycles,omitempty"`
+}
+
+// Validate applies admission-side request checks.
+func (r *Request) Validate() error {
+	if !ValidOp(r.Op) {
+		return fmt.Errorf("serve: unknown op %q", r.Op)
+	}
+	if len(r.Payload) > MaxPayload {
+		return fmt.Errorf("serve: payload %d exceeds limit %d", len(r.Payload), MaxPayload)
+	}
+	if r.RecordSize < 0 {
+		return fmt.Errorf("serve: negative record size %d", r.RecordSize)
+	}
+	if r.DeadlineUS < 0 {
+		return fmt.Errorf("serve: negative deadline %d", r.DeadlineUS)
+	}
+	return nil
+}

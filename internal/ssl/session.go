@@ -1,7 +1,7 @@
 package ssl
 
 import (
-	"bytes"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -134,7 +134,10 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	payload := unpadded[:len(unpadded)-hashes.MD5Size]
 	gotMAC := unpadded[len(unpadded)-hashes.MD5Size:]
 	wantMAC := s.recordMAC(s.recvMAC, s.recvSeq, payload)
-	if !bytes.Equal(gotMAC, wantMAC) {
+	// Constant-time comparison: a byte-wise equality that exits on the
+	// first mismatch leaks how much of a forged MAC was correct through
+	// timing — exactly the side channel a security gateway must not add.
+	if subtle.ConstantTimeCompare(gotMAC, wantMAC) != 1 {
 		return nil, fmt.Errorf("ssl: record MAC verification failed (seq %d)", s.recvSeq)
 	}
 	s.recvSeq++

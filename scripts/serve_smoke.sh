@@ -1,0 +1,42 @@
+#!/bin/sh
+# serve_smoke.sh — boot wispd, serve 100 mixed Figure 8 transactions at 4
+# concurrent clients through wispload, then drain the daemon cleanly.
+# Exits non-zero on any payload mismatch, load failure or unclean drain.
+set -eu
+
+BIN="${BIN:-bin}"
+TMP="$(mktemp -d)"
+WISPD_PID=""
+trap 'status=$?; [ -n "$WISPD_PID" ] && kill "$WISPD_PID" 2>/dev/null || true; rm -rf "$TMP"; exit $status' EXIT INT TERM
+
+"$BIN/wispd" -addr 127.0.0.1:0 -addrfile "$TMP/addr" -metrics >"$TMP/wispd.log" 2>&1 &
+WISPD_PID=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$TMP/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: wispd never came up" >&2
+        cat "$TMP/wispd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$TMP/addr")"
+echo "serve-smoke: wispd on $ADDR"
+
+# 4 clients x 25 transactions = 100 served requests over the Figure 8 mix.
+"$BIN/wispload" -addr "$ADDR" -clients 4 -n 25 -mix 1k,4k,16k,32k
+
+# Graceful drain: SIGTERM, then require a clean exit and the drain banner.
+kill -TERM "$WISPD_PID"
+wait "$WISPD_PID"
+WISPD_PID=""
+grep -q "drained cleanly" "$TMP/wispd.log" || {
+    echo "serve-smoke: daemon did not drain cleanly" >&2
+    cat "$TMP/wispd.log" >&2
+    exit 1
+}
+grep "drained cleanly" "$TMP/wispd.log"
+echo "serve-smoke: ok"

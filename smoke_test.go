@@ -14,7 +14,7 @@ func TestSmokeCommands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
 	}
-	bins := []string{"wispexplore", "wispgap", "wispselect", "wispsim", "wispssl"}
+	bins := []string{"wispd", "wispexplore", "wispgap", "wispload", "wispselect", "wispsim", "wispssl"}
 	dir := t.TempDir()
 	for _, name := range bins {
 		out := filepath.Join(dir, name)
