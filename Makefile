@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race fuzz bench serve-smoke
+.PHONY: all build test check race fuzz bench serve-smoke serve-bench
 
 all: build test
 
@@ -37,3 +37,11 @@ serve-smoke:
 	$(GO) build -o bin/wispd ./cmd/wispd
 	$(GO) build -o bin/wispload ./cmd/wispload
 	BIN=bin ./scripts/serve_smoke.sh
+
+# serve-bench replays a heterogeneous ssl+record mix with deadlines and
+# client retries against a cost-dispatch wispd, asserting zero payload
+# mismatches and zero sheds issued while any shard sat idle.
+serve-bench:
+	$(GO) build -o bin/wispd ./cmd/wispd
+	$(GO) build -o bin/wispload ./cmd/wispload
+	BIN=bin ./scripts/serve_bench.sh

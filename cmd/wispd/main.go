@@ -8,7 +8,7 @@
 // Usage:
 //
 //	wispd [-addr 127.0.0.1:9311] [-shards N] [-queue 64] [-batch 16]
-//	      [-rsabits 512] [-record 1024] [-seed 1]
+//	      [-dispatch cost|rr] [-rsabits 512] [-record 1024] [-seed 1]
 //	      [-measured] [-metrics] [-addrfile PATH]
 //
 // With -measured the daemon characterizes the platform kernels on the ISS
@@ -34,6 +34,8 @@ func main() {
 	shards := flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "per-shard queue depth")
 	batch := flag.Int("batch", 16, "max requests drained per shard cycle")
+	dispatch := flag.String("dispatch", serve.DispatchCost,
+		"admission policy: cost (power-of-two-choices over per-op backlog estimates, with work stealing) or rr (blind round-robin)")
 	rsaBits := flag.Int("rsabits", 512, "gateway handshake key size")
 	record := flag.Int("record", 1024, "default record size for SSL transactions")
 	seed := flag.Int64("seed", 1, "determinism seed for shard key material")
@@ -49,6 +51,7 @@ func main() {
 		BatchMax:   *batch,
 		RSABits:    *rsaBits,
 		RecordSize: *record,
+		Dispatch:   *dispatch,
 		Seed:       *seed,
 	}
 	if *measured {
@@ -78,8 +81,8 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Printf("wispd: listening on %s (%d shards, queue %d, batch %d, RSA-%d)\n",
-		bound, gw.Config().Shards, gw.Config().QueueDepth, gw.Config().BatchMax, gw.Config().RSABits)
+	fmt.Printf("wispd: listening on %s (%d shards, queue %d, batch %d, RSA-%d, dispatch %s)\n",
+		bound, gw.Config().Shards, gw.Config().QueueDepth, gw.Config().BatchMax, gw.Config().RSABits, gw.Config().Dispatch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

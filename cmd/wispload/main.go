@@ -8,7 +8,8 @@
 //
 //	wispload -addr 127.0.0.1:9311 [-clients 4] [-n 25]
 //	         [-mix 1k,4k,16k,32k] [-ops ssl] [-record 1024]
-//	         [-deadline-us 0] [-seed 1] [-json] [-stats]
+//	         [-deadline-us 0] [-retries 0] [-backoff-us 2000]
+//	         [-hedge-us 0] [-seed 1] [-json] [-stats]
 package main
 
 import (
@@ -30,6 +31,9 @@ func main() {
 	ops := flag.String("ops", "ssl", "comma-separated op mix (ssl,handshake,record,rsa-decrypt,aes,3des,md5,hmac-md5,...)")
 	record := flag.Int("record", 0, "record size for ssl transactions (0 = server default)")
 	deadline := flag.Int64("deadline-us", 0, "per-request deadline budget in µs (0 = none)")
+	retries := flag.Int("retries", 0, "max client retries for shed responses (exponential backoff + jitter)")
+	backoff := flag.Int64("backoff-us", 2000, "base retry backoff in µs (doubles per retry)")
+	hedge := flag.Int64("hedge-us", 0, "hedge deadline-bearing requests unanswered after this many µs (0 = off)")
 	seed := flag.Int64("seed", 1, "payload determinism seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	stats := flag.Bool("stats", true, "fetch and print server-side /stats after the run")
@@ -52,6 +56,9 @@ func main() {
 		Ops:        opList,
 		RecordSize: *record,
 		DeadlineUS: *deadline,
+		Retries:    *retries,
+		BackoffUS:  *backoff,
+		HedgeUS:    *hedge,
 		Seed:       *seed,
 	})
 	if err != nil {
@@ -80,6 +87,9 @@ func main() {
 				serverStats.Requests, serverStats.OK, serverStats.Shed,
 				serverStats.ShedByReason["queue-full"], serverStats.ShedByReason["deadline"],
 				serverStats.ShedByReason["draining"], serverStats.Expired)
+			fmt.Printf("server dispatch (%s): %d steals, %d redirects, %d retries, %d hedged, %d sheds-while-idle\n",
+				serverStats.Dispatch, serverStats.Steals, serverStats.Redirects,
+				serverStats.Retries, serverStats.Hedges, serverStats.ShedWhileIdle)
 			if ssl, ok := serverStats.PerOp["ssl"]; ok && ssl.Latency.Count > 0 {
 				fmt.Printf("server ssl latency: p50 %.0fµs  p95 %.0fµs  p99 %.0fµs (batch p50 %.1f)\n",
 					ssl.Latency.P50, ssl.Latency.P95, ssl.Latency.P99, serverStats.BatchSize.P50)

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubGateway is a canned /v1/offload handler for exercising the client's
+// retry and hedging machinery without a real gateway.
+func stubGateway(t *testing.T, handle func(req *Request) *Response) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/offload", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, handle(&req))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestClientRetryBackoff sheds the first two attempts and expects the
+// client to re-submit with incrementing Attempt ordinals, then succeed.
+func TestClientRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	var attempts []int
+	srv := stubGateway(t, func(req *Request) *Response {
+		mu.Lock()
+		attempts = append(attempts, req.Attempt)
+		n := len(attempts)
+		mu.Unlock()
+		if n <= 2 {
+			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "queue full", Shard: 0}
+		}
+		return &Response{ID: req.ID, Op: req.Op, Status: StatusOK, Shard: 0}
+	})
+
+	c := NewClient(srv.URL)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Jitter: 0.2}, 7)
+	resp, err := c.Do(&Request{ID: "r1", Op: OpMD5, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("status %s after retries", resp.Status)
+	}
+	mu.Lock()
+	got := append([]int(nil), attempts...)
+	mu.Unlock()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("attempt ordinals on the wire = %v, want [0 1 2]", got)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("client retries = %d, want 2", c.Retries())
+	}
+}
+
+// TestClientRetryExhaustion keeps shedding and expects the final shed
+// response back after MaxAttempts submissions.
+func TestClientRetryExhaustion(t *testing.T) {
+	var n int
+	var mu sync.Mutex
+	srv := stubGateway(t, func(req *Request) *Response {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return &Response{Op: req.Op, Status: StatusShed, Error: "queue full"}
+	})
+	c := NewClient(srv.URL)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}, 7)
+	resp, err := c.Do(&Request{Op: OpMD5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusShed {
+		t.Errorf("status %s, want shed after exhaustion", resp.Status)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 3 {
+		t.Errorf("server saw %d submissions, want 3", n)
+	}
+}
+
+// TestClientHedging delays the primary response long enough for the
+// hedge timer to fire and expects the hedged duplicate's answer to win.
+func TestClientHedging(t *testing.T) {
+	srv := stubGateway(t, func(req *Request) *Response {
+		if !req.Hedge {
+			time.Sleep(300 * time.Millisecond)
+		}
+		return &Response{ID: req.ID, Op: req.Op, Status: StatusOK}
+	})
+	c := NewClient(srv.URL)
+	c.SetRetryPolicy(RetryPolicy{HedgeAfter: 20 * time.Millisecond}, 7)
+	start := time.Now()
+	resp, err := c.Do(&Request{ID: "h1", Op: OpMD5, DeadlineUS: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK || !strings.HasSuffix(resp.ID, "~h") {
+		t.Errorf("winning response %+v, want the hedged duplicate", resp)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("hedged call took %v — hedge did not cut the tail", elapsed)
+	}
+	if c.Hedges() != 1 {
+		t.Errorf("hedges = %d, want 1", c.Hedges())
+	}
+}
+
+// TestClientNoHedgeWithoutDeadline: hedging is only for deadline-bearing
+// requests.
+func TestClientNoHedgeWithoutDeadline(t *testing.T) {
+	srv := stubGateway(t, func(req *Request) *Response {
+		time.Sleep(60 * time.Millisecond)
+		return &Response{Op: req.Op, Status: StatusOK}
+	})
+	c := NewClient(srv.URL)
+	c.SetRetryPolicy(RetryPolicy{HedgeAfter: 10 * time.Millisecond}, 7)
+	if _, err := c.Do(&Request{Op: OpMD5}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hedges() != 0 {
+		t.Errorf("hedged a deadline-less request (%d hedges)", c.Hedges())
+	}
+}
+
+// TestLoopbackRetryAfterShed drives a deliberately tiny gateway with
+// client retries enabled and checks that retried submissions both show
+// up in the server's retry telemetry and convert sheds into successes.
+func TestLoopbackRetryAfterShed(t *testing.T) {
+	gw, addr := startServer(t, Config{Shards: 1, QueueDepth: 1, BatchMax: 1, Seed: 51})
+	rep, err := RunLoad(LoadConfig{
+		Addr:      addr,
+		Clients:   8,
+		PerClient: 3,
+		Mix:       []int{8 << 10},
+		Retries:   6,
+		BackoffUS: 3000,
+		Seed:      19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 || rep.Errors != 0 {
+		t.Fatalf("mismatches=%d errors=%d", rep.Mismatches, rep.Errors)
+	}
+	if rep.Retries == 0 {
+		t.Skip("overload never shed — host too fast for this configuration")
+	}
+	stats := gw.Stats()
+	if stats.Retries == 0 {
+		t.Error("server retry telemetry empty despite client retries")
+	}
+	if rep.OK == 0 {
+		t.Error("no request ever succeeded despite retries")
+	}
+}

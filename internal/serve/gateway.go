@@ -15,6 +15,21 @@ import (
 	"wisp/internal/ssl"
 )
 
+// Dispatch policies.  The workload is pathologically heterogeneous (an
+// RSA private-key op costs ~5 orders of magnitude more than a
+// record-layer byte), so blind round-robin head-of-line-blocks cheap
+// record ops behind queued handshakes; cost-aware dispatch prices each
+// shard's backlog per op instead.
+const (
+	// DispatchCost is power-of-two-choices over estimated backlog cost
+	// (queued + in-service work, priced by per-op service EWMAs), with
+	// idle shards stealing queued work from loaded neighbors.
+	DispatchCost = "cost"
+	// DispatchRR is the legacy blind round-robin cursor, kept for A/B
+	// comparison (work stealing still applies).
+	DispatchRR = "rr"
+)
+
 // Config tunes the gateway.  The zero value selects serving defaults.
 type Config struct {
 	// Shards is the number of worker shards (simulated platform
@@ -31,10 +46,14 @@ type Config struct {
 	// functional miniature SSL is a workload simulator, and small keys
 	// keep handshake service times in the hundreds of microseconds.
 	RSABits int
-	// Seed makes shard key material and nonces deterministic.  Default 1.
+	// Seed makes shard key material, nonces and dispatch sampling
+	// deterministic.  Default 1.
 	Seed int64
 	// RecordSize chunks OpSSL payloads into records.  Default 1024.
 	RecordSize int
+	// Dispatch selects the admission policy: DispatchCost (default) or
+	// DispatchRR.
+	Dispatch string
 	// BaseCosts/OptCosts feed the analytic per-transaction estimates
 	// attached to SSL-shaped responses.  Defaults are the repo's measured
 	// platform costs (DefaultBaseCosts/DefaultOptCosts); wispd -measured
@@ -87,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.RecordSize <= 0 {
 		c.RecordSize = 1024
 	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchCost
+	}
 	if c.BaseCosts == nil {
 		c.BaseCosts = &DefaultBaseCosts
 	}
@@ -101,6 +123,9 @@ type task struct {
 	req      *Request
 	enqueued time.Time
 	deadline time.Time // zero = none
+	estUS    int64     // admission's cost estimate, charged to owner until served
+	owner    *shard    // shard whose backlog currently accounts this task
+	stolen   bool      // true once an idle shard has taken it from owner's queue
 	resp     chan *Response
 }
 
@@ -111,7 +136,11 @@ type Gateway struct {
 	shards  []*shard
 	metrics *Metrics
 
-	next     atomic.Uint64 // round-robin shard cursor
+	next     atomic.Uint64 // round-robin shard cursor (DispatchRR)
+	rngMu    sync.Mutex
+	rng      *rand.Rand    // power-of-two-choices sampling (DispatchCost)
+	workHint chan struct{} // pings idle shards that queued work exists somewhere
+
 	draining atomic.Bool
 	inflight sync.WaitGroup // Submit calls in progress
 	workers  sync.WaitGroup
@@ -124,6 +153,9 @@ type Gateway struct {
 // and symmetric key schedule.
 func NewGateway(cfg Config) (*Gateway, error) {
 	c := cfg.withDefaults()
+	if c.Dispatch != DispatchCost && c.Dispatch != DispatchRR {
+		return nil, fmt.Errorf("serve: unknown dispatch policy %q (want %q or %q)", c.Dispatch, DispatchCost, DispatchRR)
+	}
 	if err := c.BaseCosts.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: base costs: %w", err)
 	}
@@ -136,10 +168,11 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("serve: generating %d-bit gateway key: %w", c.RSABits, err)
 	}
 	g := &Gateway{
-		cfg:     c,
-		key:     key,
-		metrics: NewMetrics(c.Shards),
-		drained: make(chan struct{}),
+		cfg:      c,
+		key:      key,
+		metrics:  NewMetrics(c.Shards),
+		workHint: make(chan struct{}, c.Shards*c.QueueDepth),
+		drained:  make(chan struct{}),
 	}
 	g.shards = make([]*shard, c.Shards)
 	for i := range g.shards {
@@ -149,6 +182,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		}
 		g.shards[i] = s
 	}
+	// The dispatch sampler continues the seeded stream, so shard key
+	// material and admission choices derive from the one -seed.
+	g.rng = rand.New(rand.NewSource(rng.Int63()))
 	for _, s := range g.shards {
 		g.workers.Add(1)
 		go s.loop()
@@ -159,8 +195,25 @@ func NewGateway(cfg Config) (*Gateway, error) {
 // Metrics returns the gateway's observability core.
 func (g *Gateway) Metrics() *Metrics { return g.metrics }
 
-// Stats snapshots every counter, gauge and histogram.
-func (g *Gateway) Stats() Stats { return g.metrics.Snapshot(g.cfg.QueueDepth) }
+// Stats snapshots every counter, gauge and histogram, including the
+// dispatch policy's live queue-cost and per-op pricing gauges.
+func (g *Gateway) Stats() Stats {
+	s := g.metrics.Snapshot(g.cfg.QueueDepth)
+	s.Dispatch = g.cfg.Dispatch
+	s.QueueCostUS = make([]int64, len(g.shards))
+	for i, sh := range g.shards {
+		s.QueueCostUS[i] = sh.cost.Load()
+	}
+	s.OpCostUS = make(map[string]float64, len(AllOps))
+	for _, op := range AllOps {
+		var sum float64
+		for _, sh := range g.shards {
+			sum += sh.opCost(op)
+		}
+		s.OpCostUS[string(op)] = sum / float64(len(g.shards))
+	}
+	return s
+}
 
 // Config returns the resolved configuration.
 func (g *Gateway) Config() Config { return g.cfg }
@@ -179,6 +232,12 @@ func (g *Gateway) Submit(req *Request) *Response {
 	now := time.Now()
 	om := g.metrics.op(req.Op)
 	om.requests.Add(1)
+	if req.Attempt > 0 {
+		om.retries.Add(1)
+	}
+	if req.Hedge {
+		om.hedges.Add(1)
+	}
 
 	if err := req.Validate(); err != nil {
 		om.errors.Add(1)
@@ -190,30 +249,48 @@ func (g *Gateway) Submit(req *Request) *Response {
 		return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "gateway draining", Shard: -1}
 	}
 
-	sh := g.shards[g.next.Add(1)%uint64(len(g.shards))]
+	sh, redirected := g.pick(req.Op)
 
 	t := &task{req: req, enqueued: now, resp: make(chan *Response, 1)}
 	if req.DeadlineUS > 0 {
 		t.deadline = now.Add(time.Duration(req.DeadlineUS) * time.Microsecond)
-		// Deadline-aware rejection: if the backlog's estimated service
-		// time already exceeds the budget, shed now instead of queueing
-		// work that will expire anyway.
-		wait := float64(len(sh.queue)) * sh.serviceEWMA()
-		if wait > float64(req.DeadlineUS) {
+		// Deadline-aware rejection: the estimated wait is the chosen
+		// shard's whole backlog cost — queued tasks priced by per-op
+		// EWMAs plus the task currently in service — so a pending
+		// handshake and a pending record op are priced differently and
+		// the in-service op is no longer undercounted.  Before shedding,
+		// fall back to the globally cheapest shard: a request is never
+		// rejected on deadline while capacity exists elsewhere.
+		wait := sh.cost.Load()
+		if wait > req.DeadlineUS {
+			if alt := g.cheapest(); alt != sh && alt.cost.Load() <= req.DeadlineUS {
+				sh, redirected = alt, true
+				wait = alt.cost.Load()
+			}
+		}
+		if wait > req.DeadlineUS {
 			om.shed.Add(1)
 			g.metrics.shedDeadline.Add(1)
+			g.noteShedWhileIdle()
 			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Shard: sh.id,
-				Error: fmt.Sprintf("backlog %.0fµs exceeds deadline %dµs", wait, req.DeadlineUS)}
+				Error: fmt.Sprintf("backlog %dµs exceeds deadline %dµs", wait, req.DeadlineUS)}
 		}
 	}
 
-	select {
-	case sh.queue <- t:
-		g.metrics.queueDepth[sh.id].Add(1)
-	default:
-		om.shed.Add(1)
-		g.metrics.shedQueueFull.Add(1)
-		return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "queue full", Shard: sh.id}
+	if !g.enqueue(sh, t) {
+		// Chosen queue full: place the task on the cheapest shard with
+		// space before giving up.
+		alt := g.enqueueAnywhere(t, sh)
+		if alt == nil {
+			om.shed.Add(1)
+			g.metrics.shedQueueFull.Add(1)
+			g.noteShedWhileIdle()
+			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "queue full", Shard: sh.id}
+		}
+		sh, redirected = alt, true
+	}
+	if redirected {
+		om.redirects.Add(1)
 	}
 
 	resp := <-t.resp
@@ -231,6 +308,119 @@ func (g *Gateway) Submit(req *Request) *Response {
 		om.errors.Add(1)
 	}
 	return resp
+}
+
+// pick chooses the admission shard.  DispatchCost samples two distinct
+// shards and takes the one with the cheaper estimated backlog
+// (power-of-two-choices); the bool reports whether the choice differs
+// from the first-sampled candidate (a redirect).  DispatchRR is the
+// legacy blind cursor.  With one shard both policies are the identity,
+// so `-seed` runs at workers=1 stay fully deterministic.
+func (g *Gateway) pick(op Op) (*shard, bool) {
+	n := len(g.shards)
+	if n == 1 {
+		return g.shards[0], false
+	}
+	if g.cfg.Dispatch == DispatchRR {
+		return g.shards[g.next.Add(1)%uint64(n)], false
+	}
+	g.rngMu.Lock()
+	i := g.rng.Intn(n)
+	j := g.rng.Intn(n - 1)
+	g.rngMu.Unlock()
+	if j >= i {
+		j++
+	}
+	a, b := g.shards[i], g.shards[j]
+	ca, cb := a.cost.Load(), b.cost.Load()
+	if cb < ca || (cb == ca && b.id < a.id) {
+		return b, true
+	}
+	return a, false
+}
+
+// cheapest scans every shard for the lowest estimated backlog cost.
+func (g *Gateway) cheapest() *shard {
+	best := g.shards[0]
+	bc := best.cost.Load()
+	for _, sh := range g.shards[1:] {
+		if c := sh.cost.Load(); c < bc {
+			best, bc = sh, c
+		}
+	}
+	return best
+}
+
+// enqueue prices t for sh (per-op EWMA), charges sh's backlog and
+// attempts a non-blocking enqueue, rolling the charge back on a full
+// queue.  A successful enqueue pings idle shards so queued work can be
+// stolen promptly.
+func (g *Gateway) enqueue(sh *shard, t *task) bool {
+	est := int64(sh.opCost(t.req.Op) + 0.5)
+	if est < 1 {
+		est = 1
+	}
+	t.estUS, t.owner = est, sh
+	sh.cost.Add(est)
+	g.metrics.queueDepth[sh.id].Add(1)
+	select {
+	case sh.queue <- t:
+		g.hintWork()
+		return true
+	default:
+		sh.cost.Add(-est)
+		g.metrics.queueDepth[sh.id].Add(-1)
+		return false
+	}
+}
+
+// enqueueAnywhere retries a full-queue admission on the remaining shards
+// in ascending backlog-cost order, returning the shard that accepted or
+// nil if every queue is full.
+func (g *Gateway) enqueueAnywhere(t *task, tried *shard) *shard {
+	order := make([]*shard, 0, len(g.shards)-1)
+	for _, sh := range g.shards {
+		if sh != tried {
+			order = append(order, sh)
+		}
+	}
+	for len(order) > 0 {
+		best := 0
+		for i := 1; i < len(order); i++ {
+			if order[i].cost.Load() < order[best].cost.Load() {
+				best = i
+			}
+		}
+		sh := order[best]
+		if g.enqueue(sh, t) {
+			return sh
+		}
+		order = append(order[:best], order[best+1:]...)
+	}
+	return nil
+}
+
+// hintWork wakes at most one idle shard to look for stealable work.
+func (g *Gateway) hintWork() {
+	if len(g.shards) == 1 {
+		return
+	}
+	select {
+	case g.workHint <- struct{}{}:
+	default:
+	}
+}
+
+// noteShedWhileIdle counts sheds issued while some shard had an empty
+// backlog — the head-of-line signature cost-aware dispatch exists to
+// eliminate.  It should stay zero under DispatchCost.
+func (g *Gateway) noteShedWhileIdle() {
+	for _, sh := range g.shards {
+		if sh.cost.Load() == 0 {
+			g.metrics.shedWhileIdle.Add(1)
+			return
+		}
+	}
 }
 
 // Drain stops admission and waits for every queued request to finish.
@@ -279,66 +469,164 @@ func (g *Gateway) estHandshake() (base, opt float64) {
 	return f(g.cfg.BaseCosts), f(g.cfg.OptCosts)
 }
 
+// opPrior is the per-op service-time prior (µs) before a shard has
+// observed that op: heavy private-key work is priced ~an order of
+// magnitude above record-layer and digest ops, so the very first
+// dispatch decisions already separate the two classes.
+func opPrior(op Op) float64 {
+	switch op {
+	case OpSSL, OpHandshake:
+		return 2000
+	case OpRSADecrypt:
+		return 1000
+	default:
+		return 100
+	}
+}
+
 // shard is one worker: a bounded queue, a private platform instance
 // (RNG stream, RSA contexts, long-lived record session pair, symmetric
-// schedules) and a service-time estimate for deadline-aware admission.
+// schedules), per-op service-time EWMAs and a live backlog-cost estimate
+// for cost-aware dispatch and deadline-aware admission.
 type shard struct {
 	id    int
 	g     *Gateway
 	queue chan *task
 	stop  chan struct{}
 
-	rng  *rand.Rand
-	ctx  *mpz.Ctx
-	env  *shardEnv
-	ewma atomic.Uint64 // float64 bits: EWMA of per-task service µs
+	rng *rand.Rand
+	ctx *mpz.Ctx
+	env *shardEnv
+
+	// cost is the estimated µs of work this shard is committed to:
+	// every queued task's admission estimate plus the task currently in
+	// service.  Charged at enqueue, released when the task completes, so
+	// admission's wait estimate includes in-service work.
+	cost atomic.Int64
+	// opEWMA holds one service-time EWMA per op (float64 bits, µs), so a
+	// pending handshake and a pending record op are priced differently.
+	opEWMA map[Op]*atomic.Uint64
 }
 
 func newShard(id int, g *Gateway, seed int64) (*shard, error) {
 	s := &shard{
-		id:    id,
-		g:     g,
-		queue: make(chan *task, g.cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
-		ctx:   mpz.NewCtx(nil),
+		id:     id,
+		g:      g,
+		queue:  make(chan *task, g.cfg.QueueDepth),
+		stop:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		ctx:    mpz.NewCtx(nil),
+		opEWMA: make(map[Op]*atomic.Uint64, len(AllOps)),
+	}
+	for _, op := range AllOps {
+		v := new(atomic.Uint64)
+		v.Store(math.Float64bits(opPrior(op)))
+		s.opEWMA[op] = v
 	}
 	env, err := newShardEnv(s)
 	if err != nil {
 		return nil, err
 	}
 	s.env = env
-	s.ewma.Store(math.Float64bits(1000)) // optimistic 1 ms prior
 	return s, nil
 }
 
-func (s *shard) serviceEWMA() float64 { return math.Float64frombits(s.ewma.Load()) }
+// opCost returns this shard's service-time estimate (µs) for op.
+func (s *shard) opCost(op Op) float64 {
+	if v, ok := s.opEWMA[op]; ok {
+		return math.Float64frombits(v.Load())
+	}
+	return opPrior(op)
+}
 
-func (s *shard) observeService(us float64) {
+// observeService folds one measured service time into the op's EWMA.
+// Only the shard's own worker goroutine writes, so a plain store is safe.
+func (s *shard) observeService(op Op, us float64) {
+	v, ok := s.opEWMA[op]
+	if !ok {
+		return
+	}
 	const alpha = 0.2
-	cur := s.serviceEWMA()
-	s.ewma.Store(math.Float64bits(cur + alpha*(us-cur)))
+	cur := math.Float64frombits(v.Load())
+	v.Store(math.Float64bits(cur + alpha*(us-cur)))
 }
 
 // loop is the shard worker: block for one task, drain up to BatchMax-1
-// more without blocking, then serve the batch grouped by op.  On stop it
-// finishes whatever is still queued (graceful drain) before exiting.
+// more without blocking, then serve the batch grouped by op.  While its
+// own queue is empty it answers work hints by stealing queued tasks from
+// the most-loaded neighbor, so an admitted request is never stuck behind
+// an expensive op while capacity exists.  On stop it finishes whatever
+// is still queued (graceful drain) before exiting.
 func (s *shard) loop() {
 	defer s.g.workers.Done()
 	for {
 		select {
 		case t := <-s.queue:
-			s.serveBatch(s.collect(t))
+			s.serveOwn(t)
+		case <-s.g.workHint:
+			if !s.serveOwnNonblock() {
+				s.stealOne()
+			}
 		case <-s.stop:
 			for {
 				select {
 				case t := <-s.queue:
-					s.serveBatch(s.collect(t))
+					s.serveOwn(t)
 				default:
 					return
 				}
 			}
 		}
+	}
+}
+
+// serveOwn drains a batch starting at first from the shard's own queue
+// and serves it.
+func (s *shard) serveOwn(first *task) {
+	batch := s.collect(first)
+	s.g.metrics.queueDepth[s.id].Add(-int64(len(batch)))
+	s.serveBatch(batch)
+}
+
+// serveOwnNonblock serves one pending batch from the shard's own queue
+// if any, reporting whether it did.
+func (s *shard) serveOwnNonblock() bool {
+	select {
+	case t := <-s.queue:
+		s.serveOwn(t)
+		return true
+	default:
+		return false
+	}
+}
+
+// stealOne takes one queued task from the most-loaded other shard and
+// serves it here, transferring the backlog charge so admission estimates
+// stay consistent.
+func (s *shard) stealOne() {
+	var victim *shard
+	var worst int64
+	for _, v := range s.g.shards {
+		if v == s || s.g.metrics.queueDepth[v.id].Load() == 0 {
+			continue
+		}
+		if c := v.cost.Load(); victim == nil || c > worst {
+			victim, worst = v, c
+		}
+	}
+	if victim == nil {
+		return
+	}
+	select {
+	case t := <-victim.queue:
+		s.g.metrics.queueDepth[victim.id].Add(-1)
+		victim.cost.Add(-t.estUS)
+		s.cost.Add(t.estUS)
+		t.owner = s
+		t.stolen = true
+		s.g.metrics.op(t.req.Op).steals.Add(1)
+		s.serveBatch([]*task{t})
+	default:
 	}
 }
 
@@ -359,7 +647,6 @@ func (s *shard) collect(first *task) []*task {
 // within each group) and serves each group; compatible record-layer ops
 // thus share one pass over the shard's session machinery.
 func (s *shard) serveBatch(batch []*task) {
-	s.g.metrics.queueDepth[s.id].Add(-int64(len(batch)))
 	var order []Op
 	groups := make(map[Op][]*task)
 	for _, t := range batch {
@@ -377,15 +664,17 @@ func (s *shard) serveBatch(batch []*task) {
 	}
 }
 
-// serveOne executes one task (deadline check, op dispatch, reply).
+// serveOne executes one task (deadline check, op dispatch, reply) and
+// releases its backlog charge.
 func (s *shard) serveOne(t *task, batchSize int) {
 	start := time.Now()
 	queueUS := start.Sub(t.enqueued).Microseconds()
-	resp := &Response{ID: t.req.ID, Op: t.req.Op, Shard: s.id, Batch: batchSize, QueueUS: queueUS}
+	resp := &Response{ID: t.req.ID, Op: t.req.Op, Shard: s.id, Batch: batchSize, QueueUS: queueUS, Stolen: t.stolen}
 
 	if !t.deadline.IsZero() && start.After(t.deadline) {
 		resp.Status = StatusExpired
 		resp.Error = fmt.Sprintf("deadline exceeded after %dµs in queue", queueUS)
+		t.owner.cost.Add(-t.estUS)
 		t.resp <- resp
 		return
 	}
@@ -397,6 +686,7 @@ func (s *shard) serveOne(t *task, batchSize int) {
 		resp.Status = StatusOK
 	}
 	resp.ServiceUS = time.Since(start).Microseconds()
-	s.observeService(float64(resp.ServiceUS))
+	s.observeService(t.req.Op, float64(resp.ServiceUS))
+	t.owner.cost.Add(-t.estUS)
 	t.resp <- resp
 }

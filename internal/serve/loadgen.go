@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -17,8 +18,9 @@ import (
 var Figure8Mix = []int{1 << 10, 4 << 10, 16 << 10, 32 << 10}
 
 // LoadConfig drives the closed-loop load generator: Clients goroutines
-// each issue PerClient requests back to back, cycling through the size
-// mix and op mix with a per-client stagger.
+// each issue PerClient requests back to back, drawing the payload size
+// and op independently per request from seeded per-client RNG streams
+// (so every op is exercised at every size, deterministically per seed).
 type LoadConfig struct {
 	Addr       string
 	Clients    int     // concurrent closed-loop clients; default 4
@@ -27,8 +29,17 @@ type LoadConfig struct {
 	Ops        []Op    // op mix; default {OpSSL}
 	RecordSize int     // record chunking for OpSSL; 0 = gateway default
 	DeadlineUS int64   // per-request latency budget; 0 = none
-	Seed       int64   // payload determinism; default 1
+	Seed       int64   // payload and mix determinism; default 1
 	ClockHz    float64 // simulated platform clock; default PlatformClockHz
+
+	// Retries enables client-side re-submission of shed responses (total
+	// attempts = Retries+1) with exponential backoff + jitter.
+	Retries int
+	// BackoffUS is the base retry backoff in µs; default 2000.
+	BackoffUS int64
+	// HedgeUS launches a hedged duplicate for deadline-bearing requests
+	// that have not answered within this many µs; 0 disables hedging.
+	HedgeUS int64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -50,7 +61,35 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.ClockHz == 0 {
 		c.ClockHz = PlatformClockHz
 	}
+	if c.BackoffUS <= 0 {
+		c.BackoffUS = 2000
+	}
 	return c
+}
+
+// workItem is one scheduled request: a payload size and an op.
+type workItem struct {
+	size int
+	op   Op
+}
+
+// schedule returns client i's deterministic request sequence.  Size and
+// op are drawn independently from a dedicated per-client RNG stream —
+// the old `(i+k) % len` striding indexed Mix and Ops in lockstep, so
+// whenever the two lengths shared a factor each op was only ever
+// exercised at a subset of sizes.
+func (c LoadConfig) schedule(client int) []workItem {
+	// A dedicated stream (distinct from the payload RNG, offset per
+	// client) keeps runs seed-deterministic.
+	rng := rand.New(rand.NewSource(c.Seed*0x9e3779b9 + int64(client) + 0x517cc1b7))
+	items := make([]workItem, c.PerClient)
+	for k := range items {
+		items[k] = workItem{
+			size: c.Mix[rng.Intn(len(c.Mix))],
+			op:   c.Ops[rng.Intn(len(c.Ops))],
+		}
+	}
+	return items
 }
 
 // LatencySummary summarizes a latency sample in microseconds.
@@ -73,8 +112,10 @@ func summarize(us []int64) LatencySummary {
 	for _, v := range us {
 		sum += v
 	}
+	// Nearest-rank quantile: the ceil(p·n)-th smallest sample, so small
+	// samples never report p50 below the true median.
 	q := func(p float64) int64 {
-		idx := int(p*float64(len(us))+0.5) - 1
+		idx := int(math.Ceil(p*float64(len(us)))) - 1
 		if idx < 0 {
 			idx = 0
 		}
@@ -100,6 +141,12 @@ type SizeStats struct {
 	Latency LatencySummary `json:"latency_us"`
 }
 
+// OpStatsRow is the per-op latency slice of a load run.
+type OpStatsRow struct {
+	Op      string         `json:"op"`
+	Latency LatencySummary `json:"latency_us"`
+}
+
 // LoadReport is the result of one closed-loop run.
 type LoadReport struct {
 	Clients      int     `json:"clients"`
@@ -109,11 +156,14 @@ type LoadReport struct {
 	Expired      int     `json:"expired"`
 	Errors       int     `json:"errors"`
 	Mismatches   int     `json:"mismatches"`
+	Retries      uint64  `json:"retries,omitempty"`
+	Hedges       uint64  `json:"hedges,omitempty"`
 	Bytes        int64   `json:"bytes"`
 	Seconds      float64 `json:"seconds"`
 
 	Latency LatencySummary `json:"latency_us"`
 	PerSize []SizeStats    `json:"per_size"`
+	PerOp   []OpStatsRow   `json:"per_op,omitempty"`
 
 	AchievedRPS  float64 `json:"achieved_rps"`
 	AchievedMBps float64 `json:"achieved_mbps"`
@@ -141,12 +191,22 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		return nil, fmt.Errorf("serve: load generator needs an address")
 	}
 	client := NewClient(c.Addr)
+	if c.Retries > 0 || c.HedgeUS > 0 {
+		client.SetRetryPolicy(RetryPolicy{
+			MaxAttempts: c.Retries + 1,
+			Backoff:     time.Duration(c.BackoffUS) * time.Microsecond,
+			MaxBackoff:  time.Duration(c.BackoffUS) * time.Microsecond * 16,
+			Jitter:      0.2,
+			HedgeAfter:  time.Duration(c.HedgeUS) * time.Microsecond,
+		}, c.Seed)
+	}
 
 	type clientResult struct {
 		ok, shed, expired, errs, mismatches int
 		bytes                               int64
 		latencies                           []int64
 		perSize                             map[int][]int64
+		perOp                               map[Op][]int64
 		baseCycles, optCycles               float64
 		err                                 error
 	}
@@ -159,16 +219,16 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			defer wg.Done()
 			r := &results[i]
 			r.perSize = make(map[int][]int64)
+			r.perOp = make(map[Op][]int64)
+			items := c.schedule(i)
 			rng := rand.New(rand.NewSource(c.Seed + int64(i)))
-			for k := 0; k < c.PerClient; k++ {
-				size := c.Mix[(i+k)%len(c.Mix)]
-				op := c.Ops[(i+k)%len(c.Ops)]
-				payload := make([]byte, size)
+			for k, it := range items {
+				payload := make([]byte, it.size)
 				rng.Read(payload)
 				want := hashes.MD5Sum(payload)
 				req := &Request{
 					ID:         fmt.Sprintf("c%d-%d", i, k),
-					Op:         op,
+					Op:         it.op,
 					Payload:    payload,
 					RecordSize: c.RecordSize,
 					DeadlineUS: c.DeadlineUS,
@@ -183,10 +243,11 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				switch resp.Status {
 				case StatusOK:
 					r.ok++
-					r.bytes += int64(size)
+					r.bytes += int64(it.size)
 					r.latencies = append(r.latencies, lat)
-					if op == OpSSL {
-						r.perSize[size] = append(r.perSize[size], lat)
+					r.perOp[it.op] = append(r.perOp[it.op], lat)
+					if it.op == OpSSL {
+						r.perSize[it.size] = append(r.perSize[it.size], lat)
 					}
 					if !bytes.Equal(resp.Digest, want[:]) {
 						r.mismatches++
@@ -209,6 +270,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep := &LoadReport{Clients: c.Clients, Seconds: elapsed.Seconds()}
 	var all []int64
 	perSize := make(map[int][]int64)
+	perOp := make(map[Op][]int64)
 	for i := range results {
 		r := &results[i]
 		if r.err != nil {
@@ -226,8 +288,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		for sz, ls := range r.perSize {
 			perSize[sz] = append(perSize[sz], ls...)
 		}
+		for op, ls := range r.perOp {
+			perOp[op] = append(perOp[op], ls...)
+		}
 	}
 	rep.Transactions = rep.OK + rep.Shed + rep.Expired + rep.Errors
+	rep.Retries = client.Retries()
+	rep.Hedges = client.Hedges()
 	rep.Latency = summarize(all)
 	sizes := make([]int, 0, len(perSize))
 	for sz := range perSize {
@@ -236,6 +303,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	sort.Ints(sizes)
 	for _, sz := range sizes {
 		rep.PerSize = append(rep.PerSize, SizeStats{Bytes: sz, Latency: summarize(perSize[sz])})
+	}
+	opNames := make([]string, 0, len(perOp))
+	for op := range perOp {
+		opNames = append(opNames, string(op))
+	}
+	sort.Strings(opNames)
+	for _, op := range opNames {
+		rep.PerOp = append(rep.PerOp, OpStatsRow{Op: op, Latency: summarize(perOp[Op(op)])})
 	}
 	if elapsed > 0 {
 		rep.AchievedRPS = float64(rep.OK) / elapsed.Seconds()
@@ -255,6 +330,9 @@ func (r *LoadReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "load: %d clients, %d requests in %.2fs — %d ok, %d shed, %d expired, %d errors, %d mismatches\n",
 		r.Clients, r.Transactions, r.Seconds, r.OK, r.Shed, r.Expired, r.Errors, r.Mismatches)
+	if r.Retries > 0 || r.Hedges > 0 {
+		fmt.Fprintf(&b, "robustness: %d retries, %d hedged requests\n", r.Retries, r.Hedges)
+	}
 	fmt.Fprintf(&b, "throughput: %.1f req/s, %.2f MB/s\n", r.AchievedRPS, r.AchievedMBps)
 	if r.Latency.Count > 0 {
 		fmt.Fprintf(&b, "latency: p50 %s  p95 %s  p99 %s  max %s\n",
@@ -263,6 +341,12 @@ func (r *LoadReport) Format() string {
 	for _, s := range r.PerSize {
 		fmt.Fprintf(&b, "  %5dKB: n=%-4d p50 %s  p95 %s  p99 %s\n",
 			s.Bytes/1024, s.Latency.Count, usDur(s.Latency.P50), usDur(s.Latency.P95), usDur(s.Latency.P99))
+	}
+	if len(r.PerOp) > 1 {
+		for _, s := range r.PerOp {
+			fmt.Fprintf(&b, "  op %-11s n=%-4d p50 %s  p95 %s  p99 %s\n",
+				s.Op+":", s.Latency.Count, usDur(s.Latency.P50), usDur(s.Latency.P95), usDur(s.Latency.P99))
+		}
 	}
 	if r.ModelOptCycles > 0 {
 		fmt.Fprintf(&b, "model: base %.3fs, optimized %.3fs at 188 MHz (speedup %.2fX over this mix); wall-clock %.1fX the optimized platform\n",

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestHistogramSubMicrosecond pins the dedicated [0,1) µs bucket:
+// Microseconds() truncation yields 0 for fast ops, which must not be
+// folded into the [1,2) bucket or pull quantiles above the observed max.
+func TestHistogramSubMicrosecond(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 8; i++ {
+		h.Observe(0)
+	}
+	h.Observe(0.5)
+	h.Observe(3)
+	s := h.Snapshot()
+	if s.Count != 10 || s.Min != 0 || s.Max != 3 {
+		t.Fatalf("count/min/max = %d/%v/%v, want 10/0/3", s.Count, s.Min, s.Max)
+	}
+	if s.P50 >= 1 {
+		t.Errorf("p50 = %v for a mostly sub-µs population, want < 1", s.P50)
+	}
+	if s.P99 < 2 || s.P99 > 3 {
+		t.Errorf("p99 = %v, want within [2, 3]", s.P99)
+	}
+
+	// All-zero population: every quantile must clamp to 0, not report
+	// half a microsecond nobody observed.
+	var z Histogram
+	z.Observe(0)
+	z.Observe(0)
+	z.Observe(0)
+	if zs := z.Snapshot(); zs.P50 != 0 || zs.P99 != 0 || zs.Max != 0 {
+		t.Errorf("all-zero snapshot = %+v, want zero quantiles", zs)
+	}
+
+	// Boundary: 1 µs belongs to bucket [1,2), not the sub-µs bucket.
+	var b Histogram
+	b.Observe(1)
+	if bs := b.Snapshot(); bs.P50 != 1 {
+		t.Errorf("single 1µs observation p50 = %v, want 1 (clamped to max)", bs.P50)
+	}
+}
+
+// TestSummarizeNearestRank pins the ceil(p·n) quantile rank so small
+// samples never report p50 below the true median.
+func TestSummarizeNearestRank(t *testing.T) {
+	s := summarize([]int64{40, 10, 30, 20})
+	if s.P50 != 20 {
+		t.Errorf("n=4 p50 = %d, want 20 (2nd smallest)", s.P50)
+	}
+	if s.P95 != 40 || s.P99 != 40 || s.Max != 40 || s.Min != 10 {
+		t.Errorf("n=4 tails %+v", s)
+	}
+
+	s = summarize([]int64{50, 10, 30, 20, 40})
+	if s.P50 != 30 {
+		t.Errorf("n=5 p50 = %d, want 30 (the median)", s.P50)
+	}
+
+	// n=16 at p95: ceil(15.2) = 16 → the maximum, where round-to-nearest
+	// used to pick the 15th sample.
+	us := make([]int64, 16)
+	for i := range us {
+		us[i] = int64((i + 1) * 10)
+	}
+	if s = summarize(us); s.P95 != 160 {
+		t.Errorf("n=16 p95 = %d, want 160", s.P95)
+	}
+
+	if s = summarize([]int64{7}); s.P50 != 7 || s.P99 != 7 {
+		t.Errorf("n=1 summary %+v", s)
+	}
+	if s = summarize(nil); s.Count != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+}
+
+// TestScheduleDecorrelated checks the op/size mix fix: with |Ops| and
+// |Mix| sharing a factor, the old lockstep striding only ever paired op
+// j with size j; independent draws must cover the full cross product,
+// deterministically per seed.
+func TestScheduleDecorrelated(t *testing.T) {
+	cfg := LoadConfig{
+		Mix:       []int{16, 32},
+		Ops:       []Op{OpMD5, OpSHA1},
+		PerClient: 64,
+		Seed:      5,
+	}.withDefaults()
+
+	type pair struct {
+		size int
+		op   Op
+	}
+	seen := make(map[pair]bool)
+	for client := 0; client < cfg.Clients; client++ {
+		for _, it := range cfg.schedule(client) {
+			seen[pair{it.size, it.op}] = true
+		}
+	}
+	for _, size := range cfg.Mix {
+		for _, op := range cfg.Ops {
+			if !seen[pair{size, op}] {
+				t.Errorf("op %s never exercised at size %d — mix still correlated", op, size)
+			}
+		}
+	}
+
+	if !reflect.DeepEqual(cfg.schedule(0), cfg.schedule(0)) {
+		t.Error("schedule is not deterministic for a fixed seed")
+	}
+	if reflect.DeepEqual(cfg.schedule(0), cfg.schedule(1)) {
+		t.Error("clients 0 and 1 drew identical schedules")
+	}
+}

@@ -10,8 +10,11 @@ import (
 	"time"
 )
 
-// histBuckets is the number of power-of-two histogram buckets: bucket i
-// covers [2^i, 2^(i+1)) microseconds, so the range spans 1 µs to ~35 min.
+// histBuckets is the number of histogram buckets.  Bucket 0 is the
+// explicit sub-microsecond bucket [0,1) — Microseconds() truncation turns
+// every sub-µs observation into 0, and folding those into the [1,2)
+// bucket used to skew p50 for fast ops.  Bucket i ≥ 1 covers
+// [2^(i-1), 2^i) microseconds, so the range spans <1 µs to ~18 min.
 const histBuckets = 32
 
 // Histogram is a fixed exponential-bucket latency histogram.  Observations
@@ -28,14 +31,17 @@ type Histogram struct {
 }
 
 // Observe records one value (microseconds for latency, a raw count for
-// batch sizes).
+// batch sizes).  Values below 1 land in the dedicated sub-µs bucket.
 func (h *Histogram) Observe(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		return
 	}
 	idx := 0
-	for b := v; b >= 2 && idx < histBuckets-1; b /= 2 {
-		idx++
+	if v >= 1 {
+		idx = 1
+		for b := v; b >= 2 && idx < histBuckets-1; b /= 2 {
+			idx++
+		}
 	}
 	h.mu.Lock()
 	h.buckets[idx]++
@@ -86,10 +92,18 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	for i, c := range h.buckets {
 		cum += c
 		if cum >= rank {
-			lo := math.Exp2(float64(i))
+			var est float64
+			if i == 0 {
+				// Sub-µs bucket: midpoint of [0,1); the [min,max]
+				// clamp below pins an all-zero population to 0 rather
+				// than reporting half a microsecond nobody observed.
+				est = 0.5
+			} else {
+				lo := math.Exp2(float64(i - 1))
+				est = lo * math.Sqrt2
+			}
 			// Clamp the estimate to the observed extremes so tiny
 			// populations do not report a quantile outside [min, max].
-			est := lo * math.Sqrt2
 			return math.Min(math.Max(est, h.min), h.max)
 		}
 	}
@@ -104,6 +118,11 @@ type opMetrics struct {
 	shed     atomic.Uint64
 	expired  atomic.Uint64
 	bytes    atomic.Uint64 // payload bytes of OK responses
+
+	steals    atomic.Uint64 // tasks of this op taken by an idle shard
+	redirects atomic.Uint64 // admitted on a shard other than the first choice
+	retries   atomic.Uint64 // arrivals with Attempt > 0 (client re-submits)
+	hedges    atomic.Uint64 // arrivals flagged as hedged duplicates
 
 	latency Histogram // queue + service, µs, OK responses only
 	service Histogram // service alone, µs
@@ -123,6 +142,7 @@ type Metrics struct {
 	shedQueueFull atomic.Uint64
 	shedDeadline  atomic.Uint64 // admission: backlog estimate exceeds budget
 	shedDraining  atomic.Uint64
+	shedWhileIdle atomic.Uint64 // sheds issued while some shard sat idle
 	expired       atomic.Uint64 // dequeued past deadline
 }
 
@@ -154,27 +174,41 @@ func (m *Metrics) op(op Op) *opMetrics {
 
 // OpStats is the exported view of one operation's counters.
 type OpStats struct {
-	Requests uint64       `json:"requests"`
-	OK       uint64       `json:"ok"`
-	Errors   uint64       `json:"errors"`
-	Shed     uint64       `json:"shed"`
-	Expired  uint64       `json:"expired"`
-	Bytes    uint64       `json:"bytes"`
-	Latency  HistSnapshot `json:"latency_us"`
-	Service  HistSnapshot `json:"service_us"`
+	Requests  uint64       `json:"requests"`
+	OK        uint64       `json:"ok"`
+	Errors    uint64       `json:"errors"`
+	Shed      uint64       `json:"shed"`
+	Expired   uint64       `json:"expired"`
+	Bytes     uint64       `json:"bytes"`
+	Steals    uint64       `json:"steals,omitempty"`
+	Redirects uint64       `json:"redirects,omitempty"`
+	Retries   uint64       `json:"retries,omitempty"`
+	Hedges    uint64       `json:"hedges,omitempty"`
+	Latency   HistSnapshot `json:"latency_us"`
+	Service   HistSnapshot `json:"service_us"`
 }
 
-// Stats is the /stats document.
+// Stats is the /stats document.  The gateway-wide Steals/Redirects/
+// Retries/Hedges totals are sums of the per-op counters, so the two
+// levels are consistent by construction.
 type Stats struct {
 	UptimeSeconds float64            `json:"uptime_seconds"`
 	Shards        int                `json:"shards"`
+	Dispatch      string             `json:"dispatch,omitempty"`
 	QueueCap      int                `json:"queue_cap"`
 	QueueDepth    []int64            `json:"queue_depth"`
+	QueueCostUS   []int64            `json:"queue_cost_us,omitempty"`
+	OpCostUS      map[string]float64 `json:"op_cost_us,omitempty"`
 	Requests      uint64             `json:"requests"`
 	OK            uint64             `json:"ok"`
 	Errors        uint64             `json:"errors"`
 	Shed          uint64             `json:"shed"`
 	Expired       uint64             `json:"expired"`
+	Steals        uint64             `json:"steals"`
+	Redirects     uint64             `json:"redirects"`
+	Retries       uint64             `json:"retries"`
+	Hedges        uint64             `json:"hedges"`
+	ShedWhileIdle uint64             `json:"shed_while_idle"`
 	ShedByReason  map[string]uint64  `json:"shed_by_reason"`
 	PerOp         map[string]OpStats `json:"per_op"`
 	BatchSize     HistSnapshot       `json:"batch_size"`
@@ -187,6 +221,7 @@ func (m *Metrics) Snapshot(queueCap int) Stats {
 		Shards:        len(m.queueDepth),
 		QueueCap:      queueCap,
 		QueueDepth:    make([]int64, len(m.queueDepth)),
+		ShedWhileIdle: m.shedWhileIdle.Load(),
 		ShedByReason: map[string]uint64{
 			"queue-full": m.shedQueueFull.Load(),
 			"deadline":   m.shedDeadline.Load(),
@@ -207,20 +242,28 @@ func (m *Metrics) Snapshot(queueCap int) Stats {
 	for _, op := range ops {
 		om := m.op(op)
 		os := OpStats{
-			Requests: om.requests.Load(),
-			OK:       om.ok.Load(),
-			Errors:   om.errors.Load(),
-			Shed:     om.shed.Load(),
-			Expired:  om.expired.Load(),
-			Bytes:    om.bytes.Load(),
-			Latency:  om.latency.Snapshot(),
-			Service:  om.service.Snapshot(),
+			Requests:  om.requests.Load(),
+			OK:        om.ok.Load(),
+			Errors:    om.errors.Load(),
+			Shed:      om.shed.Load(),
+			Expired:   om.expired.Load(),
+			Bytes:     om.bytes.Load(),
+			Steals:    om.steals.Load(),
+			Redirects: om.redirects.Load(),
+			Retries:   om.retries.Load(),
+			Hedges:    om.hedges.Load(),
+			Latency:   om.latency.Snapshot(),
+			Service:   om.service.Snapshot(),
 		}
 		s.Requests += os.Requests
 		s.OK += os.OK
 		s.Errors += os.Errors
 		s.Shed += os.Shed
 		s.Expired += os.Expired
+		s.Steals += os.Steals
+		s.Redirects += os.Redirects
+		s.Retries += os.Retries
+		s.Hedges += os.Hedges
 		s.PerOp[string(op)] = os
 	}
 	return s
@@ -232,15 +275,26 @@ func (s Stats) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "wispd_uptime_seconds %.3f\n", s.UptimeSeconds)
 	fmt.Fprintf(&b, "wispd_shards %d\n", s.Shards)
+	if s.Dispatch != "" {
+		fmt.Fprintf(&b, "wispd_dispatch{policy=%q} 1\n", s.Dispatch)
+	}
 	fmt.Fprintf(&b, "wispd_queue_cap %d\n", s.QueueCap)
 	for i, d := range s.QueueDepth {
 		fmt.Fprintf(&b, "wispd_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+	for i, c := range s.QueueCostUS {
+		fmt.Fprintf(&b, "wispd_queue_cost_us{shard=\"%d\"} %d\n", i, c)
 	}
 	fmt.Fprintf(&b, "wispd_requests_total %d\n", s.Requests)
 	fmt.Fprintf(&b, "wispd_ok_total %d\n", s.OK)
 	fmt.Fprintf(&b, "wispd_errors_total %d\n", s.Errors)
 	fmt.Fprintf(&b, "wispd_shed_total %d\n", s.Shed)
 	fmt.Fprintf(&b, "wispd_expired_total %d\n", s.Expired)
+	fmt.Fprintf(&b, "wispd_steals_total %d\n", s.Steals)
+	fmt.Fprintf(&b, "wispd_redirects_total %d\n", s.Redirects)
+	fmt.Fprintf(&b, "wispd_retries_total %d\n", s.Retries)
+	fmt.Fprintf(&b, "wispd_hedged_total %d\n", s.Hedges)
+	fmt.Fprintf(&b, "wispd_shed_while_idle_total %d\n", s.ShedWhileIdle)
 	reasons := make([]string, 0, len(s.ShedByReason))
 	for r := range s.ShedByReason {
 		reasons = append(reasons, r)
@@ -251,6 +305,14 @@ func (s Stats) Text() string {
 	}
 	fmt.Fprintf(&b, "wispd_batch_size_p50 %.1f\n", s.BatchSize.P50)
 	fmt.Fprintf(&b, "wispd_batch_size_max %.0f\n", s.BatchSize.Max)
+	costOps := make([]string, 0, len(s.OpCostUS))
+	for op := range s.OpCostUS {
+		costOps = append(costOps, op)
+	}
+	sort.Strings(costOps)
+	for _, op := range costOps {
+		fmt.Fprintf(&b, "wispd_op_cost_us{op=%q} %.0f\n", op, s.OpCostUS[op])
+	}
 	ops := make([]string, 0, len(s.PerOp))
 	for op := range s.PerOp {
 		ops = append(ops, op)
@@ -267,6 +329,9 @@ func (s Stats) Text() string {
 		fmt.Fprintf(&b, "wispd_op_shed_total{op=%q} %d\n", op, os.Shed)
 		fmt.Fprintf(&b, "wispd_op_expired_total{op=%q} %d\n", op, os.Expired)
 		fmt.Fprintf(&b, "wispd_op_bytes_total{op=%q} %d\n", op, os.Bytes)
+		fmt.Fprintf(&b, "wispd_op_steals_total{op=%q} %d\n", op, os.Steals)
+		fmt.Fprintf(&b, "wispd_op_redirects_total{op=%q} %d\n", op, os.Redirects)
+		fmt.Fprintf(&b, "wispd_op_retries_total{op=%q} %d\n", op, os.Retries)
 		fmt.Fprintf(&b, "wispd_op_latency_us{op=%q,q=\"0.50\"} %.0f\n", op, os.Latency.P50)
 		fmt.Fprintf(&b, "wispd_op_latency_us{op=%q,q=\"0.95\"} %.0f\n", op, os.Latency.P95)
 		fmt.Fprintf(&b, "wispd_op_latency_us{op=%q,q=\"0.99\"} %.0f\n", op, os.Latency.P99)

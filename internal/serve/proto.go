@@ -87,9 +87,15 @@ type Request struct {
 	RecordSize int `json:"record_size,omitempty"`
 	// DeadlineUS is a relative latency budget in microseconds.  Zero means
 	// no deadline.  Requests whose budget is already spent when a shard
-	// dequeues them — or that the shard's backlog estimate says cannot be
-	// met — are rejected without doing the crypto work.
+	// dequeues them — or that every shard's backlog estimate says cannot
+	// be met — are rejected without doing the crypto work.
 	DeadlineUS int64 `json:"deadline_us,omitempty"`
+	// Attempt is the client-side retry ordinal (0 = first submission).
+	// The gateway counts Attempt > 0 arrivals in the retry telemetry.
+	Attempt int `json:"attempt,omitempty"`
+	// Hedge marks a hedged duplicate of a still-outstanding request; the
+	// gateway serves it normally and counts it in the hedge telemetry.
+	Hedge bool `json:"hedge,omitempty"`
 }
 
 // Status classifies a response.
@@ -123,6 +129,9 @@ type Response struct {
 	Shard int `json:"shard"`
 	// Batch is the size of the same-op group this request was served in.
 	Batch int `json:"batch,omitempty"`
+	// Stolen reports that an idle shard took this request from the queue
+	// it was admitted to (Shard is the shard that actually served it).
+	Stolen bool `json:"stolen,omitempty"`
 
 	// QueueUS and ServiceUS split the gateway-side latency.
 	QueueUS   int64 `json:"queue_us"`
@@ -148,6 +157,9 @@ func (r *Request) Validate() error {
 	}
 	if r.DeadlineUS < 0 {
 		return fmt.Errorf("serve: negative deadline %d", r.DeadlineUS)
+	}
+	if r.Attempt < 0 {
+		return fmt.Errorf("serve: negative attempt %d", r.Attempt)
 	}
 	return nil
 }

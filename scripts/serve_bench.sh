@@ -1,0 +1,60 @@
+#!/bin/sh
+# serve_bench.sh — boot wispd with cost-aware dispatch, replay a
+# heterogeneous ssl+record mix with deadlines through wispload, and
+# assert the dispatch invariants: zero payload mismatches (wispload exits
+# non-zero on any) and zero sheds issued while a shard sat idle.
+# Exits non-zero on any violation or unclean drain.
+set -eu
+
+BIN="${BIN:-bin}"
+TMP="$(mktemp -d)"
+WISPD_PID=""
+trap 'status=$?; [ -n "$WISPD_PID" ] && kill "$WISPD_PID" 2>/dev/null || true; rm -rf "$TMP"; exit $status' EXIT INT TERM
+
+"$BIN/wispd" -addr 127.0.0.1:0 -addrfile "$TMP/addr" -shards 4 -dispatch cost -metrics >"$TMP/wispd.log" 2>&1 &
+WISPD_PID=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$TMP/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-bench: wispd never came up" >&2
+        cat "$TMP/wispd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$TMP/addr")"
+echo "serve-bench: wispd on $ADDR (4 shards, cost dispatch)"
+
+# Heterogeneous mix: full SSL transactions (one RSA private-key op each)
+# interleaved with cheap record ops, every request deadline-bearing, with
+# client retries armed.  The service-time spread is the paper's Table 1
+# asymmetry; cost-aware dispatch must keep record ops off the loaded
+# shards.
+"$BIN/wispload" -addr "$ADDR" -clients 6 -n 20 -ops ssl,record \
+    -mix 1k,4k,16k -deadline-us 30000000 -retries 3 -json >"$TMP/report.json"
+
+grep -q '"mismatches": 0' "$TMP/report.json" || {
+    echo "serve-bench: payload mismatches detected" >&2
+    exit 1
+}
+grep -q '"shed_while_idle": 0' "$TMP/report.json" || {
+    echo "serve-bench: requests were shed while a shard sat idle" >&2
+    grep -E '"shed|"steals|"redirects' "$TMP/report.json" >&2 || true
+    exit 1
+}
+echo "serve-bench: zero mismatches, zero sheds-with-idle-shards"
+grep -E '"(steals|redirects|retries|hedges)":' "$TMP/report.json" | head -4 || true
+
+# Graceful drain: SIGTERM, then require a clean exit and the drain banner.
+kill -TERM "$WISPD_PID"
+wait "$WISPD_PID"
+WISPD_PID=""
+grep -q "drained cleanly" "$TMP/wispd.log" || {
+    echo "serve-bench: daemon did not drain cleanly" >&2
+    cat "$TMP/wispd.log" >&2
+    exit 1
+}
+echo "serve-bench: ok"
