@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test check race fuzz bench serve-smoke serve-bench
+.PHONY: all build test check race lint fuzz bench bins serve-smoke serve-bench bench-json bench-check
 
 all: build test
 
@@ -20,28 +21,52 @@ check:
 
 race: check
 
-# Short bursts of the native fuzz targets (differential vs math/big);
-# the checked-in seed corpora under testdata/fuzz always run as part of
-# plain `make test`.
+# lint enforces formatting and (when installed) staticcheck.  CI installs
+# staticcheck explicitly; locally the target degrades to gofmt-only so the
+# repo never requires tools the environment lacks.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; fi
+	@echo "gofmt: clean"
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... && echo "staticcheck: clean"; \
+	else \
+		echo "staticcheck: not installed, skipped (CI runs it)"; fi
+
+# Bursts of the native fuzz targets (differential vs math/big); the
+# nightly workflow raises FUZZTIME to 5m per target.  The checked-in seed
+# corpora under testdata/fuzz always run as part of plain `make test`.
 fuzz:
-	$(GO) test -fuzz FuzzMpnDiv -fuzztime 30s ./internal/mpn/
-	$(GO) test -fuzz FuzzModMul -fuzztime 30s ./internal/mpz/
+	$(GO) test -fuzz FuzzMpnDiv -fuzztime $(FUZZTIME) ./internal/mpn/
+	$(GO) test -fuzz FuzzModMul -fuzztime $(FUZZTIME) ./internal/mpz/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+bins:
+	$(GO) build -o bin/wispd ./cmd/wispd
+	$(GO) build -o bin/wispload ./cmd/wispload
+	$(GO) build -o bin/benchcmp ./cmd/benchcmp
+
 # serve-smoke boots the offload daemon, serves 100 mixed Figure 8
 # transactions at 4 concurrent clients through wispload (verifying every
 # payload digest end to end), and drains the daemon cleanly.
-serve-smoke:
-	$(GO) build -o bin/wispd ./cmd/wispd
-	$(GO) build -o bin/wispload ./cmd/wispload
+serve-smoke: bins
 	BIN=bin ./scripts/serve_smoke.sh
 
 # serve-bench replays a heterogeneous ssl+record mix with deadlines and
-# client retries against a cost-dispatch wispd, asserting zero payload
-# mismatches and zero sheds issued while any shard sat idle.
-serve-bench:
-	$(GO) build -o bin/wispd ./cmd/wispd
-	$(GO) build -o bin/wispload ./cmd/wispload
+# client retries against a cost-dispatch wispd (asserting zero payload
+# mismatches and zero sheds issued while any shard sat idle), then runs
+# the session-resumption A/B: the abbreviated-handshake class's p99 must
+# beat the resume-off baseline.  Writes BENCH_serve.json.
+serve-bench: bins
 	BIN=bin ./scripts/serve_bench.sh
+
+# bench-json emits the machine-readable serving benchmark record
+# (per-op p50/p99, throughput, cache hit rates) to BENCH_serve.json.
+bench-json: serve-bench
+
+# bench-check gates BENCH_serve.json against the checked-in baseline:
+# >25% regression on any tracked metric fails.
+bench-check: bench-json
+	bin/benchcmp -baseline bench/BENCH_serve.baseline.json -current BENCH_serve.json

@@ -1,0 +1,143 @@
+// Command benchcmp is the CI perf-regression gate: it compares a fresh
+// serve-bench record (BENCH_serve.json, written by wispload -bench-out)
+// against the checked-in baseline and exits nonzero when any tracked
+// metric regressed beyond the threshold.
+//
+// Usage:
+//
+//	benchcmp -baseline bench/BENCH_serve.baseline.json -current BENCH_serve.json [-threshold 0.25]
+//
+// Latency regressions are per-op-class p50/p99 increases; a throughput
+// regression is an RPS decrease.  Op classes present in only one record
+// are reported but never fail the gate (machine speed differences change
+// which classes have enough samples), and classes with fewer than
+// -min-count samples are skipped as noise.  Digest mismatches in the
+// current record always fail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"wisp/internal/serve"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench/BENCH_serve.baseline.json", "checked-in baseline record")
+	currentPath := flag.String("current", "BENCH_serve.json", "freshly measured record")
+	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional regression (0.25 = 25%)")
+	minCount := flag.Int("min-count", 16, "skip op classes with fewer samples than this in either record")
+	assertLt := flag.String("assert-p99-lt", "",
+		"A/B assertion 'curOp<baseOp': require the current record's curOp p99 below the baseline record's baseOp p99 (skips the regression comparison)")
+	flag.Parse()
+
+	base, err := serve.ReadBenchRecord(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := serve.ReadBenchRecord(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *assertLt != "" {
+		assertP99LT(*assertLt, base, cur)
+		return
+	}
+
+	var failures []string
+	if cur.Mismatches > 0 {
+		failures = append(failures, fmt.Sprintf("current run has %d digest mismatches", cur.Mismatches))
+	}
+
+	// Throughput: lower is worse.
+	if base.ThroughputRPS > 0 && cur.ThroughputRPS < base.ThroughputRPS*(1-*threshold) {
+		failures = append(failures, fmt.Sprintf(
+			"throughput %.1f rps is %.0f%% below baseline %.1f rps",
+			cur.ThroughputRPS, 100*(1-cur.ThroughputRPS/base.ThroughputRPS), base.ThroughputRPS))
+	}
+
+	ops := make([]string, 0, len(base.Ops))
+	for op := range base.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		b := base.Ops[op]
+		c, ok := cur.Ops[op]
+		if !ok {
+			fmt.Printf("note: op %q in baseline but not in current run\n", op)
+			continue
+		}
+		if b.Count < *minCount || c.Count < *minCount {
+			fmt.Printf("note: op %q skipped (samples %d vs %d below min %d)\n", op, b.Count, c.Count, *minCount)
+			continue
+		}
+		check := func(name string, baseUS, curUS int64) {
+			if baseUS > 0 && float64(curUS) > float64(baseUS)*(1+*threshold) {
+				failures = append(failures, fmt.Sprintf(
+					"op %q %s %dµs is %.0f%% above baseline %dµs",
+					op, name, curUS, 100*(float64(curUS)/float64(baseUS)-1), baseUS))
+			} else {
+				fmt.Printf("ok: op %q %s %dµs vs baseline %dµs\n", op, name, curUS, baseUS)
+			}
+		}
+		check("p50", b.P50US, c.P50US)
+		check("p99", b.P99US, c.P99US)
+	}
+	for op := range cur.Ops {
+		if _, ok := base.Ops[op]; !ok {
+			fmt.Printf("note: op %q in current run but not in baseline\n", op)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) beyond %.0f%%:\n", len(failures), *threshold*100)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: no regressions beyond %.0f%% (baseline %s)\n", *threshold*100, *baselinePath)
+}
+
+// assertP99LT enforces the serve-bench A/B contract: the op class named
+// left of '<' (in the current record) must have a strictly lower p99 than
+// the class named right of '<' (in the baseline record), and neither run
+// may carry digest mismatches.
+func assertP99LT(spec string, base, cur *serve.BenchRecord) {
+	parts := strings.SplitN(spec, "<", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fatal(fmt.Errorf("bad -assert-p99-lt spec %q (want 'curOp<baseOp')", spec))
+	}
+	curOp, baseOp := parts[0], parts[1]
+	if base.Mismatches > 0 || cur.Mismatches > 0 {
+		fatal(fmt.Errorf("digest mismatches present (baseline %d, current %d)", base.Mismatches, cur.Mismatches))
+	}
+	b, ok := base.Ops[baseOp]
+	if !ok {
+		fatal(fmt.Errorf("baseline record has no op %q", baseOp))
+	}
+	c, ok := cur.Ops[curOp]
+	if !ok {
+		fatal(fmt.Errorf("current record has no op %q", curOp))
+	}
+	if c.Count == 0 || b.Count == 0 {
+		fatal(fmt.Errorf("empty samples: %q n=%d, %q n=%d", curOp, c.Count, baseOp, b.Count))
+	}
+	if c.P99US >= b.P99US {
+		fatal(fmt.Errorf("%q p99 %dµs (n=%d) not below %q p99 %dµs (n=%d)",
+			curOp, c.P99US, c.Count, baseOp, b.P99US, b.Count))
+	}
+	fmt.Printf("benchcmp: %q p99 %dµs (n=%d, p50 %dµs) beats %q p99 %dµs (n=%d, p50 %dµs) — %.1fx\n",
+		curOp, c.P99US, c.Count, c.P50US, baseOp, b.P99US, b.Count, b.P50US,
+		float64(b.P99US)/float64(c.P99US))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

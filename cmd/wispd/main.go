@@ -9,6 +9,7 @@
 //
 //	wispd [-addr 127.0.0.1:9311] [-shards N] [-queue 64] [-batch 16]
 //	      [-dispatch cost|rr] [-rsabits 512] [-record 1024] [-seed 1]
+//	      [-session-cache 4096] [-session-ttl 10m]
 //	      [-measured] [-metrics] [-addrfile PATH]
 //
 // With -measured the daemon characterizes the platform kernels on the ISS
@@ -39,6 +40,8 @@ func main() {
 	rsaBits := flag.Int("rsabits", 512, "gateway handshake key size")
 	record := flag.Int("record", 1024, "default record size for SSL transactions")
 	seed := flag.Int64("seed", 1, "determinism seed for shard key material")
+	sessionCap := flag.Int("session-cache", 4096, "SSL session cache capacity (abbreviated handshakes); negative disables resumption")
+	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "SSL session cache entry lifetime")
 	measured := flag.Bool("measured", false, "derive the analytic cost model on the ISS at startup")
 	metrics := flag.Bool("metrics", false, "print the text metrics dump on shutdown")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts)")
@@ -53,6 +56,8 @@ func main() {
 		RecordSize: *record,
 		Dispatch:   *dispatch,
 		Seed:       *seed,
+		SessionCap: *sessionCap,
+		SessionTTL: *sessionTTL,
 	}
 	if *measured {
 		fmt.Println("wispd: characterizing platform kernels on the ISS...")

@@ -9,7 +9,15 @@
 //	wispload -addr 127.0.0.1:9311 [-clients 4] [-n 25]
 //	         [-mix 1k,4k,16k,32k] [-ops ssl] [-record 1024]
 //	         [-deadline-us 0] [-retries 0] [-backoff-us 2000]
-//	         [-hedge-us 0] [-seed 1] [-json] [-stats]
+//	         [-hedge-us 0] [-resume-ratio 0] [-seed 1] [-json] [-stats]
+//	         [-bench-out FILE]
+//
+// -resume-ratio R marks fraction R of ssl/handshake requests as
+// resumable: the gateway serves them with an abbreviated handshake from
+// its session cache (no RSA op) and the report splits their latency into
+// a separate "+resumed" class.  -bench-out writes a compact benchmark
+// record (per-op p50/p99, throughput, cache hit rates) for the CI
+// regression gate (cmd/benchcmp).
 package main
 
 import (
@@ -34,10 +42,16 @@ func main() {
 	retries := flag.Int("retries", 0, "max client retries for shed responses (exponential backoff + jitter)")
 	backoff := flag.Int64("backoff-us", 2000, "base retry backoff in µs (doubles per retry)")
 	hedge := flag.Int64("hedge-us", 0, "hedge deadline-bearing requests unanswered after this many µs (0 = off)")
+	resumeRatio := flag.Float64("resume-ratio", 0, "fraction of ssl/handshake requests offering session resumption (0..1)")
 	seed := flag.Int64("seed", 1, "payload determinism seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	stats := flag.Bool("stats", true, "fetch and print server-side /stats after the run")
+	benchOut := flag.String("bench-out", "", "write a benchmark record (per-op p50/p99, throughput, cache hit rates) to this file")
 	flag.Parse()
+
+	if *resumeRatio < 0 || *resumeRatio > 1 {
+		fatal(fmt.Errorf("resume-ratio %g out of range [0,1]", *resumeRatio))
+	}
 
 	sizes, err := parseMix(*mix)
 	if err != nil {
@@ -49,32 +63,43 @@ func main() {
 	}
 
 	rep, err := serve.RunLoad(serve.LoadConfig{
-		Addr:       *addr,
-		Clients:    *clients,
-		PerClient:  *perClient,
-		Mix:        sizes,
-		Ops:        opList,
-		RecordSize: *record,
-		DeadlineUS: *deadline,
-		Retries:    *retries,
-		BackoffUS:  *backoff,
-		HedgeUS:    *hedge,
-		Seed:       *seed,
+		Addr:        *addr,
+		Clients:     *clients,
+		PerClient:   *perClient,
+		Mix:         sizes,
+		Ops:         opList,
+		RecordSize:  *record,
+		DeadlineUS:  *deadline,
+		Retries:     *retries,
+		BackoffUS:   *backoff,
+		HedgeUS:     *hedge,
+		ResumeRatio: *resumeRatio,
+		Seed:        *seed,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	var serverStats *serve.Stats
-	if *stats {
+	if *stats || *benchOut != "" {
 		serverStats, _ = serve.NewClient(*addr).Stats()
 	}
 
+	if *benchOut != "" {
+		if err := serve.WriteBenchRecord(*benchOut, rep, serverStats); err != nil {
+			fatal(err)
+		}
+	}
+
+	shownStats := serverStats
+	if !*stats {
+		shownStats = nil
+	}
 	if *jsonOut {
 		doc := struct {
 			Report *serve.LoadReport `json:"report"`
 			Server *serve.Stats      `json:"server_stats,omitempty"`
-		}{rep, serverStats}
+		}{rep, shownStats}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -82,17 +107,21 @@ func main() {
 		}
 	} else {
 		fmt.Print(rep.Format())
-		if serverStats != nil {
+		if shownStats != nil {
 			fmt.Printf("server: %d requests, %d ok, shed %d (queue-full %d, deadline %d, draining %d), expired %d\n",
-				serverStats.Requests, serverStats.OK, serverStats.Shed,
-				serverStats.ShedByReason["queue-full"], serverStats.ShedByReason["deadline"],
-				serverStats.ShedByReason["draining"], serverStats.Expired)
+				shownStats.Requests, shownStats.OK, shownStats.Shed,
+				shownStats.ShedByReason["queue-full"], shownStats.ShedByReason["deadline"],
+				shownStats.ShedByReason["draining"], shownStats.Expired)
 			fmt.Printf("server dispatch (%s): %d steals, %d redirects, %d retries, %d hedged, %d sheds-while-idle\n",
-				serverStats.Dispatch, serverStats.Steals, serverStats.Redirects,
-				serverStats.Retries, serverStats.Hedges, serverStats.ShedWhileIdle)
-			if ssl, ok := serverStats.PerOp["ssl"]; ok && ssl.Latency.Count > 0 {
+				shownStats.Dispatch, shownStats.Steals, shownStats.Redirects,
+				shownStats.Retries, shownStats.Hedges, shownStats.ShedWhileIdle)
+			if ssl, ok := shownStats.PerOp["ssl"]; ok && ssl.Latency.Count > 0 {
 				fmt.Printf("server ssl latency: p50 %.0fµs  p95 %.0fµs  p99 %.0fµs (batch p50 %.1f)\n",
-					ssl.Latency.P50, ssl.Latency.P95, ssl.Latency.P99, serverStats.BatchSize.P50)
+					ssl.Latency.P50, ssl.Latency.P95, ssl.Latency.P99, shownStats.BatchSize.P50)
+			}
+			if sc := shownStats.SessionCache; sc != nil && sc.Hits+sc.Misses > 0 {
+				fmt.Printf("server session cache: %d hits, %d misses (%.0f%% hit rate, %d resumed)\n",
+					sc.Hits, sc.Misses, 100*sc.HitRate, shownStats.Resumed)
 			}
 		}
 	}

@@ -22,13 +22,13 @@ import (
 )
 
 const (
-	frameW      = 176 // QCIF
-	frameH      = 144
-	bytesPP     = 2 // 16-bit pixels
-	frameBytes  = frameW * frameH * bytesPP
-	frames      = 24
-	targetFPS   = 15.0
-	clockMHz    = 188.0
+	frameW     = 176 // QCIF
+	frameH     = 144
+	bytesPP    = 2 // 16-bit pixels
+	frameBytes = frameW * frameH * bytesPP
+	frames     = 24
+	targetFPS  = 15.0
+	clockMHz   = 188.0
 )
 
 func main() {

@@ -148,8 +148,8 @@ func TestCombineEmpty(t *testing.T) {
 func TestParetoPrunesP1(t *testing.T) {
 	// Figure 5(c): P1 has more area AND more cycles than P2/P3 → pruned.
 	add, mul1 := fixtures()
-	p1 := Point{Cycles: 500, Set: NewInstrSet(add[16])}       // big, slow (the pruned point)
-	p2 := Point{Cycles: 400, Set: NewInstrSet(add[2], mul1)}  // smaller, faster
+	p1 := Point{Cycles: 500, Set: NewInstrSet(add[16])}      // big, slow (the pruned point)
+	p2 := Point{Cycles: 400, Set: NewInstrSet(add[2], mul1)} // smaller, faster
 	p3 := Point{Cycles: 300, Set: NewInstrSet(add[4], mul1)}
 	if !(p1.Area() > p2.Area()) {
 		t.Skip("fixture areas do not reproduce the P1 geometry")

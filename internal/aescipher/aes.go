@@ -74,7 +74,7 @@ func init() {
 
 // Cipher is an AES block cipher with an expanded key schedule.
 type Cipher struct {
-	rounds int        // 10, 12 or 14
+	rounds int         // 10, 12 or 14
 	enc    [][4]uint32 // round keys as columns, rounds+1 entries
 }
 

@@ -1,0 +1,30 @@
+package aescipher
+
+import "wisp/internal/cache"
+
+// Key-schedule cache: AES key expansion touches every round key word
+// through the S-box, and a gateway serving per-request keys pays it on
+// every operation.  A Cipher is immutable after NewCipher, so expanded
+// schedules are shared safely across goroutines; the sharded LRU bounds
+// memory and evicts cold keys.
+var schedules = cache.New[*Cipher](cache.Config{Capacity: 512})
+
+// CachedCipher returns a (possibly shared) cipher for key, reusing the
+// expanded key schedule from previous calls with the same key.  Two
+// goroutines racing on a cold key each expand it once; one schedule
+// wins the cache, both results are valid.
+func CachedCipher(key []byte) (*Cipher, error) {
+	k := string(key)
+	if c, ok := schedules.Get(k); ok {
+		return c, nil
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	schedules.Put(k, c)
+	return c, nil
+}
+
+// ScheduleCacheStats exposes the key-schedule cache counters.
+func ScheduleCacheStats() cache.Stats { return schedules.Stats() }

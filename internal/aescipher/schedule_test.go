@@ -1,0 +1,65 @@
+package aescipher
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCachedCipherMatchesNewCipher(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	c1, err := CachedCipher(key)
+	if err != nil {
+		t.Fatalf("CachedCipher: %v", err)
+	}
+	c2, err := CachedCipher(key)
+	if err != nil {
+		t.Fatalf("CachedCipher (warm): %v", err)
+	}
+	if c1 != c2 {
+		t.Error("warm CachedCipher did not return the shared cipher")
+	}
+	ref, err := NewCipher(key)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	src := []byte("block of sixteen")
+	want := make([]byte, BlockSize)
+	got := make([]byte, BlockSize)
+	ref.Encrypt(want, src)
+	c1.Encrypt(got, src)
+	if !bytes.Equal(got, want) {
+		t.Error("cached cipher encrypts differently from a fresh one")
+	}
+	dec := make([]byte, BlockSize)
+	c2.Decrypt(dec, got)
+	if !bytes.Equal(dec, src) {
+		t.Error("cached cipher failed to decrypt its own output")
+	}
+}
+
+func TestCachedCipherRejectsBadKey(t *testing.T) {
+	if _, err := CachedCipher([]byte("short")); err == nil {
+		t.Error("CachedCipher accepted a 5-byte key")
+	}
+}
+
+func TestCachedCipherKeyIsolation(t *testing.T) {
+	k1 := []byte("aaaaaaaaaaaaaaaa")
+	k2 := []byte("bbbbbbbbbbbbbbbb")
+	c1, err := CachedCipher(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CachedCipher(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("block of sixteen")
+	o1 := make([]byte, BlockSize)
+	o2 := make([]byte, BlockSize)
+	c1.Encrypt(o1, src)
+	c2.Encrypt(o2, src)
+	if bytes.Equal(o1, o2) {
+		t.Error("different keys produced identical ciphertext")
+	}
+}

@@ -157,10 +157,10 @@ func TestPadding(t *testing.T) {
 func TestUnpadRejectsCorrupt(t *testing.T) {
 	cases := [][]byte{
 		nil,
-		{1, 2, 3},                         // not block multiple
-		{0, 0, 0, 0, 0, 0, 0, 0},          // pad byte 0
-		{1, 1, 1, 1, 1, 1, 1, 9},          // pad byte > blocksize
-		{1, 1, 1, 1, 1, 1, 2, 3},          // inconsistent
+		{1, 2, 3},                // not block multiple
+		{0, 0, 0, 0, 0, 0, 0, 0}, // pad byte 0
+		{1, 1, 1, 1, 1, 1, 1, 9}, // pad byte > blocksize
+		{1, 1, 1, 1, 1, 1, 2, 3}, // inconsistent
 	}
 	for _, c := range cases {
 		if _, err := Unpad(c, 8); err == nil {

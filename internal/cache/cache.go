@@ -1,0 +1,280 @@
+// Package cache is the serving path's shared caching layer: a sharded
+// LRU with per-entry TTL, per-shard locking and hit/miss/eviction
+// accounting.
+//
+// Three hot-path consumers ride on it:
+//
+//   - internal/ssl's session cache (master secrets keyed by session ID,
+//     enabling abbreviated handshakes that skip the RSA premaster
+//     exchange),
+//   - internal/rsakey's per-key precompute cache (CRT exponentiators
+//     with their Montgomery/Barrett reducer constants), and
+//   - internal/aescipher's key-schedule cache (expanded round keys).
+//
+// The amortization argument is the paper's own: Figure 8 shows the RSA
+// handshake dominating small transactions, so a production gateway's
+// first lever is to stop paying it per connection.  Sharding bounds lock
+// contention — each key hashes to one shard, so concurrent shards of the
+// serving gateway rarely touch the same mutex.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Cache.  The zero value selects 1024 entries, 8 shards
+// and no TTL.
+type Config struct {
+	// Capacity bounds the total entry count across all shards; the
+	// least-recently-used entry of a full shard is evicted on insert.
+	// Default 1024.
+	Capacity int
+	// TTL expires entries this long after their last Put.  Zero means
+	// entries never expire.
+	TTL time.Duration
+	// Shards is the number of independently locked segments, rounded up
+	// to a power of two.  Default 8.
+	Shards int
+	// Now overrides the clock (tests inject a fake to exercise TTL
+	// expiry deterministically).  Default time.Now.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"` // LRU pressure evictions
+	Expired   uint64 `json:"expired"`   // TTL lapses observed (counted as misses too)
+	Len       int    `json:"len"`
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached value on a shard's intrusive LRU list.
+type entry[V any] struct {
+	key        string
+	val        V
+	expires    time.Time // zero = never
+	prev, next *entry[V]
+}
+
+// lruShard is one independently locked segment: a map for lookup and a
+// doubly linked list in recency order (head = most recent).
+type lruShard[V any] struct {
+	mu         sync.Mutex
+	items      map[string]*entry[V]
+	head, tail *entry[V]
+}
+
+// Cache is a sharded LRU with TTL.  All methods are safe for concurrent
+// use; distinct keys usually hit distinct shard locks.
+type Cache[V any] struct {
+	shards   []*lruShard[V]
+	mask     uint64
+	perShard int
+	ttl      time.Duration
+	now      func() time.Time
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	puts      atomic.Uint64
+	evictions atomic.Uint64
+	expired   atomic.Uint64
+	size      atomic.Int64
+}
+
+// New builds a cache from cfg (zero-value fields select defaults).
+func New[V any](cfg Config) *Cache[V] {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1024
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	per := (cfg.Capacity + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache[V]{
+		shards:   make([]*lruShard[V], n),
+		mask:     uint64(n - 1),
+		perShard: per,
+		ttl:      cfg.TTL,
+		now:      cfg.Now,
+	}
+	for i := range c.shards {
+		c.shards[i] = &lruShard[V]{items: make(map[string]*entry[V])}
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *lruShard[V] {
+	return c.shards[fnv1a(key)&c.mask]
+}
+
+// Get returns the cached value for key, promoting it to most-recently
+// used.  A TTL-expired entry is removed and reported as a miss.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		s.remove(e)
+		delete(s.items, key)
+		s.mu.Unlock()
+		c.size.Add(-1)
+		c.expired.Add(1)
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts or refreshes key, resetting its TTL and recency.  When the
+// shard is over capacity the least-recently-used entry is evicted.
+func (c *Cache[V]) Put(key string, v V) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.items[key]; ok {
+		e.val = v
+		e.expires = expires
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.puts.Add(1)
+		return
+	}
+	e := &entry[V]{key: key, val: v, expires: expires}
+	s.items[key] = e
+	s.pushFront(e)
+	var evicted bool
+	if len(s.items) > c.perShard {
+		victim := s.tail
+		s.remove(victim)
+		delete(s.items, victim.key)
+		evicted = true
+	}
+	s.mu.Unlock()
+	c.puts.Add(1)
+	if !evicted {
+		c.size.Add(1)
+	} else {
+		c.evictions.Add(1)
+	}
+}
+
+// Delete removes key if present, reporting whether it was.
+func (c *Cache[V]) Delete(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if ok {
+		s.remove(e)
+		delete(s.items, key)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.size.Add(-1)
+	}
+	return ok
+}
+
+// Len returns the live entry count (TTL-expired entries not yet observed
+// by Get still count).
+func (c *Cache[V]) Len() int { return int(c.size.Load()) }
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Len:       c.Len(),
+		Capacity:  c.perShard * len(c.shards),
+	}
+}
+
+// --- intrusive LRU list (shard lock held) ---
+
+func (s *lruShard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *lruShard[V]) remove(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *lruShard[V]) moveToFront(e *entry[V]) {
+	if s.head == e {
+		return
+	}
+	s.remove(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLRUEvictionOrder pins the eviction discipline on a single shard:
+// the least-recently-used entry goes first, and a Get refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int](Config{Capacity: 3, Shards: 1})
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+
+	// Touch "a" so "b" becomes the LRU entry.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	c.Put("d", 4) // evicts "b"
+
+	if _, ok := c.Get("b"); ok {
+		t.Fatalf("b survived eviction; want it gone as the LRU entry")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction of b", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Len != 3 {
+		t.Fatalf("len = %d, want 3", st.Len)
+	}
+}
+
+// TestPutRefreshesRecency verifies that re-Putting an existing key both
+// updates the value and protects it from the next eviction.
+func TestPutRefreshesRecency(t *testing.T) {
+	c := New[string](Config{Capacity: 2, Shards: 1})
+	c.Put("x", "old")
+	c.Put("y", "y")
+	c.Put("x", "new") // refresh: "y" is now LRU
+	c.Put("z", "z")   // evicts "y"
+
+	if v, ok := c.Get("x"); !ok || v != "new" {
+		t.Fatalf("Get(x) = %q, %v; want \"new\", true", v, ok)
+	}
+	if _, ok := c.Get("y"); ok {
+		t.Fatalf("y survived; want evicted after x was refreshed")
+	}
+}
+
+// TestTTLExpiry drives an injected clock past the TTL and checks the
+// entry lapses, is counted, and a re-Put revives it with a fresh TTL.
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := New[int](Config{Capacity: 8, Shards: 1, TTL: 10 * time.Second, Now: clock})
+
+	c.Put("k", 42)
+	now = now.Add(9 * time.Second)
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Fatalf("entry expired early: %d, %v", v, ok)
+	}
+
+	now = now.Add(2 * time.Second) // 11s after Put
+	if _, ok := c.Get("k"); ok {
+		t.Fatalf("entry survived past its TTL")
+	}
+	st := c.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+	if st.Len != 0 {
+		t.Fatalf("len = %d after expiry, want 0", st.Len)
+	}
+
+	// Revival: a fresh Put restarts the TTL from the current clock.
+	c.Put("k", 7)
+	now = now.Add(9 * time.Second)
+	if v, ok := c.Get("k"); !ok || v != 7 {
+		t.Fatalf("revived entry expired early: %d, %v", v, ok)
+	}
+}
+
+// TestDelete covers explicit removal.
+func TestDelete(t *testing.T) {
+	c := New[int](Config{Capacity: 4, Shards: 1})
+	c.Put("k", 1)
+	if !c.Delete("k") {
+		t.Fatalf("Delete(k) = false, want true")
+	}
+	if c.Delete("k") {
+		t.Fatalf("second Delete(k) = true, want false")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatalf("k still present after Delete")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+// TestStatsHitRate checks the hit/miss accounting.
+func TestStatsHitRate(t *testing.T) {
+	c := New[int](Config{Capacity: 4, Shards: 2})
+	c.Put("a", 1)
+	c.Get("a")       // hit
+	c.Get("a")       // hit
+	c.Get("missing") // miss
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if got, want := st.HitRate(), 2.0/3.0; got != want {
+		t.Fatalf("hit rate = %v, want %v", got, want)
+	}
+}
+
+// TestZeroConfigDefaults exercises the zero-value Config path.
+func TestZeroConfigDefaults(t *testing.T) {
+	c := New[int](Config{})
+	st := c.Stats()
+	if st.Capacity < 1024 {
+		t.Fatalf("default capacity = %d, want ≥ 1024", st.Capacity)
+	}
+	c.Put("k", 1)
+	if v, ok := c.Get("k"); !ok || v != 1 {
+		t.Fatalf("roundtrip through default cache failed: %d, %v", v, ok)
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines (run under
+// -race by `make check`): mixed Get/Put/Delete over a keyspace larger
+// than capacity, so evictions, hits and misses all race.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](Config{Capacity: 64, Shards: 4, TTL: time.Minute})
+	const (
+		goroutines = 8
+		iters      = 2000
+		keyspace   = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%keyspace)
+				switch i % 4 {
+				case 0, 1:
+					if v, ok := c.Get(k); ok && v < 0 {
+						t.Errorf("corrupt value %d for %s", v, k)
+						return
+					}
+				case 2:
+					c.Put(k, i)
+				default:
+					c.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Len > st.Capacity {
+		t.Fatalf("len %d exceeds capacity %d", st.Len, st.Capacity)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatalf("no lookups recorded")
+	}
+}
+
+// TestCapacityBound verifies the cache never exceeds its capacity even
+// under single-shard pressure.
+func TestCapacityBound(t *testing.T) {
+	c := New[int](Config{Capacity: 16, Shards: 1})
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() > 16 {
+		t.Fatalf("len = %d, want ≤ 16", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 100-16 {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, 100-16)
+	}
+}

@@ -14,12 +14,12 @@ import (
 func TestMD5Vectors(t *testing.T) {
 	// RFC 1321 appendix A.5 test suite.
 	cases := map[string]string{
-		"":                                "d41d8cd98f00b204e9800998ecf8427e",
-		"a":                               "0cc175b9c0f1b6a831c399e269772661",
-		"abc":                             "900150983cd24fb0d6963f7d28e17f72",
-		"message digest":                  "f96b697d7cb7938d525a2f31aaf161d0",
-		"abcdefghijklmnopqrstuvwxyz":      "c3fcd3d76192e4007dfb496cca67e13b",
-		"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789": "d174ab98d277d9f5a5611c2c9f419d9f",
+		"":                           "d41d8cd98f00b204e9800998ecf8427e",
+		"a":                          "0cc175b9c0f1b6a831c399e269772661",
+		"abc":                        "900150983cd24fb0d6963f7d28e17f72",
+		"message digest":             "f96b697d7cb7938d525a2f31aaf161d0",
+		"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+		"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789":                   "d174ab98d277d9f5a5611c2c9f419d9f",
 		"12345678901234567890123456789012345678901234567890123456789012345678901234567890": "57edf4a22be3c955ac49da2e2107b67a",
 	}
 	for in, want := range cases {
@@ -35,7 +35,7 @@ func TestSHA1Vectors(t *testing.T) {
 		"":    "da39a3ee5e6b4b0d3255bfef95601890afd80709",
 		"abc": "a9993e364706816aba3e25717850c26c9cd0d89d",
 		"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq": "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
-		"The quick brown fox jumps over the lazy dog": "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+		"The quick brown fox jumps over the lazy dog":              "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
 	}
 	for in, want := range cases {
 		got := SHA1Sum([]byte(in))

@@ -25,16 +25,16 @@ type Reg uint8
 
 // Register names under the CALL0-style calling convention.
 const (
-	RA Reg = 0  // return address (a0)
-	SP Reg = 1  // stack pointer (a1)
-	A2 Reg = 2  // first argument / return value
-	A3 Reg = 3
-	A4 Reg = 4
-	A5 Reg = 5
-	A6 Reg = 6
-	A7 Reg = 7
-	A8 Reg = 8
-	A9 Reg = 9
+	RA  Reg = 0 // return address (a0)
+	SP  Reg = 1 // stack pointer (a1)
+	A2  Reg = 2 // first argument / return value
+	A3  Reg = 3
+	A4  Reg = 4
+	A5  Reg = 5
+	A6  Reg = 6
+	A7  Reg = 7
+	A8  Reg = 8
+	A9  Reg = 9
 	A10 Reg = 10
 	A11 Reg = 11
 	A12 Reg = 12

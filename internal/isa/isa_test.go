@@ -46,19 +46,19 @@ func TestOpString(t *testing.T) {
 
 func TestOpClass(t *testing.T) {
 	cases := map[Op]Class{
-		OpADD:  ClassALU,
-		OpMULL: ClassMul,
-		OpMULH: ClassMul,
-		OpL32I: ClassLoad,
-		OpL8UI: ClassLoad,
-		OpS32I: ClassStore,
-		OpBEQ:  ClassBranch,
-		OpBNEZ: ClassBranch,
-		OpJ:    ClassJump,
-		OpJALR: ClassJump,
-		OpCUST: ClassCustom,
-		OpNOP:  ClassSystem,
-		OpHALT: ClassSystem,
+		OpADD:   ClassALU,
+		OpMULL:  ClassMul,
+		OpMULH:  ClassMul,
+		OpL32I:  ClassLoad,
+		OpL8UI:  ClassLoad,
+		OpS32I:  ClassStore,
+		OpBEQ:   ClassBranch,
+		OpBNEZ:  ClassBranch,
+		OpJ:     ClassJump,
+		OpJALR:  ClassJump,
+		OpCUST:  ClassCustom,
+		OpNOP:   ClassSystem,
+		OpHALT:  ClassSystem,
 		OpEXTUI: ClassALU,
 	}
 	for op, want := range cases {

@@ -154,10 +154,10 @@ func emitAESBody(b *strings.Builder, tie bool) {
 		b.WriteString("\tla   a11, aes_tmp\n")
 		for c := 0; c < 4; c++ {
 			fmt.Fprintf(b, "\tl32i a7, a12, %d\n", 4*c)
-			b.WriteString("\textui a8, a7, 24, 8\n")  // a0
-			b.WriteString("\textui a9, a7, 16, 8\n")  // a1
-			b.WriteString("\textui a10, a7, 8, 8\n")  // a2
-			b.WriteString("\textui a15, a7, 0, 8\n")  // a3
+			b.WriteString("\textui a8, a7, 24, 8\n") // a0
+			b.WriteString("\textui a9, a7, 16, 8\n") // a1
+			b.WriteString("\textui a10, a7, 8, 8\n") // a2
+			b.WriteString("\textui a15, a7, 0, 8\n") // a3
 			// x2_i = gfmul(a_i, 2), spilled to aes_tmp[i].
 			for i, reg := range []string{"a8", "a9", "a10", "a15"} {
 				fmt.Fprintf(b, "\tmov  a2, %s\n", reg)

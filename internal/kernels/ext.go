@@ -47,9 +47,9 @@ const (
 	idDesFP    = 33
 	idDesRound = 34
 
-	idAesSbox4  = 40
-	idAesISbox4 = 41
-	idAesMixcol = 42
+	idAesSbox4   = 40
+	idAesISbox4  = 41
+	idAesMixcol  = 42
 	idAesIMixcol = 43
 )
 

@@ -73,7 +73,7 @@ func MPNBase() Variant {
 
 	// --- mpn_add_n ---
 	b.WriteString("\t.func\nmpn_add_n:\n")
-	b.WriteString("\tmovi a6, 0\n")  // carry
+	b.WriteString("\tmovi a6, 0\n") // carry
 	b.WriteString("\tmovi a12, -1\n")
 	b.WriteString("\tbeqz a5, mpn_add_n_done\n")
 	b.WriteString("mpn_add_n_loop:\n")
@@ -105,7 +105,7 @@ func MPNBase() Variant {
 
 	// --- mpn_mul_1: rp = ap * b + 0, returns carry limb ---
 	b.WriteString("\t.func\nmpn_mul_1:\n")
-	b.WriteString("\tmovi a6, 0\n")  // carry limb
+	b.WriteString("\tmovi a6, 0\n") // carry limb
 	b.WriteString("\tmovi a12, -1\n")
 	b.WriteString("\tbeqz a4, mpn_mul_1_done\n")
 	b.WriteString("mpn_mul_1_loop:\n")
@@ -126,8 +126,8 @@ func MPNBase() Variant {
 	b.WriteString("\tmovi a12, -1\n")
 	b.WriteString("\tbeqz a4, mpn_addmul_1_done\n")
 	b.WriteString("mpn_addmul_1_loop:\n")
-	b.WriteString("\tl32i a7, a3, 0\n")  // a[i]
-	b.WriteString("\tl32i a8, a2, 0\n")  // r[i]
+	b.WriteString("\tl32i a7, a3, 0\n") // a[i]
+	b.WriteString("\tl32i a8, a2, 0\n") // r[i]
 	b.WriteString("\tmull a9, a7, a5\n")
 	b.WriteString("\tmulh a10, a7, a5\n")
 	b.WriteString("\tadd  a11, a9, a6\n") // t = plo + carry

@@ -319,7 +319,10 @@ func TestCmpNormalizeBitLen(t *testing.T) {
 		}
 	}
 	a := Nat{0b1010, 0b1}
-	bitCases := []struct{ i int; want uint }{{0, 0}, {1, 1}, {3, 1}, {4, 0}, {32, 1}, {33, 0}, {999, 0}, {-1, 0}}
+	bitCases := []struct {
+		i    int
+		want uint
+	}{{0, 0}, {1, 1}, {3, 1}, {4, 0}, {32, 1}, {33, 0}, {999, 0}, {-1, 0}}
 	for _, c := range bitCases {
 		if got := Bit(a, c.i); got != c.want {
 			t.Errorf("Bit(%d) = %d, want %d", c.i, got, c.want)
@@ -341,12 +344,12 @@ func TestAdd1Sub1(t *testing.T) {
 
 func TestPanicsOnLengthMismatch(t *testing.T) {
 	funcs := map[string]func(){
-		"AddN":    func() { AddN(make(Nat, 2), Nat{1}, Nat{1, 2}) },
-		"SubN":    func() { SubN(make(Nat, 1), Nat{1}, Nat{1, 2}) },
-		"Mul1":    func() { Mul1(make(Nat, 1), Nat{1, 2}, 3) },
-		"AddMul1": func() { AddMul1(make(Nat, 1), Nat{1, 2}, 3) },
-		"Cmp":     func() { Cmp(Nat{1}, Nat{1, 2}) },
-		"Lshift0": func() { Lshift(make(Nat, 1), Nat{1}, 0) },
+		"AddN":     func() { AddN(make(Nat, 2), Nat{1}, Nat{1, 2}) },
+		"SubN":     func() { SubN(make(Nat, 1), Nat{1}, Nat{1, 2}) },
+		"Mul1":     func() { Mul1(make(Nat, 1), Nat{1, 2}, 3) },
+		"AddMul1":  func() { AddMul1(make(Nat, 1), Nat{1, 2}, 3) },
+		"Cmp":      func() { Cmp(Nat{1}, Nat{1, 2}) },
+		"Lshift0":  func() { Lshift(make(Nat, 1), Nat{1}, 0) },
 		"Rshift32": func() { Rshift(make(Nat, 1), Nat{1}, 32) },
 	}
 	for name, f := range funcs {

@@ -1,0 +1,51 @@
+package mpz
+
+import (
+	"fmt"
+	"time"
+
+	"wisp/internal/cache"
+)
+
+// ExpCache memoizes Exponentiators by (configuration, modulus) so the
+// per-modulus precompute — Barrett µ, Montgomery R² and -m⁻¹, eagerly
+// validated reducers — is paid once per key instead of once per call.
+// For the paper's RSA workload that setup is a handful of full-width
+// divisions and reductions per exponentiation; a serving gateway doing
+// thousands of private-key ops against one key wants them amortized to
+// zero, exactly like the session cache amortizes the handshake itself.
+//
+// An ExpCache is bound to one Ctx and is NOT safe for concurrent use —
+// its Exponentiators share the context's trace. Give each serving shard
+// its own (shards already own their Ctx for the same reason).
+type ExpCache struct {
+	ctx *Ctx
+	c   *cache.Cache[*Exponentiator]
+}
+
+// NewExpCache builds an exponentiator cache on ctx holding up to
+// capacity entries for at most ttl each (0 disables expiry).
+func (c *Ctx) NewExpCache(capacity int, ttl time.Duration) *ExpCache {
+	// A single shard: the cache is single-goroutine by contract, so
+	// sharding would only spread the LRU order thin.
+	return &ExpCache{ctx: c, c: cache.New[*Exponentiator](cache.Config{Capacity: capacity, TTL: ttl, Shards: 1})}
+}
+
+// Get returns the cached Exponentiator for (cfg, m), building and
+// caching it on a miss.  Callers must not retain the Exponentiator past
+// the point where concurrent use with the same cache could begin.
+func (ec *ExpCache) Get(cfg ExpConfig, m *Int) (*Exponentiator, error) {
+	key := fmt.Sprintf("%s/%s", cfg, m)
+	if e, ok := ec.c.Get(key); ok {
+		return e, nil
+	}
+	e, err := ec.ctx.NewExp(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	ec.c.Put(key, e)
+	return e, nil
+}
+
+// Stats exposes the underlying cache counters.
+func (ec *ExpCache) Stats() cache.Stats { return ec.c.Stats() }

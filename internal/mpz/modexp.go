@@ -70,9 +70,9 @@ type Exponentiator struct {
 	cfg ExpConfig
 	m   *Int
 
-	mm     ModMul  // cached reducer (CacheReducer, CachePowers)
-	tabKey string  // base whose power table is cached
-	table  []*Int  // cached window table (CachePowers)
+	mm     ModMul // cached reducer (CacheReducer, CachePowers)
+	tabKey string // base whose power table is cached
+	table  []*Int // cached window table (CachePowers)
 }
 
 // NewExp builds an exponentiator modulo m.

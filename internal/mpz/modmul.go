@@ -94,12 +94,12 @@ type divModMul struct {
 	mul func(x, y *Int) *Int
 }
 
-func (d *divModMul) Alg() ModMulAlg        { return d.alg }
-func (d *divModMul) Mul(x, y *Int) *Int    { return d.ctx.Mod(d.mul(x, y), d.m) }
-func (d *divModMul) Sqr(x *Int) *Int       { return d.Mul(x, x) }
-func (d *divModMul) ToDomain(x *Int) *Int  { return d.ctx.Mod(x, d.m) }
+func (d *divModMul) Alg() ModMulAlg         { return d.alg }
+func (d *divModMul) Mul(x, y *Int) *Int     { return d.ctx.Mod(d.mul(x, y), d.m) }
+func (d *divModMul) Sqr(x *Int) *Int        { return d.Mul(x, x) }
+func (d *divModMul) ToDomain(x *Int) *Int   { return d.ctx.Mod(x, d.m) }
 func (d *divModMul) FromDomain(x *Int) *Int { return x }
-func (d *divModMul) One() *Int             { return NewInt(1) }
+func (d *divModMul) One() *Int              { return NewInt(1) }
 
 // --- Barrett reduction ---
 
@@ -155,10 +155,10 @@ func (b *barrett) One() *Int              { return NewInt(1) }
 type montgomery struct {
 	ctx  *Ctx
 	m    *Int
-	n    int        // limbs in m
-	mInv mpn.Limb   // -m⁻¹ mod 2³²
-	rr   *Int       // R² mod m, for domain conversion
-	ml   mpn.Nat    // modulus limbs, length n
+	n    int      // limbs in m
+	mInv mpn.Limb // -m⁻¹ mod 2³²
+	rr   *Int     // R² mod m, for domain conversion
+	ml   mpn.Nat  // modulus limbs, length n
 }
 
 func newMontgomery(c *Ctx, m *Int) *montgomery {

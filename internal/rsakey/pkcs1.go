@@ -10,10 +10,9 @@ import (
 // PKCS#1 v1.5 block-type-2 padding, as used by the SSL handshake to wrap
 // the premaster secret.
 
-// PadEncrypt pads msg (PKCS#1 v1.5 type 2) and encrypts it with pub.
-// The modulus must leave at least 11 bytes of overhead.
-func PadEncrypt(ctx *mpz.Ctx, rng *rand.Rand, pub *PublicKey, msg []byte) ([]byte, error) {
-	k := (pub.Bits() + 7) / 8
+// padType2 builds the k-byte PKCS#1 v1.5 type-2 encryption block around
+// msg.  The modulus must leave at least 11 bytes of overhead.
+func padType2(rng *rand.Rand, k int, msg []byte) ([]byte, error) {
 	if len(msg) > k-11 {
 		return nil, fmt.Errorf("rsakey: message length %d exceeds %d-byte capacity", len(msg), k-11)
 	}
@@ -28,6 +27,35 @@ func PadEncrypt(ctx *mpz.Ctx, rng *rand.Rand, pub *PublicKey, msg []byte) ([]byt
 	}
 	em[2+psLen] = 0x00
 	copy(em[3+psLen:], msg)
+	return em, nil
+}
+
+// unpadType2 validates and strips a type-2 encryption block.
+func unpadType2(em []byte) ([]byte, error) {
+	if em[0] != 0x00 || em[1] != 0x02 {
+		return nil, fmt.Errorf("rsakey: invalid padding header")
+	}
+	sep := -1
+	for i := 2; i < len(em); i++ {
+		if em[i] == 0 {
+			sep = i
+			break
+		}
+	}
+	if sep < 10 { // ≥ 8 padding bytes required
+		return nil, fmt.Errorf("rsakey: invalid padding structure")
+	}
+	return em[sep+1:], nil
+}
+
+// PadEncrypt pads msg (PKCS#1 v1.5 type 2) and encrypts it with pub.
+// The modulus must leave at least 11 bytes of overhead.
+func PadEncrypt(ctx *mpz.Ctx, rng *rand.Rand, pub *PublicKey, msg []byte) ([]byte, error) {
+	k := (pub.Bits() + 7) / 8
+	em, err := padType2(rng, k, msg)
+	if err != nil {
+		return nil, err
+	}
 	c, err := Encrypt(ctx, pub, mpz.FromBytes(em))
 	if err != nil {
 		return nil, err
@@ -45,19 +73,5 @@ func PadDecrypt(ctx *mpz.Ctx, priv *PrivateKey, ct []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	em := m.FillBytes(make([]byte, k))
-	if em[0] != 0x00 || em[1] != 0x02 {
-		return nil, fmt.Errorf("rsakey: invalid padding header")
-	}
-	sep := -1
-	for i := 2; i < len(em); i++ {
-		if em[i] == 0 {
-			sep = i
-			break
-		}
-	}
-	if sep < 10 { // ≥ 8 padding bytes required
-		return nil, fmt.Errorf("rsakey: invalid padding structure")
-	}
-	return em[sep+1:], nil
+	return unpadType2(m.FillBytes(make([]byte, k)))
 }

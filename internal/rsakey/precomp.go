@@ -1,0 +1,153 @@
+package rsakey
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wisp/internal/cache"
+	"wisp/internal/hashes"
+	"wisp/internal/mpz"
+)
+
+// Fingerprint returns a stable identity for the key: hex MD5 over the
+// modulus and exponent bytes.  It keys per-key precompute caches.
+func (k *PublicKey) Fingerprint() string {
+	h := hashes.NewMD5()
+	h.Write(k.N.Bytes())
+	h.Write(k.E.Bytes())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Engine is the precompute-cached RSA engine for one serving context:
+// per key fingerprint it retains the CRT exponentiators (mod n, mod p,
+// mod q) with their reducer constants — Montgomery R² and -m⁻¹, Barrett
+// µ — so repeated private-key operations against the same key skip the
+// per-call setup entirely.  The amortization is honest in the cycle
+// model automatically: cached reducers issue fewer mpn kernel calls, so
+// a traced Ctx records exactly the work that still runs.
+//
+// Like the Ctx it wraps, an Engine is NOT safe for concurrent use; the
+// serving gateway gives each shard its own.
+type Engine struct {
+	ctx *mpz.Ctx
+	cfg mpz.ExpConfig
+	crt CRTMode
+	ec  *mpz.ExpCache
+}
+
+// NewEngine builds an engine on ctx with the given exponentiation
+// configuration and CRT mode, caching precompute for up to keys keys for
+// at most ttl (0 disables expiry).  Each key needs up to three cached
+// exponentiators (mod n, mod p, mod q).
+func NewEngine(ctx *mpz.Ctx, cfg mpz.ExpConfig, crt CRTMode, keys int, ttl time.Duration) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if keys <= 0 {
+		keys = 64
+	}
+	return &Engine{ctx: ctx, cfg: cfg, crt: crt, ec: ctx.NewExpCache(3*keys, ttl)}, nil
+}
+
+// DefaultEngine is NewEngine with the exploration-selected configuration
+// (Montgomery, 4-bit windows, reducer caching) and Garner CRT.
+func DefaultEngine(ctx *mpz.Ctx, keys int, ttl time.Duration) *Engine {
+	e, err := NewEngine(ctx, DefaultExpConfig, CRTGarner, keys, ttl)
+	if err != nil {
+		panic(err) // DefaultExpConfig is valid by construction
+	}
+	return e
+}
+
+// Stats exposes the precompute cache counters (a hit means a key's
+// reducer setup was skipped).
+func (e *Engine) Stats() cache.Stats { return e.ec.Stats() }
+
+// CacheStats returns the raw precompute cache counters.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	s := e.ec.Stats()
+	return s.Hits, s.Misses
+}
+
+// Encrypt computes m^e mod n with the cached public-key exponentiator.
+func (e *Engine) Encrypt(pub *PublicKey, m *mpz.Int) (*mpz.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pub.N) >= 0 {
+		return nil, fmt.Errorf("rsakey: message representative out of range")
+	}
+	ex, err := e.ec.Get(e.cfg, pub.N)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Exp(m, pub.E)
+}
+
+// Decrypt computes c^d mod n with cached per-key CRT exponentiators.
+func (e *Engine) Decrypt(priv *PrivateKey, c *mpz.Int) (*mpz.Int, error) {
+	if c.Sign() < 0 || c.Cmp(priv.N) >= 0 {
+		return nil, fmt.Errorf("rsakey: ciphertext representative out of range")
+	}
+	ctx := e.ctx
+	switch e.crt {
+	case CRTNone:
+		ex, err := e.ec.Get(e.cfg, priv.N)
+		if err != nil {
+			return nil, err
+		}
+		return ex.Exp(c, priv.D)
+	case CRTGauss, CRTGarner:
+		ep, err := e.ec.Get(e.cfg, priv.P)
+		if err != nil {
+			return nil, err
+		}
+		eq, err := e.ec.Get(e.cfg, priv.Q)
+		if err != nil {
+			return nil, err
+		}
+		m1, err := ep.Exp(ctx.Mod(c, priv.P), priv.Dp)
+		if err != nil {
+			return nil, err
+		}
+		m2, err := eq.Exp(ctx.Mod(c, priv.Q), priv.Dq)
+		if err != nil {
+			return nil, err
+		}
+		if e.crt == CRTGauss {
+			t1 := ctx.Mul(ctx.Mul(m1, priv.Q), priv.Qinv)
+			t2 := ctx.Mul(ctx.Mul(m2, priv.P), priv.Pinv)
+			return ctx.Mod(ctx.Add(t1, t2), priv.N), nil
+		}
+		h := ctx.Mod(ctx.Mul(priv.Qinv, ctx.Sub(m1, m2)), priv.P)
+		return ctx.Add(m2, ctx.Mul(h, priv.Q)), nil
+	default:
+		return nil, fmt.Errorf("rsakey: unknown CRT mode %d", e.crt)
+	}
+}
+
+// PadEncrypt is PadEncrypt on the engine's cached exponentiators.
+func (e *Engine) PadEncrypt(rng *rand.Rand, pub *PublicKey, msg []byte) ([]byte, error) {
+	k := (pub.Bits() + 7) / 8
+	em, err := padType2(rng, k, msg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := e.Encrypt(pub, mpz.FromBytes(em))
+	if err != nil {
+		return nil, err
+	}
+	return c.FillBytes(make([]byte, k)), nil
+}
+
+// PadDecrypt is PadDecrypt on the engine's cached exponentiators.
+func (e *Engine) PadDecrypt(priv *PrivateKey, ct []byte) ([]byte, error) {
+	k := (priv.Bits() + 7) / 8
+	if len(ct) != k {
+		return nil, fmt.Errorf("rsakey: ciphertext length %d != modulus length %d", len(ct), k)
+	}
+	m, err := e.Decrypt(priv, mpz.FromBytes(ct))
+	if err != nil {
+		return nil, err
+	}
+	return unpadType2(m.FillBytes(make([]byte, k)))
+}

@@ -1,0 +1,148 @@
+package rsakey
+
+import (
+	"math/rand"
+	"testing"
+
+	"wisp/internal/mpz"
+)
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	k1, k2 := testKey, mustKey(512, 3)
+	if k1.PublicKey.Fingerprint() != k1.PublicKey.Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+	if k1.PublicKey.Fingerprint() == k2.PublicKey.Fingerprint() {
+		t.Error("distinct keys share a fingerprint")
+	}
+}
+
+func TestEngineMatchesDirect(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	for _, crt := range []CRTMode{CRTNone, CRTGauss, CRTGarner} {
+		e, err := NewEngine(ctx, DefaultExpConfig, crt, 8, 0)
+		if err != nil {
+			t.Fatalf("NewEngine(crt=%d): %v", crt, err)
+		}
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < 4; i++ {
+			m := mpz.FromBytes([]byte{byte(i + 1), 0x42, 0x17})
+			c, err := e.Encrypt(&testKey.PublicKey, m)
+			if err != nil {
+				t.Fatalf("Encrypt: %v", err)
+			}
+			cRef, err := Encrypt(ctx, &testKey.PublicKey, m)
+			if err != nil {
+				t.Fatalf("reference Encrypt: %v", err)
+			}
+			if !c.Equal(cRef) {
+				t.Fatalf("crt=%d: engine ciphertext differs from direct", crt)
+			}
+			got, err := e.Decrypt(testKey, c)
+			if err != nil {
+				t.Fatalf("Decrypt: %v", err)
+			}
+			if !got.Equal(m) {
+				t.Fatalf("crt=%d: decrypt(encrypt(m)) != m", crt)
+			}
+		}
+		// Padded round trip through the same engine.
+		msg := make([]byte, 24)
+		r.Read(msg)
+		ct, err := e.PadEncrypt(r, &testKey.PublicKey, msg)
+		if err != nil {
+			t.Fatalf("PadEncrypt: %v", err)
+		}
+		pt, err := e.PadDecrypt(testKey, ct)
+		if err != nil {
+			t.Fatalf("PadDecrypt: %v", err)
+		}
+		if string(pt) != string(msg) {
+			t.Fatalf("crt=%d: padded round trip mismatch", crt)
+		}
+	}
+}
+
+func TestEngineCachesPrecompute(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	e := DefaultEngine(ctx, 8, 0)
+	c1, err := e.Encrypt(&testKey.PublicKey, mpz.NewInt(7))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	hits0, misses0 := e.CacheStats()
+	if hits0 != 0 || misses0 != 1 {
+		t.Fatalf("after cold op: hits=%d misses=%d, want 0/1", hits0, misses0)
+	}
+	c2, err := e.Encrypt(&testKey.PublicKey, mpz.NewInt(7))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if !c1.Equal(c2) {
+		t.Error("cached exponentiator changed the result")
+	}
+	hits1, misses1 := e.CacheStats()
+	if hits1 != 1 || misses1 != 1 {
+		t.Fatalf("after warm op: hits=%d misses=%d, want 1/1", hits1, misses1)
+	}
+	// Decrypt populates the two CRT moduli, then reuses them.
+	if _, err := e.Decrypt(testKey, c1); err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if _, err := e.Decrypt(testKey, c1); err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	hits2, misses2 := e.CacheStats()
+	if misses2 != misses1+2 {
+		t.Errorf("CRT decrypt should add exactly 2 misses: got %d -> %d", misses1, misses2)
+	}
+	if hits2 != hits1+2 {
+		t.Errorf("second decrypt should add exactly 2 hits: got %d -> %d", hits1, hits2)
+	}
+}
+
+// TestEngineSkipsReducerSetupWhenWarm pins down the amortization the
+// engine exists for: a warm private-key op must issue strictly fewer
+// kernel calls than a cold one because the Montgomery/Barrett reducer
+// constants are no longer recomputed.
+func TestEngineSkipsReducerSetupWhenWarm(t *testing.T) {
+	trace := mpz.NewTrace()
+	ctx := mpz.NewCtx(trace)
+	e := DefaultEngine(ctx, 8, 0)
+	c, err := Encrypt(mpz.NewCtx(nil), &testKey.PublicKey, mpz.NewInt(9))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+
+	count := func() uint64 {
+		var n uint64
+		for _, inv := range trace.Invocations() {
+			n += inv.Count
+		}
+		return n
+	}
+	base := count()
+	if _, err := e.Decrypt(testKey, c); err != nil {
+		t.Fatalf("cold Decrypt: %v", err)
+	}
+	cold := count() - base
+	base = count()
+	if _, err := e.Decrypt(testKey, c); err != nil {
+		t.Fatalf("warm Decrypt: %v", err)
+	}
+	warm := count() - base
+	if warm >= cold {
+		t.Errorf("warm decrypt ran %d kernel calls, cold ran %d; caching saved nothing", warm, cold)
+	}
+}
+
+func TestEngineRangeValidation(t *testing.T) {
+	ctx := mpz.NewCtx(nil)
+	e := DefaultEngine(ctx, 4, 0)
+	if _, err := e.Encrypt(&testKey.PublicKey, testKey.N); err == nil {
+		t.Error("Encrypt accepted m >= N")
+	}
+	if _, err := e.Decrypt(testKey, testKey.N); err == nil {
+		t.Error("Decrypt accepted c >= N")
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchema versions the benchmark record format; cmd/benchcmp refuses
+// to compare records with mismatched schemas.
+const BenchSchema = 1
+
+// BenchOp is one op class's latency slice in a benchmark record.  Resumed
+// transactions appear as their own "<op>+resumed" class, so the gate can
+// hold the abbreviated-handshake path to its own baseline.
+type BenchOp struct {
+	Count int   `json:"count"`
+	P50US int64 `json:"p50_us"`
+	P99US int64 `json:"p99_us"`
+}
+
+// BenchRecord is the compact machine-readable result of one serve-bench
+// run: per-op p50/p99, throughput and serving-cache hit rates.  It is
+// what `make bench-json` writes to BENCH_serve.json and what the CI
+// perf-regression gate (cmd/benchcmp) compares against the checked-in
+// baseline.
+type BenchRecord struct {
+	Schema         int                `json:"schema"`
+	Transactions   int                `json:"transactions"`
+	OK             int                `json:"ok"`
+	Mismatches     int                `json:"mismatches"`
+	Resumed        int                `json:"resumed"`
+	ThroughputRPS  float64            `json:"throughput_rps"`
+	ThroughputMBps float64            `json:"throughput_mbps"`
+	Ops            map[string]BenchOp `json:"ops"`
+
+	SessionHitRate    float64 `json:"session_hit_rate"`
+	PrecomputeHitRate float64 `json:"precompute_hit_rate"`
+}
+
+// NewBenchRecord distills a load report (and optional server stats) into
+// the benchmark record the regression gate consumes.
+func NewBenchRecord(rep *LoadReport, stats *Stats) *BenchRecord {
+	r := &BenchRecord{
+		Schema:         BenchSchema,
+		Transactions:   rep.Transactions,
+		OK:             rep.OK,
+		Mismatches:     rep.Mismatches,
+		Resumed:        rep.Resumed,
+		ThroughputRPS:  rep.AchievedRPS,
+		ThroughputMBps: rep.AchievedMBps,
+		Ops:            make(map[string]BenchOp, len(rep.PerOp)),
+	}
+	for _, row := range rep.PerOp {
+		r.Ops[row.Op] = BenchOp{
+			Count: row.Latency.Count,
+			P50US: row.Latency.P50,
+			P99US: row.Latency.P99,
+		}
+	}
+	if stats != nil {
+		if stats.SessionCache != nil {
+			r.SessionHitRate = stats.SessionCache.HitRate
+		}
+		if stats.Precompute != nil {
+			r.PrecomputeHitRate = stats.Precompute.HitRate
+		}
+	}
+	return r
+}
+
+// WriteBenchRecord writes the benchmark record as indented JSON.
+func WriteBenchRecord(path string, rep *LoadReport, stats *Stats) error {
+	data, err := json.MarshalIndent(NewBenchRecord(rep, stats), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchRecord loads and validates a benchmark record.
+func ReadBenchRecord(path string) (*BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %d, this build speaks %d", path, r.Schema, BenchSchema)
+	}
+	return &r, nil
+}

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wisp/internal/aescipher"
+	"wisp/internal/cache"
 	"wisp/internal/mpz"
 	"wisp/internal/pool"
 	"wisp/internal/rsakey"
@@ -54,6 +56,15 @@ type Config struct {
 	// Dispatch selects the admission policy: DispatchCost (default) or
 	// DispatchRR.
 	Dispatch string
+	// SessionCap bounds the SSL session cache (master secrets resumable
+	// by abbreviated handshakes).  0 selects the default 4096; negative
+	// disables resumption entirely (every handshake is full).
+	SessionCap int
+	// SessionTTL expires cached sessions.  0 selects the default 10m.
+	SessionTTL time.Duration
+	// PrecomputeKeys bounds each shard's RSA precompute cache (reducer
+	// constants and CRT exponentiators per key fingerprint).  Default 64.
+	PrecomputeKeys int
 	// BaseCosts/OptCosts feed the analytic per-transaction estimates
 	// attached to SSL-shaped responses.  Defaults are the repo's measured
 	// platform costs (DefaultBaseCosts/DefaultOptCosts); wispd -measured
@@ -109,6 +120,15 @@ func (c Config) withDefaults() Config {
 	if c.Dispatch == "" {
 		c.Dispatch = DispatchCost
 	}
+	if c.SessionCap == 0 {
+		c.SessionCap = 4096
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.PrecomputeKeys <= 0 {
+		c.PrecomputeKeys = 64
+	}
 	if c.BaseCosts == nil {
 		c.BaseCosts = &DefaultBaseCosts
 	}
@@ -131,10 +151,11 @@ type task struct {
 
 // Gateway dispatches offload requests across worker shards.
 type Gateway struct {
-	cfg     Config
-	key     *rsakey.PrivateKey
-	shards  []*shard
-	metrics *Metrics
+	cfg      Config
+	key      *rsakey.PrivateKey
+	shards   []*shard
+	metrics  *Metrics
+	sessions *ssl.SessionCache // shared session store; nil when resumption is disabled
 
 	next     atomic.Uint64 // round-robin shard cursor (DispatchRR)
 	rngMu    sync.Mutex
@@ -174,6 +195,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		workHint: make(chan struct{}, c.Shards*c.QueueDepth),
 		drained:  make(chan struct{}),
 	}
+	if c.SessionCap > 0 {
+		g.sessions = ssl.NewSessionCache(c.SessionCap, c.SessionTTL)
+	}
 	g.shards = make([]*shard, c.Shards)
 	for i := range g.shards {
 		s, err := newShard(i, g, rng.Int63())
@@ -212,6 +236,22 @@ func (g *Gateway) Stats() Stats {
 		}
 		s.OpCostUS[string(op)] = sum / float64(len(g.shards))
 	}
+	if g.sessions != nil {
+		s.SessionCache = cacheView(g.sessions.Stats())
+	}
+	var pre cache.Stats
+	for _, sh := range g.shards {
+		es := sh.env.engine.Stats()
+		pre.Hits += es.Hits
+		pre.Misses += es.Misses
+		pre.Puts += es.Puts
+		pre.Evictions += es.Evictions
+		pre.Expired += es.Expired
+		pre.Len += es.Len
+		pre.Capacity += es.Capacity
+	}
+	s.Precompute = cacheView(pre)
+	s.AESSchedule = cacheView(aescipher.ScheduleCacheStats())
 	return s
 }
 
@@ -297,6 +337,9 @@ func (g *Gateway) Submit(req *Request) *Response {
 	switch resp.Status {
 	case StatusOK:
 		om.ok.Add(1)
+		if resp.Resumed {
+			om.resumed.Add(1)
+		}
 		om.bytes.Add(uint64(len(req.Payload)))
 		total := float64(resp.QueueUS + resp.ServiceUS)
 		om.latency.Observe(total)
@@ -466,6 +509,18 @@ func (g *Gateway) estRecord(n int) (base, opt float64) {
 // estHandshake prices the handshake alone under both models.
 func (g *Gateway) estHandshake() (base, opt float64) {
 	f := func(c *ssl.Costs) float64 { return c.RSADecrypt + c.RSAPublic + c.HandshakeMisc }
+	return f(g.cfg.BaseCosts), f(g.cfg.OptCosts)
+}
+
+// estTransactionResumed prices one resumed SSL transaction (abbreviated
+// handshake: no RSA work, scaled misc) under both cost models.
+func (g *Gateway) estTransactionResumed(n int) (base, opt float64) {
+	return g.cfg.BaseCosts.ResumedTransaction(n).Total(), g.cfg.OptCosts.ResumedTransaction(n).Total()
+}
+
+// estHandshakeResumed prices the abbreviated handshake alone.
+func (g *Gateway) estHandshakeResumed() (base, opt float64) {
+	f := func(c *ssl.Costs) float64 { return ssl.ResumedHandshakeMiscScale * c.HandshakeMisc }
 	return f(g.cfg.BaseCosts), f(g.cfg.OptCosts)
 }
 

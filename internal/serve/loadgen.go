@@ -32,6 +32,12 @@ type LoadConfig struct {
 	Seed       int64   // payload and mix determinism; default 1
 	ClockHz    float64 // simulated platform clock; default PlatformClockHz
 
+	// ResumeRatio is the fraction of OpSSL/OpHandshake requests that ask
+	// the gateway to resume a cached session (abbreviated handshake, no
+	// RSA).  Drawn per request from the schedule RNG, so a 0.5 ratio
+	// exercises both paths deterministically.  0 disables resumption.
+	ResumeRatio float64
+
 	// Retries enables client-side re-submission of shed responses (total
 	// attempts = Retries+1) with exponential backoff + jitter.
 	Retries int
@@ -67,10 +73,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	return c
 }
 
-// workItem is one scheduled request: a payload size and an op.
+// workItem is one scheduled request: a payload size, an op and whether to
+// offer session resumption.
 type workItem struct {
-	size int
-	op   Op
+	size   int
+	op     Op
+	resume bool
 }
 
 // schedule returns client i's deterministic request sequence.  Size and
@@ -84,10 +92,14 @@ func (c LoadConfig) schedule(client int) []workItem {
 	rng := rand.New(rand.NewSource(c.Seed*0x9e3779b9 + int64(client) + 0x517cc1b7))
 	items := make([]workItem, c.PerClient)
 	for k := range items {
-		items[k] = workItem{
+		it := workItem{
 			size: c.Mix[rng.Intn(len(c.Mix))],
 			op:   c.Ops[rng.Intn(len(c.Ops))],
 		}
+		if (it.op == OpSSL || it.op == OpHandshake) && c.ResumeRatio > 0 {
+			it.resume = rng.Float64() < c.ResumeRatio
+		}
+		items[k] = it
 	}
 	return items
 }
@@ -156,6 +168,7 @@ type LoadReport struct {
 	Expired      int     `json:"expired"`
 	Errors       int     `json:"errors"`
 	Mismatches   int     `json:"mismatches"`
+	Resumed      int     `json:"resumed,omitempty"`
 	Retries      uint64  `json:"retries,omitempty"`
 	Hedges       uint64  `json:"hedges,omitempty"`
 	Bytes        int64   `json:"bytes"`
@@ -203,6 +216,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 	type clientResult struct {
 		ok, shed, expired, errs, mismatches int
+		resumed                             int
 		bytes                               int64
 		latencies                           []int64
 		perSize                             map[int][]int64
@@ -232,6 +246,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					Payload:    payload,
 					RecordSize: c.RecordSize,
 					DeadlineUS: c.DeadlineUS,
+					Resume:     it.resume,
 				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
@@ -245,7 +260,16 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					r.ok++
 					r.bytes += int64(it.size)
 					r.latencies = append(r.latencies, lat)
-					r.perOp[it.op] = append(r.perOp[it.op], lat)
+					// Resumed transactions are a different service class
+					// (no RSA op), so their latencies are reported as a
+					// separate per-op row rather than diluting the full-
+					// handshake distribution.
+					opClass := it.op
+					if resp.Resumed {
+						opClass = it.op + "+resumed"
+						r.resumed++
+					}
+					r.perOp[opClass] = append(r.perOp[opClass], lat)
 					if it.op == OpSSL {
 						r.perSize[it.size] = append(r.perSize[it.size], lat)
 					}
@@ -281,6 +305,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.Expired += r.expired
 		rep.Errors += r.errs
 		rep.Mismatches += r.mismatches
+		rep.Resumed += r.resumed
 		rep.Bytes += r.bytes
 		rep.ModelBaseCycles += r.baseCycles
 		rep.ModelOptCycles += r.optCycles
@@ -330,6 +355,10 @@ func (r *LoadReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "load: %d clients, %d requests in %.2fs — %d ok, %d shed, %d expired, %d errors, %d mismatches\n",
 		r.Clients, r.Transactions, r.Seconds, r.OK, r.Shed, r.Expired, r.Errors, r.Mismatches)
+	if r.Resumed > 0 {
+		fmt.Fprintf(&b, "resumption: %d of %d ok transactions used an abbreviated handshake (%.0f%%)\n",
+			r.Resumed, r.OK, 100*float64(r.Resumed)/float64(r.OK))
+	}
 	if r.Retries > 0 || r.Hedges > 0 {
 		fmt.Fprintf(&b, "robustness: %d retries, %d hedged requests\n", r.Retries, r.Hedges)
 	}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wisp/internal/cache"
 )
 
 // histBuckets is the number of histogram buckets.  Bucket 0 is the
@@ -118,6 +120,7 @@ type opMetrics struct {
 	shed     atomic.Uint64
 	expired  atomic.Uint64
 	bytes    atomic.Uint64 // payload bytes of OK responses
+	resumed  atomic.Uint64 // OK responses served by an abbreviated handshake
 
 	steals    atomic.Uint64 // tasks of this op taken by an idle shard
 	redirects atomic.Uint64 // admitted on a shard other than the first choice
@@ -180,6 +183,7 @@ type OpStats struct {
 	Shed      uint64       `json:"shed"`
 	Expired   uint64       `json:"expired"`
 	Bytes     uint64       `json:"bytes"`
+	Resumed   uint64       `json:"resumed,omitempty"`
 	Steals    uint64       `json:"steals,omitempty"`
 	Redirects uint64       `json:"redirects,omitempty"`
 	Retries   uint64       `json:"retries,omitempty"`
@@ -204,6 +208,7 @@ type Stats struct {
 	Errors        uint64             `json:"errors"`
 	Shed          uint64             `json:"shed"`
 	Expired       uint64             `json:"expired"`
+	Resumed       uint64             `json:"resumed"`
 	Steals        uint64             `json:"steals"`
 	Redirects     uint64             `json:"redirects"`
 	Retries       uint64             `json:"retries"`
@@ -212,6 +217,37 @@ type Stats struct {
 	ShedByReason  map[string]uint64  `json:"shed_by_reason"`
 	PerOp         map[string]OpStats `json:"per_op"`
 	BatchSize     HistSnapshot       `json:"batch_size"`
+
+	// SessionCache/Precompute/AESSchedule expose the serving caches: the
+	// SSL session store (hits = abbreviated handshakes), the per-shard RSA
+	// precompute caches summed across shards, and the process-wide AES
+	// key-schedule cache.
+	SessionCache *CacheStatsView `json:"session_cache,omitempty"`
+	Precompute   *CacheStatsView `json:"precompute_cache,omitempty"`
+	AESSchedule  *CacheStatsView `json:"aes_schedule_cache,omitempty"`
+}
+
+// CacheStatsView is the exported snapshot of one serving cache.
+type CacheStatsView struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Expired   uint64  `json:"expired"`
+	Len       int     `json:"len"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func cacheView(s cache.Stats) *CacheStatsView {
+	return &CacheStatsView{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Expired:   s.Expired,
+		Len:       s.Len,
+		Capacity:  s.Capacity,
+		HitRate:   s.HitRate(),
+	}
 }
 
 // Snapshot captures every counter, gauge and histogram.
@@ -248,6 +284,7 @@ func (m *Metrics) Snapshot(queueCap int) Stats {
 			Shed:      om.shed.Load(),
 			Expired:   om.expired.Load(),
 			Bytes:     om.bytes.Load(),
+			Resumed:   om.resumed.Load(),
 			Steals:    om.steals.Load(),
 			Redirects: om.redirects.Load(),
 			Retries:   om.retries.Load(),
@@ -260,6 +297,7 @@ func (m *Metrics) Snapshot(queueCap int) Stats {
 		s.Errors += os.Errors
 		s.Shed += os.Shed
 		s.Expired += os.Expired
+		s.Resumed += os.Resumed
 		s.Steals += os.Steals
 		s.Redirects += os.Redirects
 		s.Retries += os.Retries
@@ -290,6 +328,7 @@ func (s Stats) Text() string {
 	fmt.Fprintf(&b, "wispd_errors_total %d\n", s.Errors)
 	fmt.Fprintf(&b, "wispd_shed_total %d\n", s.Shed)
 	fmt.Fprintf(&b, "wispd_expired_total %d\n", s.Expired)
+	fmt.Fprintf(&b, "wispd_resumed_total %d\n", s.Resumed)
 	fmt.Fprintf(&b, "wispd_steals_total %d\n", s.Steals)
 	fmt.Fprintf(&b, "wispd_redirects_total %d\n", s.Redirects)
 	fmt.Fprintf(&b, "wispd_retries_total %d\n", s.Retries)
@@ -305,6 +344,19 @@ func (s Stats) Text() string {
 	}
 	fmt.Fprintf(&b, "wispd_batch_size_p50 %.1f\n", s.BatchSize.P50)
 	fmt.Fprintf(&b, "wispd_batch_size_max %.0f\n", s.BatchSize.Max)
+	writeCache := func(name string, v *CacheStatsView) {
+		if v == nil {
+			return
+		}
+		fmt.Fprintf(&b, "wispd_cache_hits_total{cache=%q} %d\n", name, v.Hits)
+		fmt.Fprintf(&b, "wispd_cache_misses_total{cache=%q} %d\n", name, v.Misses)
+		fmt.Fprintf(&b, "wispd_cache_evictions_total{cache=%q} %d\n", name, v.Evictions)
+		fmt.Fprintf(&b, "wispd_cache_len{cache=%q} %d\n", name, v.Len)
+		fmt.Fprintf(&b, "wispd_cache_hit_rate{cache=%q} %.4f\n", name, v.HitRate)
+	}
+	writeCache("session", s.SessionCache)
+	writeCache("precompute", s.Precompute)
+	writeCache("aes_schedule", s.AESSchedule)
 	costOps := make([]string, 0, len(s.OpCostUS))
 	for op := range s.OpCostUS {
 		costOps = append(costOps, op)
@@ -329,6 +381,7 @@ func (s Stats) Text() string {
 		fmt.Fprintf(&b, "wispd_op_shed_total{op=%q} %d\n", op, os.Shed)
 		fmt.Fprintf(&b, "wispd_op_expired_total{op=%q} %d\n", op, os.Expired)
 		fmt.Fprintf(&b, "wispd_op_bytes_total{op=%q} %d\n", op, os.Bytes)
+		fmt.Fprintf(&b, "wispd_op_resumed_total{op=%q} %d\n", op, os.Resumed)
 		fmt.Fprintf(&b, "wispd_op_steals_total{op=%q} %d\n", op, os.Steals)
 		fmt.Fprintf(&b, "wispd_op_redirects_total{op=%q} %d\n", op, os.Redirects)
 		fmt.Fprintf(&b, "wispd_op_retries_total{op=%q} %d\n", op, os.Retries)

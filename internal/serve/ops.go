@@ -3,20 +3,19 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"math/rand"
 
 	"wisp/internal/aescipher"
 	"wisp/internal/blockmode"
 	"wisp/internal/descipher"
 	"wisp/internal/hashes"
-	"wisp/internal/mpz"
 	"wisp/internal/rsakey"
 	"wisp/internal/ssl"
 )
 
 // shardEnv is one shard's private crypto state: a long-lived record
 // session pair (so record ops skip the handshake, like resumed SSL
-// sessions), symmetric schedules and an HMAC key.  Everything derives
+// sessions), symmetric schedules, an HMAC key, the shard's RSA precompute
+// engine and its view of the gateway session cache.  Everything derives
 // from the shard's seeded RNG stream, so runs are reproducible.
 type shardEnv struct {
 	sealer *ssl.Session // client side of the shard's resident session
@@ -26,14 +25,32 @@ type shardEnv struct {
 	des3   *descipher.TripleCipher
 	desIV  []byte
 	hmac   []byte
+
+	// engine caches this shard's RSA precompute (reducer constants, CRT
+	// exponentiators per key fingerprint).  Bound to the shard's mpz Ctx,
+	// so only this shard's worker may use it.
+	engine *rsakey.Engine
+	// sessions is this shard's view of the gateway-wide session cache
+	// (nil when resumption is disabled): the shared store with the full-
+	// handshake premaster unwrap routed through this shard's engine.
+	sessions *ssl.SessionCache
+	// resumable is the most recent full-handshake client state; Resume
+	// requests offer it for an abbreviated handshake.
+	resumable *ssl.ClientSession
 }
 
 func newShardEnv(s *shard) (*shardEnv, error) {
-	sealer, opener, err := handshakePair(s.rng, s.g.key)
+	e := &shardEnv{engine: rsakey.DefaultEngine(s.ctx, s.g.cfg.PrecomputeKeys, 0)}
+	if s.g.sessions != nil {
+		e.sessions = s.g.sessions.WithDecrypt(func(key *rsakey.PrivateKey, wrapped []byte) ([]byte, error) {
+			return e.engine.PadDecrypt(key, wrapped)
+		})
+	}
+	sealer, opener, cs, err := ssl.HandshakePair(s.rng, s.g.key, e.sessions)
 	if err != nil {
 		return nil, fmt.Errorf("establishing resident session: %w", err)
 	}
-	e := &shardEnv{sealer: sealer, opener: opener}
+	e.sealer, e.opener, e.resumable = sealer, opener, cs
 	aesKey := make([]byte, 16)
 	s.rng.Read(aesKey)
 	if e.aes, err = aescipher.NewCipher(aesKey); err != nil {
@@ -53,31 +70,29 @@ func newShardEnv(s *shard) (*shardEnv, error) {
 	return e, nil
 }
 
-// handshakePair runs the functional handshake against the gateway key and
-// returns the connected client/server sessions.  The server side runs on
-// its own goroutine with a forked RNG stream (the handshake is a blocking
-// two-party protocol), so the caller's RNG is never shared.
-func handshakePair(rng *rand.Rand, key *rsakey.PrivateKey) (client, server *ssl.Session, err error) {
-	ct, st := ssl.Pipe()
-	srvRng := rand.New(rand.NewSource(rng.Int63()))
-	type res struct {
-		sess *ssl.Session
-		err  error
+// sessionPair establishes one client/server session pair for this shard,
+// offering resumption of the shard's cached client state when resume is
+// set.  The fall-back ladder keeps the serving path self-healing: a
+// declined or failed resumption retries as a full handshake, and every
+// successful full handshake refreshes the resumable state.
+func (s *shard) sessionPair(resume bool) (cli, srv *ssl.Session, err error) {
+	if resume && s.env.sessions != nil && s.env.resumable != nil {
+		cli, srv, cs, rerr := ssl.ResumePair(s.rng, s.g.key, s.env.sessions, s.env.resumable)
+		if rerr == nil {
+			s.env.resumable = cs
+			return cli, srv, nil
+		}
+		// Drop the poisoned state and fall through to a full handshake.
+		s.env.resumable = nil
 	}
-	ch := make(chan res, 1)
-	go func() {
-		sess, err := ssl.ServerHandshake(st, srvRng, mpz.NewCtx(nil), key)
-		ch <- res{sess, err}
-	}()
-	cli, cerr := ssl.ClientHandshake(ct, rng, mpz.NewCtx(nil))
-	sr := <-ch
-	if cerr != nil {
-		return nil, nil, cerr
+	cli, srv, cs, err := ssl.HandshakePair(s.rng, s.g.key, s.env.sessions)
+	if err != nil {
+		return nil, nil, err
 	}
-	if sr.err != nil {
-		return nil, nil, sr.err
+	if cs != nil {
+		s.env.resumable = cs
 	}
-	return cli, sr.sess, nil
+	return cli, srv, nil
 }
 
 // run executes one admitted request on this shard, filling resp's
@@ -108,11 +123,11 @@ func (s *shard) run(req *Request, resp *Response) error {
 		resp.EstBaseCycles, resp.EstOptCycles = s.g.estRecord(len(req.Payload))
 
 	case OpRSADecrypt:
-		wrapped, err := rsakey.PadEncrypt(s.ctx, s.rng, &s.g.key.PublicKey, digest[:])
+		wrapped, err := s.env.engine.PadEncrypt(s.rng, &s.g.key.PublicKey, digest[:])
 		if err != nil {
 			return err
 		}
-		got, err := rsakey.PadDecrypt(s.ctx, s.g.key, wrapped)
+		got, err := s.env.engine.PadDecrypt(s.g.key, wrapped)
 		if err != nil {
 			return err
 		}
@@ -124,7 +139,7 @@ func (s *shard) run(req *Request, resp *Response) error {
 		resp.EstOptCycles = s.g.cfg.OptCosts.RSADecrypt
 
 	case OpRSAEncrypt:
-		wrapped, err := rsakey.PadEncrypt(s.ctx, s.rng, &s.g.key.PublicKey, digest[:])
+		wrapped, err := s.env.engine.PadEncrypt(s.rng, &s.g.key.PublicKey, digest[:])
 		if err != nil {
 			return err
 		}
@@ -137,7 +152,9 @@ func (s *shard) run(req *Request, resp *Response) error {
 			if key == nil {
 				return s.env.aes, s.env.aesIV, nil
 			}
-			c, err := aescipher.NewCipher(key)
+			// Per-request keys reuse cached key schedules: the expansion
+			// cost is paid once per distinct key, not once per request.
+			c, err := aescipher.CachedCipher(key)
 			return c, s.env.aesIV, err
 		})
 
@@ -178,16 +195,23 @@ func (s *shard) hmacKey(req *Request) []byte {
 	return s.env.hmac
 }
 
-// runSSL serves a full transaction: a fresh handshake (one private-key op
-// on the gateway key), then — unless handshakeOnly — the payload pumped
-// through the new session in RecordSize chunks and self-checked.
+// runSSL serves a full transaction: a handshake — abbreviated when the
+// request asks to resume and the session cache cooperates, otherwise a
+// fresh one with one private-key op on the gateway key — then, unless
+// handshakeOnly, the payload pumped through the new session in RecordSize
+// chunks and self-checked.
 func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
-	cli, srv, err := handshakePair(s.rng, s.g.key)
+	cli, srv, err := s.sessionPair(req.Resume)
 	if err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
+	resp.Resumed = cli.Resumed && srv.Resumed
 	if handshakeOnly {
-		resp.EstBaseCycles, resp.EstOptCycles = s.g.estHandshake()
+		if resp.Resumed {
+			resp.EstBaseCycles, resp.EstOptCycles = s.g.estHandshakeResumed()
+		} else {
+			resp.EstBaseCycles, resp.EstOptCycles = s.g.estHandshake()
+		}
 		return nil
 	}
 	rs := req.RecordSize
@@ -211,7 +235,11 @@ func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
 	if !bytes.Equal(recovered, req.Payload) {
 		return fmt.Errorf("transaction corrupted: %d bytes in, %d recovered", len(req.Payload), len(recovered))
 	}
-	resp.EstBaseCycles, resp.EstOptCycles = s.g.estTransaction(len(req.Payload))
+	if resp.Resumed {
+		resp.EstBaseCycles, resp.EstOptCycles = s.g.estTransactionResumed(len(req.Payload))
+	} else {
+		resp.EstBaseCycles, resp.EstOptCycles = s.g.estTransaction(len(req.Payload))
+	}
 	return nil
 }
 

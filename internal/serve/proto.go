@@ -90,6 +90,12 @@ type Request struct {
 	// dequeues them — or that every shard's backlog estimate says cannot
 	// be met — are rejected without doing the crypto work.
 	DeadlineUS int64 `json:"deadline_us,omitempty"`
+	// Resume asks OpSSL/OpHandshake to reuse the shard's cached session
+	// via an abbreviated handshake (no RSA premaster exchange).  On a
+	// session-cache miss — expired entry, evicted, or the gateway runs
+	// without a cache — the request transparently falls back to a full
+	// handshake; Response.Resumed reports which path actually ran.
+	Resume bool `json:"resume,omitempty"`
 	// Attempt is the client-side retry ordinal (0 = first submission).
 	// The gateway counts Attempt > 0 arrivals in the retry telemetry.
 	Attempt int `json:"attempt,omitempty"`
@@ -132,6 +138,9 @@ type Response struct {
 	// Stolen reports that an idle shard took this request from the queue
 	// it was admitted to (Shard is the shard that actually served it).
 	Stolen bool `json:"stolen,omitempty"`
+	// Resumed reports that the transaction ran an abbreviated handshake
+	// (session-cache hit): no RSA operation was performed.
+	Resumed bool `json:"resumed,omitempty"`
 
 	// QueueUS and ServiceUS split the gateway-side latency.
 	QueueUS   int64 `json:"queue_us"`
@@ -160,6 +169,9 @@ func (r *Request) Validate() error {
 	}
 	if r.Attempt < 0 {
 		return fmt.Errorf("serve: negative attempt %d", r.Attempt)
+	}
+	if r.Resume && r.Op != OpSSL && r.Op != OpHandshake {
+		return fmt.Errorf("serve: op %q has no handshake to resume", r.Op)
 	}
 	return nil
 }

@@ -15,9 +15,9 @@ import (
 // simulation of the entire algorithm", §3.3) and the data behind the
 // Figure 4 call graph.
 type Profile struct {
-	names   []string         // function index → name
-	byStart []funcSpan       // sorted by start for pc lookup
-	flat    []FuncStats      // per-function flat (self) cycles
+	names   []string    // function index → name
+	byStart []funcSpan  // sorted by start for pc lookup
+	flat    []FuncStats // per-function flat (self) cycles
 	edges   map[[2]int]uint64
 	stack   []frame
 }

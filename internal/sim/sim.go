@@ -485,9 +485,9 @@ func (c *CPU) branchTaken(in isa.Instruction) bool {
 // dcache is a direct-mapped data cache model; only timing is modeled (the
 // backing store is always RAM).
 type dcache struct {
-	cfg   CacheConfig
-	tags  []uint32
-	valid []bool
+	cfg          CacheConfig
+	tags         []uint32
+	valid        []bool
 	hits, misses uint64
 }
 

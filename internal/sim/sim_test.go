@@ -311,10 +311,10 @@ func TestCustomInstructionErrors(t *testing.T) {
 
 func TestMemoryFaults(t *testing.T) {
 	cases := []string{
-		"main:\nmovi a2, -4\nl32i a3, a2, 0\nhalt\n",   // out of range
-		"main:\nmovi a2, 2\nl32i a3, a2, 0\nhalt\n",    // unaligned 32
-		"main:\nmovi a2, 1\nl16ui a3, a2, 0\nhalt\n",   // unaligned 16
-		"main:\nmovi a2, 2\ns32i a3, a2, 0\nhalt\n",    // unaligned store
+		"main:\nmovi a2, -4\nl32i a3, a2, 0\nhalt\n", // out of range
+		"main:\nmovi a2, 2\nl32i a3, a2, 0\nhalt\n",  // unaligned 32
+		"main:\nmovi a2, 1\nl16ui a3, a2, 0\nhalt\n", // unaligned 16
+		"main:\nmovi a2, 2\ns32i a3, a2, 0\nhalt\n",  // unaligned store
 	}
 	for _, src := range cases {
 		c := newCPU(t, ".text\n"+src, nil)

@@ -84,6 +84,28 @@ func (c Costs) Transaction(bytes int) Breakdown {
 	}
 }
 
+// ResumedHandshakeMiscScale shrinks HandshakeMisc for an abbreviated
+// handshake: the hello exchange, parsing and key expansion still run,
+// but the premaster wrap/unwrap and master derivation do not.  The value
+// matches the model's WTLS abbreviated-handshake scale
+// (DefaultProtocolParams.WTLSHandshakeScale) — both describe an
+// SSL-shaped handshake with the heavyweight exchange elided.
+const ResumedHandshakeMiscScale = 0.6
+
+// ResumedTransaction composes the cycle breakdown of one session-resumed
+// SSL transaction: zero public-key work (the abbreviated handshake skips
+// the RSA premaster exchange), scaled handshake misc, full record layer.
+// This is what the serving gateway charges for resumed connections so
+// the analytic model stays honest about what the platform actually ran.
+func (c Costs) ResumedTransaction(bytes int) Breakdown {
+	n := float64(bytes)
+	return Breakdown{
+		PublicKey: 0,
+		Symmetric: c.CipherPerByte * n,
+		Misc:      ResumedHandshakeMiscScale*c.HandshakeMisc + (c.MACPerByte+c.RecordMiscPerByte)*n,
+	}
+}
+
 // Row is one transaction size of the Figure 8 series.
 type Row struct {
 	Bytes   int

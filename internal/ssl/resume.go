@@ -1,0 +1,123 @@
+package ssl
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"time"
+
+	"wisp/internal/cache"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+)
+
+// Session resumption: the server caches the master secret of every full
+// handshake under a random session ID; a client offering a cached ID
+// gets an abbreviated handshake that re-expands the master with fresh
+// nonces and never touches RSA.  This is the production-gateway
+// amortization of Figure 8's handshake dominance — at small transaction
+// sizes the RSA premaster exchange is nearly the whole transaction, and
+// resumption removes it from every connection after the first.
+
+// sessionIDLen is the server-assigned session identifier length.
+const sessionIDLen = 16
+
+// ClientSession is the client-side resumable state from a full
+// handshake: offer it to ClientResume to request an abbreviated
+// handshake.  The master secret stays unexported — it leaves the package
+// only as derived key blocks.
+type ClientSession struct {
+	ID     []byte
+	master []byte
+}
+
+// SessionCache is the server-side session store for abbreviated
+// handshakes: master secrets keyed by session ID on the shared sharded
+// LRU (bounded, TTL-expiring, hit/miss accounted).  Safe for concurrent
+// use by many serving shards.
+type SessionCache struct {
+	c *cache.Cache[[]byte]
+
+	// Decrypt, when non-nil, replaces rsakey.PadDecrypt for the full
+	// handshake's premaster unwrap (the serving gateway points it at its
+	// per-key precompute engine).
+	Decrypt func(key *rsakey.PrivateKey, wrapped []byte) ([]byte, error)
+}
+
+// WithDecrypt returns a view of the same session store whose full-
+// handshake premaster unwrap routes through decrypt.  The underlying
+// cache is shared — sessions established through any view resume through
+// every view — so each serving shard can bind its own (single-goroutine)
+// precompute engine without forking the session space.
+func (sc *SessionCache) WithDecrypt(decrypt func(key *rsakey.PrivateKey, wrapped []byte) ([]byte, error)) *SessionCache {
+	view := *sc
+	view.Decrypt = decrypt
+	return &view
+}
+
+// NewSessionCache builds a session cache holding up to capacity master
+// secrets for at most ttl each (0 disables expiry).
+func NewSessionCache(capacity int, ttl time.Duration) *SessionCache {
+	return &SessionCache{c: cache.New[[]byte](cache.Config{Capacity: capacity, TTL: ttl})}
+}
+
+// Stats exposes the underlying cache counters (hits are abbreviated
+// handshakes served; misses are full-handshake fallbacks).
+func (sc *SessionCache) Stats() cache.Stats { return sc.c.Stats() }
+
+// Len reports the number of cached sessions.
+func (sc *SessionCache) Len() int { return sc.c.Len() }
+
+func (sc *SessionCache) lookup(id []byte) ([]byte, bool) {
+	return sc.c.Get(hex.EncodeToString(id))
+}
+
+func (sc *SessionCache) store(id, master []byte) {
+	sc.c.Put(hex.EncodeToString(id), append([]byte(nil), master...))
+}
+
+// Invalidate removes one session (e.g. on key rotation), reporting
+// whether it was cached.
+func (sc *SessionCache) Invalidate(id []byte) bool {
+	return sc.c.Delete(hex.EncodeToString(id))
+}
+
+// HandshakePair runs a full two-party handshake over an in-memory pipe
+// and returns the connected client/server sessions plus the client's
+// resumable state.  The server side runs on its own goroutine with a
+// forked RNG stream (the handshake is a blocking two-party protocol), so
+// the caller's RNG is never shared.
+func HandshakePair(rng *rand.Rand, key *rsakey.PrivateKey, sc *SessionCache) (client, server *Session, cs *ClientSession, err error) {
+	return ResumePair(rng, key, sc, nil)
+}
+
+// ResumePair is HandshakePair offering resumption of prev: on a cache
+// hit both returned sessions are abbreviated (Resumed true).
+func ResumePair(rng *rand.Rand, key *rsakey.PrivateKey, sc *SessionCache, prev *ClientSession) (client, server *Session, cs *ClientSession, err error) {
+	ct, st := Pipe()
+	srvRng := rand.New(rand.NewSource(rng.Int63()))
+	type res struct {
+		sess *Session
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sess, err := ServerResume(st, srvRng, mpz.NewCtx(nil), key, sc)
+		ch <- res{sess, err}
+	}()
+	cli, next, cerr := ClientResume(ct, rng, mpz.NewCtx(nil), prev)
+	if cerr != nil {
+		// Unblock the server before waiting for it: a client that failed
+		// mid-handshake (e.g. wrapping the premaster) leaves the server
+		// reading a message that will never come.
+		if c, ok := ct.(interface{ Close() }); ok {
+			c.Close()
+		}
+		<-ch
+		return nil, nil, nil, cerr
+	}
+	sr := <-ch
+	if sr.err != nil {
+		return nil, nil, nil, sr.err
+	}
+	return cli, sr.sess, next, nil
+}

@@ -1,0 +1,231 @@
+package ssl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+)
+
+func testKey(t *testing.T) *rsakey.PrivateKey {
+	t.Helper()
+	key, err := rsakey.GenerateKey(rand.New(rand.NewSource(7)), 512)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return key
+}
+
+// roundTrip pumps a payload through both sessions in both directions.
+func roundTrip(t *testing.T, cli, srv *Session, payload []byte) {
+	t.Helper()
+	rec, err := cli.Seal(payload)
+	if err != nil {
+		t.Fatalf("client seal: %v", err)
+	}
+	got, err := srv.Open(rec)
+	if err != nil {
+		t.Fatalf("server open: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("client→server corrupted: got %d bytes", len(got))
+	}
+	rec, err = srv.Seal(payload)
+	if err != nil {
+		t.Fatalf("server seal: %v", err)
+	}
+	got, err = cli.Open(rec)
+	if err != nil {
+		t.Fatalf("client open: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("server→client corrupted: got %d bytes", len(got))
+	}
+}
+
+// TestResumeRoundTrip establishes a session, resumes it, and checks the
+// resumed session is abbreviated, distinct-keyed, and functional.
+func TestResumeRoundTrip(t *testing.T) {
+	key := testKey(t)
+	sc := NewSessionCache(16, time.Minute)
+	rng := rand.New(rand.NewSource(1))
+
+	cli, srv, cs, err := HandshakePair(rng, key, sc)
+	if err != nil {
+		t.Fatalf("full handshake: %v", err)
+	}
+	if cli.Resumed || srv.Resumed {
+		t.Fatalf("full handshake marked resumed")
+	}
+	if cs == nil || len(cs.ID) != sessionIDLen {
+		t.Fatalf("no resumable client state from full handshake: %+v", cs)
+	}
+	if !bytes.Equal(cli.ID, srv.ID) || !bytes.Equal(cli.ID, cs.ID) {
+		t.Fatalf("session ID mismatch: cli %x srv %x cs %x", cli.ID, srv.ID, cs.ID)
+	}
+	roundTrip(t, cli, srv, []byte("full handshake payload"))
+
+	rcli, rsrv, rcs, err := ResumePair(rng, key, sc, cs)
+	if err != nil {
+		t.Fatalf("resumed handshake: %v", err)
+	}
+	if !rcli.Resumed || !rsrv.Resumed {
+		t.Fatalf("resumption did not take the abbreviated path (cli %v srv %v)", rcli.Resumed, rsrv.Resumed)
+	}
+	if rcs != cs {
+		t.Fatalf("resumption should return the same client state")
+	}
+	roundTrip(t, rcli, rsrv, []byte("resumed payload with fresh keys"))
+
+	st := sc.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("session cache hits = %d, want 1", st.Hits)
+	}
+}
+
+// TestAbbreviatedHandshakeRunsNoRSA is the end-to-end no-RSA assertion:
+// both sides run the resumed handshake under kernel traces, and the
+// abbreviated path must record zero multi-precision kernel invocations —
+// the premaster exchange (the only mpz work in the protocol) never ran.
+func TestAbbreviatedHandshakeRunsNoRSA(t *testing.T) {
+	key := testKey(t)
+	sc := NewSessionCache(16, 0)
+	rng := rand.New(rand.NewSource(2))
+
+	_, _, cs, err := HandshakePair(rng, key, sc)
+	if err != nil {
+		t.Fatalf("full handshake: %v", err)
+	}
+
+	cliTrace, srvTrace := mpz.NewTrace(), mpz.NewTrace()
+	ct, st := Pipe()
+	srvRng := rand.New(rand.NewSource(rng.Int63()))
+	done := make(chan error, 1)
+	var srv *Session
+	go func() {
+		var err error
+		srv, err = ServerResume(st, srvRng, mpz.NewCtx(srvTrace), key, sc)
+		done <- err
+	}()
+	cli, _, err := ClientResume(ct, rng, mpz.NewCtx(cliTrace), cs)
+	if serr := <-done; serr != nil {
+		t.Fatalf("server resume: %v", serr)
+	}
+	if err != nil {
+		t.Fatalf("client resume: %v", err)
+	}
+	if !cli.Resumed || !srv.Resumed {
+		t.Fatalf("expected abbreviated handshake, got full (cli %v srv %v)", cli.Resumed, srv.Resumed)
+	}
+	for side, tr := range map[string]*mpz.Trace{"client": cliTrace, "server": srvTrace} {
+		if invs := tr.Invocations(); len(invs) != 0 {
+			t.Fatalf("%s ran %d multi-precision kernel buckets during abbreviated handshake:\n%s",
+				side, len(invs), tr.String())
+		}
+	}
+	roundTrip(t, cli, srv, []byte("no RSA ran for this session"))
+}
+
+// TestResumeMissFallsBack checks an unknown/evicted session ID degrades
+// to a full handshake that re-seeds the cache.
+func TestResumeMissFallsBack(t *testing.T) {
+	key := testKey(t)
+	sc := NewSessionCache(16, time.Minute)
+	rng := rand.New(rand.NewSource(3))
+
+	_, _, cs, err := HandshakePair(rng, key, sc)
+	if err != nil {
+		t.Fatalf("full handshake: %v", err)
+	}
+	if !sc.Invalidate(cs.ID) {
+		t.Fatalf("Invalidate: session not cached")
+	}
+
+	cli, srv, next, err := ResumePair(rng, key, sc, cs)
+	if err != nil {
+		t.Fatalf("fallback handshake: %v", err)
+	}
+	if cli.Resumed || srv.Resumed {
+		t.Fatalf("resumption succeeded against an invalidated session")
+	}
+	if next == nil || bytes.Equal(next.ID, cs.ID) {
+		t.Fatalf("fallback should assign a fresh session ID")
+	}
+	roundTrip(t, cli, srv, []byte("fallback payload"))
+
+	// The fresh session must now resume.
+	rcli, rsrv, _, err := ResumePair(rng, key, sc, next)
+	if err != nil {
+		t.Fatalf("resume after fallback: %v", err)
+	}
+	if !rcli.Resumed || !rsrv.Resumed {
+		t.Fatalf("fresh session did not resume")
+	}
+}
+
+// TestResumeTTLExpiry verifies an aged-out session falls back to a full
+// handshake (cache TTL enforced through the handshake path).
+func TestResumeTTLExpiry(t *testing.T) {
+	key := testKey(t)
+	sc := NewSessionCache(16, 1*time.Nanosecond)
+	rng := rand.New(rand.NewSource(4))
+
+	_, _, cs, err := HandshakePair(rng, key, sc)
+	if err != nil {
+		t.Fatalf("full handshake: %v", err)
+	}
+	time.Sleep(time.Millisecond) // let the nanosecond TTL lapse
+	cli, srv, _, err := ResumePair(rng, key, sc, cs)
+	if err != nil {
+		t.Fatalf("post-expiry handshake: %v", err)
+	}
+	if cli.Resumed || srv.Resumed {
+		t.Fatalf("resumed an expired session")
+	}
+	if sc.Stats().Expired == 0 {
+		t.Fatalf("expiry not accounted")
+	}
+}
+
+// TestNoCacheServerAssignsNoID pins the cache-less server behavior: no
+// session ID, no resumable state, protocol still interoperates.
+func TestNoCacheServerAssignsNoID(t *testing.T) {
+	key := testKey(t)
+	rng := rand.New(rand.NewSource(5))
+	cli, srv, cs, err := HandshakePair(rng, key, nil)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if len(cli.ID) != 0 || len(srv.ID) != 0 || cs != nil {
+		t.Fatalf("cache-less server leaked session state: cli %x srv %x cs %+v", cli.ID, srv.ID, cs)
+	}
+	roundTrip(t, cli, srv, []byte("no cache"))
+}
+
+// TestResumedTransactionModel pins the analytic pricing of resumed
+// transactions: zero public-key cycles, scaled handshake misc, identical
+// record-layer terms.
+func TestResumedTransactionModel(t *testing.T) {
+	c := Costs{
+		RSADecrypt: 9e7, RSAPublic: 1e6, HandshakeMisc: 5e7,
+		CipherPerByte: 1600, MACPerByte: 16, RecordMiscPerByte: 300,
+	}
+	full := c.Transaction(4096)
+	res := c.ResumedTransaction(4096)
+	if res.PublicKey != 0 {
+		t.Fatalf("resumed PublicKey = %v, want 0", res.PublicKey)
+	}
+	if res.Symmetric != full.Symmetric {
+		t.Fatalf("resumed Symmetric = %v, want %v", res.Symmetric, full.Symmetric)
+	}
+	wantMisc := ResumedHandshakeMiscScale*c.HandshakeMisc + (c.MACPerByte+c.RecordMiscPerByte)*4096
+	if res.Misc != wantMisc {
+		t.Fatalf("resumed Misc = %v, want %v", res.Misc, wantMisc)
+	}
+	if res.Total() >= full.Total() {
+		t.Fatalf("resumed total %v not cheaper than full %v", res.Total(), full.Total())
+	}
+}

@@ -1,6 +1,7 @@
 package ssl
 
 import (
+	"bytes"
 	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 const (
 	nonceLen     = 16
 	premasterLen = 32
+	masterLen    = 48            // SSLv3-style master secret, cached for resumption
 	keyBlockLen  = 24 + 2*16 + 8 // 3DES key + two MAC keys + IV seed
 )
 
@@ -51,6 +53,10 @@ func (c *chanTransport) Recv() ([]byte, error) {
 	return msg, nil
 }
 
+// Close tears down the outbound direction so the peer's Recv fails
+// instead of blocking forever after a mid-handshake error.
+func (c *chanTransport) Close() { close(c.out) }
+
 // Pipe returns two connected in-memory transports (buffered, so a single
 // goroutine can run both ends of the handshake in protocol order).
 func Pipe() (client, server Transport) {
@@ -59,19 +65,34 @@ func Pipe() (client, server Transport) {
 	return &chanTransport{out: a, in: b}, &chanTransport{out: b, in: a}
 }
 
-// kdf derives the session key block from the premaster secret and both
-// nonces, MD5-chained per SSLv3's style.
-func kdf(premaster, clientNonce, serverNonce []byte) []byte {
+// prf chains MD5 over (counter ‖ label ‖ secret ‖ nonces) per SSLv3's
+// style; the label separates the master-secret derivation from key-block
+// expansion so a cached master never equals a key block.
+func prf(label string, secret, clientNonce, serverNonce []byte, outLen int) []byte {
 	var block []byte
-	for i := byte(1); len(block) < keyBlockLen; i++ {
+	for i := byte(1); len(block) < outLen; i++ {
 		h := hashes.NewMD5()
 		h.Write([]byte{i})
-		h.Write(premaster)
+		h.Write([]byte(label))
+		h.Write(secret)
 		h.Write(clientNonce)
 		h.Write(serverNonce)
 		block = h.Sum(block)
 	}
-	return block[:keyBlockLen]
+	return block[:outLen]
+}
+
+// deriveMaster turns the RSA-transported premaster into the cacheable
+// master secret (bound to the full handshake's nonces).
+func deriveMaster(premaster, clientNonce, serverNonce []byte) []byte {
+	return prf("master secret", premaster, clientNonce, serverNonce, masterLen)
+}
+
+// kdf expands a master secret into the session key block using the
+// current connection's nonces — fresh keys per connection even when the
+// master is reused by an abbreviated handshake.
+func kdf(master, clientNonce, serverNonce []byte) []byte {
+	return prf("key expansion", master, clientNonce, serverNonce, keyBlockLen)
 }
 
 // Session is one established endpoint (client or server side) with record
@@ -83,6 +104,13 @@ type Session struct {
 	iv      []byte
 	sendSeq uint64
 	recvSeq uint64
+
+	// ID is the session identifier assigned by the server (empty when the
+	// server runs without a session cache).
+	ID []byte
+	// Resumed reports that this session was established by an abbreviated
+	// handshake — no RSA premaster exchange ran.
+	Resumed bool
 }
 
 func newSession(keyBlock []byte, isClient bool) (*Session, error) {
@@ -154,27 +182,77 @@ func (s *Session) recordMAC(key []byte, seq uint64, payload []byte) []byte {
 	return h.Sum(nil)
 }
 
-// ClientHandshake runs the client side: send hello+nonce, receive the
-// server's nonce and public key, send the RSA-wrapped premaster, derive
-// keys.
+// Hello wire format.  Client hello: nonce ‖ sidLen(1) ‖ sid, where a
+// non-empty sid offers resumption of a previously established session.
+// Server hello: nonce ‖ resumed(1) ‖ sidLen(1) ‖ sid, followed — on a
+// full handshake only — by nLen(4) ‖ N ‖ E.  A resumed=1 hello ends the
+// handshake: both sides re-expand the cached master secret with the new
+// nonces and no premaster crosses the wire.
+
+// ClientHandshake runs a full client handshake (no resumption offer).
 func ClientHandshake(t Transport, rng *rand.Rand, ctx *mpz.Ctx) (*Session, error) {
+	sess, _, err := ClientResume(t, rng, ctx, nil)
+	return sess, err
+}
+
+// ClientResume runs the client side, offering to resume prev (nil means
+// a full handshake).  It returns the established session plus the client
+// state to offer next time: the session ID and master secret the server
+// assigned.  When the server declines the offer — cache miss, expired
+// entry, or no cache at all — the handshake falls back to the full RSA
+// premaster exchange transparently.
+func ClientResume(t Transport, rng *rand.Rand, ctx *mpz.Ctx, prev *ClientSession) (*Session, *ClientSession, error) {
 	clientNonce := make([]byte, nonceLen)
 	rng.Read(clientNonce)
-	if err := t.Send(clientNonce); err != nil {
-		return nil, err
+	hello := make([]byte, 0, nonceLen+1+sessionIDLen)
+	hello = append(hello, clientNonce...)
+	if prev != nil && len(prev.ID) > 0 && len(prev.ID) <= 255 {
+		hello = append(hello, byte(len(prev.ID)))
+		hello = append(hello, prev.ID...)
+	} else {
+		hello = append(hello, 0)
 	}
+	if err := t.Send(hello); err != nil {
+		return nil, nil, err
+	}
+
 	serverHello, err := t.Recv()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(serverHello) < nonceLen+4 {
-		return nil, fmt.Errorf("ssl: short server hello")
+	if len(serverHello) < nonceLen+2 {
+		return nil, nil, fmt.Errorf("ssl: short server hello")
 	}
 	serverNonce := serverHello[:nonceLen]
-	nLen := int(binary.BigEndian.Uint32(serverHello[nonceLen : nonceLen+4]))
-	rest := serverHello[nonceLen+4:]
+	resumed := serverHello[nonceLen] == 1
+	sidLen := int(serverHello[nonceLen+1])
+	rest := serverHello[nonceLen+2:]
+	if len(rest) < sidLen {
+		return nil, nil, fmt.Errorf("ssl: truncated session id")
+	}
+	sid := append([]byte(nil), rest[:sidLen]...)
+	rest = rest[sidLen:]
+
+	if resumed {
+		if prev == nil || !bytes.Equal(sid, prev.ID) {
+			return nil, nil, fmt.Errorf("ssl: server resumed a session we did not offer")
+		}
+		sess, err := newSession(kdf(prev.master, clientNonce, serverNonce), true)
+		if err != nil {
+			return nil, nil, err
+		}
+		sess.ID, sess.Resumed = sid, true
+		return sess, prev, nil
+	}
+
+	// Full handshake: parse the server key, wrap a fresh premaster.
+	if len(rest) < 4 {
+		return nil, nil, fmt.Errorf("ssl: short server hello")
+	}
+	nLen := int(binary.BigEndian.Uint32(rest[:4]))
+	rest = rest[4:]
 	if len(rest) < nLen {
-		return nil, fmt.Errorf("ssl: truncated server key")
+		return nil, nil, fmt.Errorf("ssl: truncated server key")
 	}
 	pub := &rsakey.PublicKey{
 		N: mpz.FromBytes(rest[:nLen]),
@@ -184,28 +262,85 @@ func ClientHandshake(t Transport, rng *rand.Rand, ctx *mpz.Ctx) (*Session, error
 	rng.Read(premaster)
 	wrapped, err := rsakey.PadEncrypt(ctx, rng, pub, premaster)
 	if err != nil {
-		return nil, fmt.Errorf("ssl: wrapping premaster: %w", err)
+		return nil, nil, fmt.Errorf("ssl: wrapping premaster: %w", err)
 	}
 	if err := t.Send(wrapped); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return newSession(kdf(premaster, clientNonce, serverNonce), true)
+	master := deriveMaster(premaster, clientNonce, serverNonce)
+	sess, err := newSession(kdf(master, clientNonce, serverNonce), true)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess.ID = sid
+	var next *ClientSession
+	if len(sid) > 0 {
+		next = &ClientSession{ID: sid, master: master}
+	}
+	return sess, next, nil
 }
 
-// ServerHandshake runs the server side against a client handshake.
+// ServerHandshake runs the server side without a session cache (every
+// handshake is full).
 func ServerHandshake(t Transport, rng *rand.Rand, ctx *mpz.Ctx, key *rsakey.PrivateKey) (*Session, error) {
-	clientNonce, err := t.Recv()
+	return ServerResume(t, rng, ctx, key, nil)
+}
+
+// ServerResume runs the server side against a client handshake.  With a
+// non-nil SessionCache it assigns session IDs, caches master secrets,
+// and serves abbreviated handshakes on cache hits — skipping the RSA
+// premaster exchange entirely.  The cache's Decrypt hook (when set)
+// replaces rsakey.PadDecrypt on the full path, letting the gateway route
+// the private-key op through its per-key precompute engine.
+func ServerResume(t Transport, rng *rand.Rand, ctx *mpz.Ctx, key *rsakey.PrivateKey, sc *SessionCache) (*Session, error) {
+	clientHello, err := t.Recv()
 	if err != nil {
 		return nil, err
 	}
-	if len(clientNonce) != nonceLen {
-		return nil, fmt.Errorf("ssl: bad client nonce length %d", len(clientNonce))
+	if len(clientHello) < nonceLen+1 {
+		return nil, fmt.Errorf("ssl: short client hello")
 	}
+	clientNonce := clientHello[:nonceLen]
+	offLen := int(clientHello[nonceLen])
+	if len(clientHello) != nonceLen+1+offLen {
+		return nil, fmt.Errorf("ssl: bad client hello length %d", len(clientHello))
+	}
+	offered := clientHello[nonceLen+1:]
+
 	serverNonce := make([]byte, nonceLen)
 	rng.Read(serverNonce)
+
+	// Abbreviated path: the offered session is in the cache.
+	if sc != nil && offLen > 0 {
+		if master, ok := sc.lookup(offered); ok {
+			hello := make([]byte, 0, nonceLen+2+offLen)
+			hello = append(hello, serverNonce...)
+			hello = append(hello, 1, byte(offLen))
+			hello = append(hello, offered...)
+			if err := t.Send(hello); err != nil {
+				return nil, err
+			}
+			sess, err := newSession(kdf(master, clientNonce, serverNonce), false)
+			if err != nil {
+				return nil, err
+			}
+			sess.ID = append([]byte(nil), offered...)
+			sess.Resumed = true
+			return sess, nil
+		}
+	}
+
+	// Full path: assign a session ID (cache present), send the key.
+	var sid []byte
+	if sc != nil {
+		sid = make([]byte, sessionIDLen)
+		rng.Read(sid)
+	}
 	nBytes := key.N.Bytes()
-	hello := make([]byte, 0, nonceLen+4+len(nBytes)+4)
+	hello := make([]byte, 0, nonceLen+2+len(sid)+4+len(nBytes)+4)
 	hello = append(hello, serverNonce...)
+	hello = append(hello, 0, byte(len(sid)))
+	hello = append(hello, sid...)
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(nBytes)))
 	hello = append(hello, lenBuf[:]...)
@@ -214,16 +349,31 @@ func ServerHandshake(t Transport, rng *rand.Rand, ctx *mpz.Ctx, key *rsakey.Priv
 	if err := t.Send(hello); err != nil {
 		return nil, err
 	}
+
 	wrapped, err := t.Recv()
 	if err != nil {
 		return nil, err
 	}
-	premaster, err := rsakey.PadDecrypt(ctx, key, wrapped)
+	var premaster []byte
+	if sc != nil && sc.Decrypt != nil {
+		premaster, err = sc.Decrypt(key, wrapped)
+	} else {
+		premaster, err = rsakey.PadDecrypt(ctx, key, wrapped)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ssl: unwrapping premaster: %w", err)
 	}
 	if len(premaster) != premasterLen {
 		return nil, fmt.Errorf("ssl: bad premaster length %d", len(premaster))
 	}
-	return newSession(kdf(premaster, clientNonce, serverNonce), false)
+	master := deriveMaster(premaster, clientNonce, serverNonce)
+	sess, err := newSession(kdf(master, clientNonce, serverNonce), false)
+	if err != nil {
+		return nil, err
+	}
+	if sc != nil {
+		sc.store(sid, master)
+		sess.ID = sid
+	}
+	return sess, nil
 }

@@ -28,11 +28,11 @@ import (
 // Gate-equivalent costs of structural resources (0.18 µm cell-library
 // flavoured).
 const (
-	GatesPerAdder32    = 320  // 32-bit carry-lookahead adder
-	GatesPerMult32     = 6400 // 32×32→64 multiplier array
-	GatesPerLUTBit     = 0.25 // ROM bit (S-boxes, constant tables)
-	GatesPerRegBit     = 6.0  // flip-flop + mux
-	GatesPerInstrDecode = 150 // decoder/control overhead per added opcode
+	GatesPerAdder32     = 320  // 32-bit carry-lookahead adder
+	GatesPerMult32      = 6400 // 32×32→64 multiplier array
+	GatesPerLUTBit      = 0.25 // ROM bit (S-boxes, constant tables)
+	GatesPerRegBit      = 6.0  // flip-flop + mux
+	GatesPerInstrDecode = 150  // decoder/control overhead per added opcode
 )
 
 // Resources is the structural hardware inventory of one custom instruction.

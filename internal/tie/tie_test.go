@@ -68,7 +68,7 @@ func TestExtensionSetAddValidation(t *testing.T) {
 		{Name: "x", ID: 1024, Latency: 1, Sem: nopSem},
 		{Name: "x", ID: 3, NumRegs: 4, Latency: 1, Sem: nopSem},
 		{Name: "x", ID: 3, Latency: 0, Sem: nopSem},
-		{Name: "x", ID: 3, Latency: 1},            // no semantics
+		{Name: "x", ID: 3, Latency: 1},               // no semantics
 		{Name: "op", ID: 3, Latency: 1, Sem: nopSem}, // dup name
 		{Name: "y", ID: 1, Latency: 1, Sem: nopSem},  // dup id
 	}

@@ -38,14 +38,14 @@ func TestTable1Shapes(t *testing.T) {
 	// an order of magnitude; DES/3DES in the tens; AES more modest;
 	// RSA decrypt the largest.
 	checks := []struct {
-		name     string
-		lo, hi   float64
+		name   string
+		lo, hi float64
 	}{
-		{"DES enc./dec.", 20, 60},      // paper: 31.0×
-		{"3DES enc./dec.", 20, 65},     // paper: 33.9×
-		{"AES enc./dec.", 8, 30},       // paper: 17.4×
-		{"RSA enc.", 4, 20},            // paper: 10.8×
-		{"RSA dec.", 30, 110},          // paper: up to 66.4×
+		{"DES enc./dec.", 20, 60},  // paper: 31.0×
+		{"3DES enc./dec.", 20, 65}, // paper: 33.9×
+		{"AES enc./dec.", 8, 30},   // paper: 17.4×
+		{"RSA enc.", 4, 20},        // paper: 10.8×
+		{"RSA dec.", 30, 110},      // paper: up to 66.4×
 	}
 	for _, c := range checks {
 		r, ok := byName[c.name]

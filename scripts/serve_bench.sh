@@ -1,31 +1,68 @@
 #!/bin/sh
-# serve_bench.sh — boot wispd with cost-aware dispatch, replay a
-# heterogeneous ssl+record mix with deadlines through wispload, and
-# assert the dispatch invariants: zero payload mismatches (wispload exits
-# non-zero on any) and zero sheds issued while a shard sat idle.
-# Exits non-zero on any violation or unclean drain.
+# serve_bench.sh — two-phase serving benchmark.
+#
+# Phase 1 boots wispd with cost-aware dispatch and replays a heterogeneous
+# ssl+record mix with deadlines through wispload, asserting the dispatch
+# invariants: zero payload mismatches (wispload exits non-zero on any) and
+# zero sheds issued while a shard sat idle.
+#
+# Phase 2 is the session-resumption A/B: the same handshake workload runs
+# against a fresh daemon twice — resume-ratio 0 and resume-ratio 0.9 —
+# and benchcmp asserts the abbreviated-handshake class's p99 beats the
+# full-handshake baseline p99, with zero digest mismatches in both runs.
+# The resume-on record is written to $BENCH_JSON (default BENCH_serve.json
+# in the working directory) for the CI regression gate.
+#
+# On failure, logs and reports are copied to $ARTIFACT_DIR when set (CI
+# uploads them).  Exits non-zero on any violation or unclean drain.
 set -eu
 
 BIN="${BIN:-bin}"
+BENCH_JSON="${BENCH_JSON:-BENCH_serve.json}"
 TMP="$(mktemp -d)"
 WISPD_PID=""
-trap 'status=$?; [ -n "$WISPD_PID" ] && kill "$WISPD_PID" 2>/dev/null || true; rm -rf "$TMP"; exit $status' EXIT INT TERM
 
-"$BIN/wispd" -addr 127.0.0.1:0 -addrfile "$TMP/addr" -shards 4 -dispatch cost -metrics >"$TMP/wispd.log" 2>&1 &
-WISPD_PID=$!
-
-# Wait for the daemon to publish its bound address.
-i=0
-while [ ! -s "$TMP/addr" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "serve-bench: wispd never came up" >&2
-        cat "$TMP/wispd.log" >&2
-        exit 1
+collect_artifacts() {
+    if [ -n "${ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$ARTIFACT_DIR"
+        cp "$TMP"/*.log "$TMP"/*.json "$ARTIFACT_DIR"/ 2>/dev/null || true
     fi
-    sleep 0.1
-done
-ADDR="$(cat "$TMP/addr")"
+}
+trap 'status=$?; [ -n "$WISPD_PID" ] && kill "$WISPD_PID" 2>/dev/null || true; [ "$status" -ne 0 ] && collect_artifacts; rm -rf "$TMP"; exit $status' EXIT INT TERM
+
+# boot_wispd LOGNAME ARGS... — start a daemon, wait for its address file.
+boot_wispd() {
+    log="$1"; shift
+    : >"$TMP/addr"
+    "$BIN/wispd" -addr 127.0.0.1:0 -addrfile "$TMP/addr" "$@" >"$TMP/$log" 2>&1 &
+    WISPD_PID=$!
+    i=0
+    while [ ! -s "$TMP/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve-bench: wispd never came up" >&2
+            cat "$TMP/$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR="$(cat "$TMP/addr")"
+}
+
+# drain_wispd LOGNAME — SIGTERM, clean exit, drain banner required.
+drain_wispd() {
+    kill -TERM "$WISPD_PID"
+    wait "$WISPD_PID"
+    WISPD_PID=""
+    grep -q "drained cleanly" "$TMP/$1" || {
+        echo "serve-bench: daemon did not drain cleanly" >&2
+        cat "$TMP/$1" >&2
+        exit 1
+    }
+}
+
+# ---- Phase 1: heterogeneous mix, dispatch invariants ----
+boot_wispd wispd.log -shards 4 -dispatch cost -metrics
 echo "serve-bench: wispd on $ADDR (4 shards, cost dispatch)"
 
 # Heterogeneous mix: full SSL transactions (one RSA private-key op each)
@@ -48,13 +85,28 @@ grep -q '"shed_while_idle": 0' "$TMP/report.json" || {
 echo "serve-bench: zero mismatches, zero sheds-with-idle-shards"
 grep -E '"(steals|redirects|retries|hedges)":' "$TMP/report.json" | head -4 || true
 
-# Graceful drain: SIGTERM, then require a clean exit and the drain banner.
-kill -TERM "$WISPD_PID"
-wait "$WISPD_PID"
-WISPD_PID=""
-grep -q "drained cleanly" "$TMP/wispd.log" || {
-    echo "serve-bench: daemon did not drain cleanly" >&2
-    cat "$TMP/wispd.log" >&2
-    exit 1
-}
+drain_wispd wispd.log
+echo "serve-bench: phase 1 ok"
+
+# ---- Phase 2: session-resumption A/B on the handshake workload ----
+# Same seed, same load shape; only the resume ratio differs.  Handshake
+# ops isolate the path resumption amortizes (one RSA private-key op per
+# full handshake, none per abbreviated one).
+boot_wispd wispd_off.log -shards 4 -dispatch cost -seed 1 -metrics
+echo "serve-bench: resume-off run on $ADDR"
+"$BIN/wispload" -addr "$ADDR" -clients 6 -n 30 -ops handshake -mix 1k \
+    -resume-ratio 0 -seed 2 -bench-out "$TMP/bench_off.json" >"$TMP/load_off.log"
+drain_wispd wispd_off.log
+
+boot_wispd wispd_on.log -shards 4 -dispatch cost -seed 1 -metrics
+echo "serve-bench: resume-on run on $ADDR (ratio 0.9)"
+"$BIN/wispload" -addr "$ADDR" -clients 6 -n 30 -ops handshake -mix 1k \
+    -resume-ratio 0.9 -seed 2 -bench-out "$TMP/bench_on.json" >"$TMP/load_on.log"
+drain_wispd wispd_on.log
+
+grep -E 'resumption|session cache' "$TMP/load_on.log" || true
+"$BIN/benchcmp" -baseline "$TMP/bench_off.json" -current "$TMP/bench_on.json" \
+    -assert-p99-lt 'handshake+resumed<handshake'
+cp "$TMP/bench_on.json" "$BENCH_JSON"
+echo "serve-bench: resumed-handshake p99 beats full-handshake baseline; record written to $BENCH_JSON"
 echo "serve-bench: ok"

@@ -7,7 +7,15 @@ set -eu
 BIN="${BIN:-bin}"
 TMP="$(mktemp -d)"
 WISPD_PID=""
-trap 'status=$?; [ -n "$WISPD_PID" ] && kill "$WISPD_PID" 2>/dev/null || true; rm -rf "$TMP"; exit $status' EXIT INT TERM
+
+# On failure, copy logs to $ARTIFACT_DIR when set (CI uploads them).
+collect_artifacts() {
+    if [ -n "${ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$ARTIFACT_DIR"
+        cp "$TMP"/*.log "$TMP"/*.json "$ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
+}
+trap 'status=$?; [ -n "$WISPD_PID" ] && kill "$WISPD_PID" 2>/dev/null || true; [ "$status" -ne 0 ] && collect_artifacts; rm -rf "$TMP"; exit $status' EXIT INT TERM
 
 "$BIN/wispd" -addr 127.0.0.1:0 -addrfile "$TMP/addr" -metrics >"$TMP/wispd.log" 2>&1 &
 WISPD_PID=$!
