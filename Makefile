@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test check race lint fuzz bench bins serve-smoke serve-bench bench-json bench-check
+.PHONY: all build test check race lint fuzz bench bench-alloc bins serve-smoke serve-bench bench-json bench-check
 
 all: build test
 
@@ -39,9 +39,21 @@ lint:
 fuzz:
 	$(GO) test -fuzz FuzzMpnDiv -fuzztime $(FUZZTIME) ./internal/mpn/
 	$(GO) test -fuzz FuzzModMul -fuzztime $(FUZZTIME) ./internal/mpz/
+	$(GO) test -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/ssl/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-alloc measures allocation discipline on the steady-state hot
+# paths with -benchmem: ModExp/ModMul scratch-arena reuse, the pooled
+# record layer (Seal/Open must report 0 allocs/op after warmup), the
+# serve record op end to end, and the buffer pool itself.  These are the
+# numbers the benchcmp allocation gate holds the serving path to.
+bench-alloc:
+	$(GO) test -bench 'ModExp1024|FixedBase|ModMulMontgomery' -benchmem -run '^$$' ./internal/mpz/
+	$(GO) test -bench 'RecordSeal|RecordRoundTrip' -benchmem -run '^$$' ./internal/ssl/
+	$(GO) test -bench 'ServeRecordOp|ServeResumedTransaction' -benchmem -run '^$$' ./internal/serve/
+	$(GO) test -bench 'GetPut' -benchmem -run '^$$' ./internal/bufpool/
 
 bins:
 	$(GO) build -o bin/wispd ./cmd/wispd

@@ -8,7 +8,9 @@
 //	benchcmp -baseline bench/BENCH_serve.baseline.json -current BENCH_serve.json [-threshold 0.25]
 //
 // Latency regressions are per-op-class p50/p99 increases; a throughput
-// regression is an RPS decrease.  Op classes present in only one record
+// regression is an RPS decrease; an allocation regression is an
+// allocs-per-op increase beyond -alloc-threshold (skipped for baselines
+// that predate the allocation columns).  Op classes present in only one record
 // are reported but never fail the gate (machine speed differences change
 // which classes have enough samples), and classes with fewer than
 // -min-count samples are skipped as noise.  Digest mismatches in the
@@ -29,6 +31,8 @@ func main() {
 	baselinePath := flag.String("baseline", "bench/BENCH_serve.baseline.json", "checked-in baseline record")
 	currentPath := flag.String("current", "BENCH_serve.json", "freshly measured record")
 	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional regression (0.25 = 25%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25,
+		"max tolerated fractional allocs/op increase (gate skipped when the baseline lacks allocation columns)")
 	minCount := flag.Int("min-count", 16, "skip op classes with fewer samples than this in either record")
 	assertLt := flag.String("assert-p99-lt", "",
 		"A/B assertion 'curOp<baseOp': require the current record's curOp p99 below the baseline record's baseOp p99 (skips the regression comparison)")
@@ -58,6 +62,21 @@ func main() {
 		failures = append(failures, fmt.Sprintf(
 			"throughput %.1f rps is %.0f%% below baseline %.1f rps",
 			cur.ThroughputRPS, 100*(1-cur.ThroughputRPS/base.ThroughputRPS), base.ThroughputRPS))
+	}
+
+	// Allocations per served op: higher is worse.  Gated only when the
+	// baseline carries the schema-2 allocation columns — a schema-1
+	// baseline (or one recorded without runtime stats) skips the gate
+	// instead of failing it.
+	switch {
+	case base.AllocsPerOp <= 0:
+		fmt.Printf("note: baseline (schema %d) has no allocs_per_op; allocation gate skipped\n", base.Schema)
+	case cur.AllocsPerOp > base.AllocsPerOp*(1+*allocThreshold):
+		failures = append(failures, fmt.Sprintf(
+			"allocs/op %.0f is %.0f%% above baseline %.0f",
+			cur.AllocsPerOp, 100*(cur.AllocsPerOp/base.AllocsPerOp-1), base.AllocsPerOp))
+	default:
+		fmt.Printf("ok: allocs/op %.0f vs baseline %.0f\n", cur.AllocsPerOp, base.AllocsPerOp)
 	}
 
 	ops := make([]string, 0, len(base.Ops))

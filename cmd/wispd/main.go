@@ -10,7 +10,7 @@
 //	wispd [-addr 127.0.0.1:9311] [-shards N] [-queue 64] [-batch 16]
 //	      [-dispatch cost|rr] [-rsabits 512] [-record 1024] [-seed 1]
 //	      [-session-cache 4096] [-session-ttl 10m]
-//	      [-measured] [-metrics] [-addrfile PATH]
+//	      [-measured] [-metrics] [-pprof] [-addrfile PATH]
 //
 // With -measured the daemon characterizes the platform kernels on the ISS
 // at startup (Platform.SSLCosts) and prices transactions with those
@@ -44,6 +44,7 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "SSL session cache entry lifetime")
 	measured := flag.Bool("measured", false, "derive the analytic cost model on the ISS at startup")
 	metrics := flag.Bool("metrics", false, "print the text metrics dump on shutdown")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for allocation and CPU profiling")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts)")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 	flag.Parse()
@@ -77,6 +78,9 @@ func main() {
 		fatal(err)
 	}
 	srv := serve.NewServer(gw)
+	if *pprofFlag {
+		srv.EnablePprof()
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)

@@ -42,6 +42,10 @@ func ECBDecrypt(b Block, dst, src []byte) error {
 }
 
 // CBCEncrypt encrypts src under CBC with the given IV (len = block size).
+// dst and src must either coincide or not overlap.  It never allocates:
+// each block is XOR-chained into dst and then encrypted in place, which is
+// safe because every cipher in this repository loads its source block into
+// locals before writing the destination.
 func CBCEncrypt(b Block, iv, dst, src []byte) error {
 	bs := b.BlockSize()
 	if len(iv) != bs {
@@ -51,12 +55,11 @@ func CBCEncrypt(b Block, iv, dst, src []byte) error {
 		return err
 	}
 	prev := iv
-	tmp := make([]byte, bs)
 	for i := 0; i < len(src); i += bs {
 		for j := 0; j < bs; j++ {
-			tmp[j] = src[i+j] ^ prev[j]
+			dst[i+j] = src[i+j] ^ prev[j]
 		}
-		b.Encrypt(dst[i:i+bs], tmp)
+		b.Encrypt(dst[i:i+bs], dst[i:i+bs])
 		prev = dst[i : i+bs]
 	}
 	return nil

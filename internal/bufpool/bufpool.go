@@ -1,0 +1,84 @@
+// Package bufpool recycles byte buffers through power-of-two size classes
+// backed by sync.Pool.  The serving hot paths (SSL record framing, serve
+// request/response marshalling) churn through short-lived buffers whose
+// sizes cluster tightly around the record size; recycling them keeps the
+// steady-state serving path allocation-free and takes GC pressure off the
+// latency tail the paper's Figure 8 transaction budget cares about.
+//
+// Ownership rule: a buffer obtained from Get is owned by the caller until
+// it is passed to Put, after which the caller must not touch it again.
+// Buffers handed to other components must either be copied at the
+// ownership boundary or have their Put deferred until the receiver is done.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// minClass is the smallest size class (64 B); smaller requests round up to
+// it so tiny MAC/header buffers still recycle.
+const minClass = 6 // log2(64)
+
+// maxClass is the largest pooled size class (64 KiB).  Larger requests are
+// served by plain make and dropped on Put — they are rare (oversized
+// payloads) and pinning them in pools would hold memory hostage.
+const maxClass = 16 // log2(65536)
+
+var classes [maxClass - minClass + 1]sync.Pool
+
+// headers recycles the *[]byte boxes the class pools traffic in.  Without
+// it every Put would heap-allocate a fresh slice header to take the address
+// of, and the pool would never reach zero allocations in steady state.
+var headers = sync.Pool{New: func() any { return new([]byte) }}
+
+func init() {
+	for i := range classes {
+		size := 1 << (minClass + i)
+		classes[i].New = func() any {
+			h := headers.Get().(*[]byte)
+			*h = make([]byte, size)
+			return h
+		}
+	}
+}
+
+// classFor returns the pool index for a request of n bytes, or -1 when n
+// is too large to pool.
+func classFor(n int) int {
+	if n <= 1<<minClass {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c > maxClass {
+		return -1
+	}
+	return c - minClass
+}
+
+// Get returns a buffer with len == n and cap ≥ n.  The contents are
+// arbitrary — callers must overwrite before reading.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	h := classes[c].Get().(*[]byte)
+	b := *h
+	*h = nil
+	headers.Put(h)
+	return b[:n]
+}
+
+// Put returns a buffer obtained from Get to its size class.  Passing a
+// buffer not obtained from Get is safe as long as its capacity is an exact
+// power of two ≥ 64; anything else is dropped.  Put(nil) is a no-op.
+func Put(b []byte) {
+	c := cap(b)
+	if c < 1<<minClass || c&(c-1) != 0 || c > 1<<maxClass {
+		return
+	}
+	h := headers.Get().(*[]byte)
+	*h = b[:c]
+	classes[bits.Len(uint(c-1))-minClass].Put(h)
+}

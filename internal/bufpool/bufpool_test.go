@@ -1,0 +1,54 @@
+package bufpool
+
+import "testing"
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1024, 4}, {1025, 5}, {65536, 10}, {65537, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get(100)
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("Get(100): len=%d cap=%d, want 100/128", len(b), cap(b))
+	}
+	for i := range b {
+		b[i] = 0xAA
+	}
+	Put(b)
+	b2 := Get(128)
+	if cap(b2) != 128 {
+		t.Fatalf("Get(128) cap=%d, want 128", cap(b2))
+	}
+	// sync.Pool may or may not return the same buffer; either way the
+	// length contract must hold.
+	if len(b2) != 128 {
+		t.Fatalf("Get(128) len=%d", len(b2))
+	}
+}
+
+func TestOversizedAndOddCaps(t *testing.T) {
+	big := Get(1 << 17)
+	if len(big) != 1<<17 {
+		t.Fatalf("oversized Get length %d", len(big))
+	}
+	Put(big)               // dropped, must not panic
+	Put(nil)               // no-op
+	Put(make([]byte, 100)) // non-power-of-two cap, dropped
+	Put(make([]byte, 16))  // below min class, dropped
+}
+
+func BenchmarkGetPut1024(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(1024)
+		Put(buf)
+	}
+}

@@ -15,6 +15,7 @@ type Hash interface {
 type HMAC struct {
 	outer, inner Hash
 	ipad, opad   []byte
+	scratch      []byte // inner-digest staging reused across Sum calls
 }
 
 // NewHMAC builds an HMAC instance keyed with key over newHash().
@@ -54,12 +55,17 @@ func (h *HMAC) Size() int { return h.inner.Size() }
 // BlockSize returns the underlying block size.
 func (h *HMAC) BlockSize() int { return h.inner.BlockSize() }
 
-// Sum appends the MAC of everything written so far to b.
+// Sum appends the MAC of everything written so far to b.  When b has spare
+// capacity the whole computation reuses internal scratch and does not
+// allocate.
 func (h *HMAC) Sum(b []byte) []byte {
-	innerSum := h.inner.Sum(nil)
+	if h.scratch == nil {
+		h.scratch = make([]byte, 0, h.inner.Size())
+	}
+	h.scratch = h.inner.Sum(h.scratch[:0])
 	h.outer.Reset()
 	h.outer.Write(h.opad)
-	h.outer.Write(innerSum)
+	h.outer.Write(h.scratch)
 	return h.outer.Sum(b)
 }
 

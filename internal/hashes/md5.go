@@ -132,8 +132,16 @@ func (m *MD5) block(p []byte) {
 }
 
 // Sum appends the digest of everything written so far to b.  The state may
-// continue to be written to afterwards (Sum operates on a copy).
+// continue to be written to afterwards (Sum operates on a copy).  When b
+// has spare capacity the append does not allocate.
 func (m *MD5) Sum(b []byte) []byte {
+	out := m.sumArray()
+	return append(b, out[:]...)
+}
+
+// sumArray finalizes a copy of the state into a value digest, keeping the
+// one-shot and HMAC paths free of heap allocation.
+func (m *MD5) sumArray() [MD5Size]byte {
 	cp := *m
 	bitLen := cp.len * 8
 	cp.Write([]byte{0x80})
@@ -147,14 +155,13 @@ func (m *MD5) Sum(b []byte) []byte {
 	for i, v := range cp.h {
 		binary.LittleEndian.PutUint32(out[4*i:], v)
 	}
-	return append(b, out[:]...)
+	return out
 }
 
-// MD5Sum is the one-shot convenience.
+// MD5Sum is the one-shot convenience.  It allocates nothing.
 func MD5Sum(data []byte) [MD5Size]byte {
-	m := NewMD5()
+	var m MD5
+	m.Reset()
 	m.Write(data)
-	var out [MD5Size]byte
-	copy(out[:], m.Sum(nil))
-	return out
+	return m.sumArray()
 }

@@ -98,7 +98,15 @@ func (s *SHA1) block(p []byte) {
 }
 
 // Sum appends the digest of everything written so far to b (non-destructive).
+// When b has spare capacity the append does not allocate.
 func (s *SHA1) Sum(b []byte) []byte {
+	out := s.sumArray()
+	return append(b, out[:]...)
+}
+
+// sumArray finalizes a copy of the state into a value digest, keeping the
+// one-shot and HMAC paths free of heap allocation.
+func (s *SHA1) sumArray() [SHA1Size]byte {
 	cp := *s
 	bitLen := cp.len * 8
 	cp.Write([]byte{0x80})
@@ -112,14 +120,13 @@ func (s *SHA1) Sum(b []byte) []byte {
 	for i, v := range cp.h {
 		binary.BigEndian.PutUint32(out[4*i:], v)
 	}
-	return append(b, out[:]...)
+	return out
 }
 
-// SHA1Sum is the one-shot convenience.
+// SHA1Sum is the one-shot convenience.  It allocates nothing.
 func SHA1Sum(data []byte) [SHA1Size]byte {
-	s := NewSHA1()
+	var s SHA1
+	s.Reset()
 	s.Write(data)
-	var out [SHA1Size]byte
-	copy(out[:], s.Sum(nil))
-	return out
+	return s.sumArray()
 }

@@ -1,0 +1,45 @@
+package mpn
+
+// Arena is a grow-once scratch allocator for limb vectors.  Alloc carves
+// zeroed slices out of one backing slab; Reset reclaims them all at once.
+// The first pass through an operation spills to the heap while the arena
+// learns the operation's footprint; Reset then grows the slab to the
+// high-water mark, so steady-state cycles allocate nothing.
+//
+// Vectors returned by Alloc are valid only until the next Reset.  Callers
+// that retain a result past Reset must copy it out.  An Arena is not safe
+// for concurrent use; owners (reducers, exponentiators, sessions) are
+// single-goroutine by contract.
+type Arena struct {
+	slab Nat
+	used int // limbs handed out from the slab this cycle
+	need int // total limbs requested this cycle, including spills
+}
+
+// Alloc returns a zeroed n-limb vector drawn from the arena.  When the
+// slab is exhausted it falls back to the heap; the next Reset grows the
+// slab so the same request sequence fits entirely.
+func (a *Arena) Alloc(n int) Nat {
+	a.need += n
+	if a.used+n > len(a.slab) {
+		return make(Nat, n)
+	}
+	// Full slice expression: appending to one allocation must never
+	// scribble over its neighbor.
+	v := a.slab[a.used : a.used+n : a.used+n]
+	a.used = a.used + n
+	Zero(v)
+	return v
+}
+
+// Reset invalidates every outstanding allocation and, when the previous
+// cycle spilled, grows the slab to fit the observed demand.
+func (a *Arena) Reset() {
+	if a.need > len(a.slab) {
+		a.slab = make(Nat, a.need)
+	}
+	a.used, a.need = 0, 0
+}
+
+// Cap returns the slab capacity in limbs (for tests and diagnostics).
+func (a *Arena) Cap() int { return len(a.slab) }

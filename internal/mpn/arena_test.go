@@ -1,0 +1,82 @@
+package mpn
+
+import "testing"
+
+func TestArenaGrowOnce(t *testing.T) {
+	var a Arena
+	// First cycle: everything spills to the heap, demand is recorded.
+	v1 := a.Alloc(8)
+	v2 := a.Alloc(8)
+	if len(v1) != 8 || len(v2) != 8 {
+		t.Fatalf("Alloc lengths: %d, %d", len(v1), len(v2))
+	}
+	if a.Cap() != 0 {
+		t.Fatalf("slab grew before Reset: %d", a.Cap())
+	}
+	a.Reset()
+	if a.Cap() != 16 {
+		t.Fatalf("slab after Reset: %d limbs, want 16", a.Cap())
+	}
+	// Second cycle: allocations come from the slab, zeroed each time.
+	v1 = a.Alloc(8)
+	for i := range v1 {
+		v1[i] = 0xFFFFFFFF
+	}
+	v2 = a.Alloc(8)
+	for _, l := range v2 {
+		if l != 0 {
+			t.Fatal("Alloc returned non-zeroed limbs")
+		}
+	}
+	a.Reset()
+	v3 := a.Alloc(8)
+	for _, l := range v3 {
+		if l != 0 {
+			t.Fatal("Alloc after Reset returned non-zeroed limbs")
+		}
+	}
+	if a.Cap() != 16 {
+		t.Fatalf("slab regrew without demand: %d", a.Cap())
+	}
+}
+
+func TestArenaNeighborIsolation(t *testing.T) {
+	var a Arena
+	a.Alloc(4)
+	a.Alloc(4)
+	a.Reset()
+	v1 := a.Alloc(4)
+	v2 := a.Alloc(4)
+	// Appending past an arena vector must not scribble over its neighbor.
+	v1 = append(v1, 7)
+	v2[0] = 42
+	if v1[4] == 42 || v2[0] != 42 {
+		t.Fatalf("append bled into neighbor: v1=%v v2=%v", v1, v2)
+	}
+}
+
+func TestDivRemScratchMatchesDivRem(t *testing.T) {
+	var a Arena
+	cases := []struct{ u, v Nat }{
+		{Nat{5}, Nat{3}},
+		{Nat{0, 0, 1}, Nat{7}},
+		{Nat{1, 2, 3, 4}, Nat{5, 6}},
+		{Nat{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF}, Nat{0x80000000, 1}},
+		{Nat{3}, Nat{9, 9}}, // dividend shorter than divisor
+	}
+	eq := func(a, b Nat) bool {
+		a, b = Normalize(a), Normalize(b)
+		return len(a) == len(b) && Cmp(a, b) == 0
+	}
+	for _, c := range cases {
+		wantQ, wantR := DivRem(c.u, c.v)
+		for cycle := 0; cycle < 3; cycle++ {
+			a.Reset()
+			q, r := DivRemScratch(c.u, c.v, &a)
+			if !eq(q, wantQ) || !eq(r, wantR) {
+				t.Fatalf("DivRemScratch(%v, %v) cycle %d = %v, %v; want %v, %v",
+					c.u, c.v, cycle, q, r, wantQ, wantR)
+			}
+		}
+	}
+}

@@ -35,22 +35,40 @@ func Mod1(a Nat, d Limb) Limb {
 // DivRem divides u by v using Knuth's Algorithm D and returns normalized
 // quotient and remainder.  It panics on division by zero.  The inputs are
 // not modified.
-func DivRem(u, v Nat) (q, r Nat) {
+func DivRem(u, v Nat) (q, r Nat) { return divRem(u, v, nil) }
+
+// DivRemScratch is DivRem with every intermediate vector — and the
+// returned quotient and remainder — drawn from the arena, so a warmed-up
+// caller divides without heap allocation.  The results are valid only
+// until the arena resets; copy them out to retain them.
+func DivRemScratch(u, v Nat, a *Arena) (q, r Nat) { return divRem(u, v, a) }
+
+func divRem(u, v Nat, ar *Arena) (q, r Nat) {
+	alloc := func(n int) Nat {
+		if ar != nil {
+			return ar.Alloc(n)
+		}
+		return make(Nat, n)
+	}
 	un := Normalize(u)
 	vn := Normalize(v)
 	if len(vn) == 0 {
 		panic("mpn: division by zero")
 	}
 	if len(un) < len(vn) {
-		return Nat{}, Copy(un)
+		r = alloc(len(un))
+		copy(r, un)
+		return Nat{}, r
 	}
 	if len(vn) == 1 {
-		q = make(Nat, len(un))
+		q = alloc(len(un))
 		rem := DivRem1(q, un, vn[0])
 		if rem == 0 {
 			return Normalize(q), Nat{}
 		}
-		return Normalize(q), Nat{rem}
+		r = alloc(1)
+		r[0] = rem
+		return Normalize(q), r
 	}
 
 	n := len(vn)
@@ -58,8 +76,8 @@ func DivRem(u, v Nat) (q, r Nat) {
 
 	// D1: normalize so the divisor's top bit is set.
 	shift := uint(bits.LeadingZeros32(vn[n-1]))
-	vs := make(Nat, n)
-	us := make(Nat, len(un)+1)
+	vs := alloc(n)
+	us := alloc(len(un) + 1)
 	if shift == 0 {
 		copy(vs, vn)
 		copy(us, un)
@@ -68,7 +86,7 @@ func DivRem(u, v Nat) (q, r Nat) {
 		us[len(un)] = Lshift(us[:len(un)], un, shift)
 	}
 
-	q = make(Nat, m+1)
+	q = alloc(m + 1)
 	vTop := uint64(vs[n-1])
 	vNext := uint64(vs[n-2])
 
@@ -104,7 +122,7 @@ func DivRem(u, v Nat) (q, r Nat) {
 	}
 
 	// D8: denormalize the remainder.
-	r = make(Nat, n)
+	r = alloc(n)
 	if shift == 0 {
 		copy(r, us[:n])
 	} else {

@@ -127,6 +127,25 @@ func SubMul1(r, a Nat, b Limb) Limb {
 	return Limb(borrow)
 }
 
+// MontRedc runs the CIOS Montgomery multiply-reduce inner loop over a
+// rolling accumulator window (GMP's mpn_redc_1 shape): for each of the n
+// limbs it folds x[i]·y into the window at offset i, then adds q·m with
+// q = t[i]·mInv so limb t[i] becomes zero and the window advances one
+// limb.  t must be zeroed with length 2n+2; x, y and m must have length
+// n, with m odd and mInv = -m⁻¹ mod 2³².  The product x·y·R⁻¹ mod m (R =
+// 2³²ⁿ, before the final conditional subtraction) is left in t[n:2n+1].
+// Cost: 2n mpn_addmul_1 invocations at size n.
+func MontRedc(t, x, y, m Nat, mInv Limb) {
+	n := len(m)
+	for i := 0; i < n; i++ {
+		carry := AddMul1(t[i:i+n], y, x[i])
+		Add1(t[i+n:i+n+2], t[i+n:i+n+2], carry)
+		q := t[i] * mInv
+		carry = AddMul1(t[i:i+n], m, q)
+		Add1(t[i+n:i+n+2], t[i+n:i+n+2], carry)
+	}
+}
+
 // Lshift computes r = a << s for 0 < s < 32 and returns the bits shifted out
 // of the top limb.
 func Lshift(r, a Nat, s uint) Limb {

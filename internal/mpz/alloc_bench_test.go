@@ -1,0 +1,85 @@
+package mpz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randOdd returns a deterministic odd n-bit integer (top bit set).
+func randOdd(rng *rand.Rand, bits int) *Int {
+	b := make([]byte, bits/8)
+	rng.Read(b)
+	b[0] |= 0x80
+	b[len(b)-1] |= 1
+	return FromBytes(b)
+}
+
+// BenchmarkModExp1024 measures the steady-state cost of a cached
+// Montgomery exponentiator — the serving path's shape, where rsakey.Engine
+// holds one Exponentiator per modulus and calls Exp per request.  Run with
+// -benchmem: allocs/op is the headline number the memory-discipline work
+// gates on.
+func BenchmarkModExp1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randOdd(rng, 1024)
+	base := randOdd(rng, 1024)
+	exp := randOdd(rng, 1024)
+	ctx := NewCtx(nil)
+	e, err := ctx.NewExp(ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Exp(base, exp); err != nil { // warm the reducer cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exp(base, exp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModExp1024FixedBase exercises the CachePowers mode (fixed-base
+// exponentiation with a retained window table).
+func BenchmarkModExp1024FixedBase(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randOdd(rng, 1024)
+	base := randOdd(rng, 1024)
+	exp := randOdd(rng, 1024)
+	ctx := NewCtx(nil)
+	e, err := ctx.NewExp(ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CachePowers}, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Exp(base, exp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exp(base, exp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModMulMontgomery1024 isolates one interface-path modular
+// multiplication (the REDC inner loop plus result materialization).
+func BenchmarkModMulMontgomery1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randOdd(rng, 1024)
+	ctx := NewCtx(nil)
+	mm, err := ctx.NewModMul(ModMulMontgomery, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := mm.ToDomain(randOdd(rng, 1000))
+	y := mm.ToDomain(randOdd(rng, 1000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = mm.Mul(x, y)
+	}
+}

@@ -1,6 +1,10 @@
 package mpz
 
-import "fmt"
+import (
+	"fmt"
+
+	"wisp/internal/mpn"
+)
 
 // CacheMode selects the software caching option of the exploration space
 // (§4.3 sweeps "three different software caching options").
@@ -64,7 +68,9 @@ func (cfg ExpConfig) String() string {
 }
 
 // Exponentiator performs modular exponentiation for one modulus under one
-// ExpConfig, with kernel accounting through its context.
+// ExpConfig, with kernel accounting through its context.  It owns grow-once
+// scratch reused across calls, so — like the Ctx it is built from — it is
+// not safe for concurrent use.
 type Exponentiator struct {
 	ctx *Ctx
 	cfg ExpConfig
@@ -72,7 +78,16 @@ type Exponentiator struct {
 
 	mm     ModMul // cached reducer (CacheReducer, CachePowers)
 	tabKey string // base whose power table is cached
-	table  []*Int // cached window table (CachePowers)
+	table  []*Int // cached window table (CachePowers, non-Montgomery)
+
+	// Montgomery fast-path scratch: the window table lives in one slab,
+	// the accumulator in a reusable buffer, and base reduction divides
+	// through an arena, so a steady-state Exp call allocates only its
+	// result.  Kernel accounting is identical to the generic path.
+	slab   mpn.Nat   // backing store for natTab entries, size·(n+1) limbs
+	natTab []mpn.Nat // window table in the Montgomery domain
+	accBuf mpn.Nat   // accumulator, n+1 limbs
+	div    mpn.Arena // DivRem scratch for base reduction
 }
 
 // NewExp builds an exponentiator modulo m.
@@ -110,6 +125,10 @@ func (e *Exponentiator) Exp(base, exp *Int) (*Int, error) {
 		return e.ctx.Mod(NewInt(1), e.m), nil
 	}
 	e.ctx.op("mod_exp", len(e.m.abs))
+
+	if g, ok := mm.(*montgomery); ok {
+		return e.expMont(g, base, exp), nil
+	}
 
 	w := e.cfg.WindowBits
 	table := e.windowTable(mm, base, w)
@@ -170,6 +189,134 @@ func (e *Exponentiator) windowTable(mm ModMul, base *Int, w int) []*Int {
 		e.table = table
 	}
 	return table
+}
+
+// natOne is the shared limb vector for the constant 1 (read-only).
+var natOne = mpn.Nat{1}
+
+// expMont is the Nat-level Montgomery fast path.  It performs the same
+// arithmetic — and issues the same kernel/op accounting, in the same
+// value-dependent order — as the generic window loop above, but every
+// intermediate lives in grow-once scratch owned by the Exponentiator, so
+// a warmed-up call allocates only its result.  redcInto copies both
+// operands before writing its destination, which is what makes the
+// in-place accumulator (acc = REDC(acc, ·)) legal.
+func (e *Exponentiator) expMont(g *montgomery, base, exp *Int) *Int {
+	n := g.n
+	w := e.cfg.WindowBits
+	table := e.montTable(g, base, w)
+
+	bl := exp.BitLen()
+	windows := (bl + w - 1) / w
+	if cap(e.accBuf) < n+1 {
+		e.accBuf = make(mpn.Nat, n+1)
+	}
+	ab := e.accBuf[:n+1]
+	// The generic loop computes acc := mm.One() up front and discards it
+	// when the first nonzero digit loads a table entry; reproduce the
+	// computation (and its accounting) the same way.
+	acc := e.montOne(g, ab)
+	started := false
+	for wi := windows - 1; wi >= 0; wi-- {
+		digit := 0
+		for b := w - 1; b >= 0; b-- {
+			digit = digit<<1 | int(exp.Bit(wi*w+b))
+		}
+		if started {
+			for s := 0; s < w; s++ {
+				e.ctx.op("mod_sqr", len(e.m.abs))
+				acc = g.redcInto(ab, acc, acc)
+			}
+		}
+		if digit != 0 {
+			if started {
+				e.ctx.op("mod_mul", len(e.m.abs))
+				acc = g.redcInto(ab, acc, table[digit])
+			} else {
+				acc = ab[:copy(ab, table[digit])]
+				started = true
+			}
+		} else if !started {
+			continue
+		}
+	}
+	if !started {
+		return e.ctx.Mod(NewInt(1), e.m)
+	}
+	// FromDomain: REDC(acc, 1), materialized into the fresh result.
+	return &Int{abs: g.redcInto(make(mpn.Nat, n+1), acc, natOne)}
+}
+
+// montTable mirrors windowTable for the Montgomery fast path: the table
+// entries are raw domain residues packed into one slab, rebuilt per call
+// unless CachePowers retains them for a repeated base.
+func (e *Exponentiator) montTable(g *montgomery, base *Int, w int) []mpn.Nat {
+	key := ""
+	if e.cfg.Cache == CachePowers {
+		key = base.String()
+		if e.natTab != nil && e.tabKey == key {
+			return e.natTab
+		}
+	}
+	n := g.n
+	size := 1 << uint(w)
+	if cap(e.slab) < size*(n+1) {
+		e.slab = make(mpn.Nat, size*(n+1))
+	}
+	if len(e.natTab) != size {
+		e.natTab = make([]mpn.Nat, size)
+	}
+	tab := e.natTab
+	slot := func(i int) mpn.Nat {
+		return e.slab[i*(n+1) : (i+1)*(n+1) : (i+1)*(n+1)]
+	}
+	tab[0] = e.montOne(g, slot(0))
+	var b mpn.Nat
+	if base.neg {
+		b = e.ctx.Mod(base, e.m).abs // rare; keep the generic sign handling
+	} else {
+		b = e.modM(base.abs)
+	}
+	tab[1] = g.redcInto(slot(1), b, g.rr.abs)
+	for i := 2; i < size; i++ {
+		tab[i] = g.redcInto(slot(i), tab[i-1], tab[1])
+	}
+	if e.cfg.Cache == CachePowers {
+		e.tabKey = key
+	}
+	return tab
+}
+
+// montOne computes the domain image of 1 into dst, matching the generic
+// mm.One() — ToDomain(1) = REDC(1 mod m, R²) — tick for tick.
+func (e *Exponentiator) montOne(g *montgomery, dst mpn.Nat) mpn.Nat {
+	return g.redcInto(dst, e.modM(natOne), g.rr.abs)
+}
+
+// modM reduces a non-negative x modulo m with accounting identical to
+// ctx.Mod, drawing division scratch from the exponentiator's arena.  The
+// result is valid only until the next modM call.
+func (e *Exponentiator) modM(x mpn.Nat) mpn.Nat {
+	c := e.ctx
+	ml := e.m.abs
+	c.op("mpz_mod", len(ml))
+	un := mpn.Normalize(x)
+	e.div.Reset()
+	if len(ml) == 1 {
+		c.tick("mpn_divrem_1", len(un))
+		q := e.div.Alloc(len(un))
+		if rem := mpn.DivRem1(q, un, ml[0]); rem != 0 {
+			r := e.div.Alloc(1)
+			r[0] = rem
+			return r
+		}
+		return mpn.Nat{}
+	}
+	if len(un) >= len(ml) {
+		c.add("mpn_submul_1", len(ml), uint64(len(un)-len(ml)+1))
+	}
+	_, r := mpn.DivRemScratch(un, ml, &e.div)
+	return r
 }
 
 // ModExp is the convenience entry point: Montgomery reduction with a 4-bit

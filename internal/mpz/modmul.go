@@ -45,6 +45,10 @@ func (a ModMulAlg) String() string {
 // transformed domain (Montgomery); callers convert operands with ToDomain
 // and results back with FromDomain.  For the direct algorithms both
 // conversions are the identity.
+//
+// A ModMul carries persistent scratch buffers reused across calls and is
+// therefore not safe for concurrent use — like the Ctx that builds it,
+// each goroutine needs its own.
 type ModMul interface {
 	// Alg identifies the algorithm variant.
 	Alg() ModMulAlg
@@ -159,6 +163,11 @@ type montgomery struct {
 	mInv mpn.Limb // -m⁻¹ mod 2³²
 	rr   *Int     // R² mod m, for domain conversion
 	ml   mpn.Nat  // modulus limbs, length n
+
+	// Persistent CIOS scratch, allocated on first use and reused across
+	// calls.  A reducer is bound to one Ctx and one goroutine (shards and
+	// exploration workers each build their own), so plain fields are safe.
+	xs, ys, t mpn.Nat
 }
 
 func newMontgomery(c *Ctx, m *Int) *montgomery {
@@ -184,35 +193,49 @@ func (g *montgomery) Alg() ModMulAlg { return ModMulMontgomery }
 
 // redc performs the CIOS multiply-reduce: result = x*y*R⁻¹ mod m.
 func (g *montgomery) redc(x, y mpn.Nat) *Int {
-	n := g.n
-	xs := make(mpn.Nat, n)
-	copy(xs, mpn.Normalize(x))
-	ys := make(mpn.Nat, n)
-	copy(ys, mpn.Normalize(y))
-
-	t := make(mpn.Nat, n+2)
-	for i := 0; i < n; i++ {
-		// t += x[i] * y
-		g.ctx.tick("mpn_addmul_1", n)
-		carry := mpn.AddMul1(t[:n], ys, xs[i])
-		addTop(t[n:], carry)
-		// q = t[0] * m' mod B; t += q*m; t >>= 32
-		q := t[0] * g.mInv
-		g.ctx.tick("mpn_addmul_1", n)
-		carry = mpn.AddMul1(t[:n], g.ml, q)
-		addTop(t[n:], carry)
-		copy(t, t[1:])
-		t[n+1] = 0
-	}
-	res := &Int{abs: mpn.Normalize(mpn.Copy(t[:n+1]))}
-	if res.CmpAbs(g.m) >= 0 {
-		res = g.ctx.Sub(res, g.m)
-	}
-	return res
+	return &Int{abs: g.redcInto(make(mpn.Nat, g.n+1), x, y)}
 }
 
-func addTop(hi mpn.Nat, carry mpn.Limb) {
-	mpn.Add1(hi, hi, carry)
+// redcInto is the allocation-free core of redc: it computes x*y*R⁻¹ mod m
+// into dst (which must have capacity ≥ n+1 limbs) and returns the
+// normalized result, a sub-slice of dst.  dst may alias x or y — both
+// operands are copied into the reducer's scratch before dst is written.
+// Kernel accounting is identical to the historical allocating path,
+// including the value-dependent final conditional subtraction.
+func (g *montgomery) redcInto(dst, x, y mpn.Nat) mpn.Nat {
+	n := g.n
+	if g.t == nil {
+		g.xs = make(mpn.Nat, n)
+		g.ys = make(mpn.Nat, n)
+		g.t = make(mpn.Nat, 2*n+2)
+	}
+	xs, ys, t := g.xs, g.ys, g.t
+	xn := mpn.Normalize(x)
+	copy(xs, xn)
+	mpn.Zero(xs[len(xn):])
+	yn := mpn.Normalize(y)
+	copy(ys, yn)
+	mpn.Zero(ys[len(yn):])
+	mpn.Zero(t)
+	// One Add records what the loop's 2n per-iteration ticks did before —
+	// identical trace contents, one map touch instead of 2n.
+	g.ctx.add("mpn_addmul_1", n, uint64(2*n))
+	mpn.MontRedc(t, xs, ys, g.ml, g.mInv)
+	dst = dst[:n+1]
+	copy(dst, t[n:2*n+1])
+	res := mpn.Normalize(dst)
+	if cmpAbs(res, g.ml) >= 0 {
+		// Mirrors ctx.Sub(res, m) on the allocating path: one mpz-level
+		// add of differing signs, one mpn_sub_n over the modulus limbs.
+		g.ctx.op("mpz_add", len(res))
+		g.ctx.tick("mpn_sub_n", n)
+		borrow := mpn.SubN(res[:n], res[:n], g.ml)
+		if len(res) > n {
+			mpn.Sub1(res[n:], res[n:], borrow)
+		}
+		res = mpn.Normalize(res)
+	}
+	return res
 }
 
 func (g *montgomery) Mul(x, y *Int) *Int { return g.redc(x.abs, y.abs) }

@@ -1,0 +1,60 @@
+package mpz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMontgomeryExpTraceParity pins the kernel trace of the Montgomery
+// exponentiation fast path to golden fingerprints captured from the
+// original allocating implementation.  The zero-allocation scratch path
+// must be a pure memory optimization: macro-model cycle estimates (and
+// the baked serve cost tables derived from them) depend on these counts
+// staying exactly as they were.
+func TestMontgomeryExpTraceParity(t *testing.T) {
+	randInt := func(rng *rand.Rand, bits int, odd bool) *Int {
+		b := make([]byte, bits/8)
+		rng.Read(b)
+		b[0] |= 0x80
+		if odd {
+			b[len(b)-1] |= 1
+		}
+		return FromBytes(b)
+	}
+	// Fingerprints of two consecutive Exp calls (cold + cache-warm) on the
+	// seeded 96-bit inputs, one per cache mode, recorded before the fast
+	// path existed.
+	golden := map[CacheMode]string{
+		CacheNone:    "mpn_addmul_1/3:1584;mpn_sub_n/3:70;mpn_submul_1/3:17;",
+		CacheReducer: "mpn_addmul_1/3:1584;mpn_sub_n/3:70;mpn_submul_1/3:7;",
+		CachePowers:  "mpn_addmul_1/3:1488;mpn_sub_n/3:69;mpn_submul_1/3:6;",
+	}
+	const wantR = "0x41c0e979f265d3ec83391e30"
+
+	for cache, want := range golden {
+		rng := rand.New(rand.NewSource(96))
+		m := randInt(rng, 96, true)
+		base := randInt(rng, 96, false)
+		exp := randInt(rng, 96, false)
+		tr := NewTrace()
+		ctx := NewCtx(tr)
+		e, err := ctx.NewExp(ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: cache}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := e.Exp(base, exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := e.Exp(base, exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.String() != wantR || r2.String() != wantR {
+			t.Errorf("%v: result drifted: %s / %s, want %s", cache, r1, r2, wantR)
+		}
+		if got := tr.Fingerprint(); got != want {
+			t.Errorf("%v: trace fingerprint drifted:\n got %q\nwant %q", cache, got, want)
+		}
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"os"
 )
 
-// BenchSchema versions the benchmark record format; cmd/benchcmp refuses
-// to compare records with mismatched schemas.
-const BenchSchema = 1
+// BenchSchema versions the benchmark record format.  Schema 2 added the
+// allocation columns (allocs_per_op, alloc_bytes_per_op, gc_pause_p99_us);
+// readers accept any schema up to their own, so a schema-1 baseline still
+// gates throughput and latency while the allocation gate waits for the
+// baseline to be regenerated.
+const BenchSchema = 2
 
 // BenchOp is one op class's latency slice in a benchmark record.  Resumed
 // transactions appear as their own "<op>+resumed" class, so the gate can
@@ -36,20 +39,29 @@ type BenchRecord struct {
 
 	SessionHitRate    float64 `json:"session_hit_rate"`
 	PrecomputeHitRate float64 `json:"precompute_hit_rate"`
+
+	// Schema 2: server-side allocation discipline over the run.  Zero
+	// values mean "not measured" (schema-1 record or no runtime stats).
+	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op,omitempty"`
+	GCPauseP99US    float64 `json:"gc_pause_p99_us,omitempty"`
 }
 
 // NewBenchRecord distills a load report (and optional server stats) into
 // the benchmark record the regression gate consumes.
 func NewBenchRecord(rep *LoadReport, stats *Stats) *BenchRecord {
 	r := &BenchRecord{
-		Schema:         BenchSchema,
-		Transactions:   rep.Transactions,
-		OK:             rep.OK,
-		Mismatches:     rep.Mismatches,
-		Resumed:        rep.Resumed,
-		ThroughputRPS:  rep.AchievedRPS,
-		ThroughputMBps: rep.AchievedMBps,
-		Ops:            make(map[string]BenchOp, len(rep.PerOp)),
+		Schema:          BenchSchema,
+		Transactions:    rep.Transactions,
+		OK:              rep.OK,
+		Mismatches:      rep.Mismatches,
+		Resumed:         rep.Resumed,
+		ThroughputRPS:   rep.AchievedRPS,
+		ThroughputMBps:  rep.AchievedMBps,
+		Ops:             make(map[string]BenchOp, len(rep.PerOp)),
+		AllocsPerOp:     rep.AllocsPerOp,
+		AllocBytesPerOp: rep.AllocBytesPerOp,
+		GCPauseP99US:    rep.GCPauseP99US,
 	}
 	for _, row := range rep.PerOp {
 		r.Ops[row.Op] = BenchOp{
@@ -88,8 +100,8 @@ func ReadBenchRecord(path string) (*BenchRecord, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != BenchSchema {
-		return nil, fmt.Errorf("%s: schema %d, this build speaks %d", path, r.Schema, BenchSchema)
+	if r.Schema < 1 || r.Schema > BenchSchema {
+		return nil, fmt.Errorf("%s: schema %d, this build speaks ≤ %d", path, r.Schema, BenchSchema)
 	}
 	return &r, nil
 }

@@ -190,23 +190,26 @@ func (c *Client) doHedged(req *Request) (*Response, error) {
 	return first.resp, first.err
 }
 
+// framePool recycles the request-marshalling buffers across posts; load
+// generators issue tens of thousands of framed requests per run and the
+// encode buffer is the dominant client-side allocation.
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // post performs one HTTP submission without retry or hedging.
 func (c *Client) post(req *Request) (*Response, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
+	buf := framePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer framePool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(req); err != nil {
 		return nil, err
 	}
-	httpResp, err := c.http.Post(c.base+"/v1/offload", "application/json", bytes.NewReader(body))
+	httpResp, err := c.http.Post(c.base+"/v1/offload", "application/json", bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return nil, err
 	}
 	defer httpResp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(httpResp.Body, MaxPayload*2))
-	if err != nil {
-		return nil, err
-	}
 	var resp Response
-	if err := json.Unmarshal(data, &resp); err != nil {
+	if err := json.NewDecoder(io.LimitReader(httpResp.Body, MaxPayload*2)).Decode(&resp); err != nil {
 		return nil, fmt.Errorf("serve: decoding response (http %d): %w", httpResp.StatusCode, err)
 	}
 	return &resp, nil

@@ -252,6 +252,7 @@ func (g *Gateway) Stats() Stats {
 	}
 	s.Precompute = cacheView(pre)
 	s.AESSchedule = cacheView(aescipher.ScheduleCacheStats())
+	s.Runtime = ReadRuntimeStats()
 	return s
 }
 

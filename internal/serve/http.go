@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -16,6 +17,7 @@ import (
 //	GET  /healthz     — "ok" while serving, 503 "draining" during drain
 type Server struct {
 	gw   *Gateway
+	mux  *http.ServeMux
 	http *http.Server
 	ln   net.Listener
 }
@@ -27,8 +29,22 @@ func NewServer(gw *Gateway) *Server {
 	mux.HandleFunc("POST /v1/offload", s.handleOffload)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
+// own mux (the default-mux registration pprof does on import is useless
+// here).  Call before Serve.  Profiles are how alloc regressions get
+// diagnosed once the benchcmp gate catches them: heap shows what still
+// allocates per record, allocs shows the cumulative call graph.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // Listen binds addr (host:port; port 0 picks a free one) and returns the

@@ -195,6 +195,17 @@ type LoadReport struct {
 	// platform's predicted time (how far the host serving path is from
 	// the simulated silicon).
 	WallVsModelOpt float64 `json:"wall_vs_model_opt"`
+
+	// AllocsPerOp and AllocBytesPerOp are the server-side heap-allocation
+	// deltas across the run (sampled from /stats runtime counters before
+	// and after) divided by OK responses — the memory-discipline figure
+	// the benchcmp allocation gate compares against its baseline.  Zero
+	// when the server does not expose runtime stats.
+	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op,omitempty"`
+	// GCPauseP99US is the server's GC stop-the-world pause p99 (µs,
+	// process lifetime) observed after the run.
+	GCPauseP99US float64 `json:"gc_pause_p99_us,omitempty"`
 }
 
 // RunLoad executes the closed-loop load run against a serving gateway.
@@ -225,6 +236,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		err                                 error
 	}
 	results := make([]clientResult, c.Clients)
+	// Sample the server's allocation counters around the run; failures
+	// (older server, no /stats) just leave the alloc columns at zero.
+	preStats, _ := client.Stats()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < c.Clients; i++ {
@@ -347,6 +361,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.ModelSpeedup = rep.ModelBaseCycles / rep.ModelOptCycles
 		rep.WallVsModelOpt = elapsed.Seconds() / rep.ModelOptSeconds
 	}
+	if postStats, _ := client.Stats(); postStats != nil && postStats.Runtime != nil &&
+		preStats != nil && preStats.Runtime != nil && rep.OK > 0 {
+		pre, post := preStats.Runtime, postStats.Runtime
+		rep.AllocsPerOp = float64(post.HeapAllocObjects-pre.HeapAllocObjects) / float64(rep.OK)
+		rep.AllocBytesPerOp = float64(post.HeapAllocBytes-pre.HeapAllocBytes) / float64(rep.OK)
+		rep.GCPauseP99US = post.GCPauseP99US
+	}
 	return rep, nil
 }
 
@@ -380,6 +401,10 @@ func (r *LoadReport) Format() string {
 	if r.ModelOptCycles > 0 {
 		fmt.Fprintf(&b, "model: base %.3fs, optimized %.3fs at 188 MHz (speedup %.2fX over this mix); wall-clock %.1fX the optimized platform\n",
 			r.ModelBaseSeconds, r.ModelOptSeconds, r.ModelSpeedup, r.WallVsModelOpt)
+	}
+	if r.AllocsPerOp > 0 || r.AllocBytesPerOp > 0 {
+		fmt.Fprintf(&b, "memory: %.0f server allocs/op (%.0f B/op), GC pause p99 %.1fµs\n",
+			r.AllocsPerOp, r.AllocBytesPerOp, r.GCPauseP99US)
 	}
 	return b.String()
 }

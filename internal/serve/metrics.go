@@ -225,6 +225,10 @@ type Stats struct {
 	SessionCache *CacheStatsView `json:"session_cache,omitempty"`
 	Precompute   *CacheStatsView `json:"precompute_cache,omitempty"`
 	AESSchedule  *CacheStatsView `json:"aes_schedule_cache,omitempty"`
+
+	// Runtime is the process allocation/GC view (runtime/metrics); load
+	// generators diff it across a run to derive allocations per served op.
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
 }
 
 // CacheStatsView is the exported snapshot of one serving cache.
@@ -357,6 +361,14 @@ func (s Stats) Text() string {
 	writeCache("session", s.SessionCache)
 	writeCache("precompute", s.Precompute)
 	writeCache("aes_schedule", s.AESSchedule)
+	if rt := s.Runtime; rt != nil {
+		fmt.Fprintf(&b, "wispd_heap_alloc_bytes_total %d\n", rt.HeapAllocBytes)
+		fmt.Fprintf(&b, "wispd_heap_alloc_objects_total %d\n", rt.HeapAllocObjects)
+		fmt.Fprintf(&b, "wispd_heap_live_bytes %d\n", rt.HeapLiveBytes)
+		fmt.Fprintf(&b, "wispd_gc_cycles_total %d\n", rt.GCCycles)
+		fmt.Fprintf(&b, "wispd_gc_pause_us{q=\"0.50\"} %.1f\n", rt.GCPauseP50US)
+		fmt.Fprintf(&b, "wispd_gc_pause_us{q=\"0.99\"} %.1f\n", rt.GCPauseP99US)
+	}
 	costOps := make([]string, 0, len(s.OpCostUS))
 	for op := range s.OpCostUS {
 		costOps = append(costOps, op)

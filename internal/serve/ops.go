@@ -6,6 +6,7 @@ import (
 
 	"wisp/internal/aescipher"
 	"wisp/internal/blockmode"
+	"wisp/internal/bufpool"
 	"wisp/internal/descipher"
 	"wisp/internal/hashes"
 	"wisp/internal/rsakey"
@@ -97,9 +98,12 @@ func (s *shard) sessionPair(resume bool) (cli, srv *ssl.Session, err error) {
 
 // run executes one admitted request on this shard, filling resp's
 // payload-bearing fields.  Status and timing are the caller's job.
+// Payload-bearing response fields (Digest, Result) are written with
+// append(...[:0], ...) so a caller that reuses Response objects keeps the
+// steady-state record path allocation-free.
 func (s *shard) run(req *Request, resp *Response) error {
 	digest := hashes.MD5Sum(req.Payload)
-	resp.Digest = digest[:]
+	resp.Digest = append(resp.Digest[:0], digest[:]...)
 
 	switch req.Op {
 	case OpSSL:
@@ -123,7 +127,7 @@ func (s *shard) run(req *Request, resp *Response) error {
 		resp.EstBaseCycles, resp.EstOptCycles = s.g.estRecord(len(req.Payload))
 
 	case OpRSADecrypt:
-		wrapped, err := s.env.engine.PadEncrypt(s.rng, &s.g.key.PublicKey, digest[:])
+		wrapped, err := s.env.engine.PadEncrypt(s.rng, &s.g.key.PublicKey, resp.Digest)
 		if err != nil {
 			return err
 		}
@@ -131,7 +135,7 @@ func (s *shard) run(req *Request, resp *Response) error {
 		if err != nil {
 			return err
 		}
-		if !bytes.Equal(got, digest[:]) {
+		if !bytes.Equal(got, resp.Digest) {
 			return fmt.Errorf("rsa round trip corrupted digest")
 		}
 		resp.Result = wrapped
@@ -139,7 +143,7 @@ func (s *shard) run(req *Request, resp *Response) error {
 		resp.EstOptCycles = s.g.cfg.OptCosts.RSADecrypt
 
 	case OpRSAEncrypt:
-		wrapped, err := s.env.engine.PadEncrypt(s.rng, &s.g.key.PublicKey, digest[:])
+		wrapped, err := s.env.engine.PadEncrypt(s.rng, &s.g.key.PublicKey, resp.Digest)
 		if err != nil {
 			return err
 		}
@@ -173,10 +177,10 @@ func (s *shard) run(req *Request, resp *Response) error {
 		resp.EstOptCycles = s.g.cfg.OptCosts.CipherPerByte * float64(len(req.Payload))
 
 	case OpMD5:
-		resp.Result = digest[:]
+		resp.Result = append(resp.Result[:0], resp.Digest...)
 	case OpSHA1:
 		sum := hashes.SHA1Sum(req.Payload)
-		resp.Result = sum[:]
+		resp.Result = append(resp.Result[:0], sum[:]...)
 	case OpHMACMD5:
 		resp.Result = hashes.HMACMD5(s.hmacKey(req), req.Payload)
 	case OpHMACSHA1:
@@ -205,6 +209,10 @@ func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
 	if err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
+	// Per-transaction sessions die with the transaction; Close recycles
+	// their record buffers through the pool for the next handshake.
+	defer cli.Close()
+	defer srv.Close()
 	resp.Resumed = cli.Resumed && srv.Resumed
 	if handshakeOnly {
 		if resp.Resumed {
@@ -218,7 +226,8 @@ func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
 	if rs <= 0 {
 		rs = s.g.cfg.RecordSize
 	}
-	recovered := make([]byte, 0, len(req.Payload))
+	recovered := bufpool.Get(len(req.Payload))[:0]
+	defer func() { bufpool.Put(recovered) }()
 	for off := 0; off < len(req.Payload); off += rs {
 		end := min(off+rs, len(req.Payload))
 		rec, err := cli.Seal(req.Payload[off:end])
@@ -244,7 +253,8 @@ func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
 }
 
 // runCBC is the shared CBC round trip for AES/3DES: pad, encrypt, decrypt,
-// unpad, compare.
+// unpad, compare.  Both working buffers come from the pool; padding and
+// encryption share one buffer since CBCEncrypt works in place.
 func (s *shard) runCBC(req *Request, resp *Response, blockSize int,
 	cipher func(key []byte) (blockmode.Block, []byte, error)) error {
 	var key []byte
@@ -255,12 +265,18 @@ func (s *shard) runCBC(req *Request, resp *Response, blockSize int,
 	if err != nil {
 		return err
 	}
-	padded := blockmode.Pad(req.Payload, blockSize)
-	ct := make([]byte, len(padded))
-	if err := blockmode.CBCEncrypt(blk, iv, ct, padded); err != nil {
+	pad := blockSize - len(req.Payload)%blockSize
+	ct := bufpool.Get(len(req.Payload) + pad)
+	defer bufpool.Put(ct)
+	copy(ct, req.Payload)
+	for i := len(req.Payload); i < len(ct); i++ {
+		ct[i] = byte(pad)
+	}
+	if err := blockmode.CBCEncrypt(blk, iv, ct, ct); err != nil {
 		return err
 	}
-	pt := make([]byte, len(ct))
+	pt := bufpool.Get(len(ct))
+	defer bufpool.Put(pt)
 	if err := blockmode.CBCDecrypt(blk, iv, pt, ct); err != nil {
 		return err
 	}

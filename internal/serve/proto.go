@@ -125,6 +125,11 @@ type Response struct {
 	// Digest is MD5 over the recovered payload: after the round trip
 	// through cipher/record/handshake machinery, this must equal the MD5
 	// the client computes locally — the end-to-end corruption check.
+	//
+	// Ownership: the shard fills Digest and Result by appending into
+	// whatever capacity the Response already carries, so a caller that
+	// recycles Response objects must treat both slices as overwritten by
+	// the next call that reuses the object.
 	Digest []byte `json:"digest,omitempty"`
 	// Result is op-specific output (hash or HMAC value, RSA ciphertext).
 	Result []byte `json:"result,omitempty"`

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeStats is the process-level allocation and GC view exported in
+// /stats.  A load generator samples it before and after a run; the deltas
+// (heap objects per served op, GC pause tail) are what the allocation-
+// regression gate in cmd/benchcmp holds to the checked-in baseline —
+// a throughput-neutral change that reintroduces per-record allocations
+// still fails CI.
+type RuntimeStats struct {
+	// HeapAllocBytes / HeapAllocObjects are cumulative totals since
+	// process start (monotonic, so deltas across a run are exact).
+	HeapAllocBytes   uint64 `json:"heap_alloc_bytes_total"`
+	HeapAllocObjects uint64 `json:"heap_alloc_objects_total"`
+	// HeapLiveBytes is the live heap after the last GC.
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	// GCCycles is the cumulative completed GC count.
+	GCCycles uint64 `json:"gc_cycles_total"`
+	// GCPauseP50US / GCPauseP99US are stop-the-world pause quantiles over
+	// the process lifetime, in microseconds.
+	GCPauseP50US float64 `json:"gc_pause_p50_us"`
+	GCPauseP99US float64 `json:"gc_pause_p99_us"`
+}
+
+// runtimeSamples names the runtime/metrics series RuntimeStats reads.
+var runtimeSamples = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/heap/live:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// ReadRuntimeStats samples the runtime metrics.  Unknown series (older
+// runtimes) read as zero rather than failing.
+func ReadRuntimeStats() *RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	rs := &RuntimeStats{}
+	for _, s := range samples {
+		switch s.Name {
+		case "/gc/heap/allocs:bytes":
+			rs.HeapAllocBytes = sampleUint64(s)
+		case "/gc/heap/allocs:objects":
+			rs.HeapAllocObjects = sampleUint64(s)
+		case "/gc/heap/live:bytes":
+			rs.HeapLiveBytes = sampleUint64(s)
+		case "/gc/cycles/total:gc-cycles":
+			rs.GCCycles = sampleUint64(s)
+		case "/sched/pauses/total/gc:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.GCPauseP50US = histQuantile(h, 0.50) * 1e6
+				rs.GCPauseP99US = histQuantile(h, 0.99) * 1e6
+			}
+		}
+	}
+	return rs
+}
+
+func sampleUint64(s metrics.Sample) uint64 {
+	if s.Value.Kind() == metrics.KindUint64 {
+		return s.Value.Uint64()
+	}
+	return 0
+}
+
+// histQuantile estimates quantile q from a runtime/metrics histogram using
+// the midpoint of the bucket holding the q-th observation.  Unbounded edge
+// buckets fall back to their finite side.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				return hi
+			}
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return 0
+}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"wisp/internal/blockmode"
+	"wisp/internal/bufpool"
 	"wisp/internal/descipher"
 	"wisp/internal/hashes"
 	"wisp/internal/mpz"
@@ -19,6 +20,13 @@ import (
 // rather than wire-compatible — the platform evaluation needs the
 // computational profile (one private-key op per handshake, cipher+MAC per
 // record byte), not interoperability.
+//
+// Buffer ownership: the record layer is allocation-free in steady state.
+// Seal and Open return slices of buffers owned by the Session; a returned
+// record or payload is valid only until the next Seal/Open/Close call on
+// the same Session.  Callers that retain the bytes past that point must
+// copy them first.  A Session is single-goroutine, like the Ctx that
+// produced it; Close releases its pooled buffers.
 
 const (
 	nonceLen     = 16
@@ -67,11 +75,14 @@ func Pipe() (client, server Transport) {
 
 // prf chains MD5 over (counter ‖ label ‖ secret ‖ nonces) per SSLv3's
 // style; the label separates the master-secret derivation from key-block
-// expansion so a cached master never equals a key block.
+// expansion so a cached master never equals a key block.  One allocation:
+// the returned block (its bytes are retained by the session key schedule).
 func prf(label string, secret, clientNonce, serverNonce []byte, outLen int) []byte {
-	var block []byte
+	rounds := (outLen + hashes.MD5Size - 1) / hashes.MD5Size
+	block := make([]byte, 0, rounds*hashes.MD5Size)
+	var h hashes.MD5
 	for i := byte(1); len(block) < outLen; i++ {
-		h := hashes.NewMD5()
+		h.Reset()
 		h.Write([]byte{i})
 		h.Write([]byte(label))
 		h.Write(secret)
@@ -99,11 +110,19 @@ func kdf(master, clientNonce, serverNonce []byte) []byte {
 // sealing and opening keys.
 type Session struct {
 	cipher  *descipher.TripleCipher
-	sendMAC []byte
-	recvMAC []byte
+	sendMAC *hashes.HMAC
+	recvMAC *hashes.HMAC
 	iv      []byte
 	sendSeq uint64
 	recvSeq uint64
+
+	// Record-layer scratch, reused across calls.  sealBuf and openBuf come
+	// from bufpool and grow once to the session's record size; macBuf and
+	// hdrBuf keep the per-record MAC computation off the heap.
+	sealBuf []byte
+	openBuf []byte
+	macBuf  []byte
+	hdrBuf  [12]byte
 
 	// ID is the session identifier assigned by the server (empty when the
 	// server runs without a session cache).
@@ -120,35 +139,68 @@ func newSession(keyBlock []byte, isClient bool) (*Session, error) {
 	}
 	mac1 := keyBlock[24:40]
 	mac2 := keyBlock[40:56]
-	s := &Session{cipher: tc, iv: keyBlock[56:64]}
-	if isClient {
-		s.sendMAC, s.recvMAC = mac1, mac2
-	} else {
-		s.sendMAC, s.recvMAC = mac2, mac1
+	if !isClient {
+		mac1, mac2 = mac2, mac1
+	}
+	newMD5 := func() hashes.Hash { return hashes.NewMD5() }
+	s := &Session{
+		cipher:  tc,
+		iv:      keyBlock[56:64],
+		sendMAC: hashes.NewHMAC(newMD5, mac1),
+		recvMAC: hashes.NewHMAC(newMD5, mac2),
+		macBuf:  make([]byte, 0, hashes.MD5Size),
 	}
 	return s, nil
 }
 
+// Close returns the session's pooled record buffers.  The session must not
+// be used afterwards; records and payloads previously returned by Seal and
+// Open are invalidated.
+func (s *Session) Close() {
+	bufpool.Put(s.sealBuf)
+	bufpool.Put(s.openBuf)
+	s.sealBuf, s.openBuf = nil, nil
+}
+
+// grow returns buf resized to n bytes, recycling through bufpool when the
+// current capacity is insufficient.  Contents are not preserved.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		bufpool.Put(buf)
+		buf = bufpool.Get(n)
+	}
+	return buf[:n]
+}
+
 // Seal protects one record: HMAC-MD5 over (seq ‖ length ‖ payload), then
-// 3DES-CBC over the padded payload‖MAC.
+// 3DES-CBC over the padded payload‖MAC.  The returned record aliases the
+// session's internal buffer and is valid until the next Seal or Close.
 func (s *Session) Seal(payload []byte) ([]byte, error) {
 	mac := s.recordMAC(s.sendMAC, s.sendSeq, payload)
 	s.sendSeq++
-	plain := append(append([]byte{}, payload...), mac...)
-	padded := blockmode.Pad(plain, descipher.BlockSize)
-	out := make([]byte, len(padded))
-	if err := blockmode.CBCEncrypt(s.cipher, s.iv, out, padded); err != nil {
+	plainLen := len(payload) + len(mac)
+	pad := descipher.BlockSize - plainLen%descipher.BlockSize
+	s.sealBuf = grow(s.sealBuf, plainLen+pad)
+	out := s.sealBuf
+	copy(out, payload)
+	copy(out[len(payload):], mac)
+	for i := plainLen; i < len(out); i++ {
+		out[i] = byte(pad)
+	}
+	if err := blockmode.CBCEncrypt(s.cipher, s.iv, out, out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// Open verifies and unwraps one record.
+// Open verifies and unwraps one record.  The returned payload aliases the
+// session's internal buffer and is valid until the next Open or Close.
 func (s *Session) Open(record []byte) ([]byte, error) {
 	if len(record) == 0 || len(record)%descipher.BlockSize != 0 {
 		return nil, fmt.Errorf("ssl: bad record length %d", len(record))
 	}
-	plain := make([]byte, len(record))
+	s.openBuf = grow(s.openBuf, len(record))
+	plain := s.openBuf
 	if err := blockmode.CBCDecrypt(s.cipher, s.iv, plain, record); err != nil {
 		return nil, err
 	}
@@ -172,14 +224,17 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	return payload, nil
 }
 
-func (s *Session) recordMAC(key []byte, seq uint64, payload []byte) []byte {
-	h := hashes.NewHMAC(func() hashes.Hash { return hashes.NewMD5() }, key)
-	var hdr [12]byte
-	binary.BigEndian.PutUint64(hdr[:8], seq)
-	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
-	h.Write(hdr[:])
+// recordMAC computes the record MAC into the session's scratch using the
+// persistent keyed HMAC state; the result is valid until the next
+// recordMAC call on the same session.
+func (s *Session) recordMAC(h *hashes.HMAC, seq uint64, payload []byte) []byte {
+	h.Reset()
+	binary.BigEndian.PutUint64(s.hdrBuf[:8], seq)
+	binary.BigEndian.PutUint32(s.hdrBuf[8:], uint32(len(payload)))
+	h.Write(s.hdrBuf[:])
 	h.Write(payload)
-	return h.Sum(nil)
+	s.macBuf = h.Sum(s.macBuf[:0])
+	return s.macBuf
 }
 
 // Hello wire format.  Client hello: nonce ‖ sidLen(1) ‖ sid, where a
