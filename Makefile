@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test check race lint fuzz bench bench-alloc bins serve-smoke serve-bench bench-json bench-check
+.PHONY: all build test check race lint fuzz bench bench-alloc bins serve-smoke serve-bench serve-attack bench-json bench-check
 
 all: build test
 
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -fuzz FuzzMpnDiv -fuzztime $(FUZZTIME) ./internal/mpn/
 	$(GO) test -fuzz FuzzModMul -fuzztime $(FUZZTIME) ./internal/mpz/
 	$(GO) test -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/ssl/
+	$(GO) test -fuzz FuzzClientAccounting -fuzztime $(FUZZTIME) ./internal/serve/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -73,6 +74,16 @@ serve-smoke: bins
 # beat the resume-off baseline.  Writes BENCH_serve.json.
 serve-bench: bins
 	BIN=bin ./scripts/serve_bench.sh
+
+# serve-attack is the adversarial fairness regression gate: an attack-free
+# baseline replay (run twice for a noise-resistant reference) followed by
+# the same legit workload with all four attack profiles (flood, thrash,
+# oversize, slowloris) mixed in.  Asserts zero digest mismatches, zero
+# sheds-while-idle, that attackers were throttled, and that legit record
+# p99 stays within 1.5x of the attack-free baseline.  Writes
+# BENCH_attack.json.
+serve-attack: bins
+	BIN=bin ./scripts/serve_attack.sh
 
 # bench-json emits the machine-readable serving benchmark record
 # (per-op p50/p99, throughput, cache hit rates) to BENCH_serve.json.

@@ -10,7 +10,15 @@
 //	wispd [-addr 127.0.0.1:9311] [-shards N] [-queue 64] [-batch 16]
 //	      [-dispatch cost|rr] [-rsabits 512] [-record 1024] [-seed 1]
 //	      [-session-cache 4096] [-session-ttl 10m]
-//	      [-measured] [-metrics] [-pprof] [-addrfile PATH]
+//	      [-client-rate 0] [-client-burst 0] [-fair-limit 0] [-qos-quantum 0]
+//	      [-read-timeout 0] [-measured] [-metrics] [-pprof] [-addrfile PATH]
+//
+// -client-rate enables per-client QoS isolation: each ClientID's
+// estimated-cost spend (µs of predicted service time per second) is
+// metered against a token bucket, and under saturation clients are
+// fair-queued with deficit round-robin ahead of shard dispatch.
+// -read-timeout bounds how long a connection may dribble one request
+// (the slow-loris defense).
 //
 // With -measured the daemon characterizes the platform kernels on the ISS
 // at startup (Platform.SSLCosts) and prices transactions with those
@@ -42,6 +50,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "determinism seed for shard key material")
 	sessionCap := flag.Int("session-cache", 4096, "SSL session cache capacity (abbreviated handshakes); negative disables resumption")
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "SSL session cache entry lifetime")
+	clientRate := flag.Int64("client-rate", 0, "per-client QoS rate in estimated-cost µs per second (0 = QoS off)")
+	clientBurst := flag.Int64("client-burst", 0, "per-client QoS burst in estimated-cost µs (0 = 2x rate)")
+	fairLimit := flag.Int64("fair-limit", 0, "outstanding dispatched cost (µs) above which clients are DRR fair-queued (0 = shards x 250ms)")
+	qosQuantum := flag.Int64("qos-quantum", 0, "DRR quantum in estimated-cost µs (0 = 10ms)")
+	maxCost := flag.Int64("max-cost", 0, "per-request estimated-cost ceiling in µs; dearer requests are throttled (0 = no cap)")
+	readTimeout := flag.Duration("read-timeout", 0, "max time a connection may take to deliver one full request (slow-loris defense; 0 = unbounded)")
 	measured := flag.Bool("measured", false, "derive the analytic cost model on the ISS at startup")
 	metrics := flag.Bool("metrics", false, "print the text metrics dump on shutdown")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for allocation and CPU profiling")
@@ -59,6 +73,12 @@ func main() {
 		Seed:       *seed,
 		SessionCap: *sessionCap,
 		SessionTTL: *sessionTTL,
+
+		ClientRateUS:  *clientRate,
+		ClientBurstUS: *clientBurst,
+		FairLimitUS:   *fairLimit,
+		DRRQuantumUS:  *qosQuantum,
+		MaxCostUS:     *maxCost,
 	}
 	if *measured {
 		fmt.Println("wispd: characterizing platform kernels on the ISS...")
@@ -81,6 +101,9 @@ func main() {
 	if *pprofFlag {
 		srv.EnablePprof()
 	}
+	if *readTimeout > 0 {
+		srv.SetReadTimeout(*readTimeout)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
@@ -92,6 +115,10 @@ func main() {
 	}
 	fmt.Printf("wispd: listening on %s (%d shards, queue %d, batch %d, RSA-%d, dispatch %s)\n",
 		bound, gw.Config().Shards, gw.Config().QueueDepth, gw.Config().BatchMax, gw.Config().RSABits, gw.Config().Dispatch)
+	if qc := gw.Config(); qc.ClientRateUS > 0 {
+		fmt.Printf("wispd: QoS on — %dµs/s per client (burst %dµs), fair-queue above %dµs outstanding (quantum %dµs)\n",
+			qc.ClientRateUS, qc.ClientBurstUS, qc.FairLimitUS, qc.DRRQuantumUS)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

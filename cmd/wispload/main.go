@@ -9,8 +9,10 @@
 //	wispload -addr 127.0.0.1:9311 [-clients 4] [-n 25]
 //	         [-mix 1k,4k,16k,32k] [-ops ssl] [-record 1024]
 //	         [-deadline-us 0] [-retries 0] [-backoff-us 2000]
-//	         [-hedge-us 0] [-resume-ratio 0] [-seed 1] [-json] [-stats]
-//	         [-bench-out FILE]
+//	         [-hedge-us 0] [-resume-ratio 0] [-think-us 0] [-seed 1]
+//	         [-json] [-stats]
+//	         [-attack flood,thrash,oversize,slowloris] [-attack-ratio 0.25]
+//	         [-attack-conc 4] [-bench-out FILE]
 //
 // -resume-ratio R marks fraction R of ssl/handshake requests as
 // resumable: the gateway serves them with an abbreviated handshake from
@@ -18,6 +20,14 @@
 // a separate "+resumed" class.  -bench-out writes a compact benchmark
 // record (per-op p50/p99, throughput, cache hit rates) for the CI
 // regression gate (cmd/benchcmp).
+//
+// -attack mixes adversarial clients into the run alongside the legit
+// closed loops: flood (concurrent full-handshake SSL), thrash
+// (session-cache churn), oversize (max-size and over-limit payloads) and
+// slowloris (dribbled request bodies).  Attackers are ADDITIONAL clients —
+// the legit request streams are byte-identical to an attack-free run on
+// the same seed — and the report splits legit vs attack outcomes so the
+// fairness gate can hold legit-only p99 against an attack-free baseline.
 package main
 
 import (
@@ -43,6 +53,11 @@ func main() {
 	backoff := flag.Int64("backoff-us", 2000, "base retry backoff in µs (doubles per retry)")
 	hedge := flag.Int64("hedge-us", 0, "hedge deadline-bearing requests unanswered after this many µs (0 = off)")
 	resumeRatio := flag.Float64("resume-ratio", 0, "fraction of ssl/handshake requests offering session resumption (0..1)")
+	thinkUS := flag.Int64("think-us", 0, "mean jittered pause between a legit client's requests in µs (0 = back-to-back closed loop)")
+	attack := flag.String("attack", "", "comma-separated adversarial profiles to mix in (flood,thrash,oversize,slowloris)")
+	attackRatio := flag.Float64("attack-ratio", 0.25, "target fraction of all clients that are attackers (attackers are additional clients)")
+	attackConc := flag.Int("attack-conc", 4, "concurrent request streams per attacker ClientID")
+	attackRTT := flag.Int64("attack-rtt-us", 0, "modeled attacker round-trip in µs per stream request (0 = default 20000, negative = unpaced)")
 	seed := flag.Int64("seed", 1, "payload determinism seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	stats := flag.Bool("stats", true, "fetch and print server-side /stats after the run")
@@ -61,6 +76,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	profiles, err := serve.ParseAttackProfiles(*attack)
+	if err != nil {
+		fatal(err)
+	}
+	if *attackRatio < 0 || *attackRatio >= 1 {
+		fatal(fmt.Errorf("attack-ratio %g out of range [0,1)", *attackRatio))
+	}
 
 	rep, err := serve.RunLoad(serve.LoadConfig{
 		Addr:        *addr,
@@ -74,7 +96,13 @@ func main() {
 		BackoffUS:   *backoff,
 		HedgeUS:     *hedge,
 		ResumeRatio: *resumeRatio,
+		ThinkUS:     *thinkUS,
 		Seed:        *seed,
+
+		Attack:            profiles,
+		AttackRatio:       *attackRatio,
+		AttackConcurrency: *attackConc,
+		AttackRTTUS:       *attackRTT,
 	})
 	if err != nil {
 		fatal(err)
@@ -108,10 +136,14 @@ func main() {
 	} else {
 		fmt.Print(rep.Format())
 		if shownStats != nil {
-			fmt.Printf("server: %d requests, %d ok, shed %d (queue-full %d, deadline %d, draining %d), expired %d\n",
+			fmt.Printf("server: %d requests, %d ok, shed %d (queue-full %d, deadline %d, draining %d, throttle %d), expired %d\n",
 				shownStats.Requests, shownStats.OK, shownStats.Shed,
 				shownStats.ShedByReason["queue-full"], shownStats.ShedByReason["deadline"],
-				shownStats.ShedByReason["draining"], shownStats.Expired)
+				shownStats.ShedByReason["draining"], shownStats.ShedByReason["throttle"], shownStats.Expired)
+			if q := shownStats.QoS; q != nil {
+				fmt.Printf("server qos: %d throttled, %d clients tracked, fair-waiting %d\n",
+					q.Throttled, len(q.Clients), q.FairWaiting)
+			}
 			fmt.Printf("server dispatch (%s): %d steals, %d redirects, %d retries, %d hedged, %d sheds-while-idle\n",
 				shownStats.Dispatch, shownStats.Steals, shownStats.Redirects,
 				shownStats.Retries, shownStats.Hedges, shownStats.ShedWhileIdle)

@@ -8,10 +8,11 @@ import (
 
 // BenchSchema versions the benchmark record format.  Schema 2 added the
 // allocation columns (allocs_per_op, alloc_bytes_per_op, gc_pause_p99_us);
-// readers accept any schema up to their own, so a schema-1 baseline still
-// gates throughput and latency while the allocation gate waits for the
-// baseline to be regenerated.
-const BenchSchema = 2
+// schema 3 added the adversarial-mix columns (legit_p99_us, attack_ratio).
+// Readers accept any schema up to their own, so schema-1/2 baselines still
+// gate throughput and latency while the newer gates wait for the baseline
+// to be regenerated.
+const BenchSchema = 3
 
 // BenchOp is one op class's latency slice in a benchmark record.  Resumed
 // transactions appear as their own "<op>+resumed" class, so the gate can
@@ -45,6 +46,13 @@ type BenchRecord struct {
 	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
 	AllocBytesPerOp float64 `json:"alloc_bytes_per_op,omitempty"`
 	GCPauseP99US    float64 `json:"gc_pause_p99_us,omitempty"`
+
+	// Schema 3: adversarial-mix columns.  LegitP99US is the legit-only
+	// overall latency p99 of a mixed run; AttackRatio is the attacker
+	// fraction of all clients.  Zero values mean an attack-free run (or an
+	// older record).
+	LegitP99US  int64   `json:"legit_p99_us,omitempty"`
+	AttackRatio float64 `json:"attack_ratio,omitempty"`
 }
 
 // NewBenchRecord distills a load report (and optional server stats) into
@@ -62,6 +70,10 @@ func NewBenchRecord(rep *LoadReport, stats *Stats) *BenchRecord {
 		AllocsPerOp:     rep.AllocsPerOp,
 		AllocBytesPerOp: rep.AllocBytesPerOp,
 		GCPauseP99US:    rep.GCPauseP99US,
+		AttackRatio:     rep.AttackRatio,
+	}
+	if rep.Legit != nil {
+		r.LegitP99US = rep.Legit.Latency.P99
 	}
 	for _, row := range rep.PerOp {
 		r.Ops[row.Op] = BenchOp{

@@ -203,7 +203,15 @@ func (c *Client) post(req *Request) (*Response, error) {
 	if err := json.NewEncoder(buf).Encode(req); err != nil {
 		return nil, err
 	}
-	httpResp, err := c.http.Post(c.base+"/v1/offload", "application/json", bytes.NewReader(buf.Bytes()))
+	return c.postBytes(buf.Bytes())
+}
+
+// postBytes submits an already-framed request body.  Attackers in the
+// load generator pre-marshal their ammunition once and fire it repeatedly
+// through this path — re-encoding a megabyte payload per shot would spend
+// the generator's CPU on the attacker's half of the work.
+func (c *Client) postBytes(body []byte) (*Response, error) {
+	httpResp, err := c.http.Post(c.base+"/v1/offload", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

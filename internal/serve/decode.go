@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wisp/internal/bufpool"
+)
+
+// MaxWireBytes bounds one encoded request body: the base64 expansion of a
+// maximum payload plus generous headroom for the envelope fields.  The
+// HTTP front end cuts bodies off at this size, so an attacker streaming an
+// arbitrarily large body is disconnected after ~1.4 MB, not buffered.
+const MaxWireBytes = MaxPayload/3*4 + 4096
+
+// wireRequest mirrors Request but defers the payload: json.RawMessage
+// captures the still-encoded base64 token so its size can be validated
+// *before* any decode buffer is allocated.
+type wireRequest struct {
+	ID         string          `json:"id"`
+	Op         Op              `json:"op"`
+	Payload    json.RawMessage `json:"payload"`
+	Key        []byte          `json:"key"`
+	RecordSize int             `json:"record_size"`
+	DeadlineUS int64           `json:"deadline_us"`
+	Resume     bool            `json:"resume"`
+	Attempt    int             `json:"attempt"`
+	Hedge      bool            `json:"hedge"`
+	ClientID   string          `json:"client_id"`
+}
+
+// maxPayloadWire is the longest legal encoded payload token: base64 of
+// MaxPayload bytes plus the two quotes.
+var maxPayloadWire = base64.StdEncoding.EncodedLen(MaxPayload) + 2
+
+// Envelope is one parsed request whose payload is still in encoded wire
+// form.  Splitting decode in two lets admission run on the cheap half —
+// op, client identity and payload size are all knowable from the envelope —
+// before the expensive half (base64 into a pooled buffer) is paid for.
+// The HTTP front end prices and charges the client's token bucket between
+// the two stages, so a throttled client's maximum-size payload is refused
+// without the gateway ever materializing it.
+type Envelope struct {
+	w wireRequest
+}
+
+// DecodeEnvelope parses the request envelope and applies every size bound
+// that does not require the payload: ClientID length, and the payload's
+// encoded-token length (4 base64 chars carry 3 payload bytes, so bounding
+// the token bounds the decoded size without materializing it).
+func DecodeEnvelope(r io.Reader) (*Envelope, error) {
+	var e Envelope
+	dec := json.NewDecoder(io.LimitReader(r, MaxWireBytes+1))
+	if err := dec.Decode(&e.w); err != nil {
+		return nil, invalidf("body", "malformed JSON: %v", err)
+	}
+	if len(e.w.ClientID) > MaxClientID {
+		return nil, invalidf("client_id", "%d bytes exceeds limit %d", len(e.w.ClientID), MaxClientID)
+	}
+	raw := e.w.Payload
+	if len(raw) == 0 || string(raw) == "null" {
+		e.w.Payload = nil
+		return &e, nil
+	}
+	if len(raw) > maxPayloadWire {
+		return nil, invalidf("payload", "~%d bytes exceeds limit %d", base64.StdEncoding.DecodedLen(len(raw)-2), MaxPayload)
+	}
+	if len(raw) < 2 || raw[0] != '"' || raw[len(raw)-1] != '"' {
+		return nil, invalidf("payload", "not a base64 string")
+	}
+	return &e, nil
+}
+
+// Op returns the envelope's operation (possibly unknown to the gateway —
+// validation of the op name happens at Submit).
+func (e *Envelope) Op() Op { return e.w.Op }
+
+// ClientKey returns the QoS accounting identity, mapping the empty
+// ClientID to the anonymous client the same way Request.clientKey does.
+func (e *Envelope) ClientKey() string {
+	if e.w.ClientID == "" {
+		return "-"
+	}
+	return e.w.ClientID
+}
+
+// PayloadBytes is the decoded payload size implied by the encoded token —
+// exact up to base64 padding — available without decoding anything.
+func (e *Envelope) PayloadBytes() int {
+	if len(e.w.Payload) < 2 {
+		return 0
+	}
+	return base64.StdEncoding.DecodedLen(len(e.w.Payload) - 2)
+}
+
+// Materialize decodes the deferred payload into a bufpool buffer and
+// returns the complete request.  On success the returned request's
+// Payload is owned by the caller; release it with ReleaseRequest once the
+// request is fully served.
+func (e *Envelope) Materialize() (*Request, error) {
+	w := &e.w
+	req := &Request{
+		ID: w.ID, Op: w.Op, Key: w.Key,
+		RecordSize: w.RecordSize, DeadlineUS: w.DeadlineUS,
+		Resume: w.Resume, Attempt: w.Attempt, Hedge: w.Hedge,
+		ClientID: w.ClientID,
+	}
+	if len(w.Payload) == 0 {
+		return req, nil
+	}
+	b64 := w.Payload[1 : len(w.Payload)-1]
+	buf := bufpool.Get(base64.StdEncoding.DecodedLen(len(b64)))
+	n, err := base64.StdEncoding.Decode(buf, b64)
+	if err != nil {
+		bufpool.Put(buf)
+		return nil, invalidf("payload", "bad base64: %v", err)
+	}
+	req.Payload = buf[:n]
+	return req, nil
+}
+
+// DecodeRequest parses one JSON-framed request with the size bounds
+// enforced ahead of allocation: an oversized payload or ClientID fails
+// with a *ValidationError after parsing only the envelope — no payload
+// buffer is taken from bufpool, no base64 is decoded.  On success the
+// returned request's Payload is a bufpool buffer owned by the caller;
+// release it with ReleaseRequest once the request is fully served.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	env, err := DecodeEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	return env.Materialize()
+}
+
+// ReleaseRequest recycles a DecodeRequest payload buffer back to bufpool.
+// The request must not be touched afterwards.
+func ReleaseRequest(req *Request) {
+	if req.Payload != nil {
+		bufpool.Put(req.Payload)
+		req.Payload = nil
+	}
+}
+
+// decodeErrorResponse shapes a decode rejection as a protocol-level error
+// response so clients parse it like any other outcome.
+func decodeErrorResponse(err error) *Response {
+	return &Response{Status: StatusError, Error: fmt.Sprint(err), Shard: -1}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestDecodeRequestRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xC3}, 5000)
+	body, err := json.Marshal(&Request{
+		ID: "r1", Op: OpMD5, Payload: payload, ClientID: "tenant-a",
+		DeadlineUS: 12345, Resume: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != "r1" || req.Op != OpMD5 || req.ClientID != "tenant-a" || req.DeadlineUS != 12345 {
+		t.Fatalf("envelope fields mangled: %+v", req)
+	}
+	if !bytes.Equal(req.Payload, payload) {
+		t.Fatalf("payload mangled: %d bytes, want %d", len(req.Payload), len(payload))
+	}
+	ReleaseRequest(req)
+	if req.Payload != nil {
+		t.Fatal("ReleaseRequest left the payload attached")
+	}
+}
+
+// TestDecodeRejectsOversizedPayloadBeforeDecode proves the rejection
+// ordering: the oversized token is stuffed with bytes that are NOT valid
+// base64, so if the decoder ever touched the content before checking the
+// size, the error would be "bad base64" instead of the size rejection.
+// The size check firing first is what guarantees no decode buffer is
+// taken from bufpool for over-limit payloads.
+func TestDecodeRejectsOversizedPayloadBeforeDecode(t *testing.T) {
+	junk := strings.Repeat("!", base64.StdEncoding.EncodedLen(MaxPayload)+400)
+	body := fmt.Sprintf(`{"op":"md5","payload":%q}`, junk)
+	_, err := DecodeRequest(strings.NewReader(body))
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %v (%T), want *ValidationError", err, err)
+	}
+	if ve.Field != "payload" || !strings.Contains(ve.Reason, "exceeds limit") {
+		t.Fatalf("rejection %+v, want payload size rejection (not a base64 error)", ve)
+	}
+}
+
+func TestDecodeRejectsOversizedClientID(t *testing.T) {
+	// The ClientID bound applies before any payload handling: pair the
+	// long ID with an oversized payload and the ID rejection must win.
+	longID := strings.Repeat("x", MaxClientID+1)
+	big := strings.Repeat("!", base64.StdEncoding.EncodedLen(MaxPayload)+400)
+	body := fmt.Sprintf(`{"op":"md5","client_id":%q,"payload":%q}`, longID, big)
+	_, err := DecodeRequest(strings.NewReader(body))
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %v (%T), want *ValidationError", err, err)
+	}
+	if ve.Field != "client_id" {
+		t.Fatalf("rejected on %q, want client_id first", ve.Field)
+	}
+}
+
+func TestDecodeMaxLegalPayloadAccepted(t *testing.T) {
+	payload := make([]byte, MaxPayload)
+	body, err := json.Marshal(&Request{Op: OpMD5, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("maximum legal payload rejected: %v", err)
+	}
+	if len(req.Payload) != MaxPayload {
+		t.Fatalf("decoded %d bytes, want %d", len(req.Payload), MaxPayload)
+	}
+	ReleaseRequest(req)
+}
+
+// endlessBase64 claims to stream an arbitrarily large body.
+type endlessBase64 struct{ n int64 }
+
+func (r *endlessBase64) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'A'
+	}
+	r.n += int64(len(p))
+	return len(p), nil
+}
+
+// TestDecodeBoundsAllocationForUnboundedBody streams a body that never
+// ends: the decoder must stop reading at the wire cap and reject, with
+// total allocation proportional to MaxWireBytes — not to whatever the
+// attacker claims to be sending.
+func TestDecodeBoundsAllocationForUnboundedBody(t *testing.T) {
+	head := `{"op":"md5","payload":"`
+	run := func() (*Request, error) {
+		src := io.MultiReader(strings.NewReader(head), &endlessBase64{})
+		return DecodeRequest(src)
+	}
+	// Warm the decoder's internal pools before measuring.
+	if _, err := run(); err == nil {
+		t.Fatal("unbounded body accepted")
+	}
+
+	const rounds = 8
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		if _, err := run(); err == nil {
+			t.Fatal("unbounded body accepted")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	perCall := int64(after.TotalAlloc-before.TotalAlloc) / rounds
+	// Each rejection may buffer up to the wire cap (the envelope raw token)
+	// a couple of times inside encoding/json; 8x the cap is generous, while
+	// an implementation that buffered the attacker-claimed body would blow
+	// far past it.
+	if limit := int64(MaxWireBytes) * 8; perCall > limit {
+		t.Fatalf("rejection allocates %d bytes/call, limit %d", perCall, limit)
+	}
+}
+
+// TestDecodeErrorResponseShape verifies rejected bodies still answer with
+// a protocol-shaped response.
+func TestDecodeErrorResponseShape(t *testing.T) {
+	_, err := DecodeRequest(strings.NewReader("{not json"))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	resp := decodeErrorResponse(err)
+	if resp.Status != StatusError || resp.Shard != -1 || resp.Error == "" {
+		t.Fatalf("malformed error response: %+v", resp)
+	}
+}
+
+func TestDecodeNullAndEmptyPayload(t *testing.T) {
+	for _, body := range []string{
+		`{"op":"md5"}`,
+		`{"op":"md5","payload":null}`,
+	} {
+		req, err := DecodeRequest(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if req.Payload != nil {
+			t.Fatalf("%s: phantom payload %d bytes", body, len(req.Payload))
+		}
+	}
+}

@@ -71,6 +71,38 @@ type Config struct {
 	// re-derives them on the ISS at startup.
 	BaseCosts *ssl.Costs
 	OptCosts  *ssl.Costs
+
+	// ClientRateUS enables per-client QoS isolation: each client may spend
+	// this many microseconds of *estimated* op cost per second (the same
+	// per-op service EWMAs dispatch prices backlogs with).  Arrivals beyond
+	// the budget are shed with reason "throttle".  0 disables QoS entirely
+	// (the default — the serving path is then identical to pre-QoS builds).
+	ClientRateUS int64
+	// ClientBurstUS is the token-bucket capacity; a fresh client may burst
+	// this much estimated cost before the rate applies.  Default 2×rate.
+	ClientBurstUS int64
+	// FairLimitUS caps the gateway's outstanding dispatched cost before
+	// deficit-round-robin fair queueing engages: below the limit requests
+	// dispatch immediately, above it they park in per-client DRR flows.
+	// Default 250ms of estimated work per shard.
+	FairLimitUS int64
+	// DRRQuantumUS is the per-round service credit each waiting client's
+	// flow earns.  Default 10000 (10ms of estimated work).
+	DRRQuantumUS int64
+	// HeavyHitterK sizes the space-saving top-k sketch exported via
+	// /stats.  Default 16.
+	HeavyHitterK int
+	// MaxClients bounds exact per-client accounting; further distinct IDs
+	// share one overflow row (and one token bucket, so an ID-spray attack
+	// rate-limits itself).  Default 4096.
+	MaxClients int
+	// MaxCostUS caps the estimated cost a single request may carry;
+	// dearer requests are shed with reason "throttle" no matter how full
+	// the client's bucket is.  This is the service-granularity bound: fair
+	// queueing shares capacity *between* requests, so one request big
+	// enough to monopolize a worker for whole seconds defeats it from the
+	// inside.  0 (the default) disables the cap.
+	MaxCostUS int64
 }
 
 // DefaultBaseCosts and DefaultOptCosts are the baseline and optimized
@@ -135,6 +167,23 @@ func (c Config) withDefaults() Config {
 	if c.OptCosts == nil {
 		c.OptCosts = &DefaultOptCosts
 	}
+	if c.ClientRateUS > 0 {
+		if c.ClientBurstUS <= 0 {
+			c.ClientBurstUS = 2 * c.ClientRateUS
+		}
+		if c.FairLimitUS <= 0 {
+			c.FairLimitUS = int64(c.Shards) * 250_000
+		}
+		if c.DRRQuantumUS <= 0 {
+			c.DRRQuantumUS = 10_000
+		}
+		if c.HeavyHitterK <= 0 {
+			c.HeavyHitterK = 16
+		}
+		if c.MaxClients <= 0 {
+			c.MaxClients = 4096
+		}
+	}
 	return c
 }
 
@@ -156,6 +205,7 @@ type Gateway struct {
 	shards   []*shard
 	metrics  *Metrics
 	sessions *ssl.SessionCache // shared session store; nil when resumption is disabled
+	qos      *qos              // per-client isolation; nil when ClientRateUS == 0
 
 	next     atomic.Uint64 // round-robin shard cursor (DispatchRR)
 	rngMu    sync.Mutex
@@ -198,6 +248,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if c.SessionCap > 0 {
 		g.sessions = ssl.NewSessionCache(c.SessionCap, c.SessionTTL)
 	}
+	if c.ClientRateUS > 0 {
+		g.qos = newQoS(c)
+	}
 	g.shards = make([]*shard, c.Shards)
 	for i := range g.shards {
 		s, err := newShard(i, g, rng.Int63())
@@ -238,6 +291,9 @@ func (g *Gateway) Stats() Stats {
 	}
 	if g.sessions != nil {
 		s.SessionCache = cacheView(g.sessions.Stats())
+	}
+	if g.qos != nil {
+		s.QoS = g.qos.view()
 	}
 	var pre cache.Stats
 	for _, sh := range g.shards {
@@ -281,15 +337,117 @@ func (g *Gateway) Submit(req *Request) *Response {
 	}
 
 	if err := req.Validate(); err != nil {
+		if req.preEst > 0 && g.qos != nil {
+			g.qos.cancel(req.clientKey())
+		}
 		om.errors.Add(1)
 		return &Response{ID: req.ID, Op: req.Op, Status: StatusError, Error: err.Error(), Shard: -1}
 	}
 	if g.draining.Load() {
+		if req.preEst > 0 && g.qos != nil {
+			g.qos.cancel(req.clientKey())
+		}
 		om.shed.Add(1)
 		g.metrics.shedDraining.Add(1)
-		return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "gateway draining", Shard: -1}
+		return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, ShedReason: "draining", Error: "gateway draining", Shard: -1}
 	}
 
+	if g.qos == nil {
+		return g.dispatch(req, om, now)
+	}
+	// QoS isolation: charge the client's token bucket with the admission
+	// cost estimate, then pass the fair-queue gate.  Throttle sheds are
+	// policy, not capacity — they never count toward shed_while_idle.
+	// Requests preadmitted at the envelope (see Preadmit) carry their
+	// charge already and skip straight to the fair queue.
+	cid := req.clientKey()
+	est := req.preEst
+	if est == 0 {
+		est = g.estReqCost(req.Op, len(req.Payload))
+		if !g.qos.admit(cid, est) {
+			om.shed.Add(1)
+			g.metrics.shedThrottle.Add(1)
+			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, ShedReason: "throttle",
+				Error: fmt.Sprintf("client %q over rate limit", cid), Shard: -1}
+		}
+	}
+	g.qos.acquire(cid, est)
+	resp := g.dispatch(req, om, now)
+	g.qos.finish(cid, est, resp.Status)
+	return resp
+}
+
+// Preadmit prices one request from its envelope alone — op, client key
+// and payload size are all knowable before the payload is decoded — and
+// charges the client's token bucket.  A nil response means proceed: the
+// caller materializes the payload, stamps the request with
+// SetPreadmitted(est) and Submits it.  A non-nil response is the throttle
+// shed to answer with; the refused payload is never materialized, so a
+// client the bucket has already cut off cannot make the gateway pay the
+// base64-and-allocate cost of work it will not do.  Unknown ops and the
+// QoS-off/draining paths pass through unpriced (est 0) — Submit rejects
+// or sheds those with the same answers it always gave.
+func (g *Gateway) Preadmit(op Op, clientKey string, payloadBytes int) (int64, *Response) {
+	if g.qos == nil || !ValidOp(op) || g.draining.Load() {
+		return 0, nil
+	}
+	est := g.estReqCost(op, payloadBytes)
+	if g.qos.admit(clientKey, est) {
+		return est, nil
+	}
+	om := g.metrics.op(op)
+	om.requests.Add(1)
+	om.shed.Add(1)
+	g.metrics.shedThrottle.Add(1)
+	return est, &Response{Op: op, Status: StatusShed, ShedReason: "throttle",
+		Error: fmt.Sprintf("client %q over rate limit", clientKey), Shard: -1}
+}
+
+// CancelPreadmit backs out a successful Preadmit whose request never made
+// it to Submit (the payload failed to materialize).  The tokens stay
+// spent; only the in-flight accounting is closed out.
+func (g *Gateway) CancelPreadmit(clientKey string) {
+	if g.qos != nil {
+		g.qos.cancel(clientKey)
+	}
+}
+
+// estReqCost is the gateway-wide admission estimate for one request, the
+// QoS layer's cost currency.  Fixed-cost ops (asymmetric key work
+// dominates) are priced by the shards' per-op service EWMAs.  Bulk ops
+// are priced per byte: a 256 KiB payload is charged ~64x a 4 KiB one
+// instead of sharing its op class's mean — without this, an attacker
+// streaming maximum-size payloads is admitted at the class's
+// small-payload price until the EWMAs catch up, and by then the backlog
+// damage is done.
+func (g *Gateway) estReqCost(op Op, payloadBytes int) int64 {
+	var sum float64
+	perByte := opBytePrior(op) > 0
+	for _, sh := range g.shards {
+		if perByte {
+			sum += sh.opByteCost(op)
+		} else {
+			sum += sh.opCost(op)
+		}
+	}
+	mean := sum / float64(len(g.shards))
+	if perByte {
+		if payloadBytes < 1 {
+			payloadBytes = 1
+		}
+		mean *= float64(payloadBytes)
+	}
+	est := int64(mean + 0.5)
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// dispatch runs one validated, QoS-admitted request through shard
+// selection, deadline-aware admission and a shard queue, blocking until
+// the response is ready.
+func (g *Gateway) dispatch(req *Request, om *opMetrics, now time.Time) *Response {
 	sh, redirected := g.pick(req.Op)
 
 	t := &task{req: req, enqueued: now, resp: make(chan *Response, 1)}
@@ -313,7 +471,7 @@ func (g *Gateway) Submit(req *Request) *Response {
 			om.shed.Add(1)
 			g.metrics.shedDeadline.Add(1)
 			g.noteShedWhileIdle()
-			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Shard: sh.id,
+			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, ShedReason: "deadline", Shard: sh.id,
 				Error: fmt.Sprintf("backlog %dµs exceeds deadline %dµs", wait, req.DeadlineUS)}
 		}
 	}
@@ -326,7 +484,7 @@ func (g *Gateway) Submit(req *Request) *Response {
 			om.shed.Add(1)
 			g.metrics.shedQueueFull.Add(1)
 			g.noteShedWhileIdle()
-			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, Error: "queue full", Shard: sh.id}
+			return &Response{ID: req.ID, Op: req.Op, Status: StatusShed, ShedReason: "queue-full", Error: "queue full", Shard: sh.id}
 		}
 		sh, redirected = alt, true
 	}
@@ -540,6 +698,23 @@ func opPrior(op Op) float64 {
 	}
 }
 
+// opBytePrior is the per-byte service-time prior (µs/byte) for ops whose
+// cost scales with payload size — the record layer, symmetric ciphers
+// and digests.  Zero marks fixed-cost ops (the asymmetric key work
+// dominates regardless of payload), which stay priced by opPrior and the
+// per-op EWMA.  1µs/byte is deliberately pessimistic for the digests:
+// unknown bulk work is over-charged at admission and the per-byte EWMA
+// corrects downward within a few observations, which is the safe
+// direction — under-charging is what lets a payload-size attack through.
+func opBytePrior(op Op) float64 {
+	switch op {
+	case OpSSL, OpHandshake, OpRSADecrypt, OpRSAEncrypt:
+		return 0
+	default:
+		return 1.0
+	}
+}
+
 // shard is one worker: a bounded queue, a private platform instance
 // (RNG stream, RSA contexts, long-lived record session pair, symmetric
 // schedules), per-op service-time EWMAs and a live backlog-cost estimate
@@ -562,22 +737,32 @@ type shard struct {
 	// opEWMA holds one service-time EWMA per op (float64 bits, µs), so a
 	// pending handshake and a pending record op are priced differently.
 	opEWMA map[Op]*atomic.Uint64
+	// opByteEWMA holds a per-byte service-time EWMA (float64 bits,
+	// µs/byte) for bulk ops only, so QoS admission can price a request by
+	// its actual payload size instead of its op class's size mix.
+	opByteEWMA map[Op]*atomic.Uint64
 }
 
 func newShard(id int, g *Gateway, seed int64) (*shard, error) {
 	s := &shard{
-		id:     id,
-		g:      g,
-		queue:  make(chan *task, g.cfg.QueueDepth),
-		stop:   make(chan struct{}),
-		rng:    rand.New(rand.NewSource(seed)),
-		ctx:    mpz.NewCtx(nil),
-		opEWMA: make(map[Op]*atomic.Uint64, len(AllOps)),
+		id:         id,
+		g:          g,
+		queue:      make(chan *task, g.cfg.QueueDepth),
+		stop:       make(chan struct{}),
+		rng:        rand.New(rand.NewSource(seed)),
+		ctx:        mpz.NewCtx(nil),
+		opEWMA:     make(map[Op]*atomic.Uint64, len(AllOps)),
+		opByteEWMA: make(map[Op]*atomic.Uint64, len(AllOps)),
 	}
 	for _, op := range AllOps {
 		v := new(atomic.Uint64)
 		v.Store(math.Float64bits(opPrior(op)))
 		s.opEWMA[op] = v
+		if p := opBytePrior(op); p > 0 {
+			b := new(atomic.Uint64)
+			b.Store(math.Float64bits(p))
+			s.opByteEWMA[op] = b
+		}
 	}
 	env, err := newShardEnv(s)
 	if err != nil {
@@ -595,16 +780,30 @@ func (s *shard) opCost(op Op) float64 {
 	return opPrior(op)
 }
 
-// observeService folds one measured service time into the op's EWMA.
-// Only the shard's own worker goroutine writes, so a plain store is safe.
-func (s *shard) observeService(op Op, us float64) {
-	v, ok := s.opEWMA[op]
-	if !ok {
-		return
+// opByteCost returns this shard's per-byte service-time estimate
+// (µs/byte) for a bulk op.
+func (s *shard) opByteCost(op Op) float64 {
+	if v, ok := s.opByteEWMA[op]; ok {
+		return math.Float64frombits(v.Load())
 	}
+	return opBytePrior(op)
+}
+
+// observeService folds one measured service time into the op's EWMA —
+// and, for bulk ops, into the per-byte EWMA that QoS admission prices
+// payload sizes with.  Only the shard's own worker goroutine writes, so
+// plain stores are safe.
+func (s *shard) observeService(op Op, us float64, payloadBytes int) {
 	const alpha = 0.2
-	cur := math.Float64frombits(v.Load())
-	v.Store(math.Float64bits(cur + alpha*(us-cur)))
+	if v, ok := s.opEWMA[op]; ok {
+		cur := math.Float64frombits(v.Load())
+		v.Store(math.Float64bits(cur + alpha*(us-cur)))
+	}
+	if v, ok := s.opByteEWMA[op]; ok && payloadBytes > 0 {
+		perByte := us / float64(payloadBytes)
+		cur := math.Float64frombits(v.Load())
+		v.Store(math.Float64bits(cur + alpha*(perByte-cur)))
+	}
 }
 
 // loop is the shard worker: block for one task, drain up to BatchMax-1
@@ -742,7 +941,7 @@ func (s *shard) serveOne(t *task, batchSize int) {
 		resp.Status = StatusOK
 	}
 	resp.ServiceUS = time.Since(start).Microseconds()
-	s.observeService(t.req.Op, float64(resp.ServiceUS))
+	s.observeService(t.req.Op, float64(resp.ServiceUS), len(t.req.Payload))
 	t.owner.cost.Add(-t.estUS)
 	t.resp <- resp
 }

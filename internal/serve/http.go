@@ -34,6 +34,24 @@ func NewServer(gw *Gateway) *Server {
 	return s
 }
 
+// SetReadTimeout bounds how long a connection may take to deliver one
+// full request (headers + body).  It is the slow-loris defense: a client
+// dribbling its body byte-by-byte is disconnected at the deadline instead
+// of holding a handler goroutine for the duration of the attack.  0 (the
+// default) disables the bound.  Call before Serve.
+//
+// net/http reuses ReadTimeout as the keep-alive idle timeout when
+// IdleTimeout is unset, which would make a tight slow-loris bound reset
+// perfectly healthy pooled connections between legit requests.  Idle
+// keep-alive holds no half-read request state, so it keeps a separate,
+// generous bound.
+func (s *Server) SetReadTimeout(d time.Duration) {
+	s.http.ReadTimeout = d
+	if s.http.IdleTimeout == 0 || s.http.IdleTimeout < d {
+		s.http.IdleTimeout = 60 * time.Second
+	}
+}
+
 // EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
 // own mux (the default-mux registration pprof does on import is useless
 // here).  Call before Serve.  Profiles are how alloc regressions get
@@ -82,13 +100,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
-	var req Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxPayload*2))
-	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+	// The hardened decode enforces payload/ClientID size bounds before any
+	// buffer allocation and hands back a pooled payload; a rejected body
+	// costs the gateway only the envelope parse and still answers with a
+	// protocol-shaped error response rather than a bare 400.  QoS admission
+	// runs between the two decode stages: a client the bucket refuses is
+	// answered from the envelope, before its payload is materialized.
+	env, err := DecodeEnvelope(http.MaxBytesReader(w, r.Body, MaxWireBytes))
+	if err != nil {
+		s.gw.Metrics().NoteRejectedDecode()
+		writeJSON(w, http.StatusBadRequest, decodeErrorResponse(err))
 		return
 	}
-	resp := s.gw.Submit(&req)
+	est, shed := s.gw.Preadmit(env.Op(), env.ClientKey(), env.PayloadBytes())
+	if shed != nil {
+		writeJSON(w, http.StatusServiceUnavailable, shed)
+		return
+	}
+	req, err := env.Materialize()
+	if err != nil {
+		if est > 0 {
+			s.gw.CancelPreadmit(env.ClientKey())
+		}
+		s.gw.Metrics().NoteRejectedDecode()
+		writeJSON(w, http.StatusBadRequest, decodeErrorResponse(err))
+		return
+	}
+	req.preEst = est
+	resp := s.gw.Submit(req)
+	ReleaseRequest(req)
 	code := http.StatusOK
 	switch resp.Status {
 	case StatusShed:

@@ -46,6 +46,41 @@ type LoadConfig struct {
 	// HedgeUS launches a hedged duplicate for deadline-bearing requests
 	// that have not answered within this many µs; 0 disables hedging.
 	HedgeUS int64
+
+	// ThinkUS paces legit clients: each sleeps around this many µs
+	// (jittered, deterministic per seed) between requests instead of
+	// issuing back to back.  A pure closed loop at saturation measures its
+	// own queueing — every extra outstanding op inflates every latency, so
+	// a fairness comparison degenerates into a flow-count ratio.  Pacing
+	// keeps the legit replay below saturation so the mixed-vs-baseline
+	// percentiles measure what the server did, not what the generator did.
+	// 0 keeps the classic back-to-back loop.  Attackers never pace.
+	ThinkUS int64
+
+	// Attack mixes adversarial clients into the run.  Attackers are
+	// ADDITIONAL clients (they do not replace legit ones), so the legit
+	// request streams are byte-identical to an attack-free run on the same
+	// seed; profiles cycle round-robin over this list.
+	Attack []AttackProfile
+	// AttackRatio is the target fraction of all clients that are
+	// attackers; the attacker count is derived from it (see attackerCount).
+	// Default 0.25 when Attack is non-empty.
+	AttackRatio float64
+	// AttackConcurrency is how many concurrent request streams each
+	// attacker runs under its single ClientID; default 4.  Legit clients
+	// stay closed-loop.
+	AttackConcurrency int
+	// SlowlorisMS is how long a slowloris attacker stretches one request
+	// body; default 1500.
+	SlowlorisMS int
+	// AttackRTTUS models the attacker's network distance: each attack
+	// stream pauses this many µs per request (oversize streams 5x — a
+	// megabyte upload is bandwidth-bound, not latency-bound).  On loopback
+	// an unpaced stream fires thousands of requests per second, a rate no
+	// real WAN stream sustains, and the generator's own spin distorts the
+	// latency measurement it shares a host with.  Default 20000 (20ms);
+	// negative disables pacing.
+	AttackRTTUS int64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -69,6 +104,20 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.BackoffUS <= 0 {
 		c.BackoffUS = 2000
+	}
+	if len(c.Attack) > 0 && c.AttackRatio <= 0 {
+		c.AttackRatio = 0.25
+	}
+	if c.AttackConcurrency <= 0 {
+		c.AttackConcurrency = 4
+	}
+	if c.SlowlorisMS <= 0 {
+		c.SlowlorisMS = 1500
+	}
+	if c.AttackRTTUS == 0 {
+		c.AttackRTTUS = 20000
+	} else if c.AttackRTTUS < 0 {
+		c.AttackRTTUS = 0
 	}
 	return c
 }
@@ -159,12 +208,30 @@ type OpStatsRow struct {
 	Latency LatencySummary `json:"latency_us"`
 }
 
+// ClassReport summarizes one client class (legit or attack) of a mixed
+// run: the counts and the class-only latency distribution.  The fairness
+// regression gate reads Legit.Latency from the mixed run and holds it
+// against the attack-free baseline.
+type ClassReport struct {
+	Clients     int            `json:"clients"`
+	Requests    int            `json:"requests"`
+	OK          int            `json:"ok"`
+	Shed        int            `json:"shed"`
+	Throttled   int            `json:"throttled"`
+	Expired     int            `json:"expired"`
+	Errors      int            `json:"errors"`
+	Resumed     int            `json:"resumed,omitempty"`
+	ResumeAsked int            `json:"resume_asked,omitempty"`
+	Latency     LatencySummary `json:"latency_us"`
+}
+
 // LoadReport is the result of one closed-loop run.
 type LoadReport struct {
 	Clients      int     `json:"clients"`
 	Transactions int     `json:"transactions"`
 	OK           int     `json:"ok"`
 	Shed         int     `json:"shed"`
+	Throttled    int     `json:"throttled,omitempty"`
 	Expired      int     `json:"expired"`
 	Errors       int     `json:"errors"`
 	Mismatches   int     `json:"mismatches"`
@@ -173,6 +240,11 @@ type LoadReport struct {
 	Hedges       uint64  `json:"hedges,omitempty"`
 	Bytes        int64   `json:"bytes"`
 	Seconds      float64 `json:"seconds"`
+
+	// Mixed-run split: present only when the config requested attackers.
+	AttackRatio float64      `json:"attack_ratio,omitempty"`
+	Legit       *ClassReport `json:"legit,omitempty"`
+	AttackRep   *ClassReport `json:"attack,omitempty"`
 
 	Latency LatencySummary `json:"latency_us"`
 	PerSize []SizeStats    `json:"per_size"`
@@ -208,6 +280,22 @@ type LoadReport struct {
 	GCPauseP99US float64 `json:"gc_pause_p99_us,omitempty"`
 }
 
+// clientResult accumulates one load client's outcomes.  Legit clients are
+// single-goroutine closed loops; attackers run several concurrent streams
+// into one result and serialize on mu.
+type clientResult struct {
+	mu                                             sync.Mutex
+	attack                                         bool
+	ok, shed, throttled, expired, errs, mismatches int
+	resumed, resumeAsked                           int
+	bytes                                          int64
+	latencies                                      []int64
+	perSize                                        map[int][]int64
+	perOp                                          map[Op][]int64
+	baseCycles, optCycles                          float64
+	err                                            error
+}
+
 // RunLoad executes the closed-loop load run against a serving gateway.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	c := cfg.withDefaults()
@@ -225,17 +313,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}, c.Seed)
 	}
 
-	type clientResult struct {
-		ok, shed, expired, errs, mismatches int
-		resumed                             int
-		bytes                               int64
-		latencies                           []int64
-		perSize                             map[int][]int64
-		perOp                               map[Op][]int64
-		baseCycles, optCycles               float64
-		err                                 error
-	}
-	results := make([]clientResult, c.Clients)
+	nAttack := c.attackerCount()
+	results := make([]clientResult, c.Clients+nAttack)
 	// Sample the server's allocation counters around the run; failures
 	// (older server, no /stats) just leave the alloc columns at zero.
 	preStats, _ := client.Stats()
@@ -250,7 +329,20 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			r.perOp = make(map[Op][]int64)
 			items := c.schedule(i)
 			rng := rand.New(rand.NewSource(c.Seed + int64(i)))
+			// A separate RNG for think-time jitter keeps the payload byte
+			// streams identical whether or not pacing is on.
+			thinkRNG := rand.New(rand.NewSource(c.Seed*7919 + int64(i)))
+			if c.ThinkUS > 0 {
+				// Staggered start: desynchronize the clients so they do not
+				// arrive in lockstep convoys every think interval.
+				time.Sleep(time.Duration(thinkRNG.Int63n(c.ThinkUS)) * time.Microsecond)
+			}
 			for k, it := range items {
+				if c.ThinkUS > 0 && k > 0 {
+					// Jittered around the mean: [ThinkUS/2, 3*ThinkUS/2).
+					d := c.ThinkUS/2 + thinkRNG.Int63n(c.ThinkUS)
+					time.Sleep(time.Duration(d) * time.Microsecond)
+				}
 				payload := make([]byte, it.size)
 				rng.Read(payload)
 				want := hashes.MD5Sum(payload)
@@ -261,6 +353,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					RecordSize: c.RecordSize,
 					DeadlineUS: c.DeadlineUS,
 					Resume:     it.resume,
+					ClientID:   fmt.Sprintf("legit-%d", i),
+				}
+				if it.resume {
+					r.resumeAsked++
 				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
@@ -294,6 +390,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					r.optCycles += resp.EstOptCycles
 				case StatusShed:
 					r.shed++
+					if resp.ShedReason == "throttle" {
+						r.throttled++
+					}
 				case StatusExpired:
 					r.expired++
 				default:
@@ -302,13 +401,35 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			}
 		}(i)
 	}
+	// Attackers run alongside the legit clients on a plain client (no
+	// retry policy: an attacker resubmitting its own throttled requests
+	// politely is not the adversary we are modeling) and keep firing until
+	// the last legit request completes — an attack that burns out in the
+	// opening seconds would only contaminate the head of the measurement,
+	// and the fairness bound is about sustained pressure.
+	var attackWG sync.WaitGroup
+	attackDone := make(chan struct{})
+	if nAttack > 0 {
+		attackClient := NewClient(c.Addr)
+		for j := 0; j < nAttack; j++ {
+			attackWG.Add(1)
+			go func(j int) {
+				defer attackWG.Done()
+				runAttacker(c, c.Attack[j%len(c.Attack)], j, attackClient, &results[c.Clients+j], attackDone)
+			}(j)
+		}
+	}
 	wg.Wait()
+	close(attackDone)
+	attackWG.Wait()
 	elapsed := time.Since(start)
 
 	rep := &LoadReport{Clients: c.Clients, Seconds: elapsed.Seconds()}
 	var all []int64
 	perSize := make(map[int][]int64)
 	perOp := make(map[Op][]int64)
+	var legit, attack ClassReport
+	var legitLat, attackLat []int64
 	for i := range results {
 		r := &results[i]
 		if r.err != nil {
@@ -316,6 +437,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}
 		rep.OK += r.ok
 		rep.Shed += r.shed
+		rep.Throttled += r.throttled
 		rep.Expired += r.expired
 		rep.Errors += r.errs
 		rep.Mismatches += r.mismatches
@@ -330,8 +452,29 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		for op, ls := range r.perOp {
 			perOp[op] = append(perOp[op], ls...)
 		}
+		cls, clsLat := &legit, &legitLat
+		if r.attack {
+			cls, clsLat = &attack, &attackLat
+		}
+		cls.Clients++
+		cls.Requests += r.ok + r.shed + r.expired + r.errs
+		cls.OK += r.ok
+		cls.Shed += r.shed
+		cls.Throttled += r.throttled
+		cls.Expired += r.expired
+		cls.Errors += r.errs
+		cls.Resumed += r.resumed
+		cls.ResumeAsked += r.resumeAsked
+		*clsLat = append(*clsLat, r.latencies...)
 	}
 	rep.Transactions = rep.OK + rep.Shed + rep.Expired + rep.Errors
+	if nAttack > 0 {
+		legit.Latency = summarize(legitLat)
+		attack.Latency = summarize(attackLat)
+		rep.AttackRatio = float64(nAttack) / float64(c.Clients+nAttack)
+		rep.Legit = &legit
+		rep.AttackRep = &attack
+	}
 	rep.Retries = client.Retries()
 	rep.Hedges = client.Hedges()
 	rep.Latency = summarize(all)
@@ -376,6 +519,18 @@ func (r *LoadReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "load: %d clients, %d requests in %.2fs — %d ok, %d shed, %d expired, %d errors, %d mismatches\n",
 		r.Clients, r.Transactions, r.Seconds, r.OK, r.Shed, r.Expired, r.Errors, r.Mismatches)
+	if r.Legit != nil && r.AttackRep != nil {
+		fmt.Fprintf(&b, "mixed run: %.0f%% attack clients (%d legit + %d attackers)\n",
+			100*r.AttackRatio, r.Legit.Clients, r.AttackRep.Clients)
+		for _, c := range []struct {
+			name string
+			rep  *ClassReport
+		}{{"legit ", r.Legit}, {"attack", r.AttackRep}} {
+			fmt.Fprintf(&b, "  %s: %d req — %d ok, %d shed (%d throttled), %d expired, %d errors; p50 %s  p99 %s\n",
+				c.name, c.rep.Requests, c.rep.OK, c.rep.Shed, c.rep.Throttled, c.rep.Expired, c.rep.Errors,
+				usDur(c.rep.Latency.P50), usDur(c.rep.Latency.P99))
+		}
+	}
 	if r.Resumed > 0 {
 		fmt.Fprintf(&b, "resumption: %d of %d ok transactions used an abbreviated handshake (%.0f%%)\n",
 			r.Resumed, r.OK, 100*float64(r.Resumed)/float64(r.OK))

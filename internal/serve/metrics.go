@@ -142,12 +142,18 @@ type Metrics struct {
 
 	queueDepth []atomic.Int64 // per-shard gauge
 
-	shedQueueFull atomic.Uint64
-	shedDeadline  atomic.Uint64 // admission: backlog estimate exceeds budget
-	shedDraining  atomic.Uint64
-	shedWhileIdle atomic.Uint64 // sheds issued while some shard sat idle
-	expired       atomic.Uint64 // dequeued past deadline
+	shedQueueFull  atomic.Uint64
+	shedDeadline   atomic.Uint64 // admission: backlog estimate exceeds budget
+	shedDraining   atomic.Uint64
+	shedThrottle   atomic.Uint64 // QoS: client over its token-bucket rate
+	shedWhileIdle  atomic.Uint64 // capacity sheds issued while some shard sat idle
+	expired        atomic.Uint64 // dequeued past deadline
+	rejectedDecode atomic.Uint64 // bodies rejected by the hardened decode
 }
+
+// NoteRejectedDecode counts one request body the hardened decode path
+// rejected before allocation (oversized payload/ClientID, bad base64).
+func (m *Metrics) NoteRejectedDecode() { m.rejectedDecode.Add(1) }
 
 // NewMetrics builds the metrics core for `shards` worker shards.
 func NewMetrics(shards int) *Metrics {
@@ -196,27 +202,28 @@ type OpStats struct {
 // Retries/Hedges totals are sums of the per-op counters, so the two
 // levels are consistent by construction.
 type Stats struct {
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Shards        int                `json:"shards"`
-	Dispatch      string             `json:"dispatch,omitempty"`
-	QueueCap      int                `json:"queue_cap"`
-	QueueDepth    []int64            `json:"queue_depth"`
-	QueueCostUS   []int64            `json:"queue_cost_us,omitempty"`
-	OpCostUS      map[string]float64 `json:"op_cost_us,omitempty"`
-	Requests      uint64             `json:"requests"`
-	OK            uint64             `json:"ok"`
-	Errors        uint64             `json:"errors"`
-	Shed          uint64             `json:"shed"`
-	Expired       uint64             `json:"expired"`
-	Resumed       uint64             `json:"resumed"`
-	Steals        uint64             `json:"steals"`
-	Redirects     uint64             `json:"redirects"`
-	Retries       uint64             `json:"retries"`
-	Hedges        uint64             `json:"hedges"`
-	ShedWhileIdle uint64             `json:"shed_while_idle"`
-	ShedByReason  map[string]uint64  `json:"shed_by_reason"`
-	PerOp         map[string]OpStats `json:"per_op"`
-	BatchSize     HistSnapshot       `json:"batch_size"`
+	UptimeSeconds  float64            `json:"uptime_seconds"`
+	Shards         int                `json:"shards"`
+	Dispatch       string             `json:"dispatch,omitempty"`
+	QueueCap       int                `json:"queue_cap"`
+	QueueDepth     []int64            `json:"queue_depth"`
+	QueueCostUS    []int64            `json:"queue_cost_us,omitempty"`
+	OpCostUS       map[string]float64 `json:"op_cost_us,omitempty"`
+	Requests       uint64             `json:"requests"`
+	OK             uint64             `json:"ok"`
+	Errors         uint64             `json:"errors"`
+	Shed           uint64             `json:"shed"`
+	Expired        uint64             `json:"expired"`
+	Resumed        uint64             `json:"resumed"`
+	Steals         uint64             `json:"steals"`
+	Redirects      uint64             `json:"redirects"`
+	Retries        uint64             `json:"retries"`
+	Hedges         uint64             `json:"hedges"`
+	ShedWhileIdle  uint64             `json:"shed_while_idle"`
+	RejectedDecode uint64             `json:"rejected_decode"`
+	ShedByReason   map[string]uint64  `json:"shed_by_reason"`
+	PerOp          map[string]OpStats `json:"per_op"`
+	BatchSize      HistSnapshot       `json:"batch_size"`
 
 	// SessionCache/Precompute/AESSchedule expose the serving caches: the
 	// SSL session store (hits = abbreviated handshakes), the per-shard RSA
@@ -229,6 +236,12 @@ type Stats struct {
 	// Runtime is the process allocation/GC view (runtime/metrics); load
 	// generators diff it across a run to derive allocations per served op.
 	Runtime *RuntimeStats `json:"runtime,omitempty"`
+
+	// QoS exposes the per-client isolation layer: token-bucket and fair-
+	// queue parameters, per-client admitted/shed/throttle counters (top
+	// spenders first) and the space-saving heavy-hitter table.  Nil when
+	// QoS is disabled.
+	QoS *QoSView `json:"qos,omitempty"`
 }
 
 // CacheStatsView is the exported snapshot of one serving cache.
@@ -257,15 +270,17 @@ func cacheView(s cache.Stats) *CacheStatsView {
 // Snapshot captures every counter, gauge and histogram.
 func (m *Metrics) Snapshot(queueCap int) Stats {
 	s := Stats{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Shards:        len(m.queueDepth),
-		QueueCap:      queueCap,
-		QueueDepth:    make([]int64, len(m.queueDepth)),
-		ShedWhileIdle: m.shedWhileIdle.Load(),
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		Shards:         len(m.queueDepth),
+		QueueCap:       queueCap,
+		QueueDepth:     make([]int64, len(m.queueDepth)),
+		ShedWhileIdle:  m.shedWhileIdle.Load(),
+		RejectedDecode: m.rejectedDecode.Load(),
 		ShedByReason: map[string]uint64{
 			"queue-full": m.shedQueueFull.Load(),
 			"deadline":   m.shedDeadline.Load(),
 			"draining":   m.shedDraining.Load(),
+			"throttle":   m.shedThrottle.Load(),
 		},
 		PerOp:     make(map[string]OpStats),
 		BatchSize: m.batch.Snapshot(),
@@ -338,6 +353,7 @@ func (s Stats) Text() string {
 	fmt.Fprintf(&b, "wispd_retries_total %d\n", s.Retries)
 	fmt.Fprintf(&b, "wispd_hedged_total %d\n", s.Hedges)
 	fmt.Fprintf(&b, "wispd_shed_while_idle_total %d\n", s.ShedWhileIdle)
+	fmt.Fprintf(&b, "wispd_rejected_decode_total %d\n", s.RejectedDecode)
 	reasons := make([]string, 0, len(s.ShedByReason))
 	for r := range s.ShedByReason {
 		reasons = append(reasons, r)
@@ -361,6 +377,22 @@ func (s Stats) Text() string {
 	writeCache("session", s.SessionCache)
 	writeCache("precompute", s.Precompute)
 	writeCache("aes_schedule", s.AESSchedule)
+	if q := s.QoS; q != nil {
+		fmt.Fprintf(&b, "wispd_qos_client_rate_us %d\n", q.RateUS)
+		fmt.Fprintf(&b, "wispd_qos_fair_limit_us %d\n", q.LimitUS)
+		fmt.Fprintf(&b, "wispd_qos_outstanding_us %d\n", q.OutstandingUS)
+		fmt.Fprintf(&b, "wispd_qos_fair_waiting %d\n", q.FairWaiting)
+		fmt.Fprintf(&b, "wispd_qos_throttled_total %d\n", q.Throttled)
+		for _, c := range q.Clients {
+			fmt.Fprintf(&b, "wispd_qos_client_admitted_total{client=%q} %d\n", c.ID, c.Admitted)
+			fmt.Fprintf(&b, "wispd_qos_client_shed_total{client=%q} %d\n", c.ID, c.Shed)
+			fmt.Fprintf(&b, "wispd_qos_client_throttled_total{client=%q} %d\n", c.ID, c.Throttled)
+			fmt.Fprintf(&b, "wispd_qos_client_cost_us{client=%q} %d\n", c.ID, c.CostUS)
+		}
+		for _, h := range q.HeavyHitters {
+			fmt.Fprintf(&b, "wispd_qos_heavy_hitter_cost_us{client=%q} %d\n", h.ID, h.CostUS)
+		}
+	}
 	if rt := s.Runtime; rt != nil {
 		fmt.Fprintf(&b, "wispd_heap_alloc_bytes_total %d\n", rt.HeapAllocBytes)
 		fmt.Fprintf(&b, "wispd_heap_alloc_objects_total %d\n", rt.HeapAllocObjects)

@@ -73,6 +73,26 @@ func ValidOp(op Op) bool {
 // larger bodies before they reach a shard).
 const MaxPayload = 1 << 20
 
+// MaxClientID bounds the client identity string; longer IDs are rejected
+// at decode time before any payload buffer is allocated.
+const MaxClientID = 64
+
+// ValidationError is the typed rejection for malformed requests.  The
+// hardened decode path returns it *before* allocating payload buffers, so
+// oversized or garbage inputs cost the gateway nothing but the parse.
+type ValidationError struct {
+	Field  string // offending request field ("payload", "client_id", ...)
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("serve: invalid %s: %s", e.Field, e.Reason)
+}
+
+func invalidf(field, format string, args ...any) *ValidationError {
+	return &ValidationError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
 // Request is one offload request.  Payload is base64 on the wire (Go's
 // encoding/json handles []byte that way).
 type Request struct {
@@ -102,6 +122,26 @@ type Request struct {
 	// Hedge marks a hedged duplicate of a still-outstanding request; the
 	// gateway serves it normally and counts it in the hedge telemetry.
 	Hedge bool `json:"hedge,omitempty"`
+	// ClientID names the submitting principal for QoS isolation: the
+	// gateway meters each client's estimated-cost spend against a token
+	// bucket and fair-queues across clients under saturation, so one
+	// abusive identity cannot move everyone else's p99.  Empty means the
+	// anonymous client "-".  Limited to MaxClientID bytes.
+	ClientID string `json:"client_id,omitempty"`
+
+	// preEst carries the admission estimate of a request already charged
+	// at the envelope stage via Gateway.Preadmit; Submit skips the token
+	// bucket for it and uses this value for fair-queue accounting.  Never
+	// on the wire.
+	preEst int64
+}
+
+// clientKey maps a request to its QoS accounting identity.
+func (r *Request) clientKey() string {
+	if r.ClientID == "" {
+		return "-"
+	}
+	return r.ClientID
 }
 
 // Status classifies a response.
@@ -146,6 +186,10 @@ type Response struct {
 	// Resumed reports that the transaction ran an abbreviated handshake
 	// (session-cache hit): no RSA operation was performed.
 	Resumed bool `json:"resumed,omitempty"`
+	// ShedReason classifies a StatusShed response ("queue-full",
+	// "deadline", "draining" or "throttle"), so clients can tell a
+	// capacity shed from a per-client rate-limit rejection.
+	ShedReason string `json:"shed_reason,omitempty"`
 
 	// QueueUS and ServiceUS split the gateway-side latency.
 	QueueUS   int64 `json:"queue_us"`
@@ -158,25 +202,30 @@ type Response struct {
 	EstOptCycles  float64 `json:"est_opt_cycles,omitempty"`
 }
 
-// Validate applies admission-side request checks.
+// Validate applies admission-side request checks.  Every rejection is a
+// *ValidationError so callers (and the hardened decode path, which applies
+// the same size bounds before allocating) can classify it.
 func (r *Request) Validate() error {
 	if !ValidOp(r.Op) {
-		return fmt.Errorf("serve: unknown op %q", r.Op)
+		return invalidf("op", "unknown op %q", r.Op)
 	}
 	if len(r.Payload) > MaxPayload {
-		return fmt.Errorf("serve: payload %d exceeds limit %d", len(r.Payload), MaxPayload)
+		return invalidf("payload", "%d bytes exceeds limit %d", len(r.Payload), MaxPayload)
+	}
+	if len(r.ClientID) > MaxClientID {
+		return invalidf("client_id", "%d bytes exceeds limit %d", len(r.ClientID), MaxClientID)
 	}
 	if r.RecordSize < 0 {
-		return fmt.Errorf("serve: negative record size %d", r.RecordSize)
+		return invalidf("record_size", "negative record size %d", r.RecordSize)
 	}
 	if r.DeadlineUS < 0 {
-		return fmt.Errorf("serve: negative deadline %d", r.DeadlineUS)
+		return invalidf("deadline_us", "negative deadline %d", r.DeadlineUS)
 	}
 	if r.Attempt < 0 {
-		return fmt.Errorf("serve: negative attempt %d", r.Attempt)
+		return invalidf("attempt", "negative attempt %d", r.Attempt)
 	}
 	if r.Resume && r.Op != OpSSL && r.Op != OpHandshake {
-		return fmt.Errorf("serve: op %q has no handshake to resume", r.Op)
+		return invalidf("resume", "op %q has no handshake to resume", r.Op)
 	}
 	return nil
 }

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzClientAccounting drives the QoS layer through an arbitrary
+// interleaving of admissions, completions, sheds and clock advances across
+// a small client population (sized to overflow the bounded table), with a
+// fully injected clock.  The properties under test are the accounting
+// identities the serving path depends on:
+//
+//   - per client: arrived = admitted + throttled, and
+//     admitted = completed + shed + in-flight (checkInvariants);
+//   - aggregates exported via view() match an independent mirror of the
+//     same event stream;
+//   - the space-saving sketch never underestimates a tracked client's
+//     demand and its error bound brackets the true total
+//     (count - err ≤ true ≤ count).
+//
+// The input is consumed as triplets (op, client-selector, argument); any
+// byte stream is a valid program, so the fuzzer explores interleavings
+// rather than parse failures.
+func FuzzClientAccounting(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("aAZaBZaCZfAZcZZaAZ"))
+	f.Add(bytes.Repeat([]byte("a!~"), 40))
+	f.Add([]byte("a0Za1Za2Za3Za4Za5Za6Za7ZcZZf0Zf1Z"))
+	f.Add(bytes.Repeat([]byte("aQ9fQ1cA0"), 20))
+
+	ids := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// MaxClients 4 against 8 IDs forces the overflow row into play;
+		// HeavyHitterK 4 forces sketch evictions.
+		q := newQoS(Config{
+			ClientRateUS: 500, ClientBurstUS: 1500,
+			FairLimitUS: 1 << 40, DRRQuantumUS: 100,
+			HeavyHitterK: 4, MaxClients: 4,
+		})
+		now := time.Unix(7000, 0)
+		q.now = func() time.Time { return now }
+
+		type pending struct {
+			id  string
+			est int64
+		}
+		var inflight []pending
+		demand := map[string]int64{} // per-ID true total offered to the sketch
+		var arrived, admitted, throttled, completed, shed uint64
+
+		for i := 0; i+2 < len(data); i += 3 {
+			op, sel, arg := data[i], data[i+1], data[i+2]
+			switch op % 4 {
+			case 0, 1: // admit (weighted: arrivals dominate real traffic)
+				id := ids[int(sel)%len(ids)]
+				est := int64(arg)*7 + 1
+				arrived++
+				demand[id] += est
+				if q.admit(id, est) {
+					admitted++
+					inflight = append(inflight, pending{id, est})
+				} else {
+					throttled++
+				}
+			case 2: // finish one admitted request as OK or shed
+				if len(inflight) == 0 {
+					continue
+				}
+				k := int(sel) % len(inflight)
+				p := inflight[k]
+				inflight = append(inflight[:k], inflight[k+1:]...)
+				status := StatusOK
+				if arg%2 == 1 {
+					status = StatusShed
+					shed++
+				} else {
+					completed++
+				}
+				q.finish(p.id, p.est, status)
+			case 3: // advance the injected clock (refills buckets)
+				now = now.Add(time.Duration(arg) * time.Millisecond)
+			}
+			if err := q.checkInvariants(); err != nil {
+				t.Fatalf("after op %d: %v", i/3, err)
+			}
+		}
+		// Drain the in-flight tail so the final state is quiescent.
+		for _, p := range inflight {
+			q.finish(p.id, p.est, StatusOK)
+			completed++
+		}
+		if err := q.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+
+		v := q.view()
+		var va, vad, vth, vcomp, vshed uint64
+		for _, c := range v.Clients {
+			va += c.Arrived
+			vad += c.Admitted
+			vth += c.Throttled
+			vcomp += c.Completed
+			vshed += c.Shed
+			if c.InFlight != 0 {
+				t.Errorf("client %q reports %d in-flight after quiescence", c.ID, c.InFlight)
+			}
+		}
+		if va != arrived || vad != admitted || vth != throttled || vcomp != completed || vshed != shed {
+			t.Fatalf("view totals arrived/admitted/throttled/completed/shed = %d/%d/%d/%d/%d, mirror %d/%d/%d/%d/%d",
+				va, vad, vth, vcomp, vshed, arrived, admitted, throttled, completed, shed)
+		}
+		if v.Throttled != throttled {
+			t.Fatalf("global throttled %d, mirror %d", v.Throttled, throttled)
+		}
+		for _, h := range v.HeavyHitters {
+			tr := demand[h.ID]
+			if h.CostUS < tr {
+				t.Errorf("sketch underestimates %q: %d < true %d", h.ID, h.CostUS, tr)
+			}
+			if h.CostUS-h.ErrUS > tr {
+				t.Errorf("sketch lower bound for %q exceeds truth: %d - %d > %d", h.ID, h.CostUS, h.ErrUS, tr)
+			}
+		}
+	})
+}

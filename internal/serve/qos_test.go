@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The token bucket and DRR tests drive time explicitly — no sleeping, no
+// wall clock — so the refill and scheduling arithmetic is checked exactly.
+
+func TestTokenBucketTable(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	type step struct {
+		atMS int64 // offset from t0
+		cost float64
+		want bool
+	}
+	cases := []struct {
+		name        string
+		rate, burst float64
+		steps       []step
+	}{
+		{
+			// A full bucket admits spends up to the burst, then rejects.
+			name: "burst then reject", rate: 1000, burst: 2000,
+			steps: []step{
+				{0, 1500, true},
+				{0, 500, true},
+				{0, 1, false},
+			},
+		},
+		{
+			// Refill is rate*dt: after draining, 500ms at 1000/s restores
+			// 500 tokens.
+			name: "refill at rate", rate: 1000, burst: 2000,
+			steps: []step{
+				{0, 2000, true},
+				{100, 200, false}, // only 100 refilled
+				{500, 400, true},  // 100+400=500 available... (see below)
+				{500, 200, false},
+			},
+		},
+		{
+			// Refill caps at burst no matter how long the client idles.
+			name: "refill caps at burst", rate: 1000, burst: 1000,
+			steps: []step{
+				{0, 1000, true},
+				{60_000, 1000, true}, // a minute idle refills exactly burst
+				{60_000, 1, false},
+			},
+		},
+		{
+			// An op costing more than the whole burst is admitted when the
+			// bucket is full ("borrowing"): the balance goes negative and
+			// the client pays the debt back before the next admit.
+			name: "oversized op borrows", rate: 1000, burst: 1000,
+			steps: []step{
+				{0, 5000, true},    // admitted at full bucket; balance -4000
+				{1000, 1, false},   // -3000 after refill: in debt
+				{5000, 500, true},  // debt repaid; refill caps at burst
+				{5000, 600, false}, // 500 left
+				{5500, 600, true},  // +500 refilled, capped at burst
+			},
+		},
+		{
+			// Zero elapsed time never refills (monotonic charge sequence).
+			name: "same-instant charges", rate: 1_000_000, burst: 300,
+			steps: []step{
+				{0, 100, true},
+				{0, 100, true},
+				{0, 100, true},
+				{0, 100, false},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b tokenBucket
+			for i, s := range tc.steps {
+				now := t0.Add(time.Duration(s.atMS) * time.Millisecond)
+				if got := b.take(now, tc.rate, tc.burst, s.cost); got != s.want {
+					t.Fatalf("step %d (t+%dms, cost %g): take = %v, want %v (tokens %.1f)",
+						i, s.atMS, s.cost, got, s.want, b.tokens)
+				}
+			}
+		})
+	}
+}
+
+func TestTokenBucketRefillArithmetic(t *testing.T) {
+	// Verify the exact balance across a refill: drain 2000, wait 500ms at
+	// 1000/s → 500 available; a 500 charge succeeds and 1 more fails.
+	var b tokenBucket
+	t0 := time.Unix(1000, 0)
+	if !b.take(t0, 1000, 2000, 2000) {
+		t.Fatal("initial full-bucket charge rejected")
+	}
+	now := t0.Add(500 * time.Millisecond)
+	if !b.take(now, 1000, 2000, 500) {
+		t.Fatalf("500 charge after 500ms refill rejected (tokens %.1f)", b.tokens)
+	}
+	if b.take(now, 1000, 2000, 1) {
+		t.Fatalf("bucket should be empty, has %.1f", b.tokens)
+	}
+}
+
+// drain pops every queued item, returning the service order by flow ID.
+func drainDRR(t *testing.T, d *drr[string]) []string {
+	t.Helper()
+	var order []string
+	for {
+		v, _, ok := d.pop()
+		if !ok {
+			return order
+		}
+		order = append(order, v)
+	}
+}
+
+func TestDRREqualCostAlternates(t *testing.T) {
+	// Two flows with equal-cost items and a quantum covering exactly one
+	// item per visit must alternate — queue depth buys nothing.
+	d := newDRR[string](100)
+	for i := 0; i < 3; i++ {
+		d.push("a", "a", 100)
+	}
+	for i := 0; i < 3; i++ {
+		d.push("b", "b", 100)
+	}
+	got := drainDRR(t, d)
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDRRCostProportionalInterleave(t *testing.T) {
+	// Flow "cheap" queues 10µs items, flow "dear" queues 100µs items; with
+	// a 100µs quantum each round serves ten cheap items and one dear item —
+	// service is proportional to the quantum, not item count.
+	d := newDRR[string](100)
+	for i := 0; i < 20; i++ {
+		d.push("cheap", "c", 10)
+	}
+	for i := 0; i < 2; i++ {
+		d.push("dear", "d", 100)
+	}
+	got := drainDRR(t, d)
+	if len(got) != 22 {
+		t.Fatalf("drained %d items, want 22", len(got))
+	}
+	// First 11 services must be 10 cheap + 1 dear in some rotation.
+	cheap := 0
+	for _, v := range got[:11] {
+		if v == "c" {
+			cheap++
+		}
+	}
+	if cheap != 10 {
+		t.Fatalf("first round served %d cheap of 11, want 10 (order %v)", cheap, got)
+	}
+}
+
+func TestDRRNoStarvationForExpensiveItem(t *testing.T) {
+	// An item costing many quanta accumulates deficit across laps and is
+	// eventually served even while a cheap competitor keeps arriving work
+	// queued.
+	d := newDRR[string](10)
+	d.push("huge", "H", 95) // needs 10 laps of quantum
+	for i := 0; i < 50; i++ {
+		d.push("small", "s", 10)
+	}
+	got := drainDRR(t, d)
+	servedHuge := -1
+	for i, v := range got {
+		if v == "H" {
+			servedHuge = i
+			break
+		}
+	}
+	if servedHuge == -1 {
+		t.Fatal("expensive item starved")
+	}
+	// It must land mid-stream (after ~10 laps), not dead last.
+	if servedHuge >= len(got)-1 {
+		t.Fatalf("expensive item served last (index %d of %d) — deficit accumulation broken", servedHuge, len(got))
+	}
+}
+
+func TestDRREmptiedFlowForfeitsDeficit(t *testing.T) {
+	// A flow that empties leaves the ring and loses its deficit: when it
+	// returns it starts from zero and cannot burst ahead on hoarded credit.
+	d := newDRR[string](100)
+	d.push("a", "a1", 10) // served with 90 deficit left, then flow is removed
+	if v, _, ok := d.pop(); !ok || v != "a1" {
+		t.Fatalf("pop = %q, %v", v, ok)
+	}
+	if d.len() != 0 {
+		t.Fatalf("scheduler not empty after drain: %d", d.len())
+	}
+	// Re-arrival: fresh flow state (zero deficit until its next visit).
+	d.push("a", "a2", 150)
+	d.push("b", "b1", 100)
+	// a's first visit grants one quantum (100 < 150): it must defer to b.
+	if v, _, ok := d.pop(); !ok || v != "b1" {
+		t.Fatalf("after re-arrival pop = %q, want b1 (hoarded deficit?)", v)
+	}
+	if v, _, ok := d.pop(); !ok || v != "a2" {
+		t.Fatalf("final pop = %q, want a2", v)
+	}
+}
+
+func TestDRRSingleFlowIsFIFO(t *testing.T) {
+	d := newDRR[string](1)
+	for i := 0; i < 5; i++ {
+		d.push("x", fmt.Sprintf("x%d", i), 1000)
+	}
+	got := drainDRR(t, d)
+	for i, v := range got {
+		if want := fmt.Sprintf("x%d", i); v != want {
+			t.Fatalf("pop %d = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestClientTableOverflow(t *testing.T) {
+	tab := newClientTable(4)
+	for i := 0; i < 4; i++ {
+		e := tab.get(fmt.Sprintf("c%d", i))
+		if e.id == overflowClientID {
+			t.Fatalf("client %d landed in overflow below the cap", i)
+		}
+	}
+	// Beyond the cap every new ID shares the overflow row (and thus one
+	// token bucket — an ID-spray attack throttles itself).
+	o1 := tab.get("sprayed-1")
+	o2 := tab.get("sprayed-2")
+	if o1.id != overflowClientID || o1 != o2 {
+		t.Fatalf("overflow rows differ: %q vs %q", o1.id, o2.id)
+	}
+	// Existing IDs keep their exact rows.
+	if e := tab.get("c2"); e.id != "c2" {
+		t.Fatalf("tracked client displaced into %q", e.id)
+	}
+	if n := len(tab.all()); n != 5 {
+		t.Fatalf("all() returned %d rows, want 4 tracked + 1 overflow", n)
+	}
+}
+
+func TestTopKSketchBounds(t *testing.T) {
+	// Feed known totals through an undersized sketch and verify the
+	// space-saving guarantees: tracked keys obey count-err ≤ true ≤ count,
+	// and the heaviest spender is present with an exact (err 0 impossible
+	// to guarantee — but here it never got evicted) estimate.
+	k := 3
+	s := newTopK(k)
+	truth := map[string]int64{}
+	offer := func(id string, n int64) {
+		s.offer(id, n)
+		truth[id] += n
+	}
+	offer("whale", 1000)
+	for i := 0; i < 10; i++ {
+		offer("whale", 1000)
+		offer("mid", 100)
+		offer(fmt.Sprintf("minnow-%d", i), 1)
+	}
+	snap := s.snapshot()
+	if len(snap) > k {
+		t.Fatalf("sketch holds %d counters, cap %d", len(snap), k)
+	}
+	if snap[0].ID != "whale" {
+		t.Fatalf("heaviest spender is %q, want whale (snapshot %+v)", snap[0].ID, snap)
+	}
+	for _, h := range snap {
+		tr := truth[h.ID]
+		if h.CostUS < tr {
+			t.Errorf("%s: estimate %d below true %d (space-saving never underestimates)", h.ID, h.CostUS, tr)
+		}
+		if h.CostUS-h.ErrUS > tr {
+			t.Errorf("%s: lower bound %d exceeds true %d", h.ID, h.CostUS-h.ErrUS, tr)
+		}
+	}
+}
+
+// TestQoSAdmitThrottleAndInvariants drives the qos layer with an injected
+// clock: a polite client under the rate is never throttled, a flooding
+// client is, and the accounting identities hold throughout.
+// TestQoSMaxCostCap pins the service-granularity bound: a request whose
+// estimated cost exceeds MaxCostUS is refused outright — without spending
+// the client's tokens — while requests at the cap pass.
+func TestQoSMaxCostCap(t *testing.T) {
+	q := newQoS(Config{
+		ClientRateUS: 1_000_000, ClientBurstUS: 1_000_000,
+		FairLimitUS: 1 << 40, DRRQuantumUS: 100, HeavyHitterK: 4, MaxClients: 8,
+		MaxCostUS: 500,
+	})
+	now := time.Unix(9000, 0)
+	q.now = func() time.Time { return now }
+
+	if !q.admit("bulk", 500) {
+		t.Fatal("request at the cost cap rejected")
+	}
+	q.finish("bulk", 500, StatusOK)
+	if q.admit("bulk", 501) {
+		t.Fatal("request above the cost cap admitted")
+	}
+	// The cap rejection must not have consumed tokens: a same-instant
+	// at-cap request still fits the remaining burst.
+	if !q.admit("bulk", 500) {
+		t.Fatal("cap rejection drained the bucket")
+	}
+	q.finish("bulk", 500, StatusOK)
+	if err := q.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	v := q.view()
+	if v.Throttled != 1 {
+		t.Fatalf("throttled %d, want exactly the over-cap arrival", v.Throttled)
+	}
+}
+
+func TestQoSAdmitThrottleAndInvariants(t *testing.T) {
+	q := newQoS(Config{
+		ClientRateUS: 1000, ClientBurstUS: 2000,
+		FairLimitUS: 1 << 40, DRRQuantumUS: 100, HeavyHitterK: 8, MaxClients: 16,
+	})
+	now := time.Unix(5000, 0)
+	q.now = func() time.Time { return now }
+
+	// Polite: 100µs ops at 5/s against a 1000µs/s budget.
+	for i := 0; i < 50; i++ {
+		now = now.Add(200 * time.Millisecond)
+		if !q.admit("polite", 100) {
+			t.Fatalf("polite client throttled on op %d", i)
+		}
+		q.finish("polite", 100, StatusOK)
+	}
+	// Flood: 500µs ops back to back with no elapsed time. Burst covers the
+	// first four; everything after is throttled.
+	admitted, throttled := 0, 0
+	for i := 0; i < 20; i++ {
+		if q.admit("flood", 500) {
+			admitted++
+			q.finish("flood", 500, StatusOK)
+		} else {
+			throttled++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("flood admitted %d ops from a 2000µs burst of 500µs ops, want 4", admitted)
+	}
+	if throttled != 16 {
+		t.Fatalf("flood throttled %d, want 16", throttled)
+	}
+	if err := q.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	v := q.view()
+	if v.Throttled != 16 {
+		t.Fatalf("view throttled %d, want 16", v.Throttled)
+	}
+	if len(v.HeavyHitters) == 0 || v.HeavyHitters[0].ID != "flood" {
+		t.Fatalf("heavy hitters should lead with flood (demand 10000µs): %+v", v.HeavyHitters)
+	}
+}
+
+// TestQoSFairQueueGrantsInDRROrder parks waiters above the outstanding
+// limit and verifies completions release them via the fair queue.
+func TestQoSFairQueueGrantsInDRROrder(t *testing.T) {
+	q := newQoS(Config{
+		ClientRateUS: 1 << 30, ClientBurstUS: 1 << 30,
+		FairLimitUS: 100, DRRQuantumUS: 1000, HeavyHitterK: 8, MaxClients: 16,
+	})
+	// First acquire slips under the limit and occupies all capacity.
+	if !q.admit("first", 100) {
+		t.Fatal("first admit rejected")
+	}
+	q.acquire("first", 100)
+
+	// Two more clients park.
+	released := make(chan string, 2)
+	for _, id := range []string{"a", "b"} {
+		if !q.admit(id, 50) {
+			t.Fatalf("%s admit rejected", id)
+		}
+		go func(id string) {
+			q.acquire(id, 50)
+			released <- id
+		}(id)
+	}
+	// Wait until both are parked in the fair queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q.mu.Lock()
+		n := q.waiting.len()
+		q.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case id := <-released:
+		t.Fatalf("%s released while capacity exhausted", id)
+	default:
+	}
+	// Finishing the first request frees capacity; both waiters fit.
+	q.finish("first", 100, StatusOK)
+	got := map[string]bool{<-released: true, <-released: true}
+	if !got["a"] || !got["b"] {
+		t.Fatalf("released set %v, want a and b", got)
+	}
+	q.finish("a", 50, StatusOK)
+	q.finish("b", 50, StatusOK)
+	if err := q.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	out := q.outstanding
+	q.mu.Unlock()
+	if out != 0 {
+		t.Fatalf("outstanding %dµs after all finishes, want 0", out)
+	}
+}
