@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test check race lint fuzz bench bench-alloc bins serve-smoke serve-bench serve-attack bench-json bench-check
+.PHONY: all build test check race lint fuzz bench bench-alloc bins serve-smoke serve-bench serve-attack serve-cluster bench-json bench-check
 
 all: build test
 
@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz FuzzModMul -fuzztime $(FUZZTIME) ./internal/mpz/
 	$(GO) test -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/ssl/
 	$(GO) test -fuzz FuzzClientAccounting -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME) ./internal/wire/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -54,10 +55,12 @@ bench-alloc:
 	$(GO) test -bench 'ModExp1024|FixedBase|ModMulMontgomery' -benchmem -run '^$$' ./internal/mpz/
 	$(GO) test -bench 'RecordSeal|RecordRoundTrip' -benchmem -run '^$$' ./internal/ssl/
 	$(GO) test -bench 'ServeRecordOp|ServeResumedTransaction' -benchmem -run '^$$' ./internal/serve/
+	$(GO) test -bench 'WireEncode|WireParse' -benchmem -run '^$$' ./internal/wire/
 	$(GO) test -bench 'GetPut' -benchmem -run '^$$' ./internal/bufpool/
 
 bins:
 	$(GO) build -o bin/wispd ./cmd/wispd
+	$(GO) build -o bin/wispgw ./cmd/wispgw
 	$(GO) build -o bin/wispload ./cmd/wispload
 	$(GO) build -o bin/benchcmp ./cmd/benchcmp
 
@@ -84,6 +87,16 @@ serve-bench: bins
 # BENCH_attack.json.
 serve-attack: bins
 	BIN=bin ./scripts/serve_attack.sh
+
+# serve-cluster is the cluster-scaling gate: the same wire-protocol
+# workload against one wispd direct and against wispgw routing over three
+# wispd backends.  Asserts resumption-rate parity through consistent-hash
+# session affinity (within 5 points of single-node, zero ring redirects),
+# >=2x single-node throughput under 20 MHz model pacing, and that killing
+# one backend mid-run ejects it with zero client-visible failures.
+# Writes BENCH_cluster.json (labeled 'cluster').
+serve-cluster: bins
+	BIN=bin ./scripts/serve_cluster.sh
 
 # bench-json emits the machine-readable serving benchmark record
 # (per-op p50/p99, throughput, cache hit rates) to BENCH_serve.json.

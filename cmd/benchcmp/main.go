@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	benchcmp -baseline bench/BENCH_serve.baseline.json -current BENCH_serve.json [-threshold 0.25]
+//	benchcmp -baseline bench/BENCH_serve.baseline.json -current BENCH_serve.json [-threshold 0.25] [-label NAME]
+//
+// Records carry an experiment label (wispload -bench-label) so cluster
+// and single-node records can share bench/ without clobbering each
+// other's baselines: comparing two records with different non-empty
+// labels always fails, and -label NAME additionally requires the current
+// record to carry exactly that label (the baseline may be unlabeled —
+// pre-label baselines stay usable).
 //
 // Latency regressions are per-op-class p50/p99 increases; a throughput
 // regression is an RPS decrease; an allocation regression is an
@@ -38,6 +45,8 @@ func main() {
 		"A/B assertion 'curOp<baseOp': require the current record's curOp p99 below the baseline record's baseOp p99 (skips the regression comparison)")
 	p99Factor := flag.Float64("p99-factor", 1.0,
 		"slack multiplier for -assert-p99-lt: require curOp p99 < baseOp p99 x factor (1.0 = strictly lower; the fairness gate uses 1.5)")
+	label := flag.String("label", "",
+		"require the current record to carry this experiment label (and the baseline to carry it or be unlabeled)")
 	flag.Parse()
 
 	base, err := serve.ReadBenchRecord(*baselinePath)
@@ -46,6 +55,9 @@ func main() {
 	}
 	cur, err := serve.ReadBenchRecord(*currentPath)
 	if err != nil {
+		fatal(err)
+	}
+	if err := checkLabels(*label, base, cur); err != nil {
 		fatal(err)
 	}
 
@@ -123,6 +135,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchcmp: no regressions beyond %.0f%% (baseline %s)\n", *threshold*100, *baselinePath)
+}
+
+// checkLabels refuses cross-experiment comparisons.  Two differently
+// labeled records never compare (a cluster record against the single-node
+// baseline would gate apples against oranges); with -label the current
+// record must carry exactly that label, while an unlabeled baseline is
+// accepted so existing baselines keep working.
+func checkLabels(want string, base, cur *serve.BenchRecord) error {
+	if base.Label != "" && cur.Label != "" && base.Label != cur.Label {
+		return fmt.Errorf("label mismatch: baseline %q vs current %q", base.Label, cur.Label)
+	}
+	if want != "" {
+		if cur.Label != want {
+			return fmt.Errorf("current record label %q, want %q", cur.Label, want)
+		}
+		if base.Label != "" && base.Label != want {
+			return fmt.Errorf("baseline record label %q, want %q or unlabeled", base.Label, want)
+		}
+	}
+	return nil
 }
 
 // assertP99LT enforces the serve-bench A/B contract: the op class named

@@ -7,12 +7,18 @@
 //
 // Usage:
 //
-//	wispd [-addr 127.0.0.1:9311] [-shards N] [-queue 64] [-batch 16]
-//	      [-dispatch cost|rr] [-rsabits 512] [-record 1024] [-seed 1]
-//	      [-session-cache 4096] [-session-ttl 10m]
+//	wispd [-addr 127.0.0.1:9311] [-listen-wire ""] [-shards N] [-queue 64]
+//	      [-batch 16] [-dispatch cost|rr] [-rsabits 512] [-record 1024]
+//	      [-seed 1] [-session-cache 4096] [-session-ttl 10m] [-pace-hz 0]
 //	      [-client-rate 0] [-client-burst 0] [-fair-limit 0] [-qos-quantum 0]
 //	      [-read-timeout 0] [-measured] [-metrics] [-pprof] [-addrfile PATH]
 //
+// -listen-wire opens a second listener speaking the binary wire protocol
+// (internal/wire) alongside HTTP; both front the same gateway.  -pace-hz
+// enables model-paced serving: each shard stretches SSL-shaped service
+// times to the analytic cycle estimate at the given clock (188e6 = the
+// paper's 188 MHz platform), which makes multi-node scaling experiments
+// honest on hosts with fewer cores than daemons.
 // -client-rate enables per-client QoS isolation: each ClientID's
 // estimated-cost spend (µs of predicted service time per second) is
 // metered against a token bucket, and under saturation clients are
@@ -36,10 +42,13 @@ import (
 
 	"wisp"
 	"wisp/internal/serve"
+	"wisp/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9311", "listen address (port 0 picks a free port)")
+	listenWire := flag.String("listen-wire", "", "binary wire-protocol listen address (empty = HTTP only; port 0 picks a free port)")
+	wireAddrFile := flag.String("wire-addrfile", "", "write the bound wire address to this file (for scripts)")
 	shards := flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "per-shard queue depth")
 	batch := flag.Int("batch", 16, "max requests drained per shard cycle")
@@ -50,6 +59,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "determinism seed for shard key material")
 	sessionCap := flag.Int("session-cache", 4096, "SSL session cache capacity (abbreviated handshakes); negative disables resumption")
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "SSL session cache entry lifetime")
+	paceHz := flag.Float64("pace-hz", 0, "model-paced serving clock in Hz (188e6 = one 188 MHz platform per shard; 0 = serve at host speed)")
 	clientRate := flag.Int64("client-rate", 0, "per-client QoS rate in estimated-cost µs per second (0 = QoS off)")
 	clientBurst := flag.Int64("client-burst", 0, "per-client QoS burst in estimated-cost µs (0 = 2x rate)")
 	fairLimit := flag.Int64("fair-limit", 0, "outstanding dispatched cost (µs) above which clients are DRR fair-queued (0 = shards x 250ms)")
@@ -73,6 +83,7 @@ func main() {
 		Seed:       *seed,
 		SessionCap: *sessionCap,
 		SessionTTL: *sessionTTL,
+		PaceHz:     *paceHz,
 
 		ClientRateUS:  *clientRate,
 		ClientBurstUS: *clientBurst,
@@ -119,6 +130,26 @@ func main() {
 		fmt.Printf("wispd: QoS on — %dµs/s per client (burst %dµs), fair-queue above %dµs outstanding (quantum %dµs)\n",
 			qc.ClientRateUS, qc.ClientBurstUS, qc.FairLimitUS, qc.DRRQuantumUS)
 	}
+	if *paceHz > 0 {
+		fmt.Printf("wispd: model-paced at %.0f Hz — each shard serves like one platform instance\n", *paceHz)
+	}
+
+	var wireSrv *wire.Server
+	wireErr := make(chan error, 1)
+	if *listenWire != "" {
+		wireSrv = wire.NewServer(gw, wire.ServerConfig{ReadTimeout: *readTimeout})
+		wireBound, err := wireSrv.Listen(*listenWire)
+		if err != nil {
+			fatal(err)
+		}
+		if *wireAddrFile != "" {
+			if err := os.WriteFile(*wireAddrFile, []byte(wireBound.String()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wispd: wire protocol on %s\n", wireBound)
+		go func() { wireErr <- wireSrv.Serve() }()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -130,11 +161,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case err := <-wireErr:
+		if err != nil {
+			fatal(err)
+		}
 	case s := <-sig:
 		fmt.Printf("wispd: %v — draining...\n", s)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		err := srv.Shutdown(ctx)
+		err := srv.Shutdown(ctx) // drains the gateway, so wire requests finish too
 		cancel()
+		if wireSrv != nil {
+			if werr := wireSrv.Close(); werr != nil && err == nil {
+				err = werr
+			}
+		}
 		if err != nil {
 			fatal(fmt.Errorf("drain: %w", err))
 		}

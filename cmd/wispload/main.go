@@ -6,13 +6,13 @@
 //
 // Usage:
 //
-//	wispload -addr 127.0.0.1:9311 [-clients 4] [-n 25]
+//	wispload -addr 127.0.0.1:9311 [-proto http|wire] [-clients 4] [-n 25]
 //	         [-mix 1k,4k,16k,32k] [-ops ssl] [-record 1024]
 //	         [-deadline-us 0] [-retries 0] [-backoff-us 2000]
 //	         [-hedge-us 0] [-resume-ratio 0] [-think-us 0] [-seed 1]
 //	         [-json] [-stats]
 //	         [-attack flood,thrash,oversize,slowloris] [-attack-ratio 0.25]
-//	         [-attack-conc 4] [-bench-out FILE]
+//	         [-attack-conc 4] [-bench-out FILE] [-bench-label NAME]
 //
 // -resume-ratio R marks fraction R of ssl/handshake requests as
 // resumable: the gateway serves them with an abbreviated handshake from
@@ -20,6 +20,13 @@
 // a separate "+resumed" class.  -bench-out writes a compact benchmark
 // record (per-op p50/p99, throughput, cache hit rates) for the CI
 // regression gate (cmd/benchcmp).
+//
+// -proto wire drives the binary wire protocol (internal/wire) instead of
+// HTTP: one multiplexed TCP connection per client against a wispd
+// -listen-wire port or a wispgw routing tier.  Request streams are
+// byte-identical across protocols on the same seed, so wire and HTTP runs
+// verify the same digests.  Adversarial profiles pre-frame HTTP bodies
+// and are HTTP-only.
 //
 // -attack mixes adversarial clients into the run alongside the legit
 // closed loops: flood (concurrent full-handshake SSL), thrash
@@ -39,10 +46,12 @@ import (
 	"strings"
 
 	"wisp/internal/serve"
+	"wisp/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9311", "wispd address")
+	proto := flag.String("proto", "http", "transport protocol: http (POST /v1/offload) or wire (binary TCP)")
 	clients := flag.Int("clients", 4, "concurrent closed-loop clients")
 	perClient := flag.Int("n", 25, "requests per client")
 	mix := flag.String("mix", "1k,4k,16k,32k", "payload size mix (k/m suffixes)")
@@ -62,7 +71,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	stats := flag.Bool("stats", true, "fetch and print server-side /stats after the run")
 	benchOut := flag.String("bench-out", "", "write a benchmark record (per-op p50/p99, throughput, cache hit rates) to this file")
+	benchLabel := flag.String("bench-label", "", "experiment label stamped on the benchmark record (benchcmp refuses cross-label comparisons)")
 	flag.Parse()
+
+	var dial func(string) (serve.Transport, error)
+	switch *proto {
+	case "http":
+	case "wire":
+		dial = func(a string) (serve.Transport, error) { return wire.Dial(a) }
+	default:
+		fatal(fmt.Errorf("unknown -proto %q (want http or wire)", *proto))
+	}
 
 	if *resumeRatio < 0 || *resumeRatio > 1 {
 		fatal(fmt.Errorf("resume-ratio %g out of range [0,1]", *resumeRatio))
@@ -86,6 +105,7 @@ func main() {
 
 	rep, err := serve.RunLoad(serve.LoadConfig{
 		Addr:        *addr,
+		Dial:        dial,
 		Clients:     *clients,
 		PerClient:   *perClient,
 		Mix:         sizes,
@@ -110,11 +130,18 @@ func main() {
 
 	var serverStats *serve.Stats
 	if *stats || *benchOut != "" {
-		serverStats, _ = serve.NewClient(*addr).Stats()
+		if dial != nil {
+			if tr, err := dial(*addr); err == nil {
+				serverStats, _ = tr.Stats()
+				tr.Close()
+			}
+		} else {
+			serverStats, _ = serve.NewClient(*addr).Stats()
+		}
 	}
 
 	if *benchOut != "" {
-		if err := serve.WriteBenchRecord(*benchOut, rep, serverStats); err != nil {
+		if err := serve.WriteBenchRecord(*benchOut, *benchLabel, rep, serverStats); err != nil {
 			fatal(err)
 		}
 	}

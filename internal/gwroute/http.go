@@ -1,0 +1,131 @@
+package gwroute
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"wisp/internal/serve"
+)
+
+// Server exposes a Router over HTTP with the same surface the single-node
+// gateway has, so a load generator (or an operator's curl) pointed at
+// wispgw needs no new protocol:
+//
+//	POST /v1/offload  — one Request in, one Response out (JSON)
+//	GET  /stats       — routing snapshot (JSON; ?format=text for a dump)
+//	GET  /healthz     — "ok" while routing, 503 "draining" during drain
+type Server struct {
+	r    *Router
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer wraps a router with the HTTP front end.
+func NewServer(r *Router) *Server {
+	s := &Server{r: r}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/offload", s.handleOffload)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Listen binds addr (host:port; port 0 picks a free one) and returns the
+// bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve runs the HTTP loop on the listener from Listen; it blocks until
+// Shutdown and returns nil on a clean close.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("gwroute: Serve before Listen")
+	}
+	if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown marks the router draining (new requests shed with reason
+// "draining") and closes the HTTP server once in-flight handlers return.
+// Backend transports stay open for the wire front end; cmd/wispgw closes
+// the router last.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.r.Drain()
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
+	// Same envelope-first contract as the single-node front end: bounds
+	// and drain state are checked on the parsed envelope before the
+	// payload is materialized into a pooled buffer.
+	env, err := serve.DecodeEnvelope(http.MaxBytesReader(w, r.Body, serve.MaxWireBytes))
+	if err != nil {
+		s.r.NoteRejectedDecode()
+		writeJSON(w, http.StatusBadRequest, &serve.Response{
+			Status: serve.StatusError, Error: fmt.Sprint(err), Shard: -1})
+		return
+	}
+	if _, shed := s.r.Preadmit(env.Op(), env.ClientKey(), env.PayloadBytes()); shed != nil {
+		writeJSON(w, http.StatusServiceUnavailable, shed)
+		return
+	}
+	req, err := env.Materialize()
+	if err != nil {
+		s.r.NoteRejectedDecode()
+		writeJSON(w, http.StatusBadRequest, &serve.Response{
+			Status: serve.StatusError, Error: fmt.Sprint(err), Shard: -1})
+		return
+	}
+	resp := s.r.Submit(req)
+	serve.ReleaseRequest(req)
+	code := http.StatusOK
+	switch resp.Status {
+	case serve.StatusShed:
+		code = http.StatusServiceUnavailable
+	case serve.StatusExpired:
+		code = http.StatusGatewayTimeout
+	case serve.StatusError:
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.r.Stats()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, stats.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.r.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,180 @@
+package gwroute
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.0.0.%d:9000", i+1)
+	}
+	return addrs
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("client-%d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: placement depends only on the address
+// strings — a rebuilt ring (a restarted gateway) and a ring built from the
+// same addresses in a different order both reproduce the assignment.  This
+// is what lets a wispgw restart keep hitting warm backend session caches.
+func TestRingDeterministicPlacement(t *testing.T) {
+	addrs := ringAddrs(5)
+	r1, err := NewRing(addrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(addrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]string(nil), addrs...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	r3, err := NewRing(shuffled, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(2000) {
+		if a, b := addrs[r1.Owner(key)], addrs[r2.Owner(key)]; a != b {
+			t.Fatalf("key %q: restart moved owner %s -> %s", key, a, b)
+		}
+		if a, b := addrs[r1.Owner(key)], shuffled[r3.Owner(key)]; a != b {
+			t.Fatalf("key %q: flag reorder moved owner %s -> %s", key, a, b)
+		}
+	}
+}
+
+// TestRingKeyMovementOnAdd pins the consistent-hashing contract: growing
+// N -> N+1 nodes moves only ~K/(N+1) of K keys, and every moved key moves
+// TO the new node (no shuffling between survivors).
+func TestRingKeyMovementOnAdd(t *testing.T) {
+	const K = 10000
+	addrs := ringAddrs(4)
+	grown := append(append([]string(nil), addrs...), "10.0.0.99:9000")
+	small, err := NewRing(addrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(grown, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, key := range ringKeys(K) {
+		before := addrs[small.Owner(key)]
+		after := grown[big.Owner(key)]
+		if before != after {
+			moved++
+			if after != "10.0.0.99:9000" {
+				t.Fatalf("key %q moved between surviving nodes: %s -> %s", key, before, after)
+			}
+		}
+	}
+	// Expectation K/(N+1) = 2000; allow 1.5x for vnode placement variance.
+	if bound := K * 3 / (2 * len(grown)); moved > bound {
+		t.Errorf("adding one node moved %d/%d keys, bound %d (~1.5*K/N)", moved, K, bound)
+	}
+	if moved == 0 {
+		t.Error("adding a node moved zero keys — the new node owns nothing")
+	}
+}
+
+// TestRingKeyMovementOnRemove: removing one node relocates only the keys
+// it owned; every other key keeps its owner.  This is the affinity story
+// for a dead backend — the survivors' session caches stay warm.
+func TestRingKeyMovementOnRemove(t *testing.T) {
+	addrs := ringAddrs(5)
+	removed := addrs[2]
+	kept := append(append([]string(nil), addrs[:2]...), addrs[3:]...)
+	full, err := NewRing(addrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewRing(kept, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relocated := 0
+	for _, key := range ringKeys(10000) {
+		before := addrs[full.Owner(key)]
+		after := kept[small.Owner(key)]
+		if before == removed {
+			relocated++
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %q owned by surviving %s moved to %s", key, before, after)
+		}
+	}
+	if relocated == 0 {
+		t.Error("removed node owned zero of 10000 keys — ring is badly unbalanced")
+	}
+}
+
+// TestRingBalance: with 64 virtual nodes per backend no node's share of
+// 10000 keys should be pathologically lopsided.
+func TestRingBalance(t *testing.T) {
+	addrs := ringAddrs(4)
+	r, err := NewRing(addrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(addrs))
+	const K = 10000
+	for _, key := range ringKeys(K) {
+		counts[r.Owner(key)]++
+	}
+	want := K / len(addrs)
+	for i, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Errorf("node %s owns %d/%d keys (expected ~%d): unbalanced ring %v",
+				addrs[i], c, K, want, counts)
+		}
+	}
+}
+
+// TestRingOrder: the failover walk starts at the owner, yields every node
+// exactly once, and is stable for a given key.
+func TestRingOrder(t *testing.T) {
+	addrs := ringAddrs(6)
+	r, err := NewRing(addrs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(50) {
+		var order []int
+		r.Order(key, func(n int) bool {
+			order = append(order, n)
+			return true
+		})
+		if len(order) != len(addrs) {
+			t.Fatalf("key %q: walk yielded %d nodes, want %d", key, len(order), len(addrs))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("key %q: walk starts at %d, owner is %d", key, order[0], r.Owner(key))
+		}
+		seen := make(map[int]bool)
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("key %q: node %d visited twice", key, n)
+			}
+			seen[n] = true
+		}
+		// Early stop is honored.
+		visits := 0
+		r.Order(key, func(int) bool { visits++; return visits < 2 })
+		if visits != 2 {
+			t.Fatalf("key %q: early-stopped walk made %d visits", key, visits)
+		}
+	}
+}

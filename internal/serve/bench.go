@@ -8,11 +8,13 @@ import (
 
 // BenchSchema versions the benchmark record format.  Schema 2 added the
 // allocation columns (allocs_per_op, alloc_bytes_per_op, gc_pause_p99_us);
-// schema 3 added the adversarial-mix columns (legit_p99_us, attack_ratio).
-// Readers accept any schema up to their own, so schema-1/2 baselines still
+// schema 3 added the adversarial-mix columns (legit_p99_us, attack_ratio);
+// schema 4 added the experiment Label so cluster and single-node records
+// can share bench/ without gating against each other's baselines.
+// Readers accept any schema up to their own, so older baselines still
 // gate throughput and latency while the newer gates wait for the baseline
 // to be regenerated.
-const BenchSchema = 3
+const BenchSchema = 4
 
 // BenchOp is one op class's latency slice in a benchmark record.  Resumed
 // transactions appear as their own "<op>+resumed" class, so the gate can
@@ -29,7 +31,13 @@ type BenchOp struct {
 // perf-regression gate (cmd/benchcmp) compares against the checked-in
 // baseline.
 type BenchRecord struct {
-	Schema         int                `json:"schema"`
+	Schema int `json:"schema"`
+	// Label names the experiment that produced the record ("serve",
+	// "cluster", "cluster-single", ...).  benchcmp refuses to compare two
+	// differently-labeled records, so a cluster record dropped next to the
+	// single-node baseline cannot silently clobber its gate.  Empty on
+	// pre-schema-4 records, which compare against anything (legacy).
+	Label          string             `json:"label,omitempty"`
 	Transactions   int                `json:"transactions"`
 	OK             int                `json:"ok"`
 	Mismatches     int                `json:"mismatches"`
@@ -93,9 +101,12 @@ func NewBenchRecord(rep *LoadReport, stats *Stats) *BenchRecord {
 	return r
 }
 
-// WriteBenchRecord writes the benchmark record as indented JSON.
-func WriteBenchRecord(path string, rep *LoadReport, stats *Stats) error {
-	data, err := json.MarshalIndent(NewBenchRecord(rep, stats), "", "  ")
+// WriteBenchRecord writes the benchmark record as indented JSON, stamped
+// with the experiment label (may be empty for legacy compatibility).
+func WriteBenchRecord(path, label string, rep *LoadReport, stats *Stats) error {
+	rec := NewBenchRecord(rep, stats)
+	rec.Label = label
+	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}

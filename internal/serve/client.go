@@ -37,12 +37,34 @@ type RetryPolicy struct {
 	HedgeAfter time.Duration
 }
 
-// Client talks to a wispd gateway over HTTP.  With a RetryPolicy set it
-// retries shed responses with exponential backoff + jitter and hedges
-// slow deadline-bearing requests; Retries/Hedges expose how often.
+// Transport performs request/response exchanges against a serving daemon.
+// The Client's built-in HTTP+JSON path is the default; internal/wire
+// provides the binary-protocol implementation, and a cluster router
+// (internal/gwroute) fans a Transport out over many nodes.  The retry,
+// backoff and hedging machinery above the transport is shared: a Client
+// behaves identically over either protocol.
+type Transport interface {
+	// RoundTrip submits one request and blocks for its response.  A non-nil
+	// Response covers every parsed reply including shed/expired/error
+	// statuses; the error covers transport and decode failures only.
+	RoundTrip(req *Request) (*Response, error)
+	// Stats fetches the server's stats snapshot.
+	Stats() (*Stats, error)
+	// Healthy reports whether the server answers its health check.
+	Healthy() bool
+	// Close releases the transport's connections.
+	Close() error
+}
+
+// Client talks to a wispd gateway — over HTTP+JSON by default, or over any
+// Transport (the binary wire protocol, a routing tier) via NewClientWith.
+// With a RetryPolicy set it retries shed responses with exponential
+// backoff + jitter and hedges slow deadline-bearing requests;
+// Retries/Hedges expose how often.
 type Client struct {
 	base   string
 	http   *http.Client
+	tr     Transport // nil = built-in HTTP path
 	policy RetryPolicy
 
 	mu  sync.Mutex
@@ -63,6 +85,12 @@ func NewClient(addr string) *Client {
 		http: &http.Client{Timeout: 5 * time.Minute},
 		rng:  rand.New(rand.NewSource(1)),
 	}
+}
+
+// NewClientWith builds a client on an explicit transport (e.g. a
+// wire.Transport); the retry/hedge machinery is unchanged.
+func NewClientWith(tr Transport) *Client {
+	return &Client{tr: tr, rng: rand.New(rand.NewSource(1))}
 }
 
 // SetRetryPolicy installs p; seed makes the backoff jitter deterministic.
@@ -195,8 +223,12 @@ func (c *Client) doHedged(req *Request) (*Response, error) {
 // encode buffer is the dominant client-side allocation.
 var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// post performs one HTTP submission without retry or hedging.
+// post performs one submission without retry or hedging, over the
+// explicit transport when one is installed and HTTP+JSON otherwise.
 func (c *Client) post(req *Request) (*Response, error) {
+	if c.tr != nil {
+		return c.tr.RoundTrip(req)
+	}
 	buf := framePool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer framePool.Put(buf)
@@ -211,6 +243,9 @@ func (c *Client) post(req *Request) (*Response, error) {
 // through this path — re-encoding a megabyte payload per shot would spend
 // the generator's CPU on the attacker's half of the work.
 func (c *Client) postBytes(body []byte) (*Response, error) {
+	if c.http == nil {
+		return nil, fmt.Errorf("serve: pre-framed bodies require the HTTP transport")
+	}
 	httpResp, err := c.http.Post(c.base+"/v1/offload", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -225,6 +260,9 @@ func (c *Client) postBytes(body []byte) (*Response, error) {
 
 // Stats fetches the gateway's /stats snapshot.
 func (c *Client) Stats() (*Stats, error) {
+	if c.tr != nil {
+		return c.tr.Stats()
+	}
 	httpResp, err := c.http.Get(c.base + "/stats")
 	if err != nil {
 		return nil, err
@@ -239,6 +277,9 @@ func (c *Client) Stats() (*Stats, error) {
 
 // Healthy reports whether /healthz answers "ok".
 func (c *Client) Healthy() bool {
+	if c.tr != nil {
+		return c.tr.Healthy()
+	}
 	resp, err := c.http.Get(c.base + "/healthz")
 	if err != nil {
 		return false

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -71,6 +72,18 @@ type Config struct {
 	// re-derives them on the ISS at startup.
 	BaseCosts *ssl.Costs
 	OptCosts  *ssl.Costs
+
+	// PaceHz enables model-paced serving: after finishing an op whose
+	// response carries an optimized-platform cycle estimate, the shard
+	// stretches the service time to EstOptCycles/PaceHz by sleeping the
+	// remainder.  Each shard then serves exactly as fast as one simulated
+	// platform instance at that clock (188e6 = the paper's 188 MHz), which
+	// makes cluster-scaling experiments honest on a host with fewer cores
+	// than daemons: N paced nodes deliver ~N× one paced node because the
+	// bottleneck is the modeled silicon, not the shared host CPU.  Ops the
+	// analytic model does not price (digests, HMAC, AES round trips) are
+	// unpaced.  0 (the default) disables pacing.
+	PaceHz float64
 
 	// ClientRateUS enables per-client QoS isolation: each client may spend
 	// this many microseconds of *estimated* op cost per second (the same
@@ -314,6 +327,28 @@ func (g *Gateway) Stats() Stats {
 
 // Config returns the resolved configuration.
 func (g *Gateway) Config() Config { return g.cfg }
+
+// BacklogUS is the gateway's total estimated backlog (µs of priced work
+// queued or in service across every shard) — the compact load figure the
+// binary wire listener piggybacks on responses for routing tiers.
+func (g *Gateway) BacklogUS() int64 {
+	var total int64
+	for _, sh := range g.shards {
+		total += sh.cost.Load()
+	}
+	return total
+}
+
+// StatsJSON renders the stats snapshot as JSON (the wire-protocol stats
+// frame payload; the HTTP front end encodes the same document).
+func (g *Gateway) StatsJSON() ([]byte, error) {
+	return json.Marshal(g.Stats())
+}
+
+// NoteRejectedDecode forwards a front-end decode rejection into the
+// metrics core, so the HTTP and binary wire listeners count hardened-decode
+// refusals in the same series.
+func (g *Gateway) NoteRejectedDecode() { g.metrics.NoteRejectedDecode() }
 
 // Draining reports whether the gateway has begun shutting down.
 func (g *Gateway) Draining() bool { return g.draining.Load() }
@@ -939,6 +974,17 @@ func (s *shard) serveOne(t *task, batchSize int) {
 		resp.Error = err.Error()
 	} else {
 		resp.Status = StatusOK
+	}
+	// Model pacing: stretch the service time to what the optimized
+	// simulated platform would need.  The sleep happens before the
+	// ServiceUS measurement and the EWMA observation, so backlog costs,
+	// deadline admission and QoS pricing all see the paced service time —
+	// the shard genuinely behaves like one 188 MHz platform instance.
+	if hz := s.g.cfg.PaceHz; hz > 0 && resp.EstOptCycles > 0 {
+		target := time.Duration(resp.EstOptCycles / hz * 1e9)
+		if elapsed := time.Since(start); elapsed < target {
+			time.Sleep(target - elapsed)
+		}
 	}
 	resp.ServiceUS = time.Since(start).Microseconds()
 	s.observeService(t.req.Op, float64(resp.ServiceUS), len(t.req.Payload))

@@ -126,7 +126,7 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, decodeErrorResponse(err))
 		return
 	}
-	req.preEst = est
+	req.SetPreadmitted(est)
 	resp := s.gw.Submit(req)
 	ReleaseRequest(req)
 	code := http.StatusOK

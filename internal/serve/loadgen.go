@@ -22,7 +22,14 @@ var Figure8Mix = []int{1 << 10, 4 << 10, 16 << 10, 32 << 10}
 // and op independently per request from seeded per-client RNG streams
 // (so every op is exercised at every size, deterministically per seed).
 type LoadConfig struct {
-	Addr       string
+	Addr string
+	// Dial, when set, builds the transport the load clients speak instead
+	// of HTTP+JSON — wispload -proto wire installs the binary-protocol
+	// dialer here.  The request streams are byte-identical either way (the
+	// transport sits below the scheduling RNGs), so protocol A/B runs on
+	// the same seed replay the same workload.  Attack profiles pre-frame
+	// HTTP bodies and are rejected in combination with Dial.
+	Dial       func(addr string) (Transport, error)
 	Clients    int     // concurrent closed-loop clients; default 4
 	PerClient  int     // requests per client; default 25
 	Mix        []int   // payload sizes; default Figure8Mix
@@ -280,6 +287,19 @@ type LoadReport struct {
 	GCPauseP99US float64 `json:"gc_pause_p99_us,omitempty"`
 }
 
+// newClient builds one load client over the configured transport (HTTP by
+// default, Dial otherwise) plus a cleanup closing whatever was dialed.
+func (c LoadConfig) newClient() (*Client, func(), error) {
+	if c.Dial == nil {
+		return NewClient(c.Addr), func() {}, nil
+	}
+	tr, err := c.Dial(c.Addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: dialing %s: %w", c.Addr, err)
+	}
+	return NewClientWith(tr), func() { tr.Close() }, nil
+}
+
 // clientResult accumulates one load client's outcomes.  Legit clients are
 // single-goroutine closed loops; attackers run several concurrent streams
 // into one result and serialize on mu.
@@ -302,7 +322,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if c.Addr == "" {
 		return nil, fmt.Errorf("serve: load generator needs an address")
 	}
-	client := NewClient(c.Addr)
+	if c.Dial != nil && len(c.Attack) > 0 {
+		return nil, fmt.Errorf("serve: adversarial profiles pre-frame HTTP bodies and cannot run over a custom transport")
+	}
+	client, closeClient, err := c.newClient()
+	if err != nil {
+		return nil, err
+	}
+	defer closeClient()
 	if c.Retries > 0 || c.HedgeUS > 0 {
 		client.SetRetryPolicy(RetryPolicy{
 			MaxAttempts: c.Retries + 1,

@@ -136,6 +136,12 @@ type Request struct {
 	preEst int64
 }
 
+// SetPreadmitted stamps the request with a Preadmit estimate: the client's
+// token bucket was already charged est µs at the envelope stage, so Submit
+// must not charge it again.  Front ends (the HTTP handler, the binary wire
+// listener) call this between Preadmit and Submit.
+func (r *Request) SetPreadmitted(est int64) { r.preEst = est }
+
 // clientKey maps a request to its QoS accounting identity.
 func (r *Request) clientKey() string {
 	if r.ClientID == "" {
@@ -200,6 +206,12 @@ type Response struct {
 	// ops, letting clients compare achieved throughput to Figure 8.
 	EstBaseCycles float64 `json:"est_base_cycles,omitempty"`
 	EstOptCycles  float64 `json:"est_opt_cycles,omitempty"`
+
+	// LoadUS is the answering node's total backlog-cost estimate (µs),
+	// piggybacked on binary wire responses so a routing tier can feed its
+	// per-node cost EWMAs without separate health probes.  Hop-local: the
+	// wire layer stamps it at encode time and it never appears in JSON.
+	LoadUS int64 `json:"-"`
 }
 
 // Validate applies admission-side request checks.  Every rejection is a

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"wisp/internal/serve"
+)
+
+// benchRequest is a representative record-op request: no ID (the load
+// generator's verification is positional), a stable ClientID, a 4 KiB
+// payload.
+func benchRequest() *serve.Request {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return &serve.Request{
+		Op:       serve.OpRecord,
+		Payload:  payload,
+		ClientID: "bench-client",
+	}
+}
+
+func benchResponse() *serve.Response {
+	return &serve.Response{
+		Op: serve.OpRecord, Status: serve.StatusOK,
+		Digest:  make([]byte, 16),
+		Records: 4, Shard: 2, Batch: 3,
+		QueueUS: 120, ServiceUS: 3400,
+		EstBaseCycles: 1.1e7, EstOptCycles: 2.2e6,
+	}
+}
+
+// TestWireFramingAllocFree is the allocation gate for the framing hot
+// path: once the encoder scratch and the decoder intern table are warm,
+// encoding and header-parsing a request and a response must not allocate.
+func TestWireFramingAllocFree(t *testing.T) {
+	req := benchRequest()
+	resp := benchResponse()
+	var enc Encoder
+	var dec Decoder
+	var head ReqHead
+	var got serve.Response
+	buf := make([]byte, 0, 8192)
+
+	// Warm up: grow the scratch, intern the ClientID.
+	frame, err := enc.Request(buf[:0], 1, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := frameHeader(t, frame)
+	if err := dec.ParseRequest(hdr, &head); err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		frame, _ := enc.Request(buf[:0], 2, req)
+		hdr := frame[varintLen(frame):]
+		hdr = hdr[:len(hdr)-len(req.Payload)]
+		if err := dec.ParseRequest(hdr, &head); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("request encode+parse: %v allocs/op, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		frame, _ := enc.Response(buf[:0], 2, resp, 1000)
+		hdr := frame[varintLen(frame):]
+		hdr = hdr[:len(hdr)-len(resp.Digest)-len(resp.Result)]
+		if _, _, _, err := ParseResponse(hdr, &got); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("response encode+parse: %v allocs/op, want 0", allocs)
+	}
+}
+
+func frameHeader(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	n, used := binary.Uvarint(frame)
+	if used <= 0 {
+		t.Fatal("bad frame prefix")
+	}
+	return frame[used : used+int(n)]
+}
+
+// varintLen is the byte length of the frame's uvarint length prefix.
+func varintLen(frame []byte) int {
+	_, n := binary.Uvarint(frame)
+	return n
+}
+
+// BenchmarkWireEncodeRequest frames a 4 KiB record request.
+func BenchmarkWireEncodeRequest(b *testing.B) {
+	req := benchRequest()
+	var enc Encoder
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(req.Payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.Request(buf[:0], uint64(i), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireParseRequest parses the framed request header.
+func BenchmarkWireParseRequest(b *testing.B) {
+	req := benchRequest()
+	var enc Encoder
+	frame, err := enc.Request(nil, 1, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hdr := frame[varintLen(frame):]
+	hdr = hdr[:len(hdr)-len(req.Payload)]
+	var dec Decoder
+	var head ReqHead
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.ParseRequest(hdr, &head); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeResponse frames a served record response.
+func BenchmarkWireEncodeResponse(b *testing.B) {
+	resp := benchResponse()
+	var enc Encoder
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.Response(buf[:0], uint64(i), resp, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireParseResponse parses the framed response header.
+func BenchmarkWireParseResponse(b *testing.B) {
+	resp := benchResponse()
+	var enc Encoder
+	frame, err := enc.Response(nil, 1, resp, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hdr := frame[varintLen(frame):]
+	hdr = hdr[:len(hdr)-len(resp.Digest)-len(resp.Result)]
+	var got serve.Response
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ParseResponse(hdr, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"wisp/internal/serve"
+)
+
+// fuzzSeedFrames builds one valid header of each frame type for the seed
+// corpus (the checked-in files under testdata/fuzz extend these).
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	var enc Encoder
+	var seeds [][]byte
+	add := func(frame []byte, err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+		n := varintLen(frame)
+		seeds = append(seeds, append([]byte(nil), frame[n:]...))
+	}
+	add(enc.Request(nil, 7, &serve.Request{
+		ID: "seed", Op: serve.OpSSL, Payload: []byte("payload"),
+		Key: []byte("key"), ClientID: "client", RecordSize: 64,
+		DeadlineUS: 1000, Resume: true, Attempt: 1,
+	}))
+	add(enc.Response(nil, 7, &serve.Response{
+		ID: "seed", Op: serve.OpSSL, Status: serve.StatusOK,
+		Digest: []byte("0123456789abcdef"), Result: []byte("r"),
+		Records: 2, Shard: 1, Batch: 1, QueueUS: 5, ServiceUS: 10,
+		EstBaseCycles: 1e6, EstOptCycles: 1e5,
+	}, 42))
+	add(enc.Response(nil, 8, &serve.Response{
+		Op: serve.OpHandshake, Status: serve.StatusShed,
+		ShedReason: "throttle", Error: "client over rate limit", Shard: -1,
+	}, 0))
+	seeds = append(seeds, enc.StatsReq(nil, 9)[1:])
+	statsResp, err := enc.StatsResp(nil, 9, []byte(`{"ok":1}`))
+	add(statsResp, err)
+	seeds = append(seeds, enc.Ping(nil, 10)[1:])
+	seeds = append(seeds, enc.Pong(nil, 10, 1234)[1:])
+	return seeds
+}
+
+// FuzzWireRoundTrip throws arbitrary bytes at every header parser (no
+// panics, no out-of-bounds) and checks the re-encode property: any header
+// that parses must encode back to a header that parses to the same
+// values.  That pins the codec's two directions against each other the
+// way the mpn/ssl fuzz targets pin the optimized kernels against
+// reference implementations.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeedFrames(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, hdr []byte) {
+		if len(hdr) == 0 || len(hdr) > MaxHeader {
+			return
+		}
+		switch hdr[0] {
+		case FrameRequest:
+			fuzzRequest(t, hdr)
+		case FrameResponse:
+			fuzzResponse(t, hdr)
+		case FrameStats, FramePing:
+			parseSeq(hdr)
+		case FrameStatsResp:
+			parseStatsResp(hdr)
+		case FramePong:
+			parsePong(hdr)
+		}
+	})
+}
+
+func fuzzRequest(t *testing.T, hdr []byte) {
+	var dec Decoder
+	var h ReqHead
+	if err := dec.ParseRequest(hdr, &h); err != nil {
+		return
+	}
+	if h.Op == "" {
+		// Unknown op codes parse (so the server can discard the payload
+		// and answer a validation error) but have no encoding.
+		return
+	}
+	req := &serve.Request{
+		ID: h.ID, Op: h.Op, Key: h.Key,
+		RecordSize: h.RecordSize, DeadlineUS: h.DeadlineUS,
+		Resume: h.Resume, Attempt: h.Attempt, Hedge: h.Hedge,
+		ClientID: h.ClientID,
+	}
+	if h.PayloadLen > 0 {
+		if h.PayloadLen > 1<<16 {
+			return // bound fuzz memory; the length field is already validated
+		}
+		req.Payload = make([]byte, h.PayloadLen)
+	}
+	var enc Encoder
+	frame, err := enc.Request(nil, h.Seq, req)
+	if err != nil {
+		t.Fatalf("re-encode of parsed request failed: %v (%+v)", err, h)
+	}
+	hdr2 := frame[varintLen(frame):]
+	hdr2 = hdr2[:len(hdr2)-len(req.Payload)]
+	var h2 ReqHead
+	if err := dec.ParseRequest(hdr2, &h2); err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if h2.Seq != h.Seq || h2.Op != h.Op || h2.ID != h.ID || h2.ClientID != h.ClientID ||
+		h2.Resume != h.Resume || h2.Hedge != h.Hedge || h2.Attempt != h.Attempt ||
+		h2.RecordSize != h.RecordSize || h2.DeadlineUS != h.DeadlineUS ||
+		h2.PayloadLen != h.PayloadLen || !bytes.Equal(h2.Key, h.Key) {
+		t.Fatalf("round trip drifted:\n first %+v\nsecond %+v", h, h2)
+	}
+}
+
+func fuzzResponse(t *testing.T, hdr []byte) {
+	var resp serve.Response
+	seq, dLen, rLen, err := ParseResponse(hdr, &resp)
+	if err != nil {
+		return
+	}
+	if rLen > 1<<16 {
+		return // bound fuzz memory; the length field is already validated
+	}
+	resp.Digest = make([]byte, dLen)
+	resp.Result = make([]byte, rLen)
+	var enc Encoder
+	frame, err := enc.Response(nil, seq, &resp, resp.LoadUS)
+	if err != nil {
+		t.Fatalf("re-encode of parsed response failed: %v (%+v)", err, resp)
+	}
+	hdr2 := frame[varintLen(frame):]
+	hdr2 = hdr2[:len(hdr2)-dLen-rLen]
+	var resp2 serve.Response
+	seq2, dLen2, rLen2, err := ParseResponse(hdr2, &resp2)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if seq2 != seq || dLen2 != dLen || rLen2 != rLen {
+		t.Fatalf("seq/lens drifted: %d/%d/%d vs %d/%d/%d", seq, dLen, rLen, seq2, dLen2, rLen2)
+	}
+	if resp2.Status != resp.Status || resp2.Op != resp.Op || resp2.ID != resp.ID ||
+		resp2.Error != resp.Error || resp2.ShedReason != resp.ShedReason ||
+		resp2.Stolen != resp.Stolen || resp2.Resumed != resp.Resumed ||
+		resp2.Shard != resp.Shard || resp2.Records != resp.Records || resp2.Batch != resp.Batch ||
+		resp2.QueueUS != resp.QueueUS || resp2.ServiceUS != resp.ServiceUS ||
+		resp2.LoadUS != resp.LoadUS ||
+		math.Float64bits(resp2.EstBaseCycles) != math.Float64bits(resp.EstBaseCycles) ||
+		math.Float64bits(resp2.EstOptCycles) != math.Float64bits(resp.EstOptCycles) {
+		t.Fatalf("round trip drifted:\n first %+v\nsecond %+v", resp, resp2)
+	}
+}
