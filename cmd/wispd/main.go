@@ -37,10 +37,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"wisp"
+	"wisp/internal/replica"
 	"wisp/internal/serve"
 	"wisp/internal/wire"
 )
@@ -65,6 +67,8 @@ func main() {
 	fairLimit := flag.Int64("fair-limit", 0, "outstanding dispatched cost (µs) above which clients are DRR fair-queued (0 = shards x 250ms)")
 	qosQuantum := flag.Int64("qos-quantum", 0, "DRR quantum in estimated-cost µs (0 = 10ms)")
 	maxCost := flag.Int64("max-cost", 0, "per-request estimated-cost ceiling in µs; dearer requests are throttled (0 = no cap)")
+	peersFlag := flag.String("peers", "", "comma-separated wire addresses of ring peers for session-secret replication (@FILE reads the address from FILE at dial time; empty = replication off)")
+	replicaR := flag.Int("replica-r", 2, "session replication factor: copies of each session secret pushed to ring peers")
 	readTimeout := flag.Duration("read-timeout", 0, "max time a connection may take to deliver one full request (slow-loris defense; 0 = unbounded)")
 	measured := flag.Bool("measured", false, "derive the analytic cost model on the ISS at startup")
 	metrics := flag.Bool("metrics", false, "print the text metrics dump on shutdown")
@@ -108,6 +112,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Session-secret replication: push every full-handshake secret to R
+	// ring peers in the background, pull unknown offered sessions back on
+	// demand, so abbreviated handshakes survive the loss of the node that
+	// established them.  Peer addresses resolve at dial time (@FILE reads
+	// the address another node's -wire-addrfile wrote), so a cluster can
+	// boot all nodes concurrently without an address bootstrap order.
+	var rep *replica.Replicator
+	if *peersFlag != "" {
+		var peers []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) > 0 {
+			rep = replica.New(replica.Config{Peers: peers, R: *replicaR, Dial: dialPeer})
+			view := func() *serve.ReplicationView {
+				s := rep.Stats()
+				return &serve.ReplicationView{
+					Peers:      len(peers),
+					Replicated: s.Replicated,
+					Dropped:    s.Dropped,
+					Fetched:    s.Fetched,
+					FetchMiss:  s.FetchMiss,
+				}
+			}
+			if !gw.SetSessionReplication(rep.Offer, rep.Fetch, view) {
+				fatal(fmt.Errorf("-peers needs session resumption; do not disable -session-cache"))
+			}
+			fmt.Printf("wispd: session replication to %d peers (R=%d)\n", len(peers), *replicaR)
+		}
+	}
+
 	srv := serve.NewServer(gw)
 	if *pprofFlag {
 		srv.EnablePprof()
@@ -175,16 +213,41 @@ func main() {
 				err = werr
 			}
 		}
+		if rep != nil {
+			rep.Close() // flush queued session pushes before exiting
+		}
 		if err != nil {
 			fatal(fmt.Errorf("drain: %w", err))
 		}
 		stats := gw.Stats()
 		fmt.Printf("wispd: drained cleanly (%d served, %d shed, %d expired)\n",
 			stats.OK, stats.Shed, stats.Expired)
+		if r := stats.Replication; r != nil {
+			fmt.Printf("wispd: replication — %d pushed, %d dropped, %d fetched, %d fetch misses\n",
+				r.Replicated, r.Dropped, r.Fetched, r.FetchMiss)
+		}
 		if *metrics {
 			fmt.Print(stats.Text())
 		}
 	}
+}
+
+// dialPeer opens a replication connection, resolving @FILE peer entries
+// to the address in FILE at dial time — re-read on every redial, so a
+// peer that restarts on a new port is found again.
+func dialPeer(addr string) (replica.Conn, error) {
+	if strings.HasPrefix(addr, "@") {
+		b, err := os.ReadFile(addr[1:])
+		if err != nil {
+			return nil, fmt.Errorf("resolving peer %s: %w", addr, err)
+		}
+		resolved := strings.TrimSpace(string(b))
+		if resolved == "" {
+			return nil, fmt.Errorf("peer file %s is empty", addr[1:])
+		}
+		addr = resolved
+	}
+	return wire.Dial(addr)
 }
 
 func fatal(err error) {

@@ -63,6 +63,7 @@ func main() {
 	hedge := flag.Int64("hedge-us", 0, "hedge deadline-bearing requests unanswered after this many µs (0 = off)")
 	resumeRatio := flag.Float64("resume-ratio", 0, "fraction of ssl/handshake requests offering session resumption (0..1)")
 	thinkUS := flag.Int64("think-us", 0, "mean jittered pause between a legit client's requests in µs (0 = back-to-back closed loop)")
+	splitUS := flag.Int64("split-us", 0, "bucket outcomes into early_*/late_* report windows at this many µs into the run (0 = off; cluster kill gates split at the kill time)")
 	attack := flag.String("attack", "", "comma-separated adversarial profiles to mix in (flood,thrash,oversize,slowloris)")
 	attackRatio := flag.Float64("attack-ratio", 0.25, "target fraction of all clients that are attackers (attackers are additional clients)")
 	attackConc := flag.Int("attack-conc", 4, "concurrent request streams per attacker ClientID")
@@ -117,6 +118,7 @@ func main() {
 		HedgeUS:     *hedge,
 		ResumeRatio: *resumeRatio,
 		ThinkUS:     *thinkUS,
+		SplitUS:     *splitUS,
 		Seed:        *seed,
 
 		Attack:            profiles,

@@ -194,18 +194,23 @@ func (c *Cache[V]) Put(key string, v V) {
 	e := &entry[V]{key: key, val: v, expires: expires}
 	s.items[key] = e
 	s.pushFront(e)
-	var evicted bool
+	var victim *entry[V]
 	if len(s.items) > c.perShard {
-		victim := s.tail
+		victim = s.tail
 		s.remove(victim)
 		delete(s.items, victim.key)
-		evicted = true
 	}
 	s.mu.Unlock()
 	c.puts.Add(1)
-	if !evicted {
+	switch {
+	case victim == nil:
 		c.size.Add(1)
-	} else {
+	case !victim.expires.IsZero() && !c.now().Before(victim.expires):
+		// The LRU victim had already lapsed: its removal is TTL attrition,
+		// not capacity pressure, so telemetry must not report it as an
+		// eviction (quiet daemons would look memory-starved).
+		c.expired.Add(1)
+	default:
 		c.evictions.Add(1)
 	}
 }

@@ -88,6 +88,45 @@ func TestTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestExpiredVictimNotCountedAsEviction pins the Put accounting when the
+// LRU victim's TTL has already lapsed: removing it is TTL attrition, not
+// capacity pressure, so it must land in Expired rather than Evictions.
+// (Pre-fix, every over-capacity Put counted its victim as an eviction,
+// overstating memory pressure on quiet daemons.)
+func TestExpiredVictimNotCountedAsEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := New[int](Config{Capacity: 2, Shards: 1, TTL: 10 * time.Second, Now: clock})
+
+	c.Put("stale", 1)
+	now = now.Add(5 * time.Second)
+	c.Put("mid", 2) // fills the shard; "stale" is LRU
+
+	// Let "stale" lapse, then insert: the victim is expired, not evicted.
+	now = now.Add(6 * time.Second) // "stale" is 11s old, "mid" 6s
+	c.Put("fresh", 3)
+	st := c.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d after displacing a lapsed victim, want 1", st.Expired)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d after displacing a lapsed victim, want 0", st.Evictions)
+	}
+
+	// A live victim still counts as an eviction.
+	c.Put("fresh2", 4) // displaces "mid", which has 4s of TTL left
+	st = c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d after displacing a live victim, want 1", st.Evictions)
+	}
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d after displacing a live victim, want 1 (unchanged)", st.Expired)
+	}
+	if st.Len != 2 {
+		t.Fatalf("len = %d, want 2", st.Len)
+	}
+}
+
 // TestDelete covers explicit removal.
 func TestDelete(t *testing.T) {
 	c := New[int](Config{Capacity: 4, Shards: 1})

@@ -1,0 +1,197 @@
+package gwroute
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wisp/internal/serve"
+)
+
+// TestEWMAIdleBurstBlending is the regression test for the zero-value
+// re-seeding bug: an idle backend legitimately reporting loadUS=0 must
+// keep its EWMA seeded, so a following burst blends in at alpha instead
+// of overwriting the estimate with the raw spike.
+func TestEWMAIdleBurstBlending(t *testing.T) {
+	r, stubs := stubCluster(t, 1, Config{CostAlpha: 0.3})
+
+	// One idle observation seeds the EWMA at 0.
+	stubs[0].loadUS = 0
+	if resp := r.Submit(&serve.Request{ID: "idle", Op: serve.OpMD5}); resp.Status != serve.StatusOK {
+		t.Fatalf("idle request: %s", resp.Status)
+	}
+	if got := r.nodes[0].cost(); got != 0 {
+		t.Fatalf("cost after idle observation = %g, want 0", got)
+	}
+
+	// A burst arrives: the estimate must blend (0.3 × 80000 = 24000), not
+	// jump to the spike because 0 looked "unseeded".
+	stubs[0].loadUS = 80000
+	if resp := r.Submit(&serve.Request{ID: "burst", Op: serve.OpMD5}); resp.Status != serve.StatusOK {
+		t.Fatalf("burst request: %s", resp.Status)
+	}
+	got := r.nodes[0].cost()
+	if want := 0.3 * 80000; got != want {
+		t.Fatalf("cost after idle→burst = %g, want blended %g (raw spike means the EWMA was re-seeded)", got, want)
+	}
+}
+
+// TestEWMAUnseededReadsZero: before any observation the NaN sentinel must
+// not leak into cost comparisons or stats.
+func TestEWMAUnseededReadsZero(t *testing.T) {
+	n := newNode("10.0.0.1:9000")
+	if got := n.cost(); got != 0 {
+		t.Fatalf("unseeded cost = %g, want 0", got)
+	}
+	if got := n.penaltyUS(); got != inflightPenaltyUS {
+		t.Fatalf("unseeded penalty = %g, want floor %d", got, inflightPenaltyUS)
+	}
+	// First observation seeds wholesale even from the sentinel.
+	n.observeLoad(500, 0.3)
+	if got := n.cost(); got != 500 {
+		t.Fatalf("cost after first observation = %g, want 500", got)
+	}
+}
+
+// TestBacklogExcludesEjected is the regression test for the frozen-EWMA
+// bug: a quarantined backend's last backlog figure must not inflate the
+// cluster estimate piggybacked to clients.
+func TestBacklogExcludesEjected(t *testing.T) {
+	r, stubs := stubCluster(t, 2, Config{FailThreshold: 1, EjectFor: time.Hour})
+
+	// Seed both EWMAs with direct round trips so p2c randomness cannot
+	// starve one node of observations.
+	stubs[0].loadUS = 70000
+	stubs[1].loadUS = 4000
+	for i, n := range r.nodes {
+		if _, err := r.roundTrip(n, &serve.Request{ID: fmt.Sprintf("seed-%d", i), Op: serve.OpMD5}); err != nil {
+			t.Fatalf("seed round trip node %d: %v", i, err)
+		}
+	}
+	if got := r.BacklogUS(); got != 74000 {
+		t.Fatalf("backlog with both nodes live = %d, want 74000", got)
+	}
+
+	// Kill node 0: one failure trips the threshold and quarantines it.
+	stubs[0].setDown(true)
+	if _, err := r.roundTrip(r.nodes[0], &serve.Request{ID: "kill", Op: serve.OpMD5}); err == nil {
+		t.Fatal("round trip to dead stub succeeded")
+	}
+	s := r.Stats()
+	if !s.Nodes[0].Ejected {
+		t.Fatal("node 0 not ejected after failure threshold")
+	}
+	if got := r.BacklogUS(); got != 4000 {
+		t.Fatalf("backlog with node 0 quarantined = %d, want 4000 (its frozen 70000 EWMA must be excluded)", got)
+	}
+	if s.BacklogUS != 4000 {
+		t.Fatalf("stats backlog_us = %d, want 4000", s.BacklogUS)
+	}
+}
+
+// TestQuarantineLifecycleDeterministic pins the eject → quarantine →
+// half-open probe → re-eject → recover sequence against an injected
+// clock, with no sleeps: quarantine expiry is pure arithmetic on the
+// fake now.
+func TestQuarantineLifecycleDeterministic(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	r, stubs := stubCluster(t, 2, Config{FailThreshold: 1, EjectFor: 2 * time.Second, Seed: 3, Now: clock})
+
+	submitAll := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if resp := r.Submit(&serve.Request{ID: fmt.Sprintf("r%d", i), Op: serve.OpMD5}); resp.Status != serve.StatusOK {
+				t.Fatalf("request %d: %s (%s)", i, resp.Status, resp.Error)
+			}
+		}
+	}
+
+	// Eject: the first failed round trip quarantines node 0 until now+2s.
+	stubs[0].setDown(true)
+	submitAll(8)
+	s := r.Stats()
+	if !s.Nodes[0].Ejected || s.Nodes[0].Ejections != 1 {
+		t.Fatalf("after outage: ejected=%v ejections=%d, want true/1", s.Nodes[0].Ejected, s.Nodes[0].Ejections)
+	}
+	failsAtEject := s.Nodes[0].Failures
+
+	// Quarantine: 1ns before the deadline the node is untouchable — no
+	// new transport attempts accumulate.
+	now = now.Add(2*time.Second - time.Nanosecond)
+	submitAll(8)
+	if got := r.Stats().Nodes[0].Failures; got != failsAtEject {
+		t.Fatalf("failures grew %d→%d inside quarantine — node was probed early", failsAtEject, got)
+	}
+
+	// Half-open while still down: at the deadline the node is probeable;
+	// the failed probe re-quarantines WITHOUT a second ejection count.
+	now = now.Add(time.Nanosecond)
+	for i := 0; i < 20 && r.Stats().Nodes[0].Failures == failsAtEject; i++ {
+		submitAll(1)
+	}
+	s = r.Stats()
+	if s.Nodes[0].Failures != failsAtEject+1 {
+		t.Fatalf("half-open probe count: failures = %d, want %d", s.Nodes[0].Failures, failsAtEject+1)
+	}
+	if s.Nodes[0].Ejections != 1 {
+		t.Fatalf("re-ejection double-counted: ejections = %d, want 1", s.Nodes[0].Ejections)
+	}
+	if !s.Nodes[0].Ejected {
+		t.Fatal("node not re-quarantined after failed half-open probe")
+	}
+
+	// Inside the second quarantine the node is again untouchable.
+	failsAfterProbe := s.Nodes[0].Failures
+	now = now.Add(time.Second)
+	submitAll(8)
+	if got := r.Stats().Nodes[0].Failures; got != failsAfterProbe {
+		t.Fatalf("failures grew inside second quarantine: %d→%d", failsAfterProbe, got)
+	}
+
+	// Recovery: quarantine lapses, the node is healthy, and the next
+	// successful probe clears the ejection state entirely.
+	stubs[0].setDown(false)
+	now = now.Add(2 * time.Second)
+	for i := 0; i < 40 && stubs[0].servedCount() == 0; i++ {
+		submitAll(1)
+	}
+	if stubs[0].servedCount() == 0 {
+		t.Fatal("recovered node never probed after quarantine lapsed")
+	}
+	if r.Stats().Nodes[0].Ejected {
+		t.Fatal("recovered node still marked ejected after a successful probe")
+	}
+}
+
+// TestResumeFailoverCounter: routing a Resume past its quarantined owner
+// increments the resume_failover counter the kill-phase gate reads.
+func TestResumeFailoverCounter(t *testing.T) {
+	r, stubs := stubCluster(t, 3, Config{FailThreshold: 1, EjectFor: time.Hour})
+	ring := r.ring
+
+	var key string
+	for c := 0; ; c++ {
+		key = fmt.Sprintf("client-%d", c)
+		if ring.Owner(key) == 1 {
+			break
+		}
+	}
+	req := func() *serve.Request {
+		return &serve.Request{ID: key, Op: serve.OpHandshake, Resume: true, ClientID: key}
+	}
+	if resp := r.Submit(req()); resp.Status != serve.StatusOK {
+		t.Fatalf("healthy-owner resume: %s", resp.Status)
+	}
+	if got := r.Stats().ResumeFailover; got != 0 {
+		t.Fatalf("resume_failover = %d with the owner healthy, want 0", got)
+	}
+
+	stubs[1].setDown(true)
+	if resp := r.Submit(req()); resp.Status != serve.StatusOK {
+		t.Fatalf("failover resume: %s (%s)", resp.Status, resp.Error)
+	}
+	if got := r.Stats().ResumeFailover; got == 0 {
+		t.Fatal("resume_failover = 0 though the owner was dead")
+	}
+}

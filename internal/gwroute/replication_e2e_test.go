@@ -1,0 +1,215 @@
+package gwroute
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"wisp/internal/replica"
+	"wisp/internal/serve"
+	"wisp/internal/wire"
+)
+
+// replNode is one cluster member with its replication layer attached:
+// a real gateway behind a wire listener, pushing session secrets to its
+// peers and pulling unknown ones back.
+type replNode struct {
+	gw   *serve.Gateway
+	rep  *replica.Replicator
+	addr string
+}
+
+// startReplNodes boots n gateways behind wire listeners and wires each
+// one's session cache to a Replicator whose peers are the other nodes.
+func startReplNodes(t *testing.T, n, r int) []*replNode {
+	t.Helper()
+	nodes := make([]*replNode, n)
+	for i := range nodes {
+		gw, err := serve.NewGateway(serve.Config{Shards: 1, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.NewServer(gw, wire.ServerConfig{})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			gw.Drain(ctx)
+			srv.Close()
+		})
+		nodes[i] = &replNode{gw: gw, addr: addr.String()}
+	}
+	for i, node := range nodes {
+		var peers []string
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, other.addr)
+			}
+		}
+		rep := replica.New(replica.Config{Peers: peers, R: r, FlushEvery: time.Millisecond})
+		node.rep = rep
+		t.Cleanup(rep.Close)
+		if !node.gw.SetSessionReplication(rep.Offer, rep.Fetch, nil) {
+			t.Fatalf("node %d: replication rejected (no session cache?)", i)
+		}
+	}
+	return nodes
+}
+
+// TestClusterReplicatedResumption is the tentpole e2e: a session
+// established on one node resumes abbreviated on another — first via the
+// asynchronous push, then via the synchronous pull for a node the push
+// never reached.
+func TestClusterReplicatedResumption(t *testing.T) {
+	// R=1 with three nodes: each secret is pushed to exactly one of the
+	// two peers, leaving the other to exercise the pull path.
+	nodes := startReplNodes(t, 3, 1)
+
+	tr0, err := wire.Dial(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr0.Close()
+	resp, err := tr0.RoundTrip(&serve.Request{ID: "full", Op: serve.OpSSL, Payload: []byte("establish")})
+	if err != nil || resp.Status != serve.StatusOK {
+		t.Fatalf("full handshake on node 0: %+v/%v", resp, err)
+	}
+	if resp.Resumed || len(resp.Result) == 0 {
+		t.Fatalf("full handshake echoed resumed=%v result=%x, want fresh session ID", resp.Resumed, resp.Result)
+	}
+	sid := append([]byte(nil), resp.Result...)
+
+	// The push is asynchronous: wait for the secret to land on exactly
+	// one peer (R=1), then split the peers into pushed and unpushed.
+	var pushed, unpushed *replNode
+	deadline := time.Now().Add(5 * time.Second)
+	for pushed == nil {
+		for _, n := range nodes[1:] {
+			if _, ok := n.gw.ReplicaLookup(sid); ok {
+				pushed = n
+			} else {
+				unpushed = n
+			}
+		}
+		if pushed == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("replication push never landed on any peer")
+			}
+			time.Sleep(time.Millisecond)
+			unpushed = nil
+		}
+	}
+	if unpushed == nil {
+		t.Fatal("both peers got the push; R=1 placement broken")
+	}
+
+	// Resume on the peer the push skipped FIRST (before any resume hit
+	// elsewhere can refresh-push the secret to it): its local cache
+	// misses, the pull hook fetches the secret from a ring peer, and the
+	// handshake still comes back abbreviated.
+	trU, err := wire.Dial(unpushed.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trU.Close()
+	resp, err = trU.RoundTrip(&serve.Request{ID: "res-pull", Op: serve.OpSSL, Payload: []byte("resume pulled"), Resume: true, Key: sid})
+	if err != nil || resp.Status != serve.StatusOK {
+		t.Fatalf("resume on unpushed peer: %+v/%v", resp, err)
+	}
+	if !resp.Resumed {
+		t.Fatal("resume on unpushed peer fell back despite the pull path")
+	}
+	if s := unpushed.rep.Stats(); s.Fetched == 0 {
+		t.Fatalf("pull-path resume did not count a fetch: %+v", s)
+	}
+	// The pulled secret is installed: now answerable locally.
+	if _, ok := unpushed.gw.ReplicaLookup(sid); !ok {
+		t.Fatal("pulled secret not installed locally after resume")
+	}
+
+	// Resume on the peer the push reached: served from its replica copy.
+	trP, err := wire.Dial(pushed.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trP.Close()
+	resp, err = trP.RoundTrip(&serve.Request{ID: "res-push", Op: serve.OpSSL, Payload: []byte("resume pushed"), Resume: true, Key: sid})
+	if err != nil || resp.Status != serve.StatusOK {
+		t.Fatalf("resume on pushed peer: %+v/%v", resp, err)
+	}
+	if !resp.Resumed {
+		t.Fatal("resume on pushed peer fell back to a full handshake")
+	}
+	if !bytes.Equal(resp.Result, sid) {
+		t.Fatalf("resumed session echoed ID %x, want offered %x", resp.Result, sid)
+	}
+
+	// An ID nobody knows degrades to a full handshake with a fresh ID —
+	// never an error.
+	bogus := bytes.Repeat([]byte{0xab}, 16)
+	resp, err = trU.RoundTrip(&serve.Request{ID: "res-unknown", Op: serve.OpSSL, Payload: []byte("unknown"), Resume: true, Key: bogus})
+	if err != nil || resp.Status != serve.StatusOK {
+		t.Fatalf("resume with unknown ID: %+v/%v", resp, err)
+	}
+	if resp.Resumed {
+		t.Fatal("resume with unknown ID claimed abbreviated")
+	}
+	if len(resp.Result) == 0 || bytes.Equal(resp.Result, bogus) {
+		t.Fatalf("unknown-ID fallback echoed %x, want a fresh session ID", resp.Result)
+	}
+}
+
+// TestReplicatedResumptionSurvivesNodeLoss is the failure drill behind
+// the whole feature: establish on the owner, kill the owner, and the
+// session still resumes abbreviated on a survivor.
+func TestReplicatedResumptionSurvivesNodeLoss(t *testing.T) {
+	// R=2 with three nodes: every secret lands on both peers, so ANY
+	// survivor can serve the resume after the owner dies.
+	nodes := startReplNodes(t, 3, 2)
+
+	tr0, err := wire.Dial(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tr0.RoundTrip(&serve.Request{ID: "full", Op: serve.OpSSL, Payload: []byte("establish")})
+	if err != nil || resp.Status != serve.StatusOK || len(resp.Result) == 0 {
+		t.Fatalf("full handshake: %+v/%v", resp, err)
+	}
+	sid := append([]byte(nil), resp.Result...)
+
+	// Wait for both survivors to hold the replica, then kill the owner
+	// (connection close is as much as an in-process test can SIGKILL).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, ok1 := nodes[1].gw.ReplicaLookup(sid)
+		_, ok2 := nodes[2].gw.ReplicaLookup(sid)
+		if ok1 && ok2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never landed on both peers (%v/%v)", ok1, ok2)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr0.Close()
+
+	for _, n := range nodes[1:] {
+		tr, err := wire.Dial(n.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := tr.RoundTrip(&serve.Request{ID: "res-" + n.addr, Op: serve.OpSSL, Payload: []byte("after loss"), Resume: true, Key: sid})
+		tr.Close()
+		if err != nil || resp.Status != serve.StatusOK {
+			t.Fatalf("resume on survivor %s: %+v/%v", n.addr, resp, err)
+		}
+		if !resp.Resumed {
+			t.Fatalf("survivor %s could not resume the dead owner's session", n.addr)
+		}
+	}
+}

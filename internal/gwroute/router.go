@@ -43,6 +43,11 @@ type Config struct {
 	// CostAlpha is the per-node backlog EWMA smoothing factor fed by the
 	// loadUS figure piggybacked on wire responses.  Default 0.3.
 	CostAlpha float64
+
+	// Now overrides the clock for ejection/quarantine bookkeeping (tests
+	// inject a fake to pin eject → quarantine → half-open transitions
+	// deterministically).  Default time.Now.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CostAlpha <= 0 || c.CostAlpha > 1 {
 		c.CostAlpha = 0.3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -109,9 +117,24 @@ type node struct {
 	rtt       serve.Histogram // gateway-observed round trip, µs
 }
 
-// cost is the node's current backlog estimate in µs.
+// newNode builds a backend's routing state.  The EWMAs start at the NaN
+// "unseeded" sentinel so a first observation of 0 µs (an idle backend) is
+// distinguishable from no observation at all.
+func newNode(addr string) *node {
+	n := &node{addr: addr}
+	n.costBits.Store(math.Float64bits(math.NaN()))
+	n.rttBits.Store(math.Float64bits(math.NaN()))
+	return n
+}
+
+// cost is the node's current backlog estimate in µs; an unseeded EWMA
+// reads as 0 (no backlog observed yet).
 func (n *node) cost() float64 {
-	return math.Float64frombits(n.costBits.Load())
+	c := math.Float64frombits(n.costBits.Load())
+	if math.IsNaN(c) {
+		return 0
+	}
+	return c
 }
 
 // observeLoad folds one piggybacked load figure into the EWMA.
@@ -135,13 +158,17 @@ func (n *node) penaltyUS() float64 {
 	return inflightPenaltyUS
 }
 
-// ewmaAdd folds v into a lock-free float64-bits EWMA.
+// ewmaAdd folds v into a lock-free float64-bits EWMA.  NaN is the
+// explicit "unseeded" sentinel: only the very first observation replaces
+// it wholesale.  (Testing `cur == 0` here was a bug — an idle backend
+// legitimately reporting loadUS=0 kept getting re-seeded, so one spike
+// jumped the estimate straight to the spike value instead of blending.)
 func ewmaAdd(bits *atomic.Uint64, v, alpha float64) {
 	for {
 		old := bits.Load()
 		cur := math.Float64frombits(old)
 		next := cur + alpha*(v-cur)
-		if cur == 0 {
+		if math.IsNaN(cur) {
 			next = v // first observation seeds the EWMA
 		}
 		if bits.CompareAndSwap(old, math.Float64bits(next)) {
@@ -204,6 +231,10 @@ type Router struct {
 	rejectedDecode atomic.Uint64
 	exhausted      atomic.Uint64 // requests shed after every retry failed
 	shedDraining   atomic.Uint64
+	// resumeFailover counts Resume requests routed past an unavailable
+	// ring owner to a successor — the cluster-level signal that session
+	// replication (not affinity) is carrying resumption.
+	resumeFailover atomic.Uint64
 }
 
 // NewRouter dials every backend and builds the routing state.  A backend
@@ -228,19 +259,19 @@ func NewRouter(cfg Config) (*Router, error) {
 	r := &Router{
 		cfg:   cfg,
 		ring:  ring,
-		start: time.Now(),
+		start: cfg.Now(),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	live := 0
 	for _, addr := range cfg.Backends {
-		n := &node{addr: addr}
+		n := newNode(addr)
 		tr, err := cfg.Dial(addr)
 		if err == nil {
 			n.tr = tr
 			live++
 		} else {
 			n.fails.Store(int64(cfg.FailThreshold))
-			n.ejected.Store(time.Now().Add(cfg.EjectFor).UnixNano())
+			n.ejected.Store(cfg.Now().Add(cfg.EjectFor).UnixNano())
 			n.ejections.Add(1)
 		}
 		r.nodes = append(r.nodes, n)
@@ -331,10 +362,13 @@ func clientKey(req *serve.Request) string {
 // last resort — trying a quarantined backend beats shedding.  Returns -1
 // when every node has been visited.
 func (r *Router) pick(req *serve.Request, visited *uint64) (idx int, viaRing bool) {
-	now := time.Now().UnixNano()
+	now := r.cfg.Now().UnixNano()
 	if req.Resume {
-		choice := -1
+		choice, owner := -1, -1
 		r.ring.Order(clientKey(req), func(node int) bool {
+			if owner < 0 {
+				owner = node // ring order starts at the key's owner
+			}
 			if *visited&(1<<uint(node)) != 0 {
 				return true
 			}
@@ -347,6 +381,12 @@ func (r *Router) pick(req *serve.Request, visited *uint64) (idx int, viaRing boo
 			}
 			return true
 		})
+		if choice >= 0 && choice != owner {
+			// The owner was quarantined, saturated or already tried: this
+			// resume rides a successor, where only a replicated secret can
+			// keep the handshake abbreviated.
+			r.resumeFailover.Add(1)
+		}
 		return choice, true
 	}
 
@@ -395,14 +435,14 @@ func (r *Router) roundTrip(n *node, req *serve.Request) (*serve.Response, error)
 		return nil, err
 	}
 	n.inflight.Add(1)
-	start := time.Now()
+	start := r.cfg.Now()
 	resp, err := tr.RoundTrip(req)
 	n.inflight.Add(-1)
 	if err != nil {
 		r.noteFailure(n)
 		return nil, err
 	}
-	rttUS := float64(time.Since(start).Microseconds())
+	rttUS := float64(r.cfg.Now().Sub(start).Microseconds())
 	n.rtt.Observe(rttUS)
 	n.observeRTT(rttUS, r.cfg.CostAlpha)
 	n.fails.Store(0)
@@ -424,12 +464,12 @@ func (r *Router) roundTrip(n *node, req *serve.Request) (*serve.Response, error)
 func (r *Router) noteFailure(n *node) {
 	n.failures.Add(1)
 	if n.fails.Add(1) == int64(r.cfg.FailThreshold) {
-		n.ejected.Store(time.Now().Add(r.cfg.EjectFor).UnixNano())
+		n.ejected.Store(r.cfg.Now().Add(r.cfg.EjectFor).UnixNano())
 		n.ejections.Add(1)
 	} else if n.fails.Load() > int64(r.cfg.FailThreshold) {
 		// Half-open probe failed: re-quarantine without double-counting an
 		// ejection for every failure beyond the threshold.
-		n.ejected.Store(time.Now().Add(r.cfg.EjectFor).UnixNano())
+		n.ejected.Store(r.cfg.Now().Add(r.cfg.EjectFor).UnixNano())
 	}
 }
 
@@ -451,11 +491,18 @@ func (r *Router) Preadmit(op serve.Op, clientKey string, payloadBytes int) (int6
 // CancelPreadmit is a no-op: Preadmit never charges anything.
 func (r *Router) CancelPreadmit(clientKey string) {}
 
-// BacklogUS is the cluster's total backlog estimate: the sum of every
-// backend's piggybacked load EWMA.
+// BacklogUS is the cluster's total backlog estimate: the sum of the
+// piggybacked load EWMAs of the backends that can actually be picked.
+// Quarantined nodes are excluded — a dead backend's last EWMA is frozen
+// at whatever it reported before dying, and summing it would inflate the
+// figure piggybacked to every client until the node recovered.
 func (r *Router) BacklogUS() int64 {
+	now := r.cfg.Now().UnixNano()
 	var total float64
 	for _, n := range r.nodes {
+		if dl := n.ejected.Load(); dl != 0 && now < dl {
+			continue
+		}
 		total += n.cost()
 	}
 	return int64(total)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
-	"time"
 
 	"wisp/internal/serve"
 )
@@ -58,12 +57,16 @@ type RouterStats struct {
 	// Exhausted counts requests shed with reason "backend-failure" after
 	// every retry budget ran out — the only shed the router itself adds.
 	Exhausted uint64 `json:"exhausted"`
+	// ResumeFailover counts Resume requests routed past an unavailable
+	// ring owner to a successor in ring order.
+	ResumeFailover uint64 `json:"resume_failover"`
 	// ShedDraining counts envelope-level refusals during drain.
 	ShedDraining   uint64 `json:"shed_draining"`
 	RejectedDecode uint64 `json:"rejected_decode"`
 
-	// BacklogUS is the cluster backlog estimate: the sum of node cost
-	// EWMAs, i.e. the figure a second-tier router would see piggybacked.
+	// BacklogUS is the cluster backlog estimate: the sum of live (not
+	// quarantined) node cost EWMAs, i.e. the figure a second-tier router
+	// would see piggybacked.
 	BacklogUS int64 `json:"backlog_us"`
 
 	Nodes []NodeStats `json:"nodes"`
@@ -71,11 +74,12 @@ type RouterStats struct {
 
 // Stats snapshots the router.
 func (r *Router) Stats() *RouterStats {
-	now := time.Now()
+	now := r.cfg.Now()
 	s := &RouterStats{
 		UptimeSeconds:  now.Sub(r.start).Seconds(),
 		Backends:       len(r.nodes),
 		Exhausted:      r.exhausted.Load(),
+		ResumeFailover: r.resumeFailover.Load(),
 		ShedDraining:   r.shedDraining.Load(),
 		RejectedDecode: r.rejectedDecode.Load(),
 	}
@@ -99,11 +103,13 @@ func (r *Router) Stats() *RouterStats {
 		}
 		if !ns.Ejected {
 			s.Live++
+			// Only pickable nodes contribute backlog: a quarantined node's
+			// EWMA is frozen at its last pre-death report.
+			s.BacklogUS += int64(ns.CostUS)
 		}
 		s.OK += ns.OK
 		s.Shed += ns.Shed
 		s.Errors += ns.Errors
-		s.BacklogUS += int64(ns.CostUS)
 		s.Nodes = append(s.Nodes, ns)
 	}
 	// Requests = everything answered: backend responses of any status plus
@@ -132,6 +138,7 @@ func (s *RouterStats) Text() string {
 	fmt.Fprintf(&b, "wispgw_shed_total %d\n", s.Shed)
 	fmt.Fprintf(&b, "wispgw_errors_total %d\n", s.Errors)
 	fmt.Fprintf(&b, "wispgw_exhausted_total %d\n", s.Exhausted)
+	fmt.Fprintf(&b, "wispgw_resume_failover_total %d\n", s.ResumeFailover)
 	fmt.Fprintf(&b, "wispgw_shed_draining_total %d\n", s.ShedDraining)
 	fmt.Fprintf(&b, "wispgw_rejected_decode_total %d\n", s.RejectedDecode)
 	fmt.Fprintf(&b, "wispgw_backlog_us %d\n", s.BacklogUS)

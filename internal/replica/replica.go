@@ -1,0 +1,395 @@
+// Package replica fans session master secrets out to ring peers so
+// abbreviated handshakes survive the loss of the node that established
+// them.  It is deliberately asynchronous and lossy on the push side —
+// a bounded queue feeds a background batcher, and overflow is dropped
+// and counted, never blocked on — because replication must cost the
+// handshake critical path nothing.  The pull side (Fetch) is the
+// synchronous recovery path: a node holding a Resume for an unknown
+// session ID asks the session's rendezvous peers before falling back to
+// a full handshake, so the worst case is the old behavior, not an
+// error.
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisp/internal/wire"
+)
+
+// Conn is the slice of wire.Transport replication needs; tests inject
+// in-memory fakes, production wires wire.Dial through it.
+type Conn interface {
+	Replicate(entries []wire.ReplicaEntry) error
+	FetchSession(id []byte, d time.Duration) ([]byte, bool, error)
+	Close() error
+}
+
+// Config parameterizes a Replicator.  Zero values take the defaults
+// noted per field.
+type Config struct {
+	// Peers are the wire addresses of the other nodes.  Secrets for a
+	// session replicate to the session's top-R rendezvous peers (all of
+	// them when len(Peers) <= R).
+	Peers []string
+	// R is the replication factor: copies pushed per session beyond the
+	// owner's own cache entry.  Default 2.
+	R int
+	// QueueDepth bounds the push queue; Offer drops (and counts) when it
+	// is full.  Default 1024.
+	QueueDepth int
+	// BatchMax caps entries per Replicate frame.  Default (and hard cap)
+	// wire.MaxReplicateBatch.
+	BatchMax int
+	// FlushEvery bounds how long a partial batch may sit queued.
+	// Default 2ms.
+	FlushEvery time.Duration
+	// FetchTimeout bounds each per-peer pull attempt.  Default 150ms.
+	FetchTimeout time.Duration
+	// Dial opens a connection to a peer.  Default wraps wire.Dial.
+	Dial func(addr string) (Conn, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.R <= 0 {
+		c.R = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax <= 0 || c.BatchMax > wire.MaxReplicateBatch {
+		c.BatchMax = wire.MaxReplicateBatch
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 2 * time.Millisecond
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 150 * time.Millisecond
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (Conn, error) { return wire.Dial(addr) }
+	}
+	return c
+}
+
+// Stats is a snapshot of the replication counters.
+type Stats struct {
+	Replicated uint64 `json:"replicated"` // entries pushed to a peer (per copy)
+	Dropped    uint64 `json:"dropped"`    // entries lost to queue overflow or peer failure
+	Fetched    uint64 `json:"fetched"`    // pulls that recovered a secret from a peer
+	FetchMiss  uint64 `json:"fetch_miss"` // pulls that exhausted every peer empty-handed
+}
+
+// Replicator pushes session secrets to ring peers in the background and
+// pulls missing ones on demand.  Offer and Fetch are safe for
+// concurrent use.
+type Replicator struct {
+	cfg   Config
+	queue chan wire.ReplicaEntry
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[string]Conn
+
+	replicated atomic.Uint64
+	dropped    atomic.Uint64
+	fetched    atomic.Uint64
+	fetchMiss  atomic.Uint64
+}
+
+// New starts a Replicator and its background push goroutine.  Close it
+// to flush and stop.
+func New(cfg Config) *Replicator {
+	cfg = cfg.withDefaults()
+	r := &Replicator{
+		cfg:   cfg,
+		queue: make(chan wire.ReplicaEntry, cfg.QueueDepth),
+		done:  make(chan struct{}),
+		conns: make(map[string]Conn),
+	}
+	r.wg.Add(1)
+	go r.pushLoop()
+	return r
+}
+
+// Offer queues one session secret for replication.  It never blocks:
+// when the queue is full the entry is dropped and counted, because a
+// slow peer must not back up into the handshake path.  The id and
+// master bytes are copied before return.
+func (r *Replicator) Offer(id, master []byte) {
+	if len(r.cfg.Peers) == 0 {
+		return
+	}
+	e := wire.ReplicaEntry{
+		ID:     append([]byte(nil), id...),
+		Master: append([]byte(nil), master...),
+	}
+	select {
+	case r.queue <- e:
+	default:
+		r.dropped.Add(1)
+	}
+}
+
+// Fetch asks peers for a session secret missing locally, rendezvous
+// peers first (they are where a push would have landed), then the rest.
+// Each peer attempt is bounded by FetchTimeout; the first hit wins.
+func (r *Replicator) Fetch(id []byte) ([]byte, bool) {
+	for _, addr := range r.fetchOrder(id) {
+		c, err := r.conn(addr)
+		if err != nil {
+			continue
+		}
+		master, found, err := c.FetchSession(id, r.cfg.FetchTimeout)
+		if err != nil {
+			r.dropConn(addr, c)
+			continue
+		}
+		if found {
+			r.fetched.Add(1)
+			return master, true
+		}
+	}
+	r.fetchMiss.Add(1)
+	return nil, false
+}
+
+// Stats snapshots the counters.
+func (r *Replicator) Stats() Stats {
+	return Stats{
+		Replicated: r.replicated.Load(),
+		Dropped:    r.dropped.Load(),
+		Fetched:    r.fetched.Load(),
+		FetchMiss:  r.fetchMiss.Load(),
+	}
+}
+
+// Close stops the push loop after draining whatever is already queued,
+// then closes every peer connection.
+func (r *Replicator) Close() {
+	close(r.done)
+	r.wg.Wait()
+	r.mu.Lock()
+	for addr, c := range r.conns {
+		c.Close()
+		delete(r.conns, addr)
+	}
+	r.mu.Unlock()
+}
+
+// pushLoop batches queued entries (up to BatchMax or FlushEvery,
+// whichever first) and fans each batch to its rendezvous peers.
+func (r *Replicator) pushLoop() {
+	defer r.wg.Done()
+	timer := time.NewTimer(r.cfg.FlushEvery)
+	defer timer.Stop()
+	batch := make([]wire.ReplicaEntry, 0, r.cfg.BatchMax)
+	for {
+		select {
+		case e := <-r.queue:
+			batch = append(batch, e)
+			if len(batch) >= r.cfg.BatchMax {
+				r.flush(batch)
+				batch = batch[:0]
+			}
+		case <-timer.C:
+			if len(batch) > 0 {
+				r.flush(batch)
+				batch = batch[:0]
+			}
+			timer.Reset(r.cfg.FlushEvery)
+		case <-r.done:
+			// Drain what was queued before Close, then stop.
+			for {
+				select {
+				case e := <-r.queue:
+					batch = append(batch, e)
+					if len(batch) >= r.cfg.BatchMax {
+						r.flush(batch)
+						batch = batch[:0]
+					}
+				default:
+					if len(batch) > 0 {
+						r.flush(batch)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// flush splits a batch by destination peer and sends one Replicate
+// frame per peer.  A peer whose send fails loses that sub-batch (the
+// entries are counted dropped) and its connection is redialed next
+// time — replication is best-effort by design.
+func (r *Replicator) flush(batch []wire.ReplicaEntry) {
+	// Dedup by session ID, keeping the latest master: the push feed
+	// refreshes hot sessions on every resume hit, so a batch can carry
+	// the same session many times over.
+	seen := make(map[string]int, len(batch))
+	dedup := batch[:0]
+	for _, e := range batch {
+		if i, ok := seen[string(e.ID)]; ok {
+			dedup[i] = e
+			continue
+		}
+		seen[string(e.ID)] = len(dedup)
+		dedup = append(dedup, e)
+	}
+	batch = dedup
+
+	perPeer := make(map[string][]wire.ReplicaEntry, len(r.cfg.Peers))
+	for _, e := range batch {
+		for _, addr := range r.targets(e.ID) {
+			perPeer[addr] = append(perPeer[addr], e)
+		}
+	}
+	for addr, entries := range perPeer {
+		c, err := r.conn(addr)
+		if err != nil {
+			r.dropped.Add(uint64(len(entries)))
+			continue
+		}
+		if err := c.Replicate(entries); err != nil {
+			r.dropped.Add(uint64(len(entries)))
+			r.dropConn(addr, c)
+			continue
+		}
+		r.replicated.Add(uint64(len(entries)))
+	}
+}
+
+// targets returns the session's replication destinations: all peers
+// when there are at most R, otherwise the top R by rendezvous score.
+func (r *Replicator) targets(id []byte) []string {
+	peers := r.cfg.Peers
+	if len(peers) <= r.cfg.R {
+		return peers
+	}
+	return rendezvousTop(peers, id, r.cfg.R)
+}
+
+// fetchOrder is every peer, rendezvous targets first: pushes landed on
+// the rendezvous set, but a ring that changed since the push may have
+// left the copy elsewhere, so the rest are worth one cheap ask each.
+func (r *Replicator) fetchOrder(id []byte) []string {
+	peers := r.cfg.Peers
+	if len(peers) <= r.cfg.R {
+		return peers
+	}
+	first := rendezvousTop(peers, id, r.cfg.R)
+	order := make([]string, 0, len(peers))
+	order = append(order, first...)
+	for _, p := range peers {
+		hit := false
+		for _, f := range first {
+			if p == f {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			order = append(order, p)
+		}
+	}
+	return order
+}
+
+func (r *Replicator) conn(addr string) (Conn, error) {
+	r.mu.Lock()
+	c, ok := r.conns[addr]
+	r.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	c, err := r.cfg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if prev, ok := r.conns[addr]; ok {
+		// Lost the dial race; keep the established one.
+		r.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	r.conns[addr] = c
+	r.mu.Unlock()
+	return c, nil
+}
+
+// dropConn forgets a failed connection so the next use redials, but
+// only if the map still holds this one (a concurrent caller may have
+// already replaced it).
+func (r *Replicator) dropConn(addr string, c Conn) {
+	r.mu.Lock()
+	if r.conns[addr] == c {
+		delete(r.conns, addr)
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// rendezvousTop picks the k peers with the highest hash(peer, id) —
+// highest-random-weight placement, so every node computes the same
+// owner set for a session without coordination, and losing a peer only
+// moves that peer's share.
+func rendezvousTop(peers []string, id []byte, k int) []string {
+	type scored struct {
+		addr  string
+		score uint64
+	}
+	best := make([]scored, 0, k)
+	for _, p := range peers {
+		s := scored{addr: p, score: rendezvousScore(p, id)}
+		// Insertion into a tiny sorted-descending slice; k is 2-3 in
+		// practice, so this beats sorting the whole peer list.
+		pos := len(best)
+		for pos > 0 && best[pos-1].score < s.score {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		if len(best) < k {
+			best = append(best, scored{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = s
+	}
+	out := make([]string, len(best))
+	for i, s := range best {
+		out[i] = s.addr
+	}
+	return out
+}
+
+// rendezvousScore is FNV-1a over peer‖0x00‖id with a splitmix-style
+// finalizer — the same construction gwroute's ring uses, kept local so
+// replica does not depend on the routing tier.
+func rendezvousScore(peer string, id []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(peer); i++ {
+		h ^= uint64(peer[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for _, b := range id {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

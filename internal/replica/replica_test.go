@@ -1,0 +1,308 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wisp/internal/wire"
+)
+
+// fakeConn is an in-memory peer: it remembers pushed entries and
+// answers fetches from them.  gate (when non-nil) blocks Replicate so
+// tests can wedge the push path; failN makes the next N pushes error.
+type fakeConn struct {
+	mu     sync.Mutex
+	store  map[string][]byte
+	pushes int
+	failN  int
+	closed int
+	gate   chan struct{}
+}
+
+func newFakeConn() *fakeConn { return &fakeConn{store: make(map[string][]byte)} }
+
+func (c *fakeConn) Replicate(entries []wire.ReplicaEntry) error {
+	if c.gate != nil {
+		<-c.gate
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pushes++
+	if c.failN > 0 {
+		c.failN--
+		return errors.New("peer hiccup")
+	}
+	for _, e := range entries {
+		c.store[string(e.ID)] = append([]byte(nil), e.Master...)
+	}
+	return nil
+}
+
+func (c *fakeConn) FetchSession(id []byte, d time.Duration) ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.store[string(id)]
+	return m, ok, nil
+}
+
+func (c *fakeConn) Close() error {
+	c.mu.Lock()
+	c.closed++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *fakeConn) has(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.store[string(id)]
+	return ok
+}
+
+// fakeCluster injects one fakeConn per peer address through Config.Dial.
+type fakeCluster struct {
+	mu    sync.Mutex
+	conns map[string]*fakeConn
+	dials int
+}
+
+func newFakeCluster(peers []string) *fakeCluster {
+	fc := &fakeCluster{conns: make(map[string]*fakeConn)}
+	for _, p := range peers {
+		fc.conns[p] = newFakeConn()
+	}
+	return fc
+}
+
+func (fc *fakeCluster) dial(addr string) (Conn, error) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	c, ok := fc.conns[addr]
+	if !ok {
+		return nil, errors.New("no such peer")
+	}
+	fc.dials++
+	return c, nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOfferReplicatesToRendezvousPeers: with more peers than R, each
+// secret lands on exactly its top-R rendezvous peers — and every node
+// computing the same placement is what makes pull-side recovery work.
+func TestOfferReplicatesToRendezvousPeers(t *testing.T) {
+	peers := []string{"n1:1", "n2:1", "n3:1", "n4:1"}
+	fc := newFakeCluster(peers)
+	rep := New(Config{Peers: peers, R: 2, Dial: fc.dial, FlushEvery: time.Millisecond})
+	defer rep.Close()
+
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("session-%02d", i)
+		rep.Offer([]byte(ids[i]), bytes.Repeat([]byte{byte(i)}, 48))
+	}
+	waitFor(t, "all pushes", func() bool { return rep.Stats().Replicated == uint64(2*len(ids)) })
+
+	for _, id := range ids {
+		want := rendezvousTop(peers, []byte(id), 2)
+		for _, p := range peers {
+			expect := p == want[0] || p == want[1]
+			if got := fc.conns[p].has(id); got != expect {
+				t.Errorf("%s on %s = %v, want %v (rendezvous %v)", id, p, got, expect, want)
+			}
+		}
+	}
+	if s := rep.Stats(); s.Dropped != 0 {
+		t.Errorf("dropped %d entries on a healthy cluster", s.Dropped)
+	}
+}
+
+// TestOfferCopiesBytes: the caller may reuse its id/master buffers
+// immediately (the serve path does — they alias pooled scratch).
+func TestOfferCopiesBytes(t *testing.T) {
+	peers := []string{"n1:1"}
+	fc := newFakeCluster(peers)
+	rep := New(Config{Peers: peers, Dial: fc.dial, FlushEvery: time.Millisecond})
+	defer rep.Close()
+
+	id := []byte("reused-id")
+	master := bytes.Repeat([]byte{0xaa}, 48)
+	rep.Offer(id, master)
+	for i := range id {
+		id[i] = 'X'
+	}
+	for i := range master {
+		master[i] = 0
+	}
+	waitFor(t, "push", func() bool { return fc.conns["n1:1"].has("reused-id") })
+	fc.conns["n1:1"].mu.Lock()
+	got := fc.conns["n1:1"].store["reused-id"]
+	fc.conns["n1:1"].mu.Unlock()
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xaa}, 48)) {
+		t.Fatal("replicated master aliased the caller's buffer")
+	}
+}
+
+// TestOfferDropsOnOverflow is the non-blocking guarantee: with the push
+// path wedged and the queue full, Offer returns immediately and counts
+// the loss rather than backing up into the caller.
+func TestOfferDropsOnOverflow(t *testing.T) {
+	peers := []string{"n1:1"}
+	fc := newFakeCluster(peers)
+	gate := make(chan struct{})
+	fc.conns["n1:1"].gate = gate
+	rep := New(Config{Peers: peers, QueueDepth: 1, BatchMax: 1, Dial: fc.dial, FlushEvery: time.Millisecond})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 64; i++ {
+			rep.Offer([]byte{byte(i)}, []byte("m"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Offer blocked on a wedged push path")
+	}
+	if rep.Stats().Dropped == 0 {
+		t.Fatal("overflow not counted as dropped")
+	}
+	close(gate) // unwedge so Close can finish
+	rep.Close()
+}
+
+// TestFetchRecoversFromPeer: the pull path finds the secret on whichever
+// peer holds it and counts the outcome either way.
+func TestFetchRecoversFromPeer(t *testing.T) {
+	peers := []string{"n1:1", "n2:1", "n3:1"}
+	fc := newFakeCluster(peers)
+	rep := New(Config{Peers: peers, R: 2, Dial: fc.dial})
+	defer rep.Close()
+
+	master := bytes.Repeat([]byte{0x42}, 48)
+	// Plant the secret on the LAST peer in fetch order to prove the walk
+	// covers non-rendezvous peers too.
+	order := rep.fetchOrder([]byte("lost-session"))
+	fc.conns[order[len(order)-1]].store["lost-session"] = master
+
+	got, ok := rep.Fetch([]byte("lost-session"))
+	if !ok || !bytes.Equal(got, master) {
+		t.Fatalf("fetch = %x/%v, want planted master", got, ok)
+	}
+	if _, ok := rep.Fetch([]byte("never-existed")); ok {
+		t.Fatal("fetch fabricated a secret")
+	}
+	if s := rep.Stats(); s.Fetched != 1 || s.FetchMiss != 1 {
+		t.Fatalf("counters fetched=%d miss=%d, want 1/1", s.Fetched, s.FetchMiss)
+	}
+}
+
+// TestPeerFailureDropsAndRedials: a failed push loses only that
+// sub-batch, counts it, and the peer is redialed on the next flush.
+func TestPeerFailureDropsAndRedials(t *testing.T) {
+	peers := []string{"n1:1"}
+	fc := newFakeCluster(peers)
+	fc.conns["n1:1"].failN = 1
+	rep := New(Config{Peers: peers, Dial: fc.dial, FlushEvery: time.Millisecond})
+	defer rep.Close()
+
+	rep.Offer([]byte("first"), []byte("m1"))
+	waitFor(t, "failed push counted", func() bool { return rep.Stats().Dropped == 1 })
+
+	rep.Offer([]byte("second"), []byte("m2"))
+	waitFor(t, "redial and deliver", func() bool { return fc.conns["n1:1"].has("second") })
+	if s := rep.Stats(); s.Replicated != 1 || s.Dropped != 1 {
+		t.Fatalf("counters replicated=%d dropped=%d, want 1/1", s.Replicated, s.Dropped)
+	}
+	fc.mu.Lock()
+	dials := fc.dials
+	fc.mu.Unlock()
+	if dials != 2 {
+		t.Fatalf("dialed %d times, want 2 (initial + redial after failure)", dials)
+	}
+}
+
+// TestCloseDrainsQueue: secrets offered before Close still replicate.
+func TestCloseDrainsQueue(t *testing.T) {
+	peers := []string{"n1:1", "n2:1"}
+	fc := newFakeCluster(peers)
+	// Long flush interval: only the Close-time drain can deliver these.
+	rep := New(Config{Peers: peers, Dial: fc.dial, FlushEvery: time.Hour})
+	for i := 0; i < 10; i++ {
+		rep.Offer([]byte(fmt.Sprintf("pre-close-%d", i)), []byte("m"))
+	}
+	rep.Close()
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("pre-close-%d", i)
+		if !fc.conns["n1:1"].has(id) || !fc.conns["n2:1"].has(id) {
+			t.Fatalf("%s not delivered by Close drain", id)
+		}
+	}
+	for _, c := range fc.conns {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed != 1 {
+			t.Errorf("peer conn closed %d times, want 1", closed)
+		}
+	}
+}
+
+// TestNoPeersIsInert: a Replicator with no peers costs nothing and
+// counts nothing.
+func TestNoPeersIsInert(t *testing.T) {
+	rep := New(Config{Dial: func(string) (Conn, error) { return nil, errors.New("must not dial") }})
+	defer rep.Close()
+	rep.Offer([]byte("id"), []byte("m"))
+	if _, ok := rep.Fetch([]byte("id")); ok {
+		t.Fatal("peerless fetch hit")
+	}
+	if s := rep.Stats(); s.Replicated != 0 || s.Dropped != 0 {
+		t.Fatalf("peerless counters %+v, want zeros", s)
+	}
+}
+
+// TestRendezvousProperties: placement is deterministic, k-sized, and
+// removing a peer only reassigns sessions that peer owned.
+func TestRendezvousProperties(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	for i := 0; i < 32; i++ {
+		id := []byte(fmt.Sprintf("sess-%d", i))
+		first := rendezvousTop(peers, id, 2)
+		second := rendezvousTop(peers, id, 2)
+		if len(first) != 2 || first[0] == first[1] {
+			t.Fatalf("top-2 for %s = %v", id, first)
+		}
+		if first[0] != second[0] || first[1] != second[1] {
+			t.Fatalf("placement not deterministic: %v vs %v", first, second)
+		}
+		// Drop a peer not in the winning set: placement must not move.
+		reduced := make([]string, 0, len(peers)-1)
+		removed := ""
+		for _, p := range peers {
+			if removed == "" && p != first[0] && p != first[1] {
+				removed = p
+				continue
+			}
+			reduced = append(reduced, p)
+		}
+		after := rendezvousTop(reduced, id, 2)
+		if after[0] != first[0] || after[1] != first[1] {
+			t.Fatalf("losing uninvolved peer %s moved %s: %v -> %v", removed, id, first, after)
+		}
+	}
+}

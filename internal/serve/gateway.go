@@ -230,6 +230,10 @@ type Gateway struct {
 	workers  sync.WaitGroup
 	drained  chan struct{}
 	drainOne sync.Once
+
+	// replView snapshots the replication layer's counters for Stats; nil
+	// when no replication is wired (SetSessionReplication never called).
+	replView func() *ReplicationView
 }
 
 // NewGateway builds and starts a gateway: one RSA key, `Shards` worker
@@ -285,6 +289,41 @@ func NewGateway(cfg Config) (*Gateway, error) {
 // Metrics returns the gateway's observability core.
 func (g *Gateway) Metrics() *Metrics { return g.metrics }
 
+// SetSessionReplication wires the session-secret replication layer into
+// the gateway's session cache: onStore observes every full-handshake
+// store (the push feed — must not block), fetch consults ring peers on a
+// local resume miss (the pull path), and stats (optional) feeds the
+// replication counters into Stats.  Install before serving begins; the
+// hooks are not synchronized.  Returns false (and installs nothing)
+// when resumption is disabled.
+func (g *Gateway) SetSessionReplication(onStore func(id, master []byte), fetch func(id []byte) ([]byte, bool), stats func() *ReplicationView) bool {
+	if g.sessions == nil {
+		return false
+	}
+	g.sessions.SetReplication(onStore, fetch)
+	g.replView = stats
+	return true
+}
+
+// ReplicaStore installs a session secret pushed by a ring peer — the
+// wire listener routes Replicate frames here (wire.ReplicaHandler).
+// A plain insert that never re-triggers the push hook, so replication
+// cannot echo around the ring.
+func (g *Gateway) ReplicaStore(id, master []byte) {
+	if g.sessions != nil {
+		g.sessions.PutReplica(id, master)
+	}
+}
+
+// ReplicaLookup answers a peer's Fetch frame from the local session
+// store only — peers must not recurse into each other's pull paths.
+func (g *Gateway) ReplicaLookup(id []byte) ([]byte, bool) {
+	if g.sessions == nil {
+		return nil, false
+	}
+	return g.sessions.LookupLocal(id)
+}
+
 // Stats snapshots every counter, gauge and histogram, including the
 // dispatch policy's live queue-cost and per-op pricing gauges.
 func (g *Gateway) Stats() Stats {
@@ -304,6 +343,9 @@ func (g *Gateway) Stats() Stats {
 	}
 	if g.sessions != nil {
 		s.SessionCache = cacheView(g.sessions.Stats())
+	}
+	if g.replView != nil {
+		s.Replication = g.replView()
 	}
 	if g.qos != nil {
 		s.QoS = g.qos.view()

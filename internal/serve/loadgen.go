@@ -45,6 +45,13 @@ type LoadConfig struct {
 	// exercises both paths deterministically.  0 disables resumption.
 	ResumeRatio float64
 
+	// SplitUS, when positive, additionally buckets outcomes by issue
+	// time: requests issued before SplitUS µs into the run land in the
+	// early_* report fields, the rest in late_*.  The cluster kill gate
+	// sets the split at the victim's kill time and compares the two
+	// windows' resumption rates.
+	SplitUS int64
+
 	// Retries enables client-side re-submission of shed responses (total
 	// attempts = Retries+1) with exponential backoff + jitter.
 	Retries int
@@ -243,10 +250,21 @@ type LoadReport struct {
 	Errors       int     `json:"errors"`
 	Mismatches   int     `json:"mismatches"`
 	Resumed      int     `json:"resumed,omitempty"`
+	ResumeAsked  int     `json:"resume_asked,omitempty"`
 	Retries      uint64  `json:"retries,omitempty"`
 	Hedges       uint64  `json:"hedges,omitempty"`
 	Bytes        int64   `json:"bytes"`
 	Seconds      float64 `json:"seconds"`
+
+	// Early/late window split (populated when LoadConfig.SplitUS > 0):
+	// outcomes bucketed by whether the request was issued before or after
+	// the split point.  Flat fields so shell gates can grep them.
+	EarlyOK          int `json:"early_ok"`
+	EarlyResumeAsked int `json:"early_resume_asked"`
+	EarlyResumed     int `json:"early_resumed"`
+	LateOK           int `json:"late_ok"`
+	LateResumeAsked  int `json:"late_resume_asked"`
+	LateResumed      int `json:"late_resumed"`
 
 	// Mixed-run split: present only when the config requested attackers.
 	AttackRatio float64      `json:"attack_ratio,omitempty"`
@@ -308,6 +326,8 @@ type clientResult struct {
 	attack                                         bool
 	ok, shed, throttled, expired, errs, mismatches int
 	resumed, resumeAsked                           int
+	earlyOK, earlyResumed, earlyAsked              int
+	lateOK, lateResumed, lateAsked                 int
 	bytes                                          int64
 	latencies                                      []int64
 	perSize                                        map[int][]int64
@@ -364,6 +384,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				// arrive in lockstep convoys every think interval.
 				time.Sleep(time.Duration(thinkRNG.Int63n(c.ThinkUS)) * time.Microsecond)
 			}
+			// sess is this client's resumable session ID, echoed by the
+			// server in Result on every OK SSL transaction.  Offering it
+			// back via Key lets the client resume against whichever
+			// backend a routing tier lands it on, not just the shard that
+			// happens to hold matching self-resume state.
+			var sess []byte
 			for k, it := range items {
 				if c.ThinkUS > 0 && k > 0 {
 					// Jittered around the mean: [ThinkUS/2, 3*ThinkUS/2).
@@ -382,8 +408,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					Resume:     it.resume,
 					ClientID:   fmt.Sprintf("legit-%d", i),
 				}
+				if it.resume && len(sess) > 0 {
+					req.Key = sess
+				}
+				early := c.SplitUS > 0 && time.Since(start).Microseconds() < c.SplitUS
 				if it.resume {
 					r.resumeAsked++
+					if c.SplitUS > 0 {
+						if early {
+							r.earlyAsked++
+						} else {
+							r.lateAsked++
+						}
+					}
 				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
@@ -405,6 +442,23 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					if resp.Resumed {
 						opClass = it.op + "+resumed"
 						r.resumed++
+					}
+					if c.SplitUS > 0 {
+						if early {
+							r.earlyOK++
+						} else {
+							r.lateOK++
+						}
+						if resp.Resumed {
+							if early {
+								r.earlyResumed++
+							} else {
+								r.lateResumed++
+							}
+						}
+					}
+					if (it.op == OpSSL || it.op == OpHandshake) && len(resp.Result) > 0 {
+						sess = append(sess[:0], resp.Result...)
 					}
 					r.perOp[opClass] = append(r.perOp[opClass], lat)
 					if it.op == OpSSL {
@@ -469,6 +523,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.Errors += r.errs
 		rep.Mismatches += r.mismatches
 		rep.Resumed += r.resumed
+		rep.ResumeAsked += r.resumeAsked
+		rep.EarlyOK += r.earlyOK
+		rep.EarlyResumeAsked += r.earlyAsked
+		rep.EarlyResumed += r.earlyResumed
+		rep.LateOK += r.lateOK
+		rep.LateResumeAsked += r.lateAsked
+		rep.LateResumed += r.lateResumed
 		rep.Bytes += r.bytes
 		rep.ModelBaseCycles += r.baseCycles
 		rep.ModelOptCycles += r.optCycles

@@ -242,6 +242,21 @@ type Stats struct {
 	// spenders first) and the space-saving heavy-hitter table.  Nil when
 	// QoS is disabled.
 	QoS *QoSView `json:"qos,omitempty"`
+
+	// Replication exposes the session-secret replication layer (pushes to
+	// ring peers, pulls on resume misses, losses).  Nil when replication
+	// is not wired.
+	Replication *ReplicationView `json:"replication,omitempty"`
+}
+
+// ReplicationView is the exported snapshot of the session-secret
+// replication layer.
+type ReplicationView struct {
+	Peers      int    `json:"peers"`
+	Replicated uint64 `json:"replicated"`
+	Dropped    uint64 `json:"dropped"`
+	Fetched    uint64 `json:"fetched"`
+	FetchMiss  uint64 `json:"fetch_miss"`
 }
 
 // CacheStatsView is the exported snapshot of one serving cache.
@@ -377,6 +392,13 @@ func (s Stats) Text() string {
 	writeCache("session", s.SessionCache)
 	writeCache("precompute", s.Precompute)
 	writeCache("aes_schedule", s.AESSchedule)
+	if r := s.Replication; r != nil {
+		fmt.Fprintf(&b, "wispd_replication_peers %d\n", r.Peers)
+		fmt.Fprintf(&b, "wispd_replication_replicated_total %d\n", r.Replicated)
+		fmt.Fprintf(&b, "wispd_replication_dropped_total %d\n", r.Dropped)
+		fmt.Fprintf(&b, "wispd_replication_fetched_total %d\n", r.Fetched)
+		fmt.Fprintf(&b, "wispd_replication_fetch_miss_total %d\n", r.FetchMiss)
+	}
 	if q := s.QoS; q != nil {
 		fmt.Fprintf(&b, "wispd_qos_client_rate_us %d\n", q.RateUS)
 		fmt.Fprintf(&b, "wispd_qos_fair_limit_us %d\n", q.LimitUS)

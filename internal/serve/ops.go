@@ -72,28 +72,53 @@ func newShardEnv(s *shard) (*shardEnv, error) {
 }
 
 // sessionPair establishes one client/server session pair for this shard,
-// offering resumption of the shard's cached client state when resume is
-// set.  The fall-back ladder keeps the serving path self-healing: a
-// declined or failed resumption retries as a full handshake, and every
-// successful full handshake refreshes the resumable state.
-func (s *shard) sessionPair(resume bool) (cli, srv *ssl.Session, err error) {
-	if resume && s.env.sessions != nil && s.env.resumable != nil {
-		cli, srv, cs, rerr := ssl.ResumePair(s.rng, s.g.key, s.env.sessions, s.env.resumable)
-		if rerr == nil {
-			s.env.resumable = cs
-			return cli, srv, nil
+// returning the ID of the session the pair settled on (nil when the
+// cache is disabled).  Two resumption sources, in precedence order:
+//
+//   - A non-empty key is a client-offered session ID (from a previous
+//     response's Result).  The cache reconstructs that session's state —
+//     consulting ring peers via the replication pull hook when the local
+//     shard never saw it — so a client can resume against any backend.
+//     An ID nobody knows falls back to a full handshake.
+//   - With no key, the shard offers its own most recent full-handshake
+//     state, the legacy self-resume path.
+//
+// The fall-back ladder keeps the serving path self-healing: a declined
+// or failed resumption retries as a full handshake, and every successful
+// full handshake refreshes the shard's resumable state.
+func (s *shard) sessionPair(resume bool, key []byte) (cli, srv *ssl.Session, sid []byte, err error) {
+	if resume && s.env.sessions != nil {
+		offered := s.env.resumable
+		external := false
+		if len(key) > 0 {
+			offered, external = nil, true
+			if ext, ok := s.env.sessions.ClientSessionFor(key); ok {
+				offered = ext
+			}
 		}
-		// Drop the poisoned state and fall through to a full handshake.
-		s.env.resumable = nil
+		if offered != nil {
+			cli, srv, cs, rerr := ssl.ResumePair(s.rng, s.g.key, s.env.sessions, offered)
+			if rerr == nil {
+				if !external {
+					s.env.resumable = cs
+				}
+				return cli, srv, cs.ID, nil
+			}
+			if !external {
+				// Drop the poisoned state and fall through to a full handshake.
+				s.env.resumable = nil
+			}
+		}
 	}
 	cli, srv, cs, err := ssl.HandshakePair(s.rng, s.g.key, s.env.sessions)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if cs != nil {
 		s.env.resumable = cs
+		sid = cs.ID
 	}
-	return cli, srv, nil
+	return cli, srv, sid, nil
 }
 
 // run executes one admitted request on this shard, filling resp's
@@ -205,7 +230,7 @@ func (s *shard) hmacKey(req *Request) []byte {
 // handshakeOnly, the payload pumped through the new session in RecordSize
 // chunks and self-checked.
 func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
-	cli, srv, err := s.sessionPair(req.Resume)
+	cli, srv, sid, err := s.sessionPair(req.Resume, req.Key)
 	if err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
@@ -214,6 +239,9 @@ func (s *shard) runSSL(req *Request, resp *Response, handshakeOnly bool) error {
 	defer cli.Close()
 	defer srv.Close()
 	resp.Resumed = cli.Resumed && srv.Resumed
+	// Echo the session ID (fresh or resumed) so the client can offer it
+	// back — possibly to a different backend — on its next transaction.
+	resp.Result = append(resp.Result[:0], sid...)
 	if handshakeOnly {
 		if resp.Resumed {
 			resp.EstBaseCycles, resp.EstOptCycles = s.g.estHandshakeResumed()

@@ -1,0 +1,171 @@
+package ssl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStoreHookObservesFullHandshake: every full handshake's session
+// store reaches the push hook — including through WithDecrypt views
+// created before the hook was installed, which is exactly the gateway's
+// construction order (shard views first, replication wiring later).
+func TestStoreHookObservesFullHandshake(t *testing.T) {
+	key := testKey(t)
+	sc := NewSessionCache(16, time.Minute)
+	view := sc.WithDecrypt(nil) // view exists before the hook
+
+	type stored struct{ id, master []byte }
+	var pushes []stored
+	sc.SetReplication(func(id, master []byte) {
+		pushes = append(pushes, stored{append([]byte(nil), id...), append([]byte(nil), master...)})
+	}, nil)
+
+	rng := rand.New(rand.NewSource(11))
+	cli, srv, cs, err := HandshakePair(rng, key, view)
+	if err != nil {
+		t.Fatalf("full handshake: %v", err)
+	}
+	roundTrip(t, cli, srv, []byte("push hook payload"))
+	if len(pushes) != 1 {
+		t.Fatalf("push hook fired %d times for one full handshake, want 1", len(pushes))
+	}
+	if !bytes.Equal(pushes[0].id, cs.ID) {
+		t.Errorf("pushed ID %x, want session ID %x", pushes[0].id, cs.ID)
+	}
+	if len(pushes[0].master) != masterLen {
+		t.Errorf("pushed master %d bytes, want %d", len(pushes[0].master), masterLen)
+	}
+
+	// A resume hit refreshes the push feed (exactly one more offer): the
+	// refresh is what lets sessions established before the hooks were
+	// wired — the shards' boot-time resident sessions — replicate once
+	// clients start resuming them.
+	cli2, srv2, _, err := ResumePair(rng, key, view, cs)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !cli2.Resumed || !srv2.Resumed {
+		t.Fatal("resume was not abbreviated")
+	}
+	if len(pushes) != 2 {
+		t.Fatalf("push hook fired %d times after a resume, want 2 (store + refresh)", len(pushes))
+	}
+	if !bytes.Equal(pushes[1].id, cs.ID) {
+		t.Errorf("refresh pushed ID %x, want %x", pushes[1].id, cs.ID)
+	}
+
+	// PutReplica (a peer's push landing here) must not echo, and
+	// LookupLocal (the surface peers fetch from) must not push back.
+	sc.PutReplica([]byte("peer-session-id!"), bytes.Repeat([]byte{9}, masterLen))
+	if _, ok := sc.LookupLocal([]byte("peer-session-id!")); !ok {
+		t.Fatal("PutReplica entry not visible to LookupLocal")
+	}
+	if len(pushes) != 2 {
+		t.Fatalf("push hook fired %d times after PutReplica+LookupLocal, want still 2 — replication echoes", len(pushes))
+	}
+}
+
+// TestFetchHookServesCrossNodeResume models node loss: the session was
+// established on node A, the resume arrives at node B whose local cache
+// misses, and B's pull hook (wired to A's replica surface here) recovers
+// the master secret — the handshake stays abbreviated.
+func TestFetchHookServesCrossNodeResume(t *testing.T) {
+	key := testKey(t)
+	nodeA := NewSessionCache(16, time.Minute)
+	nodeB := NewSessionCache(16, time.Minute)
+	fetches := 0
+	nodeB.SetReplication(nil, func(id []byte) ([]byte, bool) {
+		fetches++
+		return nodeA.LookupLocal(id)
+	})
+
+	rng := rand.New(rand.NewSource(12))
+	_, _, cs, err := HandshakePair(rng, key, nodeA)
+	if err != nil {
+		t.Fatalf("full handshake on A: %v", err)
+	}
+
+	cli, srv, _, err := ResumePair(rng, key, nodeB, cs)
+	if err != nil {
+		t.Fatalf("resume on B: %v", err)
+	}
+	if !cli.Resumed || !srv.Resumed {
+		t.Fatal("cross-node resume fell back to a full handshake despite the pull hook")
+	}
+	if fetches != 1 {
+		t.Fatalf("pull hook consulted %d times, want 1", fetches)
+	}
+	roundTrip(t, cli, srv, []byte("resumed via pulled secret"))
+
+	// The pulled secret was installed: the next resume is local.
+	cli2, srv2, _, err := ResumePair(rng, key, nodeB, cs)
+	if err != nil {
+		t.Fatalf("second resume on B: %v", err)
+	}
+	if !cli2.Resumed || !srv2.Resumed {
+		t.Fatal("second resume on B not abbreviated")
+	}
+	if fetches != 1 {
+		t.Fatalf("pull hook consulted %d times after install, want still 1", fetches)
+	}
+	if _, ok := nodeB.LookupLocal(cs.ID); !ok {
+		t.Fatal("fetched session not installed in B's local cache")
+	}
+}
+
+// TestFetchHookMissFallsBack: a pull miss degrades to the ordinary full
+// handshake, never an error.
+func TestFetchHookMissFallsBack(t *testing.T) {
+	key := testKey(t)
+	sc := NewSessionCache(16, time.Minute)
+	sc.SetReplication(nil, func(id []byte) ([]byte, bool) { return nil, false })
+
+	rng := rand.New(rand.NewSource(13))
+	offered := &ClientSession{ID: bytes.Repeat([]byte{7}, sessionIDLen), master: bytes.Repeat([]byte{8}, masterLen)}
+	cli, srv, next, err := ResumePair(rng, key, sc, offered)
+	if err != nil {
+		t.Fatalf("resume with unknown ID: %v", err)
+	}
+	if cli.Resumed || srv.Resumed {
+		t.Fatal("resume succeeded though every lookup missed")
+	}
+	if next == nil || bytes.Equal(next.ID, offered.ID) {
+		t.Fatal("full-handshake fallback did not assign a fresh session")
+	}
+	roundTrip(t, cli, srv, []byte("fallback payload"))
+}
+
+// TestClientSessionFor reconstructs resumable state from the cache by
+// session ID — the serve layer's path for resuming a wire-offered key on
+// whichever backend the request reached.
+func TestClientSessionFor(t *testing.T) {
+	key := testKey(t)
+	sc := NewSessionCache(16, time.Minute)
+	rng := rand.New(rand.NewSource(14))
+	_, _, cs, err := HandshakePair(rng, key, sc)
+	if err != nil {
+		t.Fatalf("full handshake: %v", err)
+	}
+
+	rebuilt, ok := sc.ClientSessionFor(cs.ID)
+	if !ok {
+		t.Fatal("ClientSessionFor missed a cached session")
+	}
+	if !bytes.Equal(rebuilt.ID, cs.ID) || !bytes.Equal(rebuilt.master, cs.master) {
+		t.Fatal("rebuilt session state drifted from the original")
+	}
+	cli, srv, _, err := ResumePair(rng, key, sc, rebuilt)
+	if err != nil {
+		t.Fatalf("resume with rebuilt session: %v", err)
+	}
+	if !cli.Resumed || !srv.Resumed {
+		t.Fatal("rebuilt session did not resume abbreviated")
+	}
+	roundTrip(t, cli, srv, []byte("rebuilt session payload"))
+
+	if _, ok := sc.ClientSessionFor([]byte("nope")); ok {
+		t.Fatal("ClientSessionFor fabricated a session for an unknown ID")
+	}
+}

@@ -30,12 +30,31 @@ type ClientSession struct {
 	master []byte
 }
 
+// sessionHooks is the replication attachment point.  It lives behind a
+// pointer shared by every WithDecrypt view (views are struct copies made
+// at gateway construction; the pointer survives the copy), so hooks
+// installed after the views exist still reach all of them.
+type sessionHooks struct {
+	// onStore feeds the replication push queue.  It fires on every full-
+	// handshake store AND on every local resume hit: the refresh makes
+	// replication self-healing — sessions established before the hooks
+	// were wired (the shards' boot-time resident sessions) and peers that
+	// joined or restarted after the store all converge as long as the
+	// session is actively resumed.  It must not block: the replica layer
+	// queues and returns.
+	onStore func(id, master []byte)
+	// fetch consults peers for a session ID missing locally — the
+	// replication pull path, tried once before full-handshake fallback.
+	fetch func(id []byte) ([]byte, bool)
+}
+
 // SessionCache is the server-side session store for abbreviated
 // handshakes: master secrets keyed by session ID on the shared sharded
 // LRU (bounded, TTL-expiring, hit/miss accounted).  Safe for concurrent
 // use by many serving shards.
 type SessionCache struct {
-	c *cache.Cache[[]byte]
+	c     *cache.Cache[[]byte]
+	hooks *sessionHooks
 
 	// Decrypt, when non-nil, replaces rsakey.PadDecrypt for the full
 	// handshake's premaster unwrap (the serving gateway points it at its
@@ -57,7 +76,49 @@ func (sc *SessionCache) WithDecrypt(decrypt func(key *rsakey.PrivateKey, wrapped
 // NewSessionCache builds a session cache holding up to capacity master
 // secrets for at most ttl each (0 disables expiry).
 func NewSessionCache(capacity int, ttl time.Duration) *SessionCache {
-	return &SessionCache{c: cache.New[[]byte](cache.Config{Capacity: capacity, TTL: ttl})}
+	return &SessionCache{
+		c:     cache.New[[]byte](cache.Config{Capacity: capacity, TTL: ttl}),
+		hooks: &sessionHooks{},
+	}
+}
+
+// SetReplication installs the replication hooks: onStore observes every
+// full-handshake store (push feed; must not block), fetch consults peers
+// on a local lookup miss (pull path; nil disables pulling).  Install
+// before serving begins — the hook fields are not synchronized.  The
+// hooks reach every WithDecrypt view, including views created before
+// this call.
+func (sc *SessionCache) SetReplication(onStore func(id, master []byte), fetch func(id []byte) ([]byte, bool)) {
+	sc.hooks.onStore = onStore
+	sc.hooks.fetch = fetch
+}
+
+// PutReplica installs a session secret pushed by a peer: a plain insert
+// that never re-triggers the push hook, so replication cannot echo.
+func (sc *SessionCache) PutReplica(id, master []byte) {
+	sc.c.Put(hex.EncodeToString(id), append([]byte(nil), master...))
+}
+
+// LookupLocal returns the cached master secret for id without consulting
+// peers — the surface a peer's Fetch frame is answered from (peers must
+// not recurse into each other).
+func (sc *SessionCache) LookupLocal(id []byte) ([]byte, bool) {
+	return sc.c.Get(hex.EncodeToString(id))
+}
+
+// ClientSessionFor reconstructs the resumable client-side state for a
+// session ID the cache knows (locally or via the pull hook).  The serve
+// layer uses it to resume a session offered by wire key against
+// whichever backend the request landed on.
+func (sc *SessionCache) ClientSessionFor(id []byte) (*ClientSession, bool) {
+	master, ok := sc.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return &ClientSession{
+		ID:     append([]byte(nil), id...),
+		master: append([]byte(nil), master...),
+	}, true
 }
 
 // Stats exposes the underlying cache counters (hits are abbreviated
@@ -68,11 +129,34 @@ func (sc *SessionCache) Stats() cache.Stats { return sc.c.Stats() }
 func (sc *SessionCache) Len() int { return sc.c.Len() }
 
 func (sc *SessionCache) lookup(id []byte) ([]byte, bool) {
-	return sc.c.Get(hex.EncodeToString(id))
+	if master, ok := sc.c.Get(hex.EncodeToString(id)); ok {
+		// Refresh the push feed: an actively resumed session keeps its
+		// replicas alive even if the original store predates the hooks or
+		// the peer set changed.  LookupLocal (the surface peers fetch
+		// from) deliberately skips this — answering a peer's pull must
+		// not push the same secret straight back.
+		if h := sc.hooks; h != nil && h.onStore != nil {
+			h.onStore(id, master)
+		}
+		return master, true
+	}
+	// Local miss: one shot at the replication pull path before the caller
+	// falls back to a full handshake.  A fetched secret is installed so
+	// the session's later resumes are local.
+	if h := sc.hooks; h != nil && h.fetch != nil {
+		if master, ok := h.fetch(id); ok {
+			sc.PutReplica(id, master)
+			return master, true
+		}
+	}
+	return nil, false
 }
 
 func (sc *SessionCache) store(id, master []byte) {
 	sc.c.Put(hex.EncodeToString(id), append([]byte(nil), master...))
+	if h := sc.hooks; h != nil && h.onStore != nil {
+		h.onStore(id, master)
+	}
 }
 
 // Invalidate removes one session (e.g. on key rotation), reporting

@@ -51,12 +51,15 @@ type waiter struct {
 	gen uint64
 }
 
-// result is one demultiplexed answer: exactly one of resp/stats/pong-load
-// is meaningful, according to the frame type the waiter asked for.
+// result is one demultiplexed answer: exactly one of
+// resp/stats/pong-load/fetch is meaningful, according to the frame type
+// the waiter asked for.
 type result struct {
 	resp   *serve.Response
 	stats  []byte
 	loadUS int64
+	fetch  []byte // fetched master secret (nil on miss)
+	found  bool
 	err    error
 }
 
@@ -165,6 +168,41 @@ func (t *Transport) send(ch chan result, build func(dst []byte, seq uint64) ([]b
 	return 0, fmt.Errorf("wire: write to %s: %w", t.addr, lastErr)
 }
 
+// sendNoWait encodes and flushes one frame that will never be answered
+// (no waiter is registered).  Like send, a failed write is retried once
+// on a fresh dial; nothing of a failed write reached the server.
+func (t *Transport) sendNoWait(build func(dst []byte, seq uint64) ([]byte, error)) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		t.mu.Lock()
+		if err := t.ensureConnLocked(); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		t.seq++
+		frame, err := build(t.wbuf[:0], t.seq)
+		if err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		t.wbuf = frame
+		t.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		_, werr := t.bw.Write(frame)
+		if werr == nil {
+			werr = t.bw.Flush()
+		}
+		if werr == nil {
+			t.conn.SetWriteDeadline(time.Time{})
+			t.mu.Unlock()
+			return nil
+		}
+		t.dropConnLocked()
+		t.mu.Unlock()
+		lastErr = werr
+	}
+	return fmt.Errorf("wire: write to %s: %w", t.addr, lastErr)
+}
+
 // await blocks for the answer to seq, or fails after the transport
 // timeout (unregistering the waiter so the slot cannot leak).
 func (t *Transport) await(seq uint64, ch chan result, d time.Duration) (result, error) {
@@ -264,6 +302,33 @@ func (t *Transport) Ping(d time.Duration) (int64, error) {
 		return 0, err
 	}
 	return r.loadUS, nil
+}
+
+// Replicate pushes a batch of session secrets, fire and forget: the
+// frame is flushed and the call returns — no acknowledgement exists on
+// the wire, so a lost peer costs at most the batch (and one full
+// handshake per lost session later).
+func (t *Transport) Replicate(entries []ReplicaEntry) error {
+	return t.sendNoWait(func(dst []byte, seq uint64) ([]byte, error) {
+		return t.enc.Replicate(dst, seq, entries)
+	})
+}
+
+// FetchSession asks the peer for one session's master secret, blocking
+// up to d.  A clean not-found answers (nil, false, nil).
+func (t *Transport) FetchSession(id []byte, d time.Duration) ([]byte, bool, error) {
+	ch := make(chan result, 1)
+	seq, err := t.send(ch, func(dst []byte, seq uint64) ([]byte, error) {
+		return t.enc.Fetch(dst, seq, id)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := t.await(seq, ch, d)
+	if err != nil {
+		return nil, false, err
+	}
+	return r.fetch, r.found, nil
 }
 
 // Healthy reports whether the server answers a ping within 2 seconds.
@@ -391,6 +456,21 @@ func (t *Transport) readFrames(br *bufio.Reader) error {
 			}
 			if ch, ok := t.take(seq); ok {
 				ch <- result{loadUS: loadUS}
+			}
+		case FrameFetchResp:
+			seq, found, masterLen, err := parseFetchResp(hdr)
+			if err != nil {
+				return err
+			}
+			var master []byte
+			if masterLen > 0 {
+				master = make([]byte, masterLen)
+				if _, err := io.ReadFull(br, master); err != nil {
+					return err
+				}
+			}
+			if ch, ok := t.take(seq); ok {
+				ch <- result{fetch: master, found: found}
 			}
 		default:
 			return fmt.Errorf("unexpected frame type 0x%02x", hdr[0])

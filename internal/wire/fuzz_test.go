@@ -40,6 +40,17 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	add(statsResp, err)
 	seeds = append(seeds, enc.Ping(nil, 10)[1:])
 	seeds = append(seeds, enc.Pong(nil, 10, 1234)[1:])
+	replicate, err := enc.Replicate(nil, 11, []ReplicaEntry{
+		{ID: []byte("0123456789abcdef"), Master: bytes.Repeat([]byte{0x5a}, 48)},
+		{ID: []byte("fedcba9876543210"), Master: bytes.Repeat([]byte{0xa5}, 48)},
+	})
+	add(replicate, err)
+	fetch, err := enc.Fetch(nil, 12, []byte("0123456789abcdef"))
+	add(fetch, err)
+	fetchHit, err := enc.FetchResp(nil, 12, bytes.Repeat([]byte{0x5a}, 48), true)
+	add(fetchHit, err)
+	fetchMiss, err := enc.FetchResp(nil, 13, nil, false)
+	add(fetchMiss, err)
 	return seeds
 }
 
@@ -68,8 +79,90 @@ func FuzzWireRoundTrip(f *testing.F) {
 			parseStatsResp(hdr)
 		case FramePong:
 			parsePong(hdr)
+		case FrameReplicate:
+			fuzzReplicate(t, hdr)
+		case FrameFetch:
+			fuzzFetch(t, hdr)
+		case FrameFetchResp:
+			fuzzFetchResp(t, hdr)
 		}
 	})
+}
+
+func fuzzReplicate(t *testing.T, hdr []byte) {
+	lens, bodyLen, err := parseReplicate(hdr, nil)
+	if err != nil {
+		return
+	}
+	sum := 0
+	entries := make([]ReplicaEntry, len(lens))
+	for i, l := range lens {
+		sum += l[0] + l[1]
+		entries[i] = ReplicaEntry{ID: make([]byte, l[0]), Master: make([]byte, l[1])}
+	}
+	if sum != bodyLen {
+		t.Fatalf("replicate body length %d != sum of entry lengths %d", bodyLen, sum)
+	}
+	var enc Encoder
+	frame, err := enc.Replicate(nil, 1, entries)
+	if err != nil {
+		t.Fatalf("re-encode of parsed replicate failed: %v (%v)", err, lens)
+	}
+	hdr2 := frame[varintLen(frame):]
+	hdr2 = hdr2[:len(hdr2)-bodyLen]
+	lens2, bodyLen2, err := parseReplicate(hdr2, nil)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if bodyLen2 != bodyLen || len(lens2) != len(lens) {
+		t.Fatalf("round trip drifted: %d entries/%dB vs %d entries/%dB", len(lens), bodyLen, len(lens2), bodyLen2)
+	}
+	for i := range lens {
+		if lens2[i] != lens[i] {
+			t.Fatalf("entry %d lengths drifted: %v vs %v", i, lens[i], lens2[i])
+		}
+	}
+}
+
+func fuzzFetch(t *testing.T, hdr []byte) {
+	seq, id, err := parseFetch(hdr)
+	if err != nil {
+		return
+	}
+	var enc Encoder
+	frame, err := enc.Fetch(nil, seq, id)
+	if err != nil {
+		t.Fatalf("re-encode of parsed fetch failed: %v", err)
+	}
+	hdr2 := frame[varintLen(frame):]
+	seq2, id2, err := parseFetch(hdr2)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if seq2 != seq || !bytes.Equal(id2, id) {
+		t.Fatalf("round trip drifted: %d/%x vs %d/%x", seq, id, seq2, id2)
+	}
+}
+
+func fuzzFetchResp(t *testing.T, hdr []byte) {
+	seq, found, masterLen, err := parseFetchResp(hdr)
+	if err != nil {
+		return
+	}
+	var enc Encoder
+	frame, err := enc.FetchResp(nil, seq, make([]byte, masterLen), found)
+	if err != nil {
+		t.Fatalf("re-encode of parsed fetch response failed: %v", err)
+	}
+	hdr2 := frame[varintLen(frame):]
+	hdr2 = hdr2[:len(hdr2)-masterLen]
+	seq2, found2, masterLen2, err := parseFetchResp(hdr2)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if seq2 != seq || found2 != found || masterLen2 != masterLen {
+		t.Fatalf("round trip drifted: %d/%v/%d vs %d/%v/%d", seq, found, masterLen, seq2, found2, masterLen2)
+	}
 }
 
 func fuzzRequest(t *testing.T, hdr []byte) {

@@ -35,6 +35,20 @@ type Handler interface {
 	NoteRejectedDecode()
 }
 
+// ReplicaHandler is the optional session-replication surface a Handler
+// may additionally implement (the gateway does; a routing tier does
+// not).  The server type-asserts for it when a Replicate or Fetch frame
+// arrives; a handler without it degrades gracefully — pushes are
+// discarded and fetches answer not-found, both indistinguishable from a
+// replica-cache miss.
+type ReplicaHandler interface {
+	// ReplicaStore installs one pushed session secret in the local cache.
+	ReplicaStore(id, master []byte)
+	// ReplicaLookup returns the master secret for a session ID without
+	// triggering any further remote fetch (peers must not recurse).
+	ReplicaLookup(id []byte) ([]byte, bool)
+}
+
 // ServerConfig tunes a wire listener.  The zero value selects defaults.
 type ServerConfig struct {
 	// MaxConnInflight bounds concurrently-submitted requests per
@@ -267,6 +281,44 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			var enc Encoder
 			if w.write(enc.Pong(nil, seq, s.h.BacklogUS())) != nil {
+				return
+			}
+		case FrameReplicate:
+			lens, bodyLen, err := parseReplicate(hdr, nil)
+			bufpool.Put(hdr)
+			if err != nil {
+				s.h.NoteRejectedDecode()
+				return
+			}
+			body := bufpool.Get(bodyLen)
+			if _, err := io.ReadFull(br, body); err != nil {
+				bufpool.Put(body)
+				return
+			}
+			if rh, ok := s.h.(ReplicaHandler); ok {
+				off := 0
+				for _, l := range lens {
+					rh.ReplicaStore(body[off:off+l[0]], body[off+l[0]:off+l[0]+l[1]])
+					off += l[0] + l[1]
+				}
+			}
+			bufpool.Put(body)
+		case FrameFetch:
+			seq, id, err := parseFetch(hdr)
+			if err != nil {
+				bufpool.Put(hdr)
+				s.h.NoteRejectedDecode()
+				return
+			}
+			var master []byte
+			var found bool
+			if rh, ok := s.h.(ReplicaHandler); ok {
+				master, found = rh.ReplicaLookup(id)
+			}
+			bufpool.Put(hdr)
+			var enc Encoder
+			frame, err := enc.FetchResp(nil, seq, master, found)
+			if err != nil || w.write(frame) != nil {
 				return
 			}
 		default:

@@ -49,6 +49,25 @@
 // pong also carries uvarint(loadUS), making a ping both a health probe
 // and a load probe.
 //
+// # Session replication frames
+//
+// Replicate (type 7) pushes a batch of session secrets to a peer's
+// replica store, fire and forget — the peer sends nothing back, so a
+// push can never stall the sender:
+//
+//	replicate := uvarint(count) count×(uvarint(idLen) uvarint(masterLen))
+//	             body = id1 master1 id2 master2 ...
+//
+// Fetch (type 8) asks a peer for one session secret by ID; FetchResp
+// (type 9) answers it:
+//
+//	fetch     := str(sessionID)                (no body)
+//	fetchresp := found-byte uvarint(masterLen) body = master
+//
+// A handler that does not implement ReplicaHandler discards Replicate
+// batches and answers Fetch with not-found: replication frames degrade
+// to a session-cache miss, never a poisoned connection.
+//
 // Encoding and header parsing are allocation-free in steady state: the
 // Encoder reuses its scratch buffer, parsed byte fields alias the header
 // buffer, and known enum values decode to package-level constants.  The
@@ -82,6 +101,9 @@ const (
 	FrameStatsResp = 0x04 // uvarint(bodyLen); body = stats JSON
 	FramePing      = 0x05
 	FramePong      = 0x06 // uvarint(loadUS)
+	FrameReplicate = 0x07 // session-secret push batch (fire and forget)
+	FrameFetch     = 0x08 // session-secret pull request: str(id)
+	FrameFetchResp = 0x09 // found byte + uvarint(masterLen); body = master
 )
 
 // Wire limits.  Header fields have their own bounds so a malformed length
@@ -97,6 +119,14 @@ const (
 	MaxStatsBody = 8 << 20          // stats JSON document
 	MaxPayload   = serve.MaxPayload // request payload / response result
 	MaxDigest    = 64               // response digest
+
+	// Replication bounds: a session ID is 16 bytes and a master secret 48
+	// in the miniature SSL, but the frames leave headroom for larger
+	// suites.  The batch cap keeps a full batch's length table well inside
+	// MaxHeader.
+	MaxSessionID      = 64 // replicated session ID
+	MaxMaster         = 96 // replicated master secret
+	MaxReplicateBatch = 64 // entries per Replicate frame
 )
 
 // Request flag bits.
@@ -350,6 +380,70 @@ func (e *Encoder) Pong(dst []byte, seq uint64, loadUS int64) []byte {
 	return e.finish(dst)
 }
 
+// ReplicaEntry is one session secret in a Replicate push batch.
+type ReplicaEntry struct {
+	ID     []byte
+	Master []byte
+}
+
+// Replicate appends one session-secret push frame carrying the batch.
+// The peer never answers it, so seq exists only for envelope uniformity.
+func (e *Encoder) Replicate(dst []byte, seq uint64, entries []ReplicaEntry) ([]byte, error) {
+	if len(entries) == 0 || len(entries) > MaxReplicateBatch {
+		return dst, fmt.Errorf("wire: replicate batch of %d entries out of range [1,%d]", len(entries), MaxReplicateBatch)
+	}
+	h := binary.AppendUvarint(append(e.scratch[:0], FrameReplicate), seq)
+	h = binary.AppendUvarint(h, uint64(len(entries)))
+	for _, ent := range entries {
+		if len(ent.ID) == 0 || len(ent.ID) > MaxSessionID {
+			return dst, fmt.Errorf("wire: replicated session ID %d bytes out of range [1,%d]", len(ent.ID), MaxSessionID)
+		}
+		if len(ent.Master) == 0 || len(ent.Master) > MaxMaster {
+			return dst, fmt.Errorf("wire: replicated master %d bytes out of range [1,%d]", len(ent.Master), MaxMaster)
+		}
+		h = binary.AppendUvarint(h, uint64(len(ent.ID)))
+		h = binary.AppendUvarint(h, uint64(len(ent.Master)))
+	}
+	e.scratch = h
+	dst = binary.AppendUvarint(dst, uint64(len(e.scratch)))
+	dst = append(dst, e.scratch...)
+	for _, ent := range entries {
+		dst = append(dst, ent.ID...)
+		dst = append(dst, ent.Master...)
+	}
+	return dst, nil
+}
+
+// Fetch appends one session-secret pull frame for id.
+func (e *Encoder) Fetch(dst []byte, seq uint64, id []byte) ([]byte, error) {
+	if len(id) == 0 || len(id) > MaxSessionID {
+		return dst, fmt.Errorf("wire: fetch session ID %d bytes out of range [1,%d]", len(id), MaxSessionID)
+	}
+	h := binary.AppendUvarint(append(e.scratch[:0], FrameFetch), seq)
+	h = appendStr(h, id)
+	e.scratch = h
+	return e.finish(dst), nil
+}
+
+// FetchResp appends the answer to a Fetch: found=false carries no body.
+func (e *Encoder) FetchResp(dst []byte, seq uint64, master []byte, found bool) ([]byte, error) {
+	if found && (len(master) == 0 || len(master) > MaxMaster) {
+		return dst, fmt.Errorf("wire: fetched master %d bytes out of range [1,%d]", len(master), MaxMaster)
+	}
+	h := binary.AppendUvarint(append(e.scratch[:0], FrameFetchResp), seq)
+	if !found {
+		master = nil
+	}
+	var fb byte
+	if found {
+		fb = 1
+	}
+	h = append(h, fb)
+	h = binary.AppendUvarint(h, uint64(len(master)))
+	e.scratch = h
+	return e.finish(dst, master), nil
+}
+
 // hdrReader walks a bounded header buffer; the first malformed field
 // poisons it and every later read reports failure, so parse functions
 // check err once at the end instead of after every field.
@@ -588,4 +682,57 @@ func parsePong(hdr []byte) (seq uint64, loadUS int64, err error) {
 		return 0, 0, fmt.Errorf("wire: malformed pong header")
 	}
 	return seq, loadUS, nil
+}
+
+// parseReplicate parses a Replicate header: the per-entry (idLen,
+// masterLen) table appended to lens, plus the total body length the
+// entries occupy.  Replication runs off the hot path, so the appended
+// table may allocate.
+func parseReplicate(hdr []byte, lens [][2]int) (out [][2]int, bodyLen int, err error) {
+	r := hdrReader{b: hdr, off: 1}
+	r.uvarint() // seq: fire-and-forget, never answered
+	n := r.count(MaxReplicateBatch)
+	if n == 0 {
+		r.fail()
+	}
+	out = lens
+	for i := 0; i < n && !r.bad; i++ {
+		idLen := r.count(MaxSessionID)
+		masterLen := r.count(MaxMaster)
+		if idLen == 0 || masterLen == 0 {
+			r.fail()
+			break
+		}
+		out = append(out, [2]int{idLen, masterLen})
+		bodyLen += idLen + masterLen
+	}
+	if r.bad || r.off != len(hdr) {
+		return lens, 0, fmt.Errorf("wire: malformed replicate header")
+	}
+	return out, bodyLen, nil
+}
+
+// parseFetch returns the session ID a Fetch frame asks for; the ID
+// aliases hdr.
+func parseFetch(hdr []byte) (seq uint64, id []byte, err error) {
+	r := hdrReader{b: hdr, off: 1}
+	seq = r.uvarint()
+	id = r.bytes(MaxSessionID)
+	if r.bad || r.off != len(hdr) || len(id) == 0 {
+		return 0, nil, fmt.Errorf("wire: malformed fetch header")
+	}
+	return seq, id, nil
+}
+
+// parseFetchResp returns the verdict and body length of a FetchResp.
+func parseFetchResp(hdr []byte) (seq uint64, found bool, masterLen int, err error) {
+	r := hdrReader{b: hdr, off: 1}
+	seq = r.uvarint()
+	fb := r.byte()
+	masterLen = r.count(MaxMaster)
+	if r.bad || r.off != len(hdr) || fb > 1 ||
+		(fb == 1 && masterLen == 0) || (fb == 0 && masterLen != 0) {
+		return 0, false, 0, fmt.Errorf("wire: malformed fetch response header")
+	}
+	return seq, fb == 1, masterLen, nil
 }

@@ -260,4 +260,106 @@ grep -Eq '^wispgw_ejections_total [1-9]' "$TMP/gw_c.log" || {
     exit 1
 }
 echo "serve-cluster: phase C ok — killed backend ejected, zero client-visible failures"
+
+# ---- Phase D: replicated session resumption vs node loss (host speed) ----
+# A pure-resumption workload with one backend SIGKILLed mid-run, run twice:
+# with session-secret replication between the backends (-peers) and
+# without.  -split-us buckets outcomes into pre/post-kill windows.  The
+# gate: with replication on, the post-kill resumption rate stays within 10
+# points of pre-kill (survivors serve the dead node's sessions from their
+# replicas or pull them from each other), with zero mismatches and zero
+# client-visible errors; with replication off, at least one displaced
+# client falls back to a full handshake — the old behavior this feature
+# removes — and never more fallbacks on than off.  The split lands just
+# BEFORE the kill so every post-kill request is counted late.
+KILL_ARGS="-proto wire -clients 16 -n 36 -ops handshake -mix 1k -resume-ratio 1 -think-us 120000 -split-us 1800000 -seed 11"
+
+run_kill_leg() {
+    leg="$1" report="$2" peered="$3"
+    if [ "$peered" = "peered" ]; then
+        boot_node 1 "node_d1_$leg.log" -shards 1 -seed 1 -replica-r 2 \
+            -peers "@$TMP/wire2,@$TMP/wire3"
+        boot_node 2 "node_d2_$leg.log" -shards 1 -seed 2 -replica-r 2 \
+            -peers "@$TMP/wire1,@$TMP/wire3"
+        boot_node 3 "node_d3_$leg.log" -shards 1 -seed 3 -replica-r 2 \
+            -peers "@$TMP/wire1,@$TMP/wire2"
+    else
+        boot_node 1 "node_d1_$leg.log" -shards 1 -seed 1
+        boot_node 2 "node_d2_$leg.log" -shards 1 -seed 2
+        boot_node 3 "node_d3_$leg.log" -shards 1 -seed 3
+    fi
+    VICTIM_PID="$(echo $NODE_PIDS | awk '{print $1}')"
+    boot_gw "gw_d_$leg.log" "$(cat "$TMP/wire1"),$(cat "$TMP/wire2"),$(cat "$TMP/wire3")"
+    echo "serve-cluster: phase D ($leg) cluster up; killing one backend mid-run"
+    # shellcheck disable=SC2086
+    "$BIN/wispload" -addr "$(cat "$TMP/gwwire")" $KILL_ARGS -json -stats=false \
+        >"$TMP/$report" &
+    LOAD_PID=$!
+    sleep 2
+    kill -9 "$VICTIM_PID" 2>/dev/null || true
+    wait "$VICTIM_PID" 2>/dev/null || true
+    NODE_PIDS="$(echo $NODE_PIDS | awk '{$1=""; print}')"
+    wait "$LOAD_PID" || {
+        echo "serve-cluster: load generator failed during $leg kill leg" >&2
+        cat "$TMP/$report" >&2 || true
+        exit 1
+    }
+    drain_all "gw_d_$leg.log" "node_d2_$leg.log" "node_d3_$leg.log"
+    check_clean "replication $leg" "$TMP/$report"
+    grep -q '"errors": 0' "$TMP/$report" || {
+        echo "serve-cluster: client-visible errors in $leg kill leg" >&2
+        grep -E '"(errors|shed|ok)":' "$TMP/$report" >&2 || true
+        exit 1
+    }
+}
+
+run_kill_leg on report_repl_on.json peered
+run_kill_leg off report_repl_off.json plain
+
+on_early_ok="$(json_field early_ok "$TMP/report_repl_on.json")"
+on_early_res="$(json_field early_resumed "$TMP/report_repl_on.json")"
+on_late_ok="$(json_field late_ok "$TMP/report_repl_on.json")"
+on_late_res="$(json_field late_resumed "$TMP/report_repl_on.json")"
+off_late_ok="$(json_field late_ok "$TMP/report_repl_off.json")"
+off_late_res="$(json_field late_resumed "$TMP/report_repl_off.json")"
+awk -v eo="$on_early_ok" -v er="$on_early_res" \
+    -v lo="$on_late_ok" -v lr="$on_late_res" \
+    -v flo="$off_late_ok" -v flr="$off_late_res" 'BEGIN {
+    if (eo == 0 || lo == 0 || flo == 0 || er == 0) exit 1
+    erate = 100 * er / eo; lrate = 100 * lr / lo
+    printf "serve-cluster: replication on — resumed %.1f%% pre-kill vs %.1f%% post-kill\n", erate, lrate
+    on_fb = lo - lr; off_fb = flo - flr
+    printf "serve-cluster: post-kill full-handshake fallbacks: %d with replication, %d without\n", on_fb, off_fb
+    if (lrate < erate - 10) exit 1   # replication must hold the post-kill rate
+    if (off_fb < 1) exit 1           # replication-off must reproduce the old fallback
+    if (on_fb > off_fb) exit 1       # replication must never fall back more than off
+    exit 0
+}' || {
+    echo "serve-cluster: replicated resumption did not survive the node kill" >&2
+    grep -E '"(early|late)_(ok|resumed|resume_asked)":' "$TMP/report_repl_on.json" >&2 || true
+    grep -E '"(early|late)_(ok|resumed|resume_asked)":' "$TMP/report_repl_off.json" >&2 || true
+    exit 1
+}
+# The survivors must have actually replicated (push or pull), and the
+# routing tier must have failed resumes over to ring successors.
+grep -h '^wispd: replication' "$TMP/node_d2_on.log" "$TMP/node_d3_on.log" \
+    | awk '{pushed += $4} END {exit !(pushed >= 1)}' || {
+    echo "serve-cluster: no session secrets were replicated in the on leg" >&2
+    grep -h 'replication' "$TMP"/node_d*_on.log >&2 || true
+    exit 1
+}
+grep -Eq '^wispgw_resume_failover_total [1-9]' "$TMP/gw_d_on.log" || {
+    echo "serve-cluster: no resume was failed over to a ring successor" >&2
+    grep -E '^wispgw_' "$TMP/gw_d_on.log" >&2 || true
+    exit 1
+}
+# Fold the on-leg replication counters into the phase B benchmark record
+# so BENCH_cluster.json carries the replication health of the same build.
+repl_line="$(grep -h '^wispd: replication' "$TMP/node_d2_on.log" "$TMP/node_d3_on.log" \
+    | awk '{p += $4; d += $6; f += $8; m += $10} END {
+        printf "  \"replication\": {\"pushed\": %d, \"dropped\": %d, \"fetched\": %d, \"fetch_miss\": %d},", p, d, f, m}')"
+awk -v line="$repl_line" 'NR == 1 { print; print line; next } { print }' \
+    "$BENCH_CLUSTER_JSON" >"$TMP/bench_with_repl.json"
+mv "$TMP/bench_with_repl.json" "$BENCH_CLUSTER_JSON"
+echo "serve-cluster: phase D ok — replicated sessions resumed across the kill"
 echo "serve-cluster: ok"
