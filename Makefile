@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test check race lint fuzz bench bench-alloc bins serve-smoke serve-bench serve-attack serve-cluster bench-json bench-check
+.PHONY: all build test check race lint fuzz fuzz-seeds cover bench bench-alloc bench-batch bins serve-smoke serve-bench serve-attack serve-cluster bench-json bench-check
 
 all: build test
 
@@ -34,14 +34,29 @@ lint:
 		echo "staticcheck: not installed, skipped (CI runs it)"; fi
 
 # Bursts of the native fuzz targets (differential vs math/big); the
-# nightly workflow raises FUZZTIME to 5m per target.  The checked-in seed
-# corpora under testdata/fuzz always run as part of plain `make test`.
+# nightly workflow raises FUZZTIME to 5m per target.  The target list is
+# derived from `go test -list` so a new Fuzz* function is picked up here
+# and in nightly.yml without editing either.  The checked-in seed corpora
+# under testdata/fuzz always run as part of plain `make test`.
 fuzz:
-	$(GO) test -fuzz FuzzMpnDiv -fuzztime $(FUZZTIME) ./internal/mpn/
-	$(GO) test -fuzz FuzzModMul -fuzztime $(FUZZTIME) ./internal/mpz/
-	$(GO) test -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/ssl/
-	$(GO) test -fuzz FuzzClientAccounting -fuzztime $(FUZZTIME) ./internal/serve/
-	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME) ./internal/wire/
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		for t in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz' || true); do \
+			echo "==> $$t ($$pkg)"; \
+			$(GO) test -fuzz "^$$t$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
+# fuzz-seeds replays only the checked-in seed corpora (every Fuzz*
+# function once per seed, no fuzzing) — the cheap CI smoke of the
+# differential targets.
+fuzz-seeds:
+	$(GO) test -run '^Fuzz' ./...
+
+# cover runs the tier-1 suite once with coverage and prints the
+# per-package summary; CI uploads coverage.out as an artifact.
+cover:
+	$(GO) test -coverprofile coverage.out -covermode atomic ./...
+	$(GO) tool cover -func coverage.out | tail -n 25
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -57,6 +72,17 @@ bench-alloc:
 	$(GO) test -bench 'ServeRecordOp|ServeResumedTransaction' -benchmem -run '^$$' ./internal/serve/
 	$(GO) test -bench 'WireEncode|WireParse' -benchmem -run '^$$' ./internal/wire/
 	$(GO) test -bench 'GetPut' -benchmem -run '^$$' ./internal/bufpool/
+
+# bench-batch is the batched-kernel perf gate: measure the
+# BenchmarkBatchModExp1024/k={1,2,4,8} family fresh, gate ns/op and
+# allocs/op against the checked-in baseline (>25% fails), and require
+# k=4 to beat four scalar k=1 calls per lane by the recorded margin
+# (see EXPERIMENTS.md).  Refresh the baseline on a quiet machine with:
+#   bin/benchcmp -go-bench-current BENCH_batch.txt -go-bench-out bench/BENCH_batch.baseline.json
+bench-batch: bins
+	$(GO) test -bench 'BenchmarkBatchModExp1024' -benchmem -benchtime 20x -run '^$$' ./internal/mpz/ | tee BENCH_batch.txt
+	bin/benchcmp -go-bench-baseline bench/BENCH_batch.baseline.json -go-bench-current BENCH_batch.txt \
+		-assert-lane-speedup 'BatchModExp1024/k=4<BatchModExp1024/k=1' -lane-factor 0.85
 
 bins:
 	$(GO) build -o bin/wispd ./cmd/wispd

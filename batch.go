@@ -1,0 +1,163 @@
+package wisp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wisp/internal/adcurve"
+	"wisp/internal/instrsel"
+	"wisp/internal/macromodel"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+	"wisp/internal/tie"
+)
+
+// Batch-width exploration.  The lockstep engine (mpz.BatchExp) turns k
+// queued private-key ops into fused mpn_addmul_1x<k> kernel calls, which
+// a hardware platform serves with a k-lane MAC array: more lanes cost
+// multiplier/adder/register area and buy per-op cycles.  That makes the
+// batch width a design axis exactly like the paper's vector-adder and
+// MAC widths, so it gets the same treatment — price each width with the
+// trace + macro-model flow, attach the lane hardware's area, and reduce
+// the (area, per-op delay) points to a Pareto frontier for selection.
+
+// BatchDesignPoint is one explored batch width.
+type BatchDesignPoint struct {
+	Width         int     // lanes fused per engine call
+	CyclesPerLane float64 // modeled cycles per decrypt at this width
+	TotalCycles   float64 // modeled cycles for one full k-wide batch
+	Speedup       float64 // per-lane speedup over the scalar width-1 engine
+	AreaGates     float64 // gate area of the k-lane MAC array (0 for width 1)
+	OnFrontier    bool    // survives Pareto reduction over (area, delay)
+}
+
+// BatchFrontierReport is the outcome of a batch-width exploration.
+type BatchFrontierReport struct {
+	Points     []BatchDesignPoint   // one per requested width, input order
+	Frontier   adcurve.Curve        // Pareto frontier over (area, per-lane cycles)
+	Selections []instrsel.Selection // best width per area budget
+}
+
+// batchMAC is the k-lane MAC array instruction backing a fused
+// mpn_addmul_1x<k> kernel: k multipliers and k carry-resolving adders
+// with per-lane 64-bit accumulator state.
+func batchMAC(k int) *tie.Instr {
+	return &tie.Instr{
+		Name:   fmt.Sprintf("bmac%d", k),
+		Family: "mpn.batchmac", Kind: "bmac", Rank: k, Latency: 2,
+		Res: tie.Resources{Mults: k, Adders: k, RegBits: 64 * k},
+	}
+}
+
+// BatchFrontier explores batch width as a hardware axis: for every
+// width it traces one k-wide CRT decrypt through the lockstep engine,
+// prices the trace with the base kernel models plus derived k-lane
+// variants (macromodel.BatchModel at DefaultLaneSerialFrac), and
+// reduces the resulting (area, per-lane cycles) points to a Pareto
+// frontier with per-budget selections.  widths nil defaults to
+// {1, 2, 4, 8}; rsaBits 0 uses the platform key size.
+func (p *Platform) BatchFrontier(widths []int, rsaBits int) (*BatchFrontierReport, error) {
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4, 8}
+	}
+	if rsaBits == 0 {
+		rsaBits = p.opts.RSABits
+	}
+	maxK := 1
+	for _, k := range widths {
+		if k < 1 {
+			return nil, fmt.Errorf("wisp: batch width %d must be ≥ 1", k)
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+
+	rng := rand.New(rand.NewSource(p.opts.Seed + 60))
+	key, err := rsakey.GenerateKey(rng, rsaBits)
+	if err != nil {
+		return nil, fmt.Errorf("wisp: generating %d-bit exploration key: %w", rsaBits, err)
+	}
+
+	// Extend the base estimators with derived models for every fused
+	// width the traces can record (intermediate widths appear when lanes
+	// leave lockstep, so cover 2..maxK, not just the requested widths).
+	est := p.BaseModels.Estimators()
+	base, ok := p.BaseModels.Get("mpn_addmul_1")
+	if !ok {
+		return nil, fmt.Errorf("wisp: no base model for mpn_addmul_1")
+	}
+	for k := 2; k <= maxK; k++ {
+		m, err := macromodel.BatchModel(base, k, macromodel.DefaultLaneSerialFrac)
+		if err != nil {
+			return nil, err
+		}
+		est[m.Routine] = m.Estimate
+	}
+
+	perLane := func(k int) (float64, error) {
+		lrng := rand.New(rand.NewSource(p.opts.Seed + 61))
+		cs := make([]*mpz.Int, k)
+		for i := range cs {
+			cs[i] = mpz.RandBelow(lrng, key.N)
+		}
+		tr := mpz.NewTrace()
+		e, err := rsakey.NewEngine(mpz.NewCtx(tr), OptimizedExpConfig, rsakey.CRTGarner, 4, 0)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := e.DecryptBatch(key, cs); err != nil {
+			return 0, err
+		}
+		cycles, missing := tr.EstimateCycles(est)
+		if len(missing) != 0 {
+			return 0, fmt.Errorf("wisp: no macro-models for %v", missing)
+		}
+		return cycles / float64(k), nil
+	}
+
+	scalar, err := perLane(1)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BatchFrontierReport{}
+	var curve adcurve.Curve
+	for _, k := range widths {
+		lane := scalar
+		if k != 1 {
+			if lane, err = perLane(k); err != nil {
+				return nil, err
+			}
+		}
+		set := adcurve.NewInstrSet()
+		if k > 1 {
+			set = adcurve.NewInstrSet(batchMAC(k))
+		}
+		pt := adcurve.Point{Cycles: lane, Set: set}
+		curve = append(curve, pt)
+		rep.Points = append(rep.Points, BatchDesignPoint{
+			Width:         k,
+			CyclesPerLane: lane,
+			TotalCycles:   lane * float64(k),
+			Speedup:       scalar / lane,
+			AreaGates:     pt.Area(),
+		})
+	}
+	rep.Frontier = adcurve.Pareto(curve)
+	onFrontier := make(map[string]float64, len(rep.Frontier))
+	for _, pt := range rep.Frontier {
+		onFrontier[pt.Set.Key()] = pt.Cycles
+	}
+	budgets := make([]float64, 0, len(rep.Points))
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		if c, ok := onFrontier[curve[i].Set.Key()]; ok && c == p.CyclesPerLane {
+			p.OnFrontier = true
+		}
+		budgets = append(budgets, p.AreaGates)
+	}
+	sort.Float64s(budgets)
+	rep.Selections = instrsel.Sweep(rep.Frontier, budgets)
+	return rep, nil
+}

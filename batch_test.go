@@ -1,0 +1,56 @@
+package wisp
+
+import "testing"
+
+func TestBatchFrontierShape(t *testing.T) {
+	rep, err := testPlatform.BatchFrontier([]int{1, 2, 4, 8}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("points: %d, want 4", len(rep.Points))
+	}
+	for i, pt := range rep.Points {
+		if pt.CyclesPerLane <= 0 {
+			t.Errorf("width %d: nonpositive cycles %g", pt.Width, pt.CyclesPerLane)
+		}
+		if i > 0 {
+			prev := rep.Points[i-1]
+			// Wider lanes cost area and (under a serial fraction < 1) buy
+			// per-lane cycles; both axes must be strictly monotone.
+			if pt.AreaGates <= prev.AreaGates {
+				t.Errorf("width %d: area %g not above width %d's %g",
+					pt.Width, pt.AreaGates, prev.Width, prev.AreaGates)
+			}
+			if pt.CyclesPerLane >= prev.CyclesPerLane {
+				t.Errorf("width %d: per-lane cycles %g not below width %d's %g",
+					pt.Width, pt.CyclesPerLane, prev.Width, prev.CyclesPerLane)
+			}
+		}
+	}
+	if p1 := rep.Points[0]; p1.Width != 1 || p1.AreaGates != 0 || p1.Speedup != 1 {
+		t.Errorf("width-1 point malformed: %+v", p1)
+	}
+	// Strictly monotone in both axes means every width is Pareto-optimal.
+	if len(rep.Frontier) != 4 {
+		t.Errorf("frontier has %d points, want 4", len(rep.Frontier))
+	}
+	for _, pt := range rep.Points {
+		if !pt.OnFrontier {
+			t.Errorf("width %d not marked on frontier", pt.Width)
+		}
+	}
+	if len(rep.Selections) == 0 {
+		t.Fatal("no selections")
+	}
+	last := rep.Selections[len(rep.Selections)-1]
+	if want := rep.Points[3].Speedup; last.Speedup() < want*0.99 || last.Speedup() > want*1.01 {
+		t.Errorf("largest-budget selection speedup %g, want ≈%g", last.Speedup(), want)
+	}
+}
+
+func TestBatchFrontierRejectsBadWidth(t *testing.T) {
+	if _, err := testPlatform.BatchFrontier([]int{0}, 512); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+}

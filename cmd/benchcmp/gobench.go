@@ -1,0 +1,200 @@
+package main
+
+// Go-benchmark gate mode: instead of serve-bench records, compare the
+// raw output of `go test -bench` against a checked-in JSON baseline.
+// This is how the batched-kernel gate (make bench-batch) runs: the
+// BenchmarkBatchModExp1024/k=N family is measured fresh, each bench's
+// ns/op and allocs/op are gated against bench/BENCH_batch.baseline.json,
+// and -assert-lane-speedup enforces the per-lane win that justifies the
+// batched engine (k=4 must beat four scalar k=1 calls by a margin).
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	goBenchCurrent = flag.String("go-bench-current", "",
+		"raw `go test -bench` output to gate (selects go-benchmark mode)")
+	goBenchBaseline = flag.String("go-bench-baseline", "",
+		"checked-in go-benchmark baseline JSON to gate against")
+	goBenchOut = flag.String("go-bench-out", "",
+		"write the current go-benchmark results as a new baseline JSON and exit")
+	assertLaneSpeedup = flag.String("assert-lane-speedup", "",
+		"A/B assertion 'A<B': require bench A's per-lane ns/op below bench B's per-lane ns/op x -lane-factor (lanes parsed from a /k=N name suffix)")
+	laneFactor = flag.Float64("lane-factor", 1.0,
+		"slack multiplier for -assert-lane-speedup (0.85 = A's per-lane cost must be at least 15% below B's)")
+)
+
+// goBenchResult is one benchmark's measured columns.
+type goBenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// goBenchFile is the checked-in baseline schema.
+type goBenchFile struct {
+	Schema     int                      `json:"schema"`
+	Benchmarks map[string]goBenchResult `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkBatchModExp1024/k=4-8  20  7581234 ns/op  1868 B/op  9 allocs/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// gomaxprocsSuffix is the -N name suffix go test appends when
+// GOMAXPROCS > 1; stripping it keeps baselines portable across hosts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseGoBench reads raw `go test -bench` output into results keyed by
+// benchmark name (Benchmark prefix and GOMAXPROCS suffix stripped).
+func parseGoBench(path string) (map[string]goBenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]goBenchResult)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		var r goBenchResult
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		out[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	return out, nil
+}
+
+// lanes extracts the lane count from a /k=N benchmark name suffix
+// (1 when absent), so per-lane costs compare across batch widths.
+func lanes(name string) int {
+	if i := strings.LastIndex(name, "/k="); i >= 0 {
+		if k, err := strconv.Atoi(name[i+3:]); err == nil && k > 0 {
+			return k
+		}
+	}
+	return 1
+}
+
+// runGoBench is the go-benchmark gate: regression check of the current
+// run against the baseline (ns/op and allocs/op beyond the thresholds
+// fail), plus the optional per-lane A/B assertion.
+func runGoBench(threshold, allocThreshold float64) {
+	cur, err := parseGoBench(*goBenchCurrent)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *goBenchOut != "" {
+		out := goBenchFile{Schema: 1, Benchmarks: cur}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*goBenchOut, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcmp: wrote %d benchmarks to %s\n", len(cur), *goBenchOut)
+		return
+	}
+
+	var failures []string
+	if *goBenchBaseline != "" {
+		raw, err := os.ReadFile(*goBenchBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base goBenchFile
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *goBenchBaseline, err))
+		}
+		names := make([]string, 0, len(base.Benchmarks))
+		for name := range base.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := base.Benchmarks[name]
+			c, ok := cur[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("bench %q in baseline but not in current run", name))
+				continue
+			}
+			if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+threshold) {
+				failures = append(failures, fmt.Sprintf(
+					"bench %q ns/op %.0f is %.0f%% above baseline %.0f",
+					name, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), b.NsPerOp))
+			} else {
+				fmt.Printf("ok: bench %q ns/op %.0f vs baseline %.0f\n", name, c.NsPerOp, b.NsPerOp)
+			}
+			// allocs/op is near-deterministic; gate with the fractional
+			// threshold plus two allocations of absolute grace so tiny
+			// counts (3 vs 4) don't flap.
+			if limit := b.AllocsPerOp*(1+allocThreshold) + 2; c.AllocsPerOp > limit {
+				failures = append(failures, fmt.Sprintf(
+					"bench %q allocs/op %.0f above baseline %.0f (limit %.1f)",
+					name, c.AllocsPerOp, b.AllocsPerOp, limit))
+			}
+		}
+	}
+
+	if *assertLaneSpeedup != "" {
+		parts := strings.SplitN(*assertLaneSpeedup, "<", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			fatal(fmt.Errorf("bad -assert-lane-speedup spec %q (want 'A<B')", *assertLaneSpeedup))
+		}
+		a, ok := cur[parts[0]]
+		if !ok {
+			fatal(fmt.Errorf("current run has no bench %q", parts[0]))
+		}
+		b, ok := cur[parts[1]]
+		if !ok {
+			fatal(fmt.Errorf("current run has no bench %q", parts[1]))
+		}
+		perA := a.NsPerOp / float64(lanes(parts[0]))
+		perB := b.NsPerOp / float64(lanes(parts[1]))
+		bound := perB * *laneFactor
+		if perA >= bound {
+			failures = append(failures, fmt.Sprintf(
+				"%q per-lane %.0f ns not below %q per-lane %.0f ns x %.2f = %.0f ns",
+				parts[0], perA, parts[1], perB, *laneFactor, bound))
+		} else {
+			fmt.Printf("benchcmp: %q per-lane %.0f ns vs %q per-lane %.0f ns — per-lane speedup %.2fx\n",
+				parts[0], perA, parts[1], perB, perB/perA)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d go-benchmark failure(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: go-benchmark gate passed")
+}

@@ -47,7 +47,18 @@ func main() {
 		"slack multiplier for -assert-p99-lt: require curOp p99 < baseOp p99 x factor (1.0 = strictly lower; the fairness gate uses 1.5)")
 	label := flag.String("label", "",
 		"require the current record to carry this experiment label (and the baseline to carry it or be unlabeled)")
+	assertRPS := flag.Bool("assert-rps-gt", false,
+		"A/B assertion: require the current record's throughput above the baseline's x -rps-factor with zero digest mismatches in either record (skips the regression comparison)")
+	rpsFactor := flag.Float64("rps-factor", 1.0,
+		"margin multiplier for -assert-rps-gt (1.1 = current must beat baseline by 10%)")
 	flag.Parse()
+
+	// Go-benchmark mode (gobench.go) gates `go test -bench` output
+	// instead of serve-bench records.
+	if *goBenchCurrent != "" {
+		runGoBench(*threshold, *allocThreshold)
+		return
+	}
 
 	base, err := serve.ReadBenchRecord(*baselinePath)
 	if err != nil {
@@ -61,6 +72,10 @@ func main() {
 		fatal(err)
 	}
 
+	if *assertRPS {
+		assertRPSGT(*rpsFactor, base, cur)
+		return
+	}
 	if *assertLt != "" {
 		assertP99LT(*assertLt, *p99Factor, base, cur)
 		return
@@ -194,6 +209,29 @@ func assertP99LT(spec string, factor float64, base, cur *serve.BenchRecord) {
 	fmt.Printf("benchcmp: %q p99 %dµs (n=%d, p50 %dµs) within %.2fx of %q p99 %dµs (n=%d, p50 %dµs) — ratio %.2f\n",
 		curOp, c.P99US, c.Count, c.P50US, factor, baseOp, b.P99US, b.Count, b.P50US,
 		float64(c.P99US)/float64(b.P99US))
+}
+
+// assertRPSGT is the serve-bench batched A/B contract: the current
+// (batched) record must deliver throughput above the baseline (scalar)
+// record times factor, with zero digest mismatches on either side.
+func assertRPSGT(factor float64, base, cur *serve.BenchRecord) {
+	if factor <= 0 {
+		fatal(fmt.Errorf("bad -rps-factor %g (must be positive)", factor))
+	}
+	if base.Mismatches > 0 || cur.Mismatches > 0 {
+		fatal(fmt.Errorf("digest mismatches present (baseline %d, current %d)", base.Mismatches, cur.Mismatches))
+	}
+	if base.ThroughputRPS <= 0 || cur.ThroughputRPS <= 0 {
+		fatal(fmt.Errorf("empty throughput: baseline %.1f rps, current %.1f rps",
+			base.ThroughputRPS, cur.ThroughputRPS))
+	}
+	bound := base.ThroughputRPS * factor
+	if cur.ThroughputRPS <= bound {
+		fatal(fmt.Errorf("throughput %.1f rps not above baseline %.1f rps x %.2f = %.1f rps",
+			cur.ThroughputRPS, base.ThroughputRPS, factor, bound))
+	}
+	fmt.Printf("benchcmp: throughput %.1f rps above baseline %.1f rps x %.2f — ratio %.2f\n",
+		cur.ThroughputRPS, base.ThroughputRPS, factor, cur.ThroughputRPS/base.ThroughputRPS)
 }
 
 func fatal(err error) {

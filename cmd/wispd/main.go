@@ -54,6 +54,8 @@ func main() {
 	shards := flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "per-shard queue depth")
 	batch := flag.Int("batch", 16, "max requests drained per shard cycle")
+	batchWidth := flag.Int("batch-width", 0, "RSA ops folded into one batched engine call per drain (0 = default 4; 1 = scalar)")
+	batchGather := flag.Int64("batch-gather-us", 0, "micro-batching window in µs: how long a shard waits to top an under-width RSA batch up before serving it (0 = no wait)")
 	dispatch := flag.String("dispatch", serve.DispatchCost,
 		"admission policy: cost (power-of-two-choices over per-op backlog estimates, with work stealing) or rr (blind round-robin)")
 	rsaBits := flag.Int("rsabits", 512, "gateway handshake key size")
@@ -78,16 +80,18 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{
-		Shards:     *shards,
-		QueueDepth: *queue,
-		BatchMax:   *batch,
-		RSABits:    *rsaBits,
-		RecordSize: *record,
-		Dispatch:   *dispatch,
-		Seed:       *seed,
-		SessionCap: *sessionCap,
-		SessionTTL: *sessionTTL,
-		PaceHz:     *paceHz,
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		BatchMax:      *batch,
+		BatchWidth:    *batchWidth,
+		BatchGatherUS: *batchGather,
+		RSABits:       *rsaBits,
+		RecordSize:    *record,
+		Dispatch:      *dispatch,
+		Seed:          *seed,
+		SessionCap:    *sessionCap,
+		SessionTTL:    *sessionTTL,
+		PaceHz:        *paceHz,
 
 		ClientRateUS:  *clientRate,
 		ClientBurstUS: *clientBurst,

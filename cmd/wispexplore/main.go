@@ -8,17 +8,21 @@
 //
 //	wispexplore [-bits 512] [-top 10] [-replay 3] [-callgraph]
 //	            [-workers N] [-compare] [-quiet]
+//	wispexplore -batch [-batch-widths 1,2,4,8] [-bits 512]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"wisp"
 	"wisp/internal/explore"
+	"wisp/internal/macromodel"
 )
 
 func main() {
@@ -30,11 +34,22 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for candidate evaluation (0 = GOMAXPROCS)")
 	compare := flag.Bool("compare", false, "also run the sequential pass and report the parallel speedup")
 	quiet := flag.Bool("quiet", false, "suppress progress reporting on stderr")
+	batch := flag.Bool("batch", false, "explore batch width as a hardware axis and print the area-delay frontier")
+	batchWidths := flag.String("batch-widths", "1,2,4,8", "comma-separated lane counts for -batch")
 	flag.Parse()
 
 	p, err := wisp.New(wisp.Options{RSABits: *bits})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *batch {
+		widths, err := parseWidths(*batchWidths)
+		if err != nil {
+			fatal(err)
+		}
+		runBatchFrontier(p, widths, *bits)
+		return
 	}
 
 	if *callGraph {
@@ -105,6 +120,49 @@ func main() {
 		fmt.Printf("\nISS ground truth (%d candidates replayed):\n", rep.ReplayCount)
 		fmt.Printf("  macro-model mean abs. error: %.2f%%\n", rep.MeanAbsErrPct)
 		fmt.Printf("  estimation speedup over full ISS evaluation: %.0f×\n", rep.SpeedRatio)
+	}
+}
+
+func parseWidths(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad batch width %q: %w", f, err)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// runBatchFrontier prints the batch-width area-delay frontier: one
+// design point per lane count, the Pareto survivors, and the selection
+// each area budget admits.
+func runBatchFrontier(p *wisp.Platform, widths []int, bits int) {
+	fmt.Printf("exploring batch width on an RSA-%d decryption workload (serial fraction %.2f)...\n\n",
+		bits, macromodel.DefaultLaneSerialFrac)
+	rep, err := p.BatchFrontier(widths, bits)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-6s %14s %14s %9s %12s %s\n",
+		"width", "cycles/op", "cycles/batch", "speedup", "area(gates)", "frontier")
+	for _, pt := range rep.Points {
+		mark := ""
+		if pt.OnFrontier {
+			mark = "*"
+		}
+		fmt.Printf("%-6d %14.0f %14.0f %8.2fx %12.0f %8s\n",
+			pt.Width, pt.CyclesPerLane, pt.TotalCycles, pt.Speedup, pt.AreaGates, mark)
+	}
+	fmt.Printf("\n%d of %d widths survive Pareto reduction\n", len(rep.Frontier), len(rep.Points))
+	fmt.Println("\nselection per area budget:")
+	for _, sel := range rep.Selections {
+		fmt.Printf("  %s\n", sel)
 	}
 }
 

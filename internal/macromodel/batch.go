@@ -1,0 +1,88 @@
+package macromodel
+
+import "fmt"
+
+// Batched-kernel derivation.  The lockstep engine issues one fused
+// mpn_addmul_1x<k> call where the scalar path issues k mpn_addmul_1
+// calls over the same limb count, so a k-lane macro-model follows from
+// the scalar fit by scaling the size-dependent work: a k-wide MAC array
+// retires the k partial products of one limb column concurrently, but a
+// serial fraction of each call — carry resolution across the fused
+// accumulators, operand staging, loop control — does not parallelize and
+// grows with the lane count.  cycles_k(n) ≈ c0 + k·serialFrac-adjusted
+// work is captured by scaling every size-dependent coefficient by
+// 1 + (k-1)·serialFrac: serialFrac 0 models perfect k-way overlap
+// (cycles_k = cycles_1, i.e. k× per-lane speedup), serialFrac 1 models
+// no overlap at all (cycles_k = k·cycles_1).
+
+// DefaultLaneSerialFrac is the serial fraction used for batched-kernel
+// models when no measured value is supplied.  The host measurement in
+// EXPERIMENTS.md (k=4 per-lane speedup ≈ 1.7× on a 2-lane-fused core)
+// corresponds to ≈ 0.45 on commodity registers; a TIE MAC array with
+// per-lane accumulators does better, so the model defaults slightly
+// more optimistic.
+const DefaultLaneSerialFrac = 0.35
+
+// BatchModel derives the k-lane variant of a fitted scalar kernel
+// model.  The returned model is named <routine>x<k> to match the
+// batched rows a traced lockstep run records.
+func BatchModel(base *Model, k int, serialFrac float64) (*Model, error) {
+	if base == nil {
+		return nil, fmt.Errorf("macromodel: batch model needs a base model")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("macromodel: lane count %d must be ≥ 1", k)
+	}
+	if serialFrac < 0 || serialFrac > 1 {
+		return nil, fmt.Errorf("macromodel: serial fraction %g outside [0,1]", serialFrac)
+	}
+	scale := 1 + float64(k-1)*serialFrac
+	m := &Model{
+		Routine: fmt.Sprintf("%sx%d", base.Routine, k),
+		Basis:   base.Basis,
+		Coef:    append([]float64(nil), base.Coef...),
+		Knots:   append([]int(nil), base.Knots...),
+		R2:      base.R2,
+		MAEPct:  base.MAEPct,
+		Points:  base.Points,
+	}
+	switch base.Basis {
+	case BasisConstant:
+		// A constant model is all per-call work; scale it whole.
+		m.Coef[0] *= scale
+	case BasisLinear, BasisQuadratic:
+		// Size-dependent terms scale; the per-call intercept is paid once
+		// per fused call either way.
+		for i := 1; i < len(m.Coef); i++ {
+			m.Coef[i] *= scale
+		}
+	case BasisPiecewiseLinear:
+		for i := range m.Coef {
+			m.Coef[i] *= scale
+		}
+	default:
+		return nil, fmt.Errorf("macromodel: unknown basis %v", base.Basis)
+	}
+	return m, nil
+}
+
+// AddBatchModels derives and inserts k-lane variants of one routine's
+// model for every width in ks (width 1 is skipped — the scalar model
+// already covers it).
+func (s *ModelSet) AddBatchModels(routine string, ks []int, serialFrac float64) error {
+	base, ok := s.Get(routine)
+	if !ok {
+		return fmt.Errorf("macromodel: no base model for %s", routine)
+	}
+	for _, k := range ks {
+		if k == 1 {
+			continue
+		}
+		m, err := BatchModel(base, k, serialFrac)
+		if err != nil {
+			return err
+		}
+		s.Add(m)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package macromodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatchModelScaling(t *testing.T) {
+	base := &Model{Routine: "mpn_addmul_1", Basis: BasisLinear, Coef: []float64{40, 5}}
+	for _, tc := range []struct {
+		k          int
+		serialFrac float64
+		n          int
+		want       float64
+	}{
+		{1, 0.5, 32, 40 + 5*32},       // k=1 is the base model
+		{4, 0, 32, 40 + 5*32},         // perfect overlap: same cycles for 4 lanes
+		{4, 1, 32, 40 + 4*5*32},       // no overlap: 4x the linear work
+		{2, 0.5, 16, 40 + 1.5*5*16},   // half-serial intermediate
+		{8, 0.25, 64, 40 + 2.75*5*64}, // 1 + 7*0.25
+	} {
+		m, err := BatchModel(base, tc.k, tc.serialFrac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Estimate(tc.n); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("k=%d f=%g n=%d: got %g want %g", tc.k, tc.serialFrac, tc.n, got, tc.want)
+		}
+	}
+	if m, _ := BatchModel(base, 4, 0.5); m.Routine != "mpn_addmul_1x4" {
+		t.Errorf("routine name %q", m.Routine)
+	}
+	// The base model must not be mutated by derivation.
+	if base.Coef[1] != 5 {
+		t.Errorf("base model coefficients mutated: %v", base.Coef)
+	}
+}
+
+func TestBatchModelPiecewiseAndConstant(t *testing.T) {
+	pw := &Model{Routine: "r", Basis: BasisPiecewiseLinear, Knots: []int{8, 16}, Coef: []float64{100, 200}}
+	m, err := BatchModel(pw, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate(16); math.Abs(got-300) > 1e-9 {
+		t.Errorf("piecewise k=2: got %g want 300", got)
+	}
+	c := &Model{Routine: "c", Basis: BasisConstant, Coef: []float64{10}}
+	m, err = BatchModel(c, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("constant k=3: got %g want 20", got)
+	}
+}
+
+func TestBatchModelErrors(t *testing.T) {
+	base := &Model{Routine: "r", Basis: BasisLinear, Coef: []float64{1, 1}}
+	if _, err := BatchModel(nil, 2, 0.5); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := BatchModel(base, 0, 0.5); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := BatchModel(base, 2, 1.5); err == nil {
+		t.Error("serial fraction > 1 accepted")
+	}
+}
+
+func TestAddBatchModels(t *testing.T) {
+	s := NewModelSet()
+	s.Add(&Model{Routine: "mpn_addmul_1", Basis: BasisLinear, Coef: []float64{40, 5}})
+	if err := s.AddBatchModels("mpn_addmul_1", []int{1, 2, 4, 8}, DefaultLaneSerialFrac); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mpn_addmul_1x2", "mpn_addmul_1x4", "mpn_addmul_1x8"} {
+		if _, ok := s.Get(name); !ok {
+			t.Errorf("missing derived model %s", name)
+		}
+	}
+	if _, ok := s.Get("mpn_addmul_1x1"); ok {
+		t.Error("x1 variant should not be derived")
+	}
+	if err := s.AddBatchModels("nope", []int{2}, 0.5); err == nil {
+		t.Error("missing base accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package mpn
+
+// Multi-operand (batched) Montgomery reduction.  MontRedcLanes advances k
+// independent CIOS reductions over one shared modulus in lockstep: the
+// outer loop walks the limb index once, and at each index every lane folds
+// its x[i]·y row and its q·m row before the index advances.  Fusing the
+// inner loops across lanes is what makes this faster than k scalar
+// MontRedc calls on a superscalar host: each lane's carry chain is a
+// serial dependency, but the chains of different lanes are independent, so
+// a fused addmul keeps the multiplier pipeline full where a single chain
+// leaves it latency-bound.  The q·m row additionally shares the modulus
+// limb loads across the fused lanes.  This kernel is also the software
+// model of the batched MAC datapath the exploration layer prices as a
+// hardware axis (a k-lane fused multiply-accumulate instruction).
+//
+// Lane semantics are bit-identical to MontRedc: per lane, t must be zeroed
+// with length 2n+2 and x, y must have length n = len(m), with m odd and
+// mInv = -m⁻¹ mod 2³².  The per-lane result lands in t[n:2n+1].
+
+// MontRedcLanes runs len(ts) lockstep CIOS reductions over the shared
+// modulus m.  ts, xs and ys must have equal lengths.  The host executes
+// lanes in fused pairs plus a scalar remainder: two interleaved carry
+// chains measure fastest in compiled Go on current superscalar x86 —
+// wider fusion (a 4-lane core was tried) spills the chains out of
+// registers and loses the gain.  Modeled hardware width is accounted a
+// layer up and is independent of this host chunking.
+func MontRedcLanes(ts, xs, ys []Nat, m Nat, mInv Limb) {
+	if len(xs) != len(ts) || len(ys) != len(ts) {
+		panic("mpn: MontRedcLanes lane count mismatch")
+	}
+	i := 0
+	for len(ts)-i >= 2 {
+		montRedc2(ts[i], ts[i+1], xs[i], xs[i+1], ys[i], ys[i+1], m, mInv)
+		i += 2
+	}
+	if len(ts)-i == 1 {
+		MontRedc(ts[i], xs[i], ys[i], m, mInv)
+	}
+}
+
+// montRedc2 is the 2-lane fused CIOS loop.
+func montRedc2(t0, t1, x0, x1, y0, y1, m Nat, mInv Limb) {
+	n := len(m)
+	for i := 0; i < n; i++ {
+		c0, c1 := addMul2(t0[i:i+n], t1[i:i+n], y0, y1, x0[i], x1[i])
+		Add1(t0[i+n:i+n+2], t0[i+n:i+n+2], c0)
+		Add1(t1[i+n:i+n+2], t1[i+n:i+n+2], c1)
+		q0 := t0[i] * mInv
+		q1 := t1[i] * mInv
+		c0, c1 = addMulShared2(t0[i:i+n], t1[i:i+n], m, q0, q1)
+		Add1(t0[i+n:i+n+2], t0[i+n:i+n+2], c0)
+		Add1(t1[i+n:i+n+2], t1[i+n:i+n+2], c1)
+	}
+}
+
+// addMul2 computes r_l += a_l · b_l for two lanes in one loop, returning
+// both carry-out limbs.  All operands must share one length; the two
+// carry chains are independent, which is the point.
+func addMul2(r0, r1, a0, a1 Nat, b0, b1 Limb) (Limb, Limb) {
+	n := len(a0)
+	// Reslicing to one shared length eliminates the per-element bounds
+	// checks in the fused loop.
+	a1, r0, r1 = a1[:n], r0[:n], r1[:n]
+	var c0, c1 uint64
+	for j := range a0 {
+		p0 := uint64(a0[j])*uint64(b0) + uint64(r0[j]) + c0
+		r0[j] = Limb(p0)
+		c0 = p0 >> 32
+		p1 := uint64(a1[j])*uint64(b1) + uint64(r1[j]) + c1
+		r1[j] = Limb(p1)
+		c1 = p1 >> 32
+	}
+	return Limb(c0), Limb(c1)
+}
+
+// addMulShared2 computes r_l += a · b_l for two lanes sharing one
+// multiplicand vector — the q·m row of batched CIOS, where every lane
+// folds the same modulus limbs.
+func addMulShared2(r0, r1, a Nat, b0, b1 Limb) (Limb, Limb) {
+	n := len(a)
+	r0, r1 = r0[:n], r1[:n]
+	var c0, c1 uint64
+	for j := range a {
+		aj := uint64(a[j])
+		p0 := aj*uint64(b0) + uint64(r0[j]) + c0
+		r0[j] = Limb(p0)
+		c0 = p0 >> 32
+		p1 := aj*uint64(b1) + uint64(r1[j]) + c1
+		r1[j] = Limb(p1)
+		c1 = p1 >> 32
+	}
+	return Limb(c0), Limb(c1)
+}

@@ -1,0 +1,43 @@
+package mpz
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBatchModExp1024 measures the batched engine at the widths the
+// exploration sweeps.  One iteration performs a whole k-lane batch, so
+// ns/op scales with k; the CI gate (make bench-batch) normalizes per lane
+// when asserting the k=4 vs 4×k=1 speedup.  k=1 runs the same lockstep
+// machinery degenerately, which is the honest scalar baseline for the
+// batching win (it matches BenchmarkModExp1024 within noise).
+func BenchmarkBatchModExp1024(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(99))
+			ctx := NewCtx(nil)
+			m := randOdd(rng, 1024)
+			bases := make([]*Int, k)
+			exps := make([]*Int, k)
+			for i := range bases {
+				bases[i] = randOdd(rng, 1024)
+				exps[i] = randOdd(rng, 1024)
+			}
+			be, err := ctx.NewBatchExp(ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := be.ExpBatch(bases, exps); err != nil { // warm the scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := be.ExpBatch(bases, exps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,419 @@
+package mpz
+
+import (
+	"fmt"
+
+	"wisp/internal/mpn"
+)
+
+// BatchExp advances k independent modular exponentiations over one shared
+// modulus in lockstep.  All lanes walk a single left-to-right window
+// schedule driven by the widest exponent, and every square/multiply round
+// is executed as one multi-operand Montgomery reduction
+// (mpn.MontRedcLanes) across the lanes that participate in that round.
+// Per-lane results are bit-identical to the scalar Exponentiator: a lane
+// whose exponent is shorter produces zero digits until its first set
+// window, exactly as the scalar scan would, so mismatched lane bit-lengths
+// and the k=1 degenerate case fall out of the same code path.
+//
+// Kernel accounting prices the modeled hardware, not the host: a round
+// with kk live lanes records one invocation of the kk-wide fused kernel
+// ("mpn_addmul_1x2", "mpn_addmul_1x4", ...; plain "mpn_addmul_1" for
+// kk=1), regardless of how MontRedcLanes chunks lanes on the host.  That
+// keeps batch width visible to the macro-model layer as a datapath-width
+// axis while conserving total addmul work: summing count×width across the
+// batched rows reproduces the scalar addmul count exactly (see the
+// conservation test).  Function-level ops (mod_exp, mod_sqr, mod_mul,
+// mpz_mod) are issued per lane, mirroring the scalar path.
+//
+// The lockstep fast path requires ModMulMontgomery and an odd modulus —
+// the reduction that fuses across lanes.  Any other configuration falls
+// back to a scalar Exponentiator looped over the lanes, so ExpBatch is
+// total over the same ModMul×window×cache space as Exp.
+//
+// Like Exponentiator, a BatchExp owns grow-once scratch (per-lane window
+// slabs, accumulators, CIOS buffers and division arenas) and is not safe
+// for concurrent use.  Steady-state ExpBatch calls allocate only their
+// results.
+type BatchExp struct {
+	ctx *Ctx
+	cfg ExpConfig
+	m   *Int
+
+	g      *montgomery    // lockstep fast path (Montgomery, odd modulus)
+	scalar *Exponentiator // generic fallback, one lane at a time
+
+	lanes []*batchLane
+
+	// Round staging, grow-once: headers for the lanes participating in
+	// the current lockstep reduction, in staging order.
+	act   []*batchLane
+	dsts  []mpn.Nat
+	sxs   []mpn.Nat
+	sys   []mpn.Nat
+	ts    []mpn.Nat
+	res   []mpn.Nat
+	names []string // names[kk] = fused addmul routine at width kk
+}
+
+// batchLane is the per-lane state: window table, accumulator, CIOS
+// scratch and a division arena, all reused across calls.
+type batchLane struct {
+	slab    mpn.Nat   // window-table backing store, size·(n+1) limbs
+	tab     []mpn.Nat // window table views into slab
+	accBuf  mpn.Nat   // accumulator buffer, n+1 limbs
+	acc     mpn.Nat   // live normalized accumulator view
+	t       mpn.Nat   // CIOS accumulator, 2n+2 limbs
+	xs, ys  mpn.Nat   // CIOS operand staging, n limbs each
+	div     mpn.Arena // DivRem scratch for base reduction
+	exp     *Int
+	out     int // index in the caller's result slice
+	started bool
+}
+
+// NewBatchExp builds a batched exponentiator modulo m.  The configuration
+// space is the same as NewExp; only Montgomery over an odd modulus runs
+// the interleaved lockstep path.
+func (c *Ctx) NewBatchExp(cfg ExpConfig, m *Int) (*BatchExp, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &BatchExp{ctx: c, cfg: cfg, m: m}
+	if cfg.Alg == ModMulMontgomery && m.Odd() {
+		mm, err := c.NewModMul(cfg.Alg, m)
+		if err != nil {
+			return nil, err
+		}
+		b.g = mm.(*montgomery)
+		return b, nil
+	}
+	e, err := c.NewExp(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	b.scalar = e
+	return b, nil
+}
+
+// Lockstep reports whether lanes run the interleaved Montgomery path (as
+// opposed to the scalar per-lane fallback).
+func (b *BatchExp) Lockstep() bool { return b.g != nil }
+
+// ExpBatch returns base_i^exp_i mod m for every lane.  Exponents must be
+// non-negative; bases and exps must have equal length.
+func (b *BatchExp) ExpBatch(bases, exps []*Int) ([]*Int, error) {
+	if len(bases) != len(exps) {
+		return nil, fmt.Errorf("mpz: batch exp lane mismatch: %d bases, %d exponents", len(bases), len(exps))
+	}
+	for _, e := range exps {
+		if e.Sign() < 0 {
+			return nil, fmt.Errorf("mpz: negative exponent")
+		}
+	}
+	out := make([]*Int, len(bases))
+	if len(bases) == 0 {
+		return out, nil
+	}
+	if b.g == nil {
+		for i := range bases {
+			r, err := b.scalar.Exp(bases[i], exps[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	g := b.g
+	if b.cfg.Cache == CacheNone {
+		// CacheNone recomputes the per-modulus constants every call, like
+		// the scalar path.
+		mm, err := b.ctx.NewModMul(b.cfg.Alg, b.m)
+		if err != nil {
+			return nil, err
+		}
+		g = mm.(*montgomery)
+	}
+	b.ensureLanes(len(bases))
+
+	// Lane assignment.  Zero exponents resolve immediately — the scalar
+	// path returns 1 mod m before any accounting — and drop out of the
+	// lockstep schedule.
+	k, maxBL := 0, 0
+	for i := range bases {
+		if exps[i].IsZero() {
+			out[i] = b.ctx.Mod(NewInt(1), b.m)
+			continue
+		}
+		b.ctx.op("mod_exp", len(b.m.abs))
+		l := b.lanes[k]
+		k++
+		l.exp = exps[i]
+		l.out = i
+		l.started = false
+		if bl := exps[i].BitLen(); bl > maxBL {
+			maxBL = bl
+		}
+	}
+	if k == 0 {
+		return out, nil
+	}
+	lanes := b.lanes[:k]
+	n := g.n
+	w := b.cfg.WindowBits
+	size := 1 << uint(w)
+	slot := func(l *batchLane, i int) mpn.Nat {
+		return l.slab[i*(n+1) : (i+1)*(n+1) : (i+1)*(n+1)]
+	}
+
+	// Window tables, built one entry per lockstep round.  (CachePowers
+	// retention is per-base and lanes change bases every call, so the
+	// batch path rebuilds tables like CacheReducer; values are identical.)
+	b.begin()
+	for _, l := range lanes {
+		b.stage(l, slot(l, 0), b.modMLane(l, natOne), g.rr.abs)
+	}
+	b.flush(g)
+	for i, l := range lanes {
+		l.tab[0] = b.res[i]
+	}
+	b.begin()
+	for _, l := range lanes {
+		base := bases[l.out]
+		var bb mpn.Nat
+		if base.neg {
+			bb = b.ctx.Mod(base, b.m).abs // rare; keep the generic sign handling
+		} else {
+			bb = b.modMLane(l, base.abs)
+		}
+		b.stage(l, slot(l, 1), bb, g.rr.abs)
+	}
+	b.flush(g)
+	for i, l := range lanes {
+		l.tab[1] = b.res[i]
+	}
+	for ti := 2; ti < size; ti++ {
+		b.begin()
+		for _, l := range lanes {
+			b.stage(l, slot(l, ti), l.tab[ti-1], l.tab[1])
+		}
+		b.flush(g)
+		for i, l := range lanes {
+			l.tab[ti] = b.res[i]
+		}
+	}
+	// The scalar scan computes a throwaway acc = One() before its first
+	// digit; reproduce it so batched and scalar traces carry equal work.
+	b.begin()
+	for _, l := range lanes {
+		b.stage(l, l.accBuf, b.modMLane(l, natOne), g.rr.abs)
+	}
+	b.flush(g)
+	for i, l := range lanes {
+		l.acc = b.res[i]
+	}
+
+	// Shared left-to-right fixed-window scan.
+	windows := (maxBL + w - 1) / w
+	for wi := windows - 1; wi >= 0; wi-- {
+		for s := 0; s < w; s++ {
+			b.begin()
+			for _, l := range lanes {
+				if !l.started {
+					continue
+				}
+				b.ctx.op("mod_sqr", len(b.m.abs))
+				b.stage(l, l.accBuf, l.acc, l.acc)
+			}
+			b.flush(g)
+			for i, l := range b.act {
+				l.acc = b.res[i]
+			}
+		}
+		b.begin()
+		for _, l := range lanes {
+			digit := 0
+			for bit := w - 1; bit >= 0; bit-- {
+				digit = digit<<1 | int(l.exp.Bit(wi*w+bit))
+			}
+			if digit == 0 {
+				continue
+			}
+			if l.started {
+				b.ctx.op("mod_mul", len(b.m.abs))
+				b.stage(l, l.accBuf, l.acc, l.tab[digit])
+			} else {
+				ab := l.accBuf[:n+1]
+				l.acc = ab[:copy(ab, l.tab[digit])]
+				l.started = true
+			}
+		}
+		b.flush(g)
+		for i, l := range b.act {
+			l.acc = b.res[i]
+		}
+	}
+
+	// FromDomain: REDC(acc, 1), materialized into fresh results.  Every
+	// lane has started — a nonzero exponent's top window digit holds its
+	// most significant bit.
+	b.begin()
+	for _, l := range lanes {
+		b.stage(l, make(mpn.Nat, n+1), l.acc, natOne)
+	}
+	b.flush(g)
+	for i, l := range lanes {
+		out[l.out] = &Int{abs: b.res[i]}
+	}
+	return out, nil
+}
+
+// ensureLanes grows per-lane scratch and the staging headers to cover k
+// lanes, and the fused-kernel name table to width k (precomputed so the
+// hot path never formats strings).
+func (b *BatchExp) ensureLanes(k int) {
+	n := b.g.n
+	size := 1 << uint(b.cfg.WindowBits)
+	for len(b.lanes) < k {
+		b.lanes = append(b.lanes, &batchLane{
+			slab:   make(mpn.Nat, size*(n+1)),
+			tab:    make([]mpn.Nat, size),
+			accBuf: make(mpn.Nat, n+1),
+			t:      make(mpn.Nat, 2*n+2),
+			xs:     make(mpn.Nat, n),
+			ys:     make(mpn.Nat, n),
+		})
+	}
+	if cap(b.act) < k {
+		b.act = make([]*batchLane, 0, k)
+		b.dsts = make([]mpn.Nat, 0, k)
+		b.sxs = make([]mpn.Nat, 0, k)
+		b.sys = make([]mpn.Nat, 0, k)
+		b.ts = make([]mpn.Nat, 0, k)
+		b.res = make([]mpn.Nat, k)
+	}
+	for len(b.names) <= k {
+		switch len(b.names) {
+		case 0:
+			b.names = append(b.names, "")
+		case 1:
+			b.names = append(b.names, "mpn_addmul_1")
+		default:
+			b.names = append(b.names, fmt.Sprintf("mpn_addmul_1x%d", len(b.names)))
+		}
+	}
+}
+
+// begin resets the staging for a new lockstep round.
+func (b *BatchExp) begin() {
+	b.act = b.act[:0]
+	b.dsts = b.dsts[:0]
+	b.sxs = b.sxs[:0]
+	b.sys = b.sys[:0]
+	b.ts = b.ts[:0]
+}
+
+// stage schedules dst ← x·y·R⁻¹ mod m for lane l in the current round.
+// Both operands are copied into the lane's scratch now, so x and y may
+// alias dst or any arena-backed view that a later stage would clobber.
+func (b *BatchExp) stage(l *batchLane, dst, x, y mpn.Nat) {
+	xn := mpn.Normalize(x)
+	copy(l.xs, xn)
+	mpn.Zero(l.xs[len(xn):])
+	yn := mpn.Normalize(y)
+	copy(l.ys, yn)
+	mpn.Zero(l.ys[len(yn):])
+	mpn.Zero(l.t)
+	b.act = append(b.act, l)
+	b.dsts = append(b.dsts, dst)
+	b.sxs = append(b.sxs, l.xs)
+	b.sys = append(b.sys, l.ys)
+	b.ts = append(b.ts, l.t)
+}
+
+// flush executes the staged round as one multi-operand reduction and
+// finalizes each lane's destination, mirroring redcInto tick for tick
+// (copy-out, normalize, value-dependent conditional subtraction).
+func (b *BatchExp) flush(g *montgomery) {
+	kk := len(b.act)
+	if kk == 0 {
+		return
+	}
+	n := g.n
+	b.ctx.add(b.names[kk], n, uint64(2*n))
+	mpn.MontRedcLanes(b.ts, b.sxs, b.sys, g.ml, g.mInv)
+	for i, l := range b.act {
+		dst := b.dsts[i][:n+1]
+		copy(dst, l.t[n:2*n+1])
+		res := mpn.Normalize(dst)
+		if cmpAbs(res, g.ml) >= 0 {
+			b.ctx.op("mpz_add", len(res))
+			b.ctx.tick("mpn_sub_n", n)
+			borrow := mpn.SubN(res[:n], res[:n], g.ml)
+			if len(res) > n {
+				mpn.Sub1(res[n:], res[n:], borrow)
+			}
+			res = mpn.Normalize(res)
+		}
+		b.res[i] = res
+	}
+}
+
+// modMLane reduces a non-negative x modulo m with accounting identical to
+// ctx.Mod, drawing scratch from the lane's arena.  The result is valid
+// only until the lane's next modMLane call — stage copies it immediately.
+func (b *BatchExp) modMLane(l *batchLane, x mpn.Nat) mpn.Nat {
+	c := b.ctx
+	ml := b.m.abs
+	c.op("mpz_mod", len(ml))
+	un := mpn.Normalize(x)
+	l.div.Reset()
+	if len(ml) == 1 {
+		c.tick("mpn_divrem_1", len(un))
+		q := l.div.Alloc(len(un))
+		if rem := mpn.DivRem1(q, un, ml[0]); rem != 0 {
+			r := l.div.Alloc(1)
+			r[0] = rem
+			return r
+		}
+		return mpn.Nat{}
+	}
+	if len(un) >= len(ml) {
+		c.add("mpn_submul_1", len(ml), uint64(len(un)-len(ml)+1))
+	}
+	_, r := mpn.DivRemScratch(un, ml, &l.div)
+	return r
+}
+
+// BatchModInverse inverts every x modulo m with Montgomery's trick: one
+// ModInverse plus 3(k−1) modular multiplications, the shared-modulus
+// companion to the batched exponentiator (CRT recombination inverts many
+// residues against the same prime).  It errors if any lane is not
+// invertible — the single gcd covers the product, so one non-unit lane
+// poisons the batch, and callers should fall back to scalar inversion to
+// identify it.
+func (c *Ctx) BatchModInverse(xs []*Int, m *Int) ([]*Int, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	// prefix[i] = x_0·x_1·…·x_i mod m
+	prefix := make([]*Int, len(xs))
+	acc := c.Mod(xs[0], m)
+	prefix[0] = acc
+	for i := 1; i < len(xs); i++ {
+		acc = c.Mod(c.Mul(acc, xs[i]), m)
+		prefix[i] = acc
+	}
+	inv, err := c.ModInverse(prefix[len(xs)-1], m)
+	if err != nil {
+		return nil, fmt.Errorf("mpz: batch inverse: %w", err)
+	}
+	out := make([]*Int, len(xs))
+	for i := len(xs) - 1; i >= 1; i-- {
+		out[i] = c.Mod(c.Mul(inv, prefix[i-1]), m)
+		inv = c.Mod(c.Mul(inv, xs[i]), m)
+	}
+	out[0] = inv
+	return out, nil
+}

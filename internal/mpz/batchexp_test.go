@@ -1,0 +1,333 @@
+package mpz
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randBits returns a deterministic non-negative integer of about the given
+// bit length (exact when bits > 0: top bit set).
+func randBits(rng *rand.Rand, bits int) *Int {
+	if bits == 0 {
+		return NewInt(0)
+	}
+	nb := (bits + 7) / 8
+	buf := make([]byte, nb)
+	rng.Read(buf)
+	buf[0] |= 0x80 >> uint((8*nb)-bits)
+	z := FromBytes(buf)
+	return untraced.Rsh(z, uint(8*nb-bits))
+}
+
+// TestBatchExpMatchesScalarAndBig sweeps the full ModMul×window×cache
+// configuration space and checks every lane of ExpBatch against the scalar
+// Exponentiator and math/big, with mismatched lane bit-lengths, zero
+// exponents, and the k=1 degenerate case.
+func TestBatchExpMatchesScalarAndBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := NewCtx(nil)
+	expBits := []int{0, 5, 64, 130, 200} // mismatched lane widths, incl. a zero lane
+	for _, alg := range ModMulAlgs {
+		for _, w := range []int{1, 2, 4, 5} {
+			for _, cache := range CacheModes {
+				cfg := ExpConfig{Alg: alg, WindowBits: w, Cache: cache}
+				m := randBits(rng, 160)
+				m = ctx.Add(m, NewInt(3))
+				if !m.Odd() {
+					m = ctx.Add(m, NewInt(1))
+				}
+				be, err := ctx.NewBatchExp(cfg, m)
+				if err != nil {
+					t.Fatalf("%v: NewBatchExp: %v", cfg, err)
+				}
+				se, err := ctx.NewExp(cfg, m)
+				if err != nil {
+					t.Fatalf("%v: NewExp: %v", cfg, err)
+				}
+				for _, k := range []int{1, 3, 5} {
+					bases := make([]*Int, k)
+					exps := make([]*Int, k)
+					for i := 0; i < k; i++ {
+						bases[i] = randBits(rng, 100+30*i)
+						exps[i] = randBits(rng, expBits[i%len(expBits)])
+					}
+					got, err := be.ExpBatch(bases, exps)
+					if err != nil {
+						t.Fatalf("%v k=%d: ExpBatch: %v", cfg, k, err)
+					}
+					bm := toBig(m)
+					for i := 0; i < k; i++ {
+						want, err := se.Exp(bases[i], exps[i])
+						if err != nil {
+							t.Fatalf("%v: scalar Exp: %v", cfg, err)
+						}
+						if got[i].Cmp(want) != 0 {
+							t.Fatalf("%v k=%d lane %d: batch %v, scalar %v", cfg, k, i, got[i], want)
+						}
+						ref := new(big.Int).Exp(toBig(bases[i]), toBig(exps[i]), bm)
+						if toBig(got[i]).Cmp(ref) != 0 {
+							t.Fatalf("%v k=%d lane %d: batch %v, math/big %v", cfg, k, i, got[i], ref)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchExpMixedModuli interleaves calls on two engines over different
+// moduli — the CRT per-prime usage pattern — to prove lane scratch does
+// not leak between engines or calls.
+func TestBatchExpMixedModuli(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctx := NewCtx(nil)
+	cfg := ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}
+	m1 := randOdd(rng, 256)
+	m2 := randOdd(rng, 192)
+	b1, err := ctx.NewBatchExp(cfg, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ctx.NewBatchExp(cfg, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for _, tc := range []struct {
+			be *BatchExp
+			m  *Int
+		}{{b1, m1}, {b2, m2}} {
+			k := 2 + round
+			bases := make([]*Int, k)
+			exps := make([]*Int, k)
+			for i := range bases {
+				bases[i] = randBits(rng, 200)
+				exps[i] = randBits(rng, 150)
+			}
+			got, err := tc.be.ExpBatch(bases, exps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				ref := new(big.Int).Exp(toBig(bases[i]), toBig(exps[i]), toBig(tc.m))
+				if toBig(got[i]).Cmp(ref) != 0 {
+					t.Fatalf("round %d lane %d: got %v want %v", round, i, got[i], ref)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchExpErrors(t *testing.T) {
+	ctx := NewCtx(nil)
+	cfg := ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}
+	be, err := ctx.NewBatchExp(cfg, NewInt(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.ExpBatch([]*Int{NewInt(2)}, []*Int{NewInt(1), NewInt(2)}); err == nil {
+		t.Fatal("lane count mismatch accepted")
+	}
+	if _, err := be.ExpBatch([]*Int{NewInt(2)}, []*Int{NewInt(-1)}); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+	if out, err := be.ExpBatch(nil, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	if _, err := ctx.NewBatchExp(ExpConfig{Alg: ModMulMontgomery, WindowBits: 9, Cache: CacheReducer}, NewInt(101)); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+	// Even modulus: Montgomery cannot run — NewBatchExp must reject it
+	// the same way NewExp does.
+	if _, err := ctx.NewBatchExp(cfg, NewInt(100)); err == nil {
+		t.Fatal("even modulus accepted for Montgomery")
+	}
+}
+
+// TestBatchExpWorkConservation proves the batched accounting scheme prices
+// exactly the scalar work re-bucketed by lane width: summing count×width
+// over the mpn_addmul_1x* rows of a batched trace must reproduce the
+// scalar trace's mpn_addmul_1 count, and every other kernel row must match
+// outright.
+func TestBatchExpWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}
+	m := randOdd(rng, 512)
+	k := 5
+	bases := make([]*Int, k)
+	exps := make([]*Int, k)
+	for i := range bases {
+		bases[i] = randBits(rng, 500)
+		exps[i] = randBits(rng, 100+90*i) // mismatched widths exercise partial rounds
+	}
+
+	scalarT := NewTrace()
+	sctx := NewCtx(scalarT)
+	se, err := sctx.NewExp(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bases {
+		if _, err := se.Exp(bases[i], exps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batchT := NewTrace()
+	bctx := NewCtx(batchT)
+	be, err := bctx.NewBatchExp(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.ExpBatch(bases, exps); err != nil {
+		t.Fatal(err)
+	}
+
+	widths := map[string]uint64{"mpn_addmul_1": 1}
+	for w := 2; w <= k; w++ {
+		widths[be.names[w]] = uint64(w)
+	}
+	var scalarMul, batchMul uint64
+	batchOther := map[traceKey]uint64{}
+	for _, inv := range batchT.Invocations() {
+		if w, ok := widths[inv.Routine]; ok && inv.Routine != "mpn_submul_1" {
+			batchMul += inv.Count * w
+			continue
+		}
+		batchOther[traceKey{inv.Routine, inv.N}] = inv.Count
+	}
+	for _, inv := range scalarT.Invocations() {
+		if inv.Routine == "mpn_addmul_1" {
+			scalarMul += inv.Count
+			continue
+		}
+		if got := batchOther[traceKey{inv.Routine, inv.N}]; got != inv.Count {
+			t.Errorf("%s/n=%d: batched %d, scalar %d", inv.Routine, inv.N, got, inv.Count)
+		}
+		delete(batchOther, traceKey{inv.Routine, inv.N})
+	}
+	if batchMul != scalarMul {
+		t.Errorf("addmul work: batched Σcount×width = %d, scalar = %d", batchMul, scalarMul)
+	}
+	for key, count := range batchOther {
+		t.Errorf("batched-only row %s/n=%d ×%d", key.routine, key.n, count)
+	}
+}
+
+// TestBatchExpSteadyStateAllocs verifies the per-lane arena discipline: a
+// warmed-up ExpBatch allocates only its k result Ints (abs slab + header)
+// and the result slice.
+func TestBatchExpSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ctx := NewCtx(nil)
+	cfg := ExpConfig{Alg: ModMulMontgomery, WindowBits: 4, Cache: CacheReducer}
+	m := randOdd(rng, 512)
+	k := 4
+	bases := make([]*Int, k)
+	exps := make([]*Int, k)
+	for i := range bases {
+		bases[i] = randOdd(rng, 512)
+		exps[i] = randOdd(rng, 512)
+	}
+	be, err := ctx.NewBatchExp(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.ExpBatch(bases, exps); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := be.ExpBatch(bases, exps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// k results (Int header + limb slab each) + the out slice.
+	if max := float64(2*k + 1); avg > max {
+		t.Fatalf("steady-state ExpBatch: %.1f allocs/op, want ≤ %.0f", avg, max)
+	}
+}
+
+// TestBatchModInverse checks Montgomery's-trick batch inversion against
+// scalar ModInverse, and that a non-invertible lane errors.
+func TestBatchModInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ctx := NewCtx(nil)
+	m := randOdd(rng, 128)
+	for _, k := range []int{1, 2, 7} {
+		xs := make([]*Int, k)
+		for i := range xs {
+			for {
+				xs[i] = randBits(rng, 100)
+				if _, err := ctx.ModInverse(xs[i], m); err == nil {
+					break
+				}
+			}
+		}
+		got, err := ctx.BatchModInverse(xs, m)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for i := range xs {
+			want, err := ctx.ModInverse(xs[i], m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i].Cmp(want) != 0 {
+				t.Fatalf("k=%d lane %d: batch %v, scalar %v", k, i, got[i], want)
+			}
+		}
+	}
+	// A lane sharing a factor with m must fail the whole batch.
+	p := NewInt(65537)
+	q := NewInt(65539)
+	pq := ctx.Mul(p, q)
+	if _, err := ctx.BatchModInverse([]*Int{NewInt(3), p}, pq); err == nil {
+		t.Fatal("non-invertible lane accepted")
+	}
+	if out, err := ctx.BatchModInverse(nil, m); err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+// FuzzBatchModExp drives the k-lane engine against math/big across
+// arbitrary operands, algorithms and lane splits.  The modulus is forced
+// odd and ≥ 3 so every algorithm accepts it; the two seed lanes get
+// different widths so lockstep start/stop edges are exercised.
+func FuzzBatchModExp(f *testing.F) {
+	f.Add([]byte{2}, []byte{3}, []byte{5}, []byte{0}, []byte{0xfb}, byte(3), byte(4))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}, []byte{1, 0, 0, 0, 1},
+		[]byte{0xff}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		[]byte{0xff, 0xff, 0xff, 0xff, 1}, byte(numModMulAlgs-1), byte(1))
+	f.Add([]byte{}, []byte{}, []byte{7}, []byte{}, []byte{9}, byte(0), byte(2))
+	f.Fuzz(func(t *testing.T, b1, e1, b2, e2, mb []byte, algb, wb byte) {
+		ctx := NewCtx(nil)
+		m := ctx.Add(FromBytes(mb), NewInt(3))
+		if !m.Odd() {
+			m = ctx.Add(m, NewInt(1))
+		}
+		cfg := ExpConfig{
+			Alg:        ModMulAlgs[int(algb)%len(ModMulAlgs)],
+			WindowBits: 1 + int(wb)%5,
+			Cache:      CacheModes[int(wb/8)%len(CacheModes)],
+		}
+		be, err := ctx.NewBatchExp(cfg, m)
+		if err != nil {
+			t.Fatalf("NewBatchExp(%v, %v): %v", cfg, m, err)
+		}
+		bases := []*Int{FromBytes(b1), FromBytes(b2)}
+		exps := []*Int{FromBytes(e1), FromBytes(e2)}
+		got, err := be.ExpBatch(bases, exps)
+		if err != nil {
+			t.Fatalf("ExpBatch: %v", err)
+		}
+		bm := toBig(m)
+		for i := range bases {
+			want := new(big.Int).Exp(toBig(bases[i]), toBig(exps[i]), bm)
+			if toBig(got[i]).Cmp(want) != 0 {
+				t.Fatalf("%v lane %d: %v^%v mod %v = %v, math/big %v",
+					cfg, i, bases[i], exps[i], m, got[i], want)
+			}
+		}
+	})
+}

@@ -49,3 +49,37 @@ func (ec *ExpCache) Get(cfg ExpConfig, m *Int) (*Exponentiator, error) {
 
 // Stats exposes the underlying cache counters.
 func (ec *ExpCache) Stats() cache.Stats { return ec.c.Stats() }
+
+// BatchExpCache memoizes BatchExps by (configuration, modulus), the
+// batched analog of ExpCache: beyond the reducer constants, a cached
+// BatchExp retains its per-lane scratch (window slabs, CIOS buffers,
+// division arenas), which is what keeps steady-state batched calls
+// allocation-free.  Same contract: bound to one Ctx, not concurrency-safe.
+type BatchExpCache struct {
+	ctx *Ctx
+	c   *cache.Cache[*BatchExp]
+}
+
+// NewBatchExpCache builds a batched-exponentiator cache on ctx holding up
+// to capacity entries for at most ttl each (0 disables expiry).
+func (c *Ctx) NewBatchExpCache(capacity int, ttl time.Duration) *BatchExpCache {
+	return &BatchExpCache{ctx: c, c: cache.New[*BatchExp](cache.Config{Capacity: capacity, TTL: ttl, Shards: 1})}
+}
+
+// Get returns the cached BatchExp for (cfg, m), building and caching it
+// on a miss.
+func (bc *BatchExpCache) Get(cfg ExpConfig, m *Int) (*BatchExp, error) {
+	key := fmt.Sprintf("%s/%s", cfg, m)
+	if b, ok := bc.c.Get(key); ok {
+		return b, nil
+	}
+	b, err := bc.ctx.NewBatchExp(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	bc.c.Put(key, b)
+	return b, nil
+}
+
+// Stats exposes the underlying cache counters.
+func (bc *BatchExpCache) Stats() cache.Stats { return bc.c.Stats() }

@@ -1,0 +1,110 @@
+package rsakey
+
+import (
+	"fmt"
+
+	"wisp/internal/mpz"
+)
+
+// Batched private-key operations.  Every ciphertext in a batch is raised
+// to the same exponent modulo the same modulus — under CRT, to Dp mod P
+// and Dq mod Q — so a batch of k decrypts against one key is exactly the
+// shared-modulus workload the lockstep engine (mpz.BatchExp) wants: the
+// serving gateway's same-op queue batches all target its gateway key, and
+// a CRT decrypt splits into two per-prime batches that each run k lanes
+// in lockstep.
+
+// DecryptBatch computes c^d mod n for every ciphertext through the
+// batched CRT engine.  Results are lane-for-lane identical to Decrypt;
+// range checking and CRT recombination stay scalar (they are a vanishing
+// fraction of the work), only the per-prime exponentiations fuse.
+func (e *Engine) DecryptBatch(priv *PrivateKey, cs []*mpz.Int) ([]*mpz.Int, error) {
+	for _, c := range cs {
+		if c.Sign() < 0 || c.Cmp(priv.N) >= 0 {
+			return nil, fmt.Errorf("rsakey: ciphertext representative out of range")
+		}
+	}
+	if len(cs) == 0 {
+		return nil, nil
+	}
+	ctx := e.ctx
+	exps := make([]*mpz.Int, len(cs))
+	switch e.crt {
+	case CRTNone:
+		be, err := e.bc.Get(e.cfg, priv.N)
+		if err != nil {
+			return nil, err
+		}
+		for i := range exps {
+			exps[i] = priv.D
+		}
+		return be.ExpBatch(cs, exps)
+	case CRTGauss, CRTGarner:
+		bp, err := e.bc.Get(e.cfg, priv.P)
+		if err != nil {
+			return nil, err
+		}
+		bq, err := e.bc.Get(e.cfg, priv.Q)
+		if err != nil {
+			return nil, err
+		}
+		reduced := make([]*mpz.Int, len(cs))
+		for i, c := range cs {
+			reduced[i] = ctx.Mod(c, priv.P)
+			exps[i] = priv.Dp
+		}
+		m1s, err := bp.ExpBatch(reduced, exps)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cs {
+			reduced[i] = ctx.Mod(c, priv.Q)
+			exps[i] = priv.Dq
+		}
+		m2s, err := bq.ExpBatch(reduced, exps)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*mpz.Int, len(cs))
+		for i := range cs {
+			if e.crt == CRTGauss {
+				t1 := ctx.Mul(ctx.Mul(m1s[i], priv.Q), priv.Qinv)
+				t2 := ctx.Mul(ctx.Mul(m2s[i], priv.P), priv.Pinv)
+				out[i] = ctx.Mod(ctx.Add(t1, t2), priv.N)
+				continue
+			}
+			h := ctx.Mod(ctx.Mul(priv.Qinv, ctx.Sub(m1s[i], m2s[i])), priv.P)
+			out[i] = ctx.Add(m2s[i], ctx.Mul(h, priv.Q))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("rsakey: unknown CRT mode %d", e.crt)
+	}
+}
+
+// PadDecryptBatch is PadDecrypt over a batch: one DecryptBatch, then
+// per-lane PKCS#1 type-2 unpadding.  Any malformed lane fails the whole
+// batch — callers that need per-lane outcomes (the serving path does)
+// fall back to scalar PadDecrypt to attribute the failure.
+func (e *Engine) PadDecryptBatch(priv *PrivateKey, cts [][]byte) ([][]byte, error) {
+	k := (priv.Bits() + 7) / 8
+	cs := make([]*mpz.Int, len(cts))
+	for i, ct := range cts {
+		if len(ct) != k {
+			return nil, fmt.Errorf("rsakey: ciphertext length %d != modulus length %d", len(ct), k)
+		}
+		cs[i] = mpz.FromBytes(ct)
+	}
+	ms, err := e.DecryptBatch(priv, cs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(ms))
+	for i, m := range ms {
+		out[i], err = unpadType2(m.FillBytes(make([]byte, k)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package rsakey
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wisp/internal/mpz"
+)
+
+// TestDecryptBatchMatchesScalar checks DecryptBatch against Decrypt for
+// every CRT mode, across batch sizes including the k=1 degenerate case.
+func TestDecryptBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	key, err := GenerateKey(rng, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := mpz.NewCtx(nil)
+	for _, crt := range CRTModes {
+		e, err := NewEngine(ctx, DefaultExpConfig, crt, 4, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 5, 8} {
+			cs := make([]*mpz.Int, k)
+			for i := range cs {
+				cs[i] = mpz.RandBelow(rng, key.N)
+			}
+			got, err := e.DecryptBatch(key, cs)
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", crt, k, err)
+			}
+			for i := range cs {
+				want, err := e.Decrypt(key, cs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i].Cmp(want) != 0 {
+					t.Fatalf("%v k=%d lane %d: batch %v, scalar %v", crt, k, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDecryptBatchRangeCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	key, err := GenerateKey(rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := mpz.NewCtx(nil)
+	e := DefaultEngine(ctx, 2, 0)
+	if _, err := e.DecryptBatch(key, []*mpz.Int{mpz.NewInt(1), key.N}); err == nil {
+		t.Fatal("out-of-range ciphertext accepted")
+	}
+	if out, err := e.DecryptBatch(key, nil); err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+// TestPadDecryptBatchRoundTrip seals k distinct messages with PadEncrypt
+// and opens them in one batch.
+func TestPadDecryptBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	key, err := GenerateKey(rng, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := mpz.NewCtx(nil)
+	e := DefaultEngine(ctx, 2, 0)
+	msgs := make([][]byte, 6)
+	cts := make([][]byte, 6)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 0xaa, byte(i * 3)}
+		ct, err := e.PadEncrypt(rng, &key.PublicKey, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	got, err := e.PadDecryptBatch(key, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("lane %d: got %x want %x", i, got[i], msgs[i])
+		}
+	}
+	// A truncated lane must fail the whole batch.
+	if _, err := e.PadDecryptBatch(key, [][]byte{cts[0], cts[1][:10]}); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}

@@ -35,6 +35,7 @@ type Engine struct {
 	cfg mpz.ExpConfig
 	crt CRTMode
 	ec  *mpz.ExpCache
+	bc  *mpz.BatchExpCache // batched exponentiators, same keying (batch.go)
 }
 
 // NewEngine builds an engine on ctx with the given exponentiation
@@ -48,7 +49,11 @@ func NewEngine(ctx *mpz.Ctx, cfg mpz.ExpConfig, crt CRTMode, keys int, ttl time.
 	if keys <= 0 {
 		keys = 64
 	}
-	return &Engine{ctx: ctx, cfg: cfg, crt: crt, ec: ctx.NewExpCache(3*keys, ttl)}, nil
+	return &Engine{
+		ctx: ctx, cfg: cfg, crt: crt,
+		ec: ctx.NewExpCache(3*keys, ttl),
+		bc: ctx.NewBatchExpCache(3*keys, ttl),
+	}, nil
 }
 
 // DefaultEngine is NewEngine with the exploration-selected configuration

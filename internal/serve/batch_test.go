@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"wisp/internal/hashes"
+)
+
+// rsaBurstBehindSlowOp occupies the single shard with a long SSL
+// transaction, queues n RSA decrypts behind it (so the next drain finds
+// a same-op group — on one CPU a burst against an idle shard is served
+// task-by-task and never batches), and verifies every response.
+func rsaBurstBehindSlowOp(t *testing.T, gw *Gateway, n int) {
+	t.Helper()
+	slow := make([]byte, 64<<10)
+	done := make(chan *Response, 1)
+	go func() { done <- gw.Submit(&Request{Op: OpSSL, Payload: slow}) }()
+	waitBusy(t, gw)
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = gw.Submit(&Request{Op: OpRSADecrypt, Payload: []byte(fmt.Sprintf("rsa payload %d", i))})
+		}(i)
+	}
+	wg.Wait()
+	if r := <-done; r.Status != StatusOK {
+		t.Fatalf("slow op: %s (%s)", r.Status, r.Error)
+	}
+	for i, resp := range resps {
+		if resp.Status != StatusOK {
+			t.Fatalf("op %d: status %s (%s)", i, resp.Status, resp.Error)
+		}
+		digest := hashes.MD5Sum([]byte(fmt.Sprintf("rsa payload %d", i)))
+		if !bytes.Equal(resp.Digest, digest[:]) {
+			t.Fatalf("op %d: digest mismatch", i)
+		}
+		if len(resp.Result) == 0 {
+			t.Fatalf("op %d: empty wrapped result", i)
+		}
+	}
+}
+
+// TestBatchedRSADispatch checks that a same-op decrypt group drained in
+// one cycle is upgraded to the batched engine: digests all verify, the
+// batched counter moves, and no fused call exceeds BatchWidth lanes.
+func TestBatchedRSADispatch(t *testing.T) {
+	gw := testGateway(t, Config{Shards: 1, BatchWidth: 4, Seed: 41})
+	rsaBurstBehindSlowOp(t, gw, 12)
+	stats := gw.Stats()
+	if stats.RSAOpsBatched == 0 {
+		t.Fatal("no decrypts served through the batched engine with a queued same-op group")
+	}
+	if stats.RSABatchWidth.Max > 4 {
+		t.Fatalf("batched call with %.0f lanes exceeds BatchWidth 4", stats.RSABatchWidth.Max)
+	}
+	if got := stats.RSAOpsBatched + stats.RSAOpsScalar; got != 12 {
+		t.Fatalf("batched+scalar = %d, want 12", got)
+	}
+}
+
+// TestScalarRSADispatch pins BatchWidth to 1 — the A side of the
+// serve-bench A/B — and verifies fusion never triggers even when a
+// same-op group is available.
+func TestScalarRSADispatch(t *testing.T) {
+	gw := testGateway(t, Config{Shards: 1, BatchWidth: 1, Seed: 41})
+	rsaBurstBehindSlowOp(t, gw, 12)
+	stats := gw.Stats()
+	if stats.RSAOpsBatched != 0 {
+		t.Fatalf("%d ops batched with BatchWidth 1", stats.RSAOpsBatched)
+	}
+	if stats.RSAOpsScalar != 12 {
+		t.Fatalf("scalar count %d, want 12", stats.RSAOpsScalar)
+	}
+}

@@ -45,6 +45,22 @@ type Config struct {
 	// (compatible record-layer ops in the drain are served as one batch).
 	// Default 16.
 	BatchMax int
+	// BatchWidth caps how many drained RSA private-key ops fuse into one
+	// batched-engine call (the lockstep multi-operand Montgomery path;
+	// every gateway decrypt targets the shared gateway key, so drained
+	// same-op groups share a modulus by construction).  0 selects the
+	// default 4; 1 disables fusion and serves RSA ops scalar — the A/B
+	// switch serve-bench flips.
+	BatchWidth int
+	// BatchGatherUS is the micro-batching window: when > 0 and a drained
+	// rsa-decrypt group is narrower than BatchWidth, the shard waits up
+	// to this many microseconds for more decrypts to arrive before
+	// serving the group (non-decrypt arrivals dequeued while gathering
+	// are served immediately after).  It trades bounded queueing latency
+	// for fusion opportunities when request interarrival is close to the
+	// service time; 0 (the default) disables the wait, fusing only ops
+	// that were already queued together.
+	BatchGatherUS int64
 	// RSABits sizes the gateway handshake key.  Default 512: the
 	// functional miniature SSL is a workload simulator, and small keys
 	// keep handshake service times in the hundreds of microseconds.
@@ -152,6 +168,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 16
+	}
+	if c.BatchWidth == 0 {
+		c.BatchWidth = 4
+	}
+	if c.BatchWidth < 1 {
+		c.BatchWidth = 1
 	}
 	if c.RSABits == 0 {
 		c.RSABits = 512
@@ -990,6 +1012,17 @@ func (s *shard) serveBatch(batch []*task) {
 	for _, op := range order {
 		group := groups[op]
 		s.g.metrics.batch.Observe(float64(len(group)))
+		if op == OpRSADecrypt && s.g.cfg.BatchWidth > 1 &&
+			(len(group) >= 2 || s.g.cfg.BatchGatherUS > 0) {
+			// ≥2 queued decrypts against the shared gateway key — or a
+			// gather window that may find more: upgrade the same-op group
+			// to the lockstep batched engine (batch.go).
+			s.serveRSABatch(group)
+			continue
+		}
+		if op == OpRSADecrypt {
+			s.g.metrics.rsaScalar.Add(uint64(len(group)))
+		}
 		for _, t := range group {
 			s.serveOne(t, len(group))
 		}

@@ -138,7 +138,11 @@ type Metrics struct {
 	mu    sync.Mutex
 	perOp map[Op]*opMetrics
 
-	batch Histogram // same-op group sizes served per drain
+	batch    Histogram // same-op group sizes served per drain
+	rsaBatch Histogram // lane widths of batched RSA-engine calls
+
+	rsaBatched atomic.Uint64 // RSA decrypts served through the batched engine
+	rsaScalar  atomic.Uint64 // RSA decrypts served one lane at a time
 
 	queueDepth []atomic.Int64 // per-shard gauge
 
@@ -225,6 +229,13 @@ type Stats struct {
 	PerOp          map[string]OpStats `json:"per_op"`
 	BatchSize      HistSnapshot       `json:"batch_size"`
 
+	// RSABatchWidth observes the lane count of every batched RSA-engine
+	// call; RSAOpsBatched/RSAOpsScalar split decrypts by serving path, so
+	// the batched-dispatch upgrade rate is visible directly.
+	RSABatchWidth HistSnapshot `json:"rsa_batch_width"`
+	RSAOpsBatched uint64       `json:"rsa_ops_batched"`
+	RSAOpsScalar  uint64       `json:"rsa_ops_scalar"`
+
 	// SessionCache/Precompute/AESSchedule expose the serving caches: the
 	// SSL session store (hits = abbreviated handshakes), the per-shard RSA
 	// precompute caches summed across shards, and the process-wide AES
@@ -297,8 +308,11 @@ func (m *Metrics) Snapshot(queueCap int) Stats {
 			"draining":   m.shedDraining.Load(),
 			"throttle":   m.shedThrottle.Load(),
 		},
-		PerOp:     make(map[string]OpStats),
-		BatchSize: m.batch.Snapshot(),
+		PerOp:         make(map[string]OpStats),
+		BatchSize:     m.batch.Snapshot(),
+		RSABatchWidth: m.rsaBatch.Snapshot(),
+		RSAOpsBatched: m.rsaBatched.Load(),
+		RSAOpsScalar:  m.rsaScalar.Load(),
 	}
 	for i := range m.queueDepth {
 		s.QueueDepth[i] = m.queueDepth[i].Load()
@@ -379,6 +393,10 @@ func (s Stats) Text() string {
 	}
 	fmt.Fprintf(&b, "wispd_batch_size_p50 %.1f\n", s.BatchSize.P50)
 	fmt.Fprintf(&b, "wispd_batch_size_max %.0f\n", s.BatchSize.Max)
+	fmt.Fprintf(&b, "wispd_rsa_batch_width_p50 %.1f\n", s.RSABatchWidth.P50)
+	fmt.Fprintf(&b, "wispd_rsa_batch_width_max %.0f\n", s.RSABatchWidth.Max)
+	fmt.Fprintf(&b, "wispd_rsa_ops_batched_total %d\n", s.RSAOpsBatched)
+	fmt.Fprintf(&b, "wispd_rsa_ops_scalar_total %d\n", s.RSAOpsScalar)
 	writeCache := func(name string, v *CacheStatsView) {
 		if v == nil {
 			return

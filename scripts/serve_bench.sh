@@ -13,6 +13,11 @@
 # The resume-on record is written to $BENCH_JSON (default BENCH_serve.json
 # in the working directory) for the CI regression gate.
 #
+# Phase 3 is the batched-RSA A/B: the same rsa-decrypt burst runs against
+# a one-shard daemon with -batch-width 1 (scalar) and -batch-width 4
+# (lockstep engine fusion), same seeds; benchcmp asserts the batched run
+# delivers higher throughput with zero digest mismatches in both runs.
+#
 # On failure, logs and reports are copied to $ARTIFACT_DIR when set (CI
 # uploads them).  Exits non-zero on any violation or unclean drain.
 set -eu
@@ -109,4 +114,29 @@ grep -E 'resumption|session cache' "$TMP/load_on.log" || true
     -assert-p99-lt 'handshake+resumed<handshake'
 cp "$TMP/bench_on.json" "$BENCH_JSON"
 echo "serve-bench: resumed-handshake p99 beats full-handshake baseline; record written to $BENCH_JSON"
+echo "serve-bench: phase 2 ok"
+
+# ---- Phase 3: batched-RSA A/B on a private-key-op burst ----
+# One shard so concurrent decrypts queue into same-op groups; only the
+# batch width differs between the runs.
+boot_wispd wispd_bw1.log -shards 1 -dispatch cost -seed 1 -batch-width 1 -batch-gather-us 3000 -metrics
+echo "serve-bench: batch-width-1 (scalar) run on $ADDR"
+"$BIN/wispload" -addr "$ADDR" -clients 8 -n 40 -ops rsa-decrypt -mix 1k \
+    -seed 3 -bench-out "$TMP/bench_bw1.json" >"$TMP/load_bw1.log"
+drain_wispd wispd_bw1.log
+
+boot_wispd wispd_bw4.log -shards 1 -dispatch cost -seed 1 -batch-width 4 -batch-gather-us 3000 -metrics
+echo "serve-bench: batch-width-4 (lockstep) run on $ADDR"
+"$BIN/wispload" -addr "$ADDR" -clients 8 -n 40 -ops rsa-decrypt -mix 1k \
+    -seed 3 -bench-out "$TMP/bench_bw4.json" >"$TMP/load_bw4.log"
+drain_wispd wispd_bw4.log
+
+grep -E 'rsa_ops_(batched|scalar)_total|rsa_batch_width' "$TMP/wispd_bw4.log" || true
+grep -qE 'rsa_ops_batched_total [1-9]' "$TMP/wispd_bw4.log" || {
+    echo "serve-bench: batch-width-4 run never engaged the batched engine" >&2
+    exit 1
+}
+"$BIN/benchcmp" -baseline "$TMP/bench_bw1.json" -current "$TMP/bench_bw4.json" \
+    -assert-rps-gt -rps-factor 1.05
+echo "serve-bench: batched dispatch beats scalar throughput by >5% with zero mismatches"
 echo "serve-bench: ok"
