@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test check race lint fuzz fuzz-seeds cover bench bench-alloc bench-batch bins serve-smoke serve-bench serve-attack serve-cluster bench-json bench-check
+.PHONY: all build test check race lint fuzz fuzz-seeds cover bench bench-alloc bench-batch bins serve-smoke serve-bench serve-attack serve-cluster serve-adapt bench-json bench-check
 
 all: build test
 
@@ -123,6 +123,15 @@ serve-attack: bins
 # Writes BENCH_cluster.json (labeled 'cluster').
 serve-cluster: bins
 	BIN=bin ./scripts/serve_cluster.sh
+
+# serve-adapt is the adaptive-governor A/B gate: the same shifting
+# workload (record warmup, then a sustained rsa-decrypt burst) against a
+# mis-sized static batch width and against a governed daemon.  Asserts
+# the governor logs a width adaptation, the governed metrics show widen
+# ticks and batched RSA serving, zero digest mismatches, and >=15%
+# throughput recovery over the static run.  Writes BENCH_adapt.json.
+serve-adapt: bins
+	BIN=bin ./scripts/serve_adapt.sh
 
 # bench-json emits the machine-readable serving benchmark record
 # (per-op p50/p99, throughput, cache hit rates) to BENCH_serve.json.

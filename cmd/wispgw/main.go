@@ -14,6 +14,7 @@
 //	wispgw -backends host:p1,host:p2,... [-addr 127.0.0.1:9411]
 //	       [-listen-wire 127.0.0.1:9412] [-replicas 64] [-max-inflight 128]
 //	       [-eject-after 2] [-eject-for 2s] [-node-retries -1] [-seed 1]
+//	       [-coroute-rsa=true] [-coroute-factor 2.0]
 //	       [-metrics] [-addrfile PATH] [-wire-addrfile PATH] [-drain 30s]
 //
 // SIGINT/SIGTERM drains: new requests are refused with reason "draining"
@@ -45,6 +46,8 @@ func main() {
 	ejectFor := flag.Duration("eject-for", 2*time.Second, "quarantine after ejection (then half-open probing)")
 	nodeRetries := flag.Int("node-retries", -1, "max additional backends tried after a transport failure (-1 = all others)")
 	seed := flag.Int64("seed", 1, "determinism seed for power-of-two-choices sampling")
+	coRouteRSA := flag.Bool("coroute-rsa", true, "concentrate same-key non-resume rsa-decrypt traffic on one ring-chosen backend (bounded by -coroute-factor)")
+	coRouteFactor := flag.Float64("coroute-factor", 2.0, "co-routing load ceiling: spill to p2c when the preferred backend costs more than factor x the cheapest alternative")
 	metrics := flag.Bool("metrics", false, "print the wispgw_* text metrics dump on shutdown")
 	addrFile := flag.String("addrfile", "", "write the bound HTTP address to this file (for scripts)")
 	wireAddrFile := flag.String("wire-addrfile", "", "write the bound wire address to this file (for scripts)")
@@ -73,6 +76,8 @@ func main() {
 		EjectFor:      *ejectFor,
 		NodeRetries:   retries,
 		Seed:          *seed,
+		CoRouteRSA:    *coRouteRSA,
+		CoRouteFactor: *coRouteFactor,
 		Dial:          func(a string) (serve.Transport, error) { return wire.Dial(a) },
 	})
 	if err != nil {

@@ -1,0 +1,105 @@
+// Online re-scoring: the serving daemon's governor feeds the live
+// workload-mix fingerprint back into the same memoized macro-model
+// pricing the offline §4.3 study uses, closing the loop between the DSE
+// engine and the gateway.  The trace and its macro-model price depend
+// only on the candidate (the workload representative is fixed), so a
+// mix shift re-weights cached prices instead of re-tracing — steady-state
+// re-scores do no native work at all.
+package explore
+
+import (
+	"sort"
+
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+)
+
+// ServingSpace enumerates the candidates a live gateway can actually
+// switch between at runtime: every modmul × window × CRT × cache point
+// at the native radix 32.  The radix-16 half of the offline space is an
+// analytic trace transform — priceable for hardware what-ifs, not
+// executable — so an online governor must never select it.
+func ServingSpace() []Config {
+	var out []Config
+	for _, alg := range mpz.ModMulAlgs {
+		for _, w := range Windows {
+			for _, crt := range rsakey.CRTModes {
+				for _, cache := range mpz.CacheModes {
+					out = append(out, Config{ModMul: alg, Window: w, CRT: crt, Radix: 32, Cache: cache})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MixFingerprint is the live workload mix as the serving telemetry sees
+// it: what fraction of serving time the gateway currently spends in RSA
+// private-key work.  A public-key-heavy mix (morning handshake storms)
+// pushes the share toward 1 and makes decrypt-cycle differences between
+// candidates matter; a record-layer-heavy mix (streaming evenings)
+// pushes it toward 0 and damps them — the same candidate ranking yields
+// different switch decisions under different traffic.
+type MixFingerprint struct {
+	// RSATimeShare is the fraction of serving time spent in rsa-decrypt
+	// work, in [0,1].  Values outside the range are clamped.
+	RSATimeShare float64
+}
+
+func (m MixFingerprint) share() float64 {
+	switch {
+	case m.RSATimeShare < 0:
+		return 0
+	case m.RSATimeShare > 1:
+		return 1
+	default:
+		return m.RSATimeShare
+	}
+}
+
+// ReScoreResult is one candidate re-priced for a live mix.
+type ReScoreResult struct {
+	Result
+	// MixImprove is the predicted fractional whole-mix serving time saved
+	// by switching from cur to this candidate: the candidate's decrypt
+	// cycle advantage scaled by the RSA share of the mix.  Negative for
+	// candidates slower than cur.
+	MixImprove float64
+}
+
+// ReScoreMix prices every candidate for the given live mix against the
+// configuration currently serving, best first.  Per-candidate decrypt
+// cycles come from the memoized macro-model flow (Evaluate), so periodic
+// re-scoring as traffic shifts costs a map lookup per candidate once the
+// traces are warm.  Ties (including the cur candidate against itself, at
+// exactly 0 improvement) break toward fewer cycles, then the candidate
+// name, so rankings are deterministic.
+func (e *Explorer) ReScoreMix(mix MixFingerprint, cur Config, cfgs []Config) ([]ReScoreResult, error) {
+	curRes, err := e.Evaluate(cur)
+	if err != nil {
+		return nil, err
+	}
+	share := mix.share()
+	out := make([]ReScoreResult, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		r, err := e.Evaluate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rr := ReScoreResult{Result: r}
+		if curRes.EstCycles > 0 {
+			rr.MixImprove = share * (1 - r.EstCycles/curRes.EstCycles)
+		}
+		out = append(out, rr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MixImprove != out[j].MixImprove {
+			return out[i].MixImprove > out[j].MixImprove
+		}
+		if out[i].EstCycles != out[j].EstCycles {
+			return out[i].EstCycles < out[j].EstCycles
+		}
+		return out[i].Config.String() < out[j].Config.String()
+	})
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
+)
+
+func TestServingSpace(t *testing.T) {
+	cfgs := ServingSpace()
+	if len(cfgs) != 225 {
+		t.Fatalf("serving space has %d candidates, want 225 (5 modmul × 5 windows × 3 CRT × 3 cache, radix 32 only)", len(cfgs))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cfgs {
+		if c.Radix != 32 {
+			t.Fatalf("serving candidate %v at radix %d: only the native radix is executable online", c, c.Radix)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid serving candidate %v: %v", c, err)
+		}
+		if seen[c.String()] {
+			t.Fatalf("duplicate serving candidate %v", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+// TestReScoreMix checks the mix-weighted re-ranking math: improvement is
+// the cycle advantage over cur scaled linearly by the RSA time share, so
+// a zero-share mix damps every candidate to zero improvement, cur itself
+// always scores zero, and the results come back best first.
+func TestReScoreMix(t *testing.T) {
+	e := newExplorer()
+	cur := Config{ModMul: mpz.ModMulBasecase, Window: 1, CRT: rsakey.CRTNone, Radix: 32, Cache: mpz.CacheNone}
+	cands := []Config{
+		cur,
+		{ModMul: mpz.ModMulMontgomery, Window: 4, CRT: rsakey.CRTGarner, Radix: 32, Cache: mpz.CacheReducer},
+		{ModMul: mpz.ModMulKaratsuba, Window: 3, CRT: rsakey.CRTGauss, Radix: 32, Cache: mpz.CachePowers},
+	}
+
+	full, err := e.ReScoreMix(MixFingerprint{RSATimeShare: 1}, cur, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(cands) {
+		t.Fatalf("got %d results, want %d", len(full), len(cands))
+	}
+	for i := 1; i < len(full); i++ {
+		if full[i].MixImprove > full[i-1].MixImprove {
+			t.Fatalf("results not sorted best first: %v before %v", full[i-1].MixImprove, full[i].MixImprove)
+		}
+	}
+	curCycles := full[0].EstCycles // recover cur's price for the math check
+	for _, r := range full {
+		if r.Config == cur {
+			curCycles = r.EstCycles
+			if r.MixImprove != 0 {
+				t.Fatalf("cur scored %.4f against itself, want 0", r.MixImprove)
+			}
+		}
+	}
+	for _, r := range full {
+		want := 1 - r.EstCycles/curCycles
+		if math.Abs(r.MixImprove-want) > 1e-12 {
+			t.Fatalf("%v: improve %.6f, want %.6f at share 1", r.Config, r.MixImprove, want)
+		}
+	}
+	// The tuned candidates beat naive basecase/w1 by a wide margin in the
+	// offline study; a full-RSA mix must preserve that.
+	if full[0].Config == cur || full[0].MixImprove <= 0 {
+		t.Fatalf("best candidate %v improve %.4f: expected a tuned config to beat basecase/w1", full[0].Config, full[0].MixImprove)
+	}
+
+	// Half the share, half the improvement — the same ranking, damped.
+	half, err := e.ReScoreMix(MixFingerprint{RSATimeShare: 0.5}, cur, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range half {
+		if half[i].Config != full[i].Config {
+			t.Fatalf("ranking changed with share: %v vs %v", half[i].Config, full[i].Config)
+		}
+		if math.Abs(half[i].MixImprove-full[i].MixImprove/2) > 1e-12 {
+			t.Fatalf("%v: improve %.6f at share 0.5, want %.6f", half[i].Config, half[i].MixImprove, full[i].MixImprove/2)
+		}
+	}
+
+	// Share clamps: a record-only mix (and anything below 0) predicts no
+	// benefit from any switch.
+	for _, share := range []float64{0, -3} {
+		zero, err := e.ReScoreMix(MixFingerprint{RSATimeShare: share}, cur, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range zero {
+			if r.MixImprove != 0 {
+				t.Fatalf("share %.1f: %v improve %.4f, want 0", share, r.Config, r.MixImprove)
+			}
+		}
+	}
+}

@@ -1,0 +1,477 @@
+// Package governor closes the loop between the serving telemetry and the
+// gateway's performance knobs.  On a fixed tick it diffs consecutive
+// /stats snapshots into a window (serve.DiffStats) and makes three kinds
+// of guarded decisions:
+//
+//   - batch width/gather: widen the RSA batch engine when sustained queue
+//     depth shows lanes going unused, shrink it back when the load drops,
+//     and retarget the gather window from the observed decrypt arrival
+//     rate — all behind hysteresis bands so oscillating load near a band
+//     edge never flaps the knobs;
+//
+//   - engine re-selection: feed the live workload-mix fingerprint (the
+//     fraction of serving time spent in RSA private-key work) to a scorer
+//     backed by the macro-model exploration, switch the shard engine
+//     configuration only when the analytic model predicts a real
+//     whole-mix improvement, and verify every switch with a post-switch
+//     A/B window that rolls back automatically if the measured cost does
+//     not follow the prediction;
+//
+//   - observability: every decision is counted and exported through the
+//     gateway's /stats document (serve.GovernorView), so an adapted run
+//     is auditable after the fact.
+//
+// The control loop is deliberately side-effect free when the telemetry is
+// quiet: no RSA traffic in a window means no width, gather or engine
+// moves, and a gateway started with -govern=false never constructs a
+// Governor at all.
+package governor
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisp/internal/serve"
+)
+
+// Tuner is the knob surface the governor drives.  *serve.Gateway
+// implements it; tests substitute a recording fake.
+type Tuner interface {
+	BatchWidth() int
+	SetBatchWidth(int)
+	BatchGatherUS() int64
+	SetBatchGatherUS(int64)
+	EngineConfig() serve.EngineConfig
+	SetEngineConfig(serve.EngineConfig) error
+}
+
+// Candidate is one engine configuration the scorer priced for the
+// current mix.
+type Candidate struct {
+	Name   string // stable identity for cooldown bookkeeping (Config.String())
+	Engine serve.EngineConfig
+	// DecryptCycles is the macro-model's per-decrypt price; MixImprove is
+	// the predicted fractional whole-mix serving time saved by switching,
+	// i.e. the cycle advantage scaled by the RSA share of the mix.
+	DecryptCycles float64
+	MixImprove    float64
+}
+
+// Config parameterises the control loop.  Zero fields take the defaults
+// noted inline.
+type Config struct {
+	Tick time.Duration // control period for Run (500ms)
+
+	// Width control: widen when mean queue depth holds at or above
+	// WidenDepth for HoldTicks consecutive windows with RSA traffic
+	// present, shrink when it holds at or below ShrinkDepth.  The gap
+	// between the two bands is the hysteresis dead zone — depth
+	// oscillating across one band edge resets the streak and never moves
+	// the knob.  Width moves geometrically (double/halve) within
+	// [MinWidth, MaxWidth].
+	MinWidth    int     // 1
+	MaxWidth    int     // 8
+	WidenDepth  float64 // 3
+	ShrinkDepth float64 // 1
+	HoldTicks   int     // 2
+
+	// Gather control: when decrypts arrive too sparsely to form groups on
+	// their own, the gather window is retargeted to the time width-1
+	// more arrivals need at the observed rate, capped at MaxGatherUS.
+	MaxGatherUS int64 // 3000
+
+	// Engine re-selection: switch only when the best candidate predicts
+	// at least MinImprove whole-mix improvement; then watch ABTicks
+	// windows and roll back if the measured decrypt cost exceeds the
+	// predicted cost by more than RollbackSlack (fraction of the
+	// pre-switch cost).  A rolled-back candidate sits out CooldownTicks.
+	MinImprove    float64 // 0.05
+	ABTicks       int     // 4
+	RollbackSlack float64 // 0.10
+	CooldownTicks int     // 40
+
+	// Snapshot supplies the telemetry; Tuner receives the decisions.
+	Snapshot func() serve.Stats
+	Tuner    Tuner
+
+	// Scorer prices engine candidates for the live mix.  Nil disables
+	// re-selection (width/gather control still runs); a (nil, nil) return
+	// means "still warming up, ask again next tick".
+	Scorer func(rsaTimeShare float64, cur serve.EngineConfig) ([]Candidate, error)
+
+	// Logf, when set, receives one line per decision.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Tick <= 0 {
+		c.Tick = 500 * time.Millisecond
+	}
+	if c.MinWidth <= 0 {
+		c.MinWidth = 1
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 8
+	}
+	if c.MaxWidth < c.MinWidth {
+		c.MaxWidth = c.MinWidth
+	}
+	if c.WidenDepth <= 0 {
+		c.WidenDepth = 3
+	}
+	if c.ShrinkDepth <= 0 {
+		c.ShrinkDepth = 1
+	}
+	if c.HoldTicks <= 0 {
+		c.HoldTicks = 2
+	}
+	if c.MaxGatherUS <= 0 {
+		c.MaxGatherUS = 3000
+	}
+	if c.MinImprove <= 0 {
+		c.MinImprove = 0.05
+	}
+	if c.ABTicks <= 0 {
+		c.ABTicks = 4
+	}
+	if c.RollbackSlack <= 0 {
+		c.RollbackSlack = 0.10
+	}
+	if c.CooldownTicks <= 0 {
+		c.CooldownTicks = 40
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// abTrial is an in-flight post-switch verification window.
+type abTrial struct {
+	name      string
+	prev      serve.EngineConfig
+	preCostUS float64 // measured rsa-decrypt cost before the switch
+	ratio     float64 // predicted post/pre decrypt cost ratio (<1)
+	ticksLeft int
+}
+
+// Governor is the control loop.  Tick is safe to call directly for
+// deterministic tests; Run drives it on a wall-clock ticker.
+type Governor struct {
+	cfg Config
+
+	// Loop-goroutine-owned state.
+	prev         *serve.Stats
+	widenStreak  int
+	shrinkStreak int
+	gatherStreak int
+	ab           *abTrial
+	cooldown     map[string]int
+
+	// Cross-goroutine view counters (read by View from the stats path).
+	ticks           atomic.Uint64
+	widthWidens     atomic.Uint64
+	widthShrinks    atomic.Uint64
+	gatherChanges   atomic.Uint64
+	configSwitches  atomic.Uint64
+	configConfirms  atomic.Uint64
+	configRollbacks atomic.Uint64
+	shareBits       atomic.Uint64 // float64 bits of the last mix fingerprint
+
+	stopOnce sync.Once
+	running  atomic.Bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds a governor.  Snapshot and Tuner are required.
+func New(cfg Config) *Governor {
+	cfg.fillDefaults()
+	if cfg.Snapshot == nil || cfg.Tuner == nil {
+		panic("governor: Config.Snapshot and Config.Tuner are required")
+	}
+	return &Governor{
+		cfg:      cfg,
+		cooldown: make(map[string]int),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Run drives the control loop until Stop.  Call from its own goroutine.
+func (g *Governor) Run() {
+	g.running.Store(true)
+	defer close(g.done)
+	t := time.NewTicker(g.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.Tick()
+		}
+	}
+}
+
+// Stop halts Run and waits for any in-flight tick to finish.  Safe to
+// call more than once, and a no-op when Run was never started.
+func (g *Governor) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	if g.running.Load() {
+		<-g.done
+	}
+}
+
+// View exports the decision counters for the /stats document.
+func (g *Governor) View() *serve.GovernorView {
+	return &serve.GovernorView{
+		Ticks:           g.ticks.Load(),
+		WidthWidens:     g.widthWidens.Load(),
+		WidthShrinks:    g.widthShrinks.Load(),
+		GatherChanges:   g.gatherChanges.Load(),
+		ConfigSwitches:  g.configSwitches.Load(),
+		ConfigConfirms:  g.configConfirms.Load(),
+		ConfigRollbacks: g.configRollbacks.Load(),
+		RSATimeShare:    math.Float64frombits(g.shareBits.Load()),
+	}
+}
+
+// Tick runs one control step: snapshot, window, decide.  Not safe for
+// concurrent calls — Run is the only production caller.
+func (g *Governor) Tick() {
+	cur := g.cfg.Snapshot()
+	w := serve.DiffStats(g.prev, &cur)
+	g.prev = &cur
+	g.ticks.Add(1)
+
+	// Backlog pressure: the larger of the instantaneous queue-depth gauge
+	// and the window's mean same-op drain-group size.  The gauge alone is
+	// blind to exactly the load that wants batching — a shard drains its
+	// whole queue into one group before serving it, so during a sustained
+	// burst the queue reads near empty while every drain finds a group
+	// worth of fusable work.
+	gauge := meanDepth(cur.QueueDepth)
+	pressure := gauge
+	if gs := w.MeanGroupSize(); gs > pressure {
+		pressure = gs
+	}
+	share := rsaTimeShare(&w, cur.OpCostUS)
+	g.shareBits.Store(math.Float64bits(share))
+
+	g.controlWidth(&w, pressure)
+	g.controlGather(&w, gauge)
+	g.controlEngine(&cur, share)
+}
+
+func meanDepth(depths []int64) float64 {
+	if len(depths) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, d := range depths {
+		sum += d
+	}
+	return float64(sum) / float64(len(depths))
+}
+
+// rsaTimeShare prices the window's completed work with the dispatcher's
+// per-op cost EWMAs and returns the rsa-decrypt fraction.  Decrypts
+// embedded in full handshakes are priced under the handshake op, so this
+// is a conservative (never inflated) fingerprint of private-key load.
+func rsaTimeShare(w *serve.StatsWindow, costs map[string]float64) float64 {
+	var total, rsa float64
+	for op, ow := range w.PerOp {
+		c := costs[op]
+		if c <= 0 || ow.OK == 0 {
+			continue
+		}
+		t := float64(ow.OK) * c
+		total += t
+		if op == string(serve.OpRSADecrypt) {
+			rsa += t
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return rsa / total
+}
+
+// controlWidth widens/shrinks the batch width on sustained demand for
+// lanes.  Two independent widen drivers, per the two signals the window
+// carries: backlog pressure (queue depth or drain-group size at or above
+// the widen band, and at or above the current width — a queue the
+// current lanes already cover justifies nothing), and arrival rate (the
+// decrypt stream is fast enough that one max-length gather window would
+// overfill the current width, even though each drain sees the tasks one
+// at a time).  Shrink needs both quiet: pressure at or below the shrink
+// band and a rate too low to ever fill two lanes.  Widening requires
+// HoldTicks consecutive windows inside the band; shrinking requires
+// twice that — losing lanes under load is never urgent, and the
+// asymmetry keeps a brief slow patch mid-burst from surrendering a
+// width the traffic still wants.  A window in the dead zone between
+// the bands resets both streaks.
+func (g *Governor) controlWidth(w *serve.StatsWindow, pressure float64) {
+	rsaSeen := w.PerOp[string(serve.OpRSADecrypt)].Requests > 0
+	width := g.cfg.Tuner.BatchWidth()
+	// Decrypt arrivals expected inside one max-length gather window.
+	gatherable := w.OpArrivalRate(serve.OpRSADecrypt) * float64(g.cfg.MaxGatherUS) / 1e6
+	switch {
+	case rsaSeen && ((pressure >= g.cfg.WidenDepth && pressure >= float64(width)) ||
+		gatherable >= float64(width+1)):
+		g.widenStreak++
+		g.shrinkStreak = 0
+	case pressure <= g.cfg.ShrinkDepth && gatherable < 2:
+		g.shrinkStreak++
+		g.widenStreak = 0
+	default:
+		g.widenStreak, g.shrinkStreak = 0, 0
+	}
+
+	if g.widenStreak >= g.cfg.HoldTicks && width < g.cfg.MaxWidth {
+		next := width * 2
+		if next > g.cfg.MaxWidth {
+			next = g.cfg.MaxWidth
+		}
+		g.cfg.Tuner.SetBatchWidth(next)
+		g.widthWidens.Add(1)
+		g.widenStreak = 0
+		g.cfg.Logf("batch width %d -> %d (pressure %.1f, %.1f gatherable/window over %d windows)",
+			width, next, pressure, gatherable, g.cfg.HoldTicks)
+	} else if g.shrinkStreak >= 2*g.cfg.HoldTicks && width > g.cfg.MinWidth {
+		next := width / 2
+		if next < g.cfg.MinWidth {
+			next = g.cfg.MinWidth
+		}
+		g.cfg.Tuner.SetBatchWidth(next)
+		g.widthShrinks.Add(1)
+		g.shrinkStreak = 0
+		g.cfg.Logf("batch width %d -> %d (pressure %.1f, %.1f gatherable/window over %d windows)",
+			width, next, pressure, gatherable, 2*g.cfg.HoldTicks)
+	}
+}
+
+// controlGather retargets the gather window.  The window exists to buy
+// lanes from a fast serial arrival stream: with more than one lane
+// configured and the queue not already filling them (mean drain-group
+// size below the width), the target is the time width-1 more decrypt
+// arrivals need at the observed rate, capped at MaxGatherUS.  Dense
+// backlog (queue-depth gauge at or above the widen band) fills groups
+// from the queue with no waiting, and a rate too slow to deliver even
+// one extra arrival per max-length window would only add latency — both
+// drive the target to 0.  On/off flips require HoldTicks consecutive
+// windows wanting the new mode, and magnitude retunes apply only on a
+// ≥50% relative move — band-edge oscillation and small rate wobble
+// never touch the knob.
+func (g *Governor) controlGather(w *serve.StatsWindow, gauge float64) {
+	width := g.cfg.Tuner.BatchWidth()
+	rate := w.OpArrivalRate(serve.OpRSADecrypt)
+	cur := g.cfg.Tuner.BatchGatherUS()
+	var target int64
+	if width > 1 && gauge < g.cfg.WidenDepth &&
+		rate*float64(g.cfg.MaxGatherUS)/1e6 >= 1 &&
+		w.MeanGroupSize() < float64(width) {
+		target = int64(float64(width-1) / rate * 1e6)
+		if target > g.cfg.MaxGatherUS {
+			target = g.cfg.MaxGatherUS
+		}
+	}
+	if (target > 0) != (cur > 0) {
+		if g.gatherStreak++; g.gatherStreak < g.cfg.HoldTicks {
+			return
+		}
+	} else {
+		g.gatherStreak = 0
+		if target == cur || (cur > 0 && math.Abs(float64(target-cur))/float64(cur) < 0.5) {
+			return
+		}
+	}
+	g.gatherStreak = 0
+	g.cfg.Tuner.SetBatchGatherUS(target)
+	g.gatherChanges.Add(1)
+	g.cfg.Logf("gather window %dus -> %dus (rsa rate %.1f/s, width %d)", cur, target, rate, width)
+}
+
+// controlEngine runs the re-selection path: finish an in-flight A/B
+// first, otherwise consult the scorer and maybe start one.
+func (g *Governor) controlEngine(cur *serve.Stats, share float64) {
+	for name := range g.cooldown {
+		if g.cooldown[name]--; g.cooldown[name] <= 0 {
+			delete(g.cooldown, name)
+		}
+	}
+
+	if g.ab != nil {
+		if g.ab.ticksLeft--; g.ab.ticksLeft > 0 {
+			return
+		}
+		trial := g.ab
+		g.ab = nil
+		post := cur.OpCostUS[string(serve.OpRSADecrypt)]
+		// No pre- or post-switch cost signal means no evidence either way;
+		// keep the model's choice rather than thrash.
+		if trial.preCostUS > 0 && post > 0 && post > trial.preCostUS*(trial.ratio+g.cfg.RollbackSlack) {
+			if err := g.cfg.Tuner.SetEngineConfig(trial.prev); err == nil {
+				g.configRollbacks.Add(1)
+				g.cooldown[trial.name] = g.cfg.CooldownTicks
+				g.cfg.Logf("engine %s rolled back to %s (decrypt cost %.0fus, predicted <= %.0fus)",
+					trial.name, trial.prev, post, trial.preCostUS*trial.ratio)
+			}
+			return
+		}
+		g.configConfirms.Add(1)
+		g.cfg.Logf("engine %s confirmed (decrypt cost %.0fus -> %.0fus)", trial.name, trial.preCostUS, post)
+		return
+	}
+
+	if g.cfg.Scorer == nil {
+		return
+	}
+	curCfg := g.cfg.Tuner.EngineConfig()
+	cands, err := g.cfg.Scorer(share, curCfg)
+	if err != nil {
+		g.cfg.Logf("scorer: %v", err)
+		return
+	}
+	if cands == nil { // warming up
+		return
+	}
+	var best *Candidate
+	for i := range cands {
+		c := &cands[i]
+		if c.Engine == curCfg || g.cooldown[c.Name] > 0 {
+			continue
+		}
+		if best == nil || c.MixImprove > best.MixImprove {
+			best = c
+		}
+	}
+	if best == nil || best.MixImprove < g.cfg.MinImprove {
+		return
+	}
+	if err := g.cfg.Tuner.SetEngineConfig(best.Engine); err != nil {
+		g.cfg.Logf("engine switch to %s rejected: %v", best.Name, err)
+		return
+	}
+	// Predicted post/pre decrypt cost ratio, recovered from the mix-level
+	// improvement: MixImprove = share * (1 - ratio).
+	ratio := 1.0
+	if share > 0 {
+		ratio = 1 - best.MixImprove/share
+		if ratio < 0 {
+			ratio = 0
+		}
+	}
+	g.ab = &abTrial{
+		name:      best.Name,
+		prev:      curCfg,
+		preCostUS: cur.OpCostUS[string(serve.OpRSADecrypt)],
+		ratio:     ratio,
+		ticksLeft: g.cfg.ABTicks,
+	}
+	g.configSwitches.Add(1)
+	g.cfg.Logf("engine %s -> %s (predicted mix improvement %.1f%% at rsa share %.2f; A/B %d ticks)",
+		curCfg, best.Name, best.MixImprove*100, share, g.cfg.ABTicks)
+}

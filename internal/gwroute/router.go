@@ -44,6 +44,19 @@ type Config struct {
 	// loadUS figure piggybacked on wire responses.  Default 0.3.
 	CostAlpha float64
 
+	// CoRouteRSA concentrates non-resume rsa-decrypt traffic for the same
+	// key material (Request.Key, or the gateway default key when unset)
+	// onto one ring-chosen backend, so that backend's precompute cache and
+	// batch engine see every decrypt under that key instead of a 1/Nth
+	// slice.  Bounded: the preferred backend is used only while available
+	// and not over the CoRouteFactor cost ceiling; otherwise the request
+	// spills to normal p2c.  Default off.
+	CoRouteRSA bool
+	// CoRouteFactor is the co-routing load ceiling: spill to p2c when the
+	// preferred backend's estimated cost exceeds factor × the cheapest
+	// alternative plus one service-time penalty.  Default 2.0.
+	CoRouteFactor float64
+
 	// Now overrides the clock for ejection/quarantine bookkeeping (tests
 	// inject a fake to pin eject → quarantine → half-open transitions
 	// deterministically).  Default time.Now.
@@ -74,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CostAlpha <= 0 || c.CostAlpha > 1 {
 		c.CostAlpha = 0.3
+	}
+	if c.CoRouteFactor <= 0 {
+		c.CoRouteFactor = 2.0
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -235,6 +251,11 @@ type Router struct {
 	// ring owner to a successor — the cluster-level signal that session
 	// replication (not affinity) is carrying resumption.
 	resumeFailover atomic.Uint64
+	// coRouted/coRouteSpill split rsa-decrypt picks under CoRouteRSA:
+	// served by the key's preferred backend vs spilled to p2c because the
+	// preferred backend was unavailable or over the cost ceiling.
+	coRouted     atomic.Uint64
+	coRouteSpill atomic.Uint64
 }
 
 // NewRouter dials every backend and builds the routing state.  A backend
@@ -390,6 +411,12 @@ func (r *Router) pick(req *serve.Request, visited *uint64) (idx int, viaRing boo
 		return choice, true
 	}
 
+	if r.cfg.CoRouteRSA && req.Op == serve.OpRSADecrypt {
+		if choice := r.coRoutePick(req, visited, now); choice >= 0 {
+			return choice, false
+		}
+	}
+
 	// Power of two choices over available nodes.
 	var avail [64]int
 	cnt := 0
@@ -425,6 +452,51 @@ func (r *Router) pick(req *serve.Request, visited *uint64) (idx int, viaRing boo
 		return b, false
 	}
 	return a, false
+}
+
+// rsaKeyID is the co-routing identity: the request's key material under
+// an op-scoped prefix, so decrypt concentration and session affinity
+// hash into independent ring positions even for equal byte strings.
+func rsaKeyID(req *serve.Request) string {
+	if len(req.Key) == 0 {
+		return "rsa|-" // gateway default key: still one preferred backend
+	}
+	return "rsa|" + string(req.Key)
+}
+
+// coRoutePick returns the preferred backend for a decrypt's key, or -1
+// to spill the request to p2c.  The preference is bounded two ways: the
+// backend must be pickable at all (not visited, not quarantined, under
+// the in-flight cap), and its estimated cost must sit under the
+// CoRouteFactor ceiling relative to the cheapest alternative — key
+// concentration is a cache/batching optimisation, never a reason to let
+// one hot key build a queue the rest of the cluster could absorb.
+func (r *Router) coRoutePick(req *serve.Request, visited *uint64, now int64) int {
+	pref := r.ring.Owner(rsaKeyID(req))
+	if pref < 0 {
+		return -1
+	}
+	n := r.nodes[pref]
+	if *visited&(1<<uint(pref)) != 0 || !n.available(now, r.cfg.MaxInflight) {
+		r.coRouteSpill.Add(1)
+		return -1
+	}
+	prefCost := n.cost() + float64(n.inflight.Load())*n.penaltyUS()
+	cheapest := math.Inf(1)
+	for i, m := range r.nodes {
+		if i == pref || *visited&(1<<uint(i)) != 0 || !m.available(now, r.cfg.MaxInflight) {
+			continue
+		}
+		if c := m.cost() + float64(m.inflight.Load())*m.penaltyUS(); c < cheapest {
+			cheapest = c
+		}
+	}
+	if !math.IsInf(cheapest, 1) && prefCost > r.cfg.CoRouteFactor*cheapest+n.penaltyUS() {
+		r.coRouteSpill.Add(1)
+		return -1
+	}
+	r.coRouted.Add(1)
+	return pref
 }
 
 // roundTrip sends req to n, feeding the health and load trackers.

@@ -394,3 +394,90 @@ func TestRouterWireClusterDigests(t *testing.T) {
 		t.Errorf("cluster ok = %d, want 60", s.OK)
 	}
 }
+
+// TestCoRouteConcentratesKey: with same-key co-routing on, every
+// non-resume decrypt under one key lands on that key's preferred backend
+// — the whole point of concentration: one node's precompute cache and
+// batch engine see all of the key's traffic.
+func TestCoRouteConcentratesKey(t *testing.T) {
+	r, stubs := stubCluster(t, 4, Config{CoRouteRSA: true})
+	const keys, perKey = 12, 10
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("rsa-key-%d", k)
+		for i := 0; i < perKey; i++ {
+			resp := r.Submit(&serve.Request{
+				ID: fmt.Sprintf("%s/%d", key, i), Op: serve.OpRSADecrypt,
+				Key: []byte(key), ClientID: key, // ClientID mirrors the key so the served log is replayable
+			})
+			if resp.Status != serve.StatusOK {
+				t.Fatalf("key %s op %d: %s (%s)", key, i, resp.Status, resp.Error)
+			}
+		}
+	}
+	// Replay arrivals: each backend saw only keys whose co-routing identity
+	// it owns on the ring.
+	for i, st := range stubs {
+		st.mu.Lock()
+		for _, key := range st.served {
+			if owner := r.ring.Owner("rsa|" + key); owner != i {
+				t.Errorf("node %d served decrypts for key %q preferred on node %d", i, key, owner)
+			}
+		}
+		st.mu.Unlock()
+	}
+	s := r.Stats()
+	if s.CoRouted != keys*perKey || s.CoRouteSpill != 0 {
+		t.Fatalf("corouted/spill = %d/%d, want %d/0", s.CoRouted, s.CoRouteSpill, keys*perKey)
+	}
+}
+
+// TestCoRouteSpillsOverCeiling: a hot key's preferred backend reporting a
+// huge backlog must not keep attracting that key — once its cost exceeds
+// the ceiling relative to the cheapest alternative, decrypts spill to
+// p2c and the idle node absorbs them.
+func TestCoRouteSpillsOverCeiling(t *testing.T) {
+	r, stubs := stubCluster(t, 2, Config{CoRouteRSA: true})
+	pref := r.ring.Owner("rsa|hot")
+	stubs[pref].mu.Lock()
+	stubs[pref].loadUS = 1_000_000 // every response reports a mile-long backlog
+	stubs[pref].mu.Unlock()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		resp := r.Submit(&serve.Request{
+			ID: fmt.Sprintf("hot/%d", i), Op: serve.OpRSADecrypt, Key: []byte("hot"),
+		})
+		if resp.Status != serve.StatusOK {
+			t.Fatalf("op %d: %s (%s)", i, resp.Status, resp.Error)
+		}
+	}
+	// The first decrypt seeds the preferred node's cost EWMA (no backlog
+	// known yet); everything after must spill to the idle node.
+	if got := stubs[pref].servedCount(); got != 1 {
+		t.Fatalf("preferred node served %d decrypts, want 1 (the EWMA seed)", got)
+	}
+	if got := stubs[1-pref].servedCount(); got != n-1 {
+		t.Fatalf("alternative node served %d decrypts, want %d", got, n-1)
+	}
+	s := r.Stats()
+	if s.CoRouted != 1 || s.CoRouteSpill != n-1 {
+		t.Fatalf("corouted/spill = %d/%d, want 1/%d", s.CoRouted, s.CoRouteSpill, n-1)
+	}
+}
+
+// TestCoRouteOffIsInert: with the flag off the counters stay zero —
+// decrypt routing is plain p2c, bit-identical to the pre-co-routing tier.
+func TestCoRouteOffIsInert(t *testing.T) {
+	r, _ := stubCluster(t, 3, Config{})
+	for i := 0; i < 30; i++ {
+		resp := r.Submit(&serve.Request{
+			ID: fmt.Sprintf("off/%d", i), Op: serve.OpRSADecrypt, Key: []byte("k"),
+		})
+		if resp.Status != serve.StatusOK {
+			t.Fatalf("op %d: %s (%s)", i, resp.Status, resp.Error)
+		}
+	}
+	if s := r.Stats(); s.CoRouted != 0 || s.CoRouteSpill != 0 {
+		t.Fatalf("co-route counters moved with the flag off: %d/%d", s.CoRouted, s.CoRouteSpill)
+	}
+}

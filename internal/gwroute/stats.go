@@ -64,6 +64,13 @@ type RouterStats struct {
 	ShedDraining   uint64 `json:"shed_draining"`
 	RejectedDecode uint64 `json:"rejected_decode"`
 
+	// CoRouted/CoRouteSpill split rsa-decrypt routing under same-key
+	// co-routing: concentrated on the key's preferred backend vs spilled
+	// to p2c because the preferred backend was unavailable or over the
+	// cost ceiling.  Both zero when CoRouteRSA is off.
+	CoRouted     uint64 `json:"corouted"`
+	CoRouteSpill uint64 `json:"coroute_spill"`
+
 	// BacklogUS is the cluster backlog estimate: the sum of live (not
 	// quarantined) node cost EWMAs, i.e. the figure a second-tier router
 	// would see piggybacked.
@@ -82,6 +89,8 @@ func (r *Router) Stats() *RouterStats {
 		ResumeFailover: r.resumeFailover.Load(),
 		ShedDraining:   r.shedDraining.Load(),
 		RejectedDecode: r.rejectedDecode.Load(),
+		CoRouted:       r.coRouted.Load(),
+		CoRouteSpill:   r.coRouteSpill.Load(),
 	}
 	nowNS := now.UnixNano()
 	for _, n := range r.nodes {
@@ -141,6 +150,8 @@ func (s *RouterStats) Text() string {
 	fmt.Fprintf(&b, "wispgw_resume_failover_total %d\n", s.ResumeFailover)
 	fmt.Fprintf(&b, "wispgw_shed_draining_total %d\n", s.ShedDraining)
 	fmt.Fprintf(&b, "wispgw_rejected_decode_total %d\n", s.RejectedDecode)
+	fmt.Fprintf(&b, "wispgw_corouted_total %d\n", s.CoRouted)
+	fmt.Fprintf(&b, "wispgw_coroute_spill_total %d\n", s.CoRouteSpill)
 	fmt.Fprintf(&b, "wispgw_backlog_us %d\n", s.BacklogUS)
 	var picks, aff, red, ej uint64
 	for _, n := range s.Nodes {

@@ -26,8 +26,9 @@ import (
 // request straight to the idle worker, so the queue never holds two).
 func (s *shard) serveRSABatch(group []*task) {
 	var leftover []*task
-	if g := s.g.cfg.BatchGatherUS; g > 0 && len(group) < s.g.cfg.BatchWidth {
-		group, leftover = s.gatherRSA(group, time.Duration(g)*time.Microsecond)
+	width := s.g.BatchWidth()
+	if g := s.g.BatchGatherUS(); g > 0 && len(group) < width {
+		group, leftover = s.gatherRSA(group, width, time.Duration(g)*time.Microsecond)
 	}
 	if len(group) < 2 {
 		for _, t := range group {
@@ -35,9 +36,8 @@ func (s *shard) serveRSABatch(group []*task) {
 			s.serveOne(t, len(group))
 		}
 	} else {
-		w := s.g.cfg.BatchWidth
-		for off := 0; off < len(group); off += w {
-			s.serveRSAChunk(group[off:min(off+w, len(group))])
+		for off := 0; off < len(group); off += width {
+			s.serveRSAChunk(group[off:min(off+width, len(group))])
 		}
 	}
 	if len(leftover) > 0 {
@@ -50,12 +50,15 @@ func (s *shard) serveRSABatch(group []*task) {
 
 // gatherRSA tops an under-width decrypt group up from the shard queue,
 // waiting at most window for stragglers.  Non-decrypt tasks dequeued
-// along the way are returned for immediate serving.
-func (s *shard) gatherRSA(group []*task, window time.Duration) (rsa, other []*task) {
+// along the way are returned for immediate serving.  A drain aborts the
+// wait immediately: admission is closed, so no straggler can arrive and
+// sitting out the window would only stretch shutdown by one gather
+// deadline per queued under-width group.
+func (s *shard) gatherRSA(group []*task, width int, window time.Duration) (rsa, other []*task) {
 	rsa = group
 	timer := time.NewTimer(window)
 	defer timer.Stop()
-	for len(rsa) < s.g.cfg.BatchWidth {
+	for len(rsa) < width {
 		select {
 		case t := <-s.queue:
 			s.g.metrics.queueDepth[s.id].Add(-1)
@@ -64,6 +67,8 @@ func (s *shard) gatherRSA(group []*task, window time.Duration) (rsa, other []*ta
 			} else {
 				other = append(other, t)
 			}
+		case <-s.g.drainStart:
+			return rsa, other
 		case <-timer.C:
 			return rsa, other
 		}

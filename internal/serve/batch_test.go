@@ -2,11 +2,15 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"wisp/internal/hashes"
+	"wisp/internal/mpz"
+	"wisp/internal/rsakey"
 )
 
 // rsaBurstBehindSlowOp occupies the single shard with a long SSL
@@ -77,5 +81,106 @@ func TestScalarRSADispatch(t *testing.T) {
 	}
 	if stats.RSAOpsScalar != 12 {
 		t.Fatalf("scalar count %d, want 12", stats.RSAOpsScalar)
+	}
+}
+
+// TestGatherAbortsOnDrain is the shutdown-latency regression test for
+// the gather window: a lone decrypt enters a multi-second gather wait,
+// and Drain must complete almost immediately instead of sitting out the
+// window (no straggler can arrive once admission is closed).
+func TestGatherAbortsOnDrain(t *testing.T) {
+	gw, err := NewGateway(Config{Shards: 1, BatchWidth: 4, BatchGatherUS: 5_000_000, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Response, 1)
+	go func() { done <- gw.Submit(&Request{Op: OpRSADecrypt, Payload: []byte("lone decrypt")}) }()
+	// Wait for the task to be in service (the gather wait) rather than
+	// queued, so the drain genuinely races the window.
+	waitBusy(t, gw)
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := gw.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain took %v: gather window not aborted (window is 5s)", elapsed)
+	}
+	if r := <-done; r.Status != StatusOK {
+		t.Fatalf("gathered decrypt: %s (%s)", r.Status, r.Error)
+	}
+}
+
+// TestRuntimeBatchKnobs flips the live width/gather knobs and checks the
+// serving path follows: width 1 keeps a queued group scalar, raising it
+// to 4 at runtime engages the batched engine for the next burst.
+func TestRuntimeBatchKnobs(t *testing.T) {
+	gw := testGateway(t, Config{Shards: 1, BatchWidth: 1, Seed: 41})
+	rsaBurstBehindSlowOp(t, gw, 8)
+	if s := gw.Stats(); s.RSAOpsBatched != 0 {
+		t.Fatalf("%d ops batched with live width 1", s.RSAOpsBatched)
+	}
+
+	gw.SetBatchWidth(4)
+	gw.SetBatchGatherUS(1000)
+	if gw.BatchWidth() != 4 || gw.BatchGatherUS() != 1000 {
+		t.Fatalf("knobs read back %d/%d, want 4/1000", gw.BatchWidth(), gw.BatchGatherUS())
+	}
+	rsaBurstBehindSlowOp(t, gw, 8)
+	s := gw.Stats()
+	if s.RSAOpsBatched == 0 {
+		t.Fatal("no decrypts batched after SetBatchWidth(4)")
+	}
+	if s.BatchWidth != 4 || s.BatchGatherUS != 1000 {
+		t.Fatalf("stats gauges %d/%d, want 4/1000", s.BatchWidth, s.BatchGatherUS)
+	}
+	gw.SetBatchWidth(0)
+	if gw.BatchWidth() != 1 {
+		t.Fatalf("SetBatchWidth(0) read back %d, want clamp to 1", gw.BatchWidth())
+	}
+}
+
+// TestEngineConfigSwitch re-selects the shard RSA engine configuration
+// mid-serve and verifies ops still round-trip correctly before and after
+// the swap — the correctness half of the governor's re-selection path.
+func TestEngineConfigSwitch(t *testing.T) {
+	gw := testGateway(t, Config{Shards: 2, Seed: 43})
+	check := func(tag string) {
+		for i := 0; i < 4; i++ {
+			payload := []byte(fmt.Sprintf("%s payload %d", tag, i))
+			resp := gw.Submit(&Request{Op: OpRSADecrypt, Payload: payload})
+			if resp.Status != StatusOK {
+				t.Fatalf("%s op %d: %s (%s)", tag, i, resp.Status, resp.Error)
+			}
+			digest := hashes.MD5Sum(payload)
+			if !bytes.Equal(resp.Digest, digest[:]) {
+				t.Fatalf("%s op %d: digest mismatch", tag, i)
+			}
+		}
+		if resp := gw.Submit(&Request{Op: OpHandshake, Payload: []byte(tag)}); resp.Status != StatusOK {
+			t.Fatalf("%s handshake: %s (%s)", tag, resp.Status, resp.Error)
+		}
+	}
+	check("before")
+
+	next := EngineConfig{
+		Exp: mpz.ExpConfig{Alg: mpz.ModMulBarrett, WindowBits: 2, Cache: mpz.CacheNone},
+		CRT: rsakey.CRTGauss,
+	}
+	if err := gw.SetEngineConfig(next); err != nil {
+		t.Fatal(err)
+	}
+	if got := gw.EngineConfig(); got != next {
+		t.Fatalf("EngineConfig read back %v, want %v", got, next)
+	}
+	check("after")
+	if s := gw.Stats(); s.EngineConfig != next.String() {
+		t.Fatalf("stats engine config %q, want %q", s.EngineConfig, next.String())
+	}
+
+	if err := gw.SetEngineConfig(EngineConfig{Exp: mpz.ExpConfig{WindowBits: 99}}); err == nil {
+		t.Fatal("invalid engine config accepted")
 	}
 }

@@ -247,15 +247,61 @@ type Gateway struct {
 	rng      *rand.Rand    // power-of-two-choices sampling (DispatchCost)
 	workHint chan struct{} // pings idle shards that queued work exists somewhere
 
-	draining atomic.Bool
-	inflight sync.WaitGroup // Submit calls in progress
-	workers  sync.WaitGroup
-	drained  chan struct{}
-	drainOne sync.Once
+	draining   atomic.Bool
+	inflight   sync.WaitGroup // Submit calls in progress
+	workers    sync.WaitGroup
+	drainStart chan struct{} // closed when Drain begins: aborts gather waits
+	drained    chan struct{}
+	drainOne   sync.Once
+
+	// batchWidth/batchGatherUS are the live values of the two batch knobs.
+	// Seeded from Config and never touched again unless a governor calls
+	// the setters, so a governor-less gateway behaves exactly as if the
+	// flags were still read directly.
+	batchWidth    atomic.Int64
+	batchGatherUS atomic.Int64
+
+	// engCfg is the desired RSA engine configuration; engGen bumps on
+	// every change and each shard rebuilds its engine at the next safe
+	// point in its own serving loop (the engine is shard-goroutine-owned).
+	engMu  sync.Mutex
+	engCfg EngineConfig
+	engGen atomic.Uint64
 
 	// replView snapshots the replication layer's counters for Stats; nil
 	// when no replication is wired (SetSessionReplication never called).
 	replView func() *ReplicationView
+	// govView snapshots the adaptive governor's decision counters for
+	// Stats; nil when no governor is attached.
+	govView func() *GovernorView
+}
+
+// EngineConfig is the runtime-switchable part of a shard's RSA engine:
+// the modular-exponentiation algorithm point and the CRT mode.  It is
+// the serving-side projection of an explore.Config (radix is pinned to
+// the native 32 — radix 16 exists only as an analytic trace transform).
+type EngineConfig struct {
+	Exp mpz.ExpConfig
+	CRT rsakey.CRTMode
+}
+
+// String renders the configuration the way the exploration engine names
+// its candidates ("montgomery/w4/garner/cache-reducer").
+func (ec EngineConfig) String() string {
+	return fmt.Sprintf("%s/w%d/%s/%s", ec.Exp.Alg, ec.Exp.WindowBits, ec.CRT, ec.Exp.Cache)
+}
+
+// Validate reports whether the configuration can actually build engines.
+func (ec EngineConfig) Validate() error {
+	if err := ec.Exp.Validate(); err != nil {
+		return err
+	}
+	for _, m := range rsakey.CRTModes {
+		if ec.CRT == m {
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: unknown CRT mode %d", ec.CRT)
 }
 
 // NewGateway builds and starts a gateway: one RSA key, `Shards` worker
@@ -278,12 +324,16 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("serve: generating %d-bit gateway key: %w", c.RSABits, err)
 	}
 	g := &Gateway{
-		cfg:      c,
-		key:      key,
-		metrics:  NewMetrics(c.Shards),
-		workHint: make(chan struct{}, c.Shards*c.QueueDepth),
-		drained:  make(chan struct{}),
+		cfg:        c,
+		key:        key,
+		metrics:    NewMetrics(c.Shards),
+		workHint:   make(chan struct{}, c.Shards*c.QueueDepth),
+		drainStart: make(chan struct{}),
+		drained:    make(chan struct{}),
 	}
+	g.batchWidth.Store(int64(c.BatchWidth))
+	g.batchGatherUS.Store(c.BatchGatherUS)
+	g.engCfg = EngineConfig{Exp: rsakey.DefaultExpConfig, CRT: rsakey.CRTGarner}
 	if c.SessionCap > 0 {
 		g.sessions = ssl.NewSessionCache(c.SessionCap, c.SessionTTL)
 	}
@@ -369,6 +419,12 @@ func (g *Gateway) Stats() Stats {
 	if g.replView != nil {
 		s.Replication = g.replView()
 	}
+	if g.govView != nil {
+		s.Governor = g.govView()
+	}
+	s.BatchWidth = g.BatchWidth()
+	s.BatchGatherUS = g.BatchGatherUS()
+	s.EngineConfig = g.EngineConfig().String()
 	if g.qos != nil {
 		s.QoS = g.qos.view()
 	}
@@ -391,6 +447,64 @@ func (g *Gateway) Stats() Stats {
 
 // Config returns the resolved configuration.
 func (g *Gateway) Config() Config { return g.cfg }
+
+// BatchWidth returns the live RSA batch width (lanes per fused engine
+// call; 1 = scalar serving).
+func (g *Gateway) BatchWidth() int { return int(g.batchWidth.Load()) }
+
+// SetBatchWidth changes the live RSA batch width.  Values below 1 clamp
+// to 1 (scalar).  Takes effect on the next drained batch; in-progress
+// chunks finish at their old width.
+func (g *Gateway) SetBatchWidth(w int) {
+	if w < 1 {
+		w = 1
+	}
+	g.batchWidth.Store(int64(w))
+}
+
+// BatchGatherUS returns the live micro-batching gather window in µs.
+func (g *Gateway) BatchGatherUS() int64 { return g.batchGatherUS.Load() }
+
+// SetBatchGatherUS changes the live gather window (0 disables the wait).
+func (g *Gateway) SetBatchGatherUS(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	g.batchGatherUS.Store(us)
+}
+
+// EngineConfig returns the desired RSA engine configuration (shards
+// converge to it at their next serving cycle).
+func (g *Gateway) EngineConfig() EngineConfig {
+	g.engMu.Lock()
+	defer g.engMu.Unlock()
+	return g.engCfg
+}
+
+// SetEngineConfig requests every shard rebuild its RSA engine at the
+// given configuration.  The swap is asynchronous and per-shard: each
+// worker applies it at the top of its next serving cycle, on its own
+// goroutine, so no lock is ever taken on the decrypt path.  The switch
+// cost is a cold precompute cache (reducer constants and CRT
+// exponentiators re-derive on first use) — the governor's A/B window is
+// what keeps that honest.
+func (g *Gateway) SetEngineConfig(ec EngineConfig) error {
+	if err := ec.Validate(); err != nil {
+		return err
+	}
+	g.engMu.Lock()
+	changed := ec != g.engCfg
+	g.engCfg = ec
+	g.engMu.Unlock()
+	if changed {
+		g.engGen.Add(1)
+	}
+	return nil
+}
+
+// SetGovernorView wires an adaptive governor's counter snapshot into
+// Stats (mirrors SetSessionReplication's view hook).
+func (g *Gateway) SetGovernorView(view func() *GovernorView) { g.govView = view }
 
 // BacklogUS is the gateway's total estimated backlog (µs of priced work
 // queued or in service across every shard) — the compact load figure the
@@ -730,6 +844,9 @@ func (g *Gateway) noteShedWhileIdle() {
 func (g *Gateway) Drain(ctx context.Context) error {
 	g.draining.Store(true)
 	g.drainOne.Do(func() {
+		// Wake any shard parked in a gather window: no more arrivals can
+		// come, so waiting out the window would only delay shutdown.
+		close(g.drainStart)
 		go func() {
 			// Every admitted task's Submit call is still parked on its
 			// response channel, so waiting for in-flight Submits to return
@@ -827,6 +944,10 @@ type shard struct {
 	rng *rand.Rand
 	ctx *mpz.Ctx
 	env *shardEnv
+
+	// engGen is the gateway engine-config generation this shard has
+	// applied; only the shard's own goroutine reads or writes it.
+	engGen uint64
 
 	// cost is the estimated µs of work this shard is committed to:
 	// every queued task's admission estimate plus the task currently in
@@ -1001,6 +1122,8 @@ func (s *shard) collect(first *task) []*task {
 // within each group) and serves each group; compatible record-layer ops
 // thus share one pass over the shard's session machinery.
 func (s *shard) serveBatch(batch []*task) {
+	s.applyEngineConfig()
+	width, gather := s.g.BatchWidth(), s.g.BatchGatherUS()
 	var order []Op
 	groups := make(map[Op][]*task)
 	for _, t := range batch {
@@ -1012,8 +1135,8 @@ func (s *shard) serveBatch(batch []*task) {
 	for _, op := range order {
 		group := groups[op]
 		s.g.metrics.batch.Observe(float64(len(group)))
-		if op == OpRSADecrypt && s.g.cfg.BatchWidth > 1 &&
-			(len(group) >= 2 || s.g.cfg.BatchGatherUS > 0) {
+		if op == OpRSADecrypt && width > 1 &&
+			(len(group) >= 2 || gather > 0) {
 			// ≥2 queued decrypts against the shared gateway key — or a
 			// gather window that may find more: upgrade the same-op group
 			// to the lockstep batched engine (batch.go).
@@ -1027,6 +1150,27 @@ func (s *shard) serveBatch(batch []*task) {
 			s.serveOne(t, len(group))
 		}
 	}
+}
+
+// applyEngineConfig converges this shard's RSA engine on the gateway's
+// desired configuration.  Called at the top of every serving cycle on
+// the shard's own goroutine — the engine (and the session-cache decrypt
+// hook, which closes over the env pointer) is goroutine-owned, so the
+// swap needs no lock beyond reading the desired config.  The steady
+// state is one atomic load and a branch.
+func (s *shard) applyEngineConfig() {
+	gen := s.g.engGen.Load()
+	if gen == s.engGen {
+		return
+	}
+	ec := s.g.EngineConfig()
+	eng, err := rsakey.NewEngine(s.ctx, ec.Exp, ec.CRT, s.g.cfg.PrecomputeKeys, 0)
+	if err == nil {
+		s.env.engine = eng
+	}
+	// SetEngineConfig validated ec, so err is impossible; marking the
+	// generation applied either way prevents a rebuild loop.
+	s.engGen = gen
 }
 
 // serveOne executes one task (deadline check, op dispatch, reply) and

@@ -594,10 +594,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	if postStats, _ := client.Stats(); postStats != nil && postStats.Runtime != nil &&
 		preStats != nil && preStats.Runtime != nil && rep.OK > 0 {
-		pre, post := preStats.Runtime, postStats.Runtime
-		rep.AllocsPerOp = float64(post.HeapAllocObjects-pre.HeapAllocObjects) / float64(rep.OK)
-		rep.AllocBytesPerOp = float64(post.HeapAllocBytes-pre.HeapAllocBytes) / float64(rep.OK)
-		rep.GCPauseP99US = post.GCPauseP99US
+		w := DiffStats(preStats, postStats)
+		rep.AllocsPerOp = float64(w.AllocObjects) / float64(rep.OK)
+		rep.AllocBytesPerOp = float64(w.AllocBytes) / float64(rep.OK)
+		rep.GCPauseP99US = postStats.Runtime.GCPauseP99US
 	}
 	return rep, nil
 }

@@ -1,0 +1,157 @@
+package serve
+
+// Windowed stats deltas.  /stats counters are cumulative; every consumer
+// that wants "what happened recently" — the governor's control loop, a
+// load generator's per-run allocation report, a dashboard rate panel —
+// needs the same subtraction of two snapshots.  DiffStats is that
+// subtraction done once: saturating (a restarted daemon's counters going
+// backwards read as an empty window, not an underflowed one) and shaped
+// for rate math.
+
+// StatsWindow is the delta between two cumulative Stats snapshots: what
+// the gateway did between the earlier and the later one.
+type StatsWindow struct {
+	// Seconds is the wall span between the snapshots (0 when the later
+	// snapshot is from a restarted process).
+	Seconds float64
+
+	Requests uint64
+	OK       uint64
+	Errors   uint64
+	Shed     uint64
+	Expired  uint64
+	Resumed  uint64
+
+	// RSAOpsBatched/RSAOpsScalar split the window's rsa-decrypt serves by
+	// path; BatchCalls/BatchLanes are the batched-engine call count and
+	// total lanes, so BatchLanes/BatchCalls is the realized batch width
+	// over the window alone (the cumulative histogram mean smears the
+	// whole process lifetime together).
+	RSAOpsBatched uint64
+	RSAOpsScalar  uint64
+	BatchCalls    uint64
+	BatchLanes    float64
+
+	// BatchGroups/BatchGroupTasks delta the same-op drain-group histogram:
+	// how many groups shards drained this window and how many tasks they
+	// held in total.  Their ratio is the backlog signal an instantaneous
+	// queue-depth gauge misses — a shard drains its whole queue into one
+	// group before serving it, so the gauge reads near zero exactly while
+	// big same-op groups are being served one lane at a time.
+	BatchGroups     uint64
+	BatchGroupTasks float64
+
+	// AllocObjects/AllocBytes are the heap-allocation deltas (zero when
+	// either snapshot lacks a Runtime section).
+	AllocObjects uint64
+	AllocBytes   uint64
+
+	PerOp map[string]OpWindow
+}
+
+// OpWindow is one op's share of a StatsWindow.
+type OpWindow struct {
+	Requests uint64
+	OK       uint64
+	Errors   uint64
+	Shed     uint64
+	Expired  uint64
+}
+
+// MeanBatchWidth is the realized lanes-per-call of the window's batched
+// RSA engine calls (0 when none ran).
+func (w *StatsWindow) MeanBatchWidth() float64 {
+	if w.BatchCalls == 0 {
+		return 0
+	}
+	return w.BatchLanes / float64(w.BatchCalls)
+}
+
+// MeanGroupSize is the mean same-op drain-group size over the window (0
+// when no groups were drained) — how many fusable tasks a shard found
+// queued per drain, i.e. the demand for batch lanes.
+func (w *StatsWindow) MeanGroupSize() float64 {
+	if w.BatchGroups == 0 {
+		return 0
+	}
+	return w.BatchGroupTasks / float64(w.BatchGroups)
+}
+
+// OpArrivalRate is op's request arrivals per second over the window.
+func (w *StatsWindow) OpArrivalRate(op Op) float64 {
+	if w.Seconds <= 0 {
+		return 0
+	}
+	return float64(w.PerOp[string(op)].Requests) / w.Seconds
+}
+
+// OpOKRate is op's served-OK throughput per second over the window.
+func (w *StatsWindow) OpOKRate(op Op) float64 {
+	if w.Seconds <= 0 {
+		return 0
+	}
+	return float64(w.PerOp[string(op)].OK) / w.Seconds
+}
+
+// sub is saturating uint64 subtraction: counters that went backwards
+// (process restart between snapshots) clamp to zero.
+func sub(cur, pre uint64) uint64 {
+	if cur < pre {
+		return 0
+	}
+	return cur - pre
+}
+
+// DiffStats computes the window between two cumulative snapshots.  pre
+// may be nil (everything since process start).  Both arguments are
+// read-only; the returned window shares nothing with them.
+func DiffStats(pre, cur *Stats) StatsWindow {
+	if cur == nil {
+		return StatsWindow{}
+	}
+	var zero Stats
+	if pre == nil {
+		pre = &zero
+	}
+	w := StatsWindow{
+		Seconds:       cur.UptimeSeconds - pre.UptimeSeconds,
+		Requests:      sub(cur.Requests, pre.Requests),
+		OK:            sub(cur.OK, pre.OK),
+		Errors:        sub(cur.Errors, pre.Errors),
+		Shed:          sub(cur.Shed, pre.Shed),
+		Expired:       sub(cur.Expired, pre.Expired),
+		Resumed:       sub(cur.Resumed, pre.Resumed),
+		RSAOpsBatched: sub(cur.RSAOpsBatched, pre.RSAOpsBatched),
+		RSAOpsScalar:  sub(cur.RSAOpsScalar, pre.RSAOpsScalar),
+		BatchCalls:    sub(cur.RSABatchWidth.Count, pre.RSABatchWidth.Count),
+		BatchGroups:   sub(cur.BatchSize.Count, pre.BatchSize.Count),
+		PerOp:         make(map[string]OpWindow, len(cur.PerOp)),
+	}
+	if w.Seconds < 0 {
+		w.Seconds = 0
+	}
+	if lanes := cur.RSABatchWidth.Sum - pre.RSABatchWidth.Sum; lanes > 0 {
+		w.BatchLanes = lanes
+	}
+	if tasks := cur.BatchSize.Sum - pre.BatchSize.Sum; tasks > 0 && w.BatchGroups > 0 {
+		w.BatchGroupTasks = tasks
+	}
+	if cur.Runtime != nil && pre.Runtime != nil {
+		w.AllocObjects = sub(cur.Runtime.HeapAllocObjects, pre.Runtime.HeapAllocObjects)
+		w.AllocBytes = sub(cur.Runtime.HeapAllocBytes, pre.Runtime.HeapAllocBytes)
+	}
+	for op, c := range cur.PerOp {
+		p := pre.PerOp[op]
+		ow := OpWindow{
+			Requests: sub(c.Requests, p.Requests),
+			OK:       sub(c.OK, p.OK),
+			Errors:   sub(c.Errors, p.Errors),
+			Shed:     sub(c.Shed, p.Shed),
+			Expired:  sub(c.Expired, p.Expired),
+		}
+		if ow != (OpWindow{}) {
+			w.PerOp[op] = ow
+		}
+	}
+	return w
+}

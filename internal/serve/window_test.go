@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestDiffStats checks the windowed delta math on hand-built snapshots:
+// plain counter deltas, per-op deltas, realized batch width, allocation
+// deltas and the saturating clamp for a restarted process.
+func TestDiffStats(t *testing.T) {
+	pre := &Stats{
+		UptimeSeconds: 10,
+		Requests:      100, OK: 90, Shed: 6, Errors: 2, Expired: 2,
+		RSAOpsBatched: 20, RSAOpsScalar: 10,
+		RSABatchWidth: HistSnapshot{Count: 5, Sum: 20},
+		BatchSize:     HistSnapshot{Count: 10, Sum: 40},
+		PerOp: map[string]OpStats{
+			"rsa-decrypt": {Requests: 30, OK: 30},
+			"record":      {Requests: 70, OK: 60},
+		},
+		Runtime: &RuntimeStats{HeapAllocObjects: 1000, HeapAllocBytes: 50_000},
+	}
+	cur := &Stats{
+		UptimeSeconds: 12,
+		Requests:      160, OK: 140, Shed: 10, Errors: 4, Expired: 6,
+		RSAOpsBatched: 52, RSAOpsScalar: 14,
+		RSABatchWidth: HistSnapshot{Count: 13, Sum: 52},
+		BatchSize:     HistSnapshot{Count: 18, Sum: 88},
+		PerOp: map[string]OpStats{
+			"rsa-decrypt": {Requests: 70, OK: 66},
+			"record":      {Requests: 90, OK: 74},
+		},
+		Runtime: &RuntimeStats{HeapAllocObjects: 1500, HeapAllocBytes: 80_000},
+	}
+	w := DiffStats(pre, cur)
+	if w.Seconds != 2 {
+		t.Fatalf("seconds %.1f, want 2", w.Seconds)
+	}
+	if w.Requests != 60 || w.OK != 50 || w.Shed != 4 || w.Errors != 2 || w.Expired != 4 {
+		t.Fatalf("top-level deltas wrong: %+v", w)
+	}
+	if w.RSAOpsBatched != 32 || w.RSAOpsScalar != 4 {
+		t.Fatalf("rsa path deltas %d/%d, want 32/4", w.RSAOpsBatched, w.RSAOpsScalar)
+	}
+	if got := w.MeanBatchWidth(); got != 4 {
+		t.Fatalf("realized batch width %.2f, want 4 (32 lanes / 8 calls)", got)
+	}
+	if got := w.MeanGroupSize(); got != 6 {
+		t.Fatalf("mean drain-group size %.2f, want 6 (48 tasks / 8 groups)", got)
+	}
+	if got := w.OpArrivalRate(OpRSADecrypt); got != 20 {
+		t.Fatalf("rsa arrival rate %.1f/s, want 20", got)
+	}
+	if got := w.OpOKRate(OpRecord); got != 7 {
+		t.Fatalf("record ok rate %.1f/s, want 7", got)
+	}
+	if w.AllocObjects != 500 || w.AllocBytes != 30_000 {
+		t.Fatalf("alloc deltas %d/%d, want 500/30000", w.AllocObjects, w.AllocBytes)
+	}
+
+	// A restart (cur counters below pre) must clamp to an empty window,
+	// never underflow.
+	w = DiffStats(cur, pre)
+	if w.Requests != 0 || w.OK != 0 || w.Seconds != 0 || w.BatchCalls != 0 || w.BatchLanes != 0 {
+		t.Fatalf("restart window not clamped: %+v", w)
+	}
+	if w.MeanBatchWidth() != 0 {
+		t.Fatalf("restart batch width %.2f, want 0", w.MeanBatchWidth())
+	}
+
+	// nil pre = everything since process start; without a pre-side
+	// Runtime baseline the alloc deltas stay zero rather than guessing.
+	w = DiffStats(nil, cur)
+	if w.Requests != 160 || w.AllocObjects != 0 {
+		t.Fatalf("nil-pre window wrong: %+v", w)
+	}
+}
+
+// TestDiffStatsRace hammers a live gateway while snapshotting and
+// diffing concurrently — the factored window API must be race-clean
+// (this test is load-bearing under `go test -race`) and the final
+// whole-run window must account for every submitted request.
+func TestDiffStatsRace(t *testing.T) {
+	gw := testGateway(t, Config{Shards: 2, Seed: 47})
+	base := gw.Stats()
+	pre := &base
+
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		last := pre
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := gw.Stats()
+			w := DiffStats(last, &cur)
+			if w.Seconds < 0 {
+				t.Error("negative window duration")
+				return
+			}
+			last = &cur
+		}
+	}()
+
+	const clients, per = 4, 25
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				gw.Submit(&Request{Op: OpMD5, Payload: []byte{byte(c), byte(i)}})
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	cur := gw.Stats()
+	w := DiffStats(pre, &cur)
+	if w.PerOp[string(OpMD5)].OK != clients*per {
+		t.Fatalf("window md5 ok = %d, want %d", w.PerOp[string(OpMD5)].OK, clients*per)
+	}
+}
+
+// TestDiffStatsSurvivesJSON checks the window math works on snapshots
+// that crossed the wire (the governor and wispload both consume decoded
+// /stats JSON, not in-process Stats values).
+func TestDiffStatsSurvivesJSON(t *testing.T) {
+	gw := testGateway(t, Config{Shards: 1, Seed: 48})
+	for i := 0; i < 5; i++ {
+		if r := gw.Submit(&Request{Op: OpSHA1, Payload: []byte("x")}); r.Status != StatusOK {
+			t.Fatalf("op %d: %s", i, r.Status)
+		}
+	}
+	raw, err := gw.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur Stats
+	if err := json.Unmarshal(raw, &cur); err != nil {
+		t.Fatal(err)
+	}
+	w := DiffStats(nil, &cur)
+	if w.PerOp[string(OpSHA1)].OK != 5 {
+		t.Fatalf("sha1 ok = %d, want 5", w.PerOp[string(OpSHA1)].OK)
+	}
+}
